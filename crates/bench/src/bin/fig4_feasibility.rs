@@ -1,0 +1,58 @@
+//! Figure 4: end-to-end time to reach a 100% feasibility rate.
+//!
+//! For every workload and query, both algorithms are run `--runs` times with
+//! different optimization-scenario seeds; we report the feasibility rate and
+//! the average wall-clock time, mirroring the paper's Figure 4 (which plots
+//! average time to reach each feasibility-rate level).
+//!
+//! Usage: `cargo run --release -p spq-bench --bin fig4_feasibility -- \
+//!             [--scale 200] [--runs 3] [--queries 1,2,3] [--validation 2000]`
+
+use spq_bench::{aggregate, print_table, run_query, HarnessConfig};
+use spq_core::Algorithm;
+use spq_workloads::{spec, WorkloadKind};
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    eprintln!("# Figure 4 harness: {config:?}");
+    let mut rows = Vec::new();
+    for kind in [
+        WorkloadKind::Galaxy,
+        WorkloadKind::Portfolio,
+        WorkloadKind::Tpch,
+    ] {
+        // The paper fixes Z per workload: 1 for Galaxy and Portfolio, 2 for
+        // TPC-H (Section 6.2.1).
+        let z = if kind == WorkloadKind::Tpch { 2 } else { 1 };
+        for &q in &config.queries {
+            let spec_row = spec::query_spec(kind, q);
+            for algorithm in [Algorithm::Naive, Algorithm::SummarySearch] {
+                let records = run_query(&config, kind, config.scale, q, algorithm, 20, z);
+                let agg = aggregate(&records);
+                rows.push(vec![
+                    kind.to_string(),
+                    format!("Q{q}"),
+                    algorithm.to_string(),
+                    format!("{}", if spec_row.feasible { "feasible" } else { "infeasible" }),
+                    format!("{:.0}%", 100.0 * agg.feasibility_rate),
+                    format!("{:.3}", agg.mean_seconds),
+                    agg.mean_objective
+                        .map(|o| format!("{o:.3}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &[
+            "workload",
+            "query",
+            "algorithm",
+            "expected",
+            "feasibility_rate",
+            "mean_seconds",
+            "mean_objective",
+        ],
+        &rows,
+    );
+}

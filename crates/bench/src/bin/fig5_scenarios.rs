@@ -1,0 +1,92 @@
+//! Figure 5: scalability with the number of optimization scenarios `M`.
+//!
+//! For each query, both algorithms are run with a fixed scenario budget `M`
+//! (no outer escalation) across a grid of `M` values; we report wall-clock
+//! time, feasibility rate and the empirical approximation ratio `1 + ε̂`
+//! relative to the best feasible objective found by any method on that query.
+//!
+//! Usage: `cargo run --release -p spq-bench --bin fig5_scenarios -- \
+//!             [--scale 200] [--runs 3] [--queries 1,3] [--validation 2000]`
+
+use spq_bench::{aggregate, approximation_ratio, print_table, run_query, HarnessConfig, RunRecord};
+use spq_core::Algorithm;
+use spq_workloads::{spec, WorkloadKind};
+
+const M_GRID: &[usize] = &[10, 20, 40, 80];
+
+fn main() {
+    let mut config = HarnessConfig::from_args();
+    // Fix M per run: disable outer scenario escalation by re-using M as the
+    // increment with a max of exactly M.
+    eprintln!("# Figure 5 harness: {config:?}");
+    let mut rows = Vec::new();
+    for kind in [
+        WorkloadKind::Galaxy,
+        WorkloadKind::Portfolio,
+        WorkloadKind::Tpch,
+    ] {
+        let z = if kind == WorkloadKind::Tpch { 2 } else { 1 };
+        for &q in &config.queries.clone() {
+            let spec_row = spec::query_spec(kind, q);
+            let mut all: Vec<(usize, Algorithm, Vec<RunRecord>)> = Vec::new();
+            for &m in M_GRID {
+                for algorithm in [Algorithm::Naive, Algorithm::SummarySearch] {
+                    // Cap every run at exactly M scenarios.
+                    config.time_limit = std::time::Duration::from_secs(45);
+                    let mut cfg = config.clone();
+                    cfg.queries = vec![q];
+                    let records = run_query(&cfg, kind, cfg.scale, q, algorithm, m, z);
+                    all.push((m, algorithm, records));
+                }
+            }
+            // Best feasible objective across every method and M, per query.
+            let best = all
+                .iter()
+                .flat_map(|(_, _, records)| records.iter())
+                .filter(|r| r.feasible)
+                .filter_map(|r| r.objective)
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(match acc {
+                        None => v,
+                        Some(a) => {
+                            if spec_row.maximize {
+                                a.max(v)
+                            } else {
+                                a.min(v)
+                            }
+                        }
+                    })
+                });
+            for (m, algorithm, records) in &all {
+                let agg = aggregate(records);
+                let ratio = match (agg.mean_objective, best) {
+                    (Some(o), Some(b)) => {
+                        format!("{:.3}", approximation_ratio(o, b, spec_row.maximize))
+                    }
+                    _ => "-".into(),
+                };
+                rows.push(vec![
+                    kind.to_string(),
+                    format!("Q{q}"),
+                    algorithm.to_string(),
+                    m.to_string(),
+                    format!("{:.0}%", 100.0 * agg.feasibility_rate),
+                    format!("{:.3}", agg.mean_seconds),
+                    ratio,
+                ]);
+            }
+        }
+    }
+    print_table(
+        &[
+            "workload",
+            "query",
+            "algorithm",
+            "scenarios",
+            "feasibility_rate",
+            "mean_seconds",
+            "approx_ratio",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,93 @@
+//! Figure 6: effect of the number of summaries `Z` on the Portfolio workload.
+//!
+//! `Z` is swept from 1 to `M` (as a percentage of the number of optimization
+//! scenarios); in the limit `Z = M` each summary is a single scenario, so the
+//! CSA coincides with the SAA and SummarySearch behaves like Naïve. We report
+//! time, feasibility rate and the approximation ratio per `Z`, plus the Naïve
+//! baseline at the same `M`.
+//!
+//! Usage: `cargo run --release -p spq-bench --bin fig6_summaries -- \
+//!             [--scale 200] [--runs 3] [--queries 1,5] [--validation 2000]`
+
+use spq_bench::{aggregate, approximation_ratio, print_table, run_query, HarnessConfig};
+use spq_core::Algorithm;
+use spq_workloads::{spec, WorkloadKind};
+
+const M: usize = 24;
+const Z_GRID: &[usize] = &[1, 2, 6, 12, 24];
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    eprintln!("# Figure 6 harness (Portfolio, M = {M}): {config:?}");
+    let kind = WorkloadKind::Portfolio;
+    let mut rows = Vec::new();
+    for &q in &config.queries {
+        let spec_row = spec::query_spec(kind, q);
+        // Naive baseline at the same M.
+        let naive_records = run_query(&config, kind, config.scale, q, Algorithm::Naive, M, 1);
+        let naive = aggregate(&naive_records);
+
+        let mut sweep = Vec::new();
+        for &z in Z_GRID {
+            let records = run_query(
+                &config,
+                kind,
+                config.scale,
+                q,
+                Algorithm::SummarySearch,
+                M,
+                z.min(M),
+            );
+            sweep.push((z, aggregate(&records)));
+        }
+        let best = sweep
+            .iter()
+            .filter_map(|(_, a)| a.best_objective)
+            .chain(naive.best_objective)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(match acc {
+                    None => v,
+                    Some(a) => {
+                        if spec_row.maximize {
+                            a.max(v)
+                        } else {
+                            a.min(v)
+                        }
+                    }
+                })
+            });
+        let ratio = |a: &spq_bench::Aggregate| match (a.mean_objective, best) {
+            (Some(o), Some(b)) => format!("{:.3}", approximation_ratio(o, b, spec_row.maximize)),
+            _ => "-".into(),
+        };
+        rows.push(vec![
+            format!("Q{q}"),
+            "Naive".into(),
+            "-".into(),
+            format!("{:.0}%", 100.0 * naive.feasibility_rate),
+            format!("{:.3}", naive.mean_seconds),
+            ratio(&naive),
+        ]);
+        for (z, agg) in &sweep {
+            rows.push(vec![
+                format!("Q{q}"),
+                "SummarySearch".into(),
+                format!("{z} ({:.0}% of M)", 100.0 * *z as f64 / M as f64),
+                format!("{:.0}%", 100.0 * agg.feasibility_rate),
+                format!("{:.3}", agg.mean_seconds),
+                ratio(agg),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "query",
+            "algorithm",
+            "summaries",
+            "feasibility_rate",
+            "mean_seconds",
+            "approx_ratio",
+        ],
+        &rows,
+    );
+}

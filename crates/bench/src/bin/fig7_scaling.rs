@@ -1,0 +1,76 @@
+//! Figure 7: scalability with the dataset size `N` on the Galaxy workload.
+//!
+//! The Galaxy relation is scaled ×1 … ×5 from the base `--scale`; both
+//! algorithms run with a fixed number of optimization scenarios (the paper
+//! uses `M = 56`, here `--scenarios`-configurable) and `Z = 1`. We report
+//! time, feasibility rate and approximation ratio per dataset size.
+//!
+//! Usage: `cargo run --release -p spq-bench --bin fig7_scaling -- \
+//!             [--scale 100] [--runs 3] [--queries 1,3] [--validation 2000]`
+
+use spq_bench::{aggregate, approximation_ratio, print_table, run_query, HarnessConfig};
+use spq_core::Algorithm;
+use spq_workloads::{spec, WorkloadKind};
+
+const SCALE_FACTORS: &[usize] = &[1, 2, 3, 4, 5];
+const M: usize = 20;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    eprintln!("# Figure 7 harness (Galaxy, M = {M}, Z = 1): {config:?}");
+    let kind = WorkloadKind::Galaxy;
+    let mut rows = Vec::new();
+    for &q in &config.queries {
+        let spec_row = spec::query_spec(kind, q);
+        for &factor in SCALE_FACTORS {
+            let n = config.scale * factor;
+            let mut per_algorithm = Vec::new();
+            for algorithm in [Algorithm::Naive, Algorithm::SummarySearch] {
+                let records = run_query(&config, kind, n, q, algorithm, M, 1);
+                per_algorithm.push((algorithm, aggregate(&records)));
+            }
+            let best = per_algorithm
+                .iter()
+                .filter_map(|(_, a)| a.best_objective)
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(match acc {
+                        None => v,
+                        Some(a) => {
+                            if spec_row.maximize {
+                                a.max(v)
+                            } else {
+                                a.min(v)
+                            }
+                        }
+                    })
+                });
+            for (algorithm, agg) in &per_algorithm {
+                let ratio = match (agg.mean_objective, best) {
+                    (Some(o), Some(b)) => {
+                        format!("{:.3}", approximation_ratio(o, b, spec_row.maximize))
+                    }
+                    _ => "-".into(),
+                };
+                rows.push(vec![
+                    format!("Q{q}"),
+                    algorithm.to_string(),
+                    n.to_string(),
+                    format!("{:.0}%", 100.0 * agg.feasibility_rate),
+                    format!("{:.3}", agg.mean_seconds),
+                    ratio,
+                ]);
+            }
+        }
+    }
+    print_table(
+        &[
+            "query",
+            "algorithm",
+            "n_tuples",
+            "feasibility_rate",
+            "mean_seconds",
+            "approx_ratio",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,320 @@
+//! # spq-bench — benchmark harness for the paper's figures
+//!
+//! Each figure of the paper's experimental evaluation (Section 6.2) has a
+//! dedicated harness binary that regenerates its series:
+//!
+//! | Paper artifact | Binary | What it reports |
+//! |---|---|---|
+//! | Figure 4 | `fig4_feasibility` | time to reach 100% feasibility rate, per query, Naïve vs SummarySearch |
+//! | Figure 5 | `fig5_scenarios` | time, feasibility rate and 1+ε̂ as the number of optimization scenarios `M` grows |
+//! | Figure 6 | `fig6_summaries` | effect of the number of summaries `Z` (Portfolio workload) |
+//! | Figure 7 | `fig7_scaling` | effect of the dataset size `N` (Galaxy workload) |
+//!
+//! Criterion micro-benchmarks (`cargo bench -p spq-bench`) cover the kernels:
+//! scenario generation, summary construction, SAA vs CSA formulation size,
+//! and the MILP solver.
+//!
+//! Because the MILP solver substitutes CPLEX, the default sizes are scaled
+//! down (hundreds of tuples, tens of scenarios). Every binary accepts
+//! `--scale`, `--runs`, `--queries` and `--validation` flags to scale up.
+
+use serde::Serialize;
+use spq_core::{Algorithm, EvaluationResult, SpqEngine, SpqOptions};
+use spq_workloads::{build_workload, WorkloadKind};
+use std::time::Duration;
+
+/// Command-line configuration shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Approximate number of tuples per workload relation.
+    pub scale: usize,
+    /// Number of i.i.d. runs (different optimization-scenario seeds).
+    pub runs: usize,
+    /// Number of out-of-sample validation scenarios.
+    pub validation: usize,
+    /// Which query numbers to run (1-based).
+    pub queries: Vec<usize>,
+    /// Per-query evaluation time limit.
+    pub time_limit: Duration,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale: 200,
+            runs: 3,
+            validation: 2_000,
+            queries: (1..=8).collect(),
+            time_limit: Duration::from_secs(60),
+            seed: 2020,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parse a config from command-line arguments
+    /// (`--scale N --runs R --validation V --queries 1,2,3 --time-limit SECS`).
+    pub fn from_args() -> Self {
+        let mut config = HarnessConfig::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            let value = &args[i + 1];
+            match args[i].as_str() {
+                "--scale" => config.scale = value.parse().unwrap_or(config.scale),
+                "--runs" => config.runs = value.parse().unwrap_or(config.runs),
+                "--validation" => config.validation = value.parse().unwrap_or(config.validation),
+                "--seed" => config.seed = value.parse().unwrap_or(config.seed),
+                "--time-limit" => {
+                    config.time_limit =
+                        Duration::from_secs(value.parse().unwrap_or(config.time_limit.as_secs()))
+                }
+                "--queries" => {
+                    config.queries = value
+                        .split(',')
+                        .filter_map(|s| s.trim().parse().ok())
+                        .filter(|q| (1..=8).contains(q))
+                        .collect();
+                }
+                _ => {}
+            }
+            i += 2;
+        }
+        if config.queries.is_empty() {
+            config.queries = (1..=8).collect();
+        }
+        config
+    }
+
+    /// Engine options for one run with the given seed and scenario settings.
+    pub fn options(
+        &self,
+        seed: u64,
+        initial_scenarios: usize,
+        initial_summaries: usize,
+    ) -> SpqOptions {
+        let mut o = SpqOptions::default();
+        o.seed = seed;
+        o.initial_scenarios = initial_scenarios;
+        o.scenario_increment = initial_scenarios.max(10);
+        o.max_scenarios = 400;
+        o.validation_scenarios = self.validation;
+        o.expectation_scenarios = self.validation.min(1000);
+        o.initial_summaries = initial_summaries;
+        o.time_limit = Some(self.time_limit);
+        o.solver = solver_options(self.time_limit);
+        o
+    }
+}
+
+fn solver_options(limit: Duration) -> spq_solver::SolverOptions {
+    let mut s = spq_solver::SolverOptions::default();
+    s.time_limit = Some(limit.min(Duration::from_secs(30)));
+    s
+}
+
+/// The outcome of one measured run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Query number.
+    pub query: usize,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Run index (seed offset).
+    pub run: usize,
+    /// Number of optimization scenarios the run ended with.
+    pub scenarios: usize,
+    /// Number of summaries used (0 for Naïve).
+    pub summaries: usize,
+    /// Dataset size.
+    pub n_tuples: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Whether a validation-feasible package was found.
+    pub feasible: bool,
+    /// Objective estimate of the returned package.
+    pub objective: Option<f64>,
+}
+
+/// Run one (workload, query, algorithm) combination `runs` times with
+/// different seeds and return the per-run records.
+pub fn run_query(
+    config: &HarnessConfig,
+    kind: WorkloadKind,
+    relation_scale: usize,
+    query: usize,
+    algorithm: Algorithm,
+    initial_scenarios: usize,
+    initial_summaries: usize,
+) -> Vec<RunRecord> {
+    let workload = build_workload(kind, relation_scale, config.seed);
+    let mut records = Vec::with_capacity(config.runs);
+    for run in 0..config.runs {
+        let options = config.options(
+            config.seed + 1000 * run as u64 + 1,
+            initial_scenarios,
+            initial_summaries,
+        );
+        let engine = SpqEngine::new(options);
+        let started = std::time::Instant::now();
+        let result: Option<EvaluationResult> = engine
+            .evaluate(&workload.relation, workload.query(query), algorithm)
+            .ok();
+        let seconds = started.elapsed().as_secs_f64();
+        let (feasible, objective, summaries) = match &result {
+            Some(r) => (
+                r.feasible,
+                r.objective(),
+                if algorithm == Algorithm::Naive {
+                    0
+                } else {
+                    r.stats.summaries_used
+                },
+            ),
+            None => (false, None, 0),
+        };
+        records.push(RunRecord {
+            workload: kind.to_string(),
+            query,
+            algorithm: algorithm.to_string(),
+            run,
+            scenarios: result.as_ref().map(|r| r.stats.scenarios_used).unwrap_or(0),
+            summaries,
+            n_tuples: workload.relation.len(),
+            seconds,
+            feasible,
+            objective,
+        });
+    }
+    records
+}
+
+/// Aggregate statistics over the runs of one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Aggregate {
+    /// Fraction of runs that produced a validation-feasible package.
+    pub feasibility_rate: f64,
+    /// Mean wall-clock seconds.
+    pub mean_seconds: f64,
+    /// Best objective across runs (maximum; callers flip the sign for
+    /// minimization objectives if they need the true best).
+    pub best_objective: Option<f64>,
+    /// Mean objective across runs that produced a package.
+    pub mean_objective: Option<f64>,
+}
+
+/// Aggregate a slice of run records.
+pub fn aggregate(records: &[RunRecord]) -> Aggregate {
+    let n = records.len().max(1) as f64;
+    let feasible = records.iter().filter(|r| r.feasible).count() as f64;
+    let mean_seconds = records.iter().map(|r| r.seconds).sum::<f64>() / n;
+    let objectives: Vec<f64> = records.iter().filter_map(|r| r.objective).collect();
+    let mean_objective = if objectives.is_empty() {
+        None
+    } else {
+        Some(objectives.iter().sum::<f64>() / objectives.len() as f64)
+    };
+    let best_objective = objectives
+        .iter()
+        .cloned()
+        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+    Aggregate {
+        feasibility_rate: feasible / n,
+        mean_seconds,
+        best_objective,
+        mean_objective,
+    }
+}
+
+/// Empirical approximation ratio `1 + ε̂` (Section 6.1): the returned
+/// objective relative to the best feasible objective found by any method on
+/// the same query.
+pub fn approximation_ratio(objective: f64, best: f64, maximize: bool) -> f64 {
+    if best == 0.0 || objective == 0.0 {
+        return 1.0;
+    }
+    if maximize {
+        (best / objective).max(1.0)
+    } else {
+        (objective / best).max(1.0)
+    }
+}
+
+/// Print a table header followed by rows, TSV style.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_computes_rates_and_means() {
+        let mk = |feasible: bool, seconds: f64, objective: f64| RunRecord {
+            workload: "Galaxy".into(),
+            query: 1,
+            algorithm: "Naive".into(),
+            run: 0,
+            scenarios: 10,
+            summaries: 0,
+            n_tuples: 100,
+            seconds,
+            feasible,
+            objective: Some(objective),
+        };
+        let agg = aggregate(&[mk(true, 1.0, 50.0), mk(false, 3.0, 40.0)]);
+        assert!((agg.feasibility_rate - 0.5).abs() < 1e-12);
+        assert!((agg.mean_seconds - 2.0).abs() < 1e-12);
+        assert_eq!(agg.best_objective, Some(50.0));
+        assert_eq!(agg.mean_objective, Some(45.0));
+    }
+
+    #[test]
+    fn approximation_ratio_is_at_least_one() {
+        assert!((approximation_ratio(50.0, 45.0, false) - 50.0 / 45.0).abs() < 1e-12);
+        assert!((approximation_ratio(45.0, 50.0, true) - 50.0 / 45.0).abs() < 1e-12);
+        assert_eq!(approximation_ratio(50.0, 55.0, false), 1.0);
+        assert_eq!(approximation_ratio(0.0, 10.0, true), 1.0);
+    }
+
+    #[test]
+    fn default_config_covers_all_queries() {
+        let c = HarnessConfig::default();
+        assert_eq!(c.queries, (1..=8).collect::<Vec<_>>());
+        let o = c.options(1, 20, 2);
+        assert_eq!(o.initial_scenarios, 20);
+        assert_eq!(o.initial_summaries, 2);
+        assert_eq!(o.validation_scenarios, 2000);
+    }
+
+    #[test]
+    fn a_small_run_produces_records() {
+        let config = HarnessConfig {
+            runs: 1,
+            scale: 40,
+            validation: 300,
+            time_limit: Duration::from_secs(20),
+            ..Default::default()
+        };
+        let records = run_query(
+            &config,
+            WorkloadKind::Galaxy,
+            40,
+            3,
+            Algorithm::SummarySearch,
+            10,
+            1,
+        );
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].query, 3);
+        assert!(records[0].seconds >= 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Choosing the conservativeness level α (Section 5.2).
+//!
+//! CSA-Solve looks for the *minimally conservative* α for each probabilistic
+//! constraint: the smallest α whose validated `p`-surplus
+//! `r(α) = (fraction of validation scenarios satisfied) − p` is still
+//! nonnegative. The paper fits a smooth curve — an arctangent was found to be
+//! the most accurate — through the historical `(α, r)` points and solves
+//! `R(α) = 0`. This module implements that fit plus the grid snapping
+//! (`α ∈ {Z/M, 2Z/M, …, 1}`) and the fallback heuristics used before two
+//! distinct history points exist.
+
+/// History of `(α, r)` observations for one probabilistic constraint.
+#[derive(Debug, Clone, Default)]
+pub struct AlphaHistory {
+    points: Vec<(f64, f64)>,
+}
+
+impl AlphaHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        AlphaHistory::default()
+    }
+
+    /// Record an observation.
+    pub fn record(&mut self, alpha: f64, surplus: f64) {
+        self.points.push((alpha, surplus));
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The most recently recorded point.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.points.last().copied()
+    }
+}
+
+/// An arctangent fit `r(α) ≈ a·atan(b·(α − c)) + d`.
+#[derive(Debug, Clone, Copy)]
+pub struct ArctanFit {
+    /// Amplitude.
+    pub a: f64,
+    /// Steepness.
+    pub b: f64,
+    /// Horizontal shift.
+    pub c: f64,
+    /// Vertical shift.
+    pub d: f64,
+    /// Sum of squared errors of the fit.
+    pub sse: f64,
+}
+
+impl ArctanFit {
+    /// Evaluate the fitted curve.
+    pub fn evaluate(&self, alpha: f64) -> f64 {
+        self.a * (self.b * (alpha - self.c)).atan() + self.d
+    }
+
+    /// Solve `r(α) = 0` for α, if a solution exists.
+    pub fn zero(&self) -> Option<f64> {
+        if self.a.abs() < 1e-12 || self.b.abs() < 1e-12 {
+            return None;
+        }
+        let inner = -self.d / self.a;
+        if inner.abs() >= std::f64::consts::FRAC_PI_2 {
+            return None;
+        }
+        Some(self.c + inner.tan() / self.b)
+    }
+}
+
+/// Fit `r(α) ≈ a·atan(b·(α − c)) + d` to the points by a coarse grid search
+/// over `(b, c)` with a closed-form least-squares solve for `(a, d)`.
+pub fn fit_arctan(points: &[(f64, f64)]) -> Option<ArctanFit> {
+    let distinct: Vec<f64> = {
+        let mut alphas: Vec<f64> = points.iter().map(|p| p.0).collect();
+        alphas.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        alphas.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+        alphas
+    };
+    if distinct.len() < 2 {
+        return None;
+    }
+    let mut best: Option<ArctanFit> = None;
+    let b_grid = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
+    let c_grid: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    for &b in &b_grid {
+        for &c in &c_grid {
+            // Linear least squares for (a, d) on basis {atan(b(α−c)), 1}.
+            let mut s_xx = 0.0;
+            let mut s_x = 0.0;
+            let mut s_xy = 0.0;
+            let mut s_y = 0.0;
+            let n = points.len() as f64;
+            for &(alpha, r) in points {
+                let x = (b * (alpha - c)).atan();
+                s_xx += x * x;
+                s_x += x;
+                s_xy += x * r;
+                s_y += r;
+            }
+            let det = n * s_xx - s_x * s_x;
+            if det.abs() < 1e-12 {
+                continue;
+            }
+            let a = (n * s_xy - s_x * s_y) / det;
+            let d = (s_y - a * s_x) / n;
+            let fit = ArctanFit { a, b, c, d, sse: 0.0 };
+            let sse: f64 = points
+                .iter()
+                .map(|&(alpha, r)| {
+                    let e = fit.evaluate(alpha) - r;
+                    e * e
+                })
+                .sum();
+            let fit = ArctanFit { sse, ..fit };
+            if best.map(|bf| sse < bf.sse).unwrap_or(true) {
+                best = Some(fit);
+            }
+        }
+    }
+    best
+}
+
+/// Snap α up to the grid `{step, 2·step, …, 1}`.
+pub fn snap_to_grid(alpha: f64, step: f64) -> f64 {
+    if step <= 0.0 {
+        return alpha.clamp(0.0, 1.0);
+    }
+    let k = (alpha / step).ceil().max(1.0);
+    (k * step).min(1.0)
+}
+
+/// Choose the next α for one constraint (the paper's
+/// `GuessOptimalConservativeness`, specialized to a single constraint).
+///
+/// * `history` — past `(α, r)` observations;
+/// * `p` — the constraint's probability bound, used as the first guess when
+///   only the `α = 0` observation exists;
+/// * `step` — the grid resolution `Z / M`.
+pub fn guess_alpha(history: &AlphaHistory, p: f64, step: f64) -> f64 {
+    let points = history.points();
+    let last = history.last();
+
+    // With fewer than two distinct α values, use simple heuristics.
+    let distinct_alphas = {
+        let mut alphas: Vec<f64> = points.iter().map(|pt| pt.0).collect();
+        alphas.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        alphas.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+        alphas.len()
+    };
+    if distinct_alphas < 2 {
+        return match last {
+            None => snap_to_grid(p, step),
+            Some((alpha, r)) if r < 0.0 => {
+                // Infeasible: jump to p if we have not tried it, otherwise
+                // move up by one grid step.
+                let target = if alpha + 1e-12 < p { p } else { alpha + step };
+                snap_to_grid(target.min(1.0), step)
+            }
+            Some((alpha, _)) => {
+                // Feasible but (presumably) suboptimal: try one step lower.
+                snap_to_grid((alpha - step).max(step), step)
+            }
+        };
+    }
+
+    let fitted = fit_arctan(points).and_then(|fit| fit.zero());
+    let mut alpha = match fitted {
+        Some(a) if a.is_finite() => a.clamp(step, 1.0),
+        _ => {
+            // Fallback: linear interpolation between the tightest bracketing
+            // points, or a one-step move in the right direction.
+            bracket_zero(points).unwrap_or_else(|| match last {
+                Some((a, r)) if r < 0.0 => (a + step).min(1.0),
+                Some((a, _)) => (a - step).max(step),
+                None => p,
+            })
+        }
+    };
+    alpha = snap_to_grid(alpha, step);
+
+    // Avoid proposing exactly the last α again: nudge one grid step in the
+    // direction indicated by the last surplus.
+    if let Some((last_alpha, r)) = last {
+        if (alpha - last_alpha).abs() < step / 2.0 {
+            alpha = if r < 0.0 {
+                snap_to_grid((last_alpha + step).min(1.0), step)
+            } else {
+                snap_to_grid((last_alpha - step).max(step), step)
+            };
+        }
+    }
+    alpha
+}
+
+/// Linear interpolation of the zero crossing between the closest bracketing
+/// `(α, r)` points, when one exists.
+fn bracket_zero(points: &[(f64, f64)]) -> Option<f64> {
+    let mut neg: Option<(f64, f64)> = None; // largest alpha with r < 0
+    let mut pos: Option<(f64, f64)> = None; // smallest alpha with r >= 0
+    for &(a, r) in points {
+        if r < 0.0 {
+            if neg.map(|(na, _)| a > na).unwrap_or(true) {
+                neg = Some((a, r));
+            }
+        } else if pos.map(|(pa, _)| a < pa).unwrap_or(true) {
+            pos = Some((a, r));
+        }
+    }
+    match (neg, pos) {
+        (Some((a0, r0)), Some((a1, r1))) if (r1 - r0).abs() > 1e-12 => {
+            let t = -r0 / (r1 - r0);
+            Some(a0 + t * (a1 - a0))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapping_rounds_up_to_the_grid() {
+        assert_eq!(snap_to_grid(0.23, 0.1), 0.30000000000000004);
+        assert_eq!(snap_to_grid(0.3, 0.1), 0.30000000000000004);
+        assert_eq!(snap_to_grid(0.0, 0.1), 0.1);
+        assert_eq!(snap_to_grid(1.7, 0.25), 1.0);
+        assert_eq!(snap_to_grid(0.5, 0.0), 0.5);
+    }
+
+    #[test]
+    fn first_guess_is_the_probability_bound() {
+        let h = AlphaHistory::new();
+        let a = guess_alpha(&h, 0.9, 0.1);
+        assert!((a - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_single_point_jumps_to_p_then_upward() {
+        let mut h = AlphaHistory::new();
+        h.record(0.0, -0.3);
+        let a1 = guess_alpha(&h, 0.9, 0.1);
+        assert!((a1 - 0.9).abs() < 1e-9);
+        // If p itself was already tried (alpha = 0.9) and is still
+        // infeasible, the guess moves upward.
+        let mut h = AlphaHistory::new();
+        h.record(0.9, -0.05);
+        let a2 = guess_alpha(&h, 0.9, 0.1);
+        assert!(a2 > 0.9);
+        assert!(a2 <= 1.0);
+    }
+
+    #[test]
+    fn feasible_single_point_moves_down() {
+        let mut h = AlphaHistory::new();
+        h.record(0.9, 0.08);
+        let a = guess_alpha(&h, 0.9, 0.1);
+        assert!(a < 0.9);
+        assert!(a >= 0.1);
+    }
+
+    #[test]
+    fn arctan_fit_recovers_a_monotone_curve() {
+        // Synthesize points from a known arctangent and check the zero is
+        // recovered approximately.
+        let truth = ArctanFit {
+            a: 0.3,
+            b: 10.0,
+            c: 0.55,
+            d: 0.05,
+            sse: 0.0,
+        };
+        let points: Vec<(f64, f64)> = (0..=10)
+            .map(|i| {
+                let alpha = i as f64 / 10.0;
+                (alpha, truth.evaluate(alpha))
+            })
+            .collect();
+        let fit = fit_arctan(&points).unwrap();
+        assert!(fit.sse < 0.05, "sse {}", fit.sse);
+        let zero = fit.zero().unwrap();
+        let true_zero = truth.zero().unwrap();
+        assert!(
+            (zero - true_zero).abs() < 0.1,
+            "zero {zero} vs true {true_zero}"
+        );
+    }
+
+    #[test]
+    fn fit_requires_two_distinct_alphas() {
+        assert!(fit_arctan(&[(0.5, 0.1)]).is_none());
+        assert!(fit_arctan(&[(0.5, 0.1), (0.5, 0.2)]).is_none());
+        assert!(fit_arctan(&[(0.4, -0.1), (0.6, 0.1)]).is_some());
+    }
+
+    #[test]
+    fn guess_converges_towards_the_zero_crossing() {
+        // r(α) crosses zero at 0.62; the guess after observing a bracketing
+        // pair should land near it (snapped to the 0.05 grid).
+        let mut h = AlphaHistory::new();
+        h.record(0.4, -0.12);
+        h.record(0.9, 0.20);
+        let a = guess_alpha(&h, 0.9, 0.05);
+        assert!(a > 0.4 && a < 0.9, "guess {a}");
+    }
+
+    #[test]
+    fn guess_avoids_repeating_the_last_alpha() {
+        let mut h = AlphaHistory::new();
+        h.record(0.5, -0.01);
+        h.record(0.6, -0.005);
+        let a = guess_alpha(&h, 0.9, 0.1);
+        assert!((a - 0.6).abs() > 0.04, "guess {a} should differ from 0.6");
+    }
+
+    #[test]
+    fn bracket_zero_interpolates() {
+        let z = bracket_zero(&[(0.2, -0.1), (0.8, 0.2)]).unwrap();
+        assert!((z - 0.4).abs() < 1e-9);
+        assert!(bracket_zero(&[(0.2, -0.1), (0.3, -0.05)]).is_none());
+    }
+
+    #[test]
+    fn history_accessors() {
+        let mut h = AlphaHistory::new();
+        assert!(h.last().is_none());
+        h.record(0.1, -0.2);
+        h.record(0.2, 0.1);
+        assert_eq!(h.points().len(), 2);
+        assert_eq!(h.last(), Some((0.2, 0.1)));
+    }
+}

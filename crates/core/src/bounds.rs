@@ -1,0 +1,430 @@
+//! Approximation-guarantee bounds (Section 5.4 and Appendix B).
+//!
+//! SummarySearch certifies that a feasible solution `x⁽q⁾` with objective
+//! value `ω⁽q⁾` is `(1 + ε)`-approximate relative to the validation-optimal
+//! objective `ω̂` by computing bounds `ω̲ ≤ ω̂ ≤ ω̄` and the quantity `ε⁽q⁾`
+//! of Propositions 2–5. Two families of bounds are implemented:
+//!
+//! * **constraint-agnostic** bounds (Table 1), derived from bounds on the
+//!   realized scenario values (`s̲ ≤ ŝ_ij ≤ s̄`, assumption A1) and on the
+//!   package size (`l̲ ≤ Σ x̂_i ≤ l̄`, assumption A2);
+//! * **constraint-specific** bounds (Table 2 / Appendix B), available when a
+//!   probabilistic constraint *supports* or *counteracts* the objective
+//!   (Definition 2), e.g. `ω̂ ≥ p·v` for a minimization objective
+//!   counteracted by `Pr(Σ ξ x ≥ v) ≥ p` with `v ≥ 0`.
+
+use crate::instance::Instance;
+use crate::silp::{ConstraintKind, Direction, SilpConstraint, SilpObjective};
+use spq_solver::Sense;
+
+/// How a probabilistic constraint interacts with the objective
+/// (Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interaction {
+    /// The constraint pushes in the same direction as the optimization.
+    Supporting,
+    /// The constraint pushes against the optimization.
+    Counteracting,
+    /// The constraint involves different random variables (or the objective
+    /// is not an expectation of the same inner function).
+    Independent,
+}
+
+/// Classify the interaction between the objective and one probabilistic
+/// constraint.
+pub fn classify(objective: &SilpObjective, constraint: &SilpConstraint) -> Interaction {
+    if !constraint.kind.is_probabilistic() {
+        return Interaction::Independent;
+    }
+    let (direction, obj_column) = match objective {
+        SilpObjective::Linear {
+            direction, coeff, ..
+        } => (*direction, coeff.column()),
+        SilpObjective::Probability { .. } => return Interaction::Independent,
+    };
+    let constraint_column = constraint.coeff.column();
+    if obj_column.is_none() || obj_column != constraint_column {
+        return Interaction::Independent;
+    }
+    // For minimization, a `<=` inner constraint supports the objective and a
+    // `>=` inner constraint counteracts it; for maximization the roles swap.
+    match (direction, constraint.sense) {
+        (Direction::Minimize, Sense::Le) | (Direction::Maximize, Sense::Ge) => {
+            Interaction::Supporting
+        }
+        (Direction::Minimize, Sense::Ge) | (Direction::Maximize, Sense::Le) => {
+            Interaction::Counteracting
+        }
+        (_, Sense::Eq) => Interaction::Independent,
+    }
+}
+
+/// Bounds `ω̲ ≤ ω̂ ≤ ω̄` on the validation-optimal objective value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmegaBounds {
+    /// Lower bound on `ω̂` (may be `-∞`).
+    pub lower: f64,
+    /// Upper bound on `ω̂` (may be `+∞`).
+    pub upper: f64,
+}
+
+impl OmegaBounds {
+    /// Unbounded on both sides.
+    pub fn unbounded() -> Self {
+        OmegaBounds {
+            lower: f64::NEG_INFINITY,
+            upper: f64::INFINITY,
+        }
+    }
+}
+
+/// Compute bounds on the validation-optimal objective value `ω̂`.
+pub fn omega_bounds(instance: &Instance<'_>) -> OmegaBounds {
+    let silp = &instance.silp;
+
+    // Probability objectives are fractions: trivially bounded by [0, 1].
+    if silp.objective.is_probability() {
+        return OmegaBounds {
+            lower: 0.0,
+            upper: 1.0,
+        };
+    }
+
+    let (l_lo, l_hi) = instance.package_size_bounds();
+    let mut bounds = OmegaBounds::unbounded();
+
+    // --- Constraint-agnostic bounds (Table 1). -----------------------------
+    let value_bounds = match &silp.objective {
+        SilpObjective::Linear { coeff, .. } => match coeff {
+            crate::silp::CoeffSource::Stochastic(_) => instance.objective_value_bounds(),
+            other => {
+                // Deterministic coefficients: bound by their min/max.
+                instance
+                    .coefficients(other)
+                    .ok()
+                    .and_then(|c| {
+                        let lo = c.iter().cloned().fold(f64::INFINITY, f64::min);
+                        let hi = c.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        if lo.is_finite() && hi.is_finite() {
+                            Some((lo, hi))
+                        } else {
+                            None
+                        }
+                    })
+            }
+        },
+        SilpObjective::Probability { .. } => None,
+    };
+    if let Some((s_lo, s_hi)) = value_bounds {
+        if l_hi.is_finite() {
+            let lower = if s_lo >= 0.0 { s_lo * l_lo } else { s_lo * l_hi };
+            let upper = if s_hi >= 0.0 { s_hi * l_hi } else { s_hi * l_lo };
+            bounds.lower = bounds.lower.max(lower);
+            bounds.upper = bounds.upper.min(upper);
+        } else if s_lo >= 0.0 {
+            bounds.lower = bounds.lower.max(s_lo * l_lo);
+        }
+    }
+
+    // --- Constraint-specific bounds (Table 2 / Appendix B). ----------------
+    for c in &silp.constraints {
+        if !matches!(c.kind, ConstraintKind::Probabilistic { .. }) {
+            continue;
+        }
+        let p = c.probability().unwrap_or(0.0);
+        match classify(&silp.objective, c) {
+            Interaction::Counteracting => {
+                // For minimization with Pr(Σ ξ x ≥ v) ≥ p and v ≥ 0:
+                // ω̂ ≥ p·v (Section 5.4). The symmetric bound applies to
+                // maximization with Pr(Σ ξ x ≤ v) ≥ p and v ≤ 0: ω̂ ≤ p·v.
+                match silp.objective.direction() {
+                    Direction::Minimize if c.sense == Sense::Ge && c.rhs >= 0.0 => {
+                        bounds.lower = bounds.lower.max(p * c.rhs);
+                    }
+                    Direction::Maximize if c.sense == Sense::Le && c.rhs <= 0.0 => {
+                        bounds.upper = bounds.upper.min(p * c.rhs);
+                    }
+                    _ => {}
+                }
+            }
+            Interaction::Supporting => {
+                // For minimization with a supporting constraint
+                // Pr(Σ ξ x ≤ v) ≥ p, v ≥ 0, values bounded above by s̄ ≥ 0
+                // and package size by l̄: ω̂ ≤ v + (1 - p)·s̄·l̄ (Appendix B).
+                // Symmetrically for maximization with Pr(Σ ξ x ≥ v) ≥ p,
+                // v ≤ 0 and values bounded below by s̲ ≤ 0:
+                // ω̂ ≥ v + (1 - p)·s̲·l̄.
+                if let Some((s_lo, s_hi)) = instance.objective_value_bounds() {
+                    if l_hi.is_finite() {
+                        match silp.objective.direction() {
+                            Direction::Minimize
+                                if c.sense == Sense::Le && c.rhs >= 0.0 && s_hi >= 0.0 =>
+                            {
+                                bounds.upper = bounds.upper.min(c.rhs + (1.0 - p) * s_hi * l_hi);
+                            }
+                            Direction::Maximize
+                                if c.sense == Sense::Ge && c.rhs <= 0.0 && s_lo <= 0.0 =>
+                            {
+                                bounds.lower = bounds.lower.max(c.rhs + (1.0 - p) * s_lo * l_hi);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Interaction::Independent => {}
+        }
+    }
+
+    bounds
+}
+
+/// Compute the certificate quantity `ε⁽q⁾` of Propositions 2–5 for a solution
+/// with objective value `omega_q`. Returns `+∞` when no applicable bound is
+/// available (the certificate then cannot be issued).
+pub fn epsilon_upper_bound(direction: Direction, omega_q: f64, bounds: &OmegaBounds) -> f64 {
+    match direction {
+        Direction::Minimize => {
+            if bounds.lower.is_finite() && bounds.lower > 0.0 && omega_q >= 0.0 {
+                // Proposition 2: ε⁽q⁾ = ω⁽q⁾ / ω̲ − 1.
+                omega_q / bounds.lower - 1.0
+            } else if bounds.lower.is_finite() && bounds.lower < 0.0 && omega_q < 0.0 {
+                // Proposition 3: ε⁽q⁾ = ω̲ / ω⁽q⁾ − 1.
+                bounds.lower / omega_q - 1.0
+            } else {
+                f64::INFINITY
+            }
+        }
+        Direction::Maximize => {
+            if bounds.upper.is_finite() && bounds.upper > 0.0 && omega_q > 0.0 {
+                // Proposition 4: ε⁽q⁾ = ω̄ / ω⁽q⁾ − 1.
+                bounds.upper / omega_q - 1.0
+            } else if bounds.upper.is_finite() && bounds.upper < 0.0 && omega_q <= 0.0 {
+                // Proposition 5: ε⁽q⁾ = ω⁽q⁾ / ω̄ − 1.
+                omega_q / bounds.upper - 1.0
+            } else {
+                f64::INFINITY
+            }
+        }
+    }
+}
+
+/// The smallest ε for which the termination check can possibly succeed
+/// (`ε_min`, Section 5.4): obtained by substituting the best possible
+/// objective value (the opposite bound) into the ε⁽q⁾ formula.
+pub fn epsilon_min(direction: Direction, bounds: &OmegaBounds) -> f64 {
+    match direction {
+        Direction::Minimize => {
+            if bounds.upper.is_finite() {
+                epsilon_upper_bound(direction, bounds.upper, bounds)
+            } else {
+                f64::INFINITY
+            }
+        }
+        Direction::Maximize => {
+            if bounds.lower.is_finite() {
+                epsilon_upper_bound(direction, bounds.lower, bounds)
+            } else {
+                f64::INFINITY
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::SpqOptions;
+    use crate::silp::{CoeffSource, Silp};
+    use spq_mcdb::vg::NormalNoise;
+    use spq_mcdb::RelationBuilder;
+
+    fn constraint(sense: Sense, rhs: f64, p: f64, column: &str) -> SilpConstraint {
+        SilpConstraint {
+            name: "c".into(),
+            coeff: CoeffSource::Stochastic(column.into()),
+            sense,
+            rhs,
+            kind: ConstraintKind::Probabilistic { probability: p },
+        }
+    }
+
+    fn objective(direction: Direction, column: &str) -> SilpObjective {
+        SilpObjective::Linear {
+            direction,
+            coeff: CoeffSource::Stochastic(column.into()),
+            expectation: true,
+        }
+    }
+
+    #[test]
+    fn classification_follows_definition_2() {
+        // Minimization supported by <= and counteracted by >=.
+        let obj = objective(Direction::Minimize, "flux");
+        assert_eq!(
+            classify(&obj, &constraint(Sense::Le, 40.0, 0.9, "flux")),
+            Interaction::Supporting
+        );
+        assert_eq!(
+            classify(&obj, &constraint(Sense::Ge, 40.0, 0.9, "flux")),
+            Interaction::Counteracting
+        );
+        // Different attribute => independent.
+        assert_eq!(
+            classify(&obj, &constraint(Sense::Ge, 40.0, 0.9, "other")),
+            Interaction::Independent
+        );
+        // Maximization flips the roles.
+        let obj = objective(Direction::Maximize, "gain");
+        assert_eq!(
+            classify(&obj, &constraint(Sense::Ge, -10.0, 0.95, "gain")),
+            Interaction::Supporting
+        );
+        assert_eq!(
+            classify(&obj, &constraint(Sense::Le, -10.0, 0.95, "gain")),
+            Interaction::Counteracting
+        );
+        // Probability objectives are treated as independent.
+        let pobj = SilpObjective::Probability {
+            direction: Direction::Maximize,
+            attribute: "gain".into(),
+            sense: Sense::Ge,
+            threshold: 0.0,
+        };
+        assert_eq!(
+            classify(&pobj, &constraint(Sense::Ge, 0.0, 0.9, "gain")),
+            Interaction::Independent
+        );
+    }
+
+    #[test]
+    fn counteracting_constraint_gives_pv_lower_bound() {
+        // Galaxy-style query: minimize expected flux subject to
+        // Pr(SUM(flux) >= 40) >= 0.9 -> ω̂ >= 36.
+        let rel = RelationBuilder::new("g")
+            .stochastic("flux", NormalNoise::around(vec![10.0, 12.0, 9.0, 11.0], 2.0))
+            .build()
+            .unwrap();
+        let silp = Silp {
+            relation: "g".into(),
+            tuples: vec![0, 1, 2, 3],
+            repeat_bound: None,
+            constraints: vec![
+                SilpConstraint {
+                    name: "count".into(),
+                    coeff: CoeffSource::Constant(1.0),
+                    sense: Sense::Le,
+                    rhs: 10.0,
+                    kind: ConstraintKind::Deterministic,
+                },
+                constraint(Sense::Ge, 40.0, 0.9, "flux"),
+            ],
+            objective: objective(Direction::Minimize, "flux"),
+        };
+        let inst = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
+        let b = omega_bounds(&inst);
+        assert!(b.lower >= 36.0 - 1e-9, "lower bound {}", b.lower);
+        assert!(b.upper.is_finite());
+        // ε for a solution with value 45 is at most 45/36 - 1 = 0.25.
+        let eps = epsilon_upper_bound(Direction::Minimize, 45.0, &b);
+        assert!(eps <= 0.25 + 1e-9);
+        assert!(eps >= 0.0);
+        // ε_min is achievable.
+        assert!(epsilon_min(Direction::Minimize, &b) >= 0.0);
+    }
+
+    #[test]
+    fn probability_objective_bounds_are_unit_interval() {
+        let rel = RelationBuilder::new("g")
+            .stochastic("rev", NormalNoise::around(vec![1.0, 2.0], 1.0))
+            .build()
+            .unwrap();
+        let silp = Silp {
+            relation: "g".into(),
+            tuples: vec![0, 1],
+            repeat_bound: None,
+            constraints: vec![],
+            objective: SilpObjective::Probability {
+                direction: Direction::Maximize,
+                attribute: "rev".into(),
+                sense: Sense::Ge,
+                threshold: 1.0,
+            },
+        };
+        let inst = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
+        let b = omega_bounds(&inst);
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, 1.0);
+        // A solution achieving probability 0.8 has ε ≤ 1/0.8 - 1 = 0.25.
+        let eps = epsilon_upper_bound(Direction::Maximize, 0.8, &b);
+        assert!((eps - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_formulas_per_proposition() {
+        // Prop 2: minimization, positive values.
+        let b = OmegaBounds {
+            lower: 10.0,
+            upper: 20.0,
+        };
+        assert!((epsilon_upper_bound(Direction::Minimize, 12.0, &b) - 0.2).abs() < 1e-12);
+        assert!((epsilon_min(Direction::Minimize, &b) - 1.0).abs() < 1e-12);
+        // Prop 3: minimization, negative values.
+        let b = OmegaBounds {
+            lower: -20.0,
+            upper: -5.0,
+        };
+        assert!((epsilon_upper_bound(Direction::Minimize, -16.0, &b) - 0.25).abs() < 1e-12);
+        // Prop 4: maximization, positive values.
+        let b = OmegaBounds {
+            lower: 5.0,
+            upper: 20.0,
+        };
+        assert!((epsilon_upper_bound(Direction::Maximize, 16.0, &b) - 0.25).abs() < 1e-12);
+        assert!(epsilon_min(Direction::Maximize, &b) > 0.0);
+        // Prop 5: maximization, negative values.
+        let b = OmegaBounds {
+            lower: -20.0,
+            upper: -4.0,
+        };
+        assert!((epsilon_upper_bound(Direction::Maximize, -5.0, &b) - 0.25).abs() < 1e-12);
+        // No applicable bound -> infinity.
+        let b = OmegaBounds::unbounded();
+        assert!(epsilon_upper_bound(Direction::Minimize, 1.0, &b).is_infinite());
+        assert!(epsilon_upper_bound(Direction::Maximize, 1.0, &b).is_infinite());
+        assert!(epsilon_min(Direction::Minimize, &b).is_infinite());
+    }
+
+    #[test]
+    fn table1_bounds_respect_value_signs() {
+        // Maximization of gains that can be negative: the supporting
+        // constraint bound and Table 1 both apply.
+        let rel = RelationBuilder::new("p")
+            .stochastic("gain", NormalNoise::around(vec![0.5, 1.0, -0.5], 1.0))
+            .build()
+            .unwrap();
+        let silp = Silp {
+            relation: "p".into(),
+            tuples: vec![0, 1, 2],
+            repeat_bound: None,
+            constraints: vec![
+                SilpConstraint {
+                    name: "count".into(),
+                    coeff: CoeffSource::Constant(1.0),
+                    sense: Sense::Le,
+                    rhs: 5.0,
+                    kind: ConstraintKind::Deterministic,
+                },
+                constraint(Sense::Ge, -10.0, 0.95, "gain"),
+            ],
+            objective: objective(Direction::Maximize, "gain"),
+        };
+        let inst = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
+        let b = omega_bounds(&inst);
+        assert!(b.upper.is_finite());
+        assert!(b.lower <= b.upper);
+        // The supporting constraint (>= -10, v < 0) provides a finite lower
+        // bound as well.
+        assert!(b.lower.is_finite());
+    }
+}

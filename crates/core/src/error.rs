@@ -1,0 +1,80 @@
+//! Error type for the SPQ engine.
+
+use std::fmt;
+
+/// Errors raised while translating, formulating, or evaluating a stochastic
+/// package query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpqError {
+    /// Error from the Monte Carlo database substrate.
+    Mcdb(spq_mcdb::McdbError),
+    /// Error from the MILP solver substrate.
+    Solver(spq_solver::SolverError),
+    /// Error from the sPaQL parser/binder.
+    Spaql(spq_spaql::SpaqlError),
+    /// The query uses a feature the engine does not support.
+    Unsupported(String),
+    /// The query (or an intermediate formulation) is infeasible and no
+    /// package can be produced.
+    Infeasible(String),
+    /// The evaluation budget (wall-clock or scenario limit) was exhausted
+    /// without finding a feasible package.
+    BudgetExhausted(String),
+    /// An internal invariant was violated.
+    Internal(String),
+}
+
+impl fmt::Display for SpqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpqError::Mcdb(e) => write!(f, "probabilistic database error: {e}"),
+            SpqError::Solver(e) => write!(f, "solver error: {e}"),
+            SpqError::Spaql(e) => write!(f, "sPaQL error: {e}"),
+            SpqError::Unsupported(msg) => write!(f, "unsupported query feature: {msg}"),
+            SpqError::Infeasible(msg) => write!(f, "query is infeasible: {msg}"),
+            SpqError::BudgetExhausted(msg) => write!(f, "evaluation budget exhausted: {msg}"),
+            SpqError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpqError {}
+
+impl From<spq_mcdb::McdbError> for SpqError {
+    fn from(e: spq_mcdb::McdbError) -> Self {
+        SpqError::Mcdb(e)
+    }
+}
+
+impl From<spq_solver::SolverError> for SpqError {
+    fn from(e: spq_solver::SolverError) -> Self {
+        SpqError::Solver(e)
+    }
+}
+
+impl From<spq_spaql::SpaqlError> for SpqError {
+    fn from(e: spq_spaql::SpaqlError) -> Self {
+        SpqError::Spaql(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: SpqError = spq_mcdb::McdbError::UnknownColumn("gain".into()).into();
+        assert!(e.to_string().contains("gain"));
+        let e: SpqError = spq_solver::SolverError::Unbounded.into();
+        assert!(e.to_string().contains("unbounded"));
+        let e: SpqError = spq_spaql::SpaqlError::UnknownAttribute("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        assert!(SpqError::Infeasible("no package".into())
+            .to_string()
+            .contains("no package"));
+        assert!(SpqError::BudgetExhausted("limit".into())
+            .to_string()
+            .contains("limit"));
+    }
+}

@@ -1,0 +1,470 @@
+//! A fully prepared SPQ problem instance.
+//!
+//! [`Instance`] bundles the relation, the translated SILP, the evaluation
+//! options, precomputed deterministic coefficient vectors, precomputed
+//! expectation estimates (the paper's `t_i.μ̂_A`, estimated from the
+//! validation stream during a precomputation phase, Section 3.2), derived
+//! multiplicity bounds, and the seeded scenario generators for the
+//! optimization and validation streams.
+
+use crate::error::SpqError;
+use crate::options::SpqOptions;
+use crate::silp::{CoeffSource, Silp, SilpObjective};
+use crate::Result;
+use spq_mcdb::{ExpectationEstimator, Relation, ScenarioGenerator, ScenarioMatrix};
+use spq_solver::Sense;
+use std::collections::HashMap;
+
+/// A prepared problem instance: everything the Naïve and SummarySearch
+/// algorithms need to formulate, solve and validate.
+pub struct Instance<'a> {
+    /// The underlying Monte Carlo relation.
+    pub relation: &'a Relation,
+    /// The SILP over the candidate tuples.
+    pub silp: Silp,
+    /// Evaluation options.
+    pub options: SpqOptions,
+    /// Optimization-stream scenario generator.
+    pub opt_gen: ScenarioGenerator,
+    /// Validation-stream scenario generator.
+    pub val_gen: ScenarioGenerator,
+    /// Per-column deterministic values restricted to candidate tuples.
+    det_values: HashMap<String, Vec<f64>>,
+    /// Per-column expectation estimates restricted to candidate tuples.
+    expectations: HashMap<String, Vec<f64>>,
+    /// Per-tuple multiplicity upper bound.
+    multiplicity_bounds: Vec<f64>,
+    /// (min, max) realized value of the objective column over a sample of
+    /// validation scenarios, restricted to candidate tuples; used for the
+    /// constraint-agnostic bounds of Table 1.
+    objective_value_bounds: Option<(f64, f64)>,
+}
+
+impl<'a> Instance<'a> {
+    /// Prepare an instance: validate column references, estimate
+    /// expectations, derive multiplicity bounds.
+    pub fn new(relation: &'a Relation, silp: Silp, options: SpqOptions) -> Result<Self> {
+        let opt_gen = ScenarioGenerator::new(options.seed);
+        let val_gen = ScenarioGenerator::validation(options.seed);
+
+        // Collect referenced columns.
+        let mut det_cols: Vec<String> = Vec::new();
+        let mut stoch_cols: Vec<String> = Vec::new();
+        let mut record = |coeff: &CoeffSource| {
+            match coeff {
+                CoeffSource::Constant(_) => {}
+                CoeffSource::Deterministic(c) => {
+                    if !det_cols.contains(c) {
+                        det_cols.push(c.clone());
+                    }
+                }
+                CoeffSource::Stochastic(c) => {
+                    if !stoch_cols.contains(c) {
+                        stoch_cols.push(c.clone());
+                    }
+                }
+            }
+        };
+        for c in &silp.constraints {
+            record(&c.coeff);
+        }
+        match &silp.objective {
+            SilpObjective::Linear { coeff, .. } => record(coeff),
+            SilpObjective::Probability { attribute, .. } => {
+                record(&CoeffSource::Stochastic(attribute.clone()))
+            }
+        }
+
+        // Deterministic coefficient vectors restricted to the candidates.
+        let mut det_values = HashMap::new();
+        for col in &det_cols {
+            let full = relation.deterministic_f64(col)?;
+            let restricted: Vec<f64> = silp.tuples.iter().map(|&t| full[t]).collect();
+            det_values.insert(col.clone(), restricted);
+        }
+
+        // Expectation estimates for stochastic columns (precomputation phase).
+        let estimator =
+            ExpectationEstimator::new(options.seed, options.expectation_scenarios.max(1));
+        let mut expectations = HashMap::new();
+        for col in &stoch_cols {
+            let est = estimator.estimate(relation, col)?;
+            let restricted: Vec<f64> = silp.tuples.iter().map(|&t| est.means[t]).collect();
+            expectations.insert(col.clone(), restricted);
+        }
+
+        let multiplicity_bounds = derive_multiplicity_bounds(&silp, &det_values, &options);
+
+        let mut instance = Instance {
+            relation,
+            silp,
+            options,
+            opt_gen,
+            val_gen,
+            det_values,
+            expectations,
+            multiplicity_bounds,
+            objective_value_bounds: None,
+        };
+        instance.objective_value_bounds = instance.sample_objective_value_bounds()?;
+        Ok(instance)
+    }
+
+    /// Number of decision variables (candidate tuples).
+    pub fn num_vars(&self) -> usize {
+        self.silp.num_vars()
+    }
+
+    /// Per-tuple multiplicity upper bounds.
+    pub fn multiplicity_bounds(&self) -> &[f64] {
+        &self.multiplicity_bounds
+    }
+
+    /// Expectation estimates for a stochastic column (restricted to candidate
+    /// tuples).
+    pub fn expectations(&self, column: &str) -> Result<&[f64]> {
+        self.expectations
+            .get(column)
+            .map(Vec::as_slice)
+            .ok_or_else(|| SpqError::Internal(format!("no expectation estimate for `{column}`")))
+    }
+
+    /// Deterministic values for a column (restricted to candidate tuples).
+    pub fn deterministic(&self, column: &str) -> Result<&[f64]> {
+        self.det_values
+            .get(column)
+            .map(Vec::as_slice)
+            .ok_or_else(|| SpqError::Internal(format!("no deterministic values for `{column}`")))
+    }
+
+    /// The deterministic coefficient vector used in a DILP for a coefficient
+    /// source: constants, deterministic values, or expectation estimates.
+    pub fn coefficients(&self, coeff: &CoeffSource) -> Result<Vec<f64>> {
+        Ok(match coeff {
+            CoeffSource::Constant(c) => vec![*c; self.num_vars()],
+            CoeffSource::Deterministic(col) => self.deterministic(col)?.to_vec(),
+            CoeffSource::Stochastic(col) => self.expectations(col)?.to_vec(),
+        })
+    }
+
+    /// Realize one optimization scenario of a stochastic column, restricted
+    /// to candidate tuples.
+    pub fn optimization_scenario(&self, column: &str, scenario: usize) -> Result<Vec<f64>> {
+        let row = self
+            .opt_gen
+            .realize_sparse(self.relation, column, &self.silp.tuples, scenario..scenario + 1)?;
+        Ok(row.into_iter().next().unwrap_or_default())
+    }
+
+    /// Realize a single optimization-stream cell: the value of candidate
+    /// position `position` in scenario `scenario` (tuple-wise generation,
+    /// Section 5.5).
+    pub fn optimization_scenario_cell(
+        &self,
+        column: &str,
+        position: usize,
+        scenario: usize,
+    ) -> Result<f64> {
+        Ok(self.opt_gen.realize_cell(
+            self.relation,
+            column,
+            self.silp.tuples[position],
+            scenario,
+        )?)
+    }
+
+    /// Realize the first `m` optimization scenarios of a stochastic column as
+    /// a dense matrix restricted to candidate tuples.
+    pub fn optimization_matrix(&self, column: &str, m: usize) -> Result<ScenarioMatrix> {
+        let rows = self
+            .opt_gen
+            .realize_sparse(self.relation, column, &self.silp.tuples, 0..m)?;
+        let scenarios: Vec<spq_mcdb::Scenario> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(index, values)| spq_mcdb::Scenario { index, values })
+            .collect();
+        Ok(ScenarioMatrix::from_scenarios(self.num_vars(), &scenarios))
+    }
+
+    /// Realize validation scenarios of a stochastic column for the given
+    /// candidate positions (indices into `silp.tuples`), one row per scenario.
+    pub fn validation_rows(
+        &self,
+        column: &str,
+        positions: &[usize],
+        scenarios: std::ops::Range<usize>,
+    ) -> Result<Vec<Vec<f64>>> {
+        let tuples: Vec<usize> = positions.iter().map(|&p| self.silp.tuples[p]).collect();
+        Ok(self
+            .val_gen
+            .realize_sparse(self.relation, column, &tuples, scenarios)?)
+    }
+
+    /// (min, max) sampled value of the objective's stochastic column, if the
+    /// objective is stochastic.
+    pub fn objective_value_bounds(&self) -> Option<(f64, f64)> {
+        self.objective_value_bounds
+    }
+
+    /// Package-size bounds `(l̲, l̄)` implied by `COUNT(*)` constraints
+    /// (Appendix B, assumption A2). The defaults are `0` and the sum of the
+    /// multiplicity bounds.
+    pub fn package_size_bounds(&self) -> (f64, f64) {
+        let mut lo = 0.0f64;
+        let mut hi: f64 = self.multiplicity_bounds.iter().sum();
+        for c in &self.silp.constraints {
+            if let CoeffSource::Constant(k) = c.coeff {
+                if (k - 1.0).abs() < 1e-12 && !c.kind.is_probabilistic() {
+                    match c.sense {
+                        Sense::Ge => lo = lo.max(c.rhs),
+                        Sense::Le => hi = hi.min(c.rhs),
+                        Sense::Eq => {
+                            lo = lo.max(c.rhs);
+                            hi = hi.min(c.rhs);
+                        }
+                    }
+                }
+            }
+        }
+        (lo.max(0.0), hi.max(0.0))
+    }
+
+    fn sample_objective_value_bounds(&self) -> Result<Option<(f64, f64)>> {
+        let column = match &self.silp.objective {
+            SilpObjective::Linear {
+                coeff: CoeffSource::Stochastic(col),
+                ..
+            } => col.clone(),
+            SilpObjective::Probability { attribute, .. } => attribute.clone(),
+            _ => return Ok(None),
+        };
+        if self.num_vars() == 0 {
+            return Ok(None);
+        }
+        // Sample a modest number of validation scenarios across all candidate
+        // tuples to bound realized values (assumption A1 of Appendix B; the
+        // paper likewise derives possibly loose bounds from min/max scenario
+        // values).
+        let samples = 64.min(self.options.validation_scenarios.max(1));
+        let positions: Vec<usize> = (0..self.num_vars()).collect();
+        let rows = self.validation_rows(&column, &positions, 0..samples)?;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for row in &rows {
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo.is_finite() && hi.is_finite() {
+            Ok(Some((lo, hi)))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Derive per-tuple multiplicity upper bounds from `REPEAT`, `COUNT(*) <= u`
+/// constraints and deterministic budget constraints with positive
+/// coefficients; fall back to the configured bound otherwise.
+fn derive_multiplicity_bounds(
+    silp: &Silp,
+    det_values: &HashMap<String, Vec<f64>>,
+    options: &SpqOptions,
+) -> Vec<f64> {
+    let n = silp.num_vars();
+    let fallback = f64::from(options.fallback_multiplicity_bound);
+    let mut bounds = vec![match silp.repeat_bound {
+        Some(r) => f64::from(r),
+        None => f64::INFINITY,
+    }; n];
+
+    for c in &silp.constraints {
+        if c.kind.is_probabilistic() || c.sense != Sense::Le || c.rhs < 0.0 {
+            continue;
+        }
+        match &c.coeff {
+            CoeffSource::Constant(k) if *k > 0.0 => {
+                let b = (c.rhs / k).floor();
+                for bound in &mut bounds {
+                    *bound = bound.min(b);
+                }
+            }
+            CoeffSource::Deterministic(col) => {
+                if let Some(values) = det_values.get(col) {
+                    for (bound, &v) in bounds.iter_mut().zip(values) {
+                        if v > 0.0 {
+                            *bound = bound.min((c.rhs / v).floor());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for bound in &mut bounds {
+        if !bound.is_finite() {
+            *bound = fallback;
+        }
+        *bound = bound.max(0.0);
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silp::{ConstraintKind, Direction, SilpConstraint};
+    use spq_mcdb::vg::NormalNoise;
+    use spq_mcdb::RelationBuilder;
+
+    fn relation() -> Relation {
+        RelationBuilder::new("t")
+            .deterministic_f64("price", vec![100.0, 250.0, 50.0, 400.0])
+            .stochastic("gain", NormalNoise::around(vec![1.0, 2.0, 3.0, 4.0], 0.5))
+            .build()
+            .unwrap()
+    }
+
+    fn silp(constraints: Vec<SilpConstraint>) -> Silp {
+        Silp {
+            relation: "t".into(),
+            tuples: vec![0, 1, 2, 3],
+            repeat_bound: None,
+            constraints,
+            objective: SilpObjective::Linear {
+                direction: Direction::Maximize,
+                coeff: CoeffSource::Stochastic("gain".into()),
+                expectation: true,
+            },
+        }
+    }
+
+    fn budget_constraint(rhs: f64) -> SilpConstraint {
+        SilpConstraint {
+            name: "budget".into(),
+            coeff: CoeffSource::Deterministic("price".into()),
+            sense: Sense::Le,
+            rhs,
+            kind: ConstraintKind::Deterministic,
+        }
+    }
+
+    fn count_le(rhs: f64) -> SilpConstraint {
+        SilpConstraint {
+            name: "count".into(),
+            coeff: CoeffSource::Constant(1.0),
+            sense: Sense::Le,
+            rhs,
+            kind: ConstraintKind::Deterministic,
+        }
+    }
+
+    #[test]
+    fn coefficients_pick_the_right_source() {
+        let rel = relation();
+        let inst = Instance::new(&rel, silp(vec![budget_constraint(500.0)]), SpqOptions::for_tests())
+            .unwrap();
+        assert_eq!(
+            inst.coefficients(&CoeffSource::Deterministic("price".into())).unwrap(),
+            vec![100.0, 250.0, 50.0, 400.0]
+        );
+        assert_eq!(
+            inst.coefficients(&CoeffSource::Constant(2.0)).unwrap(),
+            vec![2.0; 4]
+        );
+        let means = inst
+            .coefficients(&CoeffSource::Stochastic("gain".into()))
+            .unwrap();
+        // Analytic means from NormalNoise.
+        assert_eq!(means, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn multiplicity_bounds_from_budget_and_count() {
+        let rel = relation();
+        let inst = Instance::new(
+            &rel,
+            silp(vec![budget_constraint(500.0), count_le(3.0)]),
+            SpqOptions::for_tests(),
+        )
+        .unwrap();
+        // Budget 500: price 100 -> 5, 250 -> 2, 50 -> 10, 400 -> 1; count <= 3
+        // tightens to min(., 3).
+        assert_eq!(inst.multiplicity_bounds(), &[3.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn fallback_multiplicity_bound_applies_without_constraints() {
+        let rel = relation();
+        let mut opts = SpqOptions::for_tests();
+        opts.fallback_multiplicity_bound = 17;
+        let inst = Instance::new(&rel, silp(vec![]), opts).unwrap();
+        assert_eq!(inst.multiplicity_bounds(), &[17.0; 4]);
+    }
+
+    #[test]
+    fn repeat_bound_is_respected() {
+        let rel = relation();
+        let mut s = silp(vec![count_le(50.0)]);
+        s.repeat_bound = Some(2);
+        let inst = Instance::new(&rel, s, SpqOptions::for_tests()).unwrap();
+        assert_eq!(inst.multiplicity_bounds(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn package_size_bounds_from_count_constraints() {
+        let rel = relation();
+        let mut constraints = vec![count_le(10.0)];
+        constraints.push(SilpConstraint {
+            name: "count_lo".into(),
+            coeff: CoeffSource::Constant(1.0),
+            sense: Sense::Ge,
+            rhs: 5.0,
+            kind: ConstraintKind::Deterministic,
+        });
+        let inst = Instance::new(&rel, silp(constraints), SpqOptions::for_tests()).unwrap();
+        assert_eq!(inst.package_size_bounds(), (5.0, 10.0));
+    }
+
+    #[test]
+    fn scenario_access_is_restricted_to_candidates() {
+        let rel = relation();
+        let mut s = silp(vec![count_le(3.0)]);
+        s.tuples = vec![1, 3];
+        let inst = Instance::new(&rel, s, SpqOptions::for_tests()).unwrap();
+        assert_eq!(inst.num_vars(), 2);
+        let matrix = inst.optimization_matrix("gain", 5).unwrap();
+        assert_eq!(matrix.num_scenarios(), 5);
+        assert_eq!(matrix.num_tuples(), 2);
+        let row = inst.optimization_scenario("gain", 2).unwrap();
+        assert_eq!(row.len(), 2);
+        assert_eq!(row[0], matrix.value(2, 0));
+        assert_eq!(row[1], matrix.value(2, 1));
+        // Validation rows differ from optimization rows (different stream).
+        let val = inst.validation_rows("gain", &[0, 1], 2..3).unwrap();
+        assert_ne!(val[0], row);
+    }
+
+    #[test]
+    fn objective_value_bounds_are_sampled_for_stochastic_objectives() {
+        let rel = relation();
+        let inst =
+            Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
+        let (lo, hi) = inst.objective_value_bounds().unwrap();
+        assert!(lo < hi);
+        // Gains are N(1..4, 0.5); sampled bounds should be within a broad
+        // plausible window.
+        assert!(lo > -5.0 && hi < 10.0);
+    }
+
+    #[test]
+    fn unknown_column_reports_internal_error() {
+        let rel = relation();
+        let inst =
+            Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
+        assert!(inst.expectations("nope").is_err());
+        assert!(inst.deterministic("nope").is_err());
+    }
+}

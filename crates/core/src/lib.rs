@@ -1,0 +1,76 @@
+//! # spq-core — the stochastic package query engine
+//!
+//! This crate implements the primary contribution of *"Stochastic Package
+//! Queries in Probabilistic Databases"* (SIGMOD 2020): in-database evaluation
+//! of package queries with stochastic constraints and objectives over a
+//! Monte Carlo probabilistic database.
+//!
+//! The pipeline is:
+//!
+//! 1. **Parse & bind** an sPaQL query ([`spq_spaql`]) against a Monte Carlo
+//!    relation ([`spq_mcdb`]).
+//! 2. **Translate** it into a stochastic integer linear program
+//!    ([`silp::Silp`], [`translate`]).
+//! 3. **Evaluate** it with one of two algorithms:
+//!    * [`naive`] — Algorithm 1, the SAA optimize/validate loop from the
+//!      stochastic-programming literature;
+//!    * [`summary_search`] — Algorithm 2, the paper's SummarySearch, which
+//!      replaces the `M` scenarios of the SAA with `Z ≪ M` conservative
+//!      *α-summaries* ([`summary`]), searches for minimally conservative
+//!      summaries with CSA-Solve ([`csa_solve`], [`alpha`]), and certifies
+//!      `(1 + ε)`-approximation via the bounds of [`bounds`].
+//! 4. **Validate** every candidate package out-of-sample ([`validate`]).
+//!
+//! The easiest entry point is [`SpqEngine`]:
+//!
+//! ```
+//! use spq_core::{Algorithm, SpqEngine, SpqOptions};
+//! use spq_mcdb::{RelationBuilder, vg::NormalNoise};
+//!
+//! let relation = RelationBuilder::new("stock_investments")
+//!     .deterministic_f64("price", vec![100.0, 100.0, 100.0])
+//!     .stochastic("Gain", NormalNoise::around(vec![5.0, 1.0, 0.3], vec![1.0, 0.3, 0.1]))
+//!     .build()
+//!     .unwrap();
+//! let engine = SpqEngine::new(SpqOptions::for_tests());
+//! let result = engine
+//!     .evaluate(
+//!         &relation,
+//!         "SELECT PACKAGE(*) FROM stock_investments \
+//!          SUCH THAT SUM(price) <= 200 AND \
+//!          SUM(Gain) >= -1 WITH PROBABILITY >= 0.9 \
+//!          MAXIMIZE EXPECTED SUM(Gain)",
+//!         spq_core::Algorithm::SummarySearch,
+//!     )
+//!     .unwrap();
+//! assert!(result.feasible);
+//! ```
+
+pub mod alpha;
+pub mod bounds;
+pub mod csa_solve;
+pub mod engine;
+pub mod error;
+pub mod instance;
+pub mod naive;
+pub mod options;
+pub mod package;
+pub mod saa;
+pub mod silp;
+pub mod summary;
+pub mod summary_search;
+pub mod summary_stream;
+pub mod translate;
+pub mod validate;
+
+pub use engine::{Algorithm, SpqEngine};
+pub use error::SpqError;
+pub use instance::Instance;
+pub use options::SpqOptions;
+pub use package::{EvaluationResult, EvaluationStats, Package};
+pub use silp::{CoeffSource, ConstraintKind, Direction, Silp, SilpConstraint, SilpObjective};
+pub use translate::translate;
+pub use validate::{validate, ValidationReport};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpqError>;

@@ -1,0 +1,136 @@
+//! Evaluation options shared by the Naïve and SummarySearch algorithms.
+
+use spq_solver::SolverOptions;
+use std::time::Duration;
+
+/// Tunable parameters of SPQ evaluation.
+///
+/// The defaults follow the paper's experimental setup (Section 6.1) scaled to
+/// the from-scratch solver substrate: `M = 100` initial optimization
+/// scenarios incremented by `m = 100`, one summary (`Z = 1`) incremented by
+/// one, and out-of-sample validation over `validation_scenarios` scenarios.
+#[derive(Debug, Clone)]
+pub struct SpqOptions {
+    /// Base random seed; optimization and validation streams are derived from
+    /// it but never overlap.
+    pub seed: u64,
+    /// Initial number of optimization scenarios (the paper's `M`).
+    pub initial_scenarios: usize,
+    /// Scenario increment per outer iteration (the paper's `m`).
+    pub scenario_increment: usize,
+    /// Give up once `M` exceeds this value without a feasible solution
+    /// (mirrors the paper's behaviour of declaring infeasibility at
+    /// `M = 1000` for TPC-H Q8).
+    pub max_scenarios: usize,
+    /// Number of out-of-sample validation scenarios (the paper's `M̂`,
+    /// 10⁶–10⁷ in the paper; smaller by default here for test speed).
+    pub validation_scenarios: usize,
+    /// Number of validation-stream scenarios averaged to estimate
+    /// expectations `E(t_i.A)` when no closed form exists.
+    pub expectation_scenarios: usize,
+    /// Initial number of summaries (the paper's `Z`).
+    pub initial_summaries: usize,
+    /// Summary increment (the paper's `z`).
+    pub summary_increment: usize,
+    /// User-specified approximation error bound `ε`. `f64::INFINITY` accepts
+    /// any feasible solution (feasibility-only termination).
+    pub epsilon: f64,
+    /// Options handed to the MILP solver for each (reduced) DILP.
+    pub solver: SolverOptions,
+    /// Total wall-clock budget for one query evaluation.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of CSA-Solve inner iterations per (M, Z) combination.
+    pub max_csa_iterations: usize,
+    /// Upper bound on any tuple's multiplicity when neither `REPEAT` nor the
+    /// constraints imply one (keeps big-M constants finite).
+    pub fallback_multiplicity_bound: u32,
+}
+
+impl Default for SpqOptions {
+    fn default() -> Self {
+        SpqOptions {
+            seed: 42,
+            initial_scenarios: 100,
+            scenario_increment: 100,
+            max_scenarios: 1000,
+            validation_scenarios: 10_000,
+            expectation_scenarios: 1000,
+            initial_summaries: 1,
+            summary_increment: 1,
+            epsilon: f64::INFINITY,
+            solver: SolverOptions::default(),
+            time_limit: Some(Duration::from_secs(600)),
+            max_csa_iterations: 15,
+            fallback_multiplicity_bound: 100,
+        }
+    }
+}
+
+impl SpqOptions {
+    /// A configuration suitable for unit tests: few scenarios, small budgets.
+    pub fn for_tests() -> Self {
+        SpqOptions {
+            seed: 7,
+            initial_scenarios: 20,
+            scenario_increment: 20,
+            max_scenarios: 100,
+            validation_scenarios: 1000,
+            expectation_scenarios: 300,
+            solver: SolverOptions::with_time_limit_secs(20),
+            time_limit: Some(Duration::from_secs(60)),
+            ..Default::default()
+        }
+    }
+
+    /// Set the seed, returning `self` for chaining.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the initial scenario count, returning `self` for chaining.
+    pub fn with_initial_scenarios(mut self, m: usize) -> Self {
+        self.initial_scenarios = m;
+        self
+    }
+
+    /// Set the initial summary count, returning `self` for chaining.
+    pub fn with_initial_summaries(mut self, z: usize) -> Self {
+        self.initial_summaries = z;
+        self
+    }
+
+    /// Set the validation scenario count, returning `self` for chaining.
+    pub fn with_validation_scenarios(mut self, m_hat: usize) -> Self {
+        self.validation_scenarios = m_hat;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let o = SpqOptions::default();
+        assert_eq!(o.initial_scenarios, 100);
+        assert_eq!(o.scenario_increment, 100);
+        assert_eq!(o.initial_summaries, 1);
+        assert_eq!(o.summary_increment, 1);
+        assert!(o.epsilon.is_infinite());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let o = SpqOptions::for_tests()
+            .with_seed(9)
+            .with_initial_scenarios(5)
+            .with_initial_summaries(2)
+            .with_validation_scenarios(50);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.initial_scenarios, 5);
+        assert_eq!(o.initial_summaries, 2);
+        assert_eq!(o.validation_scenarios, 50);
+    }
+}

@@ -1,0 +1,339 @@
+//! The stochastic integer linear program (SILP) representation.
+//!
+//! A stochastic package query is translated into a SILP (Section 2.3): one
+//! nonnegative integer decision variable per candidate tuple, linear
+//! constraints that are deterministic, expectations, or probabilistic, and a
+//! linear objective in canonical form (probability objectives are kept
+//! symbolic here and handled by epigraphic rewriting at formulation time).
+
+use serde::{Deserialize, Serialize};
+use spq_solver::Sense;
+
+/// Where the per-tuple coefficients of a constraint or objective come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoeffSource {
+    /// The same constant for every tuple (e.g. `COUNT(*)` uses 1).
+    Constant(f64),
+    /// A deterministic column of the relation.
+    Deterministic(String),
+    /// A stochastic column of the relation (a random variable per tuple).
+    Stochastic(String),
+}
+
+impl CoeffSource {
+    /// The referenced column name, if any.
+    pub fn column(&self) -> Option<&str> {
+        match self {
+            CoeffSource::Constant(_) => None,
+            CoeffSource::Deterministic(c) | CoeffSource::Stochastic(c) => Some(c),
+        }
+    }
+
+    /// True when the coefficients are random variables.
+    pub fn is_stochastic(&self) -> bool {
+        matches!(self, CoeffSource::Stochastic(_))
+    }
+}
+
+/// The nature of a SILP constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// `sum_i c_i x_i ⊙ v` with deterministic coefficients.
+    Deterministic,
+    /// `E[sum_i ξ_i x_i] ⊙ v`.
+    Expectation,
+    /// `Pr(sum_i ξ_i x_i ⊙ v) >= p` — a probabilistic (chance) constraint.
+    Probabilistic {
+        /// The probability bound `p`.
+        probability: f64,
+    },
+}
+
+impl ConstraintKind {
+    /// True for probabilistic constraints.
+    pub fn is_probabilistic(&self) -> bool {
+        matches!(self, ConstraintKind::Probabilistic { .. })
+    }
+}
+
+/// One SILP constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SilpConstraint {
+    /// Diagnostic name.
+    pub name: String,
+    /// Coefficient source for the inner function `sum_i coeff_i x_i`.
+    pub coeff: CoeffSource,
+    /// Inner comparison `⊙` (the paper restricts probabilistic inner
+    /// constraints to `<=` / `>=`).
+    pub sense: Sense,
+    /// The right-hand side `v`.
+    pub rhs: f64,
+    /// Deterministic, expectation, or probabilistic.
+    pub kind: ConstraintKind,
+}
+
+impl SilpConstraint {
+    /// The probability bound, for probabilistic constraints.
+    pub fn probability(&self) -> Option<f64> {
+        match self.kind {
+            ConstraintKind::Probabilistic { probability } => Some(probability),
+            _ => None,
+        }
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+impl Direction {
+    /// Convert to the solver's direction type.
+    pub fn to_solver(self) -> spq_solver::Direction {
+        match self {
+            Direction::Minimize => spq_solver::Direction::Minimize,
+            Direction::Maximize => spq_solver::Direction::Maximize,
+        }
+    }
+
+    /// `1.0` for minimization, `-1.0` for maximization (used to convert to a
+    /// canonical minimization sense).
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Minimize => 1.0,
+            Direction::Maximize => -1.0,
+        }
+    }
+}
+
+/// The SILP objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SilpObjective {
+    /// `min/max (E[]) sum_i coeff_i x_i`; when `expectation` is true and the
+    /// coefficients are stochastic the canonical form uses `E[ξ_i]`.
+    Linear {
+        /// Optimization direction.
+        direction: Direction,
+        /// Coefficient source.
+        coeff: CoeffSource,
+        /// Whether the objective is wrapped in an expectation.
+        expectation: bool,
+    },
+    /// `min/max Pr(sum_i ξ_i x_i ⊙ v)` — handled by epigraphic rewriting
+    /// (Section 2.3): in the SAA/CSA this becomes optimizing the fraction of
+    /// scenarios/summaries whose inner constraint holds.
+    Probability {
+        /// Optimization direction.
+        direction: Direction,
+        /// Stochastic column of the inner sum.
+        attribute: String,
+        /// Inner comparison.
+        sense: Sense,
+        /// Inner right-hand side.
+        threshold: f64,
+    },
+}
+
+impl SilpObjective {
+    /// The optimization direction.
+    pub fn direction(&self) -> Direction {
+        match self {
+            SilpObjective::Linear { direction, .. } | SilpObjective::Probability { direction, .. } => {
+                *direction
+            }
+        }
+    }
+
+    /// True for probability objectives.
+    pub fn is_probability(&self) -> bool {
+        matches!(self, SilpObjective::Probability { .. })
+    }
+
+    /// The stochastic/deterministic column the objective reads, if any.
+    pub fn column(&self) -> Option<&str> {
+        match self {
+            SilpObjective::Linear { coeff, .. } => coeff.column(),
+            SilpObjective::Probability { attribute, .. } => Some(attribute),
+        }
+    }
+}
+
+/// A stochastic integer linear program over the candidate tuples of a
+/// relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Silp {
+    /// Name of the underlying relation (diagnostics only).
+    pub relation: String,
+    /// Candidate tuple indices (into the relation) after `WHERE` filtering.
+    /// Decision variable `x_k` corresponds to tuple `tuples[k]`.
+    pub tuples: Vec<usize>,
+    /// Per-tuple multiplicity upper bound (`REPEAT l` gives `l + 1`);
+    /// `None` leaves the multiplicity bounded only by the constraints.
+    pub repeat_bound: Option<u32>,
+    /// The constraints.
+    pub constraints: Vec<SilpConstraint>,
+    /// The objective.
+    pub objective: SilpObjective,
+}
+
+impl Silp {
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The probabilistic constraints, in declaration order.
+    pub fn probabilistic_constraints(&self) -> Vec<&SilpConstraint> {
+        self.constraints
+            .iter()
+            .filter(|c| c.kind.is_probabilistic())
+            .collect()
+    }
+
+    /// The deterministic and expectation constraints.
+    pub fn non_probabilistic_constraints(&self) -> Vec<&SilpConstraint> {
+        self.constraints
+            .iter()
+            .filter(|c| !c.kind.is_probabilistic())
+            .collect()
+    }
+
+    /// A copy of this SILP with every probabilistic constraint removed — the
+    /// paper's `Q0`, used by SummarySearch to compute the least conservative
+    /// solution `x⁽⁰⁾`.
+    pub fn without_probabilistic_constraints(&self) -> Silp {
+        Silp {
+            constraints: self
+                .constraints
+                .iter()
+                .filter(|c| !c.kind.is_probabilistic())
+                .cloned()
+                .collect(),
+            ..self.clone()
+        }
+    }
+
+    /// All stochastic columns referenced by the SILP (constraints and
+    /// objective), deduplicated.
+    pub fn stochastic_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = Vec::new();
+        let mut push = |c: Option<&str>, stochastic: bool| {
+            if stochastic {
+                if let Some(c) = c {
+                    if !cols.iter().any(|existing| existing == c) {
+                        cols.push(c.to_string());
+                    }
+                }
+            }
+        };
+        for c in &self.constraints {
+            push(c.coeff.column(), c.coeff.is_stochastic());
+        }
+        match &self.objective {
+            SilpObjective::Linear { coeff, .. } => push(coeff.column(), coeff.is_stochastic()),
+            SilpObjective::Probability { attribute, .. } => push(Some(attribute), true),
+        }
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_silp() -> Silp {
+        Silp {
+            relation: "stock_investments".into(),
+            tuples: vec![0, 1, 2, 3],
+            repeat_bound: None,
+            constraints: vec![
+                SilpConstraint {
+                    name: "budget".into(),
+                    coeff: CoeffSource::Deterministic("price".into()),
+                    sense: Sense::Le,
+                    rhs: 1000.0,
+                    kind: ConstraintKind::Deterministic,
+                },
+                SilpConstraint {
+                    name: "var".into(),
+                    coeff: CoeffSource::Stochastic("Gain".into()),
+                    sense: Sense::Ge,
+                    rhs: -10.0,
+                    kind: ConstraintKind::Probabilistic { probability: 0.95 },
+                },
+            ],
+            objective: SilpObjective::Linear {
+                direction: Direction::Maximize,
+                coeff: CoeffSource::Stochastic("Gain".into()),
+                expectation: true,
+            },
+        }
+    }
+
+    #[test]
+    fn partitions_constraints_by_kind() {
+        let s = sample_silp();
+        assert_eq!(s.num_vars(), 4);
+        assert_eq!(s.probabilistic_constraints().len(), 1);
+        assert_eq!(s.non_probabilistic_constraints().len(), 1);
+        assert_eq!(s.probabilistic_constraints()[0].probability(), Some(0.95));
+        assert_eq!(s.non_probabilistic_constraints()[0].probability(), None);
+    }
+
+    #[test]
+    fn q0_removes_probabilistic_constraints() {
+        let s = sample_silp();
+        let q0 = s.without_probabilistic_constraints();
+        assert_eq!(q0.constraints.len(), 1);
+        assert!(!q0.constraints[0].kind.is_probabilistic());
+        assert_eq!(q0.tuples, s.tuples);
+        assert_eq!(q0.objective, s.objective);
+    }
+
+    #[test]
+    fn stochastic_columns_are_deduplicated() {
+        let s = sample_silp();
+        assert_eq!(s.stochastic_columns(), vec!["Gain".to_string()]);
+    }
+
+    #[test]
+    fn coeff_source_accessors() {
+        assert_eq!(CoeffSource::Constant(1.0).column(), None);
+        assert!(!CoeffSource::Constant(1.0).is_stochastic());
+        assert_eq!(
+            CoeffSource::Deterministic("price".into()).column(),
+            Some("price")
+        );
+        assert!(CoeffSource::Stochastic("gain".into()).is_stochastic());
+    }
+
+    #[test]
+    fn direction_helpers() {
+        assert_eq!(Direction::Minimize.sign(), 1.0);
+        assert_eq!(Direction::Maximize.sign(), -1.0);
+        assert_eq!(
+            Direction::Maximize.to_solver(),
+            spq_solver::Direction::Maximize
+        );
+    }
+
+    #[test]
+    fn objective_accessors() {
+        let s = sample_silp();
+        assert_eq!(s.objective.direction(), Direction::Maximize);
+        assert!(!s.objective.is_probability());
+        assert_eq!(s.objective.column(), Some("Gain"));
+        let p = SilpObjective::Probability {
+            direction: Direction::Maximize,
+            attribute: "Revenue".into(),
+            sense: Sense::Ge,
+            threshold: 1000.0,
+        };
+        assert!(p.is_probability());
+        assert_eq!(p.column(), Some("Revenue"));
+    }
+}

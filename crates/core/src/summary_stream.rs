@@ -1,0 +1,272 @@
+//! Memory-efficient summary generation (Section 5.5).
+//!
+//! Building an α-summary needs (1) the scenario scores of the previous
+//! solution, to pick `G_z(α)`, and (2) a tuple-wise min/max over the chosen
+//! scenarios. Keeping all `M` scenarios of all `N` tuples in memory costs
+//! `Θ(M·N·K)`; the paper describes two `Θ(N·Z·K)`-space alternatives that
+//! regenerate realizations on demand from the seeded VG functions:
+//!
+//! * **tuple-wise summarization** — generate all `M` realizations of one
+//!   tuple at a time; scoring only touches the tuples of the previous package
+//!   (`Θ(P·M)` work), while the aggregation touches every tuple (`Θ(N·M)`).
+//! * **scenario-wise summarization** — generate one scenario for all tuples
+//!   at a time; scoring costs `Θ(N·M)` but aggregation only regenerates the
+//!   `⌈α·M⌉` chosen scenarios (`Θ(α·N·M)`).
+//!
+//! Both produce bit-identical summaries (and agree with the in-memory path of
+//! [`crate::summary`]) because realizations are pure functions of
+//! `(seed, column, tuple, scenario)`.
+
+use crate::instance::Instance;
+use crate::summary::SummarySpec;
+use crate::Result;
+use spq_solver::Sense;
+
+/// Which generation order to use for memory-efficient summarization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryStrategy {
+    /// One tuple at a time (unique stream per tuple).
+    TupleWise,
+    /// One scenario at a time (unique stream per scenario).
+    ScenarioWise,
+}
+
+/// Scenario scores of the previous solution over the scenarios in `partition`
+/// (used to order `G_z(α)` greedily).
+fn scenario_scores(
+    instance: &Instance<'_>,
+    column: &str,
+    partition: &[usize],
+    prev: Option<&[f64]>,
+    strategy: SummaryStrategy,
+) -> Result<Vec<(f64, usize)>> {
+    let Some(prev) = prev else {
+        return Ok(partition.iter().map(|&j| (0.0, j)).collect());
+    };
+    let support: Vec<usize> = prev
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut scores = vec![0.0f64; partition.len()];
+    match strategy {
+        SummaryStrategy::TupleWise => {
+            // Θ(P·M): realize all partition scenarios for each support tuple.
+            for &i in &support {
+                for (pos, &j) in partition.iter().enumerate() {
+                    let column_values = instance.optimization_scenario_cell(column, i, j)?;
+                    scores[pos] += column_values * prev[i];
+                }
+            }
+        }
+        SummaryStrategy::ScenarioWise => {
+            // Θ(N·M): realize whole scenarios and pick the support positions.
+            for (pos, &j) in partition.iter().enumerate() {
+                let row = instance.optimization_scenario(column, j)?;
+                scores[pos] = support.iter().map(|&i| row[i] * prev[i]).sum();
+            }
+        }
+    }
+    Ok(scores
+        .into_iter()
+        .zip(partition.iter().copied())
+        .collect())
+}
+
+/// Build the α-summary of one partition without materializing the full
+/// `M × N` scenario matrix.
+pub fn summarize_partition_streaming(
+    instance: &Instance<'_>,
+    column: &str,
+    partition: &[usize],
+    spec: &SummarySpec<'_>,
+    strategy: SummaryStrategy,
+) -> Result<Vec<f64>> {
+    let n = instance.num_vars();
+    if partition.is_empty() || n == 0 {
+        return Ok(vec![0.0; n]);
+    }
+    // --- G_z(α) selection by scenario score. -------------------------------
+    let mut scored = scenario_scores(instance, column, partition, spec.previous_solution, strategy)?;
+    if spec.previous_solution.is_some() {
+        if spec.sense == Sense::Ge {
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        } else {
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        }
+    }
+    let count = ((spec.alpha * partition.len() as f64).ceil() as usize).clamp(1, partition.len());
+    let chosen: Vec<usize> = scored.into_iter().take(count).map(|(_, j)| j).collect();
+
+    // --- Tuple-wise aggregation over the chosen scenarios. -----------------
+    let conservative_is_min = spec.sense == Sense::Ge;
+    let mut summary = vec![
+        if conservative_is_min {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
+        n
+    ];
+    let mut anti = vec![
+        if conservative_is_min {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        n
+    ];
+    match strategy {
+        SummaryStrategy::ScenarioWise => {
+            for &j in &chosen {
+                let row = instance.optimization_scenario(column, j)?;
+                for i in 0..n {
+                    if conservative_is_min {
+                        summary[i] = summary[i].min(row[i]);
+                        anti[i] = anti[i].max(row[i]);
+                    } else {
+                        summary[i] = summary[i].max(row[i]);
+                        anti[i] = anti[i].min(row[i]);
+                    }
+                }
+            }
+        }
+        SummaryStrategy::TupleWise => {
+            for i in 0..n {
+                for &j in &chosen {
+                    let v = instance.optimization_scenario_cell(column, i, j)?;
+                    if conservative_is_min {
+                        summary[i] = summary[i].min(v);
+                        anti[i] = anti[i].max(v);
+                    } else {
+                        summary[i] = summary[i].max(v);
+                        anti[i] = anti[i].min(v);
+                    }
+                }
+            }
+        }
+    }
+    if spec.accelerate {
+        if let Some(prev) = spec.previous_solution {
+            for i in 0..n {
+                if prev.get(i).copied().unwrap_or(0.0) > 0.0 {
+                    summary[i] = anti[i];
+                }
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::SpqOptions;
+    use crate::silp::{CoeffSource, ConstraintKind, Direction, Silp, SilpConstraint, SilpObjective};
+    use crate::summary::{partition_scenarios, summarize_partition};
+    use spq_mcdb::vg::NormalNoise;
+    use spq_mcdb::RelationBuilder;
+
+    fn instance_fixture() -> (spq_mcdb::Relation, Silp) {
+        let rel = RelationBuilder::new("t")
+            .deterministic_f64("price", vec![10.0; 6])
+            .stochastic("gain", NormalNoise::around(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 1.5))
+            .build()
+            .unwrap();
+        let silp = Silp {
+            relation: "t".into(),
+            tuples: (0..6).collect(),
+            repeat_bound: None,
+            constraints: vec![SilpConstraint {
+                name: "risk".into(),
+                coeff: CoeffSource::Stochastic("gain".into()),
+                sense: spq_solver::Sense::Ge,
+                rhs: 0.0,
+                kind: ConstraintKind::Probabilistic { probability: 0.9 },
+            }],
+            objective: SilpObjective::Linear {
+                direction: Direction::Maximize,
+                coeff: CoeffSource::Stochastic("gain".into()),
+                expectation: true,
+            },
+        };
+        (rel, silp)
+    }
+
+    #[test]
+    fn streaming_strategies_agree_with_the_in_memory_path() {
+        let (rel, silp) = instance_fixture();
+        let instance = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
+        let m = 12;
+        let matrix = instance.optimization_matrix("gain", m).unwrap();
+        let partitions = partition_scenarios(m, 3);
+        let prev = vec![0.0, 1.0, 0.0, 2.0, 0.0, 0.0];
+        for sense in [Sense::Ge, Sense::Le] {
+            for accelerate in [false, true] {
+                let spec = SummarySpec {
+                    alpha: 0.6,
+                    sense,
+                    previous_solution: Some(&prev),
+                    accelerate,
+                };
+                for partition in &partitions {
+                    let reference = summarize_partition(&matrix, partition, &spec);
+                    for strategy in [SummaryStrategy::TupleWise, SummaryStrategy::ScenarioWise] {
+                        let streamed = summarize_partition_streaming(
+                            &instance, "gain", partition, &spec, strategy,
+                        )
+                        .unwrap();
+                        assert_eq!(streamed, reference, "{sense:?} {strategy:?} accel={accelerate}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_without_previous_solution_uses_partition_order() {
+        let (rel, silp) = instance_fixture();
+        let instance = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
+        let m = 8;
+        let matrix = instance.optimization_matrix("gain", m).unwrap();
+        let partition: Vec<usize> = (0..m).collect();
+        let spec = SummarySpec {
+            alpha: 0.5,
+            sense: Sense::Ge,
+            previous_solution: None,
+            accelerate: false,
+        };
+        let reference = summarize_partition(&matrix, &partition, &spec);
+        let streamed = summarize_partition_streaming(
+            &instance,
+            "gain",
+            &partition,
+            &spec,
+            SummaryStrategy::ScenarioWise,
+        )
+        .unwrap();
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn empty_partition_yields_zero_summary() {
+        let (rel, silp) = instance_fixture();
+        let instance = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
+        let spec = SummarySpec {
+            alpha: 0.5,
+            sense: Sense::Ge,
+            previous_solution: None,
+            accelerate: false,
+        };
+        let s = summarize_partition_streaming(
+            &instance,
+            "gain",
+            &[],
+            &spec,
+            SummaryStrategy::TupleWise,
+        )
+        .unwrap();
+        assert_eq!(s, vec![0.0; 6]);
+    }
+}

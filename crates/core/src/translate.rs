@@ -1,0 +1,311 @@
+//! Translation of bound sPaQL queries into SILPs.
+
+use crate::error::SpqError;
+use crate::silp::{CoeffSource, ConstraintKind, Direction, Silp, SilpConstraint, SilpObjective};
+use crate::Result;
+use spq_mcdb::Relation;
+use spq_solver::Sense;
+use spq_spaql::{AggExpr, BoundQuery, CompareOp, ConstraintExpr, ObjectiveExpr, ObjectiveSense};
+
+fn sense_from(op: CompareOp) -> Result<Sense> {
+    Ok(match op {
+        CompareOp::Le | CompareOp::Lt => Sense::Le,
+        CompareOp::Ge | CompareOp::Gt => Sense::Ge,
+        CompareOp::Eq => Sense::Eq,
+        CompareOp::Ne => {
+            return Err(SpqError::Unsupported(
+                "`<>` comparisons are not supported in package constraints".into(),
+            ))
+        }
+    })
+}
+
+fn coeff_for(relation: &Relation, agg: &AggExpr) -> CoeffSource {
+    match agg {
+        AggExpr::Count => CoeffSource::Constant(1.0),
+        AggExpr::Sum { attribute } => {
+            if relation.is_stochastic(attribute) {
+                CoeffSource::Stochastic(attribute.clone())
+            } else {
+                CoeffSource::Deterministic(attribute.clone())
+            }
+        }
+    }
+}
+
+/// Translate a bound query into a SILP over the candidate tuples.
+///
+/// Probabilistic constraints with a `<= p` probability bound are rewritten to
+/// the canonical `>= 1 - p` form by flipping the inner inequality
+/// (Section 2.3). `BETWEEN` constraints become a pair of inequalities.
+pub fn translate(bound: &BoundQuery, relation: &Relation) -> Result<Silp> {
+    let query = &bound.query;
+    let mut constraints = Vec::new();
+
+    for (idx, c) in query.constraints.iter().enumerate() {
+        match c {
+            ConstraintExpr::Deterministic { agg, op, value } => {
+                constraints.push(SilpConstraint {
+                    name: format!("c{idx}_det"),
+                    coeff: coeff_for(relation, agg),
+                    sense: sense_from(*op)?,
+                    rhs: *value,
+                    kind: ConstraintKind::Deterministic,
+                });
+            }
+            ConstraintExpr::Between { agg, low, high } => {
+                let coeff = coeff_for(relation, agg);
+                constraints.push(SilpConstraint {
+                    name: format!("c{idx}_lo"),
+                    coeff: coeff.clone(),
+                    sense: Sense::Ge,
+                    rhs: *low,
+                    kind: ConstraintKind::Deterministic,
+                });
+                constraints.push(SilpConstraint {
+                    name: format!("c{idx}_hi"),
+                    coeff,
+                    sense: Sense::Le,
+                    rhs: *high,
+                    kind: ConstraintKind::Deterministic,
+                });
+            }
+            ConstraintExpr::Expected { agg, op, value } => {
+                constraints.push(SilpConstraint {
+                    name: format!("c{idx}_exp"),
+                    coeff: coeff_for(relation, agg),
+                    sense: sense_from(*op)?,
+                    rhs: *value,
+                    kind: ConstraintKind::Expectation,
+                });
+            }
+            ConstraintExpr::Probabilistic {
+                agg,
+                op,
+                value,
+                prob_op,
+                probability,
+            } => {
+                let mut sense = sense_from(*op)?;
+                if sense == Sense::Eq {
+                    return Err(SpqError::Unsupported(
+                        "probabilistic constraints require an inequality inner constraint".into(),
+                    ));
+                }
+                let mut p = *probability;
+                // Pr(inner) <= p  <=>  Pr(flipped inner) >= 1 - p.
+                if matches!(prob_op, CompareOp::Le | CompareOp::Lt) {
+                    sense = sense.flip();
+                    p = 1.0 - p;
+                }
+                constraints.push(SilpConstraint {
+                    name: format!("c{idx}_prob"),
+                    coeff: coeff_for(relation, agg),
+                    sense,
+                    rhs: *value,
+                    kind: ConstraintKind::Probabilistic { probability: p },
+                });
+            }
+        }
+    }
+
+    let objective = match &query.objective {
+        None => SilpObjective::Linear {
+            // With no objective, any feasible package will do; minimize the
+            // package size so the solver prefers small packages.
+            direction: Direction::Minimize,
+            coeff: CoeffSource::Constant(1.0),
+            expectation: false,
+        },
+        Some(obj) => {
+            let direction = match obj.sense {
+                ObjectiveSense::Maximize => Direction::Maximize,
+                ObjectiveSense::Minimize => Direction::Minimize,
+            };
+            match &obj.expr {
+                ObjectiveExpr::ExpectedSum { attribute } => SilpObjective::Linear {
+                    direction,
+                    coeff: if relation.is_stochastic(attribute) {
+                        CoeffSource::Stochastic(attribute.clone())
+                    } else {
+                        CoeffSource::Deterministic(attribute.clone())
+                    },
+                    expectation: true,
+                },
+                ObjectiveExpr::Sum { attribute } => SilpObjective::Linear {
+                    direction,
+                    coeff: CoeffSource::Deterministic(attribute.clone()),
+                    expectation: false,
+                },
+                ObjectiveExpr::Count => SilpObjective::Linear {
+                    direction,
+                    coeff: CoeffSource::Constant(1.0),
+                    expectation: false,
+                },
+                ObjectiveExpr::ProbabilityOf {
+                    attribute,
+                    op,
+                    value,
+                } => SilpObjective::Probability {
+                    direction,
+                    attribute: attribute.clone(),
+                    sense: sense_from(*op)?,
+                    threshold: *value,
+                },
+            }
+        }
+    };
+
+    Ok(Silp {
+        relation: query.table.clone(),
+        tuples: bound.candidate_tuples.clone(),
+        repeat_bound: query.repeat.map(|l| l + 1),
+        constraints,
+        objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_mcdb::vg::NormalNoise;
+    use spq_mcdb::RelationBuilder;
+    use spq_spaql::{bind, parse};
+
+    fn relation() -> Relation {
+        RelationBuilder::new("t")
+            .deterministic_f64("price", vec![10.0, 20.0, 30.0])
+            .deterministic_text("kind", vec!["a", "b", "a"])
+            .stochastic("gain", NormalNoise::around(vec![1.0, 2.0, 3.0], 1.0))
+            .stochastic("loss", NormalNoise::around(vec![0.5, 0.5, 0.5], 1.0))
+            .build()
+            .unwrap()
+    }
+
+    fn silp_for(q: &str) -> Silp {
+        let rel = relation();
+        let parsed = parse(q).unwrap();
+        let bound = bind(&parsed, &rel).unwrap();
+        translate(&bound, &rel).unwrap()
+    }
+
+    #[test]
+    fn figure_1_style_query() {
+        let s = silp_for(
+            "SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) <= 1000 AND \
+             SUM(gain) >= -10 WITH PROBABILITY >= 0.95 MAXIMIZE EXPECTED SUM(gain)",
+        );
+        assert_eq!(s.tuples, vec![0, 1, 2]);
+        assert_eq!(s.constraints.len(), 2);
+        assert_eq!(s.constraints[0].kind, ConstraintKind::Deterministic);
+        assert_eq!(s.constraints[0].coeff, CoeffSource::Deterministic("price".into()));
+        assert_eq!(
+            s.constraints[1].kind,
+            ConstraintKind::Probabilistic { probability: 0.95 }
+        );
+        assert_eq!(s.constraints[1].sense, Sense::Ge);
+        match &s.objective {
+            SilpObjective::Linear {
+                direction,
+                coeff,
+                expectation,
+            } => {
+                assert_eq!(*direction, Direction::Maximize);
+                assert_eq!(*coeff, CoeffSource::Stochastic("gain".into()));
+                assert!(expectation);
+            }
+            other => panic!("unexpected objective {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_becomes_two_constraints() {
+        let s = silp_for(
+            "SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) BETWEEN 2 AND 5 MINIMIZE COUNT(*)",
+        );
+        assert_eq!(s.constraints.len(), 2);
+        assert_eq!(s.constraints[0].sense, Sense::Ge);
+        assert_eq!(s.constraints[0].rhs, 2.0);
+        assert_eq!(s.constraints[1].sense, Sense::Le);
+        assert_eq!(s.constraints[1].rhs, 5.0);
+        assert_eq!(s.constraints[0].coeff, CoeffSource::Constant(1.0));
+    }
+
+    #[test]
+    fn le_probability_bound_is_rewritten() {
+        let s = silp_for(
+            "SELECT PACKAGE(*) FROM t SUCH THAT SUM(gain) >= 0 WITH PROBABILITY <= 0.1 \
+             MINIMIZE COUNT(*)",
+        );
+        let c = &s.constraints[0];
+        // Pr(sum >= 0) <= 0.1 becomes Pr(sum <= 0) >= 0.9.
+        assert_eq!(c.sense, Sense::Le);
+        assert_eq!(
+            c.kind,
+            ConstraintKind::Probabilistic { probability: 0.9 }
+        );
+    }
+
+    #[test]
+    fn repeat_bound_and_where_filtering() {
+        let rel = relation();
+        let parsed = parse(
+            "SELECT PACKAGE(*) FROM t REPEAT 2 WHERE kind = 'a' SUCH THAT COUNT(*) <= 3 \
+             MAXIMIZE EXPECTED SUM(gain)",
+        )
+        .unwrap();
+        let bound = bind(&parsed, &rel).unwrap();
+        let s = translate(&bound, &rel).unwrap();
+        assert_eq!(s.repeat_bound, Some(3));
+        assert_eq!(s.tuples, vec![0, 2]);
+    }
+
+    #[test]
+    fn probability_objective() {
+        let s = silp_for(
+            "SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) <= 5 \
+             MAXIMIZE PROBABILITY OF SUM(gain) >= 3",
+        );
+        match &s.objective {
+            SilpObjective::Probability {
+                direction,
+                attribute,
+                sense,
+                threshold,
+            } => {
+                assert_eq!(*direction, Direction::Maximize);
+                assert_eq!(attribute, "gain");
+                assert_eq!(*sense, Sense::Ge);
+                assert_eq!(*threshold, 3.0);
+            }
+            other => panic!("unexpected objective {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_objective_defaults_to_minimal_package() {
+        let s = silp_for("SELECT PACKAGE(*) FROM t SUCH THAT EXPECTED SUM(gain) >= 2");
+        match &s.objective {
+            SilpObjective::Linear {
+                direction, coeff, ..
+            } => {
+                assert_eq!(*direction, Direction::Minimize);
+                assert_eq!(*coeff, CoeffSource::Constant(1.0));
+            }
+            other => panic!("unexpected objective {other:?}"),
+        }
+        assert_eq!(s.constraints[0].kind, ConstraintKind::Expectation);
+    }
+
+    #[test]
+    fn expected_constraint_on_deterministic_column() {
+        let s = silp_for(
+            "SELECT PACKAGE(*) FROM t SUCH THAT EXPECTED SUM(price) <= 100 MINIMIZE COUNT(*)",
+        );
+        assert_eq!(s.constraints[0].kind, ConstraintKind::Expectation);
+        assert_eq!(
+            s.constraints[0].coeff,
+            CoeffSource::Deterministic("price".into())
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for the Monte Carlo database substrate.
+
+use std::fmt;
+
+/// Errors raised while building relations or generating scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McdbError {
+    /// A referenced column does not exist in the relation.
+    UnknownColumn(String),
+    /// A column with the same name was defined twice.
+    DuplicateColumn(String),
+    /// Column lengths within a relation disagree.
+    LengthMismatch {
+        /// Column whose length disagrees with the relation cardinality.
+        column: String,
+        /// Length of the offending column.
+        expected: usize,
+        /// Relation cardinality established by earlier columns.
+        actual: usize,
+    },
+    /// The operation requires a stochastic column but a deterministic one was given.
+    NotStochastic(String),
+    /// The operation requires a deterministic column but a stochastic one was given.
+    NotDeterministic(String),
+    /// A VG function was configured with invalid parameters.
+    InvalidVgParameter {
+        /// Name of the VG function.
+        vg: &'static str,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A tuple index is out of bounds.
+    TupleOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Relation cardinality.
+        len: usize,
+    },
+    /// A value could not be interpreted as a number.
+    NotNumeric(String),
+}
+
+impl fmt::Display for McdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McdbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            McdbError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            McdbError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column `{column}` has {expected} values but the relation has {actual} tuples"
+            ),
+            McdbError::NotStochastic(c) => write!(f, "column `{c}` is not stochastic"),
+            McdbError::NotDeterministic(c) => write!(f, "column `{c}` is not deterministic"),
+            McdbError::InvalidVgParameter { vg, message } => {
+                write!(f, "invalid parameter for VG function {vg}: {message}")
+            }
+            McdbError::TupleOutOfBounds { index, len } => {
+                write!(f, "tuple index {index} out of bounds for relation of size {len}")
+            }
+            McdbError::NotNumeric(c) => write!(f, "column `{c}` contains non-numeric values"),
+        }
+    }
+}
+
+impl std::error::Error for McdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_column() {
+        let e = McdbError::UnknownColumn("gain".into());
+        assert!(e.to_string().contains("gain"));
+        let e = McdbError::LengthMismatch {
+            column: "price".into(),
+            expected: 3,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("price"));
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            McdbError::NotStochastic("a".into()),
+            McdbError::NotStochastic("a".into())
+        );
+        assert_ne!(
+            McdbError::NotStochastic("a".into()),
+            McdbError::NotDeterministic("a".into())
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # spq-mcdb — Monte Carlo probabilistic database substrate
+//!
+//! This crate implements the Monte Carlo data model used by stochastic
+//! package queries (SPQs), following the MCDB/SimSQL approach referenced by
+//! the paper: uncertain attribute values are modeled as random variables
+//! whose realizations are produced by *variable generation (VG) functions*.
+//! A *scenario* is a deterministic realization of every random variable in a
+//! relation; scenarios are mutually independent and identically distributed.
+//!
+//! The main types are:
+//!
+//! * [`Relation`] — an in-memory relation with deterministic columns
+//!   ([`Value`]-typed) and stochastic columns backed by [`VgFunction`]s.
+//! * [`Schema`] / [`ColumnDef`] — column metadata.
+//! * [`vg`] — the VG function implementations (Gaussian, Pareto, uniform,
+//!   exponential, Poisson, Student's t, geometric Brownian motion, discrete
+//!   source mixtures for data-integration uncertainty).
+//! * [`ScenarioGenerator`] — seeded generation of scenarios, supporting both
+//!   *tuple-wise* and *scenario-wise* generation orders (Section 5.5 of the
+//!   paper) that produce bit-identical realizations.
+//! * [`ExpectationEstimator`] — streaming estimation of per-tuple expected
+//!   values over a large out-of-sample scenario set.
+//!
+//! ```
+//! use spq_mcdb::{RelationBuilder, vg::NormalNoise, ScenarioGenerator};
+//!
+//! let relation = RelationBuilder::new("sensors")
+//!     .deterministic_f64("base", vec![10.0, 20.0, 30.0])
+//!     .stochastic("reading", NormalNoise::around(vec![10.0, 20.0, 30.0], 1.0))
+//!     .build()
+//!     .unwrap();
+//! let gen = ScenarioGenerator::new(42);
+//! let scenario = gen.realize_column(&relation, "reading", 0).unwrap();
+//! assert_eq!(scenario.values.len(), 3);
+//! ```
+
+pub mod error;
+pub mod expectation;
+pub mod relation;
+pub mod scenario;
+pub mod schema;
+pub mod seed;
+pub mod value;
+pub mod vg;
+
+pub use error::McdbError;
+pub use expectation::ExpectationEstimator;
+pub use relation::{Relation, RelationBuilder, StochasticColumn};
+pub use scenario::{Scenario, ScenarioGenerator, ScenarioMatrix};
+pub use schema::{ColumnDef, ColumnKind, Schema};
+pub use value::Value;
+pub use vg::VgFunction;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, McdbError>;

@@ -1,0 +1,370 @@
+//! In-memory Monte Carlo relations.
+
+use crate::error::McdbError;
+use crate::schema::{ColumnDef, Schema};
+use crate::seed::column_tag;
+use crate::value::Value;
+use crate::vg::VgFunction;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A stochastic column: a name plus the VG function that realizes it.
+pub struct StochasticColumn {
+    /// Column name.
+    pub name: String,
+    /// VG function producing realizations.
+    pub vg: Arc<dyn VgFunction>,
+    /// Precomputed stable tag used for seeding.
+    pub tag: u64,
+}
+
+impl std::fmt::Debug for StochasticColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StochasticColumn")
+            .field("name", &self.name)
+            .field("vg", &self.vg.name())
+            .finish()
+    }
+}
+
+/// An in-memory relation in the Monte Carlo data model: deterministic columns
+/// are fully materialized, stochastic columns are described by VG functions
+/// and realized on demand per scenario.
+#[derive(Debug)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    n_rows: usize,
+    det_columns: HashMap<String, Vec<Value>>,
+    stoch_columns: HashMap<String, StochasticColumn>,
+}
+
+impl Relation {
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples (identical across scenarios, per the Monte Carlo
+    /// model's deterministic-key assumption).
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    fn canonical_name(&self, name: &str) -> Result<String> {
+        self.schema
+            .column(name)
+            .map(|c| c.name.clone())
+            .ok_or_else(|| McdbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Access a deterministic column's values.
+    pub fn deterministic_column(&self, name: &str) -> Result<&[Value]> {
+        let canon = self.canonical_name(name)?;
+        self.det_columns
+            .get(&canon)
+            .map(Vec::as_slice)
+            .ok_or(McdbError::NotDeterministic(canon))
+    }
+
+    /// Access a deterministic column as floats; errors if any value is
+    /// non-numeric.
+    pub fn deterministic_f64(&self, name: &str) -> Result<Vec<f64>> {
+        let values = self.deterministic_column(name)?;
+        values
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| McdbError::NotNumeric(name.to_string())))
+            .collect()
+    }
+
+    /// Access a single deterministic cell.
+    pub fn value(&self, column: &str, tuple: usize) -> Result<&Value> {
+        if tuple >= self.n_rows {
+            return Err(McdbError::TupleOutOfBounds {
+                index: tuple,
+                len: self.n_rows,
+            });
+        }
+        Ok(&self.deterministic_column(column)?[tuple])
+    }
+
+    /// Access a stochastic column descriptor.
+    pub fn stochastic_column(&self, name: &str) -> Result<&StochasticColumn> {
+        let canon = self.canonical_name(name)?;
+        self.stoch_columns
+            .get(&canon)
+            .ok_or(McdbError::NotStochastic(canon))
+    }
+
+    /// True when the column exists and is stochastic.
+    pub fn is_stochastic(&self, name: &str) -> bool {
+        self.schema
+            .column(name)
+            .map(ColumnDef::is_stochastic)
+            .unwrap_or(false)
+    }
+
+    /// Names of the stochastic columns.
+    pub fn stochastic_column_names(&self) -> Vec<&str> {
+        self.schema.stochastic_columns()
+    }
+
+    /// Analytic per-tuple mean of a stochastic column when every tuple has a
+    /// closed-form mean, otherwise `None`.
+    pub fn analytic_means(&self, column: &str) -> Result<Option<Vec<f64>>> {
+        let sc = self.stochastic_column(column)?;
+        let mut means = Vec::with_capacity(self.n_rows);
+        for i in 0..self.n_rows {
+            match sc.vg.mean(i) {
+                Some(m) => means.push(m),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(means))
+    }
+}
+
+/// Builder for [`Relation`]s.
+///
+/// ```
+/// use spq_mcdb::{RelationBuilder, vg::Degenerate, Value};
+/// let rel = RelationBuilder::new("t")
+///     .deterministic("name", vec![Value::from("a"), Value::from("b")])
+///     .deterministic_f64("price", vec![10.0, 20.0])
+///     .stochastic("gain", Degenerate::new(vec![1.0, 2.0]))
+///     .build()
+///     .unwrap();
+/// assert_eq!(rel.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct RelationBuilder {
+    name: String,
+    schema: Schema,
+    det_columns: HashMap<String, Vec<Value>>,
+    stoch_columns: HashMap<String, StochasticColumn>,
+    error: Option<McdbError>,
+}
+
+impl RelationBuilder {
+    /// Start a relation with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    fn record_error(&mut self, e: McdbError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn check_duplicate(&mut self, name: &str) -> bool {
+        if self.schema.contains(name) {
+            self.record_error(McdbError::DuplicateColumn(name.to_string()));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Add a deterministic column of arbitrary values.
+    pub fn deterministic(mut self, name: impl Into<String>, values: Vec<Value>) -> Self {
+        let name = name.into();
+        if self.check_duplicate(&name) {
+            return self;
+        }
+        self.schema.push(ColumnDef::deterministic(name.clone()));
+        self.det_columns.insert(name, values);
+        self
+    }
+
+    /// Add a deterministic numeric column.
+    pub fn deterministic_f64(self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.deterministic(name, values.into_iter().map(Value::Float).collect())
+    }
+
+    /// Add a deterministic integer column.
+    pub fn deterministic_i64(self, name: impl Into<String>, values: Vec<i64>) -> Self {
+        self.deterministic(name, values.into_iter().map(Value::Int).collect())
+    }
+
+    /// Add a deterministic text column.
+    pub fn deterministic_text<S: Into<String>>(
+        self,
+        name: impl Into<String>,
+        values: Vec<S>,
+    ) -> Self {
+        self.deterministic(
+            name,
+            values.into_iter().map(|s| Value::Text(s.into())).collect(),
+        )
+    }
+
+    /// Add a stochastic column backed by a VG function.
+    pub fn stochastic(self, name: impl Into<String>, vg: impl VgFunction + 'static) -> Self {
+        self.stochastic_arc(name, Arc::new(vg))
+    }
+
+    /// Add a stochastic column backed by a shared VG function.
+    pub fn stochastic_arc(mut self, name: impl Into<String>, vg: Arc<dyn VgFunction>) -> Self {
+        let name = name.into();
+        if self.check_duplicate(&name) {
+            return self;
+        }
+        if let Err(e) = vg.validate() {
+            self.record_error(e);
+        }
+        self.schema.push(ColumnDef::stochastic(name.clone()));
+        let tag = column_tag(&name);
+        self.stoch_columns
+            .insert(name.clone(), StochasticColumn { name, vg, tag });
+        self
+    }
+
+    /// Finalize the relation, checking that all columns agree on cardinality.
+    pub fn build(self) -> Result<Relation> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut n_rows: Option<usize> = None;
+        let mut check = |column: &str, len: usize| -> Result<()> {
+            match n_rows {
+                None => {
+                    n_rows = Some(len);
+                    Ok(())
+                }
+                Some(n) if n == len => Ok(()),
+                Some(n) => Err(McdbError::LengthMismatch {
+                    column: column.to_string(),
+                    expected: len,
+                    actual: n,
+                }),
+            }
+        };
+        for def in self.schema.columns() {
+            if def.is_stochastic() {
+                let len = self.stoch_columns[&def.name].vg.len();
+                check(&def.name, len)?;
+            } else {
+                let len = self.det_columns[&def.name].len();
+                check(&def.name, len)?;
+            }
+        }
+        Ok(Relation {
+            name: self.name,
+            schema: self.schema,
+            n_rows: n_rows.unwrap_or(0),
+            det_columns: self.det_columns,
+            stoch_columns: self.stoch_columns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vg::{Degenerate, NormalNoise};
+
+    fn portfolio() -> Relation {
+        RelationBuilder::new("stock_investments")
+            .deterministic_i64("id", vec![1, 2, 3])
+            .deterministic_text("stock", vec!["AAPL", "MSFT", "TSLA"])
+            .deterministic_f64("price", vec![234.0, 140.0, 258.0])
+            .stochastic("Gain", NormalNoise::around(vec![0.0, 0.0, 0.0], 1.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_mixed_relation() {
+        let r = portfolio();
+        assert_eq!(r.name(), "stock_investments");
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.schema().len(), 4);
+        assert!(r.is_stochastic("gain"));
+        assert!(!r.is_stochastic("price"));
+        assert!(!r.is_stochastic("nope"));
+        assert_eq!(r.stochastic_column_names(), vec!["Gain"]);
+    }
+
+    #[test]
+    fn deterministic_access_and_numeric_conversion() {
+        let r = portfolio();
+        assert_eq!(r.deterministic_f64("price").unwrap(), vec![234.0, 140.0, 258.0]);
+        assert_eq!(r.value("stock", 1).unwrap().as_str(), Some("MSFT"));
+        assert!(r.deterministic_f64("stock").is_err());
+        assert!(r.value("price", 9).is_err());
+        assert!(r.deterministic_column("Gain").is_err());
+        assert!(r.deterministic_column("missing").is_err());
+    }
+
+    #[test]
+    fn stochastic_access() {
+        let r = portfolio();
+        let sc = r.stochastic_column("GAIN").unwrap();
+        assert_eq!(sc.vg.name(), "normal-noise");
+        assert!(r.stochastic_column("price").is_err());
+        let means = r.analytic_means("Gain").unwrap().unwrap();
+        assert_eq!(means, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn analytic_means_none_when_not_closed_form() {
+        use crate::vg::ParetoNoise;
+        let r = RelationBuilder::new("t")
+            .stochastic("x", ParetoNoise::around(vec![0.0, 0.0], 1.0, 1.0))
+            .build()
+            .unwrap();
+        assert_eq!(r.analytic_means("x").unwrap(), None);
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let err = RelationBuilder::new("t")
+            .deterministic_f64("a", vec![1.0, 2.0])
+            .stochastic("b", Degenerate::new(vec![1.0]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, McdbError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_column_is_rejected() {
+        let err = RelationBuilder::new("t")
+            .deterministic_f64("a", vec![1.0])
+            .deterministic_f64("a", vec![2.0])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, McdbError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn invalid_vg_is_rejected_at_build_time() {
+        let err = RelationBuilder::new("t")
+            .stochastic("x", NormalNoise::around(vec![1.0, 2.0], vec![1.0]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, McdbError::InvalidVgParameter { .. }));
+    }
+
+    #[test]
+    fn empty_relation_is_allowed() {
+        let r = RelationBuilder::new("empty").build().unwrap();
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+    }
+}

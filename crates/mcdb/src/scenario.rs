@@ -1,0 +1,351 @@
+//! Scenario generation.
+//!
+//! A *scenario* is a deterministic realization of every random variable in a
+//! relation. The generator supports:
+//!
+//! * **scenario-wise** generation — realize one whole column for one scenario
+//!   (used when building SAA formulations and summaries scenario by scenario);
+//! * **tuple-wise** generation — realize all `M` scenarios for one tuple
+//!   (used by the tuple-wise summarization strategy of Section 5.5);
+//! * **sparse** generation — realize values only for the tuples present in a
+//!   candidate package (used by out-of-sample validation, Section 3.2).
+//!
+//! All three orders produce identical values because every `(column,
+//! driver-group, scenario)` cell derives its RNG independently (see
+//! [`crate::seed`]).
+
+use crate::relation::Relation;
+use crate::seed::{cell_rng, Stream};
+use crate::Result;
+
+/// One realized stochastic column for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Index of the scenario within its stream.
+    pub index: usize,
+    /// Realized value per tuple.
+    pub values: Vec<f64>,
+}
+
+/// A dense matrix of realizations: `M` scenarios over `N` tuples for one
+/// stochastic column. Stored row-major by scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMatrix {
+    n_tuples: usize,
+    /// `data[j * n_tuples + i]` is the value of tuple `i` in scenario `j`.
+    data: Vec<f64>,
+}
+
+impl ScenarioMatrix {
+    /// Build from per-scenario rows.
+    pub fn from_scenarios(n_tuples: usize, scenarios: &[Scenario]) -> Self {
+        let mut data = Vec::with_capacity(n_tuples * scenarios.len());
+        for s in scenarios {
+            debug_assert_eq!(s.values.len(), n_tuples);
+            data.extend_from_slice(&s.values);
+        }
+        ScenarioMatrix { n_tuples, data }
+    }
+
+    /// Number of scenarios.
+    pub fn num_scenarios(&self) -> usize {
+        if self.n_tuples == 0 {
+            0
+        } else {
+            self.data.len() / self.n_tuples
+        }
+    }
+
+    /// Number of tuples.
+    pub fn num_tuples(&self) -> usize {
+        self.n_tuples
+    }
+
+    /// The realization of `tuple` in `scenario`.
+    pub fn value(&self, scenario: usize, tuple: usize) -> f64 {
+        self.data[scenario * self.n_tuples + tuple]
+    }
+
+    /// One scenario as a slice of tuple values.
+    pub fn scenario(&self, scenario: usize) -> &[f64] {
+        &self.data[scenario * self.n_tuples..(scenario + 1) * self.n_tuples]
+    }
+
+    /// Append one more scenario row.
+    pub fn push_scenario(&mut self, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.n_tuples);
+        self.data.extend_from_slice(values);
+    }
+
+    /// Per-tuple mean over all scenarios.
+    pub fn column_means(&self) -> Vec<f64> {
+        let m = self.num_scenarios();
+        let mut means = vec![0.0; self.n_tuples];
+        if m == 0 {
+            return means;
+        }
+        for j in 0..m {
+            let row = self.scenario(j);
+            for (mean, v) in means.iter_mut().zip(row) {
+                *mean += v;
+            }
+        }
+        for mean in &mut means {
+            *mean /= m as f64;
+        }
+        means
+    }
+}
+
+/// Seeded scenario generator over a relation's stochastic columns.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioGenerator {
+    base_seed: u64,
+    stream: Stream,
+}
+
+impl ScenarioGenerator {
+    /// Generator for the optimization stream.
+    pub fn new(base_seed: u64) -> Self {
+        ScenarioGenerator {
+            base_seed,
+            stream: Stream::Optimization,
+        }
+    }
+
+    /// Generator for the out-of-sample validation stream. The validation
+    /// stream is disjoint from the optimization stream even under the same
+    /// base seed, mirroring the paper's re-seeding before validation.
+    pub fn validation(base_seed: u64) -> Self {
+        ScenarioGenerator {
+            base_seed,
+            stream: Stream::Validation,
+        }
+    }
+
+    /// The base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Which stream this generator draws from.
+    pub fn stream(&self) -> Stream {
+        self.stream
+    }
+
+    /// Realize the value of one `(column, tuple, scenario)` cell.
+    pub fn realize_cell(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuple: usize,
+        scenario: usize,
+    ) -> Result<f64> {
+        let sc = relation.stochastic_column(column)?;
+        let group = sc.vg.driver_group(tuple);
+        let mut rng = cell_rng(self.base_seed, self.stream, sc.tag, group, scenario as u64);
+        Ok(sc.vg.realize(tuple, &mut rng))
+    }
+
+    /// Realize one whole column for one scenario (scenario-wise order).
+    pub fn realize_column(
+        &self,
+        relation: &Relation,
+        column: &str,
+        scenario: usize,
+    ) -> Result<Scenario> {
+        let sc = relation.stochastic_column(column)?;
+        let n = relation.len();
+        let mut values = Vec::with_capacity(n);
+        for tuple in 0..n {
+            let group = sc.vg.driver_group(tuple);
+            let mut rng = cell_rng(self.base_seed, self.stream, sc.tag, group, scenario as u64);
+            values.push(sc.vg.realize(tuple, &mut rng));
+        }
+        Ok(Scenario {
+            index: scenario,
+            values,
+        })
+    }
+
+    /// Realize all `scenarios` realizations of one tuple (tuple-wise order).
+    pub fn realize_tuple(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuple: usize,
+        scenarios: std::ops::Range<usize>,
+    ) -> Result<Vec<f64>> {
+        let sc = relation.stochastic_column(column)?;
+        let group = sc.vg.driver_group(tuple);
+        let mut out = Vec::with_capacity(scenarios.len());
+        for j in scenarios {
+            let mut rng = cell_rng(self.base_seed, self.stream, sc.tag, group, j as u64);
+            out.push(sc.vg.realize(tuple, &mut rng));
+        }
+        Ok(out)
+    }
+
+    /// Realize a dense `M x N` matrix of the first `m` scenarios.
+    pub fn realize_matrix(
+        &self,
+        relation: &Relation,
+        column: &str,
+        m: usize,
+    ) -> Result<ScenarioMatrix> {
+        let n = relation.len();
+        let mut matrix = ScenarioMatrix {
+            n_tuples: n,
+            data: Vec::with_capacity(n * m),
+        };
+        for j in 0..m {
+            let s = self.realize_column(relation, column, j)?;
+            matrix.push_scenario(&s.values);
+        }
+        Ok(matrix)
+    }
+
+    /// Realize values only for the given tuples across `scenarios`
+    /// (sparse/package-restricted generation used by validation). Returns one
+    /// vector per scenario, aligned with `tuples`.
+    pub fn realize_sparse(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+        scenarios: std::ops::Range<usize>,
+    ) -> Result<Vec<Vec<f64>>> {
+        let sc = relation.stochastic_column(column)?;
+        let mut out = Vec::with_capacity(scenarios.len());
+        for j in scenarios {
+            let mut row = Vec::with_capacity(tuples.len());
+            for &tuple in tuples {
+                let group = sc.vg.driver_group(tuple);
+                let mut rng = cell_rng(self.base_seed, self.stream, sc.tag, group, j as u64);
+                row.push(sc.vg.realize(tuple, &mut rng));
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::vg::{Degenerate, NormalNoise};
+
+    fn rel() -> Relation {
+        RelationBuilder::new("t")
+            .deterministic_f64("price", vec![10.0, 20.0, 30.0, 40.0])
+            .stochastic("gain", NormalNoise::around(vec![1.0, 2.0, 3.0, 4.0], 0.5))
+            .stochastic("other", Degenerate::new(vec![7.0, 7.0, 7.0, 7.0]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn scenario_wise_and_tuple_wise_agree() {
+        let r = rel();
+        let g = ScenarioGenerator::new(123);
+        let m = 16;
+        let matrix = g.realize_matrix(&r, "gain", m).unwrap();
+        for tuple in 0..r.len() {
+            let by_tuple = g.realize_tuple(&r, "gain", tuple, 0..m).unwrap();
+            for (j, v) in by_tuple.iter().enumerate() {
+                assert_eq!(*v, matrix.value(j, tuple), "tuple {tuple} scenario {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_generation_matches_dense() {
+        let r = rel();
+        let g = ScenarioGenerator::new(5);
+        let matrix = g.realize_matrix(&r, "gain", 8).unwrap();
+        let sparse = g.realize_sparse(&r, "gain", &[2, 0], 0..8).unwrap();
+        for j in 0..8 {
+            assert_eq!(sparse[j][0], matrix.value(j, 2));
+            assert_eq!(sparse[j][1], matrix.value(j, 0));
+        }
+    }
+
+    #[test]
+    fn realize_cell_matches_column() {
+        let r = rel();
+        let g = ScenarioGenerator::new(11);
+        let s = g.realize_column(&r, "gain", 3).unwrap();
+        for i in 0..r.len() {
+            assert_eq!(g.realize_cell(&r, "gain", i, 3).unwrap(), s.values[i]);
+        }
+        assert_eq!(s.index, 3);
+    }
+
+    #[test]
+    fn different_seeds_and_streams_differ() {
+        let r = rel();
+        let a = ScenarioGenerator::new(1).realize_column(&r, "gain", 0).unwrap();
+        let b = ScenarioGenerator::new(2).realize_column(&r, "gain", 0).unwrap();
+        let c = ScenarioGenerator::validation(1)
+            .realize_column(&r, "gain", 0)
+            .unwrap();
+        assert_ne!(a.values, b.values);
+        assert_ne!(a.values, c.values);
+        assert_eq!(ScenarioGenerator::new(1).base_seed(), 1);
+        assert_eq!(ScenarioGenerator::new(1).stream(), Stream::Optimization);
+        assert_eq!(ScenarioGenerator::validation(1).stream(), Stream::Validation);
+    }
+
+    #[test]
+    fn degenerate_columns_are_constant_across_scenarios() {
+        let r = rel();
+        let g = ScenarioGenerator::new(9);
+        for j in 0..5 {
+            let s = g.realize_column(&r, "other", j).unwrap();
+            assert_eq!(s.values, vec![7.0; 4]);
+        }
+    }
+
+    #[test]
+    fn matrix_means_converge_to_base() {
+        let r = rel();
+        let g = ScenarioGenerator::new(77);
+        let matrix = g.realize_matrix(&r, "gain", 3000).unwrap();
+        let means = matrix.column_means();
+        for (i, m) in means.iter().enumerate() {
+            let base = (i + 1) as f64;
+            assert!((m - base).abs() < 0.1, "tuple {i}: mean {m} base {base}");
+        }
+        assert_eq!(matrix.num_scenarios(), 3000);
+        assert_eq!(matrix.num_tuples(), 4);
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let s0 = Scenario {
+            index: 0,
+            values: vec![1.0, 2.0],
+        };
+        let s1 = Scenario {
+            index: 1,
+            values: vec![3.0, 4.0],
+        };
+        let m = ScenarioMatrix::from_scenarios(2, &[s0, s1]);
+        assert_eq!(m.num_scenarios(), 2);
+        assert_eq!(m.scenario(1), &[3.0, 4.0]);
+        assert_eq!(m.value(0, 1), 2.0);
+        assert_eq!(m.column_means(), vec![2.0, 3.0]);
+        let empty = ScenarioMatrix::from_scenarios(0, &[]);
+        assert_eq!(empty.num_scenarios(), 0);
+        assert_eq!(empty.column_means(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let r = rel();
+        let g = ScenarioGenerator::new(0);
+        assert!(g.realize_column(&r, "nope", 0).is_err());
+        assert!(g.realize_column(&r, "price", 0).is_err());
+    }
+}

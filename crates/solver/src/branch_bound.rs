@@ -1,0 +1,773 @@
+//! Branch-and-bound MILP solver with big-M indicator linearization.
+
+use crate::error::SolverError;
+use crate::model::{Direction, Model, Sense, Solution};
+use crate::simplex::{solve_lp, LpStatus};
+use crate::standard_form::{LpProblem, LpRow, BOUND_INFINITY};
+use crate::Result;
+use std::time::{Duration, Instant};
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Wall-clock limit; when exceeded, the best incumbent found so far is
+    /// returned with [`SolveStatus::FeasibleLimit`]. `None` means no limit.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of branch-and-bound nodes to process.
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Relative optimality gap at which the search stops early.
+    pub rel_gap: f64,
+    /// Cap applied to automatically derived big-M constants when variable
+    /// bounds are infinite.
+    pub big_m_cap: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            time_limit: Some(Duration::from_secs(120)),
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+            rel_gap: 1e-6,
+            big_m_cap: 1e7,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Convenience constructor with a time limit in seconds.
+    pub fn with_time_limit_secs(secs: u64) -> Self {
+        SolverOptions {
+            time_limit: Some(Duration::from_secs(secs)),
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// The returned solution is optimal (within the gap tolerance).
+    Optimal,
+    /// A feasible solution was found, but the node or time limit stopped the
+    /// search before optimality was proven.
+    FeasibleLimit,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The relaxation (and hence the problem) is unbounded.
+    Unbounded,
+    /// The node or time limit was reached before any feasible solution was
+    /// found.
+    NoSolutionLimit,
+}
+
+impl SolveStatus {
+    /// True when a usable solution accompanies this status.
+    pub fn has_solution(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::FeasibleLimit)
+    }
+}
+
+/// Result of a MILP solve: status, solution (when available), and search
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct MilpResult {
+    /// Final status.
+    pub status: SolveStatus,
+    /// Best solution found (present when `status.has_solution()`).
+    pub solution: Option<Solution>,
+    /// Number of branch-and-bound nodes processed.
+    pub nodes: usize,
+    /// Total simplex iterations across all LP relaxations.
+    pub lp_iterations: usize,
+    /// Best dual bound (in the model's direction) proven by the search.
+    pub best_bound: f64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Branch-and-bound solver over [`Model`]s.
+#[derive(Debug, Clone)]
+pub struct BranchBoundSolver {
+    options: SolverOptions,
+}
+
+struct NodeDelta {
+    var: usize,
+    lower: f64,
+    upper: f64,
+}
+
+struct Node {
+    deltas: Vec<NodeDelta>,
+    /// LP bound inherited from the parent (minimization sense).
+    parent_bound: f64,
+}
+
+impl BranchBoundSolver {
+    /// Create a solver with the given options.
+    pub fn new(options: SolverOptions) -> Self {
+        BranchBoundSolver { options }
+    }
+
+    /// Solve a model.
+    pub fn solve(&self, model: &Model) -> Result<MilpResult> {
+        model.validate()?;
+        let start = Instant::now();
+        let minimize = model.direction == Direction::Minimize;
+        let sign = if minimize { 1.0 } else { -1.0 };
+
+        // Base LP (minimization form).
+        let base = self.build_lp(model, sign);
+        let int_vars: Vec<usize> = model
+            .variables()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_integral())
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut best_solution: Option<Vec<f64>> = None;
+        let mut best_obj = f64::INFINITY; // minimization-sense incumbent objective
+        let mut nodes_processed = 0usize;
+        let mut lp_iterations = 0usize;
+        let mut best_bound = f64::NEG_INFINITY;
+        let mut hit_limit = false;
+
+        let mut stack: Vec<Node> = vec![Node {
+            deltas: Vec::new(),
+            parent_bound: f64::NEG_INFINITY,
+        }];
+        let mut root_infeasible = false;
+        let mut root_unbounded = false;
+
+        while let Some(node) = stack.pop() {
+            if nodes_processed >= self.options.max_nodes {
+                hit_limit = true;
+                break;
+            }
+            if let Some(limit) = self.options.time_limit {
+                if start.elapsed() >= limit {
+                    hit_limit = true;
+                    break;
+                }
+            }
+            // Prune by the parent's bound before paying for an LP solve.
+            if node.parent_bound >= best_obj - self.gap_slack(best_obj) {
+                continue;
+            }
+            nodes_processed += 1;
+
+            // Apply the node's bound changes.
+            let mut lp = base.clone();
+            let mut domain_ok = true;
+            for d in &node.deltas {
+                lp.lower[d.var] = lp.lower[d.var].max(d.lower);
+                lp.upper[d.var] = lp.upper[d.var].min(d.upper);
+                if lp.lower[d.var] > lp.upper[d.var] + 1e-12 {
+                    domain_ok = false;
+                    break;
+                }
+            }
+            if !domain_ok {
+                continue;
+            }
+
+            // A numerical failure (e.g. the simplex iteration budget being
+            // exhausted on a degenerate relaxation) abandons this node rather
+            // than the whole search: the node is treated as unexplored, which
+            // keeps the incumbent valid and only weakens the optimality claim.
+            let relax = match solve_lp(&lp) {
+                Ok(r) => r,
+                Err(SolverError::Numerical(_)) => {
+                    hit_limit = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            lp_iterations += relax.iterations;
+            match relax.status {
+                LpStatus::Infeasible => {
+                    if nodes_processed == 1 {
+                        root_infeasible = true;
+                    }
+                    continue;
+                }
+                LpStatus::Unbounded => {
+                    if nodes_processed == 1 {
+                        root_unbounded = true;
+                        break;
+                    }
+                    // A child cannot be unbounded if the root was bounded;
+                    // treat it conservatively as "no useful bound".
+                    continue;
+                }
+                LpStatus::Optimal => {}
+            }
+            let node_bound = relax.objective;
+            if nodes_processed == 1 {
+                best_bound = node_bound;
+            }
+            if node_bound >= best_obj - self.gap_slack(best_obj) {
+                continue; // dominated
+            }
+
+            // Find the most fractional integer variable.
+            let mut branch_var: Option<usize> = None;
+            let mut best_frac = self.options.int_tol;
+            for &vi in &int_vars {
+                let x = relax.values[vi];
+                let frac = (x - x.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch_var = Some(vi);
+                }
+            }
+
+            match branch_var {
+                None => {
+                    // Integral LP optimum: candidate incumbent. Round to clean
+                    // integer values and re-check feasibility on the original
+                    // model (including indicator semantics).
+                    let candidate = self.snap(&relax.values, model);
+                    if model.is_feasible(&candidate, 1e-6) {
+                        let obj = sign * model.objective_value(&candidate);
+                        if obj < best_obj - 1e-12 {
+                            best_obj = obj;
+                            best_solution = Some(candidate);
+                        }
+                    } else {
+                        // Numerical corner case: accept the raw LP point if it
+                        // is feasible for the *linearized* model.
+                        let obj = relax.objective;
+                        if obj < best_obj - 1e-12 {
+                            best_obj = obj;
+                            best_solution = Some(relax.values.clone());
+                        }
+                    }
+                }
+                Some(vi) => {
+                    // Rounding heuristic to seed the incumbent early.
+                    let rounded = self.snap(&relax.values, model);
+                    if model.is_feasible(&rounded, 1e-6) {
+                        let obj = sign * model.objective_value(&rounded);
+                        if obj < best_obj - 1e-12 {
+                            best_obj = obj;
+                            best_solution = Some(rounded);
+                        }
+                    }
+                    let x = relax.values[vi];
+                    let floor = x.floor();
+                    let ceil = x.ceil();
+                    // DFS: push the "down" child last so it is explored first
+                    // (for minimization of package cost, smaller multiplicities
+                    // tend to be feasible more often).
+                    let mut up = Vec::with_capacity(node.deltas.len() + 1);
+                    up.extend(node.deltas.iter().map(|d| NodeDelta {
+                        var: d.var,
+                        lower: d.lower,
+                        upper: d.upper,
+                    }));
+                    up.push(NodeDelta {
+                        var: vi,
+                        lower: ceil,
+                        upper: f64::INFINITY,
+                    });
+                    let mut down = Vec::with_capacity(node.deltas.len() + 1);
+                    down.extend(node.deltas.iter().map(|d| NodeDelta {
+                        var: d.var,
+                        lower: d.lower,
+                        upper: d.upper,
+                    }));
+                    down.push(NodeDelta {
+                        var: vi,
+                        lower: f64::NEG_INFINITY,
+                        upper: floor,
+                    });
+                    stack.push(Node {
+                        deltas: up,
+                        parent_bound: node_bound,
+                    });
+                    stack.push(Node {
+                        deltas: down,
+                        parent_bound: node_bound,
+                    });
+                }
+            }
+        }
+
+        let elapsed = start.elapsed();
+        if root_unbounded {
+            return Ok(MilpResult {
+                status: SolveStatus::Unbounded,
+                solution: None,
+                nodes: nodes_processed,
+                lp_iterations,
+                best_bound: sign * f64::NEG_INFINITY,
+                elapsed,
+            });
+        }
+
+        let status = match (&best_solution, hit_limit) {
+            (Some(_), false) => SolveStatus::Optimal,
+            (Some(_), true) => SolveStatus::FeasibleLimit,
+            (None, false) => {
+                // Exhausted the tree without an incumbent.
+                let _ = root_infeasible;
+                SolveStatus::Infeasible
+            }
+            (None, true) => SolveStatus::NoSolutionLimit,
+        };
+        let solution = best_solution.map(|values| Solution {
+            objective: model.objective_value(&values),
+            values,
+        });
+        Ok(MilpResult {
+            status,
+            solution,
+            nodes: nodes_processed,
+            lp_iterations,
+            best_bound: sign * best_bound,
+            elapsed,
+        })
+    }
+
+    fn gap_slack(&self, best_obj: f64) -> f64 {
+        if best_obj.is_finite() {
+            self.options.rel_gap * best_obj.abs().max(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Round integer variables to the nearest integer and clamp everything to
+    /// its bounds.
+    fn snap(&self, values: &[f64], model: &Model) -> Vec<f64> {
+        values
+            .iter()
+            .zip(model.variables())
+            .map(|(&x, v)| {
+                let x = if v.is_integral() { x.round() } else { x };
+                x.clamp(v.lower, v.upper)
+            })
+            .collect()
+    }
+
+    /// Build the (minimization-sense) LP relaxation with indicator
+    /// constraints linearized via big-M.
+    fn build_lp(&self, model: &Model, sign: f64) -> LpProblem {
+        let vars = model.variables();
+        let lower: Vec<f64> = vars.iter().map(|v| v.lower).collect();
+        let upper: Vec<f64> = vars.iter().map(|v| v.upper).collect();
+        let objective: Vec<f64> = vars.iter().map(|v| sign * v.objective).collect();
+        let mut rows: Vec<LpRow> = Vec::with_capacity(model.constraints().len() + model.indicators().len());
+        for c in model.constraints() {
+            rows.push(LpRow {
+                terms: c.terms.iter().map(|(v, co)| (v.0, *co)).collect(),
+                sense: c.sense,
+                rhs: c.rhs,
+            });
+        }
+        for ic in model.indicators() {
+            let inner = &ic.constraint;
+            let terms: Vec<(usize, f64)> = inner.terms.iter().map(|(v, co)| (v.0, *co)).collect();
+            // Bounds of the inner expression over the variable box.
+            let (lo, hi) = self.expr_bounds(&terms, &lower, &upper);
+            let y = ic.indicator.0;
+            match inner.sense {
+                Sense::Ge => {
+                    // active => sum >= rhs. Inactive must be relaxed:
+                    // sum >= rhs - M * (1 - active_ind).
+                    let m = (inner.rhs - lo).max(0.0).min(self.options.big_m_cap);
+                    let mut t = terms.clone();
+                    if ic.active_value {
+                        // sum + M*y >= rhs  would be wrong; we need
+                        // sum >= rhs - M*(1-y)  <=>  sum - M*y >= rhs - M.
+                        t.push((y, -m));
+                        rows.push(LpRow {
+                            terms: t,
+                            sense: Sense::Ge,
+                            rhs: inner.rhs - m,
+                        });
+                    } else {
+                        // active when y = 0: sum >= rhs - M*y  <=>  sum + M*y >= rhs.
+                        t.push((y, m));
+                        rows.push(LpRow {
+                            terms: t,
+                            sense: Sense::Ge,
+                            rhs: inner.rhs,
+                        });
+                    }
+                }
+                Sense::Le => {
+                    let m = (hi - inner.rhs).max(0.0).min(self.options.big_m_cap);
+                    let mut t = terms.clone();
+                    if ic.active_value {
+                        // sum <= rhs + M*(1-y)  <=>  sum + M*y <= rhs + M.
+                        t.push((y, m));
+                        rows.push(LpRow {
+                            terms: t,
+                            sense: Sense::Le,
+                            rhs: inner.rhs + m,
+                        });
+                    } else {
+                        // sum <= rhs + M*y.
+                        t.push((y, -m));
+                        rows.push(LpRow {
+                            terms: t,
+                            sense: Sense::Le,
+                            rhs: inner.rhs,
+                        });
+                    }
+                }
+                Sense::Eq => {
+                    // Model as the conjunction of <= and >=.
+                    for sense in [Sense::Le, Sense::Ge] {
+                        let sub = crate::model::Constraint {
+                            name: inner.name.clone(),
+                            terms: inner.terms.clone(),
+                            sense,
+                            rhs: inner.rhs,
+                        };
+                        let sub_ind = crate::model::IndicatorConstraint {
+                            indicator: ic.indicator,
+                            active_value: ic.active_value,
+                            constraint: sub,
+                        };
+                        // Inline the two cases by recursion-free duplication.
+                        let terms2: Vec<(usize, f64)> =
+                            sub_ind.constraint.terms.iter().map(|(v, co)| (v.0, *co)).collect();
+                        let (lo2, hi2) = self.expr_bounds(&terms2, &lower, &upper);
+                        let y2 = sub_ind.indicator.0;
+                        let rhs2 = sub_ind.constraint.rhs;
+                        let mut t2 = terms2.clone();
+                        match sense {
+                            Sense::Ge => {
+                                let m = (rhs2 - lo2).max(0.0).min(self.options.big_m_cap);
+                                if sub_ind.active_value {
+                                    t2.push((y2, -m));
+                                    rows.push(LpRow {
+                                        terms: t2,
+                                        sense: Sense::Ge,
+                                        rhs: rhs2 - m,
+                                    });
+                                } else {
+                                    t2.push((y2, m));
+                                    rows.push(LpRow {
+                                        terms: t2,
+                                        sense: Sense::Ge,
+                                        rhs: rhs2,
+                                    });
+                                }
+                            }
+                            Sense::Le => {
+                                let m = (hi2 - rhs2).max(0.0).min(self.options.big_m_cap);
+                                if sub_ind.active_value {
+                                    t2.push((y2, m));
+                                    rows.push(LpRow {
+                                        terms: t2,
+                                        sense: Sense::Le,
+                                        rhs: rhs2 + m,
+                                    });
+                                } else {
+                                    t2.push((y2, -m));
+                                    rows.push(LpRow {
+                                        terms: t2,
+                                        sense: Sense::Le,
+                                        rhs: rhs2,
+                                    });
+                                }
+                            }
+                            Sense::Eq => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+        LpProblem {
+            objective,
+            lower,
+            upper,
+            rows,
+        }
+    }
+
+    /// Lower and upper bounds of a linear expression over the variable box,
+    /// with infinite bounds capped so big-M stays finite.
+    fn expr_bounds(&self, terms: &[(usize, f64)], lower: &[f64], upper: &[f64]) -> (f64, f64) {
+        let cap = self.options.big_m_cap;
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for &(v, c) in terms {
+            let l = lower[v].max(-BOUND_INFINITY).max(-cap);
+            let u = upper[v].min(BOUND_INFINITY).min(cap);
+            if c >= 0.0 {
+                lo += c * l;
+                hi += c * u;
+            } else {
+                lo += c * u;
+                hi += c * l;
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// Solve a model with the given options (convenience wrapper returning just
+/// the solution).
+pub fn solve(model: &Model, options: &SolverOptions) -> Result<Solution> {
+    let result = solve_full(model, options)?;
+    match result.solution {
+        Some(s) => Ok(s),
+        None => match result.status {
+            SolveStatus::Infeasible => Err(SolverError::Numerical("infeasible".into())),
+            SolveStatus::Unbounded => Err(SolverError::Unbounded),
+            _ => Err(SolverError::Numerical(
+                "no feasible solution found within limits".into(),
+            )),
+        },
+    }
+}
+
+/// Solve a model and return the full result (status, statistics, solution).
+pub fn solve_full(model: &Model, options: &SolverOptions) -> Result<MilpResult> {
+    BranchBoundSolver::new(options.clone()).solve(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarType};
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    #[test]
+    fn knapsack_is_solved_to_optimality() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 9, binary.
+        // Best: a + b + c = 3 -> weight 9, value 30.
+        let mut m = Model::maximize();
+        let a = m.add_var("a", VarType::Binary, 0.0, 1.0, 10.0);
+        let b = m.add_var("b", VarType::Binary, 0.0, 1.0, 13.0);
+        let c = m.add_var("c", VarType::Binary, 0.0, 1.0, 7.0);
+        m.add_constraint("w", vec![(a, 3.0), (b, 4.0), (c, 2.0)], Sense::Le, 9.0);
+        let res = solve_full(&m, &opts()).unwrap();
+        assert_eq!(res.status, SolveStatus::Optimal);
+        let sol = res.solution.unwrap();
+        assert!((sol.objective - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_rounding_differs_from_lp() {
+        // max x s.t. 2x <= 7, x integer: LP gives 3.5, MILP must give 3.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 100.0, 1.0);
+        m.add_constraint("c", vec![(x, 2.0)], Sense::Le, 7.0);
+        let sol = solve(&m, &opts()).unwrap();
+        assert_eq!(sol.int_value(x), 3);
+        assert!((sol.objective - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doc_example() {
+        let mut model = Model::maximize();
+        let a = model.add_var("a", VarType::Integer, 0.0, 3.0, 3.0);
+        let b = model.add_var("b", VarType::Integer, 0.0, 3.0, 2.0);
+        model.add_constraint("cap", vec![(a, 1.0), (b, 1.0)], Sense::Le, 4.0);
+        let solution = solve(&model, &opts()).unwrap();
+        assert_eq!(solution.int_value(a), 3);
+        assert_eq!(solution.int_value(b), 1);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 4x + 3y s.t. 2x + y >= 10, x + 3y >= 15, integer.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 100.0, 4.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 100.0, 3.0);
+        m.add_constraint("c1", vec![(x, 2.0), (y, 1.0)], Sense::Ge, 10.0);
+        m.add_constraint("c2", vec![(x, 1.0), (y, 3.0)], Sense::Ge, 15.0);
+        let res = solve_full(&m, &opts()).unwrap();
+        assert_eq!(res.status, SolveStatus::Optimal);
+        let sol = res.solution.unwrap();
+        // Check feasibility and optimal value 24 (x=3, y=4 or x=0,y=10=30; best is x=3,y=4 -> 24).
+        assert!(m.is_feasible(&sol.values, 1e-6));
+        assert!((sol.objective - 24.0).abs() < 1e-6, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 5.0, 1.0);
+        m.add_constraint("c1", vec![(x, 1.0)], Sense::Ge, 10.0);
+        let res = solve_full(&m, &opts()).unwrap();
+        assert_eq!(res.status, SolveStatus::Infeasible);
+        assert!(res.solution.is_none());
+        assert!(solve(&m, &opts()).is_err());
+    }
+
+    #[test]
+    fn unbounded_milp() {
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarType::Integer, 0.0, f64::INFINITY, 1.0);
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 0.0);
+        let res = solve_full(&m, &opts()).unwrap();
+        assert_eq!(res.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn indicator_constraint_enforced_when_active() {
+        // Choose y to maximize profit, but y = 1 forces x <= 2.
+        // max 5x + 10y, x <= 2 when y = 1, x <= 8 always, x integer in [0, 8].
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 8.0, 5.0);
+        let y = m.add_var("y", VarType::Binary, 0.0, 1.0, 10.0);
+        m.add_indicator("ind", y, true, vec![(x, 1.0)], Sense::Le, 2.0);
+        let sol = solve(&m, &opts()).unwrap();
+        // Options: y=1, x=2 -> 20; y=0, x=8 -> 40. Optimal picks y=0.
+        assert_eq!(sol.int_value(y), 0);
+        assert_eq!(sol.int_value(x), 8);
+        assert!((sol.objective - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indicator_counting_constraint_like_saa() {
+        // A tiny SAA-like structure: three "scenarios", each an indicator
+        // y_j = 1 => a*x1 + b*x2 >= v_j; require at least 2 of 3 satisfied.
+        // Minimize x1 + x2.
+        let mut m = Model::minimize();
+        let x1 = m.add_var("x1", VarType::Integer, 0.0, 10.0, 1.0);
+        let x2 = m.add_var("x2", VarType::Integer, 0.0, 10.0, 1.0);
+        let mut ys = Vec::new();
+        let scenarios = [(1.0, 0.0, 3.0), (0.0, 1.0, 2.0), (1.0, 1.0, 8.0)];
+        for (j, (a, b, v)) in scenarios.iter().enumerate() {
+            let y = m.add_var(format!("y{j}"), VarType::Binary, 0.0, 1.0, 0.0);
+            m.add_indicator(
+                format!("ind{j}"),
+                y,
+                true,
+                vec![(x1, *a), (x2, *b)],
+                Sense::Ge,
+                *v,
+            );
+            ys.push(y);
+        }
+        m.add_constraint(
+            "count",
+            ys.iter().map(|y| (*y, 1.0)).collect(),
+            Sense::Ge,
+            2.0,
+        );
+        let res = solve_full(&m, &opts()).unwrap();
+        assert_eq!(res.status, SolveStatus::Optimal);
+        let sol = res.solution.unwrap();
+        assert!(m.is_feasible(&sol.values, 1e-6));
+        // Cheapest way to satisfy two scenarios: x1=3 (scenario 0), x2=2
+        // (scenario 1) -> cost 5; satisfying scenario 2 alone costs 8.
+        assert!((sol.objective - 5.0).abs() < 1e-6, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn indicator_active_on_zero_value() {
+        // y = 0 forces x >= 5; maximize -x so we want x small; y's cost makes
+        // y = 0 attractive, but then x must be >= 5.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0, 1.0);
+        let y = m.add_var("y", VarType::Binary, 0.0, 1.0, 3.0);
+        m.add_indicator("ind", y, false, vec![(x, 1.0)], Sense::Ge, 5.0);
+        let sol = solve(&m, &opts()).unwrap();
+        // Option A: y=0 -> x>=5, cost 5. Option B: y=1 -> x=0, cost 3.
+        assert_eq!(sol.int_value(y), 1);
+        assert_eq!(sol.int_value(x), 0);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indicator_equality_constraint() {
+        // y = 1 => x = 4. Maximize y + 0.01x.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0, 0.01);
+        let y = m.add_var("y", VarType::Binary, 0.0, 1.0, 1.0);
+        m.add_indicator("eq", y, true, vec![(x, 1.0)], Sense::Eq, 4.0);
+        let sol = solve(&m, &opts()).unwrap();
+        assert_eq!(sol.int_value(y), 1);
+        assert_eq!(sol.int_value(x), 4);
+    }
+
+    #[test]
+    fn node_limit_reports_limit_status() {
+        // A knapsack whose LP relaxation is fractional at the root (weights 3,
+        // capacity 7), so the search must branch; with a node limit of 1 it
+        // cannot finish.
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Binary, 0.0, 1.0, (i % 5) as f64 + 1.0))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().map(|v| (*v, 3.0)).collect(),
+            Sense::Le,
+            7.0,
+        );
+        let mut o = opts();
+        o.max_nodes = 1;
+        let res = solve_full(&m, &o).unwrap();
+        assert!(matches!(
+            res.status,
+            SolveStatus::FeasibleLimit | SolveStatus::NoSolutionLimit
+        ));
+    }
+
+    #[test]
+    fn equality_constrained_integer_problem() {
+        // x + y = 7, x - y <= 1, minimize x.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0, 1.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 10.0, 0.0);
+        m.add_constraint("sum", vec![(x, 1.0), (y, 1.0)], Sense::Eq, 7.0);
+        m.add_constraint("diff", vec![(x, 1.0), (y, -1.0)], Sense::Le, 1.0);
+        let sol = solve(&m, &opts()).unwrap();
+        assert_eq!(sol.int_value(x) + sol.int_value(y), 7);
+        assert_eq!(sol.int_value(x), 0);
+    }
+
+    #[test]
+    fn continuous_and_integer_mix() {
+        // max 2x + 3z, x integer <= 4, z continuous <= 2.5, x + z <= 5.
+        let mut m = Model::maximize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 4.0, 2.0);
+        let z = m.add_var("z", VarType::Continuous, 0.0, 2.5, 3.0);
+        m.add_constraint("c", vec![(x, 1.0), (z, 1.0)], Sense::Le, 5.0);
+        let sol = solve(&m, &opts()).unwrap();
+        // For fixed x, z = min(2.5, 5 - x); the best integer choice is x = 3,
+        // z = 2 with objective 12.
+        assert_eq!(sol.int_value(x), 3);
+        assert!((sol.value(z) - 2.0).abs() < 1e-6);
+        assert!((sol.objective - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_bound_brackets_optimum_for_minimization() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", VarType::Integer, 0.0, 10.0, 3.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 10.0, 2.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Sense::Ge, 7.0);
+        let res = solve_full(&m, &opts()).unwrap();
+        let sol = res.solution.unwrap();
+        assert!(res.best_bound <= sol.objective + 1e-6);
+        assert!((sol.objective - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_status_helpers() {
+        assert!(SolveStatus::Optimal.has_solution());
+        assert!(SolveStatus::FeasibleLimit.has_solution());
+        assert!(!SolveStatus::Infeasible.has_solution());
+        assert!(!SolveStatus::NoSolutionLimit.has_solution());
+        let o = SolverOptions::with_time_limit_secs(3);
+        assert_eq!(o.time_limit, Some(Duration::from_secs(3)));
+    }
+}

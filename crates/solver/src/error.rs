@@ -1,0 +1,62 @@
+//! Solver error types.
+
+use std::fmt;
+
+/// Errors raised while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// A variable id does not belong to the model.
+    UnknownVariable(usize),
+    /// A variable was declared with an empty domain (lower bound > upper bound).
+    EmptyDomain {
+        /// Variable name.
+        name: String,
+        /// Declared lower bound.
+        lower: f64,
+        /// Declared upper bound.
+        upper: f64,
+    },
+    /// A coefficient, bound or right-hand side is NaN.
+    NotANumber(String),
+    /// The model has no variables.
+    EmptyModel,
+    /// The LP relaxation is unbounded, so the MILP cannot be solved.
+    Unbounded,
+    /// Numerical trouble in the simplex (cycling or singular basis).
+    Numerical(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::UnknownVariable(id) => write!(f, "unknown variable id {id}"),
+            SolverError::EmptyDomain { name, lower, upper } => {
+                write!(f, "variable `{name}` has empty domain [{lower}, {upper}]")
+            }
+            SolverError::NotANumber(what) => write!(f, "{what} is NaN"),
+            SolverError::EmptyModel => write!(f, "model has no variables"),
+            SolverError::Unbounded => write!(f, "problem is unbounded"),
+            SolverError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SolverError::EmptyDomain {
+            name: "x3".into(),
+            lower: 2.0,
+            upper: 1.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("x3") && msg.contains('2') && msg.contains('1'));
+        assert!(SolverError::Unbounded.to_string().contains("unbounded"));
+        assert!(SolverError::UnknownVariable(5).to_string().contains('5'));
+    }
+}

@@ -1,0 +1,562 @@
+//! Two-phase primal simplex on a dense tableau.
+//!
+//! The solver works on the standard form produced by
+//! [`crate::standard_form`]: `min c·z` subject to `Az = b`, `z >= 0`,
+//! `b >= 0`. Phase 1 introduces artificial variables to find a basic
+//! feasible solution; phase 2 optimizes the true objective. Dantzig pricing
+//! is used by default, with a switch to Bland's rule after a large number of
+//! iterations to guarantee termination in the presence of degeneracy.
+
+use crate::error::SolverError;
+use crate::standard_form::{to_standard_form, LpProblem, StandardForm};
+use crate::Result;
+
+/// Status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints are infeasible.
+    Infeasible,
+    /// The objective is unbounded below (for minimization).
+    Unbounded,
+}
+
+/// Result of solving an LP relaxation.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Values of the *original* problem variables (empty unless
+    /// [`LpStatus::Optimal`]).
+    pub values: Vec<f64>,
+    /// Objective value of the original problem (minimization); meaningful
+    /// only when the status is [`LpStatus::Optimal`].
+    pub objective: f64,
+    /// Number of simplex pivots performed across both phases.
+    pub iterations: usize,
+}
+
+const EPS: f64 = 1e-9;
+const FEAS_EPS: f64 = 1e-7;
+
+struct Tableau {
+    m: usize,
+    /// Total columns including artificials.
+    n_total: usize,
+    /// Columns that belong to the real problem (structural + slack).
+    n_real: usize,
+    /// Row-major `m x n_total` matrix.
+    t: Vec<f64>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    iterations: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.t[r * self.n_total + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.t[r * self.n_total + c]
+    }
+
+    fn new(sf: &StandardForm) -> Self {
+        let m = sf.num_rows;
+        let n_real = sf.num_cols;
+        // Count rows that need an artificial variable.
+        let mut basis = Vec::with_capacity(m);
+        let mut n_art = 0usize;
+        for r in 0..m {
+            match sf.basis_candidate[r] {
+                Some(col) => basis.push(col),
+                None => {
+                    basis.push(n_real + n_art);
+                    n_art += 1;
+                }
+            }
+        }
+        let n_total = n_real + n_art;
+        let mut t = vec![0.0; m * n_total];
+        for r in 0..m {
+            for c in 0..n_real {
+                t[r * n_total + c] = sf.at(r, c);
+            }
+        }
+        // Identity columns for artificials.
+        let mut art = n_real;
+        for r in 0..m {
+            if sf.basis_candidate[r].is_none() {
+                t[r * n_total + art] = 1.0;
+                art += 1;
+            }
+        }
+        Tableau {
+            m,
+            n_total,
+            n_real,
+            t,
+            rhs: sf.b.clone(),
+            basis,
+            iterations: 0,
+        }
+    }
+
+    /// Pivot on (row `r`, column `j`): `j` enters the basis, the variable
+    /// basic in row `r` leaves. Also updates the reduced-cost row `d` and the
+    /// objective value `z`.
+    fn pivot(&mut self, r: usize, j: usize, d: &mut [f64], z: &mut f64) {
+        let piv = self.at(r, j);
+        debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
+        // Normalize the pivot row.
+        let inv = 1.0 / piv;
+        for c in 0..self.n_total {
+            *self.at_mut(r, c) *= inv;
+        }
+        self.rhs[r] *= inv;
+        // Eliminate from the other rows.
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.at(i, j);
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for c in 0..self.n_total {
+                let val = self.at(r, c);
+                *self.at_mut(i, c) -= factor * val;
+            }
+            self.rhs[i] -= factor * self.rhs[r];
+            if self.rhs[i].abs() < 1e-12 {
+                self.rhs[i] = 0.0;
+            }
+        }
+        // Eliminate from the objective row.
+        let factor = d[j];
+        if factor.abs() > 0.0 {
+            for c in 0..self.n_total {
+                d[c] -= factor * self.at(r, c);
+            }
+            *z += factor * self.rhs[r];
+        }
+        self.basis[r] = j;
+        self.iterations += 1;
+    }
+
+    /// Reduced costs and objective value for a cost vector over all columns.
+    fn reduced_costs(&self, cost: &[f64]) -> (Vec<f64>, f64) {
+        let mut d = cost.to_vec();
+        let mut z = 0.0;
+        for r in 0..self.m {
+            let cb = cost[self.basis[r]];
+            if cb == 0.0 {
+                continue;
+            }
+            z += cb * self.rhs[r];
+            for c in 0..self.n_total {
+                d[c] -= cb * self.at(r, c);
+            }
+        }
+        // The objective row convention: obj = z + sum d_j * x_j over nonbasic.
+        // We track obj directly in `z`, adjusting during pivots.
+        (d, z)
+    }
+
+    /// Run simplex iterations for the given reduced-cost row until optimal,
+    /// unbounded, or the iteration budget is exhausted.
+    ///
+    /// `allowed_cols` restricts which columns may enter the basis.
+    fn optimize(
+        &mut self,
+        d: &mut [f64],
+        z: &mut f64,
+        allowed_cols: usize,
+        max_iters: usize,
+    ) -> Result<LpStatus> {
+        let bland_after = max_iters / 2;
+        let mut local_iters = 0usize;
+        loop {
+            if local_iters >= max_iters {
+                return Err(SolverError::Numerical(format!(
+                    "simplex exceeded {max_iters} iterations"
+                )));
+            }
+            let use_bland = local_iters >= bland_after;
+            // Choose the entering column.
+            let mut enter: Option<usize> = None;
+            if use_bland {
+                for j in 0..allowed_cols {
+                    if d[j] < -EPS {
+                        enter = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -EPS;
+                for j in 0..allowed_cols {
+                    if d[j] < best {
+                        best = d[j];
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(j) = enter else {
+                return Ok(LpStatus::Optimal);
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.at(r, j);
+                if a > EPS {
+                    let ratio = self.rhs[r] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.map(|lr| self.basis[r] < self.basis[lr]).unwrap_or(true));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                return Ok(LpStatus::Unbounded);
+            };
+            self.pivot(r, j, d, z);
+            local_iters += 1;
+        }
+    }
+}
+
+/// Solve a standard-form LP, returning the standard-form solution vector and
+/// the standard-form objective value.
+fn solve_standard(sf: &StandardForm, max_iters: usize) -> Result<(LpStatus, Vec<f64>, f64, usize)> {
+    let mut tab = Tableau::new(sf);
+    let m = tab.m;
+    let n_real = tab.n_real;
+    let n_total = tab.n_total;
+
+    // --- Phase 1 -----------------------------------------------------------
+    if n_total > n_real {
+        let mut cost1 = vec![0.0; n_total];
+        for c in n_real..n_total {
+            cost1[c] = 1.0;
+        }
+        let (mut d, mut z) = tab.reduced_costs(&cost1);
+        let status = tab.optimize(&mut d, &mut z, n_total, max_iters)?;
+        if status == LpStatus::Unbounded {
+            // Cannot happen: phase-1 objective is bounded below by zero.
+            return Err(SolverError::Numerical("phase-1 unbounded".into()));
+        }
+        if z > FEAS_EPS {
+            return Ok((LpStatus::Infeasible, Vec::new(), 0.0, tab.iterations));
+        }
+        // Drive artificials out of the basis where possible.
+        for r in 0..m {
+            if tab.basis[r] >= n_real {
+                let mut pivoted = false;
+                for j in 0..n_real {
+                    if tab.at(r, j).abs() > 1e-7 {
+                        let mut dummy = vec![0.0; n_total];
+                        let mut zd = 0.0;
+                        tab.pivot(r, j, &mut dummy, &mut zd);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: the artificial stays basic at value ~0.
+                    tab.rhs[r] = 0.0;
+                }
+            }
+        }
+    }
+
+    // --- Phase 2 -----------------------------------------------------------
+    let mut cost2 = vec![0.0; n_total];
+    cost2[..n_real].copy_from_slice(&sf.c);
+    let (mut d, mut z) = tab.reduced_costs(&cost2);
+    let status = tab.optimize(&mut d, &mut z, n_real, max_iters)?;
+    if status == LpStatus::Unbounded {
+        return Ok((LpStatus::Unbounded, Vec::new(), 0.0, tab.iterations));
+    }
+
+    // Extract the solution.
+    let mut zvals = vec![0.0; n_real];
+    for r in 0..m {
+        if tab.basis[r] < n_real {
+            zvals[tab.basis[r]] = tab.rhs[r];
+        }
+    }
+    Ok((LpStatus::Optimal, zvals, z, tab.iterations))
+}
+
+/// Default iteration budget for an LP of the given dimensions.
+fn default_max_iters(rows: usize, cols: usize) -> usize {
+    2000 + 60 * (rows + cols)
+}
+
+/// Solve a bounded LP (minimization) with the two-phase simplex.
+pub fn solve_lp(lp: &LpProblem) -> Result<LpSolution> {
+    let sf = to_standard_form(lp)?;
+    let max_iters = default_max_iters(sf.num_rows, sf.num_cols);
+    let (status, zvals, obj, iterations) = solve_standard(&sf, max_iters)?;
+    match status {
+        LpStatus::Optimal => {
+            let values = sf.recover(&zvals);
+            Ok(LpSolution {
+                status,
+                objective: obj + sf.c0,
+                values,
+                iterations,
+            })
+        }
+        _ => Ok(LpSolution {
+            status,
+            values: Vec::new(),
+            objective: 0.0,
+            iterations,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::standard_form::LpRow;
+
+    fn row(terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> LpRow {
+        LpRow { terms, sense, rhs }
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn maximize_via_negated_objective() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2, y <= 3  => x=2 (wait: x=1,y=3 gives 9; x=2,y=2 gives 10)
+        let lp = LpProblem {
+            objective: vec![-3.0, -2.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![2.0, 3.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Sense::Le, 4.0)],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], 2.0);
+        assert_close(sol.values[1], 2.0);
+        assert_close(sol.objective, -10.0);
+    }
+
+    #[test]
+    fn classic_two_variable_lp() {
+        // min -x - y s.t. 2x + y <= 4, x + 2y <= 3, x,y >= 0.
+        // Optimum at x = 5/3, y = 2/3 with objective -(5/3 + 2/3) = -7/3.
+        let lp = LpProblem {
+            objective: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(vec![(0, 2.0), (1, 1.0)], Sense::Le, 4.0),
+                row(vec![(0, 1.0), (1, 2.0)], Sense::Le, 3.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -7.0 / 3.0);
+        assert_close(sol.values[0], 5.0 / 3.0);
+        assert_close(sol.values[1], 2.0 / 3.0);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase_one() {
+        // min x + y s.t. x + y >= 5, x >= 1, y >= 0. Optimum 5.
+        let lp = LpProblem {
+            objective: vec![1.0, 1.0],
+            lower: vec![1.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 5.0)],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 5.0);
+        assert_close(sol.values[0] + sol.values[1], 5.0);
+        assert!(sol.values[0] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x - y = 2 => x = 6, y = 4, obj 24.
+        let lp = LpProblem {
+            objective: vec![2.0, 3.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 10.0),
+                row(vec![(0, 1.0), (1, -1.0)], Sense::Eq, 2.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], 6.0);
+        assert_close(sol.values[1], 4.0);
+        assert_close(sol.objective, 24.0);
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        // x <= 1 and x >= 3 simultaneously.
+        let lp = LpProblem {
+            objective: vec![1.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            rows: vec![
+                row(vec![(0, 1.0)], Sense::Le, 1.0),
+                row(vec![(0, 1.0)], Sense::Ge, 3.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_via_bounds() {
+        // x in [0, 2] but x >= 5.
+        let lp = LpProblem {
+            objective: vec![0.0],
+            lower: vec![0.0],
+            upper: vec![2.0],
+            rows: vec![row(vec![(0, 1.0)], Sense::Ge, 5.0)],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_detected() {
+        // min -x with x >= 0 unconstrained above.
+        let lp = LpProblem {
+            objective: vec![-1.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            rows: vec![row(vec![(0, 1.0)], Sense::Ge, 0.0)],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn free_variable_problem() {
+        // min x s.t. x >= -5 with x free => x = -5.
+        let lp = LpProblem {
+            objective: vec![1.0],
+            lower: vec![f64::NEG_INFINITY],
+            upper: vec![f64::INFINITY],
+            rows: vec![row(vec![(0, 1.0)], Sense::Ge, -5.0)],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], -5.0);
+        assert_close(sol.objective, -5.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Several redundant constraints through the same vertex.
+        let lp = LpProblem {
+            objective: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(vec![(0, 1.0)], Sense::Le, 1.0),
+                row(vec![(1, 1.0)], Sense::Le, 1.0),
+                row(vec![(0, 1.0), (1, 1.0)], Sense::Le, 2.0),
+                row(vec![(0, 1.0), (1, 2.0)], Sense::Le, 3.0),
+                row(vec![(0, 2.0), (1, 1.0)], Sense::Le, 3.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -2.0);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // x + y = 2 stated twice.
+        let lp = LpProblem {
+            objective: vec![1.0, 2.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 2.0),
+                row(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 2.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], 2.0);
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn bounded_variables_respected() {
+        // min -x - 2y, x in [0, 3], y in [1, 2], x + y <= 4.
+        let lp = LpProblem {
+            objective: vec![-1.0, -2.0],
+            lower: vec![0.0, 1.0],
+            upper: vec![3.0, 2.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Sense::Le, 4.0)],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[1], 2.0);
+        assert_close(sol.values[0], 2.0);
+        assert_close(sol.objective, -6.0);
+    }
+
+    #[test]
+    fn larger_random_problem_respects_constraints() {
+        // A pseudo-random feasibility-heavy LP; check constraint satisfaction
+        // of the returned optimum rather than a known objective.
+        let n = 30;
+        let mut rows = Vec::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for r in 0..15 {
+            let terms: Vec<(usize, f64)> = (0..n).map(|j| (j, next() * 2.0)).collect();
+            let rhs = 10.0 + next() * 20.0;
+            let sense = if r % 3 == 0 { Sense::Ge } else { Sense::Le };
+            rows.push(row(terms, sense, rhs));
+        }
+        let lp = LpProblem {
+            objective: (0..n).map(|_| next() * 4.0 - 2.0).collect(),
+            lower: vec![0.0; n],
+            upper: vec![5.0; n],
+            rows,
+        };
+        let sol = solve_lp(&lp).unwrap();
+        if sol.status == LpStatus::Optimal {
+            for (ri, r) in lp.rows.iter().enumerate() {
+                let lhs: f64 = r.terms.iter().map(|(j, c)| c * sol.values[*j]).sum();
+                assert!(
+                    r.sense.check(lhs, r.rhs, 1e-5),
+                    "row {ri}: lhs {lhs} sense {:?} rhs {}",
+                    r.sense,
+                    r.rhs
+                );
+            }
+            for v in &sol.values {
+                assert!(*v >= -1e-7 && *v <= 5.0 + 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! sPaQL parsing and binding errors.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, or binding an sPaQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaqlError {
+    /// An unexpected character was encountered while lexing.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset in the query string.
+        position: usize,
+    },
+    /// A string or numeric literal was malformed.
+    BadLiteral {
+        /// Description of the problem.
+        message: String,
+        /// Byte offset in the query string.
+        position: usize,
+    },
+    /// The parser expected something different.
+    Unexpected {
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+        /// Token index.
+        position: usize,
+    },
+    /// A query referenced an attribute that does not exist in the relation.
+    UnknownAttribute(String),
+    /// A query used a stochastic attribute where a deterministic one is
+    /// required, or vice versa.
+    AttributeKindMismatch {
+        /// The attribute name.
+        attribute: String,
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// A probability bound was outside (0, 1).
+    InvalidProbability(f64),
+    /// The query mixes clauses in an unsupported way (e.g. no objective and
+    /// no constraints).
+    Semantic(String),
+}
+
+impl fmt::Display for SpaqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaqlError::UnexpectedChar { ch, position } => {
+                write!(f, "unexpected character `{ch}` at byte {position}")
+            }
+            SpaqlError::BadLiteral { message, position } => {
+                write!(f, "bad literal at byte {position}: {message}")
+            }
+            SpaqlError::Unexpected {
+                expected,
+                found,
+                position,
+            } => write!(f, "expected {expected}, found {found} (token {position})"),
+            SpaqlError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            SpaqlError::AttributeKindMismatch { attribute, message } => {
+                write!(f, "attribute `{attribute}`: {message}")
+            }
+            SpaqlError::InvalidProbability(p) => {
+                write!(f, "probability bound {p} must lie in (0, 1)")
+            }
+            SpaqlError::Semantic(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpaqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = SpaqlError::Unexpected {
+            expected: "SUM".into(),
+            found: "COUNT".into(),
+            position: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("SUM") && s.contains("COUNT"));
+        assert!(SpaqlError::UnknownAttribute("gain".into())
+            .to_string()
+            .contains("gain"));
+        assert!(SpaqlError::InvalidProbability(1.5).to_string().contains("1.5"));
+    }
+}

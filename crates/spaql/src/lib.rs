@@ -1,0 +1,44 @@
+//! # spq-spaql — the stochastic Package Query Language
+//!
+//! sPaQL is the paper's SQL extension for expressing stochastic package
+//! queries: packages (multisets of tuples) subject to package-level linear
+//! constraints that may be deterministic, expectations, or probabilistic
+//! ("chance") constraints, with deterministic, expectation, or probability
+//! objectives.
+//!
+//! This crate provides:
+//!
+//! * [`tokenize`] / [`parse`] — a lexer and recursive-descent parser for the
+//!   grammar of the paper's Appendix A (Figure 8),
+//! * the [`ast`] module — the query AST ([`PackageQuery`] and friends),
+//! * [`bind`] — semantic analysis against an [`spq_mcdb::Relation`] schema,
+//!   producing a [`BoundQuery`] with canonicalized attribute names and the
+//!   tuple candidate set induced by the `WHERE` clause.
+//!
+//! ```
+//! let query = spq_spaql::parse(
+//!     "SELECT PACKAGE(*) AS Portfolio FROM Stock_Investments \
+//!      SUCH THAT SUM(price) <= 1000 AND \
+//!      SUM(Gain) >= -10 WITH PROBABILITY >= 0.95 \
+//!      MAXIMIZE EXPECTED SUM(Gain)",
+//! ).unwrap();
+//! assert_eq!(query.num_probabilistic_constraints(), 1);
+//! ```
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    AggExpr, AttrPredicate, ConstraintExpr, Objective, ObjectiveExpr, ObjectiveSense, PackageQuery,
+    PredicateValue, WherePredicate,
+};
+pub use binder::{bind, BoundQuery};
+pub use error::SpaqlError;
+pub use parser::parse;
+pub use token::{tokenize, CompareOp, Keyword, Token};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpaqlError>;

@@ -1,0 +1,477 @@
+//! Recursive-descent parser for sPaQL.
+
+use crate::ast::{
+    AggExpr, AttrPredicate, ConstraintExpr, Objective, ObjectiveExpr, ObjectiveSense, PackageQuery,
+    PredicateValue, WherePredicate,
+};
+use crate::error::SpaqlError;
+use crate::token::{tokenize, CompareOp, Keyword, Token};
+use crate::Result;
+
+/// Parse an sPaQL query string into a [`PackageQuery`].
+pub fn parse(input: &str) -> Result<PackageQuery> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.query()?;
+    parser.expect_end()?;
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn error(&self, expected: &str) -> SpaqlError {
+        SpaqlError::Unexpected {
+            expected: expected.to_string(),
+            found: self
+                .peek()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "end of query".to_string()),
+            position: self.pos,
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        match self.peek() {
+            Some(Token::Keyword(k)) if *k == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error(&format!("{kw:?}"))),
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: Keyword) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, tok: &Token, what: &str) -> Result<()> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn identifier(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error(what)),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        // Allow a leading sign.
+        let mut sign = 1.0;
+        loop {
+            match self.peek() {
+                Some(Token::Minus) => {
+                    sign = -sign;
+                    self.pos += 1;
+                }
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        match self.peek() {
+            Some(Token::Number(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(sign * n)
+            }
+            _ => Err(self.error("a number")),
+        }
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp> {
+        match self.peek() {
+            Some(Token::Compare(op)) => {
+                let op = *op;
+                self.pos += 1;
+                Ok(op)
+            }
+            _ => Err(self.error("a comparison operator")),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        while matches!(self.peek(), Some(Token::Semicolon)) {
+            self.pos += 1;
+        }
+        if self.peek().is_some() {
+            return Err(self.error("end of query"));
+        }
+        Ok(())
+    }
+
+    fn query(&mut self) -> Result<PackageQuery> {
+        self.expect_keyword(Keyword::Select)?;
+        self.expect_keyword(Keyword::Package)?;
+        self.expect_token(&Token::LParen, "`(`")?;
+        self.expect_token(&Token::Star, "`*`")?;
+        self.expect_token(&Token::RParen, "`)`")?;
+        let alias = if self.accept_keyword(Keyword::As) {
+            Some(self.identifier("a package alias")?)
+        } else {
+            None
+        };
+        self.expect_keyword(Keyword::From)?;
+        let table = self.identifier("a table name")?;
+        let repeat = if self.accept_keyword(Keyword::Repeat) {
+            Some(self.number()? as u32)
+        } else {
+            None
+        };
+        let where_clause = if self.accept_keyword(Keyword::Where) {
+            Some(self.where_clause()?)
+        } else {
+            None
+        };
+        let constraints = if self.accept_keyword(Keyword::Such) {
+            self.expect_keyword(Keyword::That)?;
+            self.constraints()?
+        } else {
+            Vec::new()
+        };
+        let objective = match self.peek() {
+            Some(Token::Keyword(Keyword::Maximize)) => {
+                self.pos += 1;
+                Some(self.objective(ObjectiveSense::Maximize)?)
+            }
+            Some(Token::Keyword(Keyword::Minimize)) => {
+                self.pos += 1;
+                Some(self.objective(ObjectiveSense::Minimize)?)
+            }
+            _ => None,
+        };
+        Ok(PackageQuery {
+            alias,
+            table,
+            repeat,
+            where_clause,
+            constraints,
+            objective,
+        })
+    }
+
+    fn where_clause(&mut self) -> Result<WherePredicate> {
+        let mut conjuncts = vec![self.attr_predicate()?];
+        // Only consume AND when it is followed by another identifier (an
+        // attribute), otherwise the AND belongs to an outer clause.
+        while matches!(self.peek(), Some(Token::Keyword(Keyword::And)))
+            && matches!(self.tokens.get(self.pos + 1), Some(Token::Ident(_)))
+        {
+            self.pos += 1;
+            conjuncts.push(self.attr_predicate()?);
+        }
+        Ok(WherePredicate { conjuncts })
+    }
+
+    fn attr_predicate(&mut self) -> Result<AttrPredicate> {
+        let attribute = self.identifier("an attribute name")?;
+        let op = self.compare_op()?;
+        let value = match self.peek() {
+            Some(Token::Str(s)) => {
+                let v = PredicateValue::Text(s.clone());
+                self.pos += 1;
+                v
+            }
+            _ => PredicateValue::Number(self.number()?),
+        };
+        Ok(AttrPredicate {
+            attribute,
+            op,
+            value,
+        })
+    }
+
+    fn constraints(&mut self) -> Result<Vec<ConstraintExpr>> {
+        let mut out = vec![self.constraint()?];
+        while matches!(self.peek(), Some(Token::Keyword(Keyword::And))) {
+            self.pos += 1;
+            out.push(self.constraint()?);
+        }
+        Ok(out)
+    }
+
+    fn agg(&mut self) -> Result<AggExpr> {
+        match self.peek() {
+            Some(Token::Keyword(Keyword::Sum)) => {
+                self.pos += 1;
+                self.expect_token(&Token::LParen, "`(`")?;
+                let attribute = self.identifier("an attribute name")?;
+                self.expect_token(&Token::RParen, "`)`")?;
+                Ok(AggExpr::Sum { attribute })
+            }
+            Some(Token::Keyword(Keyword::Count)) => {
+                self.pos += 1;
+                self.expect_token(&Token::LParen, "`(`")?;
+                self.expect_token(&Token::Star, "`*`")?;
+                self.expect_token(&Token::RParen, "`)`")?;
+                Ok(AggExpr::Count)
+            }
+            _ => Err(self.error("SUM(...) or COUNT(*)")),
+        }
+    }
+
+    fn constraint(&mut self) -> Result<ConstraintExpr> {
+        let expected = self.accept_keyword(Keyword::Expected);
+        let agg = self.agg()?;
+        if self.accept_keyword(Keyword::Between) {
+            let low = self.number()?;
+            self.expect_keyword(Keyword::And)?;
+            let high = self.number()?;
+            if expected {
+                return Err(SpaqlError::Semantic(
+                    "EXPECTED ... BETWEEN is not supported; use two EXPECTED constraints".into(),
+                ));
+            }
+            return Ok(ConstraintExpr::Between { agg, low, high });
+        }
+        let op = self.compare_op()?;
+        let value = self.number()?;
+        if self.accept_keyword(Keyword::With) {
+            self.expect_keyword(Keyword::Probability)?;
+            let prob_op = self.compare_op()?;
+            let probability = self.number()?;
+            if expected {
+                return Err(SpaqlError::Semantic(
+                    "a constraint cannot be both EXPECTED and probabilistic".into(),
+                ));
+            }
+            return Ok(ConstraintExpr::Probabilistic {
+                agg,
+                op,
+                value,
+                prob_op,
+                probability,
+            });
+        }
+        if expected {
+            Ok(ConstraintExpr::Expected { agg, op, value })
+        } else {
+            Ok(ConstraintExpr::Deterministic { agg, op, value })
+        }
+    }
+
+    fn objective(&mut self, sense: ObjectiveSense) -> Result<Objective> {
+        let expr = match self.peek() {
+            Some(Token::Keyword(Keyword::Expected)) => {
+                self.pos += 1;
+                match self.agg()? {
+                    AggExpr::Sum { attribute } => ObjectiveExpr::ExpectedSum { attribute },
+                    AggExpr::Count => ObjectiveExpr::Count,
+                }
+            }
+            Some(Token::Keyword(Keyword::Probability)) => {
+                self.pos += 1;
+                self.expect_keyword(Keyword::Of)?;
+                match self.agg()? {
+                    AggExpr::Sum { attribute } => {
+                        let op = self.compare_op()?;
+                        let value = self.number()?;
+                        ObjectiveExpr::ProbabilityOf {
+                            attribute,
+                            op,
+                            value,
+                        }
+                    }
+                    AggExpr::Count => {
+                        return Err(SpaqlError::Semantic(
+                            "PROBABILITY OF COUNT(*) is not supported".into(),
+                        ))
+                    }
+                }
+            }
+            _ => match self.agg()? {
+                AggExpr::Sum { attribute } => ObjectiveExpr::Sum { attribute },
+                AggExpr::Count => ObjectiveExpr::Count,
+            },
+        };
+        Ok(Objective { sense, expr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_figure_1_query() {
+        let q = parse(
+            "SELECT PACKAGE(*) AS Portfolio FROM Stock_Investments \
+             SUCH THAT SUM(price) <= 1000 AND \
+             SUM(Gain) >= -10 WITH PROBABILITY >= 0.95 \
+             MAXIMIZE EXPECTED SUM(Gain)",
+        )
+        .unwrap();
+        assert_eq!(q.alias.as_deref(), Some("Portfolio"));
+        assert_eq!(q.table, "Stock_Investments");
+        assert_eq!(q.constraints.len(), 2);
+        assert_eq!(q.num_probabilistic_constraints(), 1);
+        match &q.constraints[1] {
+            ConstraintExpr::Probabilistic {
+                value, probability, ..
+            } => {
+                assert_eq!(*value, -10.0);
+                assert_eq!(*probability, 0.95);
+            }
+            other => panic!("expected probabilistic constraint, got {other:?}"),
+        }
+        let obj = q.objective.unwrap();
+        assert_eq!(obj.sense, ObjectiveSense::Maximize);
+        assert_eq!(
+            obj.expr,
+            ObjectiveExpr::ExpectedSum {
+                attribute: "Gain".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_the_galaxy_template() {
+        let q = parse(
+            "SELECT PACKAGE(*) FROM Galaxy SUCH THAT \
+             COUNT(*) BETWEEN 5 AND 10 AND \
+             SUM(Petromag_r) >= 40 WITH PROBABILITY >= 0.9 \
+             MINIMIZE EXPECTED SUM(Petromag_r)",
+        )
+        .unwrap();
+        assert_eq!(q.constraints.len(), 2);
+        assert_eq!(
+            q.constraints[0],
+            ConstraintExpr::Between {
+                agg: AggExpr::Count,
+                low: 5.0,
+                high: 10.0
+            }
+        );
+        assert_eq!(q.objective.unwrap().sense, ObjectiveSense::Minimize);
+    }
+
+    #[test]
+    fn parses_the_tpch_template_with_probability_objective() {
+        let q = parse(
+            "SELECT PACKAGE(*) FROM Tpch_3 SUCH THAT \
+             COUNT(*) BETWEEN 1 AND 10 AND \
+             SUM(Quantity) <= 15 WITH PROBABILITY >= 0.9 \
+             MAXIMIZE PROBABILITY OF SUM(Revenue) >= 1000",
+        )
+        .unwrap();
+        let obj = q.objective.unwrap();
+        assert_eq!(
+            obj.expr,
+            ObjectiveExpr::ProbabilityOf {
+                attribute: "Revenue".into(),
+                op: CompareOp::Ge,
+                value: 1000.0
+            }
+        );
+    }
+
+    #[test]
+    fn parses_where_repeat_and_expected_constraints() {
+        let q = parse(
+            "SELECT PACKAGE(*) FROM trades REPEAT 2 \
+             WHERE sell_in = '1 day' AND price <= 500 \
+             SUCH THAT EXPECTED SUM(gain) >= 5 AND COUNT(*) <= 3 \
+             MINIMIZE COUNT(*);",
+        )
+        .unwrap();
+        assert_eq!(q.repeat, Some(2));
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.conjuncts.len(), 2);
+        assert_eq!(w.conjuncts[0].value, PredicateValue::Text("1 day".into()));
+        assert_eq!(w.conjuncts[1].op, CompareOp::Le);
+        assert!(matches!(q.constraints[0], ConstraintExpr::Expected { .. }));
+        assert_eq!(q.objective.unwrap().expr, ObjectiveExpr::Count);
+    }
+
+    #[test]
+    fn query_without_objective_or_constraints() {
+        let q = parse("SELECT PACKAGE(*) FROM t").unwrap();
+        assert!(q.constraints.is_empty());
+        assert!(q.objective.is_none());
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn display_then_reparse_round_trip() {
+        let original = parse(
+            "SELECT PACKAGE(*) AS P FROM t SUCH THAT \
+             SUM(a) <= 10 AND SUM(b) >= -2 WITH PROBABILITY >= 0.9 \
+             MAXIMIZE EXPECTED SUM(b)",
+        )
+        .unwrap();
+        let reparsed = parse(&original.to_string()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn error_cases() {
+        // Missing PACKAGE keyword.
+        assert!(parse("SELECT * FROM t").is_err());
+        // Garbage after the query.
+        assert!(parse("SELECT PACKAGE(*) FROM t EXTRA").is_err());
+        // BETWEEN with EXPECTED is rejected.
+        assert!(parse(
+            "SELECT PACKAGE(*) FROM t SUCH THAT EXPECTED SUM(a) BETWEEN 1 AND 2"
+        )
+        .is_err());
+        // EXPECTED + WITH PROBABILITY is rejected.
+        assert!(parse(
+            "SELECT PACKAGE(*) FROM t SUCH THAT EXPECTED SUM(a) >= 1 WITH PROBABILITY >= 0.5"
+        )
+        .is_err());
+        // PROBABILITY OF COUNT is rejected.
+        assert!(parse("SELECT PACKAGE(*) FROM t MAXIMIZE PROBABILITY OF COUNT(*) >= 1").is_err());
+        // Missing closing paren.
+        assert!(parse("SELECT PACKAGE(* FROM t").is_err());
+        // Missing number.
+        assert!(parse("SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) >= ").is_err());
+    }
+
+    #[test]
+    fn negative_and_signed_numbers() {
+        let q = parse("SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) >= - 10 AND SUM(b) <= +5").unwrap();
+        match &q.constraints[0] {
+            ConstraintExpr::Deterministic { value, .. } => assert_eq!(*value, -10.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &q.constraints[1] {
+            ConstraintExpr::Deterministic { value, .. } => assert_eq!(*value, 5.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probability_constraint_with_le_bound() {
+        let q = parse(
+            "SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) >= 0 WITH PROBABILITY <= 0.1",
+        )
+        .unwrap();
+        match &q.constraints[0] {
+            ConstraintExpr::Probabilistic { prob_op, .. } => assert_eq!(*prob_op, CompareOp::Le),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

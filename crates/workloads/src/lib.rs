@@ -1,0 +1,102 @@
+//! # spq-workloads — the paper's experimental workloads, synthesized
+//!
+//! The paper evaluates Naïve and SummarySearch on three workloads
+//! (Section 6.1, Table 3):
+//!
+//! * **Galaxy** — noisy sensor readings: SDSS sky-region fluxes with Gaussian
+//!   or Pareto noise; queries pick 5–10 regions minimizing expected total
+//!   flux subject to a probabilistic bound on the total flux.
+//! * **Portfolio** — financial predictions: stock trades whose future gains
+//!   follow geometric Brownian motion; queries maximize expected gain subject
+//!   to a budget and a Value-at-Risk-style probabilistic loss bound.
+//! * **TPC-H** — data-integration uncertainty: lineitem-like tuples whose
+//!   quantity and revenue are discrete mixtures over `D` integrated sources;
+//!   queries maximize the probability of high revenue subject to a
+//!   probabilistic quantity cap.
+//!
+//! The original datasets (SDSS DR12, Yahoo Finance, the TPC-H generator) are
+//! not redistributable, so this crate builds *synthetic* datasets that
+//! preserve the schemas, uncertainty models, and query parameters of Table 3.
+//! Each workload module exposes a config, a relation builder, and the eight
+//! sPaQL queries (`Q1`–`Q8`).
+
+pub mod galaxy;
+pub mod portfolio;
+pub mod spec;
+pub mod tpch;
+
+pub use galaxy::{GalaxyConfig, GalaxyNoise};
+pub use portfolio::{Horizon, PortfolioConfig};
+pub use spec::{all_query_specs, QuerySpec, Supportiveness, WorkloadKind};
+pub use tpch::TpchConfig;
+
+use spq_mcdb::Relation;
+
+/// A workload instance: a relation plus its eight queries.
+pub struct Workload {
+    /// Which of the three paper workloads this is.
+    pub kind: WorkloadKind,
+    /// The synthesized relation.
+    pub relation: Relation,
+    /// sPaQL text for queries Q1–Q8 (index 0 = Q1).
+    pub queries: Vec<String>,
+}
+
+impl Workload {
+    /// The sPaQL text of query `q` (1-based, `1..=8`).
+    pub fn query(&self, q: usize) -> &str {
+        &self.queries[q - 1]
+    }
+
+    /// The specification row of Table 3 for query `q` (1-based).
+    pub fn spec(&self, q: usize) -> QuerySpec {
+        spec::query_spec(self.kind, q)
+    }
+}
+
+/// Build a workload at a given scale (number of tuples) with a seed.
+///
+/// `scale` is the approximate number of tuples; each workload rounds it to
+/// its natural granularity (e.g. Portfolio uses two tuples per stock).
+pub fn build_workload(kind: WorkloadKind, scale: usize, seed: u64) -> Workload {
+    match kind {
+        WorkloadKind::Galaxy => galaxy::build_workload(scale, seed),
+        WorkloadKind::Portfolio => portfolio::build_workload(scale, seed),
+        WorkloadKind::Tpch => tpch::build_workload(scale, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_core::{Algorithm, SpqEngine, SpqOptions};
+
+    #[test]
+    fn all_workloads_build_and_parse() {
+        for kind in [WorkloadKind::Galaxy, WorkloadKind::Portfolio, WorkloadKind::Tpch] {
+            let w = build_workload(kind, 60, 1);
+            assert!(w.relation.len() >= 40, "{kind:?} too small");
+            assert_eq!(w.queries.len(), 8);
+            for q in 1..=8 {
+                let parsed = spq_spaql::parse(w.query(q)).expect("query parses");
+                let bound = spq_spaql::bind(&parsed, &w.relation).expect("query binds");
+                assert!(!bound.candidate_tuples.is_empty());
+                let _ = w.spec(q);
+            }
+        }
+    }
+
+    #[test]
+    fn a_galaxy_query_evaluates_end_to_end() {
+        let w = build_workload(WorkloadKind::Galaxy, 50, 3);
+        let engine = SpqEngine::new(
+            SpqOptions::for_tests()
+                .with_initial_scenarios(15)
+                .with_validation_scenarios(500),
+        );
+        let result = engine
+            .evaluate(&w.relation, w.query(3), Algorithm::SummarySearch)
+            .unwrap();
+        assert!(result.package.is_some());
+    }
+}

@@ -1,0 +1,269 @@
+//! The Portfolio workload: financial predictions.
+//!
+//! Each tuple is a potential trade: buy one share of a stock today and sell
+//! it after a given horizon. The current price is deterministic; the gain is
+//! stochastic and follows a per-stock geometric Brownian motion, so all
+//! trades of the same stock are correlated within a scenario (Figure 1).
+//! Queries maximize the expected total gain subject to a budget and a
+//! Value-at-Risk-style probabilistic bound on the loss.
+
+use crate::spec::{query_spec, QuerySpec, WorkloadKind};
+use crate::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spq_mcdb::vg::GeometricBrownianMotion;
+use spq_mcdb::{Relation, RelationBuilder, Value};
+
+/// The prediction horizon of the dataset variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Horizon {
+    /// "2-day" trades: sell after 1 or 2 trading days (two tuples per stock).
+    ShortTerm,
+    /// "1-week" trades: sell after 1–5 trading days (five tuples per stock).
+    LongTerm,
+}
+
+impl Horizon {
+    /// The sell-in horizons (in trading days) of this variant.
+    pub fn days(self) -> &'static [u32] {
+        match self {
+            Horizon::ShortTerm => &[1, 2],
+            Horizon::LongTerm => &[1, 2, 3, 4, 5],
+        }
+    }
+}
+
+/// Configuration of the Portfolio dataset generator.
+#[derive(Debug, Clone)]
+pub struct PortfolioConfig {
+    /// Number of stocks. Each stock produces `horizon.days().len()` tuples.
+    pub n_stocks: usize,
+    /// Short-term (2-day) or long-term (1-week) predictions.
+    pub horizon: Horizon,
+    /// Restrict to the 30% most volatile stocks (the paper's hardest
+    /// variants).
+    pub most_volatile_only: bool,
+    /// Seed for prices, drifts and volatilities.
+    pub seed: u64,
+}
+
+impl PortfolioConfig {
+    /// A configuration matching query `q`'s dataset variant (Table 3).
+    pub fn for_query(q: usize, n_stocks: usize, seed: u64) -> Self {
+        let (horizon, most_volatile_only) = match q {
+            1 | 2 => (Horizon::ShortTerm, false),
+            3..=6 => (Horizon::ShortTerm, true),
+            7 | 8 => (Horizon::LongTerm, true),
+            other => panic!("Portfolio has queries 1..=8, got {other}"),
+        };
+        PortfolioConfig {
+            n_stocks,
+            horizon,
+            most_volatile_only,
+            seed,
+        }
+    }
+}
+
+struct StockParams {
+    price: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+fn generate_stocks(config: &PortfolioConfig) -> Vec<StockParams> {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x504F5254);
+    let mut stocks: Vec<StockParams> = (0..config.n_stocks)
+        .map(|_| {
+            // Prices roughly between $20 and $500; daily drift around zero;
+            // daily volatility between 0.5% and 6%.
+            let price = rng.gen_range(20.0..500.0);
+            let mu = rng.gen_range(-0.002..0.003);
+            let sigma = rng.gen_range(0.005..0.06);
+            StockParams { price, mu, sigma }
+        })
+        .collect();
+    if config.most_volatile_only {
+        stocks.sort_by(|a, b| b.sigma.partial_cmp(&a.sigma).unwrap());
+        let keep = (stocks.len() * 3).div_ceil(10).max(1);
+        stocks.truncate(keep);
+    }
+    stocks
+}
+
+/// Build the Portfolio relation for a configuration.
+///
+/// Tuples of the same stock share one GBM driver group, so their gains are
+/// realized from the same simulated price path within each scenario.
+pub fn build_relation(config: &PortfolioConfig) -> Relation {
+    let stocks = generate_stocks(config);
+    let days = config.horizon.days();
+    let mut ids = Vec::new();
+    let mut symbols = Vec::new();
+    let mut prices = Vec::new();
+    let mut sell_in = Vec::new();
+    let mut gbm_price = Vec::new();
+    let mut gbm_mu = Vec::new();
+    let mut gbm_sigma = Vec::new();
+    let mut gbm_horizon = Vec::new();
+    let mut gbm_group = Vec::new();
+
+    let mut id = 0i64;
+    for (s, stock) in stocks.iter().enumerate() {
+        for &d in days {
+            id += 1;
+            ids.push(id);
+            symbols.push(Value::Text(format!("S{s:05}")));
+            prices.push(stock.price);
+            sell_in.push(Value::Text(if d == 1 {
+                "1 day".to_string()
+            } else {
+                format!("{d} days")
+            }));
+            gbm_price.push(stock.price);
+            gbm_mu.push(stock.mu);
+            gbm_sigma.push(stock.sigma);
+            gbm_horizon.push(d);
+            gbm_group.push(s as u64);
+        }
+    }
+
+    RelationBuilder::new("Stock_Investments")
+        .deterministic_i64("id", ids)
+        .deterministic("stock", symbols)
+        .deterministic_f64("price", prices)
+        .deterministic("sell_in", sell_in)
+        .stochastic(
+            "Gain",
+            GeometricBrownianMotion::new(gbm_price, gbm_mu, gbm_sigma, gbm_horizon, gbm_group),
+        )
+        .build()
+        .expect("valid portfolio relation")
+}
+
+/// The sPaQL text of Portfolio query `q` (the Figure 1 / Figure 9 template
+/// with Table 3 parameters).
+pub fn query(q: usize) -> String {
+    let spec: QuerySpec = query_spec(WorkloadKind::Portfolio, q);
+    format!(
+        "SELECT PACKAGE(*) AS Portfolio FROM Stock_Investments SUCH THAT \
+         SUM(price) <= 1000 AND \
+         SUM(Gain) >= {v} WITH PROBABILITY >= {p} \
+         MAXIMIZE EXPECTED SUM(Gain)",
+        v = spec.v,
+        p = spec.p,
+    )
+}
+
+/// Build a complete Portfolio [`Workload`]. `scale` is the approximate total
+/// number of tuples; the short-term variant (2 tuples per stock) is used for
+/// the shared relation.
+pub fn build_workload(scale: usize, seed: u64) -> Workload {
+    let config = PortfolioConfig {
+        n_stocks: (scale / 2).max(4),
+        horizon: Horizon::ShortTerm,
+        most_volatile_only: false,
+        seed,
+    };
+    Workload {
+        kind: WorkloadKind::Portfolio,
+        relation: build_relation(&config),
+        queries: (1..=8).map(query).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_mcdb::ScenarioGenerator;
+
+    #[test]
+    fn short_term_has_two_tuples_per_stock() {
+        let config = PortfolioConfig {
+            n_stocks: 10,
+            horizon: Horizon::ShortTerm,
+            most_volatile_only: false,
+            seed: 1,
+        };
+        let rel = build_relation(&config);
+        assert_eq!(rel.len(), 20);
+        assert!(rel.is_stochastic("Gain"));
+        assert_eq!(rel.value("sell_in", 0).unwrap().as_str(), Some("1 day"));
+        assert_eq!(rel.value("sell_in", 1).unwrap().as_str(), Some("2 days"));
+    }
+
+    #[test]
+    fn long_term_has_five_tuples_per_stock_and_volatile_subset_shrinks() {
+        let config = PortfolioConfig::for_query(7, 20, 1);
+        assert_eq!(config.horizon, Horizon::LongTerm);
+        assert!(config.most_volatile_only);
+        let rel = build_relation(&config);
+        // 30% of 20 stocks = 6 stocks, 5 horizons each.
+        assert_eq!(rel.len(), 30);
+    }
+
+    #[test]
+    fn same_stock_tuples_are_correlated_within_a_scenario() {
+        let config = PortfolioConfig {
+            n_stocks: 3,
+            horizon: Horizon::ShortTerm,
+            most_volatile_only: false,
+            seed: 5,
+        };
+        let rel = build_relation(&config);
+        let gen = ScenarioGenerator::new(11);
+        // The 1-day and 2-day gains of the same stock come from the same
+        // path: across many scenarios their correlation must be strongly
+        // positive, while different stocks are (nearly) uncorrelated.
+        let m = 400;
+        let matrix = gen.realize_matrix(&rel, "Gain", m).unwrap();
+        let corr = |a: usize, b: usize| {
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for j in 0..m {
+                let x = matrix.value(j, a);
+                let y = matrix.value(j, b);
+                sa += x;
+                sb += y;
+                saa += x * x;
+                sbb += y * y;
+                sab += x * y;
+            }
+            let n = m as f64;
+            let cov = sab / n - (sa / n) * (sb / n);
+            let va = saa / n - (sa / n) * (sa / n);
+            let vb = sbb / n - (sb / n) * (sb / n);
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        assert!(corr(0, 1) > 0.5, "same-stock correlation {}", corr(0, 1));
+        assert!(corr(0, 2).abs() < 0.3, "cross-stock correlation {}", corr(0, 2));
+    }
+
+    #[test]
+    fn queries_follow_table_3() {
+        assert!(query(1).contains(">= -10 WITH PROBABILITY >= 0.9"));
+        assert!(query(2).contains("WITH PROBABILITY >= 0.95"));
+        assert!(query(5).contains(">= -1 WITH PROBABILITY >= 0.9"));
+        for q in 1..=8 {
+            let text = query(q);
+            assert!(text.contains("SUM(price) <= 1000"));
+            assert!(text.contains("MAXIMIZE EXPECTED SUM(Gain)"));
+            assert!(spq_spaql::parse(&text).is_ok());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = build_relation(&PortfolioConfig::for_query(1, 10, 3));
+        let b = build_relation(&PortfolioConfig::for_query(1, 10, 3));
+        assert_eq!(
+            a.deterministic_f64("price").unwrap(),
+            b.deterministic_f64("price").unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "queries 1..=8")]
+    fn query_numbers_are_validated() {
+        let _ = PortfolioConfig::for_query(0, 10, 0);
+    }
+}

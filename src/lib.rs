@@ -1,0 +1,82 @@
+//! # stochastic-package-queries
+//!
+//! A from-scratch reproduction of *"Stochastic Package Queries in
+//! Probabilistic Databases"* (Brucato, Yadav, Abouzied, Haas, Meliou —
+//! SIGMOD 2020): in-database support for decision making under uncertainty
+//! via package queries with stochastic constraints and objectives.
+//!
+//! This facade crate re-exports the member crates of the workspace:
+//!
+//! * [`mcdb`] — the Monte Carlo probabilistic database substrate (relations,
+//!   VG functions, scenario generation).
+//! * [`solver`] — a from-scratch MILP solver (simplex + branch-and-bound with
+//!   indicator constraints), standing in for CPLEX.
+//! * [`spaql`] — the sPaQL language: lexer, parser, AST, binder.
+//! * [`core`] — the SPQ engine: SAA/Naïve, α-summaries, CSA/SummarySearch,
+//!   out-of-sample validation, and approximation-guarantee bounds.
+//! * [`workloads`] — synthetic Galaxy / Portfolio / TPC-H workloads and the
+//!   paper's 24-query suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stochastic_package_queries::prelude::*;
+//!
+//! // Three candidate trades with uncertain gains.
+//! let relation = RelationBuilder::new("stock_investments")
+//!     .deterministic_f64("price", vec![100.0, 100.0, 100.0])
+//!     .stochastic("Gain", NormalNoise::around(vec![5.0, 1.0, 0.3], vec![1.0, 0.3, 0.1]))
+//!     .build()
+//!     .unwrap();
+//!
+//! let engine = SpqEngine::new(SpqOptions::for_tests());
+//! let result = engine
+//!     .evaluate(
+//!         &relation,
+//!         "SELECT PACKAGE(*) FROM stock_investments \
+//!          SUCH THAT SUM(price) <= 200 AND \
+//!          SUM(Gain) >= -1 WITH PROBABILITY >= 0.9 \
+//!          MAXIMIZE EXPECTED SUM(Gain)",
+//!         Algorithm::SummarySearch,
+//!     )
+//!     .unwrap();
+//! assert!(result.feasible);
+//! ```
+
+pub use spq_core as core;
+pub use spq_mcdb as mcdb;
+pub use spq_solver as solver;
+pub use spq_spaql as spaql;
+pub use spq_workloads as workloads;
+
+/// Convenient single import for applications.
+pub mod prelude {
+    pub use spq_core::{
+        Algorithm, EvaluationResult, Package, SpqEngine, SpqOptions, ValidationReport,
+    };
+    pub use spq_mcdb::vg::{
+        DiscreteSources, GeometricBrownianMotion, NormalNoise, ParetoNoise, UniformNoise,
+    };
+    pub use spq_mcdb::{Relation, RelationBuilder, ScenarioGenerator, Value};
+    pub use spq_spaql::parse;
+    pub use spq_workloads::{build_workload, WorkloadKind};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let relation = RelationBuilder::new("t")
+            .deterministic_f64("price", vec![1.0, 2.0])
+            .stochastic("gain", NormalNoise::around(vec![0.5, 0.7], 0.1))
+            .build()
+            .unwrap();
+        assert_eq!(relation.len(), 2);
+        let query = parse("SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) <= 1").unwrap();
+        assert_eq!(query.table, "t");
+        let engine = SpqEngine::new(SpqOptions::for_tests());
+        assert_eq!(engine.options().initial_summaries, 1);
+    }
+}

@@ -8,16 +8,17 @@ use spq_workloads::{build_workload, WorkloadKind};
 use std::time::Duration;
 
 fn options() -> SpqOptions {
-    let mut o = SpqOptions::default();
-    o.seed = 11;
-    o.initial_scenarios = 15;
-    o.scenario_increment = 15;
-    o.max_scenarios = 45;
-    o.validation_scenarios = 1_000;
-    o.expectation_scenarios = 300;
-    o.time_limit = Some(Duration::from_secs(8));
-    o.solver = spq_solver::SolverOptions::with_time_limit_secs(4);
-    o
+    SpqOptions {
+        seed: 11,
+        initial_scenarios: 15,
+        scenario_increment: 15,
+        max_scenarios: 45,
+        validation_scenarios: 1_000,
+        expectation_scenarios: 300,
+        time_limit: Some(Duration::from_secs(8)),
+        solver: spq_solver::SolverOptions::with_time_limit_secs(4),
+        ..Default::default()
+    }
 }
 
 fn bench_end_to_end(c: &mut Criterion) {

@@ -88,7 +88,9 @@ fn bench_solver(c: &mut Criterion) {
     for &m in &[5usize, 15] {
         let formulation = formulate_saa(&instance, m).unwrap();
         group.bench_with_input(BenchmarkId::new("saa_portfolio_120", m), &m, |b, _| {
-            b.iter(|| solve_full(&formulation.model, &SolverOptions::with_time_limit_secs(20)).unwrap())
+            b.iter(|| {
+                solve_full(&formulation.model, &SolverOptions::with_time_limit_secs(20)).unwrap()
+            })
         });
     }
     group.finish();
@@ -108,9 +110,11 @@ fn bench_validation(c: &mut Criterion) {
     let mut group = c.benchmark_group("validation");
     group.sample_size(20);
     for &m_hat in &[1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::new("portfolio_package5", m_hat), &m_hat, |b, &m_hat| {
-            b.iter(|| spq_core::validate(&instance, &x, m_hat).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("portfolio_package5", m_hat),
+            &m_hat,
+            |b, &m_hat| b.iter(|| spq_core::validate(&instance, &x, m_hat).unwrap()),
+        );
     }
     group.finish();
 }

@@ -33,7 +33,14 @@ fn main() {
                     kind.to_string(),
                     format!("Q{q}"),
                     algorithm.to_string(),
-                    format!("{}", if spec_row.feasible { "feasible" } else { "infeasible" }),
+                    format!(
+                        "{}",
+                        if spec_row.feasible {
+                            "feasible"
+                        } else {
+                            "infeasible"
+                        }
+                    ),
                     format!("{:.0}%", 100.0 * agg.feasibility_rate),
                     format!("{:.3}", agg.mean_seconds),
                     agg.mean_objective

@@ -95,24 +95,26 @@ impl HarnessConfig {
         initial_scenarios: usize,
         initial_summaries: usize,
     ) -> SpqOptions {
-        let mut o = SpqOptions::default();
-        o.seed = seed;
-        o.initial_scenarios = initial_scenarios;
-        o.scenario_increment = initial_scenarios.max(10);
-        o.max_scenarios = 400;
-        o.validation_scenarios = self.validation;
-        o.expectation_scenarios = self.validation.min(1000);
-        o.initial_summaries = initial_summaries;
-        o.time_limit = Some(self.time_limit);
-        o.solver = solver_options(self.time_limit);
-        o
+        SpqOptions {
+            seed,
+            initial_scenarios,
+            scenario_increment: initial_scenarios.max(10),
+            max_scenarios: 400,
+            validation_scenarios: self.validation,
+            expectation_scenarios: self.validation.min(1000),
+            initial_summaries,
+            time_limit: Some(self.time_limit),
+            solver: solver_options(self.time_limit),
+            ..Default::default()
+        }
     }
 }
 
 fn solver_options(limit: Duration) -> spq_solver::SolverOptions {
-    let mut s = spq_solver::SolverOptions::default();
-    s.time_limit = Some(limit.min(Duration::from_secs(30)));
-    s
+    spq_solver::SolverOptions {
+        time_limit: Some(limit.min(Duration::from_secs(30))),
+        ..Default::default()
+    }
 }
 
 /// The outcome of one measured run.
@@ -221,7 +223,9 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
     let best_objective = objectives
         .iter()
         .cloned()
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        });
     Aggregate {
         feasibility_rate: feasible / n,
         mean_seconds,

@@ -107,7 +107,13 @@ pub fn fit_arctan(points: &[(f64, f64)]) -> Option<ArctanFit> {
             }
             let a = (n * s_xy - s_x * s_y) / det;
             let d = (s_y - a * s_x) / n;
-            let fit = ArctanFit { a, b, c, d, sse: 0.0 };
+            let fit = ArctanFit {
+                a,
+                b,
+                c,
+                d,
+                sse: 0.0,
+            };
             let sse: f64 = points
                 .iter()
                 .map(|&(alpha, r)| {

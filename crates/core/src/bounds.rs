@@ -99,26 +99,31 @@ pub fn omega_bounds(instance: &Instance<'_>) -> OmegaBounds {
             crate::silp::CoeffSource::Stochastic(_) => instance.objective_value_bounds(),
             other => {
                 // Deterministic coefficients: bound by their min/max.
-                instance
-                    .coefficients(other)
-                    .ok()
-                    .and_then(|c| {
-                        let lo = c.iter().cloned().fold(f64::INFINITY, f64::min);
-                        let hi = c.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                        if lo.is_finite() && hi.is_finite() {
-                            Some((lo, hi))
-                        } else {
-                            None
-                        }
-                    })
+                instance.coefficients(other).ok().and_then(|c| {
+                    let lo = c.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let hi = c.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    if lo.is_finite() && hi.is_finite() {
+                        Some((lo, hi))
+                    } else {
+                        None
+                    }
+                })
             }
         },
         SilpObjective::Probability { .. } => None,
     };
     if let Some((s_lo, s_hi)) = value_bounds {
         if l_hi.is_finite() {
-            let lower = if s_lo >= 0.0 { s_lo * l_lo } else { s_lo * l_hi };
-            let upper = if s_hi >= 0.0 { s_hi * l_hi } else { s_hi * l_lo };
+            let lower = if s_lo >= 0.0 {
+                s_lo * l_lo
+            } else {
+                s_lo * l_hi
+            };
+            let upper = if s_hi >= 0.0 {
+                s_hi * l_hi
+            } else {
+                s_hi * l_lo
+            };
             bounds.lower = bounds.lower.max(lower);
             bounds.upper = bounds.upper.min(upper);
         } else if s_lo >= 0.0 {
@@ -302,7 +307,10 @@ mod tests {
         // Galaxy-style query: minimize expected flux subject to
         // Pr(SUM(flux) >= 40) >= 0.9 -> ω̂ >= 36.
         let rel = RelationBuilder::new("g")
-            .stochastic("flux", NormalNoise::around(vec![10.0, 12.0, 9.0, 11.0], 2.0))
+            .stochastic(
+                "flux",
+                NormalNoise::around(vec![10.0, 12.0, 9.0, 11.0], 2.0),
+            )
             .build()
             .unwrap();
         let silp = Silp {

@@ -366,7 +366,9 @@ mod tests {
         let rel = relation();
         let inst = Instance::new(&rel, silp(), SpqOptions::for_tests()).unwrap();
         let m = 40;
-        let saa = crate::saa::formulate_saa(&inst, m).unwrap().num_coefficients();
+        let saa = crate::saa::formulate_saa(&inst, m)
+            .unwrap()
+            .num_coefficients();
         let matrices = realize_matrices(&inst, m).unwrap();
         let x0 = vec![4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 1).unwrap();

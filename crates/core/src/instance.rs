@@ -50,18 +50,16 @@ impl<'a> Instance<'a> {
         // Collect referenced columns.
         let mut det_cols: Vec<String> = Vec::new();
         let mut stoch_cols: Vec<String> = Vec::new();
-        let mut record = |coeff: &CoeffSource| {
-            match coeff {
-                CoeffSource::Constant(_) => {}
-                CoeffSource::Deterministic(c) => {
-                    if !det_cols.contains(c) {
-                        det_cols.push(c.clone());
-                    }
+        let mut record = |coeff: &CoeffSource| match coeff {
+            CoeffSource::Constant(_) => {}
+            CoeffSource::Deterministic(c) => {
+                if !det_cols.contains(c) {
+                    det_cols.push(c.clone());
                 }
-                CoeffSource::Stochastic(c) => {
-                    if !stoch_cols.contains(c) {
-                        stoch_cols.push(c.clone());
-                    }
+            }
+            CoeffSource::Stochastic(c) => {
+                if !stoch_cols.contains(c) {
+                    stoch_cols.push(c.clone());
                 }
             }
         };
@@ -150,9 +148,12 @@ impl<'a> Instance<'a> {
     /// Realize one optimization scenario of a stochastic column, restricted
     /// to candidate tuples.
     pub fn optimization_scenario(&self, column: &str, scenario: usize) -> Result<Vec<f64>> {
-        let row = self
-            .opt_gen
-            .realize_sparse(self.relation, column, &self.silp.tuples, scenario..scenario + 1)?;
+        let row = self.opt_gen.realize_sparse(
+            self.relation,
+            column,
+            &self.silp.tuples,
+            scenario..scenario + 1,
+        )?;
         Ok(row.into_iter().next().unwrap_or_default())
     }
 
@@ -275,10 +276,13 @@ fn derive_multiplicity_bounds(
 ) -> Vec<f64> {
     let n = silp.num_vars();
     let fallback = f64::from(options.fallback_multiplicity_bound);
-    let mut bounds = vec![match silp.repeat_bound {
-        Some(r) => f64::from(r),
-        None => f64::INFINITY,
-    }; n];
+    let mut bounds = vec![
+        match silp.repeat_bound {
+            Some(r) => f64::from(r),
+            None => f64::INFINITY,
+        };
+        n
+    ];
 
     for c in &silp.constraints {
         if c.kind.is_probabilistic() || c.sense != Sense::Le || c.rhs < 0.0 {
@@ -364,10 +368,15 @@ mod tests {
     #[test]
     fn coefficients_pick_the_right_source() {
         let rel = relation();
-        let inst = Instance::new(&rel, silp(vec![budget_constraint(500.0)]), SpqOptions::for_tests())
-            .unwrap();
+        let inst = Instance::new(
+            &rel,
+            silp(vec![budget_constraint(500.0)]),
+            SpqOptions::for_tests(),
+        )
+        .unwrap();
         assert_eq!(
-            inst.coefficients(&CoeffSource::Deterministic("price".into())).unwrap(),
+            inst.coefficients(&CoeffSource::Deterministic("price".into()))
+                .unwrap(),
             vec![100.0, 250.0, 50.0, 400.0]
         );
         assert_eq!(
@@ -450,8 +459,7 @@ mod tests {
     #[test]
     fn objective_value_bounds_are_sampled_for_stochastic_objectives() {
         let rel = relation();
-        let inst =
-            Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
+        let inst = Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
         let (lo, hi) = inst.objective_value_bounds().unwrap();
         assert!(lo < hi);
         // Gains are N(1..4, 0.5); sampled bounds should be within a broad
@@ -462,8 +470,7 @@ mod tests {
     #[test]
     fn unknown_column_reports_internal_error() {
         let rel = relation();
-        let inst =
-            Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
+        let inst = Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
         assert!(inst.expectations("nope").is_err());
         assert!(inst.deterministic("nope").is_err());
     }

@@ -63,11 +63,7 @@ pub fn evaluate_naive(instance: &Instance<'_>) -> Result<EvaluationResult> {
                 Some(b) => {
                     (report.feasible && !best_feasible)
                         || (report.feasible == best_feasible
-                            && better(
-                                direction,
-                                package.objective_estimate,
-                                b.objective_estimate,
-                            ))
+                            && better(direction, package.objective_estimate, b.objective_estimate))
                 }
             };
             if replace {

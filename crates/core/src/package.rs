@@ -78,7 +78,10 @@ impl Package {
                         .unwrap_or_default()
                 })
                 .collect();
-            out.push_str(&format!("  x{mult}  tuple {tuple}: {}\n", values.join(", ")));
+            out.push_str(&format!(
+                "  x{mult}  tuple {tuple}: {}\n",
+                values.join(", ")
+            ));
         }
         out
     }

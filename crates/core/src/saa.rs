@@ -152,14 +152,7 @@ pub fn build_model(
                 .filter(|(_, &co)| co != 0.0)
                 .map(|(x, &co)| (*x, co))
                 .collect();
-            model.add_indicator(
-                format!("{}_row{j}", c.name),
-                y,
-                true,
-                terms,
-                c.sense,
-                c.rhs,
-            );
+            model.add_indicator(format!("{}_row{j}", c.name), y, true, terms, c.sense, c.rhs);
             ys.push(y);
         }
         model.add_constraint(
@@ -188,7 +181,14 @@ pub fn build_model(
                 .filter(|(_, &co)| co != 0.0)
                 .map(|(x, &co)| (*x, co))
                 .collect();
-            model.add_indicator(format!("obj_row{j}"), y, true, terms, ob.sense, ob.threshold);
+            model.add_indicator(
+                format!("obj_row{j}"),
+                y,
+                true,
+                terms,
+                ob.sense,
+                ob.threshold,
+            );
             objective_indicators.push(y);
         }
     }

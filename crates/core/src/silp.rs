@@ -142,9 +142,8 @@ impl SilpObjective {
     /// The optimization direction.
     pub fn direction(&self) -> Direction {
         match self {
-            SilpObjective::Linear { direction, .. } | SilpObjective::Probability { direction, .. } => {
-                *direction
-            }
+            SilpObjective::Linear { direction, .. }
+            | SilpObjective::Probability { direction, .. } => *direction,
         }
     }
 

@@ -119,8 +119,7 @@ pub fn summarize_partition(
 /// Greedily select `G_z(α)` — the `⌈α·|partition|⌉` scenarios whose summary
 /// is most likely to keep the previous solution feasible (Section 5.3).
 fn select_g(scenarios: &ScenarioMatrix, partition: &[usize], spec: &SummarySpec<'_>) -> Vec<usize> {
-    let count = ((spec.alpha * partition.len() as f64).ceil() as usize)
-        .clamp(1, partition.len());
+    let count = ((spec.alpha * partition.len() as f64).ceil() as usize).clamp(1, partition.len());
     match spec.previous_solution {
         None => partition.iter().copied().take(count).collect(),
         Some(prev) => {
@@ -261,10 +260,7 @@ mod tests {
         // every scenario.
         let x = vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0];
         let rhs: f64 = summary.iter().zip(&x).map(|(s, v)| s * v).sum();
-        assert_eq!(
-            count_satisfied_scenarios(&scenarios, &x, Sense::Le, rhs),
-            3
-        );
+        assert_eq!(count_satisfied_scenarios(&scenarios, &x, Sense::Le, rhs), 3);
     }
 
     #[test]

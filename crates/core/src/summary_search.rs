@@ -233,7 +233,9 @@ mod tests {
         opts.initial_scenarios = 40;
         opts.validation_scenarios = 500;
         let inst = Instance::new(&rel, silp(0.9, 0.0), opts).unwrap();
-        let saa_size = crate::saa::formulate_saa(&inst, 40).unwrap().num_coefficients();
+        let saa_size = crate::saa::formulate_saa(&inst, 40)
+            .unwrap()
+            .num_coefficients();
         let result = evaluate_summary_search(&inst).unwrap();
         assert!(result.feasible);
         assert!(

@@ -68,10 +68,7 @@ fn scenario_scores(
             }
         }
     }
-    Ok(scores
-        .into_iter()
-        .zip(partition.iter().copied())
-        .collect())
+    Ok(scores.into_iter().zip(partition.iter().copied()).collect())
 }
 
 /// Build the α-summary of one partition without materializing the full
@@ -88,7 +85,13 @@ pub fn summarize_partition_streaming(
         return Ok(vec![0.0; n]);
     }
     // --- G_z(α) selection by scenario score. -------------------------------
-    let mut scored = scenario_scores(instance, column, partition, spec.previous_solution, strategy)?;
+    let mut scored = scenario_scores(
+        instance,
+        column,
+        partition,
+        spec.previous_solution,
+        strategy,
+    )?;
     if spec.previous_solution.is_some() {
         if spec.sense == Sense::Ge {
             scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -163,7 +166,9 @@ pub fn summarize_partition_streaming(
 mod tests {
     use super::*;
     use crate::options::SpqOptions;
-    use crate::silp::{CoeffSource, ConstraintKind, Direction, Silp, SilpConstraint, SilpObjective};
+    use crate::silp::{
+        CoeffSource, ConstraintKind, Direction, Silp, SilpConstraint, SilpObjective,
+    };
     use crate::summary::{partition_scenarios, summarize_partition};
     use spq_mcdb::vg::NormalNoise;
     use spq_mcdb::RelationBuilder;
@@ -171,7 +176,10 @@ mod tests {
     fn instance_fixture() -> (spq_mcdb::Relation, Silp) {
         let rel = RelationBuilder::new("t")
             .deterministic_f64("price", vec![10.0; 6])
-            .stochastic("gain", NormalNoise::around(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 1.5))
+            .stochastic(
+                "gain",
+                NormalNoise::around(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 1.5),
+            )
             .build()
             .unwrap();
         let silp = Silp {
@@ -217,7 +225,10 @@ mod tests {
                             &instance, "gain", partition, &spec, strategy,
                         )
                         .unwrap();
-                        assert_eq!(streamed, reference, "{sense:?} {strategy:?} accel={accelerate}");
+                        assert_eq!(
+                            streamed, reference,
+                            "{sense:?} {strategy:?} accel={accelerate}"
+                        );
                     }
                 }
             }

@@ -198,7 +198,10 @@ mod tests {
         assert_eq!(s.tuples, vec![0, 1, 2]);
         assert_eq!(s.constraints.len(), 2);
         assert_eq!(s.constraints[0].kind, ConstraintKind::Deterministic);
-        assert_eq!(s.constraints[0].coeff, CoeffSource::Deterministic("price".into()));
+        assert_eq!(
+            s.constraints[0].coeff,
+            CoeffSource::Deterministic("price".into())
+        );
         assert_eq!(
             s.constraints[1].kind,
             ConstraintKind::Probabilistic { probability: 0.95 }
@@ -240,10 +243,7 @@ mod tests {
         let c = &s.constraints[0];
         // Pr(sum >= 0) <= 0.1 becomes Pr(sum <= 0) >= 0.9.
         assert_eq!(c.sense, Sense::Le);
-        assert_eq!(
-            c.kind,
-            ConstraintKind::Probabilistic { probability: 0.9 }
-        );
+        assert_eq!(c.kind, ConstraintKind::Probabilistic { probability: 0.9 });
     }
 
     #[test]

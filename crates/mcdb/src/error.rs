@@ -59,7 +59,10 @@ impl fmt::Display for McdbError {
                 write!(f, "invalid parameter for VG function {vg}: {message}")
             }
             McdbError::TupleOutOfBounds { index, len } => {
-                write!(f, "tuple index {index} out of bounds for relation of size {len}")
+                write!(
+                    f,
+                    "tuple index {index} out of bounds for relation of size {len}"
+                )
             }
             McdbError::NotNumeric(c) => write!(f, "column `{c}` contains non-numeric values"),
         }

@@ -84,7 +84,10 @@ impl Relation {
         let values = self.deterministic_column(name)?;
         values
             .iter()
-            .map(|v| v.as_f64().ok_or_else(|| McdbError::NotNumeric(name.to_string())))
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| McdbError::NotNumeric(name.to_string()))
+            })
             .collect()
     }
 
@@ -304,7 +307,10 @@ mod tests {
     #[test]
     fn deterministic_access_and_numeric_conversion() {
         let r = portfolio();
-        assert_eq!(r.deterministic_f64("price").unwrap(), vec![234.0, 140.0, 258.0]);
+        assert_eq!(
+            r.deterministic_f64("price").unwrap(),
+            vec![234.0, 140.0, 258.0]
+        );
         assert_eq!(r.value("stock", 1).unwrap().as_str(), Some("MSFT"));
         assert!(r.deterministic_f64("stock").is_err());
         assert!(r.value("price", 9).is_err());

@@ -49,11 +49,7 @@ impl ScenarioMatrix {
 
     /// Number of scenarios.
     pub fn num_scenarios(&self) -> usize {
-        if self.n_tuples == 0 {
-            0
-        } else {
-            self.data.len() / self.n_tuples
-        }
+        self.data.len().checked_div(self.n_tuples).unwrap_or(0)
     }
 
     /// Number of tuples.
@@ -265,9 +261,9 @@ mod tests {
         let g = ScenarioGenerator::new(5);
         let matrix = g.realize_matrix(&r, "gain", 8).unwrap();
         let sparse = g.realize_sparse(&r, "gain", &[2, 0], 0..8).unwrap();
-        for j in 0..8 {
-            assert_eq!(sparse[j][0], matrix.value(j, 2));
-            assert_eq!(sparse[j][1], matrix.value(j, 0));
+        for (j, row) in sparse.iter().enumerate() {
+            assert_eq!(row[0], matrix.value(j, 2));
+            assert_eq!(row[1], matrix.value(j, 0));
         }
     }
 
@@ -285,8 +281,12 @@ mod tests {
     #[test]
     fn different_seeds_and_streams_differ() {
         let r = rel();
-        let a = ScenarioGenerator::new(1).realize_column(&r, "gain", 0).unwrap();
-        let b = ScenarioGenerator::new(2).realize_column(&r, "gain", 0).unwrap();
+        let a = ScenarioGenerator::new(1)
+            .realize_column(&r, "gain", 0)
+            .unwrap();
+        let b = ScenarioGenerator::new(2)
+            .realize_column(&r, "gain", 0)
+            .unwrap();
         let c = ScenarioGenerator::validation(1)
             .realize_column(&r, "gain", 0)
             .unwrap();
@@ -294,7 +294,10 @@ mod tests {
         assert_ne!(a.values, c.values);
         assert_eq!(ScenarioGenerator::new(1).base_seed(), 1);
         assert_eq!(ScenarioGenerator::new(1).stream(), Stream::Optimization);
-        assert_eq!(ScenarioGenerator::validation(1).stream(), Stream::Validation);
+        assert_eq!(
+            ScenarioGenerator::validation(1).stream(),
+            Stream::Validation
+        );
     }
 
     #[test]

@@ -54,7 +54,13 @@ pub fn mix(words: &[u64]) -> u64 {
 /// `column_tag` is a stable hash of the column name, `group` is the driver
 /// group index (tuples that share correlated randomness share a group), and
 /// `scenario` is the scenario index within the stream.
-pub fn cell_rng(base_seed: u64, stream: Stream, column_tag: u64, group: u64, scenario: u64) -> SmallRng {
+pub fn cell_rng(
+    base_seed: u64,
+    stream: Stream,
+    column_tag: u64,
+    group: u64,
+    scenario: u64,
+) -> SmallRng {
     let seed = mix(&[base_seed, stream.tag(), column_tag, group, scenario]);
     SmallRng::seed_from_u64(seed)
 }

@@ -80,6 +80,11 @@ pub trait VgFunction: Send + Sync + fmt::Debug {
     /// Number of tuples this VG function parameterizes.
     fn len(&self) -> usize;
 
+    /// True when the function parameterizes no tuples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// The correlation driver group of a tuple. Tuples with the same group
     /// share the RNG stream within a scenario, and therefore can be
     /// statistically correlated (e.g. all trades of one stock share a price
@@ -373,7 +378,7 @@ impl VgFunction for ExponentialNoise {
     }
 
     fn validate(&self) -> Result<()> {
-        if !(self.lambda > 0.0) {
+        if self.lambda.is_nan() || self.lambda <= 0.0 {
             return Err(McdbError::InvalidVgParameter {
                 vg: "exponential-noise",
                 message: "lambda must be positive".into(),
@@ -420,7 +425,7 @@ impl VgFunction for PoissonNoise {
     }
 
     fn validate(&self) -> Result<()> {
-        if !(self.lambda > 0.0) {
+        if self.lambda.is_nan() || self.lambda <= 0.0 {
             return Err(McdbError::InvalidVgParameter {
                 vg: "poisson-noise",
                 message: "lambda must be positive".into(),
@@ -473,7 +478,7 @@ impl VgFunction for StudentTNoise {
     }
 
     fn validate(&self) -> Result<()> {
-        if !(self.nu > 0.0) {
+        if self.nu.is_nan() || self.nu <= 0.0 {
             return Err(McdbError::InvalidVgParameter {
                 vg: "student-t-noise",
                 message: "degrees of freedom must be positive".into(),
@@ -858,8 +863,12 @@ mod tests {
     fn invalid_rates_are_rejected() {
         assert!(ExponentialNoise::around(vec![1.0], 0.0).validate().is_err());
         assert!(PoissonNoise::around(vec![1.0], -1.0).validate().is_err());
-        assert!(StudentTNoise::around(vec![1.0], 0.0, 1.0).validate().is_err());
-        assert!(UniformNoise::around(vec![1.0], 2.0, 1.0).validate().is_err());
+        assert!(StudentTNoise::around(vec![1.0], 0.0, 1.0)
+            .validate()
+            .is_err());
+        assert!(UniformNoise::around(vec![1.0], 2.0, 1.0)
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -903,13 +912,8 @@ mod tests {
 
     #[test]
     fn gbm_mean_matches_analytic_growth() {
-        let vg = GeometricBrownianMotion::new(
-            vec![100.0],
-            vec![0.001],
-            vec![0.01],
-            vec![5],
-            vec![0],
-        );
+        let vg =
+            GeometricBrownianMotion::new(vec![100.0], vec![0.001], vec![0.01], vec![5], vec![0]);
         let analytic = vg.mean(0).unwrap();
         let m = empirical_mean(&vg, 0, 20000);
         assert!(
@@ -920,7 +924,8 @@ mod tests {
 
     #[test]
     fn gbm_validate_checks_lengths_and_positivity() {
-        let bad = GeometricBrownianMotion::new(vec![100.0], vec![0.0], vec![0.01], vec![1, 2], vec![0]);
+        let bad =
+            GeometricBrownianMotion::new(vec![100.0], vec![0.0], vec![0.01], vec![1, 2], vec![0]);
         assert!(bad.validate().is_err());
         let bad2 =
             GeometricBrownianMotion::new(vec![-1.0], vec![0.0], vec![0.01], vec![1], vec![0]);
@@ -972,8 +977,12 @@ mod tests {
 
     #[test]
     fn dispersion_validation() {
-        assert!(SourceDispersion::Exponential { lambda: 0.0 }.validate().is_err());
-        assert!(SourceDispersion::Uniform { lo: 1.0, hi: 0.0 }.validate().is_err());
+        assert!(SourceDispersion::Exponential { lambda: 0.0 }
+            .validate()
+            .is_err());
+        assert!(SourceDispersion::Uniform { lo: 1.0, hi: 0.0 }
+            .validate()
+            .is_err());
         assert!(SourceDispersion::StudentT { nu: 2.0 }.validate().is_ok());
         assert!(SourceDispersion::Poisson { lambda: 1.0 }.validate().is_ok());
     }

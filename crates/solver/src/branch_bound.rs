@@ -362,7 +362,8 @@ impl BranchBoundSolver {
         let lower: Vec<f64> = vars.iter().map(|v| v.lower).collect();
         let upper: Vec<f64> = vars.iter().map(|v| v.upper).collect();
         let objective: Vec<f64> = vars.iter().map(|v| sign * v.objective).collect();
-        let mut rows: Vec<LpRow> = Vec::with_capacity(model.constraints().len() + model.indicators().len());
+        let mut rows: Vec<LpRow> =
+            Vec::with_capacity(model.constraints().len() + model.indicators().len());
         for c in model.constraints() {
             rows.push(LpRow {
                 terms: c.terms.iter().map(|(v, co)| (v.0, *co)).collect(),
@@ -437,8 +438,12 @@ impl BranchBoundSolver {
                             constraint: sub,
                         };
                         // Inline the two cases by recursion-free duplication.
-                        let terms2: Vec<(usize, f64)> =
-                            sub_ind.constraint.terms.iter().map(|(v, co)| (v.0, *co)).collect();
+                        let terms2: Vec<(usize, f64)> = sub_ind
+                            .constraint
+                            .terms
+                            .iter()
+                            .map(|(v, co)| (v.0, *co))
+                            .collect();
                         let (lo2, hi2) = self.expr_bounds(&terms2, &lower, &upper);
                         let y2 = sub_ind.indicator.0;
                         let rhs2 = sub_ind.constraint.rhs;
@@ -704,7 +709,15 @@ mod tests {
         // cannot finish.
         let mut m = Model::maximize();
         let vars: Vec<_> = (0..12)
-            .map(|i| m.add_var(format!("x{i}"), VarType::Binary, 0.0, 1.0, (i % 5) as f64 + 1.0))
+            .map(|i| {
+                m.add_var(
+                    format!("x{i}"),
+                    VarType::Binary,
+                    0.0,
+                    1.0,
+                    (i % 5) as f64 + 1.0,
+                )
+            })
             .collect();
         m.add_constraint(
             "cap",

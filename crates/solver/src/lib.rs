@@ -36,7 +36,9 @@ pub mod model;
 pub mod simplex;
 pub mod standard_form;
 
-pub use branch_bound::{solve, solve_full, BranchBoundSolver, MilpResult, SolveStatus, SolverOptions};
+pub use branch_bound::{
+    solve, solve_full, BranchBoundSolver, MilpResult, SolveStatus, SolverOptions,
+};
 pub use error::SolverError;
 pub use model::{
     Constraint, Direction, IndicatorConstraint, LinearExpr, Model, Sense, Solution, VarId, VarType,

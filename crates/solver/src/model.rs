@@ -323,7 +323,10 @@ impl Model {
     /// Total number of non-zero coefficients, the paper's measure of problem
     /// size (Section 3.1 "Size complexity").
     pub fn num_coefficients(&self) -> usize {
-        self.constraints.iter().map(|c| c.terms.len()).sum::<usize>()
+        self.constraints
+            .iter()
+            .map(|c| c.terms.len())
+            .sum::<usize>()
             + self
                 .indicators
                 .iter()
@@ -408,7 +411,11 @@ impl Model {
         }
         for ic in &self.indicators {
             let ind = assignment[ic.indicator.0];
-            let active = if ic.active_value { ind > 0.5 } else { ind <= 0.5 };
+            let active = if ic.active_value {
+                ind > 0.5
+            } else {
+                ind <= 0.5
+            };
             if active && !ic.constraint.is_satisfied(assignment, tol) {
                 return false;
             }

@@ -138,8 +138,8 @@ impl Tableau {
         // Eliminate from the objective row.
         let factor = d[j];
         if factor.abs() > 0.0 {
-            for c in 0..self.n_total {
-                d[c] -= factor * self.at(r, c);
+            for (c, dc) in d.iter_mut().enumerate().take(self.n_total) {
+                *dc -= factor * self.at(r, c);
             }
             *z += factor * self.rhs[r];
         }
@@ -157,8 +157,8 @@ impl Tableau {
                 continue;
             }
             z += cb * self.rhs[r];
-            for c in 0..self.n_total {
-                d[c] -= cb * self.at(r, c);
+            for (c, dc) in d.iter_mut().enumerate().take(self.n_total) {
+                *dc -= cb * self.at(r, c);
             }
         }
         // The objective row convention: obj = z + sum d_j * x_j over nonbasic.
@@ -189,17 +189,17 @@ impl Tableau {
             // Choose the entering column.
             let mut enter: Option<usize> = None;
             if use_bland {
-                for j in 0..allowed_cols {
-                    if d[j] < -EPS {
+                for (j, &dj) in d.iter().enumerate().take(allowed_cols) {
+                    if dj < -EPS {
                         enter = Some(j);
                         break;
                     }
                 }
             } else {
                 let mut best = -EPS;
-                for j in 0..allowed_cols {
-                    if d[j] < best {
-                        best = d[j];
+                for (j, &dj) in d.iter().enumerate().take(allowed_cols) {
+                    if dj < best {
+                        best = dj;
                         enter = Some(j);
                     }
                 }
@@ -216,7 +216,9 @@ impl Tableau {
                     let ratio = self.rhs[r] / a;
                     let better = ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && leave.map(|lr| self.basis[r] < self.basis[lr]).unwrap_or(true));
+                            && leave
+                                .map(|lr| self.basis[r] < self.basis[lr])
+                                .unwrap_or(true));
                     if better {
                         best_ratio = ratio;
                         leave = Some(r);
@@ -243,8 +245,8 @@ fn solve_standard(sf: &StandardForm, max_iters: usize) -> Result<(LpStatus, Vec<
     // --- Phase 1 -----------------------------------------------------------
     if n_total > n_real {
         let mut cost1 = vec![0.0; n_total];
-        for c in n_real..n_total {
-            cost1[c] = 1.0;
+        for c1 in cost1.iter_mut().skip(n_real) {
+            *c1 = 1.0;
         }
         let (mut d, mut z) = tab.reduced_costs(&cost1);
         let status = tab.optimize(&mut d, &mut z, n_total, max_iters)?;
@@ -528,7 +530,9 @@ mod tests {
         let mut rows = Vec::new();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for r in 0..15 {

@@ -225,10 +225,7 @@ pub fn to_standard_form(lp: &LpProblem) -> Result<StandardForm> {
         }
     }
     // Count slack columns.
-    let num_slacks = raw_rows
-        .iter()
-        .filter(|r| r.sense != Sense::Eq)
-        .count();
+    let num_slacks = raw_rows.iter().filter(|r| r.sense != Sense::Eq).count();
     let total_cols = num_cols + num_slacks;
     let mut a = vec![0.0; num_rows * total_cols];
     let mut b = vec![0.0; num_rows];

@@ -104,7 +104,10 @@ impl fmt::Display for ConstraintExpr {
                 value,
                 prob_op,
                 probability,
-            } => write!(f, "{agg} {op} {value} WITH PROBABILITY {prob_op} {probability}"),
+            } => write!(
+                f,
+                "{agg} {op} {value} WITH PROBABILITY {prob_op} {probability}"
+            ),
         }
     }
 }

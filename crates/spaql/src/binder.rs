@@ -1,8 +1,6 @@
 //! Semantic analysis: binding a parsed query against a relation schema.
 
-use crate::ast::{
-    AggExpr, ConstraintExpr, ObjectiveExpr, PackageQuery, PredicateValue,
-};
+use crate::ast::{AggExpr, ConstraintExpr, ObjectiveExpr, PackageQuery, PredicateValue};
 use crate::error::SpaqlError;
 use crate::token::CompareOp;
 use crate::Result;
@@ -257,9 +255,8 @@ mod tests {
 
     #[test]
     fn probabilistic_constraint_over_deterministic_attribute_is_rejected() {
-        let q =
-            parse("SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) <= 1 WITH PROBABILITY >= 0.9")
-                .unwrap();
+        let q = parse("SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) <= 1 WITH PROBABILITY >= 0.9")
+            .unwrap();
         assert!(matches!(
             bind(&q, &relation()).unwrap_err(),
             SpaqlError::AttributeKindMismatch { .. }
@@ -291,10 +288,7 @@ mod tests {
 
     #[test]
     fn where_on_stochastic_attribute_is_rejected() {
-        let q = parse(
-            "SELECT PACKAGE(*) FROM t WHERE Gain >= 0 SUCH THAT COUNT(*) <= 2",
-        )
-        .unwrap();
+        let q = parse("SELECT PACKAGE(*) FROM t WHERE Gain >= 0 SUCH THAT COUNT(*) <= 2").unwrap();
         assert!(matches!(
             bind(&q, &relation()).unwrap_err(),
             SpaqlError::AttributeKindMismatch { .. }
@@ -321,10 +315,8 @@ mod tests {
 
     #[test]
     fn text_predicates_support_inequality() {
-        let q = parse(
-            "SELECT PACKAGE(*) FROM t WHERE sell_in <> '1 day' SUCH THAT COUNT(*) <= 2",
-        )
-        .unwrap();
+        let q = parse("SELECT PACKAGE(*) FROM t WHERE sell_in <> '1 day' SUCH THAT COUNT(*) <= 2")
+            .unwrap();
         let bound = bind(&q, &relation()).unwrap();
         assert_eq!(bound.candidate_tuples, vec![1, 3]);
     }

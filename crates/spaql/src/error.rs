@@ -89,6 +89,8 @@ mod tests {
         assert!(SpaqlError::UnknownAttribute("gain".into())
             .to_string()
             .contains("gain"));
-        assert!(SpaqlError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(SpaqlError::InvalidProbability(1.5)
+            .to_string()
+            .contains("1.5"));
     }
 }

@@ -433,10 +433,9 @@ mod tests {
         // Garbage after the query.
         assert!(parse("SELECT PACKAGE(*) FROM t EXTRA").is_err());
         // BETWEEN with EXPECTED is rejected.
-        assert!(parse(
-            "SELECT PACKAGE(*) FROM t SUCH THAT EXPECTED SUM(a) BETWEEN 1 AND 2"
-        )
-        .is_err());
+        assert!(
+            parse("SELECT PACKAGE(*) FROM t SUCH THAT EXPECTED SUM(a) BETWEEN 1 AND 2").is_err()
+        );
         // EXPECTED + WITH PROBABILITY is rejected.
         assert!(parse(
             "SELECT PACKAGE(*) FROM t SUCH THAT EXPECTED SUM(a) >= 1 WITH PROBABILITY >= 0.5"
@@ -452,7 +451,8 @@ mod tests {
 
     #[test]
     fn negative_and_signed_numbers() {
-        let q = parse("SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) >= - 10 AND SUM(b) <= +5").unwrap();
+        let q =
+            parse("SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) >= - 10 AND SUM(b) <= +5").unwrap();
         match &q.constraints[0] {
             ConstraintExpr::Deterministic { value, .. } => assert_eq!(*value, -10.0),
             other => panic!("unexpected {other:?}"),
@@ -465,10 +465,8 @@ mod tests {
 
     #[test]
     fn probability_constraint_with_le_bound() {
-        let q = parse(
-            "SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) >= 0 WITH PROBABILITY <= 0.1",
-        )
-        .unwrap();
+        let q = parse("SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) >= 0 WITH PROBABILITY <= 0.1")
+            .unwrap();
         match &q.constraints[0] {
             ConstraintExpr::Probabilistic { prob_op, .. } => assert_eq!(*prob_op, CompareOp::Le),
             other => panic!("unexpected {other:?}"),

@@ -217,7 +217,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     tokens.push(Token::Compare(CompareOp::Ne));
                     i += 2;
                 } else {
-                    return Err(SpaqlError::UnexpectedChar { ch: '!', position: i });
+                    return Err(SpaqlError::UnexpectedChar {
+                        ch: '!',
+                        position: i,
+                    });
                 }
             }
             '\'' => {
@@ -374,7 +377,9 @@ mod tests {
         assert!(toks.contains(&Token::Keyword(Keyword::And)));
         assert!(toks.contains(&Token::Number(1.0)));
         // The comment body is dropped entirely.
-        assert!(!toks.iter().any(|t| matches!(t, Token::Ident(s) if s == "comment")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Ident(s) if s == "comment")));
     }
 
     #[test]

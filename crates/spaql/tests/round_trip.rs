@@ -1,0 +1,97 @@
+//! Display/parse round-trips over the paper's clause inventory (Appendix A,
+//! Figure 8). For every query shape the engine supports, parsing the printed
+//! form of a parsed query must reproduce the same AST, and printing must be
+//! a fixpoint — so the printer and the parser cannot drift apart.
+
+use spq_spaql::parse;
+
+fn assert_round_trip(text: &str) {
+    let parsed = parse(text).unwrap_or_else(|e| panic!("parse failed for {text:?}: {e}"));
+    let printed = parsed.to_string();
+    let reparsed =
+        parse(&printed).unwrap_or_else(|e| panic!("reparse failed for {printed:?}: {e}"));
+    assert_eq!(parsed, reparsed, "AST drift for {text:?} via {printed:?}");
+    assert_eq!(
+        printed,
+        reparsed.to_string(),
+        "printer is not a fixpoint for {text:?}"
+    );
+}
+
+/// The paper's Figure 1 portfolio query: probabilistic `WITH PROBABILITY`
+/// constraint plus a `MAXIMIZE EXPECTED SUM` objective.
+#[test]
+fn figure_1_probability_constraint_and_expected_sum_objective() {
+    assert_round_trip(
+        "SELECT PACKAGE(*) AS Portfolio FROM Stock_Investments \
+         SUCH THAT SUM(price) <= 1000 AND \
+         SUM(Gain) >= -10 WITH PROBABILITY >= 0.95 \
+         MAXIMIZE EXPECTED SUM(Gain)",
+    );
+}
+
+#[test]
+fn minimize_expected_sum_objective() {
+    assert_round_trip(
+        "SELECT PACKAGE(*) FROM Galaxy SUCH THAT \
+         COUNT(*) BETWEEN 5 AND 10 AND \
+         SUM(Petromag_r) >= 40 WITH PROBABILITY >= 0.9 \
+         MINIMIZE EXPECTED SUM(Petromag_r)",
+    );
+}
+
+#[test]
+fn probability_upper_bound_constraint() {
+    // VaR-style: the loss event must be *rare*.
+    assert_round_trip(
+        "SELECT PACKAGE(*) FROM trades SUCH THAT \
+         SUM(gain) <= -100 WITH PROBABILITY <= 0.05 \
+         MAXIMIZE EXPECTED SUM(gain)",
+    );
+}
+
+#[test]
+fn probability_of_objective() {
+    assert_round_trip(
+        "SELECT PACKAGE(*) FROM Tpch_3 SUCH THAT \
+         COUNT(*) BETWEEN 1 AND 10 AND \
+         SUM(Quantity) <= 15 WITH PROBABILITY >= 0.9 \
+         MAXIMIZE PROBABILITY OF SUM(Revenue) >= 1000",
+    );
+}
+
+#[test]
+fn expected_constraint_without_probability() {
+    assert_round_trip(
+        "SELECT PACKAGE(*) FROM trades SUCH THAT \
+         EXPECTED SUM(gain) >= 5 AND COUNT(*) <= 3 \
+         MINIMIZE COUNT(*)",
+    );
+}
+
+#[test]
+fn where_and_repeat_clauses() {
+    assert_round_trip(
+        "SELECT PACKAGE(*) FROM trades REPEAT 2 \
+         WHERE sell_in = '1 day' AND price <= 500 \
+         SUCH THAT SUM(price) <= 1000 AND \
+         SUM(gain) >= 0 WITH PROBABILITY >= 0.5 \
+         MAXIMIZE EXPECTED SUM(gain)",
+    );
+}
+
+#[test]
+fn bare_package_query_round_trips() {
+    assert_round_trip("SELECT PACKAGE(*) FROM t");
+}
+
+#[test]
+fn multiple_probabilistic_constraints() {
+    let text = "SELECT PACKAGE(*) FROM r SUCH THAT \
+                SUM(a) >= 1 WITH PROBABILITY >= 0.8 AND \
+                SUM(b) <= 9 WITH PROBABILITY >= 0.7 \
+                MAXIMIZE EXPECTED SUM(a)";
+    assert_round_trip(text);
+    let parsed = parse(text).unwrap();
+    assert_eq!(parsed.num_probabilistic_constraints(), 2);
+}

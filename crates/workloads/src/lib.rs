@@ -73,7 +73,11 @@ mod tests {
 
     #[test]
     fn all_workloads_build_and_parse() {
-        for kind in [WorkloadKind::Galaxy, WorkloadKind::Portfolio, WorkloadKind::Tpch] {
+        for kind in [
+            WorkloadKind::Galaxy,
+            WorkloadKind::Portfolio,
+            WorkloadKind::Tpch,
+        ] {
             let w = build_workload(kind, 60, 1);
             assert!(w.relation.len() >= 40, "{kind:?} too small");
             assert_eq!(w.queries.len(), 8);

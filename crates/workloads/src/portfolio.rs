@@ -235,7 +235,11 @@ mod tests {
             cov / (va.sqrt() * vb.sqrt())
         };
         assert!(corr(0, 1) > 0.5, "same-stock correlation {}", corr(0, 1));
-        assert!(corr(0, 2).abs() < 0.3, "cross-stock correlation {}", corr(0, 2));
+        assert!(
+            corr(0, 2).abs() < 0.3,
+            "cross-stock correlation {}",
+            corr(0, 2)
+        );
     }
 
     #[test]

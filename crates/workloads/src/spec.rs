@@ -166,7 +166,11 @@ mod tests {
     fn there_are_exactly_24_queries() {
         let specs = all_query_specs();
         assert_eq!(specs.len(), 24);
-        for kind in [WorkloadKind::Galaxy, WorkloadKind::Portfolio, WorkloadKind::Tpch] {
+        for kind in [
+            WorkloadKind::Galaxy,
+            WorkloadKind::Portfolio,
+            WorkloadKind::Tpch,
+        ] {
             assert_eq!(specs.iter().filter(|s| s.workload == kind).count(), 8);
         }
     }

@@ -140,7 +140,11 @@ pub fn build_relation(config: &TpchConfig) -> Relation {
 /// parameters).
 pub fn query(q: usize) -> String {
     let spec: QuerySpec = query_spec(WorkloadKind::Tpch, q);
-    let d = if spec.features.contains("D=10") { 10 } else { 3 };
+    let d = if spec.features.contains("D=10") {
+        10
+    } else {
+        3
+    };
     format!(
         "SELECT PACKAGE(*) FROM Tpch_{d} SUCH THAT \
          COUNT(*) BETWEEN 1 AND 10 AND \

@@ -18,12 +18,15 @@ fn main() {
     println!("Galaxy relation: {} sky regions", relation.len());
     println!("Query:\n  {text}\n");
 
-    let mut options = SpqOptions::default();
-    options.initial_scenarios = 30;
-    options.scenario_increment = 30;
-    options.max_scenarios = 150;
-    options.validation_scenarios = 5_000;
-    options.seed = 5;
+    let options = SpqOptions {
+        initial_scenarios: 30,
+        scenario_increment: 30,
+        max_scenarios: 150,
+        validation_scenarios: 5_000,
+        seed: 5,
+        solver: stochastic_package_queries::solver::SolverOptions::with_time_limit_secs(10),
+        ..Default::default()
+    };
 
     for algorithm in [Algorithm::SummarySearch, Algorithm::Naive] {
         let engine = SpqEngine::new(options.clone());

@@ -26,11 +26,14 @@ fn main() {
         config.n_stocks
     );
 
-    let mut options = SpqOptions::default();
-    options.initial_scenarios = 40;
-    options.validation_scenarios = 5_000;
-    options.max_scenarios = 200;
-    options.seed = 99;
+    let options = SpqOptions {
+        initial_scenarios: 40,
+        validation_scenarios: 5_000,
+        max_scenarios: 200,
+        seed: 99,
+        solver: stochastic_package_queries::solver::SolverOptions::with_time_limit_secs(10),
+        ..Default::default()
+    };
     let engine = SpqEngine::new(options);
 
     println!(

@@ -46,10 +46,15 @@ fn main() {
                  MAXIMIZE EXPECTED SUM(Gain)";
     println!("Query:\n  {query}\n");
 
-    let mut options = SpqOptions::default();
-    options.initial_scenarios = 50;
-    options.validation_scenarios = 20_000;
-    options.seed = 2020;
+    let options = SpqOptions {
+        initial_scenarios: 50,
+        validation_scenarios: 20_000,
+        seed: 2020,
+        // Cap each MILP solve so the Naive baseline interrupts and returns
+        // its incumbent instead of burning the full default budget.
+        solver: stochastic_package_queries::solver::SolverOptions::with_time_limit_secs(10),
+        ..Default::default()
+    };
 
     for algorithm in [Algorithm::Naive, Algorithm::SummarySearch] {
         let engine = SpqEngine::new(options.clone());

@@ -13,12 +13,15 @@ use stochastic_package_queries::prelude::*;
 use stochastic_package_queries::workloads::tpch::{build_relation, query, TpchConfig};
 
 fn main() {
-    let mut options = SpqOptions::default();
-    options.initial_scenarios = 30;
-    options.max_scenarios = 120;
-    options.validation_scenarios = 5_000;
-    options.initial_summaries = 2; // the paper uses Z = 2 for TPC-H
-    options.seed = 21;
+    let options = SpqOptions {
+        initial_scenarios: 30,
+        max_scenarios: 120,
+        validation_scenarios: 5_000,
+        initial_summaries: 2, // the paper uses Z = 2 for TPC-H
+        seed: 21,
+        solver: stochastic_package_queries::solver::SolverOptions::with_time_limit_secs(10),
+        ..Default::default()
+    };
     let engine = SpqEngine::new(options);
 
     for (q, label) in [(1usize, "D = 3 sources"), (2usize, "D = 10 sources")] {

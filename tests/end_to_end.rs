@@ -13,7 +13,9 @@ fn portfolio_relation() -> Relation {
         .deterministic_f64("price", vec![100.0; 10])
         .deterministic_text(
             "sector",
-            vec!["tech", "tech", "tech", "util", "util", "util", "util", "util", "util", "util"],
+            vec![
+                "tech", "tech", "tech", "util", "util", "util", "util", "util", "util", "util",
+            ],
         )
         .stochastic("gain", NormalNoise::around(means, sds))
         .build()
@@ -46,7 +48,11 @@ fn summary_search_package_is_validation_feasible() {
     assert!(package.size() <= 4);
     // The validated satisfaction probability must meet the constraint.
     let cv = &package.validation.constraints[0];
-    assert!(cv.satisfied_fraction >= 0.9 - 0.02, "fraction {}", cv.satisfied_fraction);
+    assert!(
+        cv.satisfied_fraction >= 0.9 - 0.02,
+        "fraction {}",
+        cv.satisfied_fraction
+    );
 }
 
 #[test]

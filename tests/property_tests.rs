@@ -8,7 +8,9 @@ use stochastic_package_queries::core::summary::{
     build_summaries, count_satisfied_scenarios, partition_scenarios, SummarySpec,
 };
 use stochastic_package_queries::mcdb::vg::NormalNoise;
-use stochastic_package_queries::mcdb::{RelationBuilder, Scenario, ScenarioGenerator, ScenarioMatrix};
+use stochastic_package_queries::mcdb::{
+    RelationBuilder, Scenario, ScenarioGenerator, ScenarioMatrix,
+};
 use stochastic_package_queries::solver::{
     solve_full, Model, Sense, SolveStatus, SolverOptions, VarType,
 };
@@ -109,8 +111,8 @@ proptest! {
         let matrix = gen.realize_matrix(&relation, "x", m).unwrap();
         for tuple in 0..n {
             let per_tuple = gen.realize_tuple(&relation, "x", tuple, 0..m).unwrap();
-            for j in 0..m {
-                prop_assert_eq!(per_tuple[j], matrix.value(j, tuple));
+            for (j, &regenerated) in per_tuple.iter().enumerate() {
+                prop_assert_eq!(regenerated, matrix.value(j, tuple));
                 prop_assert_eq!(
                     gen.realize_cell(&relation, "x", tuple, j).unwrap(),
                     matrix.value(j, tuple)

@@ -3,9 +3,9 @@
 //! the outcomes are checked against the specification (feasibility, objective
 //! direction, constraint satisfaction).
 
+use std::time::Duration;
 use stochastic_package_queries::prelude::*;
 use stochastic_package_queries::workloads::{self, spec, WorkloadKind};
-use std::time::Duration;
 
 fn options() -> SpqOptions {
     let mut o = SpqOptions::for_tests();
@@ -25,7 +25,11 @@ fn evaluate(kind: WorkloadKind, q: usize, scale: usize, z: usize) -> (Evaluation
     opts.initial_summaries = z;
     let engine = SpqEngine::new(opts);
     let result = engine
-        .evaluate(&workload.relation, workload.query(q), Algorithm::SummarySearch)
+        .evaluate(
+            &workload.relation,
+            workload.query(q),
+            Algorithm::SummarySearch,
+        )
         .unwrap();
     let p = spec::query_spec(kind, q).p;
     (result, p)
@@ -34,7 +38,11 @@ fn evaluate(kind: WorkloadKind, q: usize, scale: usize, z: usize) -> (Evaluation
 #[test]
 fn galaxy_counteracted_query_is_feasible_and_meets_probability() {
     let (result, p) = evaluate(WorkloadKind::Galaxy, 1, 80, 1);
-    assert!(result.feasible, "Galaxy Q1 should be feasible: {:?}", result.stats);
+    assert!(
+        result.feasible,
+        "Galaxy Q1 should be feasible: {:?}",
+        result.stats
+    );
     let package = result.package.unwrap();
     // COUNT(*) BETWEEN 5 AND 10.
     assert!(package.size() >= 5 && package.size() <= 10);

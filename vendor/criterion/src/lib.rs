@@ -1,0 +1,225 @@
+//! Minimal, API-compatible stand-in for the parts of `criterion` this
+//! workspace uses: `Criterion`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark runs a
+//! small fixed number of timed iterations and prints the mean and min wall
+//! time per iteration. That keeps `cargo bench` fast and dependency-free
+//! while preserving the harness structure; swap for the real
+//! `criterion = "0.5"` in `[workspace.dependencies]` when a registry is
+//! available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirror of criterion's CLI configuration hook; accepts and ignores
+    /// `cargo bench` arguments (filters, `--bench`, etc.).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, 10, &mut f);
+        self
+    }
+
+    /// Flush results (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the stub's time budget is implicit in the
+    /// sample count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        times: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    if bencher.times.is_empty() {
+        println!("  {label}: no measurements");
+        return;
+    }
+    let total: Duration = bencher.times.iter().sum();
+    let mean = total / bencher.times.len() as u32;
+    let min = bencher.times.iter().min().copied().unwrap_or_default();
+    println!(
+        "  {label}: mean {mean:?}, min {min:?} over {} samples",
+        bencher.times.len()
+    );
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples. The payload's
+    /// result is passed through [`black_box`] so it is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up run.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        for &n in &[2u64, 4] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.bench_function("flat", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(stub_group, payload);
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        stub_group();
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            times: Vec::new(),
+        };
+        b.iter(|| 40 + 2);
+        assert_eq!(b.times.len(), 5);
+    }
+}

@@ -1,0 +1,6 @@
+//! The usual `use proptest::prelude::*;` imports.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assume, proptest, Any, Arbitrary, ProptestConfig,
+    Strategy, TestCaseError, TestRunner,
+};

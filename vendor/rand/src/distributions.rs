@@ -1,0 +1,143 @@
+//! Sampling traits and the uniform distribution.
+
+use crate::RngCore;
+use std::ops::Range;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Sample one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Types that can be sampled from their "standard" distribution
+/// (`Rng::gen`): uniform over the full domain for integers, `[0, 1)` for
+/// floats, fair coin for `bool`.
+pub trait StandardSample: Sized {
+    /// Sample a standard value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// 53 random mantissa bits → `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end, "empty range in gen_range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        self.start + (self.end - self.start) * f32::sample_standard(rng)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is negligible for the spans used here; the
+                // real crate uses widening-multiply rejection sampling.
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A uniform distribution over a half-open range, compatible with
+/// `rand::distributions::Uniform` / `rand_distr::Uniform`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: Copy> Uniform<T> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        Uniform { lo, hi }
+    }
+
+    /// Uniform over `[lo, hi]` (treated as half-open in this stub; the
+    /// difference is immaterial for `f64` sampling).
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        Uniform { lo, hi }
+    }
+}
+
+impl<T> Distribution<T> for Uniform<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (self.lo..self.hi).sample_single(rng)
+    }
+}
+
+/// Marker type matching `rand::distributions::Standard`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl<T: StandardSample> Distribution<T> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}

@@ -1,0 +1,61 @@
+//! RNG implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast RNG: xoshiro256++ (the algorithm the real `SmallRng` uses on
+/// 64-bit platforms). Not cryptographically secure.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // All-zero state would be a fixed point; nudge it.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SmallRng { s }
+    }
+}
+
+/// The standard RNG, aliased to the same engine in this stub.
+pub type StdRng = SmallRng;

@@ -1,0 +1,307 @@
+//! Minimal, API-compatible stand-in for the parts of `rand_distr` this
+//! workspace uses: `Normal`, `Pareto`, `Exp`, `Poisson`, `StudentT`, and the
+//! re-exported `Uniform` / `Distribution`. Swap for the real
+//! `rand_distr = "0.4"` in `[workspace.dependencies]` when a registry is
+//! available.
+//!
+//! The samplers favor clarity over peak throughput (Box–Muller, inversion,
+//! Marsaglia–Tsang) but are statistically faithful: each distribution's mean
+//! and tail behavior match the textbook definitions, which is what the
+//! engine's seeded Monte Carlo tests assert.
+
+use rand::RngCore;
+
+pub use rand::distributions::{Distribution, Uniform};
+
+/// Error type shared by the distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistrError(&'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+/// Uniform in `(0, 1]`: never returns 0 so `ln` is safe.
+#[inline]
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    u.min(1.0)
+}
+
+#[inline]
+fn unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard normal deviate via Box–Muller (discarding the paired value
+/// keeps the sampler stateless, which deterministic re-generation relies on).
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open(rng);
+    let u2 = unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Construct; fails on non-finite parameters or negative `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistrError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DistrError("Normal: bad parameters"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Standard normal distribution marker, like `rand_distr::StandardNormal`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal(rng)
+    }
+}
+
+/// Pareto distribution with the given scale and shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    inv_shape: f64,
+}
+
+impl Pareto {
+    /// Construct; fails unless both parameters are positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, DistrError> {
+        if scale.is_nan()
+            || shape.is_nan()
+            || scale <= 0.0
+            || shape <= 0.0
+            || !scale.is_finite()
+            || !shape.is_finite()
+        {
+            return Err(DistrError("Pareto: bad parameters"));
+        }
+        Ok(Pareto {
+            scale,
+            inv_shape: 1.0 / shape,
+        })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inversion: scale * U^(-1/shape).
+        self.scale * unit_open(rng).powf(-self.inv_shape)
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Construct; fails unless `lambda` is positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, DistrError> {
+        if lambda.is_nan() || lambda <= 0.0 || !lambda.is_finite() {
+            return Err(DistrError("Exp: bad lambda"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with rate `lambda`. Samples are returned as `f64`,
+/// matching `rand_distr`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Construct; fails unless `lambda` is positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, DistrError> {
+        if lambda.is_nan() || lambda <= 0.0 || !lambda.is_finite() {
+            return Err(DistrError("Poisson: bad lambda"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's multiplication method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= unit_open(rng);
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction; adequate for
+            // the large-rate regime and keeps the sampler O(1).
+            let z = standard_normal(rng);
+            (self.lambda + self.lambda.sqrt() * z + 0.5)
+                .floor()
+                .max(0.0)
+        }
+    }
+}
+
+/// Student's t distribution with `nu` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Construct; fails unless `nu` is positive and finite.
+    pub fn new(nu: f64) -> Result<Self, DistrError> {
+        if nu.is_nan() || nu <= 0.0 || !nu.is_finite() {
+            return Err(DistrError("StudentT: bad nu"));
+        }
+        Ok(StudentT { nu })
+    }
+}
+
+impl Distribution<f64> for StudentT {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // t = Z / sqrt(V / nu), V ~ chi^2(nu) = Gamma(nu/2, 2).
+        let z = standard_normal(rng);
+        let v = 2.0 * sample_gamma(rng, self.nu / 2.0);
+        z / (v / self.nu).sqrt()
+    }
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang; the shape < 1 case is boosted
+/// through Gamma(shape + 1).
+fn sample_gamma<R: RngCore + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        let u = unit_open(rng);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u = unit_open(rng);
+        if u.ln() < 0.5 * x * x + d - d * v3 + d * v3.ln() {
+            return d * v3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: &impl Distribution<f64>, n: usize, seed: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let m = mean_of(&d, 40_000, 1);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        let mut rng = SmallRng::seed_from_u64(2);
+        let var = (0..40_000)
+            .map(|_| {
+                let x = d.sample(&mut rng) - 3.0;
+                x * x
+            })
+            .sum::<f64>()
+            / 40_000.0;
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let d = Exp::new(0.5).unwrap();
+        assert!((mean_of(&d, 40_000, 3) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn pareto_exceeds_scale_and_matches_mean() {
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 1.0);
+        }
+        // mean = shape * scale / (shape - 1) = 1.5
+        assert!((mean_of(&d, 60_000, 5) - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let d = Poisson::new(4.0).unwrap();
+        let m = mean_of(&d, 40_000, 6);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+        let big = Poisson::new(64.0).unwrap();
+        let m = mean_of(&big, 20_000, 7);
+        assert!((m - 64.0).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    fn student_t_is_symmetric_with_heavy_tails() {
+        let d = StudentT::new(3.0).unwrap();
+        let m = mean_of(&d, 60_000, 8);
+        assert!(m.abs() < 0.05, "mean {m}");
+        // Var of t(3) is nu/(nu-2) = 3.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let var = (0..60_000)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                x * x
+            })
+            .sum::<f64>()
+            / 60_000.0;
+        assert!(var > 1.5, "var {var} should exceed the normal's 1.0");
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+        assert!(StudentT::new(0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal stand-in for `serde`: the registry is unreachable in the build
+//! environment, and nothing in this workspace actually serializes through
+//! serde yet — the `#[derive(Serialize, Deserialize)]` annotations only
+//! declare intent for downstream consumers. The traits are therefore plain
+//! markers and the derives emit empty impls. Swap this crate for the real
+//! `serde = { version = "1", features = ["derive"] }` in
+//! `[workspace.dependencies]` when a registry is available; no other code
+//! needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl Serialize for std::time::Duration {}
+impl Deserialize for std::time::Duration {}
+
+#[cfg(test)]
+mod tests {
+    use crate as serde;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Plain {
+        a: u32,
+        b: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum Kind {
+        One,
+        Two(u64),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Generic<T: Clone> {
+        inner: Vec<T>,
+    }
+
+    fn assert_both<T: serde::Serialize + serde::Deserialize>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_both::<Plain>();
+        assert_both::<Kind>();
+        assert_both::<Generic<u8>>();
+    }
+}

@@ -1,0 +1,122 @@
+//! Stub `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored serde stand-in. The traits are markers, so the derives only need
+//! to emit empty trait impls. Parsing is done directly on the token stream
+//! (no `syn`/`quote` available offline): we skip attributes and visibility,
+//! find the `struct`/`enum`/`union` keyword, take the type name, and carry
+//! any generic parameters over to the impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker_impl(input, "Deserialize")
+}
+
+fn derive_marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let (name, generics) = parse_type_header(input)
+        .unwrap_or_else(|| panic!("serde stub derive: could not find type name"));
+    // No leading `::` — the path resolves through the extern prelude in
+    // consuming crates, and through a `use crate as serde` alias in the
+    // stub's own tests.
+    let code = if generics.is_empty() {
+        format!("impl serde::{trait_name} for {name} {{}}")
+    } else {
+        let decl = generics.join(", ");
+        let args: Vec<String> = generics.iter().map(|g| param_name(g)).collect();
+        let args = args.join(", ");
+        format!("impl<{decl}> serde::{trait_name} for {name}<{args}> {{}}")
+    };
+    code.parse()
+        .expect("serde stub derive: generated impl must parse")
+}
+
+/// Returns the type name and the raw generic parameter declarations
+/// (top-level comma-split contents of the `<...>` after the name).
+fn parse_type_header(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id)
+                if id.to_string() == "struct"
+                    || id.to_string() == "enum"
+                    || id.to_string() == "union" =>
+            {
+                let name = match tokens.next()? {
+                    TokenTree::Ident(n) => n.to_string(),
+                    _ => return None,
+                };
+                let generics = match tokens.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        tokens.next();
+                        collect_generics(&mut tokens)
+                    }
+                    _ => Vec::new(),
+                };
+                return Some((name, generics));
+            }
+            // `pub`, `pub(crate)`, doc comments, etc. — skip.
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collect the `<...>` generic parameter list, splitting on top-level commas.
+fn collect_generics(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Vec<String> {
+    let mut depth = 1usize;
+    let mut current = String::new();
+    let mut params = Vec::new();
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    if !current.trim().is_empty() {
+                        params.push(current.trim().to_string());
+                    }
+                    current.clear();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push_str(&tt.to_string());
+        current.push(' ');
+    }
+    if !current.trim().is_empty() {
+        params.push(current.trim().to_string());
+    }
+    params
+}
+
+/// Extract the bare parameter name from a declaration like `T : Clone`,
+/// `'a`, or `const N : usize`.
+fn param_name(decl: &str) -> String {
+    let head = decl.split(':').next().unwrap_or(decl).trim();
+    if let Some(rest) = head.strip_prefix("const ") {
+        rest.trim().to_string()
+    } else {
+        head.to_string()
+    }
+}

@@ -6,10 +6,12 @@
 //! average time to reach each feasibility-rate level).
 //!
 //! Usage: `cargo run --release -p spq-bench --bin fig4_feasibility -- \
-//!             [--scale 200] [--runs 3] [--queries 1,2,3] [--validation 2000]`
+//!             [--scale 200] [--runs 3] [--queries 1,2,3] [--validation 2000] \
+//!             [--algorithms naive,summarysearch,sketchrefine]`
+//!
+//! The algorithm set also honors the `SPQ_ALGORITHMS` environment variable.
 
 use spq_bench::{aggregate, print_table, run_query, HarnessConfig};
-use spq_core::Algorithm;
 use spq_workloads::{spec, WorkloadKind};
 
 fn main() {
@@ -26,7 +28,7 @@ fn main() {
         let z = if kind == WorkloadKind::Tpch { 2 } else { 1 };
         for &q in &config.queries {
             let spec_row = spec::query_spec(kind, q);
-            for algorithm in [Algorithm::Naive, Algorithm::SummarySearch] {
+            for &algorithm in &config.algorithms {
                 let records = run_query(&config, kind, config.scale, q, algorithm, 20, z);
                 let agg = aggregate(&records);
                 rows.push(vec![

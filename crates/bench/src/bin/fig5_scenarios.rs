@@ -30,7 +30,7 @@ fn main() {
             let spec_row = spec::query_spec(kind, q);
             let mut all: Vec<(usize, Algorithm, Vec<RunRecord>)> = Vec::new();
             for &m in M_GRID {
-                for algorithm in [Algorithm::Naive, Algorithm::SummarySearch] {
+                for &algorithm in &config.algorithms.clone() {
                     // Cap every run at exactly M scenarios.
                     config.time_limit = std::time::Duration::from_secs(45);
                     let mut cfg = config.clone();

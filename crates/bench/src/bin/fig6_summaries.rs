@@ -7,7 +7,12 @@
 //! baseline at the same `M`.
 //!
 //! Usage: `cargo run --release -p spq-bench --bin fig6_summaries -- \
-//!             [--scale 200] [--runs 3] [--queries 1,5] [--validation 2000]`
+//!             [--scale 200] [--runs 3] [--queries 1,5] [--validation 2000] \
+//!             [--algorithms naive]`
+//!
+//! The `Z` sweep always uses SummarySearch; the *baseline* row uses the
+//! first non-SummarySearch algorithm of `--algorithms` / `SPQ_ALGORITHMS`
+//! (default: Naive), so e.g. SketchRefine can serve as the reference.
 
 use spq_bench::{aggregate, approximation_ratio, print_table, run_query, HarnessConfig};
 use spq_core::Algorithm;
@@ -18,13 +23,19 @@ const Z_GRID: &[usize] = &[1, 2, 6, 12, 24];
 
 fn main() {
     let config = HarnessConfig::from_args();
-    eprintln!("# Figure 6 harness (Portfolio, M = {M}): {config:?}");
+    let baseline = config
+        .algorithms
+        .iter()
+        .copied()
+        .find(|a| *a != Algorithm::SummarySearch)
+        .unwrap_or(Algorithm::Naive);
+    eprintln!("# Figure 6 harness (Portfolio, M = {M}, baseline {baseline}): {config:?}");
     let kind = WorkloadKind::Portfolio;
     let mut rows = Vec::new();
     for &q in &config.queries {
         let spec_row = spec::query_spec(kind, q);
-        // Naive baseline at the same M.
-        let naive_records = run_query(&config, kind, config.scale, q, Algorithm::Naive, M, 1);
+        // Baseline algorithm at the same M.
+        let naive_records = run_query(&config, kind, config.scale, q, baseline, M, 1);
         let naive = aggregate(&naive_records);
 
         let mut sweep = Vec::new();
@@ -62,7 +73,7 @@ fn main() {
         };
         rows.push(vec![
             format!("Q{q}"),
-            "Naive".into(),
+            baseline.to_string(),
             "-".into(),
             format!("{:.0}%", 100.0 * naive.feasibility_rate),
             format!("{:.3}", naive.mean_seconds),

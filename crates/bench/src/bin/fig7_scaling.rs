@@ -9,7 +9,6 @@
 //!             [--scale 100] [--runs 3] [--queries 1,3] [--validation 2000]`
 
 use spq_bench::{aggregate, approximation_ratio, print_table, run_query, HarnessConfig};
-use spq_core::Algorithm;
 use spq_workloads::{spec, WorkloadKind};
 
 const SCALE_FACTORS: &[usize] = &[1, 2, 3, 4, 5];
@@ -25,7 +24,7 @@ fn main() {
         for &factor in SCALE_FACTORS {
             let n = config.scale * factor;
             let mut per_algorithm = Vec::new();
-            for algorithm in [Algorithm::Naive, Algorithm::SummarySearch] {
+            for &algorithm in &config.algorithms {
                 let records = run_query(&config, kind, n, q, algorithm, M, 1);
                 per_algorithm.push((algorithm, aggregate(&records)));
             }

@@ -16,7 +16,10 @@
 //!
 //! Because the MILP solver substitutes CPLEX, the default sizes are scaled
 //! down (hundreds of tuples, tens of scenarios). Every binary accepts
-//! `--scale`, `--runs`, `--queries` and `--validation` flags to scale up.
+//! `--scale`, `--runs`, `--queries`, `--validation` and `--algorithms` flags
+//! to scale up or select algorithms without recompiling; the
+//! `SPQ_ALGORITHMS` environment variable overrides the default algorithm set
+//! as well (the flag wins over the variable).
 
 use serde::Serialize;
 use spq_core::{Algorithm, EvaluationResult, SpqEngine, SpqOptions};
@@ -34,10 +37,20 @@ pub struct HarnessConfig {
     pub validation: usize,
     /// Which query numbers to run (1-based).
     pub queries: Vec<usize>,
+    /// Which algorithms to compare.
+    pub algorithms: Vec<Algorithm>,
+    /// Dataset sizes for scaling harnesses (`--scale-list`); `None` lets the
+    /// binary pick its default grid.
+    pub scale_list: Option<Vec<usize>>,
     /// Per-query evaluation time limit.
     pub time_limit: Duration,
     /// Base seed.
     pub seed: u64,
+    /// Which flags were explicitly supplied (canonical spellings, e.g.
+    /// `"--runs"`; `"--algorithms"` is also recorded when `SPQ_ALGORITHMS`
+    /// supplied the set). Lets binaries apply their own defaults without
+    /// clobbering explicit user choices.
+    explicit_flags: Vec<String>,
 }
 
 impl Default for HarnessConfig {
@@ -47,21 +60,52 @@ impl Default for HarnessConfig {
             runs: 3,
             validation: 2_000,
             queries: (1..=8).collect(),
+            algorithms: vec![Algorithm::Naive, Algorithm::SummarySearch],
+            scale_list: None,
             time_limit: Duration::from_secs(60),
             seed: 2020,
+            explicit_flags: Vec::new(),
         }
     }
 }
 
+/// Parse a comma-separated algorithm list (`"naive,sketch-refine"`),
+/// dropping entries that fail to parse (with a note on stderr).
+pub fn parse_algorithms(text: &str) -> Vec<Algorithm> {
+    text.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .filter_map(|s| match s.trim().parse::<Algorithm>() {
+            Ok(a) => Some(a),
+            Err(e) => {
+                eprintln!("# ignoring algorithm `{s}`: {e}");
+                None
+            }
+        })
+        .collect()
+}
+
 impl HarnessConfig {
     /// Parse a config from command-line arguments
-    /// (`--scale N --runs R --validation V --queries 1,2,3 --time-limit SECS`).
+    /// (`--scale N --runs R --validation V --queries 1,2,3 --time-limit SECS
+    /// --algorithms naive,summarysearch,sketchrefine`). The `SPQ_ALGORITHMS`
+    /// environment variable supplies the algorithm set when the flag is
+    /// absent. SketchRefine is installed into the engine as a side effect so
+    /// every harness can dispatch it.
     pub fn from_args() -> Self {
+        spq_sketch::install();
         let mut config = HarnessConfig::default();
+        if let Ok(env) = std::env::var("SPQ_ALGORITHMS") {
+            let parsed = parse_algorithms(&env);
+            if !parsed.is_empty() {
+                config.algorithms = parsed;
+                config.explicit_flags.push("--algorithms".into());
+            }
+        }
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i + 1 < args.len() {
             let value = &args[i + 1];
+            let mut seen = Some(args[i].clone());
             match args[i].as_str() {
                 "--scale" => config.scale = value.parse().unwrap_or(config.scale),
                 "--runs" => config.runs = value.parse().unwrap_or(config.runs),
@@ -78,7 +122,26 @@ impl HarnessConfig {
                         .filter(|q| (1..=8).contains(q))
                         .collect();
                 }
-                _ => {}
+                "--algorithms" | "--algorithm" => {
+                    let parsed = parse_algorithms(value);
+                    if !parsed.is_empty() {
+                        config.algorithms = parsed;
+                    }
+                    seen = Some("--algorithms".into());
+                }
+                "--scale-list" => {
+                    let list: Vec<usize> = value
+                        .split(',')
+                        .filter_map(|s| s.trim().parse().ok())
+                        .collect();
+                    if !list.is_empty() {
+                        config.scale_list = Some(list);
+                    }
+                }
+                _ => seen = None,
+            }
+            if let Some(flag) = seen {
+                config.explicit_flags.push(flag);
             }
             i += 2;
         }
@@ -86,6 +149,13 @@ impl HarnessConfig {
             config.queries = (1..=8).collect();
         }
         config
+    }
+
+    /// True when `flag` (canonical spelling, e.g. `"--runs"`) was explicitly
+    /// supplied on the command line — or, for `"--algorithms"`, via the
+    /// `SPQ_ALGORITHMS` environment variable.
+    pub fn was_set(&self, flag: &str) -> bool {
+        self.explicit_flags.iter().any(|f| f == flag)
     }
 
     /// Engine options for one run with the given seed and scenario settings.
@@ -140,6 +210,9 @@ pub struct RunRecord {
     pub feasible: bool,
     /// Objective estimate of the returned package.
     pub objective: Option<f64>,
+    /// Evaluation error, if the engine refused or failed the query outright
+    /// (e.g. the solver's tableau-memory guard on huge dense models).
+    pub error: Option<String>,
 }
 
 /// Run one (workload, query, algorithm) combination `runs` times with
@@ -153,6 +226,7 @@ pub fn run_query(
     initial_scenarios: usize,
     initial_summaries: usize,
 ) -> Vec<RunRecord> {
+    spq_sketch::install();
     let workload = build_workload(kind, relation_scale, config.seed);
     let mut records = Vec::with_capacity(config.runs);
     for run in 0..config.runs {
@@ -163,9 +237,11 @@ pub fn run_query(
         );
         let engine = SpqEngine::new(options);
         let started = std::time::Instant::now();
-        let result: Option<EvaluationResult> = engine
-            .evaluate(&workload.relation, workload.query(query), algorithm)
-            .ok();
+        let (result, error): (Option<EvaluationResult>, Option<String>) =
+            match engine.evaluate(&workload.relation, workload.query(query), algorithm) {
+                Ok(r) => (Some(r), None),
+                Err(e) => (None, Some(e.to_string())),
+            };
         let seconds = started.elapsed().as_secs_f64();
         let (feasible, objective, summaries) = match &result {
             Some(r) => (
@@ -190,6 +266,7 @@ pub fn run_query(
             seconds,
             feasible,
             objective,
+            error,
         });
     }
     records
@@ -273,6 +350,7 @@ mod tests {
             seconds,
             feasible,
             objective: Some(objective),
+            error: None,
         };
         let agg = aggregate(&[mk(true, 1.0, 50.0), mk(false, 3.0, 40.0)]);
         assert!((agg.feasibility_rate - 0.5).abs() < 1e-12);
@@ -290,9 +368,28 @@ mod tests {
     }
 
     #[test]
+    fn algorithm_lists_parse_with_flexible_spellings() {
+        assert_eq!(
+            parse_algorithms("naive, summary-search,sketchrefine"),
+            vec![
+                Algorithm::Naive,
+                Algorithm::SummarySearch,
+                Algorithm::SketchRefine
+            ]
+        );
+        // Unknown entries are dropped, not fatal.
+        assert_eq!(parse_algorithms("cplex,naive"), vec![Algorithm::Naive]);
+        assert!(parse_algorithms("").is_empty());
+    }
+
+    #[test]
     fn default_config_covers_all_queries() {
         let c = HarnessConfig::default();
         assert_eq!(c.queries, (1..=8).collect::<Vec<_>>());
+        assert_eq!(
+            c.algorithms,
+            vec![Algorithm::Naive, Algorithm::SummarySearch]
+        );
         let o = c.options(1, 20, 2);
         assert_eq!(o.initial_scenarios, 20);
         assert_eq!(o.initial_summaries, 2);

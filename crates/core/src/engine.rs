@@ -3,8 +3,13 @@
 //! [`SpqEngine`] ties the whole pipeline together: parse an sPaQL string,
 //! bind it against a Monte Carlo relation, translate it into a SILP, prepare
 //! the problem instance (expectation precomputation, multiplicity bounds,
-//! scenario streams), and evaluate it with either [`Algorithm::Naive`] or
-//! [`Algorithm::SummarySearch`].
+//! scenario streams), and evaluate it with [`Algorithm::Naive`],
+//! [`Algorithm::SummarySearch`], or [`Algorithm::SketchRefine`].
+//!
+//! SketchRefine lives in the separate `spq-sketch` crate (which builds on
+//! this crate's instance/validation machinery, so `spq-core` cannot depend on
+//! it directly). The engine dispatches to it through a process-global
+//! evaluator hook that `spq_sketch::install()` registers once at startup.
 
 use crate::instance::Instance;
 use crate::naive::evaluate_naive;
@@ -13,9 +18,10 @@ use crate::package::EvaluationResult;
 use crate::silp::Silp;
 use crate::summary_search::evaluate_summary_search;
 use crate::translate::translate;
-use crate::Result;
+use crate::{Result, SpqError};
 use spq_mcdb::Relation;
 use spq_spaql::{bind, parse};
+use std::sync::OnceLock;
 
 /// Which evaluation algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +30,10 @@ pub enum Algorithm {
     Naive,
     /// Algorithm 2: conservative summary approximations.
     SummarySearch,
+    /// Partition–sketch–refine evaluation that scales to very large
+    /// relations; provided by the `spq-sketch` crate (call
+    /// `spq_sketch::install()` before evaluating with this variant).
+    SketchRefine,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -31,7 +41,58 @@ impl std::fmt::Display for Algorithm {
         match self {
             Algorithm::Naive => write!(f, "Naive"),
             Algorithm::SummarySearch => write!(f, "SummarySearch"),
+            Algorithm::SketchRefine => write!(f, "SketchRefine"),
         }
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = SpqError;
+
+    /// Parse an algorithm name, ignoring case, hyphens and underscores
+    /// (`"naive"`, `"summary-search"`, `"SketchRefine"`, ...).
+    fn from_str(s: &str) -> Result<Algorithm> {
+        let canon: String = s
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match canon.as_str() {
+            "naive" => Ok(Algorithm::Naive),
+            "summarysearch" => Ok(Algorithm::SummarySearch),
+            "sketchrefine" => Ok(Algorithm::SketchRefine),
+            _ => Err(SpqError::Unsupported(format!(
+                "unknown algorithm `{s}` (expected Naive, SummarySearch or SketchRefine)"
+            ))),
+        }
+    }
+}
+
+/// Signature of the SketchRefine evaluator provided by the `spq-sketch`
+/// crate.
+pub type SketchRefineEvaluator = fn(&Instance<'_>) -> Result<EvaluationResult>;
+
+static SKETCH_REFINE: OnceLock<SketchRefineEvaluator> = OnceLock::new();
+
+/// Register the SketchRefine evaluator. Called (idempotently) by
+/// `spq_sketch::install()`; the first registration wins.
+pub fn register_sketch_refine(evaluator: SketchRefineEvaluator) {
+    let _ = SKETCH_REFINE.set(evaluator);
+}
+
+/// True once a SketchRefine evaluator has been registered.
+pub fn sketch_refine_available() -> bool {
+    SKETCH_REFINE.get().is_some()
+}
+
+fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResult> {
+    match SKETCH_REFINE.get() {
+        Some(evaluator) => evaluator(instance),
+        None => Err(SpqError::Unsupported(
+            "Algorithm::SketchRefine needs the spq-sketch crate; \
+             call spq_sketch::install() once before evaluating"
+                .into(),
+        )),
     }
 }
 
@@ -86,6 +147,7 @@ impl SpqEngine {
         match algorithm {
             Algorithm::Naive => evaluate_naive(&instance),
             Algorithm::SummarySearch => evaluate_summary_search(&instance),
+            Algorithm::SketchRefine => evaluate_sketch_refine(&instance),
         }
     }
 
@@ -173,5 +235,40 @@ mod tests {
     fn display_names() {
         assert_eq!(Algorithm::Naive.to_string(), "Naive");
         assert_eq!(Algorithm::SummarySearch.to_string(), "SummarySearch");
+        assert_eq!(Algorithm::SketchRefine.to_string(), "SketchRefine");
+    }
+
+    #[test]
+    fn algorithm_from_str_accepts_flexible_spellings() {
+        for (text, expected) in [
+            ("naive", Algorithm::Naive),
+            ("Naive", Algorithm::Naive),
+            ("summarysearch", Algorithm::SummarySearch),
+            ("summary-search", Algorithm::SummarySearch),
+            ("Summary_Search", Algorithm::SummarySearch),
+            ("SketchRefine", Algorithm::SketchRefine),
+            ("sketch-refine", Algorithm::SketchRefine),
+            ("SKETCH_REFINE", Algorithm::SketchRefine),
+        ] {
+            assert_eq!(text.parse::<Algorithm>().unwrap(), expected, "{text}");
+        }
+        assert!("cplex".parse::<Algorithm>().is_err());
+        assert!("".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn sketch_refine_without_registration_is_a_clear_error() {
+        // spq-core's own test binary never links spq-sketch, so the hook is
+        // guaranteed to be empty here.
+        assert!(!sketch_refine_available());
+        let rel = relation();
+        let engine = SpqEngine::new(SpqOptions::for_tests());
+        let err = engine
+            .evaluate(&rel, QUERY, Algorithm::SketchRefine)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("spq_sketch::install"),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -34,6 +34,9 @@ pub struct Instance<'a> {
     expectations: HashMap<String, Vec<f64>>,
     /// Per-tuple multiplicity upper bound.
     multiplicity_bounds: Vec<f64>,
+    /// Per-tuple multiplicity lower bound (0 unless a caller pins variables,
+    /// e.g. SketchRefine freezing already-refined partitions).
+    multiplicity_floors: Vec<f64>,
     /// (min, max) realized value of the objective column over a sample of
     /// validation scenarios, restricted to candidate tuples; used for the
     /// constraint-agnostic bounds of Table 1.
@@ -81,17 +84,19 @@ impl<'a> Instance<'a> {
             det_values.insert(col.clone(), restricted);
         }
 
-        // Expectation estimates for stochastic columns (precomputation phase).
+        // Expectation estimates for stochastic columns (precomputation
+        // phase), restricted to the candidates so that sub-instances over a
+        // few tuples of a huge relation stay cheap to prepare.
         let estimator =
             ExpectationEstimator::new(options.seed, options.expectation_scenarios.max(1));
         let mut expectations = HashMap::new();
         for col in &stoch_cols {
-            let est = estimator.estimate(relation, col)?;
-            let restricted: Vec<f64> = silp.tuples.iter().map(|&t| est.means[t]).collect();
+            let restricted = estimator.estimate_tuples(relation, col, &silp.tuples)?;
             expectations.insert(col.clone(), restricted);
         }
 
         let multiplicity_bounds = derive_multiplicity_bounds(&silp, &det_values, &options);
+        let multiplicity_floors = vec![0.0; multiplicity_bounds.len()];
 
         let mut instance = Instance {
             relation,
@@ -102,6 +107,7 @@ impl<'a> Instance<'a> {
             det_values,
             expectations,
             multiplicity_bounds,
+            multiplicity_floors,
             objective_value_bounds: None,
         };
         instance.objective_value_bounds = instance.sample_objective_value_bounds()?;
@@ -116,6 +122,39 @@ impl<'a> Instance<'a> {
     /// Per-tuple multiplicity upper bounds.
     pub fn multiplicity_bounds(&self) -> &[f64] {
         &self.multiplicity_bounds
+    }
+
+    /// Per-tuple multiplicity lower bounds (0 unless variables were pinned).
+    pub fn multiplicity_floors(&self) -> &[f64] {
+        &self.multiplicity_floors
+    }
+
+    /// Element-wise tighten the multiplicity upper bounds with `caps`
+    /// (`caps[i]` applies to candidate position `i`; a floor set by
+    /// [`Self::fix_multiplicity`] is never violated). SketchRefine uses this
+    /// to give each partition representative a capacity of
+    /// `partition size × per-tuple bound`.
+    pub fn cap_multiplicity_bounds(&mut self, caps: &[f64]) {
+        for (bound, &cap) in self.multiplicity_bounds.iter_mut().zip(caps) {
+            *bound = bound.min(cap.max(0.0));
+        }
+        for (bound, &floor) in self
+            .multiplicity_bounds
+            .iter_mut()
+            .zip(&self.multiplicity_floors)
+        {
+            *bound = bound.max(floor);
+        }
+    }
+
+    /// Pin candidate position `position` to exactly `value` copies in every
+    /// formulation built from this instance (lower bound = upper bound =
+    /// `value`). SketchRefine uses this to freeze the choices of partitions
+    /// other than the one currently being refined.
+    pub fn fix_multiplicity(&mut self, position: usize, value: f64) {
+        let value = value.max(0.0);
+        self.multiplicity_floors[position] = value;
+        self.multiplicity_bounds[position] = value;
     }
 
     /// Expectation estimates for a stochastic column (restricted to candidate
@@ -465,6 +504,53 @@ mod tests {
         // Gains are N(1..4, 0.5); sampled bounds should be within a broad
         // plausible window.
         assert!(lo > -5.0 && hi < 10.0);
+    }
+
+    #[test]
+    fn caps_and_fixed_multiplicities_are_respected() {
+        let rel = relation();
+        let mut inst = Instance::new(
+            &rel,
+            silp(vec![budget_constraint(500.0), count_le(3.0)]),
+            SpqOptions::for_tests(),
+        )
+        .unwrap();
+        assert_eq!(inst.multiplicity_floors(), &[0.0; 4]);
+        inst.cap_multiplicity_bounds(&[2.0, 10.0, 1.0, 0.0]);
+        // Caps only tighten: derived bounds were [3, 2, 3, 1].
+        assert_eq!(inst.multiplicity_bounds(), &[2.0, 2.0, 1.0, 0.0]);
+        inst.fix_multiplicity(1, 2.0);
+        assert_eq!(inst.multiplicity_floors()[1], 2.0);
+        assert_eq!(inst.multiplicity_bounds()[1], 2.0);
+        // A later cap below the floor is ignored for the pinned position.
+        inst.cap_multiplicity_bounds(&[2.0, 0.0, 1.0, 0.0]);
+        assert_eq!(inst.multiplicity_bounds()[1], 2.0);
+    }
+
+    #[test]
+    fn fixed_multiplicities_survive_a_solve() {
+        use spq_solver::{solve_full, SolverOptions};
+        let rel = relation();
+        // Maximize gains with a budget; tuple 2 (gain 3, price 50) would
+        // normally dominate — pin tuple 0 to two copies instead.
+        let mut inst = Instance::new(
+            &rel,
+            silp(vec![budget_constraint(300.0)]),
+            SpqOptions::for_tests(),
+        )
+        .unwrap();
+        inst.fix_multiplicity(0, 2.0);
+        let f = crate::saa::formulate_unconstrained(&inst, 5).unwrap();
+        let res = solve_full(&f.model, &SolverOptions::with_time_limit_secs(10)).unwrap();
+        let x = f.multiplicities(&res.solution.unwrap());
+        assert_eq!(x[0], 2.0, "pinned variable must keep its value: {x:?}");
+        // Budget 300 - 2*100 leaves room for two of tuple 2 (price 50).
+        let total: f64 = x
+            .iter()
+            .zip([100.0, 250.0, 50.0, 400.0])
+            .map(|(v, p)| v * p)
+            .sum();
+        assert!(total <= 300.0 + 1e-9);
     }
 
     #[test]

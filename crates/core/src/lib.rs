@@ -10,16 +10,19 @@
 //! 1. **Parse & bind** an sPaQL query ([`spq_spaql`]) against a Monte Carlo
 //!    relation ([`spq_mcdb`]).
 //! 2. **Translate** it into a stochastic integer linear program
-//!    ([`silp::Silp`], [`translate`]).
-//! 3. **Evaluate** it with one of two algorithms:
+//!    ([`silp::Silp`], [`translate()`]).
+//! 3. **Evaluate** it with one of three algorithms:
 //!    * [`naive`] — Algorithm 1, the SAA optimize/validate loop from the
 //!      stochastic-programming literature;
 //!    * [`summary_search`] — Algorithm 2, the paper's SummarySearch, which
 //!      replaces the `M` scenarios of the SAA with `Z ≪ M` conservative
 //!      *α-summaries* ([`summary`]), searches for minimally conservative
 //!      summaries with CSA-Solve ([`csa_solve`], [`alpha`]), and certifies
-//!      `(1 + ε)`-approximation via the bounds of [`bounds`].
-//! 4. **Validate** every candidate package out-of-sample ([`validate`]).
+//!      `(1 + ε)`-approximation via the bounds of [`bounds`];
+//!    * [`Algorithm::SketchRefine`] — partition–sketch–refine evaluation for
+//!      very large relations, provided by the separate `spq-sketch` crate
+//!      and dispatched through [`register_sketch_refine`].
+//! 4. **Validate** every candidate package out-of-sample ([`validate()`]).
 //!
 //! The easiest entry point is [`SpqEngine`]:
 //!
@@ -63,10 +66,12 @@ pub mod summary_stream;
 pub mod translate;
 pub mod validate;
 
-pub use engine::{Algorithm, SpqEngine};
+pub use engine::{
+    register_sketch_refine, sketch_refine_available, Algorithm, SketchRefineEvaluator, SpqEngine,
+};
 pub use error::SpqError;
 pub use instance::Instance;
-pub use options::SpqOptions;
+pub use options::{SketchOptions, SpqOptions};
 pub use package::{EvaluationResult, EvaluationStats, Package};
 pub use silp::{CoeffSource, ConstraintKind, Direction, Silp, SilpConstraint, SilpObjective};
 pub use translate::translate;

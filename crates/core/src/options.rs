@@ -3,6 +3,66 @@
 use spq_solver::SolverOptions;
 use std::time::Duration;
 
+/// Tunables of the SketchRefine algorithm (implemented by the `spq-sketch`
+/// crate and dispatched through [`crate::Algorithm::SketchRefine`]).
+///
+/// SketchRefine groups tuples with similar attribute distributions into
+/// partitions, solves a *sketch* query over one representative per partition,
+/// and then *refines* the chosen partitions one at a time. These knobs
+/// control the partitioning granularity and the per-phase budgets.
+#[derive(Debug, Clone)]
+pub struct SketchOptions {
+    /// Maximum number of tuples per partition. `0` picks `⌈√N⌉`
+    /// automatically (clamped to `[8, 4096]`), which balances the sketch
+    /// size (`N / size` representatives) against the refine size.
+    pub max_partition_size: usize,
+    /// Partition diameter budget, as a fraction of each normalized feature
+    /// dimension's range: a partition never spans more than this fraction in
+    /// any feature (per-tuple expectation, standard deviation, or
+    /// deterministic attribute). Smaller values yield tighter, more numerous
+    /// partitions.
+    pub diameter_fraction: f64,
+    /// Number of optimization-stream scenarios sampled per tuple to estimate
+    /// the distributional features (mean and spread) used for partitioning.
+    pub feature_scenarios: usize,
+    /// Relations with at most this many candidate tuples are solved directly
+    /// with SummarySearch — partitioning overhead isn't worth it below this
+    /// size (a single partition would reproduce the full problem anyway).
+    pub direct_solve_threshold: usize,
+    /// Cap on the optimization-scenario budget of each refine sub-solve,
+    /// applied on top of [`SpqOptions::max_scenarios`].
+    pub refine_max_scenarios: usize,
+    /// Per-MILP solver time cap inside the sketch and refine phases
+    /// (tightens [`SolverOptions::time_limit`]). The branch-and-bound solver
+    /// returns its best incumbent at the limit, so this trades proof of
+    /// optimality for bounded latency; `None` leaves the solver limit alone.
+    pub phase_solver_time_limit: Option<Duration>,
+}
+
+impl Default for SketchOptions {
+    fn default() -> Self {
+        SketchOptions {
+            max_partition_size: 0,
+            diameter_fraction: 0.2,
+            feature_scenarios: 24,
+            direct_solve_threshold: 64,
+            refine_max_scenarios: 200,
+            phase_solver_time_limit: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl SketchOptions {
+    /// The effective partition-size cap for `n` candidate tuples.
+    pub fn effective_partition_size(&self, n: usize) -> usize {
+        if self.max_partition_size > 0 {
+            self.max_partition_size.max(1)
+        } else {
+            ((n as f64).sqrt().ceil() as usize).clamp(8, 4096)
+        }
+    }
+}
+
 /// Tunable parameters of SPQ evaluation.
 ///
 /// The defaults follow the paper's experimental setup (Section 6.1) scaled to
@@ -44,6 +104,8 @@ pub struct SpqOptions {
     /// Upper bound on any tuple's multiplicity when neither `REPEAT` nor the
     /// constraints imply one (keeps big-M constants finite).
     pub fallback_multiplicity_bound: u32,
+    /// SketchRefine-specific knobs (ignored by Naïve and SummarySearch).
+    pub sketch: SketchOptions,
 }
 
 impl Default for SpqOptions {
@@ -62,6 +124,7 @@ impl Default for SpqOptions {
             time_limit: Some(Duration::from_secs(600)),
             max_csa_iterations: 15,
             fallback_multiplicity_bound: 100,
+            sketch: SketchOptions::default(),
         }
     }
 }
@@ -105,6 +168,12 @@ impl SpqOptions {
         self.validation_scenarios = m_hat;
         self
     }
+
+    /// Replace the SketchRefine knobs, returning `self` for chaining.
+    pub fn with_sketch(mut self, sketch: SketchOptions) -> Self {
+        self.sketch = sketch;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +201,24 @@ mod tests {
         assert_eq!(o.initial_scenarios, 5);
         assert_eq!(o.initial_summaries, 2);
         assert_eq!(o.validation_scenarios, 50);
+    }
+
+    #[test]
+    fn sketch_defaults_and_effective_partition_size() {
+        let s = SketchOptions::default();
+        assert_eq!(s.max_partition_size, 0);
+        assert!(s.diameter_fraction > 0.0 && s.diameter_fraction <= 1.0);
+        // Auto sizing: sqrt(N), clamped.
+        assert_eq!(s.effective_partition_size(10_000), 100);
+        assert_eq!(s.effective_partition_size(4), 8);
+        assert_eq!(s.effective_partition_size(100_000_000), 4096);
+        // Explicit sizing wins.
+        let fixed = SketchOptions {
+            max_partition_size: 13,
+            ..Default::default()
+        };
+        assert_eq!(fixed.effective_partition_size(10_000), 13);
+        let o = SpqOptions::for_tests().with_sketch(fixed);
+        assert_eq!(o.sketch.max_partition_size, 13);
     }
 }

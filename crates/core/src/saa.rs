@@ -104,12 +104,13 @@ pub fn build_model(
         SilpObjective::Probability { .. } => vec![0.0; n],
     };
     let bounds = instance.multiplicity_bounds();
+    let floors = instance.multiplicity_floors();
     let mut x_vars = Vec::with_capacity(n);
     for i in 0..n {
         let x = model.add_var(
             format!("x{i}"),
             VarType::Integer,
-            0.0,
+            floors[i],
             bounds[i],
             obj_coeffs[i],
         );

@@ -20,8 +20,16 @@ use spq_solver::Sense;
 
 /// Split `m` scenario indices into `z` disjoint, deterministic partitions of
 /// (approximately) equal size.
+///
+/// Edge cases: `m = 0` yields **no** partitions (an empty scenario set has no
+/// meaningful summary — a zero-filled summary row would silently assert
+/// `Σ 0·x ⊙ v` over nothing); `z = 0` is treated as `z = 1`; and `z > m`
+/// is clamped to `m` so no partition is ever empty.
 pub fn partition_scenarios(m: usize, z: usize) -> Vec<Vec<usize>> {
-    let z = z.clamp(1, m.max(1));
+    if m == 0 {
+        return Vec::new();
+    }
+    let z = z.clamp(1, m);
     let mut partitions = vec![Vec::with_capacity(m / z + 1); z];
     for j in 0..m {
         partitions[j % z].push(j);
@@ -203,6 +211,38 @@ mod tests {
         // Degenerate cases.
         assert_eq!(partition_scenarios(5, 1).len(), 1);
         assert_eq!(partition_scenarios(5, 99).len(), 5);
+    }
+
+    #[test]
+    fn zero_scenarios_yield_no_partitions() {
+        // m = 0 must not fabricate an empty partition (whose summary would be
+        // an all-zero row pretending to cover scenarios that don't exist).
+        assert!(partition_scenarios(0, 1).is_empty());
+        assert!(partition_scenarios(0, 7).is_empty());
+        assert!(partition_scenarios(0, 0).is_empty());
+        let spec = SummarySpec {
+            alpha: 1.0,
+            sense: Sense::Ge,
+            previous_solution: None,
+            accelerate: false,
+        };
+        let summaries = build_summaries(&figure2(), &partition_scenarios(0, 3), &spec);
+        assert!(summaries.is_empty());
+    }
+
+    #[test]
+    fn z_larger_than_m_never_produces_empty_partitions() {
+        for (m, z) in [(1usize, 5usize), (3, 4), (4, 100), (7, 7), (2, 0)] {
+            let parts = partition_scenarios(m, z);
+            assert_eq!(parts.len(), z.clamp(1, m), "m={m} z={z}");
+            assert!(
+                parts.iter().all(|p| !p.is_empty()),
+                "m={m} z={z}: empty partition in {parts:?}"
+            );
+            let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..m).collect::<Vec<_>>(), "m={m} z={z}");
+        }
     }
 
     #[test]

@@ -82,6 +82,59 @@ impl ExpectationEstimator {
             scenarios_used: self.num_scenarios,
         })
     }
+
+    /// Estimate `E(t_i.A)` only for the given tuples, generating scenario
+    /// values for no others.
+    ///
+    /// Produces exactly the same numbers as [`Self::estimate`] restricted to
+    /// `tuples`: the analytic path is taken if and only if the *whole*
+    /// column has closed-form means (a partially-analytic column must use
+    /// the empirical path everywhere, or full-relation and subset estimates
+    /// would disagree), and the empirical path's per-cell seeding makes the
+    /// subset independent of the generation order. The empirical cost is
+    /// `O(|tuples| · M)` instead of `O(N · M)` — the partition-aware access
+    /// path SketchRefine relies on when preparing sketch and refine
+    /// sub-instances over huge relations.
+    pub fn estimate_tuples(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+    ) -> Result<Vec<f64>> {
+        if let Some(&bad) = tuples.iter().find(|&&t| t >= relation.len()) {
+            return Err(crate::McdbError::TupleOutOfBounds {
+                index: bad,
+                len: relation.len(),
+            });
+        }
+        let sc = relation.stochastic_column(column)?;
+        if sc.analytic {
+            return Ok(tuples
+                .iter()
+                .map(|&t| sc.vg.mean(t).expect("column flagged fully analytic"))
+                .collect());
+        }
+        const CHUNK: usize = 512;
+        let mut sums = vec![0.0f64; tuples.len()];
+        let mut start = 0usize;
+        while start < self.num_scenarios {
+            let end = (start + CHUNK).min(self.num_scenarios);
+            for row in self
+                .generator
+                .realize_sparse(relation, column, tuples, start..end)?
+            {
+                for (sum, v) in sums.iter_mut().zip(&row) {
+                    *sum += v;
+                }
+            }
+            start = end;
+        }
+        let m = self.num_scenarios.max(1) as f64;
+        for sum in &mut sums {
+            *sum /= m;
+        }
+        Ok(sums)
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +189,56 @@ mod tests {
             .unwrap();
         let _ = r2; // r2 exercised elsewhere; here check analytic value shape
         assert!((analytic - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_estimates_match_full_estimates() {
+        // Analytic path.
+        let r = RelationBuilder::new("t")
+            .stochastic("x", NormalNoise::around(vec![5.0, 6.0, 7.0, 8.0], 1.0))
+            .build()
+            .unwrap();
+        let est = ExpectationEstimator::new(9, 50);
+        assert_eq!(
+            est.estimate_tuples(&r, "x", &[3, 1]).unwrap(),
+            vec![8.0, 6.0]
+        );
+        // Empirical path: restricted estimates equal the full estimate's
+        // entries bit for bit (order-independent per-cell seeding).
+        let heavy = RelationBuilder::new("h")
+            .stochastic("x", ParetoNoise::around(vec![0.0, 10.0, 20.0], 1.0, 1.0))
+            .build()
+            .unwrap();
+        let full = est.estimate(&heavy, "x").unwrap();
+        assert_eq!(full.source, EstimateSource::Empirical);
+        let sub = est.estimate_tuples(&heavy, "x", &[2, 0]).unwrap();
+        assert_eq!(sub, vec![full.means[2], full.means[0]]);
+        // Out-of-bounds tuples error instead of panicking.
+        assert!(est.estimate_tuples(&heavy, "x", &[7]).is_err());
+    }
+
+    #[test]
+    fn partially_analytic_columns_use_the_empirical_path_everywhere() {
+        // Shapes straddle 1.0: tuple 0 has a closed-form mean, tuple 1 does
+        // not, so `estimate` falls back to empirical means for the whole
+        // column — and a subset consisting only of the analytic tuple must
+        // do the same, or sub-instance expectations would disagree with the
+        // full instance's.
+        let r = RelationBuilder::new("t")
+            .stochastic(
+                "x",
+                ParetoNoise::around(vec![0.0, 0.0], 1.0, vec![3.0, 0.5]),
+            )
+            .build()
+            .unwrap();
+        let est = ExpectationEstimator::new(5, 400);
+        let full = est.estimate(&r, "x").unwrap();
+        assert_eq!(full.source, EstimateSource::Empirical);
+        let sub = est.estimate_tuples(&r, "x", &[0]).unwrap();
+        assert_eq!(sub, vec![full.means[0]]);
+        // The empirical mean differs from the analytic 1.5 the subset path
+        // would wrongly have produced.
+        assert!((sub[0] - 1.5).abs() > 1e-6);
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct StochasticColumn {
     pub vg: Arc<dyn VgFunction>,
     /// Precomputed stable tag used for seeding.
     pub tag: u64,
+    /// Whether *every* tuple of the column has a closed-form mean
+    /// (precomputed at build time so subset expectation estimates can take
+    /// the analytic path in `O(|subset|)`).
+    pub analytic: bool,
 }
 
 impl std::fmt::Debug for StochasticColumn {
@@ -127,14 +131,14 @@ impl Relation {
     /// closed-form mean, otherwise `None`.
     pub fn analytic_means(&self, column: &str) -> Result<Option<Vec<f64>>> {
         let sc = self.stochastic_column(column)?;
-        let mut means = Vec::with_capacity(self.n_rows);
-        for i in 0..self.n_rows {
-            match sc.vg.mean(i) {
-                Some(m) => means.push(m),
-                None => return Ok(None),
-            }
+        if !sc.analytic {
+            return Ok(None);
         }
-        Ok(Some(means))
+        Ok(Some(
+            (0..self.n_rows)
+                .map(|i| sc.vg.mean(i).expect("column flagged fully analytic"))
+                .collect(),
+        ))
     }
 }
 
@@ -232,8 +236,16 @@ impl RelationBuilder {
         }
         self.schema.push(ColumnDef::stochastic(name.clone()));
         let tag = column_tag(&name);
-        self.stoch_columns
-            .insert(name.clone(), StochasticColumn { name, vg, tag });
+        let analytic = (0..vg.len()).all(|i| vg.mean(i).is_some());
+        self.stoch_columns.insert(
+            name.clone(),
+            StochasticColumn {
+                name,
+                vg,
+                tag,
+                analytic,
+            },
+        );
         self
     }
 
@@ -336,6 +348,19 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(r.analytic_means("x").unwrap(), None);
+        assert!(!r.stochastic_column("x").unwrap().analytic);
+        // A single tuple without a closed-form mean poisons the whole
+        // column's flag.
+        let mixed = RelationBuilder::new("t")
+            .stochastic(
+                "x",
+                ParetoNoise::around(vec![0.0, 0.0], 1.0, vec![3.0, 0.5]),
+            )
+            .build()
+            .unwrap();
+        assert!(!mixed.stochastic_column("x").unwrap().analytic);
+        assert_eq!(mixed.analytic_means("x").unwrap(), None);
+        assert!(portfolio().stochastic_column("Gain").unwrap().analytic);
     }
 
     #[test]

@@ -12,11 +12,30 @@
 //!
 //! All three orders produce identical values because every `(column,
 //! driver-group, scenario)` cell derives its RNG independently (see
-//! [`crate::seed`]).
+//! [`crate::seed`]). The same property makes generation embarrassingly
+//! parallel: large matrix requests are chunked by tuple across `std::thread`
+//! workers and produce **bit-identical** results to the serial path.
 
-use crate::relation::Relation;
+use crate::relation::{Relation, StochasticColumn};
 use crate::seed::{cell_rng, Stream};
 use crate::Result;
+use std::num::NonZeroUsize;
+
+/// Number of `(tuple, scenario)` cells above which dense/sparse generation
+/// fans out across threads. Below this, thread spawn overhead dominates.
+const PARALLEL_CELL_THRESHOLD: usize = 1 << 14;
+
+/// Worker count for a request of `cells` total realizations over `tuples`
+/// tuples: 1 for small requests, otherwise up to the machine's parallelism.
+fn auto_threads(cells: usize, tuples: usize) -> usize {
+    if cells < PARALLEL_CELL_THRESHOLD || tuples < 2 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(tuples)
+}
 
 /// One realized stochastic column for one scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,7 +201,65 @@ impl ScenarioGenerator {
         Ok(out)
     }
 
-    /// Realize a dense `M x N` matrix of the first `m` scenarios.
+    /// Realize one tuple block in tuple-major order: one inner vector per
+    /// tuple, holding that tuple's values across `scenarios`.
+    fn realize_tuple_block(
+        &self,
+        sc: &StochasticColumn,
+        tuples: &[usize],
+        scenarios: std::ops::Range<usize>,
+    ) -> Vec<Vec<f64>> {
+        tuples
+            .iter()
+            .map(|&tuple| {
+                let group = sc.vg.driver_group(tuple);
+                scenarios
+                    .clone()
+                    .map(|j| {
+                        let mut rng =
+                            cell_rng(self.base_seed, self.stream, sc.tag, group, j as u64);
+                        sc.vg.realize(tuple, &mut rng)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Realize `tuples × scenarios` in tuple-major order, chunking tuples
+    /// across `threads` workers. Because every cell seeds its own RNG, the
+    /// result is bit-identical for any thread count.
+    fn realize_tuple_major(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+        scenarios: std::ops::Range<usize>,
+        threads: usize,
+    ) -> Result<Vec<Vec<f64>>> {
+        let sc = relation.stochastic_column(column)?;
+        let threads = threads.clamp(1, tuples.len().max(1));
+        if threads == 1 {
+            return Ok(self.realize_tuple_block(sc, tuples, scenarios));
+        }
+        let chunk = tuples.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(tuples.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = tuples
+                .chunks(chunk)
+                .map(|block| {
+                    let scenarios = scenarios.clone();
+                    scope.spawn(move || self.realize_tuple_block(sc, block, scenarios))
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("scenario generation worker panicked"));
+            }
+        });
+        Ok(out)
+    }
+
+    /// Realize a dense `M x N` matrix of the first `m` scenarios,
+    /// parallelizing across tuples for large requests.
     pub fn realize_matrix(
         &self,
         relation: &Relation,
@@ -190,20 +267,34 @@ impl ScenarioGenerator {
         m: usize,
     ) -> Result<ScenarioMatrix> {
         let n = relation.len();
-        let mut matrix = ScenarioMatrix {
-            n_tuples: n,
-            data: Vec::with_capacity(n * m),
-        };
-        for j in 0..m {
-            let s = self.realize_column(relation, column, j)?;
-            matrix.push_scenario(&s.values);
+        self.realize_matrix_with_threads(relation, column, m, auto_threads(n * m, n))
+    }
+
+    /// [`Self::realize_matrix`] with an explicit worker count (1 forces the
+    /// serial path). Results are bit-identical for every `threads` value.
+    pub fn realize_matrix_with_threads(
+        &self,
+        relation: &Relation,
+        column: &str,
+        m: usize,
+        threads: usize,
+    ) -> Result<ScenarioMatrix> {
+        let n = relation.len();
+        let tuples: Vec<usize> = (0..n).collect();
+        let columns = self.realize_tuple_major(relation, column, &tuples, 0..m, threads)?;
+        let mut data = vec![0.0f64; n * m];
+        for (i, values) in columns.iter().enumerate() {
+            for (j, &v) in values.iter().enumerate() {
+                data[j * n + i] = v;
+            }
         }
-        Ok(matrix)
+        Ok(ScenarioMatrix { n_tuples: n, data })
     }
 
     /// Realize values only for the given tuples across `scenarios`
     /// (sparse/package-restricted generation used by validation). Returns one
-    /// vector per scenario, aligned with `tuples`.
+    /// vector per scenario, aligned with `tuples`; large requests are
+    /// parallelized across tuples.
     pub fn realize_sparse(
         &self,
         relation: &Relation,
@@ -211,18 +302,56 @@ impl ScenarioGenerator {
         tuples: &[usize],
         scenarios: std::ops::Range<usize>,
     ) -> Result<Vec<Vec<f64>>> {
-        let sc = relation.stochastic_column(column)?;
-        let mut out = Vec::with_capacity(scenarios.len());
-        for j in scenarios {
-            let mut row = Vec::with_capacity(tuples.len());
-            for &tuple in tuples {
-                let group = sc.vg.driver_group(tuple);
-                let mut rng = cell_rng(self.base_seed, self.stream, sc.tag, group, j as u64);
-                row.push(sc.vg.realize(tuple, &mut rng));
+        let threads = auto_threads(tuples.len() * scenarios.len(), tuples.len());
+        self.realize_sparse_with_threads(relation, column, tuples, scenarios, threads)
+    }
+
+    /// [`Self::realize_sparse`] with an explicit worker count (1 forces the
+    /// serial path). Results are bit-identical for every `threads` value.
+    pub fn realize_sparse_with_threads(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+        scenarios: std::ops::Range<usize>,
+        threads: usize,
+    ) -> Result<Vec<Vec<f64>>> {
+        let m = scenarios.len();
+        let columns = self.realize_tuple_major(relation, column, tuples, scenarios, threads)?;
+        let mut out = vec![Vec::with_capacity(tuples.len()); m];
+        for values in &columns {
+            for (j, &v) in values.iter().enumerate() {
+                out[j].push(v);
             }
-            out.push(row);
         }
         Ok(out)
+    }
+
+    /// Per-tuple empirical mean and standard deviation over the first `m`
+    /// scenarios of this generator's stream, for the given tuples.
+    /// SketchRefine uses these as distributional-similarity features for
+    /// partitioning; generation is parallelized like the matrix paths.
+    pub fn tuple_moments(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+        m: usize,
+    ) -> Result<Vec<(f64, f64)>> {
+        if m == 0 {
+            return Ok(vec![(0.0, 0.0); tuples.len()]);
+        }
+        let threads = auto_threads(tuples.len() * m, tuples.len());
+        let columns = self.realize_tuple_major(relation, column, tuples, 0..m, threads)?;
+        Ok(columns
+            .into_iter()
+            .map(|values| {
+                let n = values.len() as f64;
+                let mean = values.iter().sum::<f64>() / n;
+                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                (mean, var.max(0.0).sqrt())
+            })
+            .collect())
     }
 }
 
@@ -342,6 +471,66 @@ mod tests {
         let empty = ScenarioMatrix::from_scenarios(0, &[]);
         assert_eq!(empty.num_scenarios(), 0);
         assert_eq!(empty.column_means(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical_to_serial() {
+        // A prime-sized relation so chunk boundaries land mid-relation for
+        // every thread count.
+        let n = 53;
+        let base: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        let r = RelationBuilder::new("wide")
+            .stochastic("x", NormalNoise::around(base, 1.5))
+            .build()
+            .unwrap();
+        let g = ScenarioGenerator::new(321);
+        let m = 64;
+        let serial = g.realize_matrix_with_threads(&r, "x", m, 1).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let parallel = g.realize_matrix_with_threads(&r, "x", m, threads).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        // The auto-threaded public entry point agrees too.
+        assert_eq!(serial, g.realize_matrix(&r, "x", m).unwrap());
+
+        let tuples: Vec<usize> = (0..n).step_by(3).collect();
+        let sparse_serial = g
+            .realize_sparse_with_threads(&r, "x", &tuples, 5..40, 1)
+            .unwrap();
+        for threads in [2, 5, 16] {
+            let sparse_parallel = g
+                .realize_sparse_with_threads(&r, "x", &tuples, 5..40, threads)
+                .unwrap();
+            assert_eq!(sparse_serial, sparse_parallel, "threads = {threads}");
+        }
+        assert_eq!(
+            sparse_serial,
+            g.realize_sparse(&r, "x", &tuples, 5..40).unwrap()
+        );
+    }
+
+    #[test]
+    fn tuple_moments_match_the_matrix() {
+        let r = rel();
+        let g = ScenarioGenerator::new(17);
+        let m = 500;
+        let matrix = g.realize_matrix(&r, "gain", m).unwrap();
+        let moments = g.tuple_moments(&r, "gain", &[0, 2, 3], m).unwrap();
+        for (k, &tuple) in [0usize, 2, 3].iter().enumerate() {
+            let values: Vec<f64> = (0..m).map(|j| matrix.value(j, tuple)).collect();
+            let mean = values.iter().sum::<f64>() / m as f64;
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / m as f64;
+            assert!((moments[k].0 - mean).abs() < 1e-12);
+            assert!((moments[k].1 - var.sqrt()).abs() < 1e-12);
+        }
+        // Zero scenarios degrade gracefully.
+        assert_eq!(
+            g.tuple_moments(&r, "gain", &[1], 0).unwrap(),
+            vec![(0.0, 0.0)]
+        );
+        // A degenerate column has zero spread.
+        let deg = g.tuple_moments(&r, "other", &[0, 1], 100).unwrap();
+        assert_eq!(deg, vec![(7.0, 0.0), (7.0, 0.0)]);
     }
 
     #[test]

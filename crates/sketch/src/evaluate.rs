@@ -1,0 +1,397 @@
+//! The SketchRefine evaluation driver.
+//!
+//! Given a prepared [`Instance`], evaluation proceeds in three phases:
+//!
+//! 1. **Partition** — embed every candidate tuple into a normalized
+//!    distributional feature space ([`crate::features`]) and group similar
+//!    tuples with the diameter-bounded greedy partitioner
+//!    ([`crate::partition`]).
+//! 2. **Sketch** — solve the query with SummarySearch over a reduced relation
+//!    holding one medoid representative per partition, each allowed a
+//!    multiplicity of up to `partition size × per-tuple bound`. Because the
+//!    medoid is a real tuple, the sketch solution is itself a valid package
+//!    and is validated out-of-sample like any other.
+//! 3. **Refine** — walk the partitions the sketch actually used (largest
+//!    allocation first) and re-solve a small SILP over that partition's real
+//!    tuples while every other partition's current choice is frozen via
+//!    pinned variables ([`Instance::fix_multiplicity`]). A refine step that
+//!    comes back infeasible (or worse than the incumbent) falls back greedily
+//!    to the medoid allocation; if no refined solution ever validates, the
+//!    sketch solution itself is the answer — refinement can only improve it.
+//!
+//! Every intermediate package is validated against the out-of-sample stream,
+//! and the best validated package wins, so SketchRefine inherits the same
+//! feasibility guarantees as SummarySearch while each MILP it solves is
+//! `O(√N)` rather than `O(N)` variables wide.
+
+use crate::features::candidate_features;
+use crate::partition::{partition_candidates, Partitioning};
+use spq_core::package::{EvaluationResult, EvaluationStats, Package};
+use spq_core::silp::Direction;
+use spq_core::summary_search::evaluate_summary_search;
+use spq_core::validate::{validate, ValidationReport};
+use spq_core::{Instance, Result, SpqOptions};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Sparse candidate selection: candidate position → multiplicity.
+type Selection = HashMap<usize, f64>;
+
+fn worse(direction: Direction, candidate: f64, incumbent: f64) -> bool {
+    match direction {
+        Direction::Minimize => candidate > incumbent + 1e-9,
+        Direction::Maximize => candidate < incumbent - 1e-9,
+    }
+}
+
+fn merge_stats(into: &mut EvaluationStats, from: &EvaluationStats) {
+    into.problems_solved += from.problems_solved;
+    into.validations += from.validations;
+    into.solver_nodes += from.solver_nodes;
+    into.max_problem_coefficients = into
+        .max_problem_coefficients
+        .max(from.max_problem_coefficients);
+}
+
+fn time_exhausted(opts: &SpqOptions, start: Instant) -> bool {
+    opts.time_limit
+        .map(|limit| start.elapsed() >= limit)
+        .unwrap_or(false)
+}
+
+/// A copy of `opts` whose time limit is the budget still remaining, with the
+/// per-phase MILP solver cap applied (the solver hands back its incumbent at
+/// the limit, so phases stay bounded without losing feasibility).
+fn remaining_budget(opts: &SpqOptions, start: Instant) -> SpqOptions {
+    let mut scoped = opts.clone();
+    if let Some(limit) = opts.time_limit {
+        scoped.time_limit = Some(
+            limit
+                .saturating_sub(start.elapsed())
+                .max(Duration::from_millis(1)),
+        );
+    }
+    if let Some(cap) = opts.sketch.phase_solver_time_limit {
+        scoped.solver.time_limit = Some(match scoped.solver.time_limit {
+            Some(existing) => existing.min(cap),
+            None => cap,
+        });
+    }
+    scoped
+}
+
+/// Emit a phase-timing line on stderr when `SPQ_SKETCH_DEBUG` is set.
+macro_rules! debug_trace {
+    ($($arg:tt)*) => {
+        if std::env::var_os("SPQ_SKETCH_DEBUG").is_some() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Pick each partition's sketch representative.
+///
+/// For linear objectives with per-tuple coefficients the representative is
+/// the *objective-best* member (ties broken toward the medoid's position
+/// order): the sketch then sees each partition's potential rather than its
+/// average, so partitions hiding a strong tuple behind a mediocre medoid
+/// still get selected — the refine phase re-solves over the real members and
+/// out-of-sample validation keeps the optimism honest. For probability
+/// objectives (no per-tuple coefficient) the medoid is used as is.
+fn choose_representatives(
+    instance: &Instance<'_>,
+    parts: &crate::partition::Partitioning,
+) -> Result<Vec<usize>> {
+    use spq_core::silp::{CoeffSource, SilpObjective};
+    let coeffs = match &instance.silp.objective {
+        SilpObjective::Linear { coeff, .. } if !matches!(coeff, CoeffSource::Constant(_)) => {
+            instance.coefficients(coeff)?
+        }
+        _ => return Ok(parts.representatives.clone()),
+    };
+    let direction = instance.silp.objective.direction();
+    let better = |a: f64, b: f64| match direction {
+        Direction::Maximize => a > b,
+        Direction::Minimize => a < b,
+    };
+    Ok(parts
+        .partitions
+        .iter()
+        .map(|members| {
+            let mut best = members[0];
+            for &pos in members {
+                if better(coeffs[pos], coeffs[best]) {
+                    best = pos;
+                }
+            }
+            best
+        })
+        .collect())
+}
+
+/// Partition ids the sketch solution touched, heaviest allocation first
+/// (ties by ascending id, for determinism).
+fn refine_order(current: &Selection, parts: &Partitioning) -> Vec<usize> {
+    let mut per: HashMap<usize, f64> = HashMap::new();
+    for (&pos, &mult) in current {
+        *per.entry(parts.assignment[pos]).or_insert(0.0) += mult;
+    }
+    let mut order: Vec<(usize, f64)> = per.into_iter().collect();
+    order.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    order.into_iter().map(|(pid, _)| pid).collect()
+}
+
+/// Evaluate a stochastic package query with SketchRefine.
+///
+/// This is the function `spq_sketch::install()` registers as the engine's
+/// [`spq_core::Algorithm::SketchRefine`] evaluator; it can also be called
+/// directly on a prepared instance.
+pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResult> {
+    let start = Instant::now();
+    let opts = &instance.options;
+    let n = instance.num_vars();
+    let direction = instance.silp.objective.direction();
+
+    // Small relations gain nothing from partitioning (a lone partition would
+    // reproduce the full problem); solve them directly.
+    if n <= opts.sketch.direct_solve_threshold {
+        return evaluate_summary_search(instance);
+    }
+
+    // ---------------------------------------------------------------- phase 1
+    let features = candidate_features(instance)?;
+    let max_size = opts.sketch.effective_partition_size(n);
+    let parts = partition_candidates(&features, max_size, opts.sketch.diameter_fraction);
+
+    debug_trace!(
+        "[sketch] partitioned {n} tuples into {} groups (max size {max_size}) in {:?}",
+        parts.partitions.len(),
+        start.elapsed()
+    );
+
+    // ---------------------------------------------------------------- phase 2
+    let mut stats = EvaluationStats::default();
+    let representatives = choose_representatives(instance, &parts)?;
+    let mut sketch_silp = instance.silp.clone();
+    sketch_silp.tuples = representatives
+        .iter()
+        .map(|&pos| instance.silp.tuples[pos])
+        .collect();
+    // The representative stands in for its whole partition, so the query's
+    // per-tuple repeat limit scales by the partition size; the constraint-
+    // derived bounds (budget, COUNT caps) still apply through the capping.
+    sketch_silp.repeat_bound = None;
+    let per_tuple_cap = instance
+        .silp
+        .repeat_bound
+        .map(f64::from)
+        .unwrap_or_else(|| f64::from(opts.fallback_multiplicity_bound));
+    let mut sketch_opts = remaining_budget(opts, start);
+    // `cap_multiplicity_bounds` can only tighten, so the derived bounds must
+    // start above every partition capacity: lift the fallback (the only
+    // non-constraint component of the derivation) out of the way, then cap.
+    // Constraint-derived bounds (budget, COUNT ≤ u) still apply through the
+    // min.
+    sketch_opts.fallback_multiplicity_bound = u32::MAX;
+    let mut sketch_instance = Instance::new(instance.relation, sketch_silp, sketch_opts)?;
+    let caps: Vec<f64> = parts
+        .partitions
+        .iter()
+        .map(|members| members.len() as f64 * per_tuple_cap)
+        .collect();
+    sketch_instance.cap_multiplicity_bounds(&caps);
+
+    let sketch = evaluate_summary_search(&sketch_instance)?;
+    debug_trace!(
+        "[sketch] sketch solve over {} representatives: feasible={} in {:?} (cumulative)",
+        parts.partitions.len(),
+        sketch.feasible,
+        start.elapsed()
+    );
+    merge_stats(&mut stats, &sketch.stats);
+    stats.scenarios_used = sketch.stats.scenarios_used;
+    stats.summaries_used = sketch.stats.summaries_used;
+
+    // Map global tuple indices back to candidate positions of the full
+    // instance (medoids and partition members are both subsets of it).
+    let pos_of: HashMap<usize, usize> = instance
+        .silp
+        .tuples
+        .iter()
+        .enumerate()
+        .map(|(pos, &tuple)| (tuple, pos))
+        .collect();
+
+    let mut current: Selection = HashMap::new();
+    if let Some(package) = &sketch.package {
+        for &(tuple, mult) in &package.multiplicities {
+            current.insert(pos_of[&tuple], f64::from(mult));
+        }
+    }
+
+    // Legality of a selection under the query's REPEAT limit. The sketch
+    // deliberately relaxes it (a representative pools its partition's
+    // capacity), so selections become legal progressively as partitions are
+    // refined.
+    let repeat_limit = instance.silp.repeat_bound.map(f64::from);
+    let repeat_legal = |selection: &Selection| match repeat_limit {
+        Some(limit) => selection.values().all(|&m| m <= limit + 1e-9),
+        None => true,
+    };
+
+    // Seed the incumbent from the sketch only when the sketch solution
+    // already respects the REPEAT limit: the pooled representative has a
+    // legitimately *inflated* objective, and using it as the bar would make
+    // every REPEAT-respecting refinement look like a regression.
+    let mut best: Option<(Selection, ValidationReport)> =
+        if sketch.feasible && repeat_legal(&current) {
+            sketch
+                .package
+                .as_ref()
+                .map(|p| (current.clone(), p.validation.clone()))
+        } else {
+            None
+        };
+
+    if current.is_empty() {
+        // Nothing selected (e.g. the sketch proved the query infeasible):
+        // the sketch result already references real tuples, return it as is.
+        stats.wall_time = start.elapsed();
+        return Ok(EvaluationResult {
+            package: sketch.package,
+            feasible: sketch.feasible,
+            stats,
+        });
+    }
+
+    // ---------------------------------------------------------------- phase 3
+    for pid in refine_order(&current, &parts) {
+        if time_exhausted(opts, start) {
+            break;
+        }
+        let members = &parts.partitions[pid];
+        // Freeze every selection outside this partition.
+        let mut frozen: Vec<(usize, f64)> = current
+            .iter()
+            .filter(|(&pos, _)| parts.assignment[pos] != pid)
+            .map(|(&pos, &mult)| (pos, mult))
+            .collect();
+        frozen.sort_unstable_by_key(|&(pos, _)| pos);
+
+        let mut sub_silp = instance.silp.clone();
+        sub_silp.tuples = members
+            .iter()
+            .chain(frozen.iter().map(|(pos, _)| pos))
+            .map(|&pos| instance.silp.tuples[pos])
+            .collect();
+        let mut sub_opts = remaining_budget(opts, start);
+        sub_opts.max_scenarios = sub_opts.max_scenarios.min(
+            opts.sketch
+                .refine_max_scenarios
+                .max(sub_opts.initial_scenarios),
+        );
+        let mut sub_instance = Instance::new(instance.relation, sub_silp, sub_opts)?;
+        for (offset, &(_, mult)) in frozen.iter().enumerate() {
+            sub_instance.fix_multiplicity(members.len() + offset, mult);
+        }
+
+        let refined = evaluate_summary_search(&sub_instance)?;
+        debug_trace!(
+            "[sketch] refine partition {pid} ({} members, {} frozen): feasible={} in {:?} (cumulative)",
+            members.len(),
+            frozen.len(),
+            refined.feasible,
+            start.elapsed()
+        );
+        merge_stats(&mut stats, &refined.stats);
+        stats.outer_iterations += 1;
+
+        let package = match (refined.feasible, refined.package) {
+            (true, Some(package)) => package,
+            // Greedy fallback: the medoid allocation for this partition
+            // stays in place and the walk continues.
+            _ => continue,
+        };
+
+        // Replace this partition's allocation with the refined choice.
+        let mut candidate: Selection = frozen.iter().copied().collect();
+        for &(tuple, mult) in &package.multiplicities {
+            let pos = pos_of[&tuple];
+            if parts.assignment[pos] == pid {
+                candidate.insert(pos, f64::from(mult));
+            }
+        }
+        let report = package.validation;
+        // Acceptance: while the incumbent still violates the REPEAT limit,
+        // every validated refinement is progress toward legality and its
+        // (necessarily deflating) objective must not be held against it;
+        // once the incumbent is legal, only legal, non-worse candidates
+        // replace it.
+        let accept = report.feasible
+            && match &best {
+                None => true,
+                Some((incumbent_selection, incumbent)) => {
+                    if !repeat_legal(incumbent_selection) {
+                        true
+                    } else {
+                        repeat_legal(&candidate)
+                            && !worse(
+                                direction,
+                                report.objective_estimate,
+                                incumbent.objective_estimate,
+                            )
+                    }
+                }
+            };
+        if accept {
+            current = candidate.clone();
+            best = Some((candidate, report));
+        }
+    }
+
+    // ---------------------------------------------------------------- answer
+    let selection = match best {
+        Some((selection, _)) => selection,
+        None => {
+            // No validated-feasible selection was ever found; surface the
+            // sketch's best effort.
+            stats.wall_time = start.elapsed();
+            return Ok(EvaluationResult {
+                package: sketch.package,
+                feasible: false,
+                stats,
+            });
+        }
+    };
+
+    // Re-validate once on the full instance so the final report (objective
+    // estimate and ε certificate) is anchored to the original problem.
+    let mut x = vec![0.0f64; n];
+    for (&pos, &mult) in &selection {
+        x[pos] = mult;
+    }
+    let final_report = validate(instance, &x, opts.validation_scenarios)?;
+    stats.validations += 1;
+    stats.wall_time = start.elapsed();
+    // The sketch intentionally relaxes the query's REPEAT limit for its
+    // representatives (a representative stands in for its whole partition).
+    // Refined partitions re-solve under the original limit, but a partition
+    // that kept its sketch allocation through the greedy fallback may still
+    // exceed it — report such a package honestly as infeasible rather than
+    // returning a REPEAT-violating "feasible" answer.
+    let repeat_ok = match instance.silp.repeat_bound {
+        Some(limit) => selection.values().all(|&m| m <= f64::from(limit) + 1e-9),
+        None => true,
+    };
+    let feasible = final_report.feasible && repeat_ok;
+    let package = Package::from_dense(&x, &instance.silp.tuples, final_report);
+    Ok(EvaluationResult {
+        package: Some(package),
+        feasible,
+        stats,
+    })
+}

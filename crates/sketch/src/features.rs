@@ -1,0 +1,236 @@
+//! Distributional feature extraction for partitioning.
+//!
+//! SketchRefine groups tuples whose attribute *distributions* are similar, so
+//! that one representative per group is a faithful stand-in during the sketch
+//! phase. Each candidate tuple is embedded into a small feature vector built
+//! from the columns the query actually touches:
+//!
+//! * a **deterministic** column contributes its value,
+//! * a **stochastic** column contributes its expectation estimate (the
+//!   engine's precomputed `E(t_i.A)`) *and* an empirical standard deviation
+//!   over a handful of optimization-stream scenarios — two tuples only land
+//!   in the same partition when both their location and their spread agree.
+//!
+//! Every dimension is min-max normalized to `[0, 1]` over the candidate set,
+//! so the partitioner's diameter budget is scale-free.
+
+use spq_core::silp::{CoeffSource, SilpObjective};
+use spq_core::{Instance, Result};
+use spq_mcdb::ScenarioGenerator;
+
+/// Normalized per-candidate feature vectors, row-major.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    rows: usize,
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Build from row-major data (normalized or not; the partitioner assumes
+    /// `[0, 1]` per dimension).
+    pub fn new(rows: usize, dims: usize, data: Vec<f64>) -> Self {
+        debug_assert_eq!(data.len(), rows * dims);
+        FeatureMatrix { rows, dims, data }
+    }
+
+    /// Number of candidate tuples.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of feature dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Feature vector of candidate `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+}
+
+/// The columns a SILP reads, deduplicated in declaration order.
+fn referenced_columns(instance: &Instance<'_>) -> (Vec<String>, Vec<String>) {
+    let silp = &instance.silp;
+    let mut det: Vec<String> = Vec::new();
+    let mut stoch: Vec<String> = Vec::new();
+    let mut record = |coeff: &CoeffSource| match coeff {
+        CoeffSource::Constant(_) => {}
+        CoeffSource::Deterministic(c) => {
+            if !det.contains(c) {
+                det.push(c.clone());
+            }
+        }
+        CoeffSource::Stochastic(c) => {
+            if !stoch.contains(c) {
+                stoch.push(c.clone());
+            }
+        }
+    };
+    for c in &silp.constraints {
+        record(&c.coeff);
+    }
+    match &silp.objective {
+        SilpObjective::Linear { coeff, .. } => record(coeff),
+        SilpObjective::Probability { attribute, .. } => {
+            record(&CoeffSource::Stochastic(attribute.clone()))
+        }
+    }
+    (det, stoch)
+}
+
+/// Min-max normalize one raw dimension in place; constant dimensions
+/// collapse to 0 (they cannot separate tuples anyway).
+fn normalize(dim: &mut [f64]) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in dim.iter() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    if !range.is_finite() || range < 1e-12 {
+        dim.fill(0.0);
+    } else {
+        for v in dim.iter_mut() {
+            *v = (*v - lo) / range;
+        }
+    }
+}
+
+/// Extract the normalized feature matrix of an instance's candidate tuples.
+pub fn candidate_features(instance: &Instance<'_>) -> Result<FeatureMatrix> {
+    let n = instance.num_vars();
+    let (det, stoch) = referenced_columns(instance);
+    let mut dims: Vec<Vec<f64>> = Vec::new();
+
+    for col in &det {
+        dims.push(instance.deterministic(col)?.to_vec());
+    }
+
+    let generator = ScenarioGenerator::new(instance.options.seed);
+    let m = instance.options.sketch.feature_scenarios.max(1);
+    for col in &stoch {
+        dims.push(instance.expectations(col)?.to_vec());
+        let moments = generator.tuple_moments(instance.relation, col, &instance.silp.tuples, m)?;
+        dims.push(moments.into_iter().map(|(_, sd)| sd).collect());
+    }
+
+    // A query referencing only constants (COUNT(*)) still needs *some*
+    // embedding; fall back to a single zero dimension (every tuple is then
+    // interchangeable, which is exactly right).
+    if dims.is_empty() {
+        dims.push(vec![0.0; n]);
+    }
+
+    for dim in &mut dims {
+        normalize(dim);
+    }
+
+    let d = dims.len();
+    let mut data = vec![0.0f64; n * d];
+    for (k, dim) in dims.iter().enumerate() {
+        for (i, &v) in dim.iter().enumerate() {
+            data[i * d + k] = v;
+        }
+    }
+    Ok(FeatureMatrix::new(n, d, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_core::silp::{ConstraintKind, Direction, Silp, SilpConstraint};
+    use spq_core::SpqOptions;
+    use spq_mcdb::vg::NormalNoise;
+    use spq_mcdb::{Relation, RelationBuilder};
+    use spq_solver::Sense;
+
+    fn relation() -> Relation {
+        RelationBuilder::new("t")
+            .deterministic_f64("price", vec![10.0, 20.0, 30.0, 40.0])
+            .stochastic(
+                "gain",
+                NormalNoise::around(vec![1.0, 1.0, 5.0, 5.0], vec![0.1, 0.1, 2.0, 2.0]),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn silp() -> Silp {
+        Silp {
+            relation: "t".into(),
+            tuples: vec![0, 1, 2, 3],
+            repeat_bound: None,
+            constraints: vec![SilpConstraint {
+                name: "budget".into(),
+                coeff: CoeffSource::Deterministic("price".into()),
+                sense: Sense::Le,
+                rhs: 60.0,
+                kind: ConstraintKind::Deterministic,
+            }],
+            objective: SilpObjective::Linear {
+                direction: Direction::Maximize,
+                coeff: CoeffSource::Stochastic("gain".into()),
+                expectation: true,
+            },
+        }
+    }
+
+    #[test]
+    fn features_cover_price_mean_and_spread() {
+        let rel = relation();
+        let inst = Instance::new(&rel, silp(), SpqOptions::for_tests()).unwrap();
+        let f = candidate_features(&inst).unwrap();
+        assert_eq!(f.num_rows(), 4);
+        // price + (gain mean, gain sd)
+        assert_eq!(f.dims(), 3);
+        for i in 0..4 {
+            for &v in f.row(i) {
+                assert!((0.0..=1.0).contains(&v), "row {i}: {v}");
+            }
+        }
+        // Price is normalized linearly: 10 -> 0, 40 -> 1.
+        assert_eq!(f.row(0)[0], 0.0);
+        assert_eq!(f.row(3)[0], 1.0);
+        // Tuples 0/1 share mean and sd; tuples 2/3 likewise — and the two
+        // groups are far apart in both stochastic dimensions.
+        assert_eq!(f.row(0)[1], f.row(1)[1]);
+        assert!((f.row(0)[2] - f.row(1)[2]).abs() < 0.15);
+        assert!((f.row(0)[1] - f.row(2)[1]).abs() > 0.9);
+        assert!((f.row(0)[2] - f.row(2)[2]).abs() > 0.5);
+    }
+
+    #[test]
+    fn constant_only_queries_get_a_degenerate_embedding() {
+        let rel = relation();
+        let mut s = silp();
+        s.constraints = vec![SilpConstraint {
+            name: "count".into(),
+            coeff: CoeffSource::Constant(1.0),
+            sense: Sense::Le,
+            rhs: 2.0,
+            kind: ConstraintKind::Deterministic,
+        }];
+        s.objective = SilpObjective::Linear {
+            direction: Direction::Maximize,
+            coeff: CoeffSource::Constant(1.0),
+            expectation: false,
+        };
+        let inst = Instance::new(&rel, s, SpqOptions::for_tests()).unwrap();
+        let f = candidate_features(&inst).unwrap();
+        assert_eq!(f.dims(), 1);
+        assert!(f.row(0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn normalize_handles_constant_dimensions() {
+        let mut dim = vec![3.0, 3.0, 3.0];
+        normalize(&mut dim);
+        assert_eq!(dim, vec![0.0, 0.0, 0.0]);
+        let mut dim = vec![1.0, 3.0];
+        normalize(&mut dim);
+        assert_eq!(dim, vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Diameter-bounded partitioning of candidate tuples.
+//!
+//! Partitions are grown by recursive median splitting (a k-d-tree-style
+//! sweep): starting from the full candidate set, the dimension with the
+//! widest spread is split at its median until every leaf fits the *diameter*
+//! budget — the per-dimension spread as a fraction of the normalized feature
+//! range — in **every** dimension; oversized leaves that already satisfy the
+//! diameter are chopped along their widest dimension into size-budget
+//! chunks. Unlike a one-dimensional greedy sweep, this keeps partitions
+//! compact in all feature dimensions at once, so the number of groups stays
+//! near `N / max_size` instead of fragmenting.
+//!
+//! Each partition elects a **medoid** representative: the member closest to
+//! the partition's feature centroid. Crucially the medoid is a *real tuple*
+//! of the relation, so a sketch solution over representatives is already a
+//! genuine package (the refine phase can always fall back to it).
+//!
+//! Splitting is deterministic: value ties are broken by candidate position,
+//! so the same inputs always produce the same partitions.
+
+use crate::features::FeatureMatrix;
+
+/// The output of partitioning: disjoint groups of candidate positions, each
+/// with a medoid representative, plus the inverse position→partition map.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// Candidate positions per partition (each sorted ascending).
+    pub partitions: Vec<Vec<usize>>,
+    /// The medoid's candidate position, one per partition.
+    pub representatives: Vec<usize>,
+    /// `assignment[position]` is the id of the partition holding `position`.
+    pub assignment: Vec<usize>,
+}
+
+impl Partitioning {
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True when no partitions exist (empty candidate set).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+}
+
+/// Elect the member of `members` whose feature vector is closest (L2) to the
+/// members' centroid; ties resolve to the lowest position.
+fn medoid(features: &FeatureMatrix, members: &[usize]) -> usize {
+    let d = features.dims();
+    let mut centroid = vec![0.0f64; d];
+    for &i in members {
+        for (c, &v) in centroid.iter_mut().zip(features.row(i)) {
+            *c += v;
+        }
+    }
+    for c in &mut centroid {
+        *c /= members.len() as f64;
+    }
+    let mut best = members[0];
+    let mut best_dist = f64::INFINITY;
+    for &i in members {
+        let dist: f64 = features
+            .row(i)
+            .iter()
+            .zip(&centroid)
+            .map(|(v, c)| (v - c) * (v - c))
+            .sum();
+        if dist < best_dist {
+            best_dist = dist;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The dimension with the widest spread over `members`, and that spread.
+fn widest_dimension(features: &FeatureMatrix, members: &[usize]) -> (usize, f64) {
+    let mut widest = (0usize, 0.0f64);
+    for dim in 0..features.dims() {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in members {
+            let v = features.row(i)[dim];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let spread = hi - lo;
+        if spread > widest.1 {
+            widest = (dim, spread);
+        }
+    }
+    widest
+}
+
+/// Sort `members` by one dimension, ties by position (determinism).
+fn sort_by_dimension(features: &FeatureMatrix, members: &mut [usize], dim: usize) {
+    members.sort_by(|&a, &b| {
+        features.row(a)[dim]
+            .partial_cmp(&features.row(b)[dim])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+}
+
+/// Recursively split `members` until every leaf satisfies both budgets.
+fn split(
+    features: &FeatureMatrix,
+    mut members: Vec<usize>,
+    max_size: usize,
+    diameter: f64,
+    leaves: &mut Vec<Vec<usize>>,
+) {
+    if members.is_empty() {
+        return;
+    }
+    let (dim, spread) = widest_dimension(features, &members);
+    if spread > diameter && members.len() > 1 {
+        // Median split along the widest dimension; splitting by count (not
+        // by value) guarantees progress even under heavy value ties.
+        sort_by_dimension(features, &mut members, dim);
+        let right = members.split_off(members.len() / 2);
+        split(features, members, max_size, diameter, leaves);
+        split(features, right, max_size, diameter, leaves);
+    } else if members.len() > max_size {
+        // Diameter satisfied but too many tuples: chop along the widest
+        // dimension into size-budget chunks.
+        sort_by_dimension(features, &mut members, dim);
+        for chunk in members.chunks(max_size) {
+            leaves.push(chunk.to_vec());
+        }
+    } else {
+        leaves.push(members);
+    }
+}
+
+/// Partition the candidates of `features` into groups of at most `max_size`
+/// tuples whose normalized per-dimension spread never exceeds `diameter`
+/// (clamped to `(0, 1]`; `1` disables the diameter bound since features live
+/// in `[0, 1]`).
+pub fn partition_candidates(
+    features: &FeatureMatrix,
+    max_size: usize,
+    diameter: f64,
+) -> Partitioning {
+    let n = features.num_rows();
+    let max_size = max_size.max(1);
+    let diameter = if diameter <= 0.0 {
+        1.0
+    } else {
+        diameter.min(1.0)
+    };
+
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    split(
+        features,
+        (0..n).collect(),
+        max_size,
+        diameter,
+        &mut partitions,
+    );
+
+    let mut assignment = vec![0usize; n];
+    let mut representatives = Vec::with_capacity(partitions.len());
+    for (pid, members) in partitions.iter_mut().enumerate() {
+        members.sort_unstable();
+        for &i in members.iter() {
+            assignment[i] = pid;
+        }
+        representatives.push(medoid(features, members));
+    }
+
+    Partitioning {
+        partitions,
+        representatives,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<f64>>) -> FeatureMatrix {
+        let n = rows.len();
+        let d = rows.first().map(Vec::len).unwrap_or(0);
+        FeatureMatrix::new(n, d, rows.into_iter().flatten().collect())
+    }
+
+    #[test]
+    fn partitions_cover_all_positions_disjointly() {
+        let f = matrix(vec![
+            vec![0.0, 0.1],
+            vec![0.9, 0.8],
+            vec![0.05, 0.12],
+            vec![1.0, 0.9],
+            vec![0.5, 0.5],
+        ]);
+        let p = partition_candidates(&f, 3, 0.2);
+        let mut all: Vec<usize> = p.partitions.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        for (pid, members) in p.partitions.iter().enumerate() {
+            for &i in members {
+                assert_eq!(p.assignment[i], pid);
+            }
+        }
+        // The two clusters {0, 2} and {1, 3} must not be merged with the
+        // midpoint under a 0.2 diameter.
+        assert!(p.len() >= 3);
+    }
+
+    #[test]
+    fn diameter_bound_holds_in_every_dimension() {
+        let f = matrix(
+            (0..40)
+                .map(|i| vec![i as f64 / 39.0, (i % 7) as f64 / 6.0])
+                .collect(),
+        );
+        for diameter in [0.1, 0.3, 1.0] {
+            let p = partition_candidates(&f, 40, diameter);
+            for members in &p.partitions {
+                for dim in 0..2 {
+                    let vals: Vec<f64> = members.iter().map(|&i| f.row(i)[dim]).collect();
+                    let spread = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                        - vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                    assert!(
+                        spread <= diameter + 1e-12,
+                        "diameter {diameter}: spread {spread} in dim {dim}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_budget_is_respected_and_representative_is_a_member() {
+        let f = matrix((0..25).map(|i| vec![i as f64 / 24.0]).collect());
+        let p = partition_candidates(&f, 4, 1.0);
+        assert!(p.partitions.iter().all(|m| m.len() <= 4));
+        assert_eq!(p.len(), p.representatives.len());
+        for (pid, &rep) in p.representatives.iter().enumerate() {
+            assert!(p.partitions[pid].contains(&rep));
+        }
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn medoid_is_the_most_central_member() {
+        let f = matrix(vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.5], // centroid of the three is (0.5, 0.5)-ish
+            vec![1.0, 1.0],
+        ]);
+        let p = partition_candidates(&f, 3, 1.0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.representatives[0], 1);
+    }
+
+    #[test]
+    fn identical_tuples_land_in_one_partition_up_to_the_size_cap() {
+        let f = matrix(vec![vec![0.3, 0.7]; 10]);
+        let p = partition_candidates(&f, 6, 0.05);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.partitions[0].len(), 6);
+        assert_eq!(p.partitions[1].len(), 4);
+    }
+
+    #[test]
+    fn empty_input_yields_no_partitions() {
+        let f = matrix(vec![]);
+        let p = partition_candidates(&f, 8, 0.2);
+        assert!(p.is_empty());
+        assert!(p.assignment.is_empty());
+    }
+
+    #[test]
+    fn zero_or_negative_diameter_disables_the_bound_gracefully() {
+        let f = matrix(vec![vec![0.0], vec![1.0]]);
+        let p = partition_candidates(&f, 10, 0.0);
+        // Clamped to 1.0: both fit in one partition.
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -22,6 +22,35 @@ pub struct SolverOptions {
     /// Cap applied to automatically derived big-M constants when variable
     /// bounds are infinite.
     pub big_m_cap: f64,
+    /// Refuse to solve when the dense standard-form tableau would exceed
+    /// this many bytes (the simplex materializes `rows × columns` f64s, and
+    /// every doubly-bounded variable contributes a bound row, so a model
+    /// with `N` integer variables needs on the order of `16·N²` bytes).
+    /// Without the guard such models abort the whole process inside the
+    /// allocator; with it, [`SolverError::ModelTooLarge`] is returned and
+    /// callers can degrade gracefully. The default is half the machine's
+    /// available memory when that can be determined, 8 GiB otherwise;
+    /// `None` disables the check.
+    pub max_tableau_bytes: Option<u64>,
+}
+
+/// Half the machine's available (fallback: total) memory per
+/// `/proc/meminfo`, or 8 GiB when it cannot be read (non-Linux platforms).
+fn default_max_tableau_bytes() -> u64 {
+    const FALLBACK: u64 = 8 << 30;
+    let Ok(text) = std::fs::read_to_string("/proc/meminfo") else {
+        return FALLBACK;
+    };
+    let kib_of = |key: &str| {
+        text.lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    match kib_of("MemAvailable:").or_else(|| kib_of("MemTotal:")) {
+        Some(kib) => (kib * 1024) / 2,
+        None => FALLBACK,
+    }
 }
 
 impl Default for SolverOptions {
@@ -32,6 +61,7 @@ impl Default for SolverOptions {
             int_tol: 1e-6,
             rel_gap: 1e-6,
             big_m_cap: 1e7,
+            max_tableau_bytes: Some(default_max_tableau_bytes()),
         }
     }
 }
@@ -121,6 +151,27 @@ impl BranchBoundSolver {
 
         // Base LP (minimization form).
         let base = self.build_lp(model, sign);
+        if let Some(cap) = self.options.max_tableau_bytes {
+            // Mirror `to_standard_form` exactly: every doubly-finite-bounded
+            // variable (including fixed ones with `lo == hi`) becomes a
+            // bound row, and each row gets a slack column.
+            let bound_rows = base
+                .lower
+                .iter()
+                .zip(&base.upper)
+                .filter(|(&lo, &hi)| lo > -BOUND_INFINITY && hi < BOUND_INFINITY)
+                .count();
+            let rows = (base.rows.len() + bound_rows) as u64;
+            let cols = base.lower.len() as u64 + rows;
+            let bytes = rows.saturating_mul(cols).saturating_mul(8);
+            if bytes > cap {
+                return Err(SolverError::ModelTooLarge {
+                    rows: rows as usize,
+                    cols: cols as usize,
+                    bytes,
+                });
+            }
+        }
         let int_vars: Vec<usize> = model
             .variables()
             .iter()
@@ -745,6 +796,30 @@ mod tests {
         let sol = solve(&m, &opts()).unwrap();
         assert_eq!(sol.int_value(x) + sol.int_value(y), 7);
         assert_eq!(sol.int_value(x), 0);
+    }
+
+    #[test]
+    fn oversized_models_error_instead_of_aborting() {
+        // 2000 doubly-bounded vars -> ~2001 x 4001 tableau ≈ 64 MB; a 1 MB
+        // cap must refuse it with a clear error, and a generous cap accept it.
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..2000)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Integer, 0.0, 5.0, 1.0))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().map(|v| (*v, 1.0)).collect(),
+            Sense::Le,
+            3.0,
+        );
+        let mut small = opts();
+        small.max_tableau_bytes = Some(1 << 20);
+        let err = solve(&m, &small).unwrap_err();
+        assert!(matches!(err, SolverError::ModelTooLarge { .. }), "{err}");
+        let mut big = opts();
+        big.max_tableau_bytes = Some(1 << 30);
+        let sol = solve(&m, &big).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
     }
 
     #[test]

@@ -24,6 +24,17 @@ pub enum SolverError {
     Unbounded,
     /// Numerical trouble in the simplex (cycling or singular basis).
     Numerical(String),
+    /// The dense standard-form tableau would exceed the configured memory
+    /// cap ([`crate::SolverOptions::max_tableau_bytes`]); solving would abort
+    /// the process inside the allocator.
+    ModelTooLarge {
+        /// Estimated tableau rows.
+        rows: usize,
+        /// Estimated tableau columns.
+        cols: usize,
+        /// Estimated tableau bytes.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -37,6 +48,12 @@ impl fmt::Display for SolverError {
             SolverError::EmptyModel => write!(f, "model has no variables"),
             SolverError::Unbounded => write!(f, "problem is unbounded"),
             SolverError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            SolverError::ModelTooLarge { rows, cols, bytes } => write!(
+                f,
+                "model too large: dense {rows}x{cols} tableau would need {:.1} GiB \
+                 (raise SolverOptions::max_tableau_bytes to override)",
+                *bytes as f64 / (1u64 << 30) as f64
+            ),
         }
     }
 }
@@ -58,5 +75,11 @@ mod tests {
         assert!(msg.contains("x3") && msg.contains('2') && msg.contains('1'));
         assert!(SolverError::Unbounded.to_string().contains("unbounded"));
         assert!(SolverError::UnknownVariable(5).to_string().contains('5'));
+        let too_large = SolverError::ModelTooLarge {
+            rows: 100_000,
+            cols: 200_000,
+            bytes: 160 << 30,
+        };
+        assert!(too_large.to_string().contains("160.0 GiB"));
     }
 }

@@ -91,6 +91,35 @@ mod tests {
     }
 
     #[test]
+    fn workloads_scale_to_one_hundred_thousand_tuples() {
+        // The SketchRefine scaling experiments need 100k–1M tuple relations;
+        // generation must stay O(N) and finish promptly at that size.
+        let started = std::time::Instant::now();
+        for kind in [
+            WorkloadKind::Galaxy,
+            WorkloadKind::Portfolio,
+            WorkloadKind::Tpch,
+        ] {
+            let w = build_workload(kind, 100_000, 9);
+            assert!(
+                w.relation.len() >= 90_000,
+                "{kind:?} built only {} tuples",
+                w.relation.len()
+            );
+            assert_eq!(w.queries.len(), 8);
+            // Candidate binding over the full relation stays cheap too.
+            let parsed = spq_spaql::parse(w.query(1)).unwrap();
+            let bound = spq_spaql::bind(&parsed, &w.relation).unwrap();
+            assert_eq!(bound.candidate_tuples.len(), w.relation.len());
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(60),
+            "100k-tuple generation took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
     fn a_galaxy_query_evaluates_end_to_end() {
         let w = build_workload(WorkloadKind::Galaxy, 50, 3);
         let engine = SpqEngine::new(

@@ -14,6 +14,10 @@
 //! * [`spaql`] — the sPaQL language: lexer, parser, AST, binder.
 //! * [`core`] — the SPQ engine: SAA/Naïve, α-summaries, CSA/SummarySearch,
 //!   out-of-sample validation, and approximation-guarantee bounds.
+//! * [`sketch`] — SketchRefine: partition–sketch–refine evaluation that
+//!   scales package queries to million-tuple relations (call
+//!   [`sketch::install`] once to enable
+//!   [`core::Algorithm::SketchRefine`]).
 //! * [`workloads`] — synthetic Galaxy / Portfolio / TPC-H workloads and the
 //!   paper's 24-query suite.
 //!
@@ -45,6 +49,7 @@
 
 pub use spq_core as core;
 pub use spq_mcdb as mcdb;
+pub use spq_sketch as sketch;
 pub use spq_solver as solver;
 pub use spq_spaql as spaql;
 pub use spq_workloads as workloads;
@@ -58,6 +63,7 @@ pub mod prelude {
         DiscreteSources, GeometricBrownianMotion, NormalNoise, ParetoNoise, UniformNoise,
     };
     pub use spq_mcdb::{Relation, RelationBuilder, ScenarioGenerator, Value};
+    pub use spq_sketch::install as install_sketch_refine;
     pub use spq_spaql::parse;
     pub use spq_workloads::{build_workload, WorkloadKind};
 }
@@ -78,5 +84,11 @@ mod tests {
         assert_eq!(query.table, "t");
         let engine = SpqEngine::new(SpqOptions::for_tests());
         assert_eq!(engine.options().initial_summaries, 1);
+        install_sketch_refine();
+        assert!(spq_core::sketch_refine_available());
+        assert_eq!(
+            "sketch-refine".parse::<Algorithm>().unwrap(),
+            Algorithm::SketchRefine
+        );
     }
 }

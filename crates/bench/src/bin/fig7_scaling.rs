@@ -56,6 +56,7 @@ fn main() {
                     n.to_string(),
                     format!("{:.0}%", 100.0 * agg.feasibility_rate),
                     format!("{:.3}", agg.mean_seconds),
+                    format!("{:.0}", agg.mean_lp_pivots),
                     ratio,
                 ]);
             }
@@ -68,6 +69,7 @@ fn main() {
             "n_tuples",
             "feasibility_rate",
             "mean_seconds",
+            "lp_pivots",
             "approx_ratio",
         ],
         &rows,

@@ -66,6 +66,7 @@ fn main() {
                 seconds: f64,
                 feasible: bool,
                 objective: Option<f64>,
+                lp_pivots: f64,
                 error: Option<String>,
             }
             let mut results = Vec::new();
@@ -91,6 +92,7 @@ fn main() {
                     } else {
                         Some(objectives.iter().sum::<f64>() / objectives.len() as f64)
                     },
+                    lp_pivots: records.iter().map(|r| r.lp_pivots as f64).sum::<f64>() / runs,
                     error: records.iter().find_map(|r| r.error.clone()),
                 });
             }
@@ -131,6 +133,7 @@ fn main() {
                     cell.objective
                         .map(|o| format!("{o:.2}"))
                         .unwrap_or_else(|| "-".into()),
+                    format!("{:.0}", cell.lp_pivots),
                     ratio,
                     note,
                 ]);
@@ -145,6 +148,7 @@ fn main() {
             "seconds",
             "feasible",
             "objective",
+            "lp_pivots",
             "objective_ratio",
             "note",
         ],

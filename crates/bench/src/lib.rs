@@ -16,13 +16,15 @@
 //!
 //! Because the MILP solver substitutes CPLEX, the default sizes are scaled
 //! down (hundreds of tuples, tens of scenarios). Every binary accepts
-//! `--scale`, `--runs`, `--queries`, `--validation` and `--algorithms` flags
-//! to scale up or select algorithms without recompiling; the
-//! `SPQ_ALGORITHMS` environment variable overrides the default algorithm set
-//! as well (the flag wins over the variable).
+//! `--scale`, `--runs`, `--queries`, `--validation`, `--algorithms` and
+//! `--solver` (LP backend: `revised` or `dense`) flags to scale up or select
+//! algorithms without recompiling; the `SPQ_ALGORITHMS` environment variable
+//! overrides the default algorithm set as well (the flag wins over the
+//! variable), and `SPQ_SOLVER_BACKEND` plays the same role for `--solver`.
 
 use serde::Serialize;
 use spq_core::{Algorithm, EvaluationResult, SpqEngine, SpqOptions};
+use spq_solver::SolverBackend;
 use spq_workloads::{build_workload, WorkloadKind};
 use std::time::Duration;
 
@@ -39,6 +41,8 @@ pub struct HarnessConfig {
     pub queries: Vec<usize>,
     /// Which algorithms to compare.
     pub algorithms: Vec<Algorithm>,
+    /// LP backend for every MILP solve (`--solver revised|dense`).
+    pub solver_backend: SolverBackend,
     /// Dataset sizes for scaling harnesses (`--scale-list`); `None` lets the
     /// binary pick its default grid.
     pub scale_list: Option<Vec<usize>>,
@@ -61,6 +65,9 @@ impl Default for HarnessConfig {
             validation: 2_000,
             queries: (1..=8).collect(),
             algorithms: vec![Algorithm::Naive, Algorithm::SummarySearch],
+            // Honor SPQ_SOLVER_BACKEND (which SolverOptions::default()
+            // resolves); the `--solver` flag overrides it.
+            solver_backend: spq_solver::SolverOptions::default().backend,
             scale_list: None,
             time_limit: Duration::from_secs(60),
             seed: 2020,
@@ -129,6 +136,10 @@ impl HarnessConfig {
                     }
                     seen = Some("--algorithms".into());
                 }
+                "--solver" => match value.parse::<SolverBackend>() {
+                    Ok(backend) => config.solver_backend = backend,
+                    Err(e) => eprintln!("# ignoring --solver: {e}"),
+                },
                 "--scale-list" => {
                     let list: Vec<usize> = value
                         .split(',')
@@ -174,15 +185,16 @@ impl HarnessConfig {
             expectation_scenarios: self.validation.min(1000),
             initial_summaries,
             time_limit: Some(self.time_limit),
-            solver: solver_options(self.time_limit),
+            solver: solver_options(self.time_limit, self.solver_backend),
             ..Default::default()
         }
     }
 }
 
-fn solver_options(limit: Duration) -> spq_solver::SolverOptions {
+fn solver_options(limit: Duration, backend: SolverBackend) -> spq_solver::SolverOptions {
     spq_solver::SolverOptions {
         time_limit: Some(limit.min(Duration::from_secs(30))),
+        backend,
         ..Default::default()
     }
 }
@@ -210,6 +222,11 @@ pub struct RunRecord {
     pub feasible: bool,
     /// Objective estimate of the returned package.
     pub objective: Option<f64>,
+    /// LP backend the run used (`revised` or `dense`).
+    pub solver: String,
+    /// Total simplex pivots across every LP relaxation of the run — the
+    /// work measure that exposes warm-start savings.
+    pub lp_pivots: usize,
     /// Evaluation error, if the engine refused or failed the query outright
     /// (e.g. the solver's tableau-memory guard on huge dense models).
     pub error: Option<String>,
@@ -255,6 +272,7 @@ pub fn run_query(
             ),
             None => (false, None, 0),
         };
+        let lp_pivots = result.as_ref().map(|r| r.stats.lp_pivots).unwrap_or(0);
         records.push(RunRecord {
             workload: kind.to_string(),
             query,
@@ -266,6 +284,8 @@ pub fn run_query(
             seconds,
             feasible,
             objective,
+            solver: config.solver_backend.to_string(),
+            lp_pivots,
             error,
         });
     }
@@ -284,6 +304,8 @@ pub struct Aggregate {
     pub best_objective: Option<f64>,
     /// Mean objective across runs that produced a package.
     pub mean_objective: Option<f64>,
+    /// Mean simplex pivots per run.
+    pub mean_lp_pivots: f64,
 }
 
 /// Aggregate a slice of run records.
@@ -291,6 +313,7 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
     let n = records.len().max(1) as f64;
     let feasible = records.iter().filter(|r| r.feasible).count() as f64;
     let mean_seconds = records.iter().map(|r| r.seconds).sum::<f64>() / n;
+    let mean_lp_pivots = records.iter().map(|r| r.lp_pivots as f64).sum::<f64>() / n;
     let objectives: Vec<f64> = records.iter().filter_map(|r| r.objective).collect();
     let mean_objective = if objectives.is_empty() {
         None
@@ -308,6 +331,7 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
         mean_seconds,
         best_objective,
         mean_objective,
+        mean_lp_pivots,
     }
 }
 
@@ -350,6 +374,8 @@ mod tests {
             seconds,
             feasible,
             objective: Some(objective),
+            solver: "revised".into(),
+            lp_pivots: 100,
             error: None,
         };
         let agg = aggregate(&[mk(true, 1.0, 50.0), mk(false, 3.0, 40.0)]);
@@ -357,6 +383,7 @@ mod tests {
         assert!((agg.mean_seconds - 2.0).abs() < 1e-12);
         assert_eq!(agg.best_objective, Some(50.0));
         assert_eq!(agg.mean_objective, Some(45.0));
+        assert!((agg.mean_lp_pivots - 100.0).abs() < 1e-12);
     }
 
     #[test]

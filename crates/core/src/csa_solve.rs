@@ -17,7 +17,7 @@ use crate::summary::{build_summaries, partition_scenarios, SummarySpec};
 use crate::validate::{validate, ValidationReport};
 use crate::Result;
 use spq_mcdb::ScenarioMatrix;
-use spq_solver::solve_full;
+use spq_solver::{solve_full, Basis};
 use std::collections::{HashMap, HashSet};
 
 /// The outcome of one CSA-Solve run.
@@ -33,10 +33,17 @@ pub struct CsaSolveOutcome {
     pub problems_solved: usize,
     /// Branch-and-bound nodes accumulated across solves.
     pub solver_nodes: usize,
+    /// Simplex pivots accumulated across solves.
+    pub lp_pivots: usize,
     /// Largest formulated problem size (coefficients).
     pub max_coefficients: usize,
     /// Final per-constraint conservativeness levels α.
     pub alphas: Vec<f64>,
+    /// Basis of the last reduced DILP's root relaxation. Successive α
+    /// re-solves keep the model shape (same `Z` rows, same variables), so
+    /// this basis warm-starts them; callers carry it across (M, Z)
+    /// escalations too — the solver drops it whenever the shape changed.
+    pub final_basis: Option<Basis>,
 }
 
 /// Number of scenarios used to approximate a probability *objective* inside
@@ -69,12 +76,17 @@ fn better(direction: Direction, candidate: f64, incumbent: f64) -> bool {
 /// `x0` is the solution of the probabilistically-unconstrained problem
 /// (`None` when that problem was unbounded or infeasible, in which case the
 /// search starts from a conservativeness level of `p` directly).
+///
+/// `warm_basis` seeds the first reduced DILP's LP relaxation (e.g. the
+/// basis returned by a previous CSA-Solve run at a smaller `M`); it is
+/// safely ignored when it does not fit the formulated model.
 pub fn csa_solve(
     instance: &Instance<'_>,
     x0: Option<&[f64]>,
     matrices: &HashMap<usize, ScenarioMatrix>,
     m: usize,
     z: usize,
+    warm_basis: Option<&Basis>,
 ) -> Result<CsaSolveOutcome> {
     let silp = &instance.silp;
     let opts = &instance.options;
@@ -98,8 +110,13 @@ pub fn csa_solve(
 
     let mut problems_solved = 0usize;
     let mut solver_nodes = 0usize;
+    let mut lp_pivots = 0usize;
     let mut max_coefficients = 0usize;
     let mut iterations = 0usize;
+    // Incumbent basis: seeded by the caller, refreshed after every solve so
+    // the next α re-solve (same shape, new summary coefficients) restarts
+    // from the previous vertex instead of from scratch.
+    let mut basis: Option<Basis> = warm_basis.cloned();
 
     // Current solution; `None` forces an immediate formulate/solve with the
     // initial α guesses.
@@ -146,9 +163,18 @@ pub fn csa_solve(
             };
             let formulation = build_model(instance, &blocks, objective_block.as_ref())?;
             max_coefficients = max_coefficients.max(formulation.num_coefficients());
-            let res = solve_full(&formulation.model, &opts.solver)?;
+            let mut solver_opts = opts.solver.clone();
+            // Clone rather than move: a solve that stops before its root
+            // relaxation is optimal returns no basis, and the incumbent
+            // must survive for the next re-solve.
+            solver_opts.warm_start = basis.clone();
+            let res = solve_full(&formulation.model, &solver_opts)?;
             problems_solved += 1;
             solver_nodes += res.nodes;
+            lp_pivots += res.lp_iterations;
+            if res.basis.is_some() {
+                basis = res.basis;
+            }
             match res.solution {
                 Some(sol) => current = Some(formulation.multiplicities(&sol)),
                 None => break, // over-conservative or genuinely infeasible CSA
@@ -197,8 +223,10 @@ pub fn csa_solve(
                 iterations,
                 problems_solved,
                 solver_nodes,
+                lp_pivots,
                 max_coefficients,
                 alphas,
+                final_basis: basis,
             });
         }
 
@@ -229,8 +257,10 @@ pub fn csa_solve(
         iterations,
         problems_solved,
         solver_nodes,
+        lp_pivots,
         max_coefficients,
         alphas,
+        final_basis: basis,
     })
 }
 
@@ -316,7 +346,7 @@ mod tests {
         // Warm start from the unconstrained optimum (all budget on the risky
         // high-mean tuples).
         let x0 = vec![4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 1).unwrap();
+        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 1, None).unwrap();
         assert!(
             outcome.validation.feasible,
             "expected a feasible package, surpluses {:?}",
@@ -339,7 +369,7 @@ mod tests {
         let inst = Instance::new(&rel, silp(), SpqOptions::for_tests()).unwrap();
         let m = 20;
         let matrices = realize_matrices(&inst, m).unwrap();
-        let outcome = csa_solve(&inst, None, &matrices, m, 1).unwrap();
+        let outcome = csa_solve(&inst, None, &matrices, m, 1, None).unwrap();
         // Should produce some package and validate it.
         assert_eq!(outcome.x.len(), 8);
         assert!(outcome.validation.scenarios_used > 0);
@@ -354,7 +384,7 @@ mod tests {
         let m = 20;
         let matrices = realize_matrices(&inst, m).unwrap();
         let x0 = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0];
-        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 1).unwrap();
+        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 1, None).unwrap();
         assert!(outcome.validation.feasible);
         assert_eq!(outcome.iterations, 1);
         assert_eq!(outcome.problems_solved, 0);
@@ -371,7 +401,7 @@ mod tests {
             .num_coefficients();
         let matrices = realize_matrices(&inst, m).unwrap();
         let x0 = vec![4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 1).unwrap();
+        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 1, None).unwrap();
         // CSA with Z = 1 formulates problems of size Θ(N·Z·K), far below the
         // SAA's Θ(N·M·K).
         assert!(outcome.max_coefficients > 0);
@@ -390,7 +420,7 @@ mod tests {
         let m = 20;
         let matrices = realize_matrices(&inst, m).unwrap();
         let x0 = vec![4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 2).unwrap();
+        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 2, None).unwrap();
         assert!(outcome.iterations <= inst.options.max_csa_iterations);
         assert_eq!(outcome.alphas.len(), 1);
     }

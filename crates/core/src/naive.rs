@@ -33,6 +33,10 @@ pub fn evaluate_naive(instance: &Instance<'_>) -> Result<EvaluationResult> {
     let mut m = opts.initial_scenarios.max(1);
     let mut best: Option<Package> = None;
     let mut best_feasible = false;
+    // Basis carried across M escalations. The SAA's shape changes with M
+    // (one indicator per scenario), so the solver usually restarts cold —
+    // but threading the basis is free and pays off whenever M repeats.
+    let mut basis: Option<spq_solver::Basis> = opts.solver.warm_start.clone();
 
     loop {
         if let Some(limit) = opts.time_limit {
@@ -48,9 +52,17 @@ pub fn evaluate_naive(instance: &Instance<'_>) -> Result<EvaluationResult> {
         stats.max_problem_coefficients = stats
             .max_problem_coefficients
             .max(formulation.num_coefficients());
-        let res = solve_full(&formulation.model, &opts.solver)?;
+        let mut solver_opts = opts.solver.clone();
+        // Clone rather than move so the incumbent basis survives solves
+        // that return none (e.g. a time-limited root relaxation).
+        solver_opts.warm_start = basis.clone();
+        let res = solve_full(&formulation.model, &solver_opts)?;
         stats.problems_solved += 1;
         stats.solver_nodes += res.nodes;
+        stats.lp_pivots += res.lp_iterations;
+        if res.basis.is_some() {
+            basis = res.basis;
+        }
 
         if let Some(solution) = res.solution {
             let x = formulation.multiplicities(&solution);
@@ -89,6 +101,7 @@ pub fn evaluate_naive(instance: &Instance<'_>) -> Result<EvaluationResult> {
         feasible: best_feasible,
         package: best,
         stats,
+        final_basis: basis,
     })
 }
 

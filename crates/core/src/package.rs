@@ -116,6 +116,10 @@ pub struct EvaluationStats {
     pub validations: usize,
     /// Total branch-and-bound nodes across all solves.
     pub solver_nodes: usize,
+    /// Total simplex pivots across every LP relaxation of every solve —
+    /// the backend-independent work measure that makes warm-start savings
+    /// visible even when wall clock is noisy.
+    pub lp_pivots: usize,
     /// Number of coefficients of the largest DILP formulated (the paper's
     /// problem-size measure).
     pub max_problem_coefficients: usize,
@@ -131,6 +135,12 @@ pub struct EvaluationResult {
     pub feasible: bool,
     /// Evaluation statistics.
     pub stats: EvaluationStats,
+    /// The simplex basis of the last LP solved on the way to this result.
+    /// Feed it into [`spq_solver::SolverOptions::warm_start`] to warm-start
+    /// a related evaluation (e.g. a SketchRefine refine step warm-starting
+    /// from the sketch solve); the solver ignores it when the shapes do not
+    /// match, so it is always safe to pass along.
+    pub final_basis: Option<spq_solver::Basis>,
 }
 
 impl EvaluationResult {
@@ -200,12 +210,14 @@ mod tests {
             package: Some(Package::from_dense(&[1.0], &[0], report(true))),
             feasible: true,
             stats: EvaluationStats::default(),
+            final_basis: None,
         };
         assert_eq!(r.objective(), Some(12.5));
         let empty = EvaluationResult {
             package: None,
             feasible: false,
             stats: EvaluationStats::default(),
+            final_basis: None,
         };
         assert_eq!(empty.objective(), None);
     }

@@ -9,6 +9,12 @@
 //! (more, less conservative summaries improve the objective); an infeasible
 //! outcome increases `M` (more scenarios improve the summaries' coverage of
 //! the uncertainty).
+//!
+//! Alongside the solution-level warm start `x⁽⁰⁾`, the search threads a
+//! *basis-level* warm start through every MILP it triggers: the simplex
+//! basis of each solve is carried into the next CSA-Solve invocation (and
+//! across Z/M escalations), so re-solves of structurally identical models
+//! restart from the previous optimal vertex.
 
 use crate::csa_solve::{csa_solve, realize_matrices};
 use crate::instance::Instance;
@@ -34,6 +40,10 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
     let direction = silp.objective.direction();
 
     let mut stats = EvaluationStats::default();
+    // Basis carried across every solve this evaluation triggers (Q0, each
+    // CSA-Solve, each Z/M escalation). The solver ignores it whenever the
+    // model shape changed, so threading it unconditionally is safe.
+    let mut basis: Option<spq_solver::Basis> = opts.solver.warm_start.clone();
 
     // --- Warm start: solve the probabilistically-unconstrained problem Q0. --
     let x0: Option<Vec<f64>> = {
@@ -42,9 +52,17 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
         stats.max_problem_coefficients = stats
             .max_problem_coefficients
             .max(formulation.num_coefficients());
-        let res = solve_full(&formulation.model, &opts.solver)?;
+        let mut solver_opts = opts.solver.clone();
+        // Clone rather than move so the incumbent basis survives solves
+        // that return none (e.g. a time-limited root relaxation).
+        solver_opts.warm_start = basis.clone();
+        let res = solve_full(&formulation.model, &solver_opts)?;
         stats.problems_solved += 1;
         stats.solver_nodes += res.nodes;
+        stats.lp_pivots += res.lp_iterations;
+        if res.basis.is_some() {
+            basis = res.basis;
+        }
         match res.status {
             spq_solver::SolveStatus::Infeasible => {
                 // Even without probabilistic constraints there is no feasible
@@ -54,6 +72,7 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
                     package: None,
                     feasible: false,
                     stats,
+                    final_basis: basis,
                 });
             }
             _ => res.solution.map(|s| formulation.multiplicities(&s)),
@@ -76,12 +95,16 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
         stats.summaries_used = z;
 
         let matrices = realize_matrices(instance, m)?;
-        let outcome = csa_solve(instance, x0.as_deref(), &matrices, m, z)?;
+        let outcome = csa_solve(instance, x0.as_deref(), &matrices, m, z, basis.as_ref())?;
         stats.problems_solved += outcome.problems_solved;
         stats.solver_nodes += outcome.solver_nodes;
+        stats.lp_pivots += outcome.lp_pivots;
         stats.validations += outcome.iterations;
         stats.max_problem_coefficients =
             stats.max_problem_coefficients.max(outcome.max_coefficients);
+        if outcome.final_basis.is_some() {
+            basis = outcome.final_basis.clone();
+        }
 
         let report = outcome.validation.clone();
         let package = Package::from_dense(&outcome.x, &silp.tuples, report.clone());
@@ -121,6 +144,7 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
         feasible: best_feasible,
         package: best,
         stats,
+        final_basis: basis,
     })
 }
 

@@ -48,6 +48,7 @@ fn merge_stats(into: &mut EvaluationStats, from: &EvaluationStats) {
     into.problems_solved += from.problems_solved;
     into.validations += from.validations;
     into.solver_nodes += from.solver_nodes;
+    into.lp_pivots += from.lp_pivots;
     into.max_problem_coefficients = into
         .max_problem_coefficients
         .max(from.max_problem_coefficients);
@@ -206,6 +207,12 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
     sketch_instance.cap_multiplicity_bounds(&caps);
 
     let sketch = evaluate_summary_search(&sketch_instance)?;
+    // Basis of the sketch solution: each refine sub-solve is seeded with the
+    // most recent basis (sketch first, then the latest accepted refine), so
+    // structurally compatible re-solves restart from a known-good vertex.
+    // The solver validates the shape and falls back to a cold start when a
+    // sub-problem's dimensions differ.
+    let mut latest_basis = sketch.final_basis.clone();
     debug_trace!(
         "[sketch] sketch solve over {} representatives: feasible={} in {:?} (cumulative)",
         parts.partitions.len(),
@@ -265,6 +272,7 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
             package: sketch.package,
             feasible: sketch.feasible,
             stats,
+            final_basis: latest_basis,
         });
     }
 
@@ -294,6 +302,8 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
                 .refine_max_scenarios
                 .max(sub_opts.initial_scenarios),
         );
+        // Warm-start this partition's solves from the most recent basis.
+        sub_opts.solver.warm_start = latest_basis.clone();
         let mut sub_instance = Instance::new(instance.relation, sub_silp, sub_opts)?;
         for (offset, &(_, mult)) in frozen.iter().enumerate() {
             sub_instance.fix_multiplicity(members.len() + offset, mult);
@@ -309,6 +319,9 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
         );
         merge_stats(&mut stats, &refined.stats);
         stats.outer_iterations += 1;
+        if refined.final_basis.is_some() {
+            latest_basis = refined.final_basis.clone();
+        }
 
         let package = match (refined.feasible, refined.package) {
             (true, Some(package)) => package,
@@ -364,6 +377,7 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
                 package: sketch.package,
                 feasible: false,
                 stats,
+                final_basis: latest_basis,
             });
         }
     };
@@ -393,5 +407,6 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
         package: Some(package),
         feasible,
         stats,
+        final_basis: latest_basis,
     })
 }

@@ -1,0 +1,336 @@
+//! Simplex bases: warm-startable variable statuses and the factorized basis
+//! inverse used by the revised simplex.
+//!
+//! A [`Basis`] records, for every column of a linear program (structural
+//! variables first, then one logical/slack column per row), whether the
+//! variable is basic or sits at one of its bounds. It is deliberately tiny —
+//! one byte-sized enum per column — so callers can extract it from a solved
+//! LP, store it alongside a solution, and feed it back as a warm start for
+//! the next related solve (a branch-and-bound child node, a CSA re-solve
+//! with updated summaries, or a refine step of SketchRefine). The revised
+//! simplex validates a warm basis against the new problem's shape and falls
+//! back to the all-slack cold basis when it does not fit, so threading a
+//! basis through is always safe.
+//!
+//! [`Factorization`] maintains `B⁻¹` implicitly: a dense LU factorization of
+//! the (small, `m × m`) basis matrix with partial pivoting, plus a
+//! product-form eta file for the pivots performed since the last
+//! refactorization. `ftran` solves `B·x = b`, `btran` solves `Bᵀ·y = c`;
+//! both cost `O(m² + m·|etas|)`, and the eta file is folded back into a
+//! fresh LU every [`Factorization::REFACTOR_EVERY`] pivots to bound error
+//! growth and solve cost.
+
+use crate::sparse::CscMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Where a variable sits relative to the current basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarStatus {
+    /// In the basis; its value is determined by the constraint system.
+    Basic,
+    /// Nonbasic at its (finite) lower bound.
+    AtLower,
+    /// Nonbasic at its (finite) upper bound.
+    AtUpper,
+    /// Nonbasic free variable, resting at zero.
+    Free,
+}
+
+/// A simplex basis: one [`VarStatus`] per column (structural variables
+/// followed by one logical column per row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Basis {
+    /// Status per column.
+    pub statuses: Vec<VarStatus>,
+}
+
+impl Basis {
+    /// Number of columns this basis describes.
+    pub fn num_cols(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Number of basic columns.
+    pub fn num_basic(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| matches!(s, VarStatus::Basic))
+            .count()
+    }
+
+    /// True when this basis structurally fits a problem with `cols` total
+    /// columns and `rows` rows (exactly one basic column per row).
+    pub fn fits(&self, cols: usize, rows: usize) -> bool {
+        self.statuses.len() == cols && self.num_basic() == rows
+    }
+}
+
+const SINGULAR_TOL: f64 = 1e-11;
+
+/// One product-form update: column `a_q` (ftran'd through the previous
+/// factors as `w = B⁻¹·a_q`) replaced the basic variable of basis position
+/// `r`.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    w: Vec<f64>,
+}
+
+/// LU factors of the basis matrix plus an eta file of recent pivots.
+#[derive(Debug, Clone)]
+pub struct Factorization {
+    m: usize,
+    /// Row-major packed LU of `P·B` (unit-lower below the diagonal, U on and
+    /// above it).
+    lu: Vec<f64>,
+    /// Row permutation: LU row `i` came from basis-matrix row `perm[i]`.
+    perm: Vec<usize>,
+    etas: Vec<Eta>,
+}
+
+impl Factorization {
+    /// Refactorize after this many eta updates.
+    pub const REFACTOR_EVERY: usize = 64;
+
+    /// Factorize the basis matrix whose columns are `basic_cols` of
+    /// `matrix`. Returns `None` when the basis is (numerically) singular.
+    pub fn factorize(matrix: &CscMatrix, basic_cols: &[usize]) -> Option<Factorization> {
+        let m = matrix.num_rows();
+        debug_assert_eq!(basic_cols.len(), m, "basis must have one column per row");
+        let mut lu = vec![0.0f64; m * m];
+        for (k, &j) in basic_cols.iter().enumerate() {
+            let (rows, vals) = matrix.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                lu[r * m + k] = v;
+            }
+        }
+        let mut perm: Vec<usize> = (0..m).collect();
+        for k in 0..m {
+            // Partial pivoting: bring the largest |entry| of column k up.
+            let mut p = k;
+            let mut best = lu[k * m + k].abs();
+            for i in (k + 1)..m {
+                let cand = lu[i * m + k].abs();
+                if cand > best {
+                    best = cand;
+                    p = i;
+                }
+            }
+            if best <= SINGULAR_TOL {
+                return None;
+            }
+            if p != k {
+                for c in 0..m {
+                    lu.swap(k * m + c, p * m + c);
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[k * m + k];
+            for i in (k + 1)..m {
+                let factor = lu[i * m + k] / pivot;
+                lu[i * m + k] = factor;
+                if factor != 0.0 {
+                    for c in (k + 1)..m {
+                        lu[i * m + c] -= factor * lu[k * m + c];
+                    }
+                }
+            }
+        }
+        Some(Factorization {
+            m,
+            lu,
+            perm,
+            etas: Vec::new(),
+        })
+    }
+
+    /// Number of eta updates accumulated since the last refactorization.
+    pub fn num_etas(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// True when the eta file is long enough that a refactorization pays
+    /// for itself.
+    pub fn should_refactorize(&self) -> bool {
+        self.etas.len() >= Self::REFACTOR_EVERY
+    }
+
+    /// Record a pivot: the ftran'd entering column `w = B⁻¹·a_q` replaced
+    /// the basic variable of basis position `r`. Returns `false` (leaving
+    /// the factorization untouched) when the pivot element is numerically
+    /// unusable.
+    pub fn push_eta(&mut self, r: usize, w: Vec<f64>) -> bool {
+        if w[r].abs() <= SINGULAR_TOL {
+            return false;
+        }
+        self.etas.push(Eta { r, w });
+        true
+    }
+
+    /// Solve `B·x = b` in place (`b` becomes `x`).
+    pub fn ftran(&self, b: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(b.len(), m);
+        // Apply the row permutation.
+        let mut x = vec![0.0f64; m];
+        for i in 0..m {
+            x[i] = b[self.perm[i]];
+        }
+        // Forward: L·z = P·b (unit lower triangular).
+        for i in 1..m {
+            let row = &self.lu[i * m..i * m + i];
+            let dot: f64 = row.iter().zip(&x[..i]).map(|(l, xv)| l * xv).sum();
+            x[i] -= dot;
+        }
+        // Backward: U·x = z.
+        for i in (0..m).rev() {
+            let row = &self.lu[i * m + i + 1..i * m + m];
+            let dot: f64 = row.iter().zip(&x[i + 1..m]).map(|(l, xv)| l * xv).sum();
+            x[i] = (x[i] - dot) / self.lu[i * m + i];
+        }
+        // Apply the eta file in order: x ← Eᵢ⁻¹·x.
+        for eta in &self.etas {
+            let xr = x[eta.r] / eta.w[eta.r];
+            if xr != 0.0 {
+                for (i, &wi) in eta.w.iter().enumerate() {
+                    if wi != 0.0 {
+                        x[i] -= wi * xr;
+                    }
+                }
+            }
+            x[eta.r] = xr;
+        }
+        b.copy_from_slice(&x);
+    }
+
+    /// Solve `Bᵀ·y = c` in place (`c` becomes `y`).
+    pub fn btran(&self, c: &mut [f64]) {
+        let m = self.m;
+        debug_assert_eq!(c.len(), m);
+        // Apply the eta file in reverse: solve Eᵢᵀ·z = c, whose only
+        // non-identity row is r: Σ wᵢ·zᵢ = c_r.
+        for eta in self.etas.iter().rev() {
+            let mut dot = 0.0;
+            for (i, &wi) in eta.w.iter().enumerate() {
+                if i != eta.r && wi != 0.0 {
+                    dot += wi * c[i];
+                }
+            }
+            c[eta.r] = (c[eta.r] - dot) / eta.w[eta.r];
+        }
+        let mut y = c.to_vec();
+        // Bᵀ = Uᵀ·Lᵀ·P, so: Uᵀ·v = c (forward, Uᵀ is lower triangular) ...
+        for i in 0..m {
+            let mut acc = y[i];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                acc -= self.lu[k * m + i] * yk;
+            }
+            y[i] = acc / self.lu[i * m + i];
+        }
+        // ... then Lᵀ·w = v (backward, unit diagonal) ...
+        for i in (0..m).rev() {
+            let mut acc = y[i];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[k * m + i] * yk;
+            }
+            y[i] = acc;
+        }
+        // ... and y = Pᵀ·w.
+        for (i, &yi) in y.iter().enumerate() {
+            c[self.perm[i]] = yi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+    }
+
+    /// 3×3 basis matrix columns (of a wider CSC matrix).
+    fn matrix() -> CscMatrix {
+        // Columns: [2,0,1], [0,1,0], [1,0,3], plus an extra non-basis column.
+        CscMatrix::from_columns(
+            3,
+            &[
+                vec![(0, 2.0), (2, 1.0)],
+                vec![(1, 1.0)],
+                vec![(0, 1.0), (2, 3.0)],
+                vec![(0, 9.0), (1, 9.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn ftran_solves_the_basis_system() {
+        let m = matrix();
+        let f = Factorization::factorize(&m, &[0, 1, 2]).unwrap();
+        // B = [[2,0,1],[0,1,0],[1,0,3]]; solve B x = [5, 2, 10] -> x = [1, 2, 3].
+        let mut b = vec![5.0, 2.0, 10.0];
+        f.ftran(&mut b);
+        assert!(close(&b, &[1.0, 2.0, 3.0]), "{b:?}");
+    }
+
+    #[test]
+    fn btran_solves_the_transposed_system() {
+        let m = matrix();
+        let f = Factorization::factorize(&m, &[0, 1, 2]).unwrap();
+        // Bᵀ y = c with c = Bᵀ·[1, 2, 3] = [2*1+0+1*3, 2, 1*1+3*3] = [5, 2, 10].
+        let mut c = vec![5.0, 2.0, 10.0];
+        f.btran(&mut c);
+        assert!(close(&c, &[1.0, 2.0, 3.0]), "{c:?}");
+    }
+
+    #[test]
+    fn eta_updates_track_a_column_swap() {
+        let m = matrix();
+        let mut f = Factorization::factorize(&m, &[0, 1, 2]).unwrap();
+        // Replace basis position 0 (column 0) with column 3: w = B⁻¹·a₃.
+        let mut w = vec![0.0; 3];
+        m.scatter_col(3, 1.0, &mut w);
+        f.ftran(&mut w);
+        assert!(f.push_eta(0, w));
+        assert_eq!(f.num_etas(), 1);
+        // The updated factorization must agree with a fresh one.
+        let fresh = Factorization::factorize(&m, &[3, 1, 2]).unwrap();
+        let rhs = vec![4.0, -1.0, 7.5];
+        let mut via_eta = rhs.clone();
+        f.ftran(&mut via_eta);
+        let mut via_fresh = rhs.clone();
+        fresh.ftran(&mut via_fresh);
+        assert!(close(&via_eta, &via_fresh), "{via_eta:?} vs {via_fresh:?}");
+        let mut bt_eta = rhs.clone();
+        f.btran(&mut bt_eta);
+        let mut bt_fresh = rhs;
+        fresh.btran(&mut bt_fresh);
+        assert!(close(&bt_eta, &bt_fresh), "{bt_eta:?} vs {bt_fresh:?}");
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let m = CscMatrix::from_columns(2, &[vec![(0, 1.0)], vec![(0, 2.0)], vec![(1, 1.0)]]);
+        assert!(Factorization::factorize(&m, &[0, 1]).is_none());
+        assert!(Factorization::factorize(&m, &[0, 2]).is_some());
+    }
+
+    #[test]
+    fn basis_bookkeeping() {
+        let b = Basis {
+            statuses: vec![
+                VarStatus::Basic,
+                VarStatus::AtLower,
+                VarStatus::AtUpper,
+                VarStatus::Basic,
+                VarStatus::Free,
+            ],
+        };
+        assert_eq!(b.num_cols(), 5);
+        assert_eq!(b.num_basic(), 2);
+        assert!(b.fits(5, 2));
+        assert!(!b.fits(5, 3));
+        assert!(!b.fits(4, 2));
+    }
+}

@@ -1,11 +1,64 @@
 //! Branch-and-bound MILP solver with big-M indicator linearization.
+//!
+//! LP relaxations are solved by one of two interchangeable backends
+//! ([`SolverBackend`]): the sparse bounded-variable revised simplex
+//! ([`crate::revised`], the default), whose per-node cost tracks the
+//! nonzeros of the constraints and which re-solves each child node from its
+//! parent's basis, or the dense two-phase tableau ([`crate::simplex`]) kept
+//! as a cross-check and fallback.
 
+use crate::basis::Basis;
 use crate::error::SolverError;
 use crate::model::{Direction, Model, Sense, Solution};
-use crate::simplex::{solve_lp, LpStatus};
+use crate::revised::RevisedLp;
+use crate::simplex::{solve_lp_with_rules, LpStatus, PivotRules};
 use crate::standard_form::{LpProblem, LpRow, BOUND_INFINITY};
 use crate::Result;
 use std::time::{Duration, Instant};
+
+/// Which LP kernel solves the relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Sparse bounded-variable revised simplex with warm starts (default).
+    #[default]
+    Revised,
+    /// Dense two-phase tableau simplex (no warm starts; every finite upper
+    /// bound becomes an extra row). Kept for cross-checking and as a
+    /// fallback.
+    Dense,
+}
+
+impl std::str::FromStr for SolverBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "revised" | "sparse" => Ok(SolverBackend::Revised),
+            "dense" | "tableau" => Ok(SolverBackend::Dense),
+            other => Err(format!(
+                "unknown solver backend `{other}` (expected `revised` or `dense`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverBackend::Revised => write!(f, "revised"),
+            SolverBackend::Dense => write!(f, "dense"),
+        }
+    }
+}
+
+/// The default backend: `SPQ_SOLVER_BACKEND` (`revised`/`dense`) when set
+/// and valid, [`SolverBackend::Revised`] otherwise.
+fn default_backend() -> SolverBackend {
+    std::env::var("SPQ_SOLVER_BACKEND")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_default()
+}
 
 /// Solver options.
 #[derive(Debug, Clone)]
@@ -22,21 +75,37 @@ pub struct SolverOptions {
     /// Cap applied to automatically derived big-M constants when variable
     /// bounds are infinite.
     pub big_m_cap: f64,
-    /// Refuse to solve when the dense standard-form tableau would exceed
-    /// this many bytes (the simplex materializes `rows × columns` f64s, and
-    /// every doubly-bounded variable contributes a bound row, so a model
-    /// with `N` integer variables needs on the order of `16·N²` bytes).
-    /// Without the guard such models abort the whole process inside the
-    /// allocator; with it, [`SolverError::ModelTooLarge`] is returned and
-    /// callers can degrade gracefully. The default is half the machine's
-    /// available memory when that can be determined, 8 GiB otherwise;
-    /// `None` disables the check.
-    pub max_tableau_bytes: Option<u64>,
+    /// LP backend solving the relaxations. Defaults to the
+    /// `SPQ_SOLVER_BACKEND` environment variable when set (`revised` or
+    /// `dense`), otherwise [`SolverBackend::Revised`].
+    pub backend: SolverBackend,
+    /// Warm-start basis for the root relaxation, e.g. the
+    /// [`MilpResult::basis`] of a previous related solve. Ignored (cold
+    /// start) when it does not fit the model's LP shape or when the dense
+    /// backend is selected, so callers can thread a basis through
+    /// unconditionally.
+    pub warm_start: Option<Basis>,
+    /// Simplex iteration index after which pricing switches from Dantzig to
+    /// Bland's rule (anti-cycling). `None` uses the documented default of
+    /// half the iteration budget; see [`PivotRules`].
+    pub bland_after: Option<usize>,
+    /// Refuse to solve when the LP kernel's working set would exceed this
+    /// many bytes. The estimate is backend-aware: the dense tableau
+    /// materializes `rows × columns` f64s (with every doubly-bounded
+    /// variable contributing a bound row, so `N` integer variables cost on
+    /// the order of `16·N²` bytes), while the revised backend only needs
+    /// the constraint nonzeros plus its `m × m` basis factorization.
+    /// Without the guard oversized models abort the whole process inside
+    /// the allocator; with it, [`SolverError::ModelTooLarge`] is returned
+    /// and callers can degrade gracefully. The default is half the
+    /// machine's available memory when that can be determined, 8 GiB
+    /// otherwise; `None` disables the check.
+    pub max_solver_bytes: Option<u64>,
 }
 
 /// Half the machine's available (fallback: total) memory per
 /// `/proc/meminfo`, or 8 GiB when it cannot be read (non-Linux platforms).
-fn default_max_tableau_bytes() -> u64 {
+fn default_max_solver_bytes() -> u64 {
     const FALLBACK: u64 = 8 << 30;
     let Ok(text) = std::fs::read_to_string("/proc/meminfo") else {
         return FALLBACK;
@@ -61,7 +130,10 @@ impl Default for SolverOptions {
             int_tol: 1e-6,
             rel_gap: 1e-6,
             big_m_cap: 1e7,
-            max_tableau_bytes: Some(default_max_tableau_bytes()),
+            backend: default_backend(),
+            warm_start: None,
+            bland_after: None,
+            max_solver_bytes: Some(default_max_solver_bytes()),
         }
     }
 }
@@ -73,6 +145,17 @@ impl SolverOptions {
             time_limit: Some(Duration::from_secs(secs)),
             ..Default::default()
         }
+    }
+
+    /// Deprecated alias for the memory cap, kept for source compatibility
+    /// with the dense-only era.
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to the `max_solver_bytes` field; the cap is backend-aware now"
+    )]
+    pub fn max_tableau_bytes(mut self, cap: Option<u64>) -> Self {
+        self.max_solver_bytes = cap;
+        self
     }
 }
 
@@ -116,6 +199,11 @@ pub struct MilpResult {
     pub best_bound: f64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// Basis of the root LP relaxation (revised backend only): feed it back
+    /// through [`SolverOptions::warm_start`] to warm-start the next related
+    /// solve. `None` for the dense backend or when the root relaxation did
+    /// not reach optimality.
+    pub basis: Option<Basis>,
 }
 
 /// Branch-and-bound solver over [`Model`]s.
@@ -134,6 +222,18 @@ struct Node {
     deltas: Vec<NodeDelta>,
     /// LP bound inherited from the parent (minimization sense).
     parent_bound: f64,
+    /// Parent's optimal basis (revised backend): the child re-solves from it
+    /// instead of from scratch.
+    warm: Option<Basis>,
+}
+
+/// Uniform view of one node's LP relaxation result across backends.
+struct NodeLp {
+    status: LpStatus,
+    values: Vec<f64>,
+    objective: f64,
+    iterations: usize,
+    basis: Option<Basis>,
 }
 
 impl BranchBoundSolver {
@@ -149,21 +249,38 @@ impl BranchBoundSolver {
         let minimize = model.direction == Direction::Minimize;
         let sign = if minimize { 1.0 } else { -1.0 };
 
-        // Base LP (minimization form).
+        // Base LP (minimization form). The revised backend prepares its
+        // sparse matrix once — building it is linear in the model's own
+        // size, so it can safely precede the memory guard — and every node
+        // then re-solves with its own bounds (and its parent's basis).
         let base = self.build_lp(model, sign);
-        if let Some(cap) = self.options.max_tableau_bytes {
-            // Mirror `to_standard_form` exactly: every doubly-finite-bounded
-            // variable (including fixed ones with `lo == hi`) becomes a
-            // bound row, and each row gets a slack column.
-            let bound_rows = base
-                .lower
-                .iter()
-                .zip(&base.upper)
-                .filter(|(&lo, &hi)| lo > -BOUND_INFINITY && hi < BOUND_INFINITY)
-                .count();
-            let rows = (base.rows.len() + bound_rows) as u64;
-            let cols = base.lower.len() as u64 + rows;
-            let bytes = rows.saturating_mul(cols).saturating_mul(8);
+        let rlp = match self.options.backend {
+            SolverBackend::Revised => Some(RevisedLp::from_problem(&base)?),
+            SolverBackend::Dense => None,
+        };
+        // Backend-aware memory guard.
+        if let Some(cap) = self.options.max_solver_bytes {
+            let (rows, cols, bytes) = match &rlp {
+                None => {
+                    // Mirror `to_standard_form` exactly: every doubly-finite-
+                    // bounded variable (including fixed ones with `lo == hi`)
+                    // becomes a bound row, and each row gets a slack column.
+                    let bound_rows = base
+                        .lower
+                        .iter()
+                        .zip(&base.upper)
+                        .filter(|(&lo, &hi)| lo > -BOUND_INFINITY && hi < BOUND_INFINITY)
+                        .count();
+                    let rows = (base.rows.len() + bound_rows) as u64;
+                    let cols = base.lower.len() as u64 + rows;
+                    (rows, cols, rows.saturating_mul(cols).saturating_mul(8))
+                }
+                Some(rlp) => (
+                    rlp.m as u64,
+                    (rlp.n_struct + rlp.m) as u64,
+                    rlp.estimated_bytes(),
+                ),
+            };
             if bytes > cap {
                 return Err(SolverError::ModelTooLarge {
                     rows: rows as usize,
@@ -190,9 +307,11 @@ impl BranchBoundSolver {
         let mut stack: Vec<Node> = vec![Node {
             deltas: Vec::new(),
             parent_bound: f64::NEG_INFINITY,
+            warm: self.options.warm_start.clone(),
         }];
         let mut root_infeasible = false;
         let mut root_unbounded = false;
+        let mut root_basis: Option<Basis> = None;
 
         while let Some(node) = stack.pop() {
             if nodes_processed >= self.options.max_nodes {
@@ -212,12 +331,13 @@ impl BranchBoundSolver {
             nodes_processed += 1;
 
             // Apply the node's bound changes.
-            let mut lp = base.clone();
+            let mut lower = base.lower.clone();
+            let mut upper = base.upper.clone();
             let mut domain_ok = true;
             for d in &node.deltas {
-                lp.lower[d.var] = lp.lower[d.var].max(d.lower);
-                lp.upper[d.var] = lp.upper[d.var].min(d.upper);
-                if lp.lower[d.var] > lp.upper[d.var] + 1e-12 {
+                lower[d.var] = lower[d.var].max(d.lower);
+                upper[d.var] = upper[d.var].min(d.upper);
+                if lower[d.var] > upper[d.var] + 1e-12 {
                     domain_ok = false;
                     break;
                 }
@@ -230,7 +350,7 @@ impl BranchBoundSolver {
             // exhausted on a degenerate relaxation) abandons this node rather
             // than the whole search: the node is treated as unexplored, which
             // keeps the incumbent valid and only weakens the optimality claim.
-            let relax = match solve_lp(&lp) {
+            let relax = match self.solve_relaxation(&base, rlp.as_ref(), lower, upper, &node) {
                 Ok(r) => r,
                 Err(SolverError::Numerical(_)) => {
                     hit_limit = true;
@@ -260,6 +380,7 @@ impl BranchBoundSolver {
             let node_bound = relax.objective;
             if nodes_processed == 1 {
                 best_bound = node_bound;
+                root_basis = relax.basis.clone();
             }
             if node_bound >= best_obj - self.gap_slack(best_obj) {
                 continue; // dominated
@@ -340,10 +461,12 @@ impl BranchBoundSolver {
                     stack.push(Node {
                         deltas: up,
                         parent_bound: node_bound,
+                        warm: relax.basis.clone(),
                     });
                     stack.push(Node {
                         deltas: down,
                         parent_bound: node_bound,
+                        warm: relax.basis,
                     });
                 }
             }
@@ -358,6 +481,7 @@ impl BranchBoundSolver {
                 lp_iterations,
                 best_bound: sign * f64::NEG_INFINITY,
                 elapsed,
+                basis: None,
             });
         }
 
@@ -374,6 +498,7 @@ impl BranchBoundSolver {
         let solution = best_solution.map(|values| Solution {
             objective: model.objective_value(&values),
             values,
+            lp_pivots: lp_iterations,
         });
         Ok(MilpResult {
             status,
@@ -382,7 +507,46 @@ impl BranchBoundSolver {
             lp_iterations,
             best_bound: sign * best_bound,
             elapsed,
+            basis: root_basis,
         })
+    }
+
+    /// Solve one node's LP relaxation with the configured backend.
+    fn solve_relaxation(
+        &self,
+        base: &LpProblem,
+        rlp: Option<&RevisedLp>,
+        lower: Vec<f64>,
+        upper: Vec<f64>,
+        node: &Node,
+    ) -> Result<NodeLp> {
+        match rlp {
+            Some(rlp) => {
+                let rules =
+                    PivotRules::for_size(rlp.m, rlp.n_struct + rlp.m, self.options.bland_after);
+                let sol = rlp.solve(&lower, &upper, node.warm.as_ref(), &rules)?;
+                Ok(NodeLp {
+                    status: sol.status,
+                    values: sol.values,
+                    objective: sol.objective,
+                    iterations: sol.iterations,
+                    basis: sol.basis,
+                })
+            }
+            None => {
+                let mut lp = base.clone();
+                lp.lower = lower;
+                lp.upper = upper;
+                let sol = solve_lp_with_rules(&lp, self.options.bland_after)?;
+                Ok(NodeLp {
+                    status: sol.status,
+                    values: sol.values,
+                    objective: sol.objective,
+                    iterations: sol.iterations,
+                    basis: None,
+                })
+            }
+        }
     }
 
     fn gap_slack(&self, best_obj: f64) -> f64 {
@@ -800,8 +964,9 @@ mod tests {
 
     #[test]
     fn oversized_models_error_instead_of_aborting() {
-        // 2000 doubly-bounded vars -> ~2001 x 4001 tableau ≈ 64 MB; a 1 MB
-        // cap must refuse it with a clear error, and a generous cap accept it.
+        // 2000 doubly-bounded vars -> ~2001 x 4001 dense tableau ≈ 64 MB; a
+        // 1 MB cap must refuse it with a clear error under the dense
+        // backend, and a generous cap accept it.
         let mut m = Model::maximize();
         let vars: Vec<_> = (0..2000)
             .map(|i| m.add_var(format!("x{i}"), VarType::Integer, 0.0, 5.0, 1.0))
@@ -813,13 +978,89 @@ mod tests {
             3.0,
         );
         let mut small = opts();
-        small.max_tableau_bytes = Some(1 << 20);
+        small.backend = SolverBackend::Dense;
+        small.max_solver_bytes = Some(1 << 20);
         let err = solve(&m, &small).unwrap_err();
         assert!(matches!(err, SolverError::ModelTooLarge { .. }), "{err}");
         let mut big = opts();
-        big.max_tableau_bytes = Some(1 << 30);
+        big.backend = SolverBackend::Dense;
+        big.max_solver_bytes = Some(1 << 30);
         let sol = solve(&m, &big).unwrap();
         assert!((sol.objective - 3.0).abs() < 1e-6);
+        // The revised backend needs no bound rows and no dense tableau, so
+        // the very same model fits comfortably under the 1 MB cap.
+        let mut sparse_small = opts();
+        sparse_small.backend = SolverBackend::Revised;
+        sparse_small.max_solver_bytes = Some(1 << 20);
+        let sol = solve(&m, &sparse_small).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tableau_cap_alias_still_works() {
+        let o = opts().max_tableau_bytes(Some(42));
+        assert_eq!(o.max_solver_bytes, Some(42));
+    }
+
+    #[test]
+    fn backend_parsing_and_display() {
+        assert_eq!(
+            "revised".parse::<SolverBackend>(),
+            Ok(SolverBackend::Revised)
+        );
+        assert_eq!("DENSE".parse::<SolverBackend>(), Ok(SolverBackend::Dense));
+        assert_eq!(
+            "sparse".parse::<SolverBackend>(),
+            Ok(SolverBackend::Revised)
+        );
+        assert!("cplex".parse::<SolverBackend>().is_err());
+        assert_eq!(SolverBackend::Revised.to_string(), "revised");
+        assert_eq!(SolverBackend::Dense.to_string(), "dense");
+    }
+
+    #[test]
+    fn warm_start_threads_through_related_milp_solves() {
+        // Solve a knapsack, then re-solve a re-weighted variant from the
+        // returned basis: statuses and objectives must stay correct.
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..8)
+            .map(|i| {
+                m.add_var(
+                    format!("x{i}"),
+                    VarType::Integer,
+                    0.0,
+                    3.0,
+                    (i % 4) as f64 + 1.0,
+                )
+            })
+            .collect();
+        m.add_constraint(
+            "w",
+            vars.iter()
+                .enumerate()
+                .map(|(i, v)| (*v, (i % 3) as f64 + 1.0))
+                .collect(),
+            Sense::Le,
+            10.0,
+        );
+        let mut cold = opts();
+        cold.backend = SolverBackend::Revised;
+        let first = solve_full(&m, &cold).unwrap();
+        assert_eq!(first.status, SolveStatus::Optimal);
+        let basis = first.basis.clone();
+        assert!(basis.is_some(), "revised backend must surface a root basis");
+        let mut o = cold.clone();
+        o.warm_start = basis;
+        let again = solve_full(&m, &o).unwrap();
+        assert_eq!(again.status, SolveStatus::Optimal);
+        let (a, b) = (
+            first.solution.unwrap().objective,
+            again.solution.unwrap().objective,
+        );
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        // Warm-started root should not need more pivots than the cold root.
+        assert!(again.lp_iterations <= first.lp_iterations);
     }
 
     #[test]

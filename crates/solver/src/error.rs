@@ -24,15 +24,16 @@ pub enum SolverError {
     Unbounded,
     /// Numerical trouble in the simplex (cycling or singular basis).
     Numerical(String),
-    /// The dense standard-form tableau would exceed the configured memory
-    /// cap ([`crate::SolverOptions::max_tableau_bytes`]); solving would abort
-    /// the process inside the allocator.
+    /// The LP kernel's working set (dense tableau, or sparse matrix plus
+    /// basis factors) would exceed the configured memory cap
+    /// ([`crate::SolverOptions::max_solver_bytes`]); solving would abort the
+    /// process inside the allocator.
     ModelTooLarge {
-        /// Estimated tableau rows.
+        /// Estimated rows.
         rows: usize,
-        /// Estimated tableau columns.
+        /// Estimated columns.
         cols: usize,
-        /// Estimated tableau bytes.
+        /// Estimated working-set bytes.
         bytes: u64,
     },
 }
@@ -50,8 +51,8 @@ impl fmt::Display for SolverError {
             SolverError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             SolverError::ModelTooLarge { rows, cols, bytes } => write!(
                 f,
-                "model too large: dense {rows}x{cols} tableau would need {:.1} GiB \
-                 (raise SolverOptions::max_tableau_bytes to override)",
+                "model too large: the {rows}x{cols} LP working set would need {:.1} GiB \
+                 (raise SolverOptions::max_solver_bytes to override)",
                 *bytes as f64 / (1u64 << 30) as f64
             ),
         }

@@ -8,14 +8,19 @@
 //!   continuous/integer/binary variables, linear `<=`/`>=`/`=` constraints,
 //!   *indicator constraints* (`y = 1  =>  a·x ⊙ v`, the construct used by
 //!   SAA formulations for probabilistic constraints), and a linear objective.
-//! * [`simplex`] — a two-phase dense-tableau primal simplex for the LP
-//!   relaxations.
+//! * [`revised`] — the default LP kernel: a sparse bounded-variable revised
+//!   simplex (CSC matrix, LU + eta-file basis inverse, bound-flip ratio
+//!   test) that accepts a [`Basis`] warm start and returns one for the next
+//!   related solve.
+//! * [`simplex`] — the original two-phase dense-tableau primal simplex,
+//!   kept as the [`SolverBackend::Dense`] fallback and cross-check.
 //! * [`branch_bound`] — branch-and-bound over the LP relaxation with big-M
 //!   linearization of indicator constraints, most-fractional branching, a
-//!   rounding incumbent heuristic, and node/time limits that return the best
-//!   incumbent found (mirroring the paper's use of a solver wall-clock
-//!   limit: "when the time limit expires, we interrupt CPLEX and get the
-//!   best solution found by the solver until then").
+//!   rounding incumbent heuristic, warm-started child nodes (each child
+//!   re-solves from its parent's basis), and node/time limits that return
+//!   the best incumbent found (mirroring the paper's use of a solver
+//!   wall-clock limit: "when the time limit expires, we interrupt CPLEX and
+//!   get the best solution found by the solver until then").
 //!
 //! ```
 //! use spq_solver::{Model, Sense, VarType, SolverOptions};
@@ -30,21 +35,26 @@
 //! assert_eq!(solution.value(b).round() as i64, 1);
 //! ```
 
+pub mod basis;
 pub mod branch_bound;
 pub mod error;
 pub mod model;
+pub mod revised;
 pub mod simplex;
+pub mod sparse;
 pub mod standard_form;
 
+pub use basis::{Basis, VarStatus};
 pub use branch_bound::{
-    solve, solve_full, BranchBoundSolver, MilpResult, SolveStatus, SolverOptions,
+    solve, solve_full, BranchBoundSolver, MilpResult, SolveStatus, SolverBackend, SolverOptions,
 };
 pub use error::SolverError;
 pub use model::{
     Constraint, Direction, IndicatorConstraint, LinearExpr, Model, Sense, Solution, VarId, VarType,
     Variable,
 };
-pub use simplex::{LpSolution, LpStatus};
+pub use revised::{RevisedLp, RevisedSolution};
+pub use simplex::{LpSolution, LpStatus, PivotRules};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SolverError>;

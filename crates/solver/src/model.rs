@@ -431,6 +431,10 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Objective value under the model's direction.
     pub objective: f64,
+    /// Cumulative simplex pivots across every LP relaxation solved on the
+    /// way to this solution — the measure that makes warm-start savings
+    /// visible independently of wall clock.
+    pub lp_pivots: usize,
 }
 
 impl Solution {
@@ -574,6 +578,7 @@ mod tests {
         let s = Solution {
             values: vec![1.2, 3.0],
             objective: 9.0,
+            lp_pivots: 4,
         };
         assert_eq!(s.value(VarId(0)), 1.2);
         assert_eq!(s.int_value(VarId(1)), 3);

@@ -1,0 +1,800 @@
+//! Sparse revised simplex with native bounded variables and warm starts.
+//!
+//! This is the default LP kernel. Unlike the dense tableau
+//! ([`crate::simplex`]), which materializes every finite variable upper
+//! bound as an extra constraint row and splits free variables into two
+//! nonnegative columns, the revised simplex works directly on
+//! `min c·x  s.t.  A·x + s = b,  l ≤ x ≤ u`, where each row's logical
+//! variable `s` encodes the row sense through its bounds (`≤` → `s ≥ 0`,
+//! `≥` → `s ≤ 0`, `=` → `s = 0`):
+//!
+//! * the constraint matrix is stored once in CSC form ([`CscMatrix`]) and
+//!   only its nonzeros are touched during pricing, so iteration cost tracks
+//!   `nnz` plus the basis dimension `m` (the number of *rows*, not rows plus
+//!   per-variable bound rows);
+//! * variable bounds are handled by the ratio test itself: a nonbasic
+//!   variable whose own opposite bound is the blocking constraint simply
+//!   *bound-flips* without any basis change;
+//! * the basis inverse is maintained as a dense LU factorization of the
+//!   small `m × m` basis matrix plus a product-form eta file
+//!   ([`Factorization`]), refactorized periodically;
+//! * pricing is Dantzig (most negative reduced cost) with a switch to
+//!   Bland's rule after [`PivotRules::bland_after`] iterations to guarantee
+//!   termination under degeneracy;
+//! * phase 1 minimizes the sum of bound violations of the basic variables
+//!   (no artificial columns), which makes any [`Basis`] — e.g. one saved
+//!   from a related solve — a valid warm start: the solver prices with the
+//!   infeasibility costs until the warm basis is repaired, then switches to
+//!   the true objective. This is what makes branch-and-bound child nodes,
+//!   CSA re-solves with updated summaries, and SketchRefine refine steps
+//!   cheap: they typically need a handful of pivots instead of a full
+//!   two-phase solve.
+
+use crate::basis::{Basis, Factorization, VarStatus};
+use crate::error::SolverError;
+use crate::simplex::{LpStatus, PivotRules};
+use crate::sparse::CscMatrix;
+use crate::standard_form::{LpProblem, BOUND_INFINITY};
+use crate::Result;
+
+/// Reduced-cost tolerance.
+const EPS: f64 = 1e-9;
+/// Bound-feasibility tolerance.
+const FEAS_EPS: f64 = 1e-7;
+/// Minimum |pivot| for a row to participate in the ratio test.
+const PIVOT_TOL: f64 = 1e-7;
+/// Tie window of the ratio test.
+const RATIO_EPS: f64 = 1e-9;
+
+/// Result of a revised-simplex solve.
+#[derive(Debug, Clone)]
+pub struct RevisedSolution {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Values of the structural variables (empty unless optimal).
+    pub values: Vec<f64>,
+    /// Objective value (minimization); meaningful only when optimal.
+    pub objective: f64,
+    /// Simplex iterations (pivots and bound flips) performed.
+    pub iterations: usize,
+    /// The optimal basis, reusable as a warm start for related solves.
+    pub basis: Option<Basis>,
+}
+
+/// A bounded LP prepared for the revised simplex: the immutable part
+/// (matrix, costs, right-hand sides, row senses folded into logical-variable
+/// bounds). Variable bounds are supplied per solve so branch-and-bound nodes
+/// can share one `RevisedLp`.
+#[derive(Debug, Clone)]
+pub struct RevisedLp {
+    /// Number of structural columns.
+    pub n_struct: usize,
+    /// Number of rows.
+    pub m: usize,
+    matrix: CscMatrix,
+    /// Minimization costs over all columns (zero for logicals).
+    cost: Vec<f64>,
+    /// Right-hand sides.
+    b: Vec<f64>,
+    /// Bounds of the logical column of each row.
+    logical_lower: Vec<f64>,
+    logical_upper: Vec<f64>,
+}
+
+impl RevisedLp {
+    /// Prepare a problem. Bounds in `lp` are ignored here (they are passed
+    /// to [`RevisedLp::solve`]); rows and the objective are validated.
+    pub fn from_problem(lp: &LpProblem) -> Result<RevisedLp> {
+        let n = lp.num_vars();
+        if n == 0 {
+            return Err(SolverError::EmptyModel);
+        }
+        for (i, c) in lp.objective.iter().enumerate() {
+            if c.is_nan() {
+                return Err(SolverError::NotANumber(format!("objective of x{i}")));
+            }
+        }
+        let m = lp.rows.len();
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n + m];
+        let mut b = Vec::with_capacity(m);
+        let mut logical_lower = Vec::with_capacity(m);
+        let mut logical_upper = Vec::with_capacity(m);
+        for (ri, row) in lp.rows.iter().enumerate() {
+            if row.rhs.is_nan() {
+                return Err(SolverError::NotANumber(format!("row {ri} rhs")));
+            }
+            for &(var, coeff) in &row.terms {
+                if var >= n {
+                    return Err(SolverError::UnknownVariable(var));
+                }
+                if coeff.is_nan() {
+                    return Err(SolverError::NotANumber(format!(
+                        "coefficient of x{var} in row {ri}"
+                    )));
+                }
+                if coeff != 0.0 {
+                    columns[var].push((ri, coeff));
+                }
+            }
+            columns[n + ri].push((ri, 1.0));
+            b.push(row.rhs);
+            let (lo, hi) = match row.sense {
+                crate::model::Sense::Le => (0.0, f64::INFINITY),
+                crate::model::Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                crate::model::Sense::Eq => (0.0, 0.0),
+            };
+            logical_lower.push(lo);
+            logical_upper.push(hi);
+        }
+        let mut cost = Vec::with_capacity(n + m);
+        cost.extend_from_slice(&lp.objective);
+        cost.resize(n + m, 0.0);
+        Ok(RevisedLp {
+            n_struct: n,
+            m,
+            matrix: CscMatrix::from_columns(m, &columns),
+            cost,
+            b,
+            logical_lower,
+            logical_upper,
+        })
+    }
+
+    /// Estimated resident bytes of a solve: the CSC matrix, the dense LU of
+    /// the `m × m` basis, the eta file, and the working vectors.
+    pub fn estimated_bytes(&self) -> u64 {
+        let nnz = self.matrix.nnz() as u64;
+        let m = self.m as u64;
+        let cols = (self.n_struct + self.m) as u64;
+        nnz * 16 + m * m * 8 + (Factorization::REFACTOR_EVERY as u64) * m * 8 + cols * 8 * 6
+    }
+
+    /// Number of stored nonzeros (structural + logical columns).
+    pub fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    /// Solve with the given structural bounds, optional warm-start basis and
+    /// pivot rules.
+    pub fn solve(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        warm: Option<&Basis>,
+        rules: &PivotRules,
+    ) -> Result<RevisedSolution> {
+        Simplex::new(self, lower, upper, warm)?.run(rules)
+    }
+}
+
+/// Convenience entry point: solve an [`LpProblem`] (bounds taken from the
+/// problem) with the revised simplex.
+pub fn solve_problem(
+    lp: &LpProblem,
+    warm: Option<&Basis>,
+    rules: &PivotRules,
+) -> Result<RevisedSolution> {
+    let rlp = RevisedLp::from_problem(lp)?;
+    rlp.solve(&lp.lower, &lp.upper, warm, rules)
+}
+
+/// What blocked the entering variable's step.
+enum Blocking {
+    /// The entering variable reached its own opposite bound: flip, no pivot.
+    SelfFlip,
+    /// Basis position `r` reached the given bound value (`true` = upper).
+    Row(usize, bool),
+}
+
+struct Simplex<'a> {
+    rlp: &'a RevisedLp,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<VarStatus>,
+    /// Column basic in each row.
+    basic_vars: Vec<usize>,
+    /// Current value of every column.
+    x: Vec<f64>,
+    fact: Factorization,
+    iterations: usize,
+    infeasible_domain: bool,
+}
+
+impl<'a> Simplex<'a> {
+    fn new(
+        rlp: &'a RevisedLp,
+        lower_s: &[f64],
+        upper_s: &[f64],
+        warm: Option<&Basis>,
+    ) -> Result<Simplex<'a>> {
+        let n = rlp.n_struct;
+        let m = rlp.m;
+        let total = n + m;
+        let clamp = |v: f64, neg: bool| {
+            if neg {
+                if v <= -BOUND_INFINITY {
+                    f64::NEG_INFINITY
+                } else {
+                    v
+                }
+            } else if v >= BOUND_INFINITY {
+                f64::INFINITY
+            } else {
+                v
+            }
+        };
+        let mut lower = Vec::with_capacity(total);
+        let mut upper = Vec::with_capacity(total);
+        let mut infeasible_domain = false;
+        for i in 0..n {
+            if lower_s[i].is_nan() || upper_s[i].is_nan() {
+                return Err(SolverError::NotANumber(format!("bounds of x{i}")));
+            }
+            let lo = clamp(lower_s[i], true);
+            let hi = clamp(upper_s[i], false);
+            if lo > hi {
+                infeasible_domain = true;
+            }
+            lower.push(lo);
+            upper.push(hi);
+        }
+        lower.extend_from_slice(&rlp.logical_lower);
+        upper.extend_from_slice(&rlp.logical_upper);
+
+        // Adopt the warm basis when it fits; otherwise the all-logical basis.
+        let mut status = match warm {
+            Some(basis) if basis.fits(total, m) => basis.statuses.clone(),
+            _ => {
+                let mut s = vec![VarStatus::AtLower; total];
+                for item in s.iter_mut().skip(n) {
+                    *item = VarStatus::Basic;
+                }
+                s
+            }
+        };
+        // Sanitize nonbasic statuses against the (possibly changed) bounds.
+        for j in 0..total {
+            status[j] = match status[j] {
+                VarStatus::Basic => VarStatus::Basic,
+                VarStatus::AtLower if lower[j].is_finite() => VarStatus::AtLower,
+                VarStatus::AtUpper if upper[j].is_finite() => VarStatus::AtUpper,
+                _ => {
+                    if lower[j].is_finite() {
+                        VarStatus::AtLower
+                    } else if upper[j].is_finite() {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::Free
+                    }
+                }
+            };
+        }
+        let mut basic_vars: Vec<usize> = (0..total)
+            .filter(|&j| status[j] == VarStatus::Basic)
+            .collect();
+        let fact = if basic_vars.len() == m {
+            Factorization::factorize(&rlp.matrix, &basic_vars)
+        } else {
+            None
+        };
+        let fact = match fact {
+            Some(f) => f,
+            None => {
+                // Warm basis was structurally or numerically unusable: fall
+                // back to the always-nonsingular all-logical basis.
+                for j in 0..n {
+                    status[j] = if lower[j].is_finite() {
+                        VarStatus::AtLower
+                    } else if upper[j].is_finite() {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::Free
+                    };
+                }
+                for s in status.iter_mut().take(total).skip(n) {
+                    *s = VarStatus::Basic;
+                }
+                basic_vars = (n..total).collect();
+                Factorization::factorize(&rlp.matrix, &basic_vars)
+                    .ok_or_else(|| SolverError::Numerical("logical basis singular".into()))?
+            }
+        };
+        let mut sim = Simplex {
+            rlp,
+            lower,
+            upper,
+            status,
+            basic_vars,
+            x: vec![0.0; total],
+            fact,
+            iterations: 0,
+            infeasible_domain,
+        };
+        sim.compute_values();
+        Ok(sim)
+    }
+
+    /// Set nonbasic variables to their bound values and solve for the basic
+    /// values.
+    fn compute_values(&mut self) {
+        let total = self.x.len();
+        for j in 0..total {
+            self.x[j] = match self.status[j] {
+                VarStatus::Basic => 0.0,
+                VarStatus::AtLower => self.lower[j],
+                VarStatus::AtUpper => self.upper[j],
+                VarStatus::Free => 0.0,
+            };
+        }
+        let mut rhs = self.rlp.b.clone();
+        for j in 0..total {
+            if self.status[j] != VarStatus::Basic && self.x[j] != 0.0 {
+                self.rlp.matrix.scatter_col(j, -self.x[j], &mut rhs);
+            }
+        }
+        self.fact.ftran(&mut rhs);
+        for (i, &bv) in self.basic_vars.iter().enumerate() {
+            self.x[bv] = rhs[i];
+        }
+    }
+
+    fn refactorize(&mut self) -> Result<()> {
+        self.fact = Factorization::factorize(&self.rlp.matrix, &self.basic_vars)
+            .ok_or_else(|| SolverError::Numerical("basis became singular".into()))?;
+        self.compute_values();
+        Ok(())
+    }
+
+    /// Sum of bound violations over basic variables; also the phase test.
+    fn infeasibility(&self) -> f64 {
+        self.basic_vars
+            .iter()
+            .map(|&bv| {
+                let v = self.x[bv];
+                (self.lower[bv] - v).max(0.0) + (v - self.upper[bv]).max(0.0)
+            })
+            .sum()
+    }
+
+    fn run(&mut self, rules: &PivotRules) -> Result<RevisedSolution> {
+        if self.infeasible_domain {
+            return Ok(self.finish(LpStatus::Infeasible));
+        }
+        let m = self.rlp.m;
+        let total = self.x.len();
+        loop {
+            if self.iterations >= rules.max_iters {
+                return Err(SolverError::Numerical(format!(
+                    "revised simplex exceeded {} iterations",
+                    rules.max_iters
+                )));
+            }
+            let use_bland = self.iterations >= rules.bland_after;
+
+            // Phase selection: any basic variable outside its bounds puts us
+            // in phase 1 with infeasibility costs.
+            let mut phase1 = false;
+            let mut y = vec![0.0f64; m];
+            for (i, &bv) in self.basic_vars.iter().enumerate() {
+                let v = self.x[bv];
+                if v > self.upper[bv] + FEAS_EPS {
+                    y[i] = 1.0;
+                    phase1 = true;
+                } else if v < self.lower[bv] - FEAS_EPS {
+                    y[i] = -1.0;
+                    phase1 = true;
+                }
+            }
+            if !phase1 {
+                for (i, &bv) in self.basic_vars.iter().enumerate() {
+                    y[i] = self.rlp.cost[bv];
+                }
+            }
+            self.fact.btran(&mut y);
+
+            // Pricing: pick the entering column.
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, |d|, dir)
+            for j in 0..total {
+                if self.status[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let base_cost = if phase1 { 0.0 } else { self.rlp.cost[j] };
+                let d = base_cost - self.rlp.matrix.col_dot(j, &y);
+                let dir = match self.status[j] {
+                    VarStatus::AtLower if d < -EPS => 1.0,
+                    VarStatus::AtUpper if d > EPS => -1.0,
+                    VarStatus::Free if d < -EPS => 1.0,
+                    VarStatus::Free if d > EPS => -1.0,
+                    _ => continue,
+                };
+                if use_bland {
+                    enter = Some((j, d.abs(), dir));
+                    break;
+                }
+                if enter.map(|(_, best, _)| d.abs() > best).unwrap_or(true) {
+                    enter = Some((j, d.abs(), dir));
+                }
+            }
+
+            let Some((q, _, dir)) = enter else {
+                if phase1 {
+                    // The infeasibility sum is at its minimum. Recompute the
+                    // basic values exactly before judging: eta-file drift can
+                    // manufacture phantom violations. The acceptance
+                    // threshold grows only with √m so a genuinely infeasible
+                    // large model is never declared optimal (a linear-in-m
+                    // threshold would reach ~1e-2 at 100k rows).
+                    self.refactorize()?;
+                    if self.infeasibility() > FEAS_EPS * (1.0 + (m as f64).sqrt()) {
+                        return Ok(self.finish(LpStatus::Infeasible));
+                    }
+                    // Residual violations are within tolerance: snap the
+                    // offending basic values onto their bounds so phase 2
+                    // can proceed (the introduced row residual is ≤ the
+                    // feasibility tolerance).
+                    for i in 0..m {
+                        let bv = self.basic_vars[i];
+                        self.x[bv] = self.x[bv].clamp(self.lower[bv], self.upper[bv]);
+                    }
+                    self.iterations += 1;
+                    continue;
+                }
+                // Optimal: recompute values from a fresh factorization for a
+                // clean answer.
+                self.refactorize()?;
+                return Ok(self.finish(LpStatus::Optimal));
+            };
+
+            // Direction of basic-variable change per unit step of x_q.
+            let mut w = vec![0.0f64; m];
+            self.rlp.matrix.scatter_col(q, 1.0, &mut w);
+            self.fact.ftran(&mut w);
+
+            // Ratio test.
+            let mut t_best = f64::INFINITY;
+            let mut blocking: Option<Blocking> = None;
+            let range = self.upper[q] - self.lower[q];
+            if range.is_finite() {
+                t_best = range;
+                blocking = Some(Blocking::SelfFlip);
+            }
+            for (i, &wi) in w.iter().enumerate() {
+                let alpha = -dir * wi;
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let bv = self.basic_vars[i];
+                let xi = self.x[bv];
+                let (li, ui) = (self.lower[bv], self.upper[bv]);
+                // Target bound of this basic variable in the step direction.
+                let (t, hit_upper) = if xi < li - FEAS_EPS {
+                    // Infeasible below: only a move up toward `li` blocks.
+                    if alpha > 0.0 {
+                        ((li - xi) / alpha, false)
+                    } else {
+                        continue;
+                    }
+                } else if xi > ui + FEAS_EPS {
+                    if alpha < 0.0 {
+                        ((ui - xi) / alpha, true)
+                    } else {
+                        continue;
+                    }
+                } else if alpha > 0.0 {
+                    if ui.is_finite() {
+                        ((ui - xi) / alpha, true)
+                    } else {
+                        continue;
+                    }
+                } else if li.is_finite() {
+                    ((li - xi) / alpha, false)
+                } else {
+                    continue;
+                };
+                let t = t.max(0.0);
+                let take = if t < t_best - RATIO_EPS {
+                    true
+                } else if t < t_best + RATIO_EPS {
+                    match &blocking {
+                        // Bland-style anti-cycling tie-break: smallest index.
+                        Some(Blocking::Row(r, _)) if use_bland => bv < self.basic_vars[*r],
+                        // Stability tie-break: largest pivot magnitude.
+                        Some(Blocking::Row(r, _)) => wi.abs() > w[*r].abs(),
+                        Some(Blocking::SelfFlip) | None => true,
+                    }
+                } else {
+                    false
+                };
+                if take {
+                    t_best = t.min(t_best);
+                    blocking = Some(Blocking::Row(i, hit_upper));
+                }
+            }
+
+            let Some(blocking) = blocking else {
+                if phase1 {
+                    return Err(SolverError::Numerical(
+                        "phase-1 step unblocked (numerical trouble)".into(),
+                    ));
+                }
+                return Ok(self.finish(LpStatus::Unbounded));
+            };
+
+            // Apply the step.
+            let t = t_best;
+            if t > 0.0 {
+                self.x[q] += dir * t;
+                for (i, &wi) in w.iter().enumerate() {
+                    if wi != 0.0 {
+                        let bv = self.basic_vars[i];
+                        self.x[bv] -= dir * t * wi;
+                    }
+                }
+            }
+            match blocking {
+                Blocking::SelfFlip => {
+                    self.status[q] = if dir > 0.0 {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.x[q] = if dir > 0.0 {
+                        self.upper[q]
+                    } else {
+                        self.lower[q]
+                    };
+                }
+                Blocking::Row(r, hit_upper) => {
+                    let leaving = self.basic_vars[r];
+                    self.status[leaving] = if hit_upper {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.x[leaving] = if hit_upper {
+                        self.upper[leaving]
+                    } else {
+                        self.lower[leaving]
+                    };
+                    self.status[q] = VarStatus::Basic;
+                    self.basic_vars[r] = q;
+                    if !self.fact.push_eta(r, w) || self.fact.should_refactorize() {
+                        self.refactorize()?;
+                    }
+                }
+            }
+            self.iterations += 1;
+        }
+    }
+
+    fn finish(&self, status: LpStatus) -> RevisedSolution {
+        match status {
+            LpStatus::Optimal => {
+                let values: Vec<f64> = self.x[..self.rlp.n_struct].to_vec();
+                let objective = self
+                    .rlp
+                    .cost
+                    .iter()
+                    .zip(&self.x)
+                    .map(|(c, v)| c * v)
+                    .sum::<f64>();
+                RevisedSolution {
+                    status,
+                    values,
+                    objective,
+                    iterations: self.iterations,
+                    basis: Some(Basis {
+                        statuses: self.status.clone(),
+                    }),
+                }
+            }
+            _ => RevisedSolution {
+                status,
+                values: Vec::new(),
+                objective: 0.0,
+                iterations: self.iterations,
+                basis: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::standard_form::LpRow;
+
+    fn row(terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> LpRow {
+        LpRow { terms, sense, rhs }
+    }
+
+    fn rules() -> PivotRules {
+        PivotRules::for_size(50, 50, None)
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn bounded_maximization() {
+        // min -3x - 2y s.t. x + y <= 4, x in [0, 2], y in [0, 3].
+        let lp = LpProblem {
+            objective: vec![-3.0, -2.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![2.0, 3.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Sense::Le, 4.0)],
+        };
+        let sol = solve_problem(&lp, None, &rules()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], 2.0);
+        assert_close(sol.values[1], 2.0);
+        assert_close(sol.objective, -10.0);
+        // No bound rows were materialized: the problem really is 1 row.
+        let rlp = RevisedLp::from_problem(&lp).unwrap();
+        assert_eq!(rlp.m, 1);
+    }
+
+    #[test]
+    fn ge_and_eq_rows_need_phase_one() {
+        // min 2x + 3y s.t. x + y = 10, x - y >= 2, x,y >= 0.
+        let lp = LpProblem {
+            objective: vec![2.0, 3.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 10.0),
+                row(vec![(0, 1.0), (1, -1.0)], Sense::Ge, 2.0),
+            ],
+        };
+        let sol = solve_problem(&lp, None, &rules()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // Cheapest: push x as high as possible: x = 10, y = 0 -> 20.
+        assert_close(sol.values[0], 10.0);
+        assert_close(sol.values[1], 0.0);
+        assert_close(sol.objective, 20.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let lp = LpProblem {
+            objective: vec![1.0],
+            lower: vec![0.0],
+            upper: vec![2.0],
+            rows: vec![row(vec![(0, 1.0)], Sense::Ge, 5.0)],
+        };
+        let sol = solve_problem(&lp, None, &rules()).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+        assert!(sol.basis.is_none());
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LpProblem {
+            objective: vec![-1.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            rows: vec![row(vec![(0, 1.0)], Sense::Ge, 0.0)],
+        };
+        let sol = solve_problem(&lp, None, &rules()).unwrap();
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn free_variables_are_native() {
+        // min x s.t. x >= -5, x free: optimum -5, no split columns.
+        let lp = LpProblem {
+            objective: vec![1.0],
+            lower: vec![f64::NEG_INFINITY],
+            upper: vec![f64::INFINITY],
+            rows: vec![row(vec![(0, 1.0)], Sense::Ge, -5.0)],
+        };
+        let sol = solve_problem(&lp, None, &rules()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], -5.0);
+        assert_close(sol.objective, -5.0);
+    }
+
+    #[test]
+    fn empty_domain_is_infeasible() {
+        let lp = LpProblem {
+            objective: vec![0.0],
+            lower: vec![3.0],
+            upper: vec![1.0],
+            rows: vec![row(vec![(0, 1.0)], Sense::Le, 10.0)],
+        };
+        let sol = solve_problem(&lp, None, &rules()).unwrap();
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_reuses_the_parent_basis() {
+        // Solve, tighten one bound (a branch-and-bound "down" child), and
+        // re-solve from the returned basis: the child needs few iterations.
+        let lp = LpProblem {
+            objective: vec![-5.0, -4.0, -3.0],
+            lower: vec![0.0; 3],
+            upper: vec![10.0; 3],
+            rows: vec![
+                row(vec![(0, 2.0), (1, 3.0), (2, 1.0)], Sense::Le, 5.0),
+                row(vec![(0, 4.0), (1, 1.0), (2, 2.0)], Sense::Le, 11.0),
+                row(vec![(0, 3.0), (1, 4.0), (2, 2.0)], Sense::Le, 8.0),
+            ],
+        };
+        let rlp = RevisedLp::from_problem(&lp).unwrap();
+        let root = rlp.solve(&lp.lower, &lp.upper, None, &rules()).unwrap();
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert_close(root.objective, -13.0); // classic: x = (2, 0, 1)
+        let basis = root.basis.unwrap();
+        let mut upper = lp.upper.clone();
+        upper[0] = 1.0; // branch x0 <= 1
+        let child = rlp
+            .solve(&lp.lower, &upper, Some(&basis), &rules())
+            .unwrap();
+        assert_eq!(child.status, LpStatus::Optimal);
+        assert!(
+            child.iterations <= root.iterations,
+            "warm child took {} iterations vs root {}",
+            child.iterations,
+            root.iterations
+        );
+        // And the child optimum respects the tightened bound.
+        assert!(child.values[0] <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn mismatched_warm_basis_is_ignored() {
+        let lp = LpProblem {
+            objective: vec![1.0, 1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![5.0, 5.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 3.0)],
+        };
+        let bogus = Basis {
+            statuses: vec![VarStatus::Basic; 7],
+        };
+        let sol = solve_problem(&lp, Some(&bogus), &rules()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn fixed_variables_never_enter() {
+        // x1 fixed at 2 by its bounds; optimum moves only x0.
+        let lp = LpProblem {
+            objective: vec![-1.0, -100.0],
+            lower: vec![0.0, 2.0],
+            upper: vec![4.0, 2.0],
+            rows: vec![row(vec![(0, 1.0), (1, 1.0)], Sense::Le, 5.0)],
+        };
+        let sol = solve_problem(&lp, None, &rules()).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[1], 2.0);
+        assert_close(sol.values[0], 3.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates_with_bland() {
+        let lp = LpProblem {
+            objective: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(vec![(0, 1.0)], Sense::Le, 1.0),
+                row(vec![(1, 1.0)], Sense::Le, 1.0),
+                row(vec![(0, 1.0), (1, 1.0)], Sense::Le, 2.0),
+                row(vec![(0, 1.0), (1, 2.0)], Sense::Le, 3.0),
+                row(vec![(0, 2.0), (1, 1.0)], Sense::Le, 3.0),
+            ],
+        };
+        // Force Bland from the first iteration: termination must still hold.
+        let tight = PivotRules {
+            max_iters: 10_000,
+            bland_after: 0,
+        };
+        let sol = solve_problem(&lp, None, &tight).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -2.0);
+    }
+}

@@ -40,6 +40,36 @@ pub struct LpSolution {
 const EPS: f64 = 1e-9;
 const FEAS_EPS: f64 = 1e-7;
 
+/// Iteration budget and pricing-rule switchover shared by both LP backends.
+///
+/// Dantzig pricing (most negative reduced cost) is fast in practice but can
+/// cycle on degenerate problems; after `bland_after` iterations the solver
+/// switches to Bland's rule, which is slower per iteration but guarantees
+/// termination. The default switchover is **half the iteration budget**
+/// (`max_iters / 2`), which keeps Dantzig active on every non-degenerate
+/// solve while still bounding degenerate ones; callers can tighten it via
+/// [`crate::SolverOptions::bland_after`].
+#[derive(Debug, Clone, Copy)]
+pub struct PivotRules {
+    /// Hard cap on simplex iterations before a numerical error is raised.
+    pub max_iters: usize,
+    /// Iteration index after which pricing switches to Bland's rule.
+    pub bland_after: usize,
+}
+
+impl PivotRules {
+    /// Rules for an LP with `rows × cols` constraints: the iteration budget
+    /// scales with the problem size, and Bland's rule kicks in after
+    /// `bland_after` iterations (default: half the budget).
+    pub fn for_size(rows: usize, cols: usize, bland_after: Option<usize>) -> PivotRules {
+        let max_iters = 2000 + 60 * (rows + cols);
+        PivotRules {
+            max_iters,
+            bland_after: bland_after.unwrap_or(max_iters / 2),
+        }
+    }
+}
+
 struct Tableau {
     m: usize,
     /// Total columns including artificials.
@@ -175,9 +205,10 @@ impl Tableau {
         d: &mut [f64],
         z: &mut f64,
         allowed_cols: usize,
-        max_iters: usize,
+        rules: &PivotRules,
     ) -> Result<LpStatus> {
-        let bland_after = max_iters / 2;
+        let max_iters = rules.max_iters;
+        let bland_after = rules.bland_after;
         let mut local_iters = 0usize;
         loop {
             if local_iters >= max_iters {
@@ -236,7 +267,10 @@ impl Tableau {
 
 /// Solve a standard-form LP, returning the standard-form solution vector and
 /// the standard-form objective value.
-fn solve_standard(sf: &StandardForm, max_iters: usize) -> Result<(LpStatus, Vec<f64>, f64, usize)> {
+fn solve_standard(
+    sf: &StandardForm,
+    rules: &PivotRules,
+) -> Result<(LpStatus, Vec<f64>, f64, usize)> {
     let mut tab = Tableau::new(sf);
     let m = tab.m;
     let n_real = tab.n_real;
@@ -249,7 +283,7 @@ fn solve_standard(sf: &StandardForm, max_iters: usize) -> Result<(LpStatus, Vec<
             *c1 = 1.0;
         }
         let (mut d, mut z) = tab.reduced_costs(&cost1);
-        let status = tab.optimize(&mut d, &mut z, n_total, max_iters)?;
+        let status = tab.optimize(&mut d, &mut z, n_total, rules)?;
         if status == LpStatus::Unbounded {
             // Cannot happen: phase-1 objective is bounded below by zero.
             return Err(SolverError::Numerical("phase-1 unbounded".into()));
@@ -282,7 +316,7 @@ fn solve_standard(sf: &StandardForm, max_iters: usize) -> Result<(LpStatus, Vec<
     let mut cost2 = vec![0.0; n_total];
     cost2[..n_real].copy_from_slice(&sf.c);
     let (mut d, mut z) = tab.reduced_costs(&cost2);
-    let status = tab.optimize(&mut d, &mut z, n_real, max_iters)?;
+    let status = tab.optimize(&mut d, &mut z, n_real, rules)?;
     if status == LpStatus::Unbounded {
         return Ok((LpStatus::Unbounded, Vec::new(), 0.0, tab.iterations));
     }
@@ -297,16 +331,18 @@ fn solve_standard(sf: &StandardForm, max_iters: usize) -> Result<(LpStatus, Vec<
     Ok((LpStatus::Optimal, zvals, z, tab.iterations))
 }
 
-/// Default iteration budget for an LP of the given dimensions.
-fn default_max_iters(rows: usize, cols: usize) -> usize {
-    2000 + 60 * (rows + cols)
+/// Solve a bounded LP (minimization) with the two-phase simplex, using the
+/// default pivot rules for its size.
+pub fn solve_lp(lp: &LpProblem) -> Result<LpSolution> {
+    solve_lp_with_rules(lp, None)
 }
 
-/// Solve a bounded LP (minimization) with the two-phase simplex.
-pub fn solve_lp(lp: &LpProblem) -> Result<LpSolution> {
+/// Solve a bounded LP (minimization) with the two-phase simplex and an
+/// explicit Bland switchover (`None` = half the iteration budget).
+pub fn solve_lp_with_rules(lp: &LpProblem, bland_after: Option<usize>) -> Result<LpSolution> {
     let sf = to_standard_form(lp)?;
-    let max_iters = default_max_iters(sf.num_rows, sf.num_cols);
-    let (status, zvals, obj, iterations) = solve_standard(&sf, max_iters)?;
+    let rules = PivotRules::for_size(sf.num_rows, sf.num_cols, bland_after);
+    let (status, zvals, obj, iterations) = solve_standard(&sf, &rules)?;
     match status {
         LpStatus::Optimal => {
             let values = sf.recover(&zvals);

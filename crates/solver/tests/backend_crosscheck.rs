@@ -1,0 +1,310 @@
+//! Cross-checks between the two LP backends: on randomly generated bounded
+//! LPs and MILPs, the sparse revised simplex and the dense tableau must
+//! agree on status and (when optimal) on the objective to within 1e-6.
+//! Directed cases cover the classically tricky structures: degenerate
+//! vertices, free variables, equality-heavy systems, and warm starts.
+
+use proptest::prelude::*;
+use spq_solver::revised::solve_problem;
+use spq_solver::simplex::solve_lp;
+use spq_solver::standard_form::{LpProblem, LpRow};
+use spq_solver::{
+    solve_full, LpStatus, Model, PivotRules, Sense, SolveStatus, SolverBackend, SolverOptions,
+    VarType,
+};
+
+fn rules() -> PivotRules {
+    PivotRules::for_size(100, 100, None)
+}
+
+fn row(terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> LpRow {
+    LpRow { terms, sense, rhs }
+}
+
+/// Solve with both backends and require agreement.
+fn assert_backends_agree(lp: &LpProblem, context: &str) {
+    let dense = solve_lp(lp).expect("dense solve");
+    let revised = solve_problem(lp, None, &rules()).expect("revised solve");
+    assert_eq!(
+        dense.status, revised.status,
+        "{context}: dense {:?} vs revised {:?}",
+        dense.status, revised.status
+    );
+    if dense.status == LpStatus::Optimal {
+        assert!(
+            (dense.objective - revised.objective).abs() < 1e-6,
+            "{context}: dense obj {} vs revised obj {}",
+            dense.objective,
+            revised.objective
+        );
+    }
+}
+
+fn milp_options(backend: SolverBackend) -> SolverOptions {
+    SolverOptions {
+        backend,
+        time_limit: Some(std::time::Duration::from_secs(30)),
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Random bounded LPs with mixed senses: statuses match and optimal
+    /// objectives agree to 1e-6.
+    #[test]
+    fn random_bounded_lps_agree(
+        n in 2usize..7,
+        num_rows in 1usize..6,
+        coeff_seed in proptest::collection::vec(-4.0f64..4.0, 60),
+        rhs_seed in proptest::collection::vec(-10.0f64..15.0, 8),
+        obj_seed in proptest::collection::vec(-3.0f64..3.0, 8),
+        bound_seed in proptest::collection::vec(0.5f64..8.0, 8),
+        sense_seed in proptest::collection::vec(0u8..3, 8),
+    ) {
+        let rows: Vec<LpRow> = (0..num_rows)
+            .map(|r| {
+                let terms: Vec<(usize, f64)> = (0..n)
+                    .map(|j| (j, coeff_seed[(r * n + j) % coeff_seed.len()]))
+                    .filter(|(_, c)| c.abs() > 0.05)
+                    .collect();
+                let sense = match sense_seed[r % sense_seed.len()] {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                row(terms, sense, rhs_seed[r % rhs_seed.len()])
+            })
+            .filter(|r| !r.terms.is_empty())
+            .collect();
+        prop_assume!(!rows.is_empty());
+        let lp = LpProblem {
+            objective: (0..n).map(|j| obj_seed[j % obj_seed.len()]).collect(),
+            lower: vec![0.0; n],
+            upper: (0..n).map(|j| bound_seed[j % bound_seed.len()]).collect(),
+            rows,
+        };
+        let dense = solve_lp(&lp).expect("dense solve");
+        let revised = solve_problem(&lp, None, &rules()).expect("revised solve");
+        prop_assert_eq!(dense.status, revised.status);
+        if dense.status == LpStatus::Optimal {
+            prop_assert!(
+                (dense.objective - revised.objective).abs() < 1e-6,
+                "dense {} vs revised {}",
+                dense.objective,
+                revised.objective
+            );
+        }
+    }
+
+    /// Random integer knapsack-style MILPs: both backends drive
+    /// branch-and-bound to the same optimum.
+    #[test]
+    fn random_milps_agree(
+        n in 2usize..6,
+        values in proptest::collection::vec(0.5f64..8.0, 6),
+        weights in proptest::collection::vec(0.5f64..4.0, 6),
+        cap in 3.0f64..14.0,
+        ub in 1u32..4,
+    ) {
+        let mut model = Model::maximize();
+        let vars: Vec<_> = (0..n)
+            .map(|i| {
+                model.add_var(
+                    format!("x{i}"),
+                    VarType::Integer,
+                    0.0,
+                    f64::from(ub),
+                    values[i % values.len()],
+                )
+            })
+            .collect();
+        model.add_constraint(
+            "cap",
+            vars.iter()
+                .enumerate()
+                .map(|(i, v)| (*v, weights[i % weights.len()]))
+                .collect(),
+            Sense::Le,
+            cap,
+        );
+        let dense = solve_full(&model, &milp_options(SolverBackend::Dense)).expect("dense");
+        let revised = solve_full(&model, &milp_options(SolverBackend::Revised)).expect("revised");
+        prop_assert_eq!(dense.status, revised.status);
+        if dense.status == SolveStatus::Optimal {
+            let (d, r) = (
+                dense.solution.expect("dense solution").objective,
+                revised.solution.expect("revised solution").objective,
+            );
+            prop_assert!((d - r).abs() < 1e-6, "dense {} vs revised {}", d, r);
+        }
+    }
+}
+
+#[test]
+fn degenerate_vertex_agrees() {
+    // Many redundant constraints through one vertex: classic cycling bait.
+    let lp = LpProblem {
+        objective: vec![-1.0, -1.0],
+        lower: vec![0.0, 0.0],
+        upper: vec![f64::INFINITY, f64::INFINITY],
+        rows: vec![
+            row(vec![(0, 1.0)], Sense::Le, 1.0),
+            row(vec![(1, 1.0)], Sense::Le, 1.0),
+            row(vec![(0, 1.0), (1, 1.0)], Sense::Le, 2.0),
+            row(vec![(0, 1.0), (1, 2.0)], Sense::Le, 3.0),
+            row(vec![(0, 2.0), (1, 1.0)], Sense::Le, 3.0),
+            row(vec![(0, 3.0), (1, 3.0)], Sense::Le, 6.0),
+        ],
+    };
+    assert_backends_agree(&lp, "degenerate vertex");
+}
+
+#[test]
+fn beale_cycling_instance_terminates_on_both_backends() {
+    // Beale's classic cycling example for Dantzig pricing; both backends
+    // must terminate (via the Bland switchover) at objective -0.05.
+    let lp = LpProblem {
+        objective: vec![-0.75, 150.0, -0.02, 6.0],
+        lower: vec![0.0; 4],
+        upper: vec![f64::INFINITY; 4],
+        rows: vec![
+            row(
+                vec![(0, 0.25), (1, -60.0), (2, -1.0 / 25.0), (3, 9.0)],
+                Sense::Le,
+                0.0,
+            ),
+            row(
+                vec![(0, 0.5), (1, -90.0), (2, -1.0 / 50.0), (3, 3.0)],
+                Sense::Le,
+                0.0,
+            ),
+            row(vec![(2, 1.0)], Sense::Le, 1.0),
+        ],
+    };
+    assert_backends_agree(&lp, "Beale cycling instance");
+    let dense = solve_lp(&lp).unwrap();
+    assert!((dense.objective + 0.05).abs() < 1e-6, "{}", dense.objective);
+}
+
+#[test]
+fn free_variables_agree() {
+    // Mix of free, lower-only, upper-only and doubly-bounded variables.
+    let lp = LpProblem {
+        objective: vec![1.0, -2.0, 0.5, 1.5],
+        lower: vec![f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY, -2.0],
+        upper: vec![f64::INFINITY, f64::INFINITY, 4.0, 2.0],
+        rows: vec![
+            row(vec![(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)], Sense::Eq, 6.0),
+            row(vec![(0, 1.0), (1, -1.0)], Sense::Ge, -3.0),
+            row(vec![(2, 1.0), (3, -1.0)], Sense::Le, 5.0),
+        ],
+    };
+    assert_backends_agree(&lp, "free variables");
+}
+
+#[test]
+fn equality_heavy_system_agrees() {
+    // More equalities than inequalities, including a redundant one.
+    let lp = LpProblem {
+        objective: vec![1.0, 2.0, 3.0],
+        lower: vec![0.0; 3],
+        upper: vec![f64::INFINITY; 3],
+        rows: vec![
+            row(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Sense::Eq, 10.0),
+            row(vec![(0, 1.0), (1, -1.0)], Sense::Eq, 2.0),
+            row(vec![(0, 2.0), (1, 2.0), (2, 2.0)], Sense::Eq, 20.0),
+            row(vec![(2, 1.0)], Sense::Le, 6.0),
+        ],
+    };
+    assert_backends_agree(&lp, "equality-heavy system");
+}
+
+#[test]
+fn infeasible_and_unbounded_statuses_agree() {
+    let infeasible = LpProblem {
+        objective: vec![1.0, 1.0],
+        lower: vec![0.0, 0.0],
+        upper: vec![2.0, 2.0],
+        rows: vec![row(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 10.0)],
+    };
+    assert_backends_agree(&infeasible, "infeasible box");
+    let unbounded = LpProblem {
+        objective: vec![-1.0, 0.0],
+        lower: vec![0.0, 0.0],
+        upper: vec![f64::INFINITY, 1.0],
+        rows: vec![row(vec![(0, -1.0), (1, 1.0)], Sense::Le, 3.0)],
+    };
+    assert_backends_agree(&unbounded, "unbounded ray");
+}
+
+#[test]
+fn known_degenerate_lp_terminates_under_explicit_bland_switch() {
+    // The satellite regression for the hoisted Bland switchover: a
+    // known-degenerate LP must terminate under both backends even when the
+    // switchover is forced to the very first iteration.
+    let mut model = Model::maximize();
+    let x = model.add_var("x", VarType::Continuous, 0.0, 10.0, 1.0);
+    let y = model.add_var("y", VarType::Continuous, 0.0, 10.0, 1.0);
+    model.add_constraint("a", vec![(x, 1.0)], Sense::Le, 1.0);
+    model.add_constraint("b", vec![(y, 1.0)], Sense::Le, 1.0);
+    model.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Sense::Le, 2.0);
+    model.add_constraint("d", vec![(x, 1.0), (y, 2.0)], Sense::Le, 3.0);
+    model.add_constraint("e", vec![(x, 2.0), (y, 1.0)], Sense::Le, 3.0);
+    for backend in [SolverBackend::Revised, SolverBackend::Dense] {
+        let mut options = milp_options(backend);
+        options.bland_after = Some(0);
+        let res = solve_full(&model, &options).unwrap_or_else(|e| panic!("{backend}: {e}"));
+        assert_eq!(res.status, SolveStatus::Optimal, "{backend}");
+        let obj = res.solution.unwrap().objective;
+        assert!((obj - 2.0).abs() < 1e-6, "{backend}: {obj}");
+    }
+}
+
+#[test]
+fn warm_start_cross_check_on_escalating_model() {
+    // Re-solve the same MILP shape with perturbed coefficients, feeding the
+    // previous basis forward — the pattern CSA-Solve uses across α updates.
+    // Results must match the dense backend at every step.
+    let mut warm = None;
+    for step in 0..4 {
+        let scale = 1.0 + 0.1 * step as f64;
+        let mut model = Model::maximize();
+        let vars: Vec<_> = (0..6)
+            .map(|i| {
+                model.add_var(
+                    format!("x{i}"),
+                    VarType::Integer,
+                    0.0,
+                    3.0,
+                    scale * ((i % 3) as f64 + 1.0),
+                )
+            })
+            .collect();
+        model.add_constraint(
+            "w",
+            vars.iter()
+                .enumerate()
+                .map(|(i, v)| (*v, (i % 2) as f64 + 1.0))
+                .collect(),
+            Sense::Le,
+            7.0,
+        );
+        let mut options = milp_options(SolverBackend::Revised);
+        options.warm_start = warm.take();
+        let revised = solve_full(&model, &options).expect("revised");
+        let dense = solve_full(&model, &milp_options(SolverBackend::Dense)).expect("dense");
+        assert_eq!(revised.status, SolveStatus::Optimal);
+        let (r, d) = (
+            revised.solution.as_ref().unwrap().objective,
+            dense.solution.as_ref().unwrap().objective,
+        );
+        assert!(
+            (r - d).abs() < 1e-6,
+            "step {step}: revised {r} vs dense {d}"
+        );
+        warm = revised.basis;
+        assert!(warm.is_some());
+    }
+}

@@ -1,0 +1,348 @@
+//! Throughput and cache-effect benchmark for the spq-service subsystem.
+//!
+//! Starts an in-process `SpqServer` over the Portfolio workload, then:
+//!
+//! 1. runs a **serial reference** of every distinct request (fresh service,
+//!    no warm caches) to obtain the expected packages and the *cold* latency;
+//! 2. re-runs one request on the warmed service to measure the *warm*
+//!    latency — the prepared-query and scenario-cache amortization;
+//! 3. drives `--clients` concurrent TCP clients, each issuing `--repeat`
+//!    queries, asserts every response is **bit-identical** to the serial
+//!    reference, and reports queries/second.
+//!
+//! Results append to a JSON report (default `BENCH_service.json`).
+//!
+//! ```text
+//! service_throughput [--scale 10000] [--clients 8] [--repeat 2]
+//!                    [--algorithm sketch-refine] [--initial-scenarios 50]
+//!                    [--validation 1000] [--seed 11] [--timeout-ms 120000]
+//!                    [--out BENCH_service.json]
+//! ```
+
+use spq_core::{Algorithm, SpqOptions};
+use spq_service::json::Json;
+use spq_service::prelude::*;
+use spq_service::Request;
+use spq_solver::CancellationToken;
+use spq_workloads::{build_workload, WorkloadKind};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Cli {
+    scale: usize,
+    clients: usize,
+    repeat: usize,
+    algorithm: Algorithm,
+    initial_scenarios: usize,
+    validation: usize,
+    seed: u64,
+    timeout_ms: u64,
+    out: String,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: 10_000,
+            clients: 8,
+            repeat: 2,
+            algorithm: Algorithm::SketchRefine,
+            initial_scenarios: 50,
+            validation: 1000,
+            seed: 11,
+            timeout_ms: 120_000,
+            out: "BENCH_service.json".to_string(),
+        }
+    }
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => cli.scale = value().parse().expect("--scale"),
+            "--clients" => cli.clients = value().parse().expect("--clients"),
+            "--repeat" => cli.repeat = value().parse().expect("--repeat"),
+            "--algorithm" => cli.algorithm = value().parse().expect("--algorithm"),
+            "--initial-scenarios" => {
+                cli.initial_scenarios = value().parse().expect("--initial-scenarios")
+            }
+            "--validation" => cli.validation = value().parse().expect("--validation"),
+            "--seed" => cli.seed = value().parse().expect("--seed"),
+            "--timeout-ms" => cli.timeout_ms = value().parse().expect("--timeout-ms"),
+            "--out" => cli.out = value().to_string(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        base_options: SpqOptions::default(),
+        default_timeout: Some(Duration::from_secs(600)),
+        ..Default::default()
+    }
+}
+
+fn request_for(cli: &Cli, id: &str, query: &str) -> QueryRequest {
+    QueryRequest {
+        id: id.to_string(),
+        relation: "portfolio".to_string(),
+        query: query.to_string(),
+        algorithm: Some(cli.algorithm),
+        timeout_ms: Some(cli.timeout_ms),
+        seed: Some(cli.seed),
+        initial_scenarios: Some(cli.initial_scenarios),
+        max_scenarios: None,
+        validation_scenarios: Some(cli.validation),
+    }
+}
+
+fn execute_inline(service: &SpqService, request: &QueryRequest) -> QueryResponse {
+    let token = CancellationToken::new();
+    let deadline = service.deadline_for(request, &token);
+    service.execute(request, &token, deadline, Duration::ZERO)
+}
+
+fn main() {
+    let cli = parse_cli();
+    let workload = build_workload(WorkloadKind::Portfolio, cli.scale, 7);
+    let n_tuples = workload.relation.len();
+    let query = workload.query(1).to_string();
+    eprintln!(
+        "service_throughput: Portfolio Q1, {n_tuples} tuples, {} × {} requests, {}",
+        cli.clients, cli.repeat, cli.algorithm
+    );
+
+    // ---- serial reference + cache-effect measurement ----------------------
+    let serial = SpqService::new(service_config());
+    serial.register_relation("portfolio", workload.relation.clone());
+    let request = request_for(&cli, "ref", &query);
+    let cold_started = Instant::now();
+    let reference = execute_inline(&serial, &request);
+    let cold_ms = cold_started.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(
+        reference.status,
+        QueryStatus::Ok,
+        "reference run failed: {:?}",
+        reference.error
+    );
+    assert!(reference.feasible, "reference run must be feasible");
+    // Warm repeats on the same service: prepared plan + scenario blocks are
+    // served from the caches, the solve itself repeats identically.
+    let warm_runs = 3;
+    let warm_started = Instant::now();
+    for i in 0..warm_runs {
+        let warm = execute_inline(&serial, &request_for(&cli, &format!("warm{i}"), &query));
+        assert_eq!(warm.package, reference.package, "warm run diverged");
+        assert!(
+            warm.prepared_cache_hit,
+            "warm run must hit the prepared cache"
+        );
+    }
+    let warm_ms = warm_started.elapsed().as_secs_f64() * 1000.0 / warm_runs as f64;
+    eprintln!(
+        "  cold {cold_ms:.1} ms, warm {warm_ms:.1} ms (×{:.2} speedup; prepared {}+{} hit/miss, scenarios {}+{})",
+        cold_ms / warm_ms.max(1e-9),
+        serial.prepared_cache().hits(),
+        serial.prepared_cache().misses(),
+        serial.scenario_cache().hits(),
+        serial.scenario_cache().misses(),
+    );
+
+    // ---- concurrent clients over TCP --------------------------------------
+    let service = Arc::new(SpqService::new(service_config()));
+    service.register_relation("portfolio", workload.relation.clone());
+    let server = SpqServer::start(
+        service.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: cli.clients,
+            queue_capacity: cli.clients * cli.repeat + 8,
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let expected = reference.package.clone();
+    let concurrent_started = Instant::now();
+    let wall_times: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cli.clients)
+            .map(|c| {
+                let cli = cli.clone();
+                let query = query.clone();
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut walls = Vec::with_capacity(cli.repeat);
+                    for i in 0..cli.repeat {
+                        let request = request_for(&cli, &format!("c{c}-{i}"), &query);
+                        let mut s = &stream;
+                        s.write_all(Request::Query(request).to_line().as_bytes())
+                            .expect("send");
+                        s.write_all(b"\n").expect("send");
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("recv");
+                        let response =
+                            QueryResponse::parse_line(line.trim_end()).expect("response");
+                        assert_eq!(
+                            response.status,
+                            QueryStatus::Ok,
+                            "client {c} run {i}: {:?}",
+                            response.error
+                        );
+                        assert_eq!(
+                            response.package, expected,
+                            "client {c} run {i}: package differs from serial reference"
+                        );
+                        walls.push(response.wall_ms);
+                    }
+                    walls
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let concurrent_secs = concurrent_started.elapsed().as_secs_f64();
+    let total = cli.clients * cli.repeat;
+    let qps = total as f64 / concurrent_secs;
+    let mean_wall = wall_times.iter().sum::<f64>() / wall_times.len() as f64;
+    eprintln!(
+        "  {} requests over {} clients in {concurrent_secs:.2}s = {qps:.2} q/s \
+         (mean in-service wall {mean_wall:.1} ms); all packages bit-identical to serial",
+        total, cli.clients
+    );
+    server.shutdown();
+
+    // ---- report ------------------------------------------------------------
+    let report = Json::Obj(vec![
+        (
+            "description".to_string(),
+            Json::from(
+                "spq-service throughput: concurrent TCP clients vs serial reference on \
+                 Portfolio Q1; cold vs warm latency shows the prepared-query + \
+                 scenario-cache amortization. Regenerate with `command`.",
+            ),
+        ),
+        (
+            "command".to_string(),
+            Json::from(format!(
+                "service_throughput --scale {} --clients {} --repeat {} --algorithm {} \
+                 --initial-scenarios {} --validation {} --seed {}",
+                cli.scale,
+                cli.clients,
+                cli.repeat,
+                cli.algorithm,
+                cli.initial_scenarios,
+                cli.validation,
+                cli.seed
+            )),
+        ),
+        ("n_tuples".to_string(), Json::from(n_tuples)),
+        (
+            "algorithm".to_string(),
+            Json::from(cli.algorithm.to_string()),
+        ),
+        ("clients".to_string(), Json::from(cli.clients)),
+        ("requests".to_string(), Json::from(total)),
+        ("queries_per_second".to_string(), Json::from(round3(qps))),
+        (
+            "concurrent_wall_seconds".to_string(),
+            Json::from(round3(concurrent_secs)),
+        ),
+        (
+            "mean_request_wall_ms".to_string(),
+            Json::from(round3(mean_wall)),
+        ),
+        ("bit_identical_to_serial".to_string(), Json::from(true)),
+        (
+            "prepared_query_cache".to_string(),
+            Json::Obj(vec![
+                ("cold_ms".to_string(), Json::from(round3(cold_ms))),
+                ("warm_ms".to_string(), Json::from(round3(warm_ms))),
+                (
+                    "speedup".to_string(),
+                    Json::from(round3(cold_ms / warm_ms.max(1e-9))),
+                ),
+            ]),
+        ),
+        (
+            "scenario_cache".to_string(),
+            Json::Obj(vec![
+                (
+                    "hits".to_string(),
+                    Json::from(service.scenario_cache().hits()),
+                ),
+                (
+                    "misses".to_string(),
+                    Json::from(service.scenario_cache().misses()),
+                ),
+                (
+                    "resident_bytes".to_string(),
+                    Json::from(service.scenario_cache().resident_bytes()),
+                ),
+            ]),
+        ),
+        (
+            "prepared_cache_counters".to_string(),
+            Json::Obj(vec![
+                (
+                    "hits".to_string(),
+                    Json::from(service.prepared_cache().hits()),
+                ),
+                (
+                    "misses".to_string(),
+                    Json::from(service.prepared_cache().misses()),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&cli.out, format!("{}\n", pretty(&report)))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", cli.out));
+    eprintln!("  wrote {}", cli.out);
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Two-level pretty printer: top-level keys on their own lines.
+fn pretty(report: &Json) -> String {
+    match report {
+        Json::Obj(pairs) => {
+            let mut out = String::from("{\n");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                out.push_str("  ");
+                out.push_str(&Json::from(k.as_str()).to_string());
+                out.push_str(": ");
+                out.push_str(&v.to_string());
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push('}');
+            out
+        }
+        other => other.to_string(),
+    }
+}

@@ -19,6 +19,7 @@ use crate::Result;
 use spq_mcdb::ScenarioMatrix;
 use spq_solver::{solve_full, Basis};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// The outcome of one CSA-Solve run.
 #[derive(Debug, Clone)]
@@ -83,7 +84,7 @@ fn better(direction: Direction, candidate: f64, incumbent: f64) -> bool {
 pub fn csa_solve(
     instance: &Instance<'_>,
     x0: Option<&[f64]>,
-    matrices: &HashMap<usize, ScenarioMatrix>,
+    matrices: &HashMap<usize, Arc<ScenarioMatrix>>,
     m: usize,
     z: usize,
     warm_basis: Option<&Basis>,
@@ -129,7 +130,7 @@ pub fn csa_solve(
     }
 
     loop {
-        if iterations >= opts.max_csa_iterations {
+        if iterations >= opts.max_csa_iterations || opts.deadline.expired() {
             break;
         }
         iterations += 1;
@@ -269,7 +270,7 @@ pub fn csa_solve(
 pub fn realize_matrices(
     instance: &Instance<'_>,
     m: usize,
-) -> Result<HashMap<usize, ScenarioMatrix>> {
+) -> Result<HashMap<usize, Arc<ScenarioMatrix>>> {
     let mut matrices = HashMap::new();
     for (ci, c) in instance.silp.constraints.iter().enumerate() {
         if !c.kind.is_probabilistic() {

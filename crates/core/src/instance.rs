@@ -14,6 +14,7 @@ use crate::Result;
 use spq_mcdb::{ExpectationEstimator, Relation, ScenarioGenerator, ScenarioMatrix};
 use spq_solver::Sense;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A prepared problem instance: everything the Naïve and SummarySearch
 /// algorithms need to formulate, solve and validate.
@@ -46,7 +47,17 @@ pub struct Instance<'a> {
 impl<'a> Instance<'a> {
     /// Prepare an instance: validate column references, estimate
     /// expectations, derive multiplicity bounds.
+    ///
+    /// Preparation also **arms the deadline**: the relative
+    /// [`SpqOptions::time_limit`] is folded into [`SpqOptions::deadline`]
+    /// (keeping any cancellation token), and the armed deadline is merged
+    /// into the solver options — so every evaluation loop and every LP pivot
+    /// loop downstream observes the same absolute budget.
     pub fn new(relation: &'a Relation, silp: Silp, options: SpqOptions) -> Result<Self> {
+        let mut options = options;
+        options.deadline = options.deadline.clone().tightened_by(options.time_limit);
+        options.solver.deadline = options.solver.deadline.clone().merged(&options.deadline);
+        let options = options;
         let opt_gen = ScenarioGenerator::new(options.seed);
         let val_gen = ScenarioGenerator::validation(options.seed);
 
@@ -215,16 +226,27 @@ impl<'a> Instance<'a> {
 
     /// Realize the first `m` optimization scenarios of a stochastic column as
     /// a dense matrix restricted to candidate tuples.
-    pub fn optimization_matrix(&self, column: &str, m: usize) -> Result<ScenarioMatrix> {
-        let rows = self
-            .opt_gen
-            .realize_sparse(self.relation, column, &self.silp.tuples, 0..m)?;
-        let scenarios: Vec<spq_mcdb::Scenario> = rows
-            .into_iter()
-            .enumerate()
-            .map(|(index, values)| spq_mcdb::Scenario { index, values })
-            .collect();
-        Ok(ScenarioMatrix::from_scenarios(self.num_vars(), &scenarios))
+    ///
+    /// When [`SpqOptions::scenario_cache`] is set the block is memoized
+    /// there (and possibly shared with concurrent evaluations of the same
+    /// relation); otherwise it is generated for this call alone. Either way
+    /// the values are bit-identical to serial generation.
+    pub fn optimization_matrix(&self, column: &str, m: usize) -> Result<Arc<ScenarioMatrix>> {
+        match &self.options.scenario_cache {
+            Some(cache) => Ok(cache.sparse_matrix(
+                &self.opt_gen,
+                self.relation,
+                column,
+                &self.silp.tuples,
+                m,
+            )?),
+            None => Ok(Arc::new(self.opt_gen.realize_sparse_matrix(
+                self.relation,
+                column,
+                &self.silp.tuples,
+                m,
+            )?)),
+        }
     }
 
     /// Realize validation scenarios of a stochastic column for the given
@@ -285,14 +307,30 @@ impl<'a> Instance<'a> {
         // Sample a modest number of validation scenarios across all candidate
         // tuples to bound realized values (assumption A1 of Appendix B; the
         // paper likewise derives possibly loose bounds from min/max scenario
-        // values).
+        // values). At 10k+ candidates this block is the dominant preparation
+        // cost, so it goes through the shared scenario cache when one is
+        // configured: repeated or concurrent evaluations of the same query
+        // sample it once.
         let samples = 64.min(self.options.validation_scenarios.max(1));
-        let positions: Vec<usize> = (0..self.num_vars()).collect();
-        let rows = self.validation_rows(&column, &positions, 0..samples)?;
+        let matrix = match &self.options.scenario_cache {
+            Some(cache) => cache.sparse_matrix(
+                &self.val_gen,
+                self.relation,
+                &column,
+                &self.silp.tuples,
+                samples,
+            )?,
+            None => Arc::new(self.val_gen.realize_sparse_matrix(
+                self.relation,
+                &column,
+                &self.silp.tuples,
+                samples,
+            )?),
+        };
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for row in &rows {
-            for &v in row {
+        for j in 0..matrix.num_scenarios() {
+            for &v in matrix.scenario(j) {
                 lo = lo.min(v);
                 hi = hi.max(v);
             }
@@ -551,6 +589,28 @@ mod tests {
             .map(|(v, p)| v * p)
             .sum();
         assert!(total <= 300.0 + 1e-9);
+    }
+
+    #[test]
+    fn optimization_matrices_are_shared_through_the_cache() {
+        let rel = relation();
+        let cache = Arc::new(spq_mcdb::ScenarioCache::new());
+        let opts = SpqOptions::for_tests().with_scenario_cache(cache.clone());
+        let a = Instance::new(&rel, silp(vec![count_le(3.0)]), opts.clone()).unwrap();
+        let b = Instance::new(&rel, silp(vec![count_le(3.0)]), opts).unwrap();
+        // Instance preparation itself shares the objective-bounds block.
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let ma = a.optimization_matrix("gain", 6).unwrap();
+        let mb = b.optimization_matrix("gain", 6).unwrap();
+        assert!(
+            Arc::ptr_eq(&ma, &mb),
+            "two instances over the same relation must share the block"
+        );
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        // The uncached path produces bit-identical values.
+        let plain =
+            Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
+        assert_eq!(*plain.optimization_matrix("gain", 6).unwrap(), *ma);
     }
 
     #[test]

@@ -39,10 +39,11 @@ pub fn evaluate_naive(instance: &Instance<'_>) -> Result<EvaluationResult> {
     let mut basis: Option<spq_solver::Basis> = opts.solver.warm_start.clone();
 
     loop {
-        if let Some(limit) = opts.time_limit {
-            if start.elapsed() >= limit {
-                break;
-            }
+        // The armed deadline covers both the configured time limit and any
+        // cancellation token; the solver polls the same deadline inside its
+        // pivot loops, so an expiry mid-LP surfaces promptly here too.
+        if opts.deadline.expired() {
+            break;
         }
         stats.outer_iterations += 1;
         stats.scenarios_used = m;

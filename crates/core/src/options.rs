@@ -1,6 +1,8 @@
 //! Evaluation options shared by the Naïve and SummarySearch algorithms.
 
-use spq_solver::SolverOptions;
+use spq_mcdb::ScenarioCache;
+use spq_solver::{Deadline, SolverOptions};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunables of the SketchRefine algorithm (implemented by the `spq-sketch`
@@ -97,8 +99,25 @@ pub struct SpqOptions {
     pub epsilon: f64,
     /// Options handed to the MILP solver for each (reduced) DILP.
     pub solver: SolverOptions,
-    /// Total wall-clock budget for one query evaluation.
+    /// Total wall-clock budget for one query evaluation, relative to
+    /// instance preparation. [`crate::Instance::new`] folds it into
+    /// [`Self::deadline`], which every evaluation loop **and** the solver's
+    /// pivot loops poll — so an expiring budget interrupts a running LP
+    /// rather than waiting for it to finish.
     pub time_limit: Option<Duration>,
+    /// Absolute deadline and/or cooperative cancellation shared across the
+    /// whole evaluation. Defaults to unlimited; services arm it per request
+    /// (e.g. `Deadline::none().with_token(token)`) to cancel a solve
+    /// mid-flight. [`Self::time_limit`] is merged in at instance
+    /// preparation, so callers usually set only one of the two.
+    pub deadline: Deadline,
+    /// Shared cache of realized optimization-scenario blocks. When set,
+    /// [`crate::Instance::optimization_matrix`] memoizes its matrices here,
+    /// keyed by relation identity, column, seed and scenario count — so
+    /// concurrent (or repeated) evaluations over the same relation never
+    /// regenerate the same scenarios. `None` (the default) generates
+    /// per-call, which is the right choice for one-shot evaluations.
+    pub scenario_cache: Option<Arc<ScenarioCache>>,
     /// Maximum number of CSA-Solve inner iterations per (M, Z) combination.
     pub max_csa_iterations: usize,
     /// Upper bound on any tuple's multiplicity when neither `REPEAT` nor the
@@ -122,6 +141,8 @@ impl Default for SpqOptions {
             epsilon: f64::INFINITY,
             solver: SolverOptions::default(),
             time_limit: Some(Duration::from_secs(600)),
+            deadline: Deadline::none(),
+            scenario_cache: None,
             max_csa_iterations: 15,
             fallback_multiplicity_bound: 100,
             sketch: SketchOptions::default(),
@@ -172,6 +193,19 @@ impl SpqOptions {
     /// Replace the SketchRefine knobs, returning `self` for chaining.
     pub fn with_sketch(mut self, sketch: SketchOptions) -> Self {
         self.sketch = sketch;
+        self
+    }
+
+    /// Set the evaluation deadline (absolute instant and/or cancellation
+    /// token), returning `self` for chaining.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Attach a shared scenario cache, returning `self` for chaining.
+    pub fn with_scenario_cache(mut self, cache: Arc<ScenarioCache>) -> Self {
+        self.scenario_cache = Some(cache);
         self
     }
 }

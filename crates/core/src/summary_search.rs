@@ -85,10 +85,10 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
     let mut best_feasible = false;
 
     loop {
-        if let Some(limit) = opts.time_limit {
-            if start.elapsed() >= limit {
-                break;
-            }
+        // Armed by Instance::new from `time_limit` plus any cancellation
+        // token; also polled inside every LP pivot loop downstream.
+        if opts.deadline.expired() {
+            break;
         }
         stats.outer_iterations += 1;
         stats.scenarios_used = m;

@@ -1,0 +1,124 @@
+//! Deadline and cancellation behaviour of the evaluation pipeline.
+//!
+//! The historical behaviour this pins down: a Naïve solve whose wall-clock
+//! budget expired *mid-LP* used to run that LP (and sometimes a full
+//! validation pass) to completion before noticing — on the 2000-tuple
+//! instance below a single SAA MILP runs for well over 20 s, so a 100 ms
+//! budget used to overshoot by two orders of magnitude. With the deadline
+//! threaded into the simplex pivot loops, expiry interrupts the solve within
+//! a bounded number of pivots.
+
+use spq_core::{Algorithm, SpqEngine, SpqOptions};
+use spq_mcdb::vg::NormalNoise;
+use spq_mcdb::{Relation, RelationBuilder};
+use spq_solver::{CancellationToken, Deadline};
+use std::time::{Duration, Instant};
+
+/// A relation and query whose very first Naïve SAA MILP takes tens of
+/// seconds: 2000 high-variance tuples and a near-boundary chance constraint.
+fn heavy_relation(n: usize) -> Relation {
+    let means: Vec<f64> = (0..n).map(|i| 4.0 + (i % 13) as f64 * 0.4).collect();
+    let sds: Vec<f64> = (0..n).map(|i| 6.0 + (i % 7) as f64 * 1.5).collect();
+    RelationBuilder::new("heavy")
+        .deterministic_f64("price", vec![100.0; n])
+        .stochastic("gain", NormalNoise::around(means, sds))
+        .build()
+        .unwrap()
+}
+
+const QUERY: &str = "SELECT PACKAGE(*) FROM heavy \
+                     SUCH THAT SUM(price) <= 1000 AND \
+                     SUM(gain) >= 30 WITH PROBABILITY >= 0.95 \
+                     MAXIMIZE EXPECTED SUM(gain)";
+
+fn heavy_options() -> SpqOptions {
+    SpqOptions {
+        initial_scenarios: 80,
+        scenario_increment: 80,
+        max_scenarios: 800,
+        validation_scenarios: 2000,
+        expectation_scenarios: 200,
+        solver: spq_solver::SolverOptions {
+            time_limit: Some(Duration::from_secs(600)),
+            ..Default::default()
+        },
+        ..SpqOptions::for_tests()
+    }
+}
+
+/// Generous ceiling for "the budget was respected": covers instance
+/// preparation and scenario generation on a slow CI box, but is far below
+/// the 20 s+ a single uninterrupted MILP takes here.
+const OVERSHOOT_CEILING: Duration = Duration::from_secs(8);
+
+#[test]
+fn a_tiny_time_budget_does_not_overshoot_by_a_full_solve() {
+    let rel = heavy_relation(2000);
+    let mut opts = heavy_options();
+    opts.time_limit = Some(Duration::from_millis(100));
+    let engine = SpqEngine::new(opts);
+    let started = Instant::now();
+    let result = engine.evaluate(&rel, QUERY, Algorithm::Naive).unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < OVERSHOOT_CEILING,
+        "100ms budget overshot to {elapsed:?}"
+    );
+    assert!(result.stats.wall_time < OVERSHOOT_CEILING);
+}
+
+#[test]
+fn cancellation_interrupts_an_evaluation_mid_solve() {
+    let rel = heavy_relation(2000);
+    let token = CancellationToken::new();
+    let mut opts = heavy_options();
+    opts.time_limit = Some(Duration::from_secs(600));
+    opts.deadline = Deadline::none().with_token(token.clone());
+    let engine = SpqEngine::new(opts);
+
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            token.cancel();
+        })
+    };
+    let started = Instant::now();
+    let result = engine.evaluate(&rel, QUERY, Algorithm::Naive);
+    let elapsed = started.elapsed();
+    canceller.join().unwrap();
+    assert!(
+        elapsed < OVERSHOOT_CEILING,
+        "cancellation took {elapsed:?} to take effect"
+    );
+    // Cancellation is not an error: the engine reports whatever it had.
+    let result = result.unwrap();
+    assert!(result.stats.wall_time < OVERSHOOT_CEILING);
+}
+
+#[test]
+fn an_unarmed_deadline_leaves_results_unchanged() {
+    // The same query with and without an (un-expiring) deadline must produce
+    // identical packages: deadline plumbing is observation-only.
+    let rel = heavy_relation(40);
+    let mut relaxed = SpqOptions::for_tests();
+    relaxed.initial_scenarios = 10;
+    relaxed.validation_scenarios = 400;
+    let plain = SpqEngine::new(relaxed.clone())
+        .evaluate(&rel, QUERY, Algorithm::SummarySearch)
+        .unwrap();
+    let mut armed = relaxed;
+    armed.deadline =
+        Deadline::within(Duration::from_secs(3600)).with_token(CancellationToken::new());
+    let guarded = SpqEngine::new(armed)
+        .evaluate(&rel, QUERY, Algorithm::SummarySearch)
+        .unwrap();
+    assert_eq!(plain.feasible, guarded.feasible);
+    match (plain.package, guarded.package) {
+        (Some(a), Some(b)) => {
+            assert_eq!(a.multiplicities, b.multiplicities);
+            assert_eq!(a.objective_estimate, b.objective_estimate);
+        }
+        (a, b) => assert_eq!(a.is_none(), b.is_none()),
+    }
+}

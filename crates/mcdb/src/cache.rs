@@ -1,0 +1,330 @@
+//! A shared cache of realized scenario blocks.
+//!
+//! Scenario generation is deterministic — every `(relation, column, stream,
+//! seed, tuple, scenario)` cell realizes to the same value — so concurrent
+//! query evaluations over the same relation keep regenerating identical
+//! matrices. [`ScenarioCache`] memoizes whole blocks: the first request for a
+//! `(relation, column, stream, seed, tuple set, scenario count)` key
+//! generates the matrix, every later request — from any thread — gets the
+//! same `Arc<ScenarioMatrix>` back without touching the VG functions.
+//!
+//! Generation is serialized **per key** (a per-entry mutex), not globally:
+//! two threads asking for the same block wait on one generation, while
+//! requests for different blocks proceed in parallel. This is the guarantee
+//! the query service relies on: eight clients issuing the same prepared
+//! query never realize the same scenarios twice.
+//!
+//! The cache is bounded by an approximate byte budget. Blocks that would
+//! push the cache past the budget are still generated and returned, just not
+//! retained — correctness never depends on residency.
+
+use crate::relation::Relation;
+use crate::scenario::{ScenarioGenerator, ScenarioMatrix};
+use crate::seed::Stream;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one realized block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BlockKey {
+    /// [`Relation::uid`] — clones share it, rebuilt relations do not.
+    relation: u64,
+    /// Canonical stochastic column name.
+    column: String,
+    /// Optimization vs validation stream.
+    stream: Stream,
+    /// Base seed of the generator.
+    seed: u64,
+    /// FNV-1a over the candidate tuple indices (plus their count), so the
+    /// key stays small even for 100k-tuple candidate sets.
+    tuples_hash: u64,
+    /// Number of scenarios in the block (`0..m`).
+    scenarios: usize,
+}
+
+fn hash_tuples(tuples: &[usize]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ (tuples.len() as u64);
+    for &t in tuples {
+        h ^= t as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One cache slot: a per-key mutex so concurrent misses for the same block
+/// generate once, while other keys stay unblocked.
+#[derive(Debug, Default)]
+struct Slot {
+    block: Mutex<Option<Arc<ScenarioMatrix>>>,
+}
+
+/// A thread-safe, byte-bounded cache of realized scenario blocks, shared via
+/// `Arc` between all evaluations that should pool their generation work.
+#[derive(Debug)]
+pub struct ScenarioCache {
+    slots: Mutex<HashMap<BlockKey, Arc<Slot>>>,
+    max_bytes: u64,
+    resident_bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ScenarioCache {
+    fn default() -> Self {
+        ScenarioCache::with_max_bytes(Self::DEFAULT_MAX_BYTES)
+    }
+}
+
+impl ScenarioCache {
+    /// Default residency budget: 256 MiB of realized values.
+    pub const DEFAULT_MAX_BYTES: u64 = 256 << 20;
+
+    /// A cache with the default byte budget.
+    pub fn new() -> Self {
+        ScenarioCache::default()
+    }
+
+    /// A cache bounded to approximately `max_bytes` of matrix data. Blocks
+    /// beyond the budget are generated but not retained.
+    pub fn with_max_bytes(max_bytes: u64) -> Self {
+        ScenarioCache {
+            slots: Mutex::new(HashMap::new()),
+            max_bytes,
+            resident_bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The first `m` scenarios of `column` restricted to `tuples`, drawn
+    /// from `generator`'s stream and seed: cached when possible, generated
+    /// (once per key, even under concurrency) otherwise.
+    pub fn sparse_matrix(
+        &self,
+        generator: &ScenarioGenerator,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+        m: usize,
+    ) -> Result<Arc<ScenarioMatrix>> {
+        // Canonicalize the column name so `gain` and `Gain` share a block;
+        // this also surfaces unknown-column errors before touching the map.
+        let canon = relation.stochastic_column(column)?.name.clone();
+        let key = BlockKey {
+            relation: relation.uid(),
+            column: canon.clone(),
+            stream: generator.stream(),
+            seed: generator.base_seed(),
+            tuples_hash: hash_tuples(tuples),
+            scenarios: m,
+        };
+        let slot = {
+            let mut slots = self.slots.lock().expect("scenario cache poisoned");
+            slots.entry(key.clone()).or_default().clone()
+        };
+        // Per-key lock: a concurrent request for the same block waits here
+        // for the single generation instead of redoing it.
+        let mut block = slot.block.lock().expect("scenario slot poisoned");
+        if let Some(matrix) = &*block {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(matrix.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let matrix = Arc::new(generator.realize_sparse_matrix(relation, &canon, tuples, m)?);
+        let bytes = (matrix.num_tuples() * matrix.num_scenarios() * 8) as u64;
+        // Flush-on-full eviction: when this block would overflow the budget,
+        // drop everything and admit it fresh. Old blocks regenerate
+        // deterministically if asked for again, so this trades occasional
+        // re-generation for a hard memory bound — in a long-running service
+        // the working set is usually a handful of hot queries anyway. A
+        // single block larger than the whole budget is returned unretained
+        // (and its slot removed so the key map stays bounded too).
+        if self.resident_bytes.load(Ordering::Relaxed) + bytes > self.max_bytes {
+            let mut slots = self.slots.lock().expect("scenario cache poisoned");
+            slots.retain(|k, _| *k == key);
+            self.resident_bytes.store(0, Ordering::Relaxed);
+            if bytes > self.max_bytes {
+                slots.remove(&key);
+                drop(slots);
+                return Ok(matrix);
+            }
+        }
+        self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+        *block = Some(matrix.clone());
+        Ok(matrix)
+    }
+
+    /// Number of block lookups served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of block lookups that had to generate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes of resident matrix data.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("scenario cache poisoned").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached block (counters keep accumulating).
+    pub fn clear(&self) {
+        self.slots.lock().expect("scenario cache poisoned").clear();
+        self.resident_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::vg::NormalNoise;
+
+    fn rel(n: usize) -> Relation {
+        let base: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        RelationBuilder::new("t")
+            .stochastic("gain", NormalNoise::around(base, 1.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_bit_identity() {
+        let r = rel(16);
+        let g = ScenarioGenerator::new(7);
+        let cache = ScenarioCache::new();
+        let tuples: Vec<usize> = (0..16).collect();
+
+        let a = cache.sparse_matrix(&g, &r, "gain", &tuples, 12).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.sparse_matrix(&g, &r, "gain", &tuples, 12).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "hits must share the block");
+
+        // Cached values equal direct generation.
+        let direct = g.realize_sparse_matrix(&r, "gain", &tuples, 12).unwrap();
+        assert_eq!(*a, direct);
+
+        // Column-name case does not split blocks.
+        let c = cache.sparse_matrix(&g, &r, "GAIN", &tuples, 12).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_blocks() {
+        let r = rel(8);
+        let r2 = rel(8);
+        let g = ScenarioGenerator::new(7);
+        let g2 = ScenarioGenerator::new(8);
+        let val = ScenarioGenerator::validation(7);
+        let cache = ScenarioCache::new();
+        let tuples: Vec<usize> = (0..8).collect();
+
+        cache.sparse_matrix(&g, &r, "gain", &tuples, 4).unwrap();
+        // Different m, seed, stream, tuple set, relation -> all misses.
+        cache.sparse_matrix(&g, &r, "gain", &tuples, 8).unwrap();
+        cache.sparse_matrix(&g2, &r, "gain", &tuples, 4).unwrap();
+        cache.sparse_matrix(&val, &r, "gain", &tuples, 4).unwrap();
+        cache
+            .sparse_matrix(&g, &r, "gain", &tuples[..4], 4)
+            .unwrap();
+        cache.sparse_matrix(&g, &r2, "gain", &tuples, 4).unwrap();
+        assert_eq!(cache.misses(), 6);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 6);
+        assert!(cache.resident_bytes() > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn over_budget_blocks_are_returned_but_not_retained() {
+        let r = rel(32);
+        let g = ScenarioGenerator::new(1);
+        // Budget below one block's size.
+        let cache = ScenarioCache::with_max_bytes(64);
+        let tuples: Vec<usize> = (0..32).collect();
+        let a = cache.sparse_matrix(&g, &r, "gain", &tuples, 10).unwrap();
+        assert_eq!(a.num_scenarios(), 10);
+        assert_eq!(cache.resident_bytes(), 0);
+        // Second request regenerates (miss) because nothing was retained.
+        let b = cache.sparse_matrix(&g, &r, "gain", &tuples, 10).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(*a, *b, "regeneration is bit-identical");
+    }
+
+    #[test]
+    fn a_full_cache_flushes_and_admits_the_new_block() {
+        let r = rel(16);
+        let g = ScenarioGenerator::new(2);
+        // Budget fits one 16×10 block (1280 bytes) but not that plus an
+        // 8×10 block (640 bytes).
+        let cache = ScenarioCache::with_max_bytes(1500);
+        let tuples: Vec<usize> = (0..16).collect();
+        cache.sparse_matrix(&g, &r, "gain", &tuples, 10).unwrap();
+        assert_eq!((cache.len(), cache.resident_bytes()), (1, 1280));
+        // A second block overflows: the first is flushed, the new one is
+        // resident, and the map stays bounded.
+        cache
+            .sparse_matrix(&g, &r, "gain", &tuples[..8], 10)
+            .unwrap();
+        assert_eq!((cache.len(), cache.resident_bytes()), (1, 640));
+        // The flushed block regenerates on demand (miss, not a hit), again
+        // flushing the smaller one.
+        cache.sparse_matrix(&g, &r, "gain", &tuples, 10).unwrap();
+        assert_eq!((cache.len(), cache.resident_bytes()), (1, 1280));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn concurrent_requests_generate_each_block_once() {
+        let r = rel(64);
+        let g = ScenarioGenerator::new(3);
+        let cache = Arc::new(ScenarioCache::new());
+        let tuples: Vec<usize> = (0..64).collect();
+        let reference = g.realize_sparse_matrix(&r, "gain", &tuples, 32).unwrap();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let r = r.clone();
+                    let tuples = tuples.clone();
+                    scope.spawn(move || cache.sparse_matrix(&g, &r, "gain", &tuples, 32).unwrap())
+                })
+                .collect();
+            for handle in handles {
+                assert_eq!(*handle.join().unwrap(), reference);
+            }
+        });
+        // All eight threads asked for the same key: exactly one generation.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn unknown_columns_error_without_poisoning() {
+        let r = rel(4);
+        let g = ScenarioGenerator::new(0);
+        let cache = ScenarioCache::new();
+        assert!(cache.sparse_matrix(&g, &r, "nope", &[0], 1).is_err());
+        assert!(cache.sparse_matrix(&g, &r, "gain", &[0], 1).is_ok());
+    }
+}

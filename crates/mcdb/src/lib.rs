@@ -34,6 +34,7 @@
 //! assert_eq!(scenario.values.len(), 3);
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod expectation;
 pub mod relation;
@@ -43,6 +44,7 @@ pub mod seed;
 pub mod value;
 pub mod vg;
 
+pub use cache::ScenarioCache;
 pub use error::McdbError;
 pub use expectation::ExpectationEstimator;
 pub use relation::{Relation, RelationBuilder, StochasticColumn};

@@ -32,42 +32,72 @@ impl std::fmt::Debug for StochasticColumn {
     }
 }
 
-/// An in-memory relation in the Monte Carlo data model: deterministic columns
-/// are fully materialized, stochastic columns are described by VG functions
-/// and realized on demand per scenario.
+/// The immutable body of a [`Relation`], shared behind an `Arc` so cloning
+/// a relation — e.g. handing it to every worker thread of a query service —
+/// costs one reference-count bump rather than a deep copy of the columns.
 #[derive(Debug)]
-pub struct Relation {
+struct RelationInner {
     name: String,
     schema: Schema,
     n_rows: usize,
+    uid: u64,
     det_columns: HashMap<String, Vec<Value>>,
     stoch_columns: HashMap<String, StochasticColumn>,
+}
+
+/// An in-memory relation in the Monte Carlo data model: deterministic columns
+/// are fully materialized, stochastic columns are described by VG functions
+/// and realized on demand per scenario.
+///
+/// A `Relation` is an `Arc` handle over immutable shared state: `clone()` is
+/// O(1) and the clone can be sent to other threads (`Relation: Send + Sync`),
+/// which is what lets concurrent query evaluations share one 100k-tuple
+/// relation without deep copies. Each built relation carries a process-unique
+/// [`Relation::uid`] (shared by all clones) that caches use as an identity
+/// key.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    inner: Arc<RelationInner>,
 }
 
 impl Relation {
     /// Relation name.
     pub fn name(&self) -> &str {
-        &self.name
+        &self.inner.name
     }
 
     /// Relation schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        &self.inner.schema
     }
 
     /// Number of tuples (identical across scenarios, per the Monte Carlo
     /// model's deterministic-key assumption).
     pub fn len(&self) -> usize {
-        self.n_rows
+        self.inner.n_rows
     }
 
     /// True when the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.n_rows == 0
+        self.inner.n_rows == 0
+    }
+
+    /// Process-unique identity of this relation's shared body: every clone
+    /// returns the same value, and no two separately built relations share
+    /// it. Used as a cache key by [`crate::ScenarioCache`] and the service's
+    /// prepared-query cache.
+    pub fn uid(&self) -> u64 {
+        self.inner.uid
+    }
+
+    /// True when `other` is a clone of the same built relation.
+    pub fn same_relation(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     fn canonical_name(&self, name: &str) -> Result<String> {
-        self.schema
+        self.inner
+            .schema
             .column(name)
             .map(|c| c.name.clone())
             .ok_or_else(|| McdbError::UnknownColumn(name.to_string()))
@@ -76,7 +106,8 @@ impl Relation {
     /// Access a deterministic column's values.
     pub fn deterministic_column(&self, name: &str) -> Result<&[Value]> {
         let canon = self.canonical_name(name)?;
-        self.det_columns
+        self.inner
+            .det_columns
             .get(&canon)
             .map(Vec::as_slice)
             .ok_or(McdbError::NotDeterministic(canon))
@@ -97,10 +128,10 @@ impl Relation {
 
     /// Access a single deterministic cell.
     pub fn value(&self, column: &str, tuple: usize) -> Result<&Value> {
-        if tuple >= self.n_rows {
+        if tuple >= self.inner.n_rows {
             return Err(McdbError::TupleOutOfBounds {
                 index: tuple,
-                len: self.n_rows,
+                len: self.inner.n_rows,
             });
         }
         Ok(&self.deterministic_column(column)?[tuple])
@@ -109,14 +140,16 @@ impl Relation {
     /// Access a stochastic column descriptor.
     pub fn stochastic_column(&self, name: &str) -> Result<&StochasticColumn> {
         let canon = self.canonical_name(name)?;
-        self.stoch_columns
+        self.inner
+            .stoch_columns
             .get(&canon)
             .ok_or(McdbError::NotStochastic(canon))
     }
 
     /// True when the column exists and is stochastic.
     pub fn is_stochastic(&self, name: &str) -> bool {
-        self.schema
+        self.inner
+            .schema
             .column(name)
             .map(ColumnDef::is_stochastic)
             .unwrap_or(false)
@@ -124,7 +157,7 @@ impl Relation {
 
     /// Names of the stochastic columns.
     pub fn stochastic_column_names(&self) -> Vec<&str> {
-        self.schema.stochastic_columns()
+        self.inner.schema.stochastic_columns()
     }
 
     /// Analytic per-tuple mean of a stochastic column when every tuple has a
@@ -135,7 +168,7 @@ impl Relation {
             return Ok(None);
         }
         Ok(Some(
-            (0..self.n_rows)
+            (0..self.inner.n_rows)
                 .map(|i| sc.vg.mean(i).expect("column flagged fully analytic"))
                 .collect(),
         ))
@@ -278,12 +311,18 @@ impl RelationBuilder {
                 check(&def.name, len)?;
             }
         }
+        // A process-unique identity shared by every clone of this relation;
+        // caches key on it instead of hashing column data.
+        static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Ok(Relation {
-            name: self.name,
-            schema: self.schema,
-            n_rows: n_rows.unwrap_or(0),
-            det_columns: self.det_columns,
-            stoch_columns: self.stoch_columns,
+            inner: Arc::new(RelationInner {
+                name: self.name,
+                schema: self.schema,
+                n_rows: n_rows.unwrap_or(0),
+                uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                det_columns: self.det_columns,
+                stoch_columns: self.stoch_columns,
+            }),
         })
     }
 }
@@ -397,5 +436,21 @@ mod tests {
         let r = RelationBuilder::new("empty").build().unwrap();
         assert_eq!(r.len(), 0);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_body_and_the_uid() {
+        let r = portfolio();
+        let c = r.clone();
+        assert!(r.same_relation(&c));
+        assert_eq!(r.uid(), c.uid());
+        // Clones are usable from other threads without copying columns.
+        let handle = std::thread::spawn(move || c.deterministic_f64("price").unwrap());
+        assert_eq!(handle.join().unwrap(), vec![234.0, 140.0, 258.0]);
+        // Separately built relations have distinct identities, even with
+        // identical contents.
+        let other = portfolio();
+        assert!(!r.same_relation(&other));
+        assert_ne!(r.uid(), other.uid());
     }
 }

@@ -327,6 +327,30 @@ impl ScenarioGenerator {
         Ok(out)
     }
 
+    /// Realize the first `m` scenarios of a stochastic column restricted to
+    /// `tuples`, as a dense [`ScenarioMatrix`] whose column `i` corresponds
+    /// to `tuples[i]`. This is the block shape memoized by
+    /// [`crate::ScenarioCache`]; generation parallelizes like the other
+    /// matrix paths and is bit-identical to the serial order.
+    pub fn realize_sparse_matrix(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+        m: usize,
+    ) -> Result<ScenarioMatrix> {
+        let n = tuples.len();
+        let threads = auto_threads(n * m, n);
+        let columns = self.realize_tuple_major(relation, column, tuples, 0..m, threads)?;
+        let mut data = vec![0.0f64; n * m];
+        for (i, values) in columns.iter().enumerate() {
+            for (j, &v) in values.iter().enumerate() {
+                data[j * n + i] = v;
+            }
+        }
+        Ok(ScenarioMatrix { n_tuples: n, data })
+    }
+
     /// Per-tuple empirical mean and standard deviation over the first `m`
     /// scenarios of this generator's stream, for the given tuples.
     /// SketchRefine uses these as distributional-similarity features for

@@ -1,0 +1,196 @@
+//! spq — command-line client for spqd.
+//!
+//! Sends one query (optionally repeated, optionally over several concurrent
+//! connections) and prints each NDJSON response. Exit status is 0 only when
+//! every response completed (`status:"ok"`); `--expect-feasible` also
+//! requires every response to carry a validation-feasible package, which is
+//! what the CI smoke test asserts.
+//!
+//! ```text
+//! spq --addr 127.0.0.1:7878 --relation portfolio --query "SELECT PACKAGE(*) ..."
+//!     [--algorithm summary-search] [--timeout-ms 30000] [--seed 7]
+//!     [--validation 1000] [--initial-scenarios 100]
+//!     [--repeat 1] [--concurrency 1] [--expect-feasible] [--quiet]
+//! ```
+
+use spq_service::{QueryRequest, QueryResponse, QueryStatus, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spq --relation NAME --query SPAQL [--addr HOST:PORT] [--algorithm A]\n\
+         \x20          [--timeout-ms N] [--seed N] [--validation N] [--initial-scenarios N]\n\
+         \x20          [--repeat N] [--concurrency N] [--expect-feasible] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Clone)]
+struct Cli {
+    addr: String,
+    request: QueryRequest,
+    repeat: usize,
+    concurrency: usize,
+    expect_feasible: bool,
+    quiet: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        addr: "127.0.0.1:7878".to_string(),
+        request: QueryRequest {
+            id: String::new(),
+            relation: String::new(),
+            query: String::new(),
+            algorithm: None,
+            timeout_ms: None,
+            seed: None,
+            initial_scenarios: None,
+            max_scenarios: None,
+            validation_scenarios: None,
+        },
+        repeat: 1,
+        concurrency: 1,
+        expect_feasible: false,
+        quiet: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> &str {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cli.addr = value("--addr").to_string(),
+            "--relation" => cli.request.relation = value("--relation").to_string(),
+            "--query" => cli.request.query = value("--query").to_string(),
+            "--algorithm" => {
+                cli.request.algorithm = Some(value("--algorithm").parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }))
+            }
+            "--timeout-ms" => {
+                cli.request.timeout_ms =
+                    Some(value("--timeout-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => {
+                cli.request.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage()))
+            }
+            "--validation" => {
+                cli.request.validation_scenarios =
+                    Some(value("--validation").parse().unwrap_or_else(|_| usage()))
+            }
+            "--initial-scenarios" => {
+                cli.request.initial_scenarios = Some(
+                    value("--initial-scenarios")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--repeat" => cli.repeat = value("--repeat").parse().unwrap_or_else(|_| usage()),
+            "--concurrency" => {
+                cli.concurrency = value("--concurrency").parse().unwrap_or_else(|_| usage())
+            }
+            "--expect-feasible" => cli.expect_feasible = true,
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if cli.request.relation.is_empty() || cli.request.query.is_empty() {
+        eprintln!("--relation and --query are required");
+        usage();
+    }
+    cli.repeat = cli.repeat.max(1);
+    cli.concurrency = cli.concurrency.max(1);
+    cli
+}
+
+/// Run `repeat` queries on one connection; returns the responses.
+fn run_connection(cli: &Cli, worker: usize) -> Result<Vec<QueryResponse>, String> {
+    let stream = TcpStream::connect(&cli.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", cli.addr))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut responses = Vec::with_capacity(cli.repeat);
+    for i in 0..cli.repeat {
+        let mut request = cli.request.clone();
+        request.id = format!("spq-{worker}-{i}");
+        let line = Request::Query(request).to_line();
+        {
+            let mut s = &stream;
+            s.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+            s.write_all(b"\n").map_err(|e| e.to_string())?;
+        }
+        let mut answer = String::new();
+        reader
+            .read_line(&mut answer)
+            .map_err(|e| format!("read: {e}"))?;
+        if answer.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        if !cli.quiet {
+            println!("{}", answer.trim_end());
+        }
+        responses.push(QueryResponse::parse_line(answer.trim_end())?);
+    }
+    Ok(responses)
+}
+
+fn main() {
+    let cli = parse_cli();
+    let started = std::time::Instant::now();
+    let results: Vec<Result<Vec<QueryResponse>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cli.concurrency)
+            .map(|w| {
+                let cli = cli.clone();
+                scope.spawn(move || run_connection(&cli, w))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut total = 0usize;
+    let mut ok = 0usize;
+    let mut feasible = 0usize;
+    let mut failures = Vec::new();
+    for result in results {
+        match result {
+            Ok(responses) => {
+                for r in responses {
+                    total += 1;
+                    if r.status == QueryStatus::Ok {
+                        ok += 1;
+                    }
+                    if r.feasible {
+                        feasible += 1;
+                    }
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    for failure in &failures {
+        eprintln!("spq: {failure}");
+    }
+    if total > 0 {
+        eprintln!(
+            "spq: {total} responses ({ok} ok, {feasible} feasible) in {:.3}s ({:.1} q/s)",
+            elapsed.as_secs_f64(),
+            total as f64 / elapsed.as_secs_f64().max(1e-9)
+        );
+    }
+    let success = failures.is_empty()
+        && ok == total
+        && total == cli.repeat * cli.concurrency
+        && (!cli.expect_feasible || feasible == total);
+    std::process::exit(if success { 0 } else { 1 });
+}

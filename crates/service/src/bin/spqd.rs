@@ -1,0 +1,127 @@
+//! spqd — the stochastic package query server.
+//!
+//! Loads one or more of the paper's workload relations and serves sPaQL
+//! queries over newline-delimited JSON on TCP. See the repository README
+//! ("Running the server") for the wire protocol.
+//!
+//! ```text
+//! spqd [--addr 127.0.0.1:7878] [--workloads portfolio,galaxy,tpch]
+//!      [--scale 10000] [--seed 42] [--workers N] [--queue 64]
+//!      [--default-timeout-ms 60000] [--validation 10000]
+//! ```
+
+use spq_core::SpqOptions;
+use spq_service::{ServerConfig, ServiceConfig, SpqServer, SpqService};
+use spq_workloads::WorkloadKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spqd [--addr HOST:PORT] [--workloads portfolio,galaxy,tpch] [--scale N]\n\
+         \x20           [--seed N] [--workers N] [--queue N] [--default-timeout-ms N]\n\
+         \x20           [--validation N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_workload(name: &str) -> Option<WorkloadKind> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "portfolio" => Some(WorkloadKind::Portfolio),
+        "galaxy" => Some(WorkloadKind::Galaxy),
+        "tpch" | "tpc-h" => Some(WorkloadKind::Tpch),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workloads = vec![WorkloadKind::Portfolio];
+    let mut scale = 10_000usize;
+    let mut seed = 42u64;
+    let mut server_config = ServerConfig::default();
+    let mut default_timeout_ms = 60_000u64;
+    let mut validation = 10_000usize;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> &str {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr").to_string(),
+            "--workloads" | "--workload" => {
+                workloads = value("--workloads")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| {
+                        parse_workload(s).unwrap_or_else(|| {
+                            eprintln!("unknown workload `{s}`");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--scale" => scale = value("--scale").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--workers" => {
+                server_config.workers = value("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue" => {
+                server_config.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--default-timeout-ms" => {
+                default_timeout_ms = value("--default-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--validation" => {
+                validation = value("--validation").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let mut base_options = SpqOptions {
+        seed,
+        validation_scenarios: validation,
+        ..SpqOptions::default()
+    };
+    // Budgets come from per-request deadlines; the base time limit would
+    // only add a second, redundant clock.
+    base_options.time_limit = None;
+
+    let service = Arc::new(SpqService::new(ServiceConfig {
+        base_options,
+        default_timeout: Some(Duration::from_millis(default_timeout_ms)),
+        ..Default::default()
+    }));
+    for kind in workloads {
+        let started = std::time::Instant::now();
+        let (name, tuples) = service.register_workload(kind, scale, seed);
+        eprintln!(
+            "spqd: loaded workload `{name}` ({tuples} tuples) in {:?}",
+            started.elapsed()
+        );
+    }
+
+    let server = SpqServer::start(service, addr.as_str(), server_config).unwrap_or_else(|e| {
+        eprintln!("spqd: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // The smoke test greps this exact prefix to learn the bound port.
+    println!("spqd listening on {}", server.local_addr());
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,487 @@
+//! The spqd wire protocol: newline-delimited JSON.
+//!
+//! Every request is one JSON object on one line; every response is one JSON
+//! object on one line. A connection carries any number of requests, and
+//! responses come back in completion order (not submission order) tagged
+//! with the request's `id`, so clients can pipeline.
+//!
+//! ## Requests
+//!
+//! The `op` field selects the operation; it defaults to `"query"`:
+//!
+//! ```json
+//! {"id":"q1","relation":"portfolio","query":"SELECT PACKAGE(*) FROM ...",
+//!  "algorithm":"summary-search","timeout_ms":30000,"seed":7}
+//! {"op":"cancel","id":"q1"}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! ```
+//!
+//! Query fields: `id` and `relation` and `query` are required; `algorithm`
+//! (default `summary-search`), `timeout_ms`, `seed`, `initial_scenarios`,
+//! `max_scenarios` and `validation_scenarios` override the server defaults
+//! per request. `cancel` aborts the named in-flight query of the *same
+//! connection* cooperatively (the solver stops at its next pivot-loop
+//! checkpoint).
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"id":"q1","status":"ok","feasible":true,"objective":12.5,
+//!  "package":[[3,1],[17,2]],"algorithm":"SummarySearch",
+//!  "prepared_cache":"hit","queue_ms":0.4,"wall_ms":18.2,
+//!  "stats":{"scenarios":100,"summaries":1,"outer_iterations":1,
+//!            "problems_solved":4,"validations":3,"solver_nodes":11,
+//!            "lp_pivots":903,"max_problem_coefficients":4000}}
+//! ```
+//!
+//! `status` is `ok` (evaluation completed; `feasible` tells whether a
+//! validation-feasible package was found), `rejected` (admission control:
+//! the queue was full), `cancelled`, `timeout`, or `error` (with an `error`
+//! message). `package` lists `[tuple_index, multiplicity]` pairs.
+
+use crate::json::{parse, Json};
+use spq_core::{Algorithm, EvaluationStats};
+
+/// A query to evaluate.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Client-chosen id echoed in the response; also the handle for
+    /// `cancel`.
+    pub id: String,
+    /// Name of a relation registered with the service.
+    pub relation: String,
+    /// sPaQL text.
+    pub query: String,
+    /// Evaluation algorithm (`None` = the server default).
+    pub algorithm: Option<Algorithm>,
+    /// Per-query budget in milliseconds, measured from admission.
+    pub timeout_ms: Option<u64>,
+    /// Base random seed override.
+    pub seed: Option<u64>,
+    /// `SpqOptions::initial_scenarios` override.
+    pub initial_scenarios: Option<usize>,
+    /// `SpqOptions::max_scenarios` override.
+    pub max_scenarios: Option<usize>,
+    /// `SpqOptions::validation_scenarios` override.
+    pub validation_scenarios: Option<usize>,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Evaluate a query.
+    Query(QueryRequest),
+    /// Cancel an in-flight query of this connection by id.
+    Cancel {
+        /// Id of the query to cancel.
+        id: String,
+    },
+    /// Server and cache statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Request {
+    /// Parse one NDJSON request line.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let value = parse(line)?;
+        match value.str_field("op").unwrap_or("query") {
+            "query" => {
+                let id = value
+                    .str_field("id")
+                    .ok_or("query request needs a string `id`")?
+                    .to_string();
+                let relation = value
+                    .str_field("relation")
+                    .ok_or("query request needs a string `relation`")?
+                    .to_string();
+                let query = value
+                    .str_field("query")
+                    .ok_or("query request needs a string `query`")?
+                    .to_string();
+                let algorithm = match value.str_field("algorithm") {
+                    Some(name) => Some(name.parse::<Algorithm>().map_err(|e| e.to_string())?),
+                    None => None,
+                };
+                Ok(Request::Query(QueryRequest {
+                    id,
+                    relation,
+                    query,
+                    algorithm,
+                    timeout_ms: value.u64_field("timeout_ms"),
+                    seed: value.u64_field("seed"),
+                    initial_scenarios: value.u64_field("initial_scenarios").map(|v| v as usize),
+                    max_scenarios: value.u64_field("max_scenarios").map(|v| v as usize),
+                    validation_scenarios: value
+                        .u64_field("validation_scenarios")
+                        .map(|v| v as usize),
+                }))
+            }
+            "cancel" => Ok(Request::Cancel {
+                id: value
+                    .str_field("id")
+                    .ok_or("cancel request needs a string `id`")?
+                    .to_string(),
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Serialize back to one NDJSON line (used by the `spq` client).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Query(q) => {
+                let mut pairs = vec![
+                    ("id".to_string(), Json::from(q.id.as_str())),
+                    ("relation".to_string(), Json::from(q.relation.as_str())),
+                    ("query".to_string(), Json::from(q.query.as_str())),
+                ];
+                if let Some(a) = q.algorithm {
+                    pairs.push(("algorithm".to_string(), Json::from(a.to_string())));
+                }
+                if let Some(t) = q.timeout_ms {
+                    pairs.push(("timeout_ms".to_string(), Json::from(t)));
+                }
+                if let Some(s) = q.seed {
+                    pairs.push(("seed".to_string(), Json::from(s)));
+                }
+                if let Some(v) = q.initial_scenarios {
+                    pairs.push(("initial_scenarios".to_string(), Json::from(v)));
+                }
+                if let Some(v) = q.max_scenarios {
+                    pairs.push(("max_scenarios".to_string(), Json::from(v)));
+                }
+                if let Some(v) = q.validation_scenarios {
+                    pairs.push(("validation_scenarios".to_string(), Json::from(v)));
+                }
+                Json::Obj(pairs).to_string()
+            }
+            Request::Cancel { id } => Json::Obj(vec![
+                ("op".to_string(), Json::from("cancel")),
+                ("id".to_string(), Json::from(id.as_str())),
+            ])
+            .to_string(),
+            Request::Stats => Json::Obj(vec![("op".to_string(), Json::from("stats"))]).to_string(),
+            Request::Ping => Json::Obj(vec![("op".to_string(), Json::from("ping"))]).to_string(),
+        }
+    }
+}
+
+/// Terminal status of a query request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Evaluation completed (check `feasible` for the outcome).
+    Ok,
+    /// Admission control refused the request: the queue was full.
+    Rejected,
+    /// The request was cancelled via `{"op":"cancel"}`.
+    Cancelled,
+    /// The per-query deadline expired before a feasible package was found.
+    Timeout,
+    /// The request failed (unknown relation, parse/bind error, ...).
+    Error,
+}
+
+impl QueryStatus {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryStatus::Ok => "ok",
+            QueryStatus::Rejected => "rejected",
+            QueryStatus::Cancelled => "cancelled",
+            QueryStatus::Timeout => "timeout",
+            QueryStatus::Error => "error",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn from_str_opt(s: &str) -> Option<QueryStatus> {
+        Some(match s {
+            "ok" => QueryStatus::Ok,
+            "rejected" => QueryStatus::Rejected,
+            "cancelled" => QueryStatus::Cancelled,
+            "timeout" => QueryStatus::Timeout,
+            "error" => QueryStatus::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// The response to one [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The request's id.
+    pub id: String,
+    /// Terminal status.
+    pub status: QueryStatus,
+    /// Error message when `status == Error`.
+    pub error: Option<String>,
+    /// Whether a validation-feasible package was found.
+    pub feasible: bool,
+    /// Objective estimate of the returned package.
+    pub objective: Option<f64>,
+    /// `(tuple index, multiplicity)` pairs of the package.
+    pub package: Vec<(usize, u32)>,
+    /// Algorithm that ran.
+    pub algorithm: String,
+    /// Whether the prepared-query cache served the compiled plan.
+    pub prepared_cache_hit: bool,
+    /// Milliseconds spent queued before a worker picked the request up.
+    pub queue_ms: f64,
+    /// Milliseconds of evaluation wall time.
+    pub wall_ms: f64,
+    /// Full evaluation statistics (absent for rejected/error responses).
+    pub stats: Option<EvaluationStats>,
+}
+
+impl QueryResponse {
+    /// A minimal non-evaluated response (rejected / error).
+    pub fn failure(id: &str, status: QueryStatus, error: impl Into<String>) -> QueryResponse {
+        QueryResponse {
+            id: id.to_string(),
+            status,
+            error: Some(error.into()),
+            feasible: false,
+            objective: None,
+            package: Vec::new(),
+            algorithm: String::new(),
+            prepared_cache_hit: false,
+            queue_ms: 0.0,
+            wall_ms: 0.0,
+            stats: None,
+        }
+    }
+
+    /// Serialize to one NDJSON line.
+    pub fn to_line(&self) -> String {
+        let mut pairs = vec![
+            ("id".to_string(), Json::from(self.id.as_str())),
+            ("status".to_string(), Json::from(self.status.as_str())),
+        ];
+        if let Some(e) = &self.error {
+            pairs.push(("error".to_string(), Json::from(e.as_str())));
+        }
+        pairs.push(("feasible".to_string(), Json::from(self.feasible)));
+        pairs.push((
+            "objective".to_string(),
+            match self.objective {
+                Some(v) => Json::from(v),
+                None => Json::Null,
+            },
+        ));
+        pairs.push((
+            "package".to_string(),
+            Json::Arr(
+                self.package
+                    .iter()
+                    .map(|&(t, m)| Json::Arr(vec![Json::from(t), Json::from(m as usize)]))
+                    .collect(),
+            ),
+        ));
+        if !self.algorithm.is_empty() {
+            pairs.push(("algorithm".to_string(), Json::from(self.algorithm.as_str())));
+        }
+        pairs.push((
+            "prepared_cache".to_string(),
+            Json::from(if self.prepared_cache_hit {
+                "hit"
+            } else {
+                "miss"
+            }),
+        ));
+        pairs.push(("queue_ms".to_string(), Json::from(self.queue_ms)));
+        pairs.push(("wall_ms".to_string(), Json::from(self.wall_ms)));
+        if let Some(stats) = &self.stats {
+            pairs.push((
+                "stats".to_string(),
+                Json::Obj(vec![
+                    ("scenarios".to_string(), Json::from(stats.scenarios_used)),
+                    ("summaries".to_string(), Json::from(stats.summaries_used)),
+                    (
+                        "outer_iterations".to_string(),
+                        Json::from(stats.outer_iterations),
+                    ),
+                    (
+                        "problems_solved".to_string(),
+                        Json::from(stats.problems_solved),
+                    ),
+                    ("validations".to_string(), Json::from(stats.validations)),
+                    ("solver_nodes".to_string(), Json::from(stats.solver_nodes)),
+                    ("lp_pivots".to_string(), Json::from(stats.lp_pivots)),
+                    (
+                        "max_problem_coefficients".to_string(),
+                        Json::from(stats.max_problem_coefficients),
+                    ),
+                    (
+                        "wall_time_ms".to_string(),
+                        Json::from(stats.wall_time.as_secs_f64() * 1000.0),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(pairs).to_string()
+    }
+
+    /// Parse a response line (client side). Stats are left `None` — clients
+    /// that need individual counters can re-parse the raw JSON.
+    pub fn parse_line(line: &str) -> Result<QueryResponse, String> {
+        let value = parse(line)?;
+        let status = value
+            .str_field("status")
+            .and_then(QueryStatus::from_str_opt)
+            .ok_or("response needs a valid `status`")?;
+        let package = match value.get("package").and_then(Json::as_array) {
+            Some(items) => items
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array().ok_or("package entries are pairs")?;
+                    let t = pair
+                        .first()
+                        .and_then(Json::as_u64)
+                        .ok_or("package tuple index")? as usize;
+                    let m = pair
+                        .get(1)
+                        .and_then(Json::as_u64)
+                        .ok_or("package multiplicity")? as u32;
+                    Ok::<(usize, u32), String>((t, m))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(QueryResponse {
+            id: value.str_field("id").unwrap_or_default().to_string(),
+            status,
+            error: value.str_field("error").map(str::to_string),
+            feasible: value
+                .get("feasible")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            objective: value.get("objective").and_then(Json::as_f64),
+            package,
+            algorithm: value.str_field("algorithm").unwrap_or_default().to_string(),
+            prepared_cache_hit: value.str_field("prepared_cache") == Some("hit"),
+            queue_ms: value.get("queue_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            wall_ms: value.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            stats: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_requests_round_trip() {
+        let line = r#"{"id":"q7","relation":"portfolio","query":"SELECT PACKAGE(*) FROM portfolio","algorithm":"sketch-refine","timeout_ms":1500,"seed":9,"validation_scenarios":500}"#;
+        let parsed = Request::parse_line(line).unwrap();
+        let Request::Query(q) = &parsed else {
+            panic!("expected query");
+        };
+        assert_eq!(q.id, "q7");
+        assert_eq!(q.relation, "portfolio");
+        assert_eq!(q.algorithm, Some(Algorithm::SketchRefine));
+        assert_eq!(q.timeout_ms, Some(1500));
+        assert_eq!(q.seed, Some(9));
+        assert_eq!(q.validation_scenarios, Some(500));
+        assert_eq!(q.initial_scenarios, None);
+        // Serialize and re-parse.
+        let reparsed = Request::parse_line(&parsed.to_line()).unwrap();
+        let Request::Query(q2) = reparsed else {
+            panic!("expected query");
+        };
+        assert_eq!(q2.id, q.id);
+        assert_eq!(q2.algorithm, q.algorithm);
+    }
+
+    #[test]
+    fn admin_ops_parse() {
+        assert!(matches!(
+            Request::parse_line(r#"{"op":"cancel","id":"x"}"#).unwrap(),
+            Request::Cancel { id } if id == "x"
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"op":"ping"}"#).unwrap(),
+            Request::Ping
+        ));
+        assert!(Request::parse_line(r#"{"op":"nope"}"#).is_err());
+        assert!(Request::parse_line(r#"{"id":"q"}"#).is_err());
+        assert!(Request::parse_line("not json").is_err());
+        assert!(Request::parse_line(
+            r#"{"id":"q","relation":"r","query":"x","algorithm":"cplex"}"#
+        )
+        .is_err());
+        // Round-trip the admin ops too.
+        for op in [
+            Request::Cancel { id: "x".into() },
+            Request::Stats,
+            Request::Ping,
+        ] {
+            Request::parse_line(&op.to_line()).unwrap();
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let response = QueryResponse {
+            id: "q1".into(),
+            status: QueryStatus::Ok,
+            error: None,
+            feasible: true,
+            objective: Some(12.25),
+            package: vec![(3, 1), (17, 2)],
+            algorithm: "SummarySearch".into(),
+            prepared_cache_hit: true,
+            queue_ms: 0.5,
+            wall_ms: 18.0,
+            stats: Some(EvaluationStats {
+                scenarios_used: 100,
+                lp_pivots: 5,
+                ..Default::default()
+            }),
+        };
+        let line = response.to_line();
+        assert!(line.contains("\"prepared_cache\":\"hit\""));
+        assert!(line.contains("\"lp_pivots\":5"));
+        let parsed = QueryResponse::parse_line(&line).unwrap();
+        assert_eq!(parsed.id, "q1");
+        assert_eq!(parsed.status, QueryStatus::Ok);
+        assert!(parsed.feasible);
+        assert_eq!(parsed.objective, Some(12.25));
+        assert_eq!(parsed.package, vec![(3, 1), (17, 2)]);
+        assert!(parsed.prepared_cache_hit);
+        assert_eq!(parsed.wall_ms, 18.0);
+    }
+
+    #[test]
+    fn failure_responses_carry_the_message() {
+        let r = QueryResponse::failure("q9", QueryStatus::Rejected, "queue full");
+        let parsed = QueryResponse::parse_line(&r.to_line()).unwrap();
+        assert_eq!(parsed.status, QueryStatus::Rejected);
+        assert_eq!(parsed.error.as_deref(), Some("queue full"));
+        assert!(!parsed.feasible);
+        assert_eq!(parsed.objective, None);
+    }
+
+    #[test]
+    fn status_spellings_are_stable() {
+        for s in [
+            QueryStatus::Ok,
+            QueryStatus::Rejected,
+            QueryStatus::Cancelled,
+            QueryStatus::Timeout,
+            QueryStatus::Error,
+        ] {
+            assert_eq!(QueryStatus::from_str_opt(s.as_str()), Some(s));
+        }
+        assert_eq!(QueryStatus::from_str_opt("nope"), None);
+    }
+}

@@ -1,0 +1,517 @@
+//! The spqd TCP server: connection handling, admission control, scheduling.
+//!
+//! Architecture (std only, no async runtime):
+//!
+//! * An **accept thread** takes connections off the listener and spawns one
+//!   reader thread per connection.
+//! * Each **reader thread** parses NDJSON requests. Admin ops (`ping`,
+//!   `stats`, `cancel`) are answered inline; query ops are stamped with
+//!   their admission time and deadline, given a fresh
+//!   [`CancellationToken`], and pushed onto the shared bounded **job
+//!   queue**. A full queue rejects the request immediately
+//!   (`status:"rejected"`) — admission control over buffering, so latency
+//!   stays bounded under overload.
+//! * A fixed pool of **worker threads** pops jobs and runs
+//!   [`SpqService::execute`]; the response is written back on the job's
+//!   connection (responses are tagged with the request id and may interleave
+//!   across in-flight queries of the same connection).
+//!
+//! Cancellation is per connection: `{"op":"cancel","id":"..."}` fires the
+//! token of that connection's in-flight query, which the solver observes at
+//! its next pivot-loop checkpoint. One client cannot cancel another's
+//! queries.
+
+use crate::json::Json;
+use crate::protocol::{QueryRequest, QueryResponse, QueryStatus, Request};
+use crate::service::SpqService;
+use spq_solver::{CancellationToken, Deadline};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Transport configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads evaluating queries. `0` = the machine's available
+    /// parallelism.
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet running) queries before
+    /// admission control rejects new ones.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// A connection's shared write half; responses from reader and workers are
+/// serialized by the mutex (one line per lock hold).
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+/// In-flight queries of one connection: request id → cancellation token.
+type ConnRegistry = Arc<Mutex<HashMap<String, CancellationToken>>>;
+
+fn send_line(writer: &SharedWriter, line: &str) {
+    let mut guard = match writer.lock() {
+        Ok(g) => g,
+        Err(_) => return,
+    };
+    // A vanished client is not an error worth propagating; its jobs drain
+    // and their writes become no-ops.
+    let _ = guard.write_all(line.as_bytes());
+    let _ = guard.write_all(b"\n");
+    let _ = guard.flush();
+}
+
+struct Job {
+    request: QueryRequest,
+    token: CancellationToken,
+    deadline: Deadline,
+    enqueued: Instant,
+    writer: SharedWriter,
+    registry: ConnRegistry,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Box<Job>>,
+    shutdown: bool,
+}
+
+/// Bounded MPMC job queue (mutex + condvar).
+struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit a job, or give it back when the queue is full.
+    fn push(&self, job: Box<Job>) -> Result<(), Box<Job>> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        if state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available or the queue shuts down.
+    fn pop(&self) -> Option<Box<Job>> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().expect("job queue poisoned").jobs.len()
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("job queue poisoned").shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+/// A running spqd server; dropping it (or calling [`SpqServer::shutdown`])
+/// stops the accept loop, drains the workers and joins every thread.
+pub struct SpqServer {
+    addr: SocketAddr,
+    queue: Arc<JobQueue>,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+    reader_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl SpqServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and start
+    /// serving `service`.
+    pub fn start(
+        service: Arc<SpqService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<SpqServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let reader_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let worker_threads = (0..config.effective_workers())
+            .map(|i| {
+                let queue = queue.clone();
+                let service = service.clone();
+                std::thread::Builder::new()
+                    .name(format!("spqd-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &service))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_thread = {
+            let queue = queue.clone();
+            let stopping = stopping.clone();
+            let readers = reader_threads.clone();
+            std::thread::Builder::new()
+                .name("spqd-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stopping.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let queue = queue.clone();
+                        let service = service.clone();
+                        let stopping = stopping.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("spqd-conn".into())
+                            .spawn(move || connection_loop(stream, &service, &queue, &stopping))
+                            .expect("spawn connection reader");
+                        let mut guard = readers.lock().expect("reader list poisoned");
+                        // Reap readers whose connections already closed, so a
+                        // long-running server does not accumulate one handle
+                        // per connection it ever served.
+                        let (done, live): (Vec<_>, Vec<_>) =
+                            guard.drain(..).partition(|h| h.is_finished());
+                        *guard = live;
+                        guard.push(handle);
+                        drop(guard);
+                        for finished in done {
+                            let _ = finished.join();
+                        }
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(SpqServer {
+            addr,
+            queue,
+            stopping,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            reader_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of admitted-but-not-running queries.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stop accepting, drain the queue, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.queue.shutdown();
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+        let readers: Vec<_> = {
+            let mut guard = self.reader_threads.lock().expect("reader list poisoned");
+            guard.drain(..).collect()
+        };
+        for handle in readers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SpqServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(queue: &JobQueue, service: &SpqService) {
+    while let Some(job) = queue.pop() {
+        let response = service.execute(
+            &job.request,
+            &job.token,
+            job.deadline.clone(),
+            job.enqueued.elapsed(),
+        );
+        job.registry
+            .lock()
+            .expect("connection registry poisoned")
+            .remove(&job.request.id);
+        send_line(&job.writer, &response.to_line());
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    service: &Arc<SpqService>,
+    queue: &Arc<JobQueue>,
+    stopping: &AtomicBool,
+) {
+    // A read timeout lets the reader observe shutdown even on idle
+    // connections (read_line returns WouldBlock/TimedOut periodically).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    // A write timeout keeps a client that stops reading (full TCP window)
+    // from parking a worker forever inside send_line; the response is
+    // dropped and the worker moves on.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let registry: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client closed the connection.
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match Request::parse_line(trimmed) {
+            Ok(Request::Ping) => {
+                send_line(
+                    &writer,
+                    &Json::Obj(vec![("op".into(), Json::from("pong"))]).to_string(),
+                );
+            }
+            Ok(Request::Stats) => {
+                let stats =
+                    service.stats_json(vec![("queue_depth".to_string(), Json::from(queue.len()))]);
+                send_line(&writer, &stats.to_string());
+            }
+            Ok(Request::Cancel { id }) => {
+                let found = registry
+                    .lock()
+                    .expect("connection registry poisoned")
+                    .get(&id)
+                    .map(|token| {
+                        token.cancel();
+                        true
+                    })
+                    .unwrap_or(false);
+                send_line(
+                    &writer,
+                    &Json::Obj(vec![
+                        ("op".into(), Json::from("cancel_ack")),
+                        ("id".into(), Json::from(id.as_str())),
+                        ("found".into(), Json::from(found)),
+                    ])
+                    .to_string(),
+                );
+            }
+            Ok(Request::Query(request)) => {
+                let token = CancellationToken::new();
+                let deadline = service.deadline_for(&request, &token);
+                {
+                    // A duplicate in-flight id would clobber the first
+                    // query's cancellation token (and the worker completing
+                    // either one would deregister both): refuse it.
+                    let mut inflight = registry.lock().expect("connection registry poisoned");
+                    if inflight.contains_key(&request.id) {
+                        drop(inflight);
+                        send_line(
+                            &writer,
+                            &QueryResponse::failure(
+                                &request.id,
+                                QueryStatus::Error,
+                                "a query with this id is already in flight on this connection",
+                            )
+                            .to_line(),
+                        );
+                        continue;
+                    }
+                    inflight.insert(request.id.clone(), token.clone());
+                }
+                let job = Box::new(Job {
+                    request,
+                    token,
+                    deadline,
+                    enqueued: Instant::now(),
+                    writer: writer.clone(),
+                    registry: registry.clone(),
+                });
+                if let Err(job) = queue.push(job) {
+                    job.registry
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .remove(&job.request.id);
+                    send_line(
+                        &writer,
+                        &QueryResponse::failure(
+                            &job.request.id,
+                            QueryStatus::Rejected,
+                            format!("queue full ({} queued)", queue.len()),
+                        )
+                        .to_line(),
+                    );
+                }
+            }
+            Err(message) => {
+                send_line(
+                    &writer,
+                    &Json::Obj(vec![
+                        ("status".into(), Json::from("error")),
+                        ("error".into(), Json::from(message)),
+                    ])
+                    .to_string(),
+                );
+            }
+        }
+    }
+    // Cancel whatever this connection still has in flight: nobody is left
+    // to read the answers.
+    for token in registry
+        .lock()
+        .expect("connection registry poisoned")
+        .values()
+    {
+        token.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use spq_core::SpqOptions;
+    use spq_mcdb::vg::NormalNoise;
+    use spq_mcdb::RelationBuilder;
+
+    fn tiny_service() -> Arc<SpqService> {
+        let service = SpqService::new(ServiceConfig {
+            base_options: SpqOptions::for_tests(),
+            ..Default::default()
+        });
+        let relation = RelationBuilder::new("t")
+            .deterministic_f64("price", vec![100.0, 100.0, 100.0])
+            .stochastic(
+                "gain",
+                NormalNoise::around(vec![5.0, 1.0, 0.3], vec![1.0, 0.3, 0.1]),
+            )
+            .build()
+            .unwrap();
+        service.register_relation("t", relation);
+        Arc::new(service)
+    }
+
+    #[test]
+    fn ping_stats_and_malformed_lines() {
+        let server = SpqServer::start(tiny_service(), "127.0.0.1:0", ServerConfig::default())
+            .expect("server starts");
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let write = |line: &str| {
+            let mut s = &stream;
+            s.write_all(line.as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+        };
+        let mut read = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        };
+        write(r#"{"op":"ping"}"#);
+        assert!(read().contains("pong"));
+        write(r#"{"op":"stats"}"#);
+        let stats = read();
+        assert!(stats.contains("queue_depth") && stats.contains("scenario_cache"));
+        write("this is not json");
+        assert!(read().contains("error"));
+        write(r#"{"op":"cancel","id":"ghost"}"#);
+        assert!(read().contains("\"found\":false"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_query_round_trips_over_tcp() {
+        let server = SpqServer::start(tiny_service(), "127.0.0.1:0", ServerConfig::default())
+            .expect("server starts");
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut s = &stream;
+        s.write_all(
+            concat!(
+                r#"{"id":"q1","relation":"t","query":"SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) <= 200 AND SUM(gain) >= -1 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)","validation_scenarios":400}"#,
+                "\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = QueryResponse::parse_line(&line).unwrap();
+        assert_eq!(response.id, "q1");
+        assert_eq!(response.status, QueryStatus::Ok, "{:?}", response.error);
+        assert!(response.feasible);
+        assert!(!response.package.is_empty());
+        assert!(response.wall_ms > 0.0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,449 @@
+//! The query service core: relation registry, caches, and request execution.
+//!
+//! [`SpqService`] is the transport-agnostic heart of spqd: it owns the
+//! registered relations (cheap `Arc` handles), the prepared-query cache, and
+//! the shared scenario cache, and turns one [`QueryRequest`] into one
+//! [`QueryResponse`]. The TCP server ([`crate::server`]) layers scheduling,
+//! admission control and cancellation bookkeeping on top; tests can call
+//! [`SpqService::execute`] directly for a serial reference run.
+//!
+//! Execution is deterministic: a request's options are derived only from the
+//! server's base options and the request's own fields, never from load or
+//! timing — so the same request returns a bit-identical package whether it
+//! runs alone or next to seven concurrent clients (the integration tests
+//! assert exactly that).
+
+use crate::prepared::PreparedCache;
+use crate::protocol::{QueryRequest, QueryResponse, QueryStatus};
+use spq_core::{Algorithm, SpqEngine, SpqOptions};
+use spq_mcdb::{Relation, ScenarioCache};
+use spq_solver::{CancellationToken, Deadline};
+use spq_workloads::{build_workload, WorkloadKind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Service-level configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Options every query starts from; per-request fields override the
+    /// seed, scenario counts and budget.
+    pub base_options: SpqOptions,
+    /// Budget applied when a request carries no `timeout_ms`, measured from
+    /// admission. `None` = unlimited.
+    pub default_timeout: Option<Duration>,
+    /// Algorithm used when a request does not name one.
+    pub default_algorithm: Algorithm,
+    /// Byte budget of the shared scenario cache.
+    pub scenario_cache_bytes: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            base_options: SpqOptions::default(),
+            default_timeout: Some(Duration::from_secs(60)),
+            default_algorithm: Algorithm::SummarySearch,
+            scenario_cache_bytes: ScenarioCache::DEFAULT_MAX_BYTES,
+        }
+    }
+}
+
+/// The transport-agnostic query service.
+#[derive(Debug)]
+pub struct SpqService {
+    config: ServiceConfig,
+    relations: RwLock<HashMap<String, Relation>>,
+    prepared: PreparedCache,
+    scenarios: Arc<ScenarioCache>,
+    queries_executed: AtomicU64,
+}
+
+impl SpqService {
+    /// Create a service with the given configuration. Installs the
+    /// SketchRefine evaluator so requests may select any algorithm.
+    pub fn new(config: ServiceConfig) -> Self {
+        spq_sketch::install();
+        let scenarios = Arc::new(ScenarioCache::with_max_bytes(config.scenario_cache_bytes));
+        SpqService {
+            config,
+            relations: RwLock::new(HashMap::new()),
+            prepared: PreparedCache::new(),
+            scenarios,
+            queries_executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a relation under `name` (case-insensitive lookup). Replaces
+    /// any previous relation of that name; cached plans and scenario blocks
+    /// of the old relation are keyed by its uid and simply stop being hit.
+    pub fn register_relation(&self, name: impl Into<String>, relation: Relation) {
+        let name = name.into().to_ascii_lowercase();
+        self.relations
+            .write()
+            .expect("relation registry poisoned")
+            .insert(name, relation);
+    }
+
+    /// Build one of the paper's workloads and register its relation under
+    /// the workload's name (`galaxy`, `portfolio`, `tpch`). Returns the
+    /// relation's registered name and its tuple count.
+    pub fn register_workload(
+        &self,
+        kind: WorkloadKind,
+        scale: usize,
+        seed: u64,
+    ) -> (String, usize) {
+        let workload = build_workload(kind, scale, seed);
+        let name = match kind {
+            WorkloadKind::Galaxy => "galaxy",
+            WorkloadKind::Portfolio => "portfolio",
+            WorkloadKind::Tpch => "tpch",
+        };
+        let n = workload.relation.len();
+        self.register_relation(name, workload.relation);
+        (name.to_string(), n)
+    }
+
+    /// Look up a registered relation (clone is O(1)).
+    pub fn relation(&self, name: &str) -> Option<Relation> {
+        self.relations
+            .read()
+            .expect("relation registry poisoned")
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Names of the registered relations, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .relations
+            .read()
+            .expect("relation registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared scenario cache (exposed for stats and tests).
+    pub fn scenario_cache(&self) -> &Arc<ScenarioCache> {
+        &self.scenarios
+    }
+
+    /// The prepared-query cache (exposed for stats and tests).
+    pub fn prepared_cache(&self) -> &PreparedCache {
+        &self.prepared
+    }
+
+    /// Total queries executed (any status except rejected).
+    pub fn queries_executed(&self) -> u64 {
+        self.queries_executed.load(Ordering::Relaxed)
+    }
+
+    /// The effective deadline of a request admitted now.
+    pub fn deadline_for(&self, request: &QueryRequest, token: &CancellationToken) -> Deadline {
+        let timeout = request
+            .timeout_ms
+            .map(Duration::from_millis)
+            .or(self.config.default_timeout);
+        Deadline::none()
+            .tightened_by(timeout)
+            .with_token(token.clone())
+    }
+
+    /// The options a request evaluates under: base options with the
+    /// request's overrides, the armed deadline, and the shared caches.
+    fn options_for(&self, request: &QueryRequest, deadline: Deadline) -> SpqOptions {
+        let mut options = self.config.base_options.clone();
+        if let Some(seed) = request.seed {
+            options.seed = seed;
+        }
+        if let Some(m) = request.initial_scenarios {
+            options.initial_scenarios = m.max(1);
+        }
+        if let Some(m) = request.max_scenarios {
+            options.max_scenarios = m;
+        }
+        if let Some(v) = request.validation_scenarios {
+            options.validation_scenarios = v.max(1);
+        }
+        // The deadline is already absolute (armed at admission): clear the
+        // relative limit so Instance::new does not tighten it further.
+        options.time_limit = None;
+        options.deadline = deadline;
+        options.scenario_cache = Some(self.scenarios.clone());
+        options
+    }
+
+    /// Execute one query request. `token` is the cancellation handle the
+    /// caller may fire from another thread; `deadline` is the budget armed
+    /// at admission ([`Self::deadline_for`]); `queued` is how long the
+    /// request waited before execution started.
+    pub fn execute(
+        &self,
+        request: &QueryRequest,
+        token: &CancellationToken,
+        deadline: Deadline,
+        queued: Duration,
+    ) -> QueryResponse {
+        let queue_ms = queued.as_secs_f64() * 1000.0;
+        let started = Instant::now();
+        self.queries_executed.fetch_add(1, Ordering::Relaxed);
+
+        let finish = |mut response: QueryResponse| {
+            response.queue_ms = queue_ms;
+            response.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+            response
+        };
+
+        let Some(relation) = self.relation(&request.relation) else {
+            return finish(QueryResponse::failure(
+                &request.id,
+                QueryStatus::Error,
+                format!("unknown relation `{}`", request.relation),
+            ));
+        };
+        if deadline.expired() && !token.is_cancelled() {
+            return finish(QueryResponse::failure(
+                &request.id,
+                QueryStatus::Timeout,
+                "deadline expired while queued",
+            ));
+        }
+        if token.is_cancelled() {
+            return finish(QueryResponse::failure(
+                &request.id,
+                QueryStatus::Cancelled,
+                "cancelled while queued",
+            ));
+        }
+
+        // Compile (or fetch) the plan, then evaluate it.
+        let (silp, cache_hit) = match self.prepared.get_or_compile(&relation, &request.query) {
+            Ok(pair) => pair,
+            Err(e) => {
+                return finish(QueryResponse::failure(
+                    &request.id,
+                    QueryStatus::Error,
+                    e.to_string(),
+                ))
+            }
+        };
+        let algorithm = request.algorithm.unwrap_or(self.config.default_algorithm);
+        let engine = SpqEngine::new(self.options_for(request, deadline.clone()));
+        let result = engine.evaluate_silp(&relation, (*silp).clone(), algorithm);
+
+        match result {
+            Ok(result) => {
+                let status = if token.is_cancelled() {
+                    QueryStatus::Cancelled
+                } else if !result.feasible && deadline.expired() {
+                    QueryStatus::Timeout
+                } else {
+                    QueryStatus::Ok
+                };
+                finish(QueryResponse {
+                    id: request.id.clone(),
+                    status,
+                    error: None,
+                    feasible: result.feasible,
+                    objective: result.objective(),
+                    package: result
+                        .package
+                        .as_ref()
+                        .map(|p| p.multiplicities.clone())
+                        .unwrap_or_default(),
+                    algorithm: algorithm.to_string(),
+                    prepared_cache_hit: cache_hit,
+                    queue_ms: 0.0,
+                    wall_ms: 0.0,
+                    stats: Some(result.stats),
+                })
+            }
+            Err(e) => {
+                let status = if token.is_cancelled() {
+                    QueryStatus::Cancelled
+                } else {
+                    QueryStatus::Error
+                };
+                finish(QueryResponse::failure(&request.id, status, e.to_string()))
+            }
+        }
+    }
+
+    /// Service statistics as a JSON object (the `{"op":"stats"}` response);
+    /// `extra` appends transport-level fields like queue depth.
+    pub fn stats_json(&self, extra: Vec<(String, crate::json::Json)>) -> crate::json::Json {
+        use crate::json::Json;
+        let mut pairs = vec![
+            ("op".to_string(), Json::from("stats")),
+            (
+                "queries_executed".to_string(),
+                Json::from(self.queries_executed()),
+            ),
+            (
+                "prepared_cache".to_string(),
+                Json::Obj(vec![
+                    ("hits".to_string(), Json::from(self.prepared.hits())),
+                    ("misses".to_string(), Json::from(self.prepared.misses())),
+                    ("entries".to_string(), Json::from(self.prepared.len())),
+                ]),
+            ),
+            (
+                "scenario_cache".to_string(),
+                Json::Obj(vec![
+                    ("hits".to_string(), Json::from(self.scenarios.hits())),
+                    ("misses".to_string(), Json::from(self.scenarios.misses())),
+                    ("entries".to_string(), Json::from(self.scenarios.len())),
+                    (
+                        "resident_bytes".to_string(),
+                        Json::from(self.scenarios.resident_bytes()),
+                    ),
+                ]),
+            ),
+            (
+                "relations".to_string(),
+                Json::Arr(self.relation_names().into_iter().map(Json::from).collect()),
+            ),
+        ];
+        pairs.extend(extra);
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spq_mcdb::vg::NormalNoise;
+    use spq_mcdb::RelationBuilder;
+
+    fn service() -> SpqService {
+        let service = SpqService::new(ServiceConfig {
+            base_options: SpqOptions::for_tests(),
+            default_timeout: Some(Duration::from_secs(30)),
+            ..Default::default()
+        });
+        let relation = RelationBuilder::new("stocks")
+            .deterministic_f64("price", vec![100.0, 100.0, 100.0, 100.0])
+            .stochastic(
+                "gain",
+                NormalNoise::around(vec![5.0, 4.0, 1.0, 0.5], vec![1.0, 6.0, 0.2, 0.1]),
+            )
+            .build()
+            .unwrap();
+        service.register_relation("stocks", relation);
+        service
+    }
+
+    fn request(id: &str) -> QueryRequest {
+        QueryRequest {
+            id: id.into(),
+            relation: "Stocks".into(),
+            query: "SELECT PACKAGE(*) FROM stocks SUCH THAT SUM(price) <= 300 AND \
+                    SUM(gain) >= -1 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)"
+                .into(),
+            algorithm: None,
+            timeout_ms: None,
+            seed: None,
+            initial_scenarios: Some(15),
+            max_scenarios: None,
+            validation_scenarios: Some(500),
+        }
+    }
+
+    fn run(service: &SpqService, request: &QueryRequest) -> QueryResponse {
+        let token = CancellationToken::new();
+        let deadline = service.deadline_for(request, &token);
+        service.execute(request, &token, deadline, Duration::ZERO)
+    }
+
+    #[test]
+    fn executes_a_query_and_reports_cache_state() {
+        let service = service();
+        let first = run(&service, &request("a"));
+        assert_eq!(first.status, QueryStatus::Ok, "{:?}", first.error);
+        assert!(first.feasible);
+        assert!(!first.package.is_empty());
+        assert!(!first.prepared_cache_hit);
+        assert!(first.stats.is_some());
+
+        // Same query again: prepared plan and scenario blocks are reused,
+        // and the package is identical.
+        let second = run(&service, &request("b"));
+        assert_eq!(second.status, QueryStatus::Ok);
+        assert!(second.prepared_cache_hit);
+        assert_eq!(second.package, first.package);
+        assert_eq!(second.objective, first.objective);
+        assert_eq!(service.prepared_cache().hits(), 1);
+        assert!(service.scenario_cache().hits() > 0);
+        assert_eq!(service.queries_executed(), 2);
+
+        // A different algorithm reuses the same prepared plan.
+        let mut naive = request("c");
+        naive.algorithm = Some(Algorithm::Naive);
+        let third = run(&service, &naive);
+        assert_eq!(third.status, QueryStatus::Ok);
+        assert!(third.prepared_cache_hit);
+        assert_eq!(third.algorithm, "Naive");
+    }
+
+    #[test]
+    fn unknown_relation_and_bad_query_are_errors() {
+        let service = service();
+        let mut bad_rel = request("x");
+        bad_rel.relation = "nope".into();
+        let r = run(&service, &bad_rel);
+        assert_eq!(r.status, QueryStatus::Error);
+        assert!(r.error.unwrap().contains("nope"));
+
+        let mut bad_query = request("y");
+        bad_query.query = "SELECT PACKAGE(*) FROM stocks SUCH THAT SUM(missing) <= 1".into();
+        let r = run(&service, &bad_query);
+        assert_eq!(r.status, QueryStatus::Error);
+    }
+
+    #[test]
+    fn cancelled_and_expired_requests_short_circuit() {
+        let service = service();
+        let req = request("z");
+        let token = CancellationToken::new();
+        token.cancel();
+        let deadline = service.deadline_for(&req, &token);
+        let r = service.execute(&req, &token, deadline, Duration::from_millis(5));
+        assert_eq!(r.status, QueryStatus::Cancelled);
+        assert!(r.queue_ms >= 5.0);
+
+        let token = CancellationToken::new();
+        let expired = Deadline::within(Duration::ZERO).with_token(token.clone());
+        let r = service.execute(&req, &token, expired, Duration::ZERO);
+        assert_eq!(r.status, QueryStatus::Timeout);
+    }
+
+    #[test]
+    fn workload_registration_and_stats() {
+        let service = service();
+        let (name, n) = service.register_workload(WorkloadKind::Portfolio, 120, 1);
+        assert_eq!(name, "portfolio");
+        assert!(n >= 100);
+        assert!(service.relation("PORTFOLIO").is_some());
+        assert_eq!(
+            service.relation_names(),
+            vec!["portfolio".to_string(), "stocks".to_string()]
+        );
+        let stats = service.stats_json(vec![(
+            "queue_depth".to_string(),
+            crate::json::Json::from(3usize),
+        )]);
+        let text = stats.to_string();
+        assert!(text.contains("\"relations\":[\"portfolio\",\"stocks\"]"));
+        assert!(text.contains("\"queue_depth\":3"));
+    }
+}

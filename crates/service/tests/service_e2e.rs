@@ -1,0 +1,307 @@
+//! End-to-end tests of spqd over real TCP connections.
+//!
+//! Covers the acceptance criteria of the service subsystem:
+//! * N concurrent clients over one shared relation produce **bit-identical**
+//!   packages to a serial evaluation of the same requests;
+//! * a `cancel` op interrupts a solve mid-flight (the pivot-loop checkpoint)
+//!   and answers promptly;
+//! * admission control rejects requests once the bounded queue is full.
+
+use spq_core::{Algorithm, SpqOptions};
+use spq_mcdb::vg::NormalNoise;
+use spq_mcdb::{Relation, RelationBuilder};
+use spq_service::prelude::*;
+use spq_service::Request;
+use spq_workloads::{build_workload, WorkloadKind};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn test_service_config() -> ServiceConfig {
+    ServiceConfig {
+        base_options: SpqOptions::for_tests(),
+        default_timeout: Some(Duration::from_secs(120)),
+        ..Default::default()
+    }
+}
+
+/// One NDJSON client connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send newline");
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        assert!(!line.is_empty(), "server closed the connection");
+        line.trim_end().to_string()
+    }
+
+    /// Read `n` query responses (skipping interleaved admin acks); they may
+    /// arrive in any completion order, so callers look them up by id.
+    fn recv_responses(&mut self, n: usize) -> std::collections::HashMap<String, QueryResponse> {
+        let mut responses = std::collections::HashMap::new();
+        while responses.len() < n {
+            let line = self.recv_line();
+            if let Ok(response) = QueryResponse::parse_line(&line) {
+                responses.insert(response.id.clone(), response);
+            }
+        }
+        responses
+    }
+}
+
+fn portfolio_request(id: &str, query: &str) -> QueryRequest {
+    QueryRequest {
+        id: id.to_string(),
+        relation: "portfolio".to_string(),
+        query: query.to_string(),
+        algorithm: Some(Algorithm::SummarySearch),
+        timeout_ms: Some(60_000),
+        seed: Some(11),
+        initial_scenarios: Some(20),
+        max_scenarios: Some(100),
+        validation_scenarios: Some(500),
+    }
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_packages() {
+    let workload = build_workload(WorkloadKind::Portfolio, 400, 7);
+    // Q1 and Q2 have distinct text (p = 0.9 vs 0.95); Q3 would alias Q1 in
+    // the prepared cache.
+    let queries: Vec<String> = vec![workload.query(1).to_string(), workload.query(2).to_string()];
+
+    // Serial reference: the same requests through a fresh service, one at a
+    // time.
+    let serial = SpqService::new(test_service_config());
+    serial.register_relation("portfolio", workload.relation.clone());
+    let reference: Vec<QueryResponse> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let request = portfolio_request(&format!("ref-{i}"), q);
+            let token = spq_solver::CancellationToken::new();
+            let deadline = serial.deadline_for(&request, &token);
+            let response = serial.execute(&request, &token, deadline, Duration::ZERO);
+            assert_eq!(response.status, QueryStatus::Ok, "{:?}", response.error);
+            assert!(response.feasible, "reference query {i} must be feasible");
+            response
+        })
+        .collect();
+
+    // Concurrent run: 8 clients, each sending both queries, against one
+    // shared service.
+    let service = Arc::new(SpqService::new(test_service_config()));
+    service.register_relation("portfolio", workload.relation.clone());
+    let server = SpqServer::start(
+        service.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 64,
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for client_id in 0..8 {
+            let queries = queries.clone();
+            type PackageAndObjective = (Vec<(usize, u32)>, Option<f64>);
+            let reference: Vec<PackageAndObjective> = reference
+                .iter()
+                .map(|r| (r.package.clone(), r.objective))
+                .collect();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                // Pipeline both queries, then collect both responses.
+                for (i, q) in queries.iter().enumerate() {
+                    let request = portfolio_request(&format!("c{client_id}-q{i}"), q);
+                    client.send(&Request::Query(request).to_line());
+                }
+                // Responses come back in completion order, not send order.
+                let responses = client.recv_responses(queries.len());
+                for (i, (expected_package, expected_objective)) in reference.iter().enumerate() {
+                    let response = &responses[&format!("c{client_id}-q{i}")];
+                    assert_eq!(
+                        response.status,
+                        QueryStatus::Ok,
+                        "client {client_id} query {i}: {:?}",
+                        response.error
+                    );
+                    assert_eq!(
+                        &response.package, expected_package,
+                        "client {client_id} query {i}: package differs from serial run"
+                    );
+                    assert_eq!(
+                        &response.objective, expected_objective,
+                        "client {client_id} query {i}: objective differs from serial run"
+                    );
+                }
+            });
+        }
+    });
+
+    // The caches did real sharing: 8 clients × 2 queries compiled only twice.
+    assert_eq!(service.prepared_cache().misses(), 2);
+    assert_eq!(service.prepared_cache().hits(), 14);
+    assert!(
+        service.scenario_cache().hits() > 0,
+        "concurrent solves must share scenario blocks"
+    );
+    server.shutdown();
+}
+
+/// A relation whose very first Naïve MILP runs for tens of seconds — the
+/// cancellation target.
+fn heavy_relation(n: usize) -> Relation {
+    let means: Vec<f64> = (0..n).map(|i| 4.0 + (i % 13) as f64 * 0.4).collect();
+    let sds: Vec<f64> = (0..n).map(|i| 6.0 + (i % 7) as f64 * 1.5).collect();
+    RelationBuilder::new("heavy")
+        .deterministic_f64("price", vec![100.0; n])
+        .stochastic("gain", NormalNoise::around(means, sds))
+        .build()
+        .unwrap()
+}
+
+const HEAVY_QUERY: &str = "SELECT PACKAGE(*) FROM heavy \
+                           SUCH THAT SUM(price) <= 1000 AND \
+                           SUM(gain) >= 30 WITH PROBABILITY >= 0.95 \
+                           MAXIMIZE EXPECTED SUM(gain)";
+
+fn heavy_request(id: &str) -> QueryRequest {
+    QueryRequest {
+        id: id.to_string(),
+        relation: "heavy".to_string(),
+        query: HEAVY_QUERY.to_string(),
+        algorithm: Some(Algorithm::Naive),
+        timeout_ms: Some(600_000),
+        seed: None,
+        initial_scenarios: Some(80),
+        max_scenarios: Some(800),
+        validation_scenarios: Some(1000),
+    }
+}
+
+#[test]
+fn cancel_interrupts_a_solve_mid_flight() {
+    let service = Arc::new(SpqService::new(test_service_config()));
+    service.register_relation("heavy", heavy_relation(2000));
+    let server = SpqServer::start(
+        service,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+        },
+    )
+    .expect("server starts");
+
+    let mut client = Client::connect(server.local_addr());
+    let started = Instant::now();
+    client.send(&Request::Query(heavy_request("slow")).to_line());
+    // Give the worker time to get deep into the first MILP, then cancel.
+    std::thread::sleep(Duration::from_millis(400));
+    client.send(&Request::Cancel { id: "slow".into() }.to_line());
+
+    // The ack (written by the reader) and the response (written by the
+    // worker once the solve unwinds) race; accept either order.
+    let mut saw_ack = false;
+    let response = loop {
+        let line = client.recv_line();
+        if line.contains("cancel_ack") {
+            assert!(line.contains("\"found\":true"), "unexpected ack: {line}");
+            saw_ack = true;
+            continue;
+        }
+        if let Ok(response) = QueryResponse::parse_line(&line) {
+            if response.id == "slow" {
+                break response;
+            }
+        }
+    };
+    assert!(saw_ack, "cancel_ack never arrived");
+    let elapsed = started.elapsed();
+    assert_eq!(response.status, QueryStatus::Cancelled);
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "cancellation took {elapsed:?}; an uninterrupted solve runs 20s+"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_when_the_queue_is_full() {
+    let service = Arc::new(SpqService::new(test_service_config()));
+    service.register_relation("heavy", heavy_relation(2000));
+    // One worker, queue of one: the third-and-later concurrent heavy
+    // queries cannot all be admitted.
+    let server = SpqServer::start(
+        service,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+        },
+    )
+    .expect("server starts");
+
+    let mut client = Client::connect(server.local_addr());
+    let ids: Vec<String> = (0..4).map(|i| format!("h{i}")).collect();
+    for id in &ids {
+        client.send(&Request::Query(heavy_request(id)).to_line());
+    }
+    // Rejections are written synchronously at admission: of four heavy
+    // requests against one busy worker and a queue of one, at least two are
+    // rejected, and those answers arrive before any admitted query can
+    // finish (an uninterrupted solve runs 20s+).
+    let mut statuses: Vec<(String, QueryStatus)> = Vec::new();
+    for _ in 0..2 {
+        let line = client.recv_line();
+        let response = QueryResponse::parse_line(&line).expect("query response");
+        assert_eq!(
+            response.status,
+            QueryStatus::Rejected,
+            "expected immediate rejections first, got: {line}"
+        );
+        statuses.push((response.id, response.status));
+    }
+    // Cancel everything still in flight so the test and shutdown are fast
+    // (cancelling an already-rejected id is a found:false no-op).
+    for id in &ids {
+        client.send(&Request::Cancel { id: id.clone() }.to_line());
+    }
+    // Drain until all four queries have answered.
+    while statuses.len() < ids.len() {
+        let line = client.recv_line();
+        if let Ok(response) = QueryResponse::parse_line(&line) {
+            statuses.push((response.id, response.status));
+        }
+    }
+    let rejected = statuses
+        .iter()
+        .filter(|(_, s)| *s == QueryStatus::Rejected)
+        .count();
+    let cancelled = statuses
+        .iter()
+        .filter(|(_, s)| *s == QueryStatus::Cancelled)
+        .count();
+    assert!(rejected >= 2, "statuses: {statuses:?}");
+    assert_eq!(rejected + cancelled, 4, "statuses: {statuses:?}");
+    server.shutdown();
+}

@@ -54,24 +54,25 @@ fn merge_stats(into: &mut EvaluationStats, from: &EvaluationStats) {
         .max(from.max_problem_coefficients);
 }
 
-fn time_exhausted(opts: &SpqOptions, start: Instant) -> bool {
-    opts.time_limit
-        .map(|limit| start.elapsed() >= limit)
-        .unwrap_or(false)
+/// The evaluation budget is exhausted or the query was cancelled. The
+/// deadline was armed by `Instance::new` from `SpqOptions::time_limit`
+/// (plus any cancellation token), so this one check covers both.
+fn time_exhausted(opts: &SpqOptions) -> bool {
+    opts.deadline.expired()
 }
 
-/// A copy of `opts` whose time limit is the budget still remaining, with the
-/// per-phase MILP solver cap applied (the solver hands back its incumbent at
-/// the limit, so phases stay bounded without losing feasibility).
-fn remaining_budget(opts: &SpqOptions, start: Instant) -> SpqOptions {
+/// A copy of `opts` whose time limit is the budget still remaining on the
+/// armed deadline, with the per-phase MILP solver cap applied (the solver
+/// hands back its incumbent at the limit, so phases stay bounded without
+/// losing feasibility). The deadline itself — including any cancellation
+/// token — is carried along in the clone, so sub-instances re-arm to the
+/// same absolute instant.
+fn remaining_budget(opts: &SpqOptions) -> SpqOptions {
     let mut scoped = opts.clone();
-    if let Some(limit) = opts.time_limit {
-        scoped.time_limit = Some(
-            limit
-                .saturating_sub(start.elapsed())
-                .max(Duration::from_millis(1)),
-        );
-    }
+    scoped.time_limit = opts
+        .deadline
+        .remaining()
+        .map(|left| left.max(Duration::from_millis(1)));
     if let Some(cap) = opts.sketch.phase_solver_time_limit {
         scoped.solver.time_limit = Some(match scoped.solver.time_limit {
             Some(existing) => existing.min(cap),
@@ -191,7 +192,7 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
         .repeat_bound
         .map(f64::from)
         .unwrap_or_else(|| f64::from(opts.fallback_multiplicity_bound));
-    let mut sketch_opts = remaining_budget(opts, start);
+    let mut sketch_opts = remaining_budget(opts);
     // `cap_multiplicity_bounds` can only tighten, so the derived bounds must
     // start above every partition capacity: lift the fallback (the only
     // non-constraint component of the derivation) out of the way, then cap.
@@ -278,7 +279,7 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
 
     // ---------------------------------------------------------------- phase 3
     for pid in refine_order(&current, &parts) {
-        if time_exhausted(opts, start) {
+        if time_exhausted(opts) {
             break;
         }
         let members = &parts.partitions[pid];
@@ -296,7 +297,7 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
             .chain(frozen.iter().map(|(pos, _)| pos))
             .map(|&pos| instance.silp.tuples[pos])
             .collect();
-        let mut sub_opts = remaining_budget(opts, start);
+        let mut sub_opts = remaining_budget(opts);
         sub_opts.max_scenarios = sub_opts.max_scenarios.min(
             opts.sketch
                 .refine_max_scenarios

@@ -8,10 +8,11 @@
 //! as a cross-check and fallback.
 
 use crate::basis::Basis;
+use crate::deadline::Deadline;
 use crate::error::SolverError;
 use crate::model::{Direction, Model, Sense, Solution};
 use crate::revised::RevisedLp;
-use crate::simplex::{solve_lp_with_rules, LpStatus, PivotRules};
+use crate::simplex::{LpStatus, PivotRules};
 use crate::standard_form::{LpProblem, LpRow, BOUND_INFINITY};
 use crate::Result;
 use std::time::{Duration, Instant};
@@ -65,7 +66,15 @@ fn default_backend() -> SolverBackend {
 pub struct SolverOptions {
     /// Wall-clock limit; when exceeded, the best incumbent found so far is
     /// returned with [`SolveStatus::FeasibleLimit`]. `None` means no limit.
+    /// This is *relative* to each solve; an absolute cross-solve budget (and
+    /// cooperative cancellation) goes in [`Self::deadline`].
     pub time_limit: Option<Duration>,
+    /// Absolute deadline and/or cancellation token shared across solves.
+    /// Checked between branch-and-bound nodes *and* inside the simplex pivot
+    /// loops, so an expired budget interrupts a node's LP mid-solve instead
+    /// of letting it finish; the best incumbent found so far is returned.
+    /// Default: unlimited.
+    pub deadline: Deadline,
     /// Maximum number of branch-and-bound nodes to process.
     pub max_nodes: usize,
     /// Integrality tolerance.
@@ -126,6 +135,7 @@ impl Default for SolverOptions {
     fn default() -> Self {
         SolverOptions {
             time_limit: Some(Duration::from_secs(120)),
+            deadline: Deadline::none(),
             max_nodes: 200_000,
             int_tol: 1e-6,
             rel_gap: 1e-6,
@@ -246,6 +256,13 @@ impl BranchBoundSolver {
     pub fn solve(&self, model: &Model) -> Result<MilpResult> {
         model.validate()?;
         let start = Instant::now();
+        // Fold the relative per-solve limit into the shared absolute
+        // deadline; the node loop and both pivot loops poll this one value.
+        let stop = self
+            .options
+            .deadline
+            .clone()
+            .tightened_by(self.options.time_limit);
         let minimize = model.direction == Direction::Minimize;
         let sign = if minimize { 1.0 } else { -1.0 };
 
@@ -318,11 +335,9 @@ impl BranchBoundSolver {
                 hit_limit = true;
                 break;
             }
-            if let Some(limit) = self.options.time_limit {
-                if start.elapsed() >= limit {
-                    hit_limit = true;
-                    break;
-                }
+            if stop.expired() {
+                hit_limit = true;
+                break;
             }
             // Prune by the parent's bound before paying for an LP solve.
             if node.parent_bound >= best_obj - self.gap_slack(best_obj) {
@@ -350,11 +365,18 @@ impl BranchBoundSolver {
             // exhausted on a degenerate relaxation) abandons this node rather
             // than the whole search: the node is treated as unexplored, which
             // keeps the incumbent valid and only weakens the optimality claim.
-            let relax = match self.solve_relaxation(&base, rlp.as_ref(), lower, upper, &node) {
+            let relax = match self.solve_relaxation(&base, rlp.as_ref(), lower, upper, &node, &stop)
+            {
                 Ok(r) => r,
                 Err(SolverError::Numerical(_)) => {
                     hit_limit = true;
                     continue;
+                }
+                // Deadline or cancellation fired mid-LP: stop the search and
+                // fall through to return the best incumbent found so far.
+                Err(SolverError::Cancelled) => {
+                    hit_limit = true;
+                    break;
                 }
                 Err(e) => return Err(e),
             };
@@ -519,11 +541,13 @@ impl BranchBoundSolver {
         lower: Vec<f64>,
         upper: Vec<f64>,
         node: &Node,
+        stop: &Deadline,
     ) -> Result<NodeLp> {
         match rlp {
             Some(rlp) => {
                 let rules =
-                    PivotRules::for_size(rlp.m, rlp.n_struct + rlp.m, self.options.bland_after);
+                    PivotRules::for_size(rlp.m, rlp.n_struct + rlp.m, self.options.bland_after)
+                        .with_deadline(stop.clone());
                 let sol = rlp.solve(&lower, &upper, node.warm.as_ref(), &rules)?;
                 Ok(NodeLp {
                     status: sol.status,
@@ -537,7 +561,11 @@ impl BranchBoundSolver {
                 let mut lp = base.clone();
                 lp.lower = lower;
                 lp.upper = upper;
-                let sol = solve_lp_with_rules(&lp, self.options.bland_after)?;
+                let sol = crate::simplex::solve_lp_with_rules_deadline(
+                    &lp,
+                    self.options.bland_after,
+                    stop.clone(),
+                )?;
                 Ok(NodeLp {
                     status: sol.status,
                     values: sol.values,
@@ -1098,5 +1126,87 @@ mod tests {
         assert!(!SolveStatus::NoSolutionLimit.has_solution());
         let o = SolverOptions::with_time_limit_secs(3);
         assert_eq!(o.time_limit, Some(Duration::from_secs(3)));
+    }
+
+    /// A model big enough that its root relaxation takes many pivots.
+    fn chained_model(n: usize) -> Model {
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..n)
+            .map(|i| {
+                m.add_var(
+                    format!("x{i}"),
+                    VarType::Integer,
+                    0.0,
+                    10.0,
+                    1.0 + (i % 7) as f64,
+                )
+            })
+            .collect();
+        for i in 0..n - 1 {
+            m.add_constraint(
+                format!("c{i}"),
+                vec![(vars[i], 1.0), (vars[i + 1], 2.0)],
+                Sense::Le,
+                8.0 + (i % 3) as f64,
+            );
+        }
+        m.add_constraint(
+            "total",
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            Sense::Le,
+            (n as f64) * 1.5,
+        );
+        m
+    }
+
+    #[test]
+    fn a_cancelled_deadline_interrupts_before_any_solution() {
+        for backend in [SolverBackend::Revised, SolverBackend::Dense] {
+            let token = crate::CancellationToken::new();
+            token.cancel();
+            let options = SolverOptions {
+                deadline: Deadline::none().with_token(token),
+                backend,
+                ..opts()
+            };
+            let res = solve_full(&chained_model(40), &options).unwrap();
+            assert_eq!(
+                res.status,
+                SolveStatus::NoSolutionLimit,
+                "backend {backend}"
+            );
+            assert!(res.solution.is_none());
+        }
+    }
+
+    #[test]
+    fn cancelling_mid_solve_returns_promptly() {
+        // Cancel from another thread shortly after the solve starts; the
+        // pivot-loop checkpoint must notice it long before the (absent)
+        // time limit would.
+        let token = crate::CancellationToken::new();
+        let options = SolverOptions {
+            deadline: Deadline::none().with_token(token.clone()),
+            time_limit: Some(Duration::from_secs(600)),
+            ..opts()
+        };
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        });
+        let started = Instant::now();
+        let res = solve_full(&chained_model(120), &options).unwrap();
+        canceller.join().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "cancellation must interrupt the solve, took {:?}",
+            started.elapsed()
+        );
+        // Whatever was found so far is reported as a limit status (or the
+        // solve legitimately finished first on a fast machine).
+        assert!(matches!(
+            res.status,
+            SolveStatus::Optimal | SolveStatus::FeasibleLimit | SolveStatus::NoSolutionLimit
+        ));
     }
 }

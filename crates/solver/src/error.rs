@@ -24,6 +24,12 @@ pub enum SolverError {
     Unbounded,
     /// Numerical trouble in the simplex (cycling or singular basis).
     Numerical(String),
+    /// The solve was interrupted by an expired [`crate::Deadline`] or a
+    /// fired [`crate::CancellationToken`] before it could finish. Raised by
+    /// the LP pivot loops; branch-and-bound absorbs it and returns the best
+    /// incumbent found so far, so callers of [`crate::solve_full`] only see
+    /// this when the deadline was already expired at entry.
+    Cancelled,
     /// The LP kernel's working set (dense tableau, or sparse matrix plus
     /// basis factors) would exceed the configured memory cap
     /// ([`crate::SolverOptions::max_solver_bytes`]); solving would abort the
@@ -49,6 +55,9 @@ impl fmt::Display for SolverError {
             SolverError::EmptyModel => write!(f, "model has no variables"),
             SolverError::Unbounded => write!(f, "problem is unbounded"),
             SolverError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            SolverError::Cancelled => {
+                write!(f, "solve interrupted by deadline or cancellation")
+            }
             SolverError::ModelTooLarge { rows, cols, bytes } => write!(
                 f,
                 "model too large: the {rows}x{cols} LP working set would need {:.1} GiB \
@@ -76,6 +85,7 @@ mod tests {
         assert!(msg.contains("x3") && msg.contains('2') && msg.contains('1'));
         assert!(SolverError::Unbounded.to_string().contains("unbounded"));
         assert!(SolverError::UnknownVariable(5).to_string().contains('5'));
+        assert!(SolverError::Cancelled.to_string().contains("deadline"));
         let too_large = SolverError::ModelTooLarge {
             rows: 100_000,
             cols: 200_000,

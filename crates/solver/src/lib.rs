@@ -37,6 +37,7 @@
 
 pub mod basis;
 pub mod branch_bound;
+pub mod deadline;
 pub mod error;
 pub mod model;
 pub mod revised;
@@ -48,6 +49,7 @@ pub use basis::{Basis, VarStatus};
 pub use branch_bound::{
     solve, solve_full, BranchBoundSolver, MilpResult, SolveStatus, SolverBackend, SolverOptions,
 };
+pub use deadline::{CancellationToken, Deadline};
 pub use error::SolverError;
 pub use model::{
     Constraint, Direction, IndicatorConstraint, LinearExpr, Model, Sense, Solution, VarId, VarType,

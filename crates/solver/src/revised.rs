@@ -369,6 +369,9 @@ impl<'a> Simplex<'a> {
                     rules.max_iters
                 )));
             }
+            if rules.interrupted(self.iterations) {
+                return Err(SolverError::Cancelled);
+            }
             let use_bland = self.iterations >= rules.bland_after;
 
             // Phase selection: any basic variable outside its bounds puts us
@@ -792,6 +795,7 @@ mod tests {
         let tight = PivotRules {
             max_iters: 10_000,
             bland_after: 0,
+            ..Default::default()
         };
         let sol = solve_problem(&lp, None, &tight).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);

@@ -7,6 +7,7 @@
 //! is used by default, with a switch to Bland's rule after a large number of
 //! iterations to guarantee termination in the presence of degeneracy.
 
+use crate::deadline::Deadline;
 use crate::error::SolverError;
 use crate::standard_form::{to_standard_form, LpProblem, StandardForm};
 use crate::Result;
@@ -49,12 +50,24 @@ const FEAS_EPS: f64 = 1e-7;
 /// (`max_iters / 2`), which keeps Dantzig active on every non-degenerate
 /// solve while still bounding degenerate ones; callers can tighten it via
 /// [`crate::SolverOptions::bland_after`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PivotRules {
     /// Hard cap on simplex iterations before a numerical error is raised.
     pub max_iters: usize,
     /// Iteration index after which pricing switches to Bland's rule.
     pub bland_after: usize,
+    /// Deadline checked periodically inside the pivot loop; an expired
+    /// deadline (or fired cancellation token) aborts the solve with
+    /// [`SolverError::Cancelled`] instead of finishing the LP first.
+    pub deadline: Deadline,
+}
+
+impl Default for PivotRules {
+    /// The rules for a trivially small LP: [`PivotRules::for_size`] with
+    /// zero rows and columns, no deadline.
+    fn default() -> Self {
+        PivotRules::for_size(0, 0, None)
+    }
 }
 
 impl PivotRules {
@@ -66,9 +79,30 @@ impl PivotRules {
         PivotRules {
             max_iters,
             bland_after: bland_after.unwrap_or(max_iters / 2),
+            deadline: Deadline::none(),
         }
     }
+
+    /// Attach a deadline, returning `self` for chaining.
+    pub fn with_deadline(mut self, deadline: Deadline) -> PivotRules {
+        self.deadline = deadline;
+        self
+    }
+
+    /// True when the pivot loop should abort at iteration `iteration`:
+    /// deadlines are polled every [`DEADLINE_CHECK_MASK`]+1 iterations so
+    /// the `Instant::now()` cost stays negligible next to a pivot.
+    #[inline]
+    pub fn interrupted(&self, iteration: usize) -> bool {
+        iteration & DEADLINE_CHECK_MASK == 0
+            && !self.deadline.is_unlimited()
+            && self.deadline.expired()
+    }
 }
+
+/// The pivot loops poll the deadline every 32 iterations (power-of-two mask
+/// so the check compiles to a single AND).
+pub const DEADLINE_CHECK_MASK: usize = 31;
 
 struct Tableau {
     m: usize,
@@ -216,6 +250,9 @@ impl Tableau {
                     "simplex exceeded {max_iters} iterations"
                 )));
             }
+            if rules.interrupted(local_iters) {
+                return Err(SolverError::Cancelled);
+            }
             let use_bland = local_iters >= bland_after;
             // Choose the entering column.
             let mut enter: Option<usize> = None;
@@ -340,8 +377,17 @@ pub fn solve_lp(lp: &LpProblem) -> Result<LpSolution> {
 /// Solve a bounded LP (minimization) with the two-phase simplex and an
 /// explicit Bland switchover (`None` = half the iteration budget).
 pub fn solve_lp_with_rules(lp: &LpProblem, bland_after: Option<usize>) -> Result<LpSolution> {
+    solve_lp_with_rules_deadline(lp, bland_after, Deadline::none())
+}
+
+/// [`solve_lp_with_rules`] with a deadline polled inside the pivot loop.
+pub fn solve_lp_with_rules_deadline(
+    lp: &LpProblem,
+    bland_after: Option<usize>,
+    deadline: Deadline,
+) -> Result<LpSolution> {
     let sf = to_standard_form(lp)?;
-    let rules = PivotRules::for_size(sf.num_rows, sf.num_cols, bland_after);
+    let rules = PivotRules::for_size(sf.num_rows, sf.num_cols, bland_after).with_deadline(deadline);
     let (status, zvals, obj, iterations) = solve_standard(&sf, &rules)?;
     match status {
         LpStatus::Optimal => {

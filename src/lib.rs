@@ -20,6 +20,9 @@
 //!   [`core::Algorithm::SketchRefine`]).
 //! * [`workloads`] — synthetic Galaxy / Portfolio / TPC-H workloads and the
 //!   paper's 24-query suite.
+//! * [`service`] — the concurrent query service: the `spqd` server and `spq`
+//!   client binaries, the NDJSON wire protocol, a prepared-query cache, and
+//!   per-query deadlines/cancellation on top of [`solver::Deadline`].
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@
 
 pub use spq_core as core;
 pub use spq_mcdb as mcdb;
+pub use spq_service as service;
 pub use spq_sketch as sketch;
 pub use spq_solver as solver;
 pub use spq_spaql as spaql;
@@ -62,8 +66,10 @@ pub mod prelude {
     pub use spq_mcdb::vg::{
         DiscreteSources, GeometricBrownianMotion, NormalNoise, ParetoNoise, UniformNoise,
     };
-    pub use spq_mcdb::{Relation, RelationBuilder, ScenarioGenerator, Value};
+    pub use spq_mcdb::{Relation, RelationBuilder, ScenarioCache, ScenarioGenerator, Value};
+    pub use spq_service::{ServerConfig, ServiceConfig, SpqServer, SpqService};
     pub use spq_sketch::install as install_sketch_refine;
+    pub use spq_solver::{CancellationToken, Deadline};
     pub use spq_spaql::parse;
     pub use spq_workloads::{build_workload, WorkloadKind};
 }

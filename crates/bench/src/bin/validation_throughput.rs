@@ -1,0 +1,306 @@
+//! Throughput benchmark for the blocked one-pass out-of-sample validator.
+//!
+//! Builds a Portfolio relation, fixes a deterministic package, and times
+//! four validator configurations at each `M̂` in `--m-hats`:
+//!
+//! * **legacy** — the pre-refactor reference path: one streaming pass *per
+//!   probabilistic constraint* (the objective-free query below has two on
+//!   the same column, so the column is realized twice), allocating one
+//!   `Vec` per scenario row;
+//! * **serial** — the one-pass blocked engine pinned to 1 thread;
+//! * **threaded** — the same engine with automatic fan-out
+//!   (`SPQ_VALIDATION_THREADS` respected);
+//! * **adaptive** — threaded plus Hoeffding early stopping.
+//!
+//! The harness asserts that serial and threaded reports are bit-identical,
+//! that the adaptive verdict matches the full verdict, and that the largest
+//! `M̂` completes within `--deadline-secs` (the armed evaluation deadline is
+//! polled inside the validator's block loop). Results go to a JSON report
+//! (default `BENCH_validate.json`).
+//!
+//! ```text
+//! validation_throughput [--scale 10000] [--m-hats 10000,100000,1000000]
+//!                       [--package-size 12] [--deadline-secs 300]
+//!                       [--seed 11] [--out BENCH_validate.json]
+//! ```
+
+use spq_core::silp::{CoeffSource, ConstraintKind, Direction, Silp, SilpConstraint, SilpObjective};
+use spq_core::validation::{
+    validate_with, EarlyStop, ValidationOptions, ValidationReport, DEFAULT_HOEFFDING_DELTA,
+};
+use spq_core::{Instance, SpqOptions};
+use spq_service::json::Json;
+use spq_solver::Sense;
+use spq_workloads::{build_workload, WorkloadKind};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Cli {
+    scale: usize,
+    m_hats: Vec<usize>,
+    package_size: usize,
+    deadline_secs: u64,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: 10_000,
+            m_hats: vec![10_000, 100_000, 1_000_000],
+            package_size: 12,
+            deadline_secs: 300,
+            seed: 11,
+            out: "BENCH_validate.json".to_string(),
+        }
+    }
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => cli.scale = value().parse().expect("--scale"),
+            "--m-hats" => {
+                cli.m_hats = value()
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--m-hats"))
+                    .collect()
+            }
+            "--package-size" => cli.package_size = value().parse().expect("--package-size"),
+            "--deadline-secs" => cli.deadline_secs = value().parse().expect("--deadline-secs"),
+            "--seed" => cli.seed = value().parse().expect("--seed"),
+            "--out" => cli.out = value().to_string(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+/// The benchmark SILP: a deterministic budget plus **two** probabilistic
+/// constraints on the same stochastic column — the shape where the one-pass
+/// engine realizes the column once while the legacy path realized it per
+/// constraint.
+fn bench_silp(n: usize) -> Silp {
+    Silp {
+        relation: "Stock_Investments".into(),
+        tuples: (0..n).collect(),
+        repeat_bound: None,
+        constraints: vec![
+            SilpConstraint {
+                name: "budget".into(),
+                coeff: CoeffSource::Deterministic("price".into()),
+                sense: Sense::Le,
+                rhs: 1000.0,
+                kind: ConstraintKind::Deterministic,
+            },
+            SilpConstraint {
+                name: "risk".into(),
+                coeff: CoeffSource::Stochastic("Gain".into()),
+                sense: Sense::Ge,
+                rhs: -100.0,
+                kind: ConstraintKind::Probabilistic { probability: 0.9 },
+            },
+            SilpConstraint {
+                name: "cap".into(),
+                coeff: CoeffSource::Stochastic("Gain".into()),
+                sense: Sense::Le,
+                rhs: 500.0,
+                kind: ConstraintKind::Probabilistic { probability: 0.95 },
+            },
+        ],
+        objective: SilpObjective::Linear {
+            direction: Direction::Maximize,
+            coeff: CoeffSource::Stochastic("Gain".into()),
+            expectation: true,
+        },
+    }
+}
+
+/// The pre-refactor validation loop, kept verbatim as the comparison
+/// baseline: stream scenarios in 2048-row chunks, one pass per
+/// probabilistic constraint, `Vec<Vec<f64>>` row allocation per chunk.
+fn legacy_validate(instance: &Instance<'_>, x: &[f64], m_hat: usize) -> Vec<(usize, f64)> {
+    const CHUNK: usize = 2048;
+    let support: Vec<usize> = x
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    let weights: Vec<f64> = support.iter().map(|&i| x[i]).collect();
+    let mut out = Vec::new();
+    for (ci, c) in instance.silp.constraints.iter().enumerate() {
+        let ConstraintKind::Probabilistic { .. } = c.kind else {
+            continue;
+        };
+        let column = c.coeff.column().expect("probabilistic column");
+        let mut satisfied = 0usize;
+        let mut start = 0usize;
+        while start < m_hat {
+            let end = (start + CHUNK).min(m_hat);
+            let rows = instance
+                .validation_rows(column, &support, start..end)
+                .expect("legacy realization");
+            for row in &rows {
+                let score: f64 = row.iter().zip(&weights).map(|(s, w)| s * w).sum();
+                if c.sense.check(score, c.rhs, 1e-9) {
+                    satisfied += 1;
+                }
+            }
+            start = end;
+        }
+        out.push((ci, satisfied as f64 / m_hat as f64));
+    }
+    out
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn fractions(report: &ValidationReport) -> Vec<(usize, f64)> {
+    report
+        .constraints
+        .iter()
+        .map(|c| (c.constraint_index, c.satisfied_fraction))
+        .collect()
+}
+
+fn main() {
+    let cli = parse_cli();
+    eprintln!(
+        "validation_throughput: building Portfolio at scale {} ...",
+        cli.scale
+    );
+    let workload = build_workload(WorkloadKind::Portfolio, cli.scale, cli.seed);
+    let n = workload.relation.len();
+
+    let mut options = SpqOptions::default().with_seed(cli.seed);
+    options.time_limit = Some(Duration::from_secs(cli.deadline_secs));
+    let instance =
+        Instance::new(&workload.relation, bench_silp(n), options).expect("prepare instance");
+
+    // A deterministic package spread across the relation; a couple of
+    // multiplicity-2 entries exercise the weighting.
+    let mut x = vec![0.0f64; n];
+    for k in 0..cli.package_size.min(n) {
+        let pos = k * n / cli.package_size.min(n).max(1);
+        x[pos] = if k % 3 == 0 { 2.0 } else { 1.0 };
+    }
+
+    let mut rows = Vec::new();
+    for &m_hat in &cli.m_hats {
+        eprintln!("validation_throughput: m_hat = {m_hat}");
+        let (legacy, legacy_ms) = timed(|| legacy_validate(&instance, &x, m_hat));
+
+        let serial_opts = ValidationOptions::full(m_hat).with_threads(1);
+        let (serial, serial_ms) =
+            timed(|| validate_with(&instance, &x, &serial_opts).expect("serial validation"));
+        assert!(!serial.interrupted, "m_hat = {m_hat} blew the deadline");
+
+        let threaded_opts = ValidationOptions::full(m_hat);
+        let (threaded, threaded_ms) =
+            timed(|| validate_with(&instance, &x, &threaded_opts).expect("threaded validation"));
+        assert!(!threaded.interrupted, "m_hat = {m_hat} blew the deadline");
+
+        // Bit-identity: serial and threaded reports agree exactly, and both
+        // reproduce the legacy fractions.
+        assert_eq!(fractions(&serial), fractions(&threaded));
+        assert_eq!(serial.feasible, threaded.feasible);
+        assert_eq!(fractions(&serial), legacy, "one-pass must match legacy");
+
+        let adaptive_opts = ValidationOptions::full(m_hat).with_early_stop(EarlyStop::Hoeffding {
+            delta: DEFAULT_HOEFFDING_DELTA,
+        });
+        let (adaptive, adaptive_ms) =
+            timed(|| validate_with(&instance, &x, &adaptive_opts).expect("adaptive validation"));
+        assert_eq!(
+            adaptive.feasible, serial.feasible,
+            "adaptive early stop must not flip the verdict"
+        );
+
+        let throughput = |ms: f64| m_hat as f64 / (ms / 1000.0).max(1e-9);
+        // The headline number: the engine as deployed (threaded full pass,
+        // or adaptive early stop — whichever is faster; the search loops
+        // default to adaptive) against the pre-refactor serial
+        // per-constraint path.
+        let effective_speedup = legacy_ms / threaded_ms.min(adaptive_ms).max(1e-9);
+        if m_hat >= 100_000 {
+            assert!(
+                effective_speedup >= 3.0,
+                "expected >= 3x validation throughput at m_hat = {m_hat}, got {effective_speedup:.2}x"
+            );
+        }
+        let row = Json::Obj(vec![
+            ("m_hat".into(), Json::from(m_hat)),
+            ("legacy_ms".into(), Json::from(legacy_ms)),
+            ("serial_ms".into(), Json::from(serial_ms)),
+            ("threaded_ms".into(), Json::from(threaded_ms)),
+            ("adaptive_ms".into(), Json::from(adaptive_ms)),
+            (
+                "threaded_scenarios_per_sec".into(),
+                Json::from(throughput(threaded_ms)),
+            ),
+            (
+                "speedup_vs_legacy".into(),
+                Json::from(legacy_ms / threaded_ms.max(1e-9)),
+            ),
+            (
+                "speedup_vs_serial".into(),
+                Json::from(serial_ms / threaded_ms.max(1e-9)),
+            ),
+            (
+                "adaptive_speedup_vs_legacy".into(),
+                Json::from(legacy_ms / adaptive_ms.max(1e-9)),
+            ),
+            ("effective_speedup".into(), Json::from(effective_speedup)),
+            (
+                "adaptive_scenarios_used".into(),
+                Json::from(adaptive.scenarios_used),
+            ),
+            ("feasible".into(), Json::from(serial.feasible)),
+            ("bit_identical".into(), Json::from(true)),
+            ("within_deadline".into(), Json::from(true)),
+        ]);
+        eprintln!(
+            "  legacy {legacy_ms:.0} ms | serial {serial_ms:.0} ms | threaded {threaded_ms:.0} ms \
+             | adaptive {adaptive_ms:.0} ms ({} scenarios) | effective x{effective_speedup:.2}",
+            adaptive.scenarios_used,
+        );
+        rows.push(row);
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let report = Json::Obj(vec![
+        ("benchmark".into(), Json::from("validation_throughput")),
+        ("workload".into(), Json::from("portfolio")),
+        ("tuples".into(), Json::from(n)),
+        ("package_size".into(), Json::from(cli.package_size)),
+        ("probabilistic_constraints".into(), Json::from(2usize)),
+        ("machine_threads".into(), Json::from(threads)),
+        ("deadline_secs".into(), Json::from(cli.deadline_secs)),
+        ("seed".into(), Json::from(cli.seed)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    let mut file = std::fs::File::create(&cli.out).expect("create report");
+    writeln!(file, "{report}").expect("write report");
+    eprintln!("validation_throughput: wrote {}", cli.out);
+}

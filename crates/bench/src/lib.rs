@@ -10,6 +10,11 @@
 //! | Figure 6 | `fig6_summaries` | effect of the number of summaries `Z` (Portfolio workload) |
 //! | Figure 7 | `fig7_scaling` | effect of the dataset size `N` (Galaxy workload) |
 //!
+//! Two subsystem harnesses ride along: `service_throughput` (concurrent
+//! query service, → `BENCH_service.json`) and `validation_throughput`
+//! (blocked one-pass out-of-sample validator, serial vs threaded vs
+//! adaptive early stop, → `BENCH_validate.json`).
+//!
 //! Criterion micro-benchmarks (`cargo bench -p spq-bench`) cover the kernels:
 //! scenario generation, summary construction, SAA vs CSA formulation size,
 //! and the MILP solver.

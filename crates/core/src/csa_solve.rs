@@ -12,10 +12,10 @@
 use crate::alpha::{guess_alpha, AlphaHistory};
 use crate::instance::Instance;
 use crate::saa::{build_model, probability_objective_block, ProbBlock};
-use crate::silp::Direction;
+use crate::silp::{Direction, SilpConstraint};
 use crate::summary::{build_summaries, partition_scenarios, SummarySpec};
-use crate::validate::{validate, ValidationReport};
-use crate::Result;
+use crate::validation::{validate_with, ValidationReport};
+use crate::{Result, SpqError};
 use spq_mcdb::ScenarioMatrix;
 use spq_solver::{solve_full, Basis};
 use std::collections::{HashMap, HashSet};
@@ -40,6 +40,10 @@ pub struct CsaSolveOutcome {
     pub max_coefficients: usize,
     /// Final per-constraint conservativeness levels α.
     pub alphas: Vec<f64>,
+    /// Total out-of-sample scenarios evaluated across this run's
+    /// validations (adaptive early stopping makes this much smaller than
+    /// `iterations × M̂`).
+    pub validation_scenarios: usize,
     /// Basis of the last reduced DILP's root relaxation. Successive α
     /// re-solves keep the model shape (same `Z` rows, same variables), so
     /// this basis warm-starts them; callers carry it across (M, Z)
@@ -71,6 +75,19 @@ fn better(direction: Direction, candidate: f64, incumbent: f64) -> bool {
     }
 }
 
+/// The probability bound of a constraint CSA-Solve treats as probabilistic.
+/// A missing bound means the binder or translator misclassified the
+/// constraint — surface that as an internal error instead of silently
+/// assuming `p = 0.5` (which used to mask such bugs as bad packages).
+fn constraint_probability(constraint: &SilpConstraint) -> Result<f64> {
+    constraint.probability().ok_or_else(|| {
+        SpqError::Internal(format!(
+            "constraint `{}` reached CSA-Solve without a probability bound",
+            constraint.name
+        ))
+    })
+}
+
 /// Run CSA-Solve for the given `M` optimization scenarios (already realized
 /// in `matrices`, one per probabilistic constraint) and `Z` summaries.
 ///
@@ -100,8 +117,16 @@ pub fn csa_solve(
         .map(|(i, _)| i)
         .collect();
     let k = prob_indices.len();
+    let probs: Vec<f64> = prob_indices
+        .iter()
+        .map(|&ci| constraint_probability(&silp.constraints[ci]))
+        .collect::<Result<_>>()?;
+    // More summaries than scenarios are meaningless (each summary covers at
+    // least one scenario): clamp Z into [1, M] so the α step and the
+    // scenario partitioning stay consistent when a caller over-asks.
+    let z = z.clamp(1, m.max(1));
     let partitions = partition_scenarios(m, z);
-    let step = (z as f64 / m as f64).clamp(1e-9, 1.0);
+    let step = (z as f64 / m.max(1) as f64).clamp(1e-9, 1.0);
 
     let mut histories: Vec<AlphaHistory> = vec![AlphaHistory::new(); k];
     let mut alphas: Vec<f64> = vec![0.0; k];
@@ -123,11 +148,18 @@ pub fn csa_solve(
     // initial α guesses.
     let mut current: Option<Vec<f64>> = x0.map(|x| x.to_vec());
     if current.is_none() {
-        for (kk, &ci) in prob_indices.iter().enumerate() {
-            let p = silp.constraints[ci].probability().unwrap_or(0.5);
-            alphas[kk] = guess_alpha(&histories[kk], p, step);
+        for kk in 0..k {
+            alphas[kk] = guess_alpha(&histories[kk], probs[kk], step);
         }
     }
+    let mut validation_scenarios = 0usize;
+
+    // Feasible, within the user's ε bound, and every surplus nonnegative:
+    // the paper's termination test.
+    let accepts = |report: &ValidationReport| {
+        let eps_ok = report.epsilon_upper_bound <= opts.epsilon || !opts.epsilon.is_finite();
+        report.feasible && eps_ok && report.constraints.iter().all(|c| c.surplus >= 0.0)
+    };
 
     loop {
         if iterations >= opts.max_csa_iterations || opts.deadline.expired() {
@@ -146,7 +178,6 @@ pub fn csa_solve(
             let last_feasible = last.as_ref().map(|(_, r)| r.feasible).unwrap_or(false);
             for (kk, &ci) in prob_indices.iter().enumerate() {
                 let constraint = &silp.constraints[ci];
-                let p = constraint.probability().unwrap_or(0.5);
                 let prev = last.as_ref().map(|(x, _)| x.as_slice());
                 let spec = SummarySpec {
                     alpha: alphas[kk],
@@ -155,7 +186,7 @@ pub fn csa_solve(
                     accelerate: last_feasible,
                 };
                 let rows = build_summaries(&matrices[&ci], &partitions, &spec);
-                blocks.push(ProbBlock::with_probability(ci, rows, p));
+                blocks.push(ProbBlock::with_probability(ci, rows, probs[kk]));
             }
             let objective_block = if silp.objective.is_probability() {
                 probability_objective_block(instance, CSA_OBJECTIVE_SCENARIOS.min(m.max(1)))?
@@ -190,8 +221,28 @@ pub fn csa_solve(
             break;
         }
 
-        // Validate and record the p-surpluses.
-        let report = validate(instance, &x, opts.validation_scenarios)?;
+        // Validate (adaptively: far-from-p constraints settle after a few
+        // stages) and record the p-surpluses. A candidate the adaptive pass
+        // would accept as the final answer is confirmed against the full
+        // M̂ budget first, so the returned report is never an early-stopped
+        // estimate.
+        let mut report = validate_with(instance, &x, &opts.search_validation())?;
+        validation_scenarios += report.scenarios_used;
+        if report.interrupted && !opts.deadline.is_cancelled() {
+            // The wall-clock budget expired mid-validation; this candidate
+            // is the last one (the loop breaks at the top next pass), so
+            // give it its certificate with one deadline-exempt pass.
+            report = validate_with(instance, &x, &opts.certificate_validation())?;
+            validation_scenarios += report.scenarios_used;
+        } else if accepts(&report) && report.early_stopped {
+            // An accepted candidate terminates the search, so this confirm
+            // IS the answer's certificate: run it deadline-exempt (one
+            // bounded pass) so a deadline firing mid-confirm cannot leave
+            // the returned package with a partial report.
+            let confirmed = validate_with(instance, &x, &opts.certificate_validation())?;
+            validation_scenarios += confirmed.scenarios_used;
+            report = confirmed;
+        }
         for (kk, _) in prob_indices.iter().enumerate() {
             if let Some(cv) = report.constraints.get(kk) {
                 histories[kk].record(alphas[kk], cv.surplus);
@@ -213,11 +264,9 @@ pub fn csa_solve(
         }
         last = Some((x.clone(), report.clone()));
 
-        // Termination: feasible and (1 + ε)-approximate.
-        let eps_ok = report.epsilon_upper_bound <= opts.epsilon
-            || opts.epsilon.is_infinite()
-            || !opts.epsilon.is_finite();
-        if report.feasible && eps_ok && report.constraints.iter().all(|c| c.surplus >= 0.0) {
+        // Termination: feasible and (1 + ε)-approximate (already confirmed
+        // at the full budget above when the adaptive pass stopped early).
+        if accepts(&report) {
             return Ok(CsaSolveOutcome {
                 x,
                 validation: report,
@@ -227,31 +276,43 @@ pub fn csa_solve(
                 lp_pivots,
                 max_coefficients,
                 alphas,
+                validation_scenarios,
                 final_basis: basis,
             });
         }
 
         // Update α and force a re-solve on the next loop iteration.
-        for (kk, &ci) in prob_indices.iter().enumerate() {
-            let p = silp.constraints[ci].probability().unwrap_or(0.5);
-            alphas[kk] = guess_alpha(&histories[kk], p, step);
+        for kk in 0..k {
+            alphas[kk] = guess_alpha(&histories[kk], probs[kk], step);
         }
         current = None;
     }
 
     // Out of budget or cycled: return the best solution seen (feasible if one
     // exists, otherwise the most recent candidate).
-    let (x, validation) = match (best, last) {
+    let (x, mut validation) = match (best, last) {
         (Some(b), _) => b,
         (None, Some(l)) => l,
         (None, None) => {
             // No CSA produced any solution at all: report an empty, infeasible
             // package.
             let x = vec![0.0; silp.num_vars()];
-            let validation = validate(instance, &x, opts.validation_scenarios)?;
+            let validation = validate_with(instance, &x, &opts.full_validation())?;
             (x, validation)
         }
     };
+    // The best candidate may carry an early-stopped report (e.g. its
+    // validation was adaptive and the search then ran out of budget).
+    // Anchor the returned report to the full M̂ — deadline-exempt, since
+    // this is the answer's certificate (cancellation still interrupts, in
+    // which case the original report stands).
+    if validation.early_stopped && !opts.deadline.is_cancelled() {
+        let full = validate_with(instance, &x, &opts.certificate_validation())?;
+        validation_scenarios += full.scenarios_used;
+        if !full.interrupted {
+            validation = full;
+        }
+    }
     Ok(CsaSolveOutcome {
         x,
         validation,
@@ -261,6 +322,7 @@ pub fn csa_solve(
         lp_pivots,
         max_coefficients,
         alphas,
+        validation_scenarios,
         final_basis: basis,
     })
 }
@@ -424,5 +486,61 @@ mod tests {
         let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 2, None).unwrap();
         assert!(outcome.iterations <= inst.options.max_csa_iterations);
         assert_eq!(outcome.alphas.len(), 1);
+        assert!(outcome.validation_scenarios > 0);
+    }
+
+    #[test]
+    fn oversized_summary_counts_are_clamped_to_m() {
+        // Z far above M used to drive the α step past 1 and hand the
+        // partitioner more summaries than scenarios; the clamp makes the
+        // call equivalent to Z = M.
+        let rel = relation();
+        let inst = Instance::new(&rel, silp(), SpqOptions::for_tests()).unwrap();
+        let m = 10;
+        let matrices = realize_matrices(&inst, m).unwrap();
+        let x0 = vec![4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let oversized = csa_solve(&inst, Some(&x0), &matrices, m, 50 * m, None).unwrap();
+        let exact = csa_solve(&inst, Some(&x0), &matrices, m, m, None).unwrap();
+        assert_eq!(oversized.x, exact.x);
+        assert_eq!(oversized.validation.feasible, exact.validation.feasible);
+        // Z = 0 is lifted to 1 rather than dividing by zero.
+        let zero = csa_solve(&inst, Some(&x0), &matrices, m, 0, None).unwrap();
+        assert_eq!(zero.x.len(), 8);
+    }
+
+    #[test]
+    fn missing_probability_bounds_are_internal_errors() {
+        let deterministic = SilpConstraint {
+            name: "count".into(),
+            coeff: CoeffSource::Constant(1.0),
+            sense: Sense::Le,
+            rhs: 4.0,
+            kind: ConstraintKind::Deterministic,
+        };
+        let err = constraint_probability(&deterministic).unwrap_err();
+        assert!(matches!(err, crate::SpqError::Internal(_)));
+        assert!(err.to_string().contains("count"));
+        let probabilistic = SilpConstraint {
+            kind: ConstraintKind::Probabilistic { probability: 0.9 },
+            ..deterministic
+        };
+        assert_eq!(constraint_probability(&probabilistic).unwrap(), 0.9);
+    }
+
+    #[test]
+    fn accepted_packages_carry_full_budget_reports() {
+        // The warm start is already feasible, so CSA accepts on the first
+        // validation; adaptive early stop must have been confirmed away.
+        let rel = relation();
+        let mut opts = SpqOptions::for_tests();
+        opts.validation_scenarios = 5000;
+        let inst = Instance::new(&rel, silp(), opts).unwrap();
+        let m = 20;
+        let matrices = realize_matrices(&inst, m).unwrap();
+        let x0 = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0];
+        let outcome = csa_solve(&inst, Some(&x0), &matrices, m, 1, None).unwrap();
+        assert!(outcome.validation.feasible);
+        assert!(!outcome.validation.early_stopped);
+        assert_eq!(outcome.validation.scenarios_used, 5000);
     }
 }

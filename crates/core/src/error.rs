@@ -20,6 +20,10 @@ pub enum SpqError {
     /// The evaluation budget (wall-clock or scenario limit) was exhausted
     /// without finding a feasible package.
     BudgetExhausted(String),
+    /// A caller-supplied argument is out of range (e.g. a zero out-of-sample
+    /// validation budget, which would make every probabilistic constraint
+    /// vacuously feasible).
+    InvalidArgument(String),
     /// An internal invariant was violated.
     Internal(String),
 }
@@ -33,6 +37,7 @@ impl fmt::Display for SpqError {
             SpqError::Unsupported(msg) => write!(f, "unsupported query feature: {msg}"),
             SpqError::Infeasible(msg) => write!(f, "query is infeasible: {msg}"),
             SpqError::BudgetExhausted(msg) => write!(f, "evaluation budget exhausted: {msg}"),
+            SpqError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SpqError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -76,5 +81,8 @@ mod tests {
         assert!(SpqError::BudgetExhausted("limit".into())
             .to_string()
             .contains("limit"));
+        assert!(SpqError::InvalidArgument("m_hat == 0".into())
+            .to_string()
+            .contains("m_hat"));
     }
 }

@@ -263,6 +263,39 @@ impl<'a> Instance<'a> {
             .realize_sparse(self.relation, column, &tuples, scenarios)?)
     }
 
+    /// Realize one validation-stream block (a scenario window of a
+    /// stochastic column restricted to candidate positions) as a dense
+    /// matrix. This is the unit the blocked validator streams over: when
+    /// [`SpqOptions::scenario_cache`] is set the block is memoized there
+    /// (shared across re-validations of the same package), otherwise it is
+    /// generated for this call alone — bit-identically either way. The block
+    /// itself is realized serially; the validator parallelizes across
+    /// blocks.
+    pub fn validation_matrix(
+        &self,
+        column: &str,
+        positions: &[usize],
+        scenarios: std::ops::Range<usize>,
+    ) -> Result<Arc<ScenarioMatrix>> {
+        let tuples: Vec<usize> = positions.iter().map(|&p| self.silp.tuples[p]).collect();
+        match &self.options.scenario_cache {
+            Some(cache) => Ok(cache.sparse_matrix_range(
+                &self.val_gen,
+                self.relation,
+                column,
+                &tuples,
+                scenarios,
+            )?),
+            None => Ok(Arc::new(self.val_gen.realize_sparse_matrix_range(
+                self.relation,
+                column,
+                &tuples,
+                scenarios,
+                1,
+            )?)),
+        }
+    }
+
     /// (min, max) sampled value of the objective's stochastic column, if the
     /// objective is stochastic.
     pub fn objective_value_bounds(&self) -> Option<(f64, f64)> {
@@ -611,6 +644,31 @@ mod tests {
         let plain =
             Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
         assert_eq!(*plain.optimization_matrix("gain", 6).unwrap(), *ma);
+    }
+
+    #[test]
+    fn validation_matrices_match_validation_rows_and_share_the_cache() {
+        let rel = relation();
+        let cache = Arc::new(spq_mcdb::ScenarioCache::new());
+        let opts = SpqOptions::for_tests().with_scenario_cache(cache.clone());
+        let inst = Instance::new(&rel, silp(vec![count_le(3.0)]), opts).unwrap();
+        let matrix = inst.validation_matrix("gain", &[1, 3], 5..12).unwrap();
+        assert_eq!(matrix.num_scenarios(), 7);
+        assert_eq!(matrix.num_tuples(), 2);
+        let rows = inst.validation_rows("gain", &[1, 3], 5..12).unwrap();
+        for (j, row) in rows.iter().enumerate() {
+            assert_eq!(matrix.scenario(j), row.as_slice());
+        }
+        // A repeated request is served from the shared cache.
+        let again = inst.validation_matrix("gain", &[1, 3], 5..12).unwrap();
+        assert!(Arc::ptr_eq(&matrix, &again));
+        // Without a cache the block is generated per call, bit-identically.
+        let plain =
+            Instance::new(&rel, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
+        assert_eq!(
+            *plain.validation_matrix("gain", &[1, 3], 5..12).unwrap(),
+            *matrix
+        );
     }
 
     #[test]

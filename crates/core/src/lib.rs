@@ -22,7 +22,9 @@
 //!    * [`Algorithm::SketchRefine`] — partition–sketch–refine evaluation for
 //!      very large relations, provided by the separate `spq-sketch` crate
 //!      and dispatched through [`register_sketch_refine`].
-//! 4. **Validate** every candidate package out-of-sample ([`validate()`]).
+//! 4. **Validate** every candidate package out-of-sample with the blocked,
+//!    parallel, one-pass validator ([`validation`]), optionally with
+//!    adaptive `M̂` early stopping inside the search loops.
 //!
 //! The easiest entry point is [`SpqEngine`]:
 //!
@@ -65,6 +67,7 @@ pub mod summary_search;
 pub mod summary_stream;
 pub mod translate;
 pub mod validate;
+pub mod validation;
 
 pub use engine::{
     register_sketch_refine, sketch_refine_available, Algorithm, SketchRefineEvaluator, SpqEngine,
@@ -75,7 +78,7 @@ pub use options::{SketchOptions, SpqOptions};
 pub use package::{EvaluationResult, EvaluationStats, Package};
 pub use silp::{CoeffSource, ConstraintKind, Direction, Silp, SilpConstraint, SilpObjective};
 pub use translate::translate;
-pub use validate::{validate, ValidationReport};
+pub use validation::{validate, validate_with, EarlyStop, ValidationOptions, ValidationReport};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SpqError>;

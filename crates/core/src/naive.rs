@@ -11,7 +11,7 @@ use crate::instance::Instance;
 use crate::package::{EvaluationResult, EvaluationStats, Package};
 use crate::saa::formulate_saa;
 use crate::silp::Direction;
-use crate::validate::validate;
+use crate::validation::validate_with;
 use crate::Result;
 use spq_solver::solve_full;
 use std::time::Instant;
@@ -67,9 +67,30 @@ pub fn evaluate_naive(instance: &Instance<'_>) -> Result<EvaluationResult> {
 
         if let Some(solution) = res.solution {
             let x = formulation.multiplicities(&solution);
-            // Validation phase.
-            let report = validate(instance, &x, opts.validation_scenarios)?;
+            // Validation phase: adaptive early stop rejects hopeless
+            // candidates after a few stages; a candidate that would
+            // terminate the loop is confirmed against the full M̂ budget
+            // first, so the reported package never rests on an
+            // early-stopped estimate.
+            let mut report = validate_with(instance, &x, &opts.search_validation())?;
             stats.validations += 1;
+            stats.validation_scenarios += report.scenarios_used;
+            if report.interrupted && !opts.deadline.is_cancelled() {
+                // The wall-clock budget expired mid-validation; this is the
+                // last candidate (the loop breaks at the top next pass), so
+                // give it its certificate with one deadline-exempt pass
+                // instead of reporting it unvalidated.
+                report = validate_with(instance, &x, &opts.certificate_validation())?;
+                stats.validations += 1;
+                stats.validation_scenarios += report.scenarios_used;
+            } else if report.feasible && report.early_stopped {
+                // A feasible confirm ends the loop, so this is the answer's
+                // certificate: deadline-exempt (one bounded pass), lest a
+                // deadline firing mid-confirm ship a partial report.
+                report = validate_with(instance, &x, &opts.certificate_validation())?;
+                stats.validations += 1;
+                stats.validation_scenarios += report.scenarios_used;
+            }
             let package = Package::from_dense(&x, &instance.silp.tuples, report.clone());
             let replace = match &best {
                 None => true,
@@ -171,6 +192,11 @@ mod tests {
         assert!(result.stats.problems_solved >= 1);
         assert!(result.stats.validations >= 1);
         assert!(result.stats.scenarios_used >= 15);
+        assert!(result.stats.validation_scenarios >= 600);
+        // The reported package is anchored to the full out-of-sample budget
+        // even though the search validated adaptively.
+        assert!(!package.validation.early_stopped);
+        assert_eq!(package.validation.scenarios_used, 600);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Evaluation options shared by the Naïve and SummarySearch algorithms.
 
+use crate::validation::{EarlyStop, ValidationOptions, DEFAULT_INITIAL_STAGE};
 use spq_mcdb::ScenarioCache;
 use spq_solver::{Deadline, SolverOptions};
 use std::sync::Arc;
@@ -90,6 +91,19 @@ pub struct SpqOptions {
     /// Number of validation-stream scenarios averaged to estimate
     /// expectations `E(t_i.A)` when no closed form exists.
     pub expectation_scenarios: usize,
+    /// Scenarios per realized block in the out-of-sample validator (the
+    /// streaming granularity of [`crate::validation`]).
+    pub validation_block: usize,
+    /// Worker threads for the validator's block loop; `0` picks
+    /// automatically (honoring `SPQ_VALIDATION_THREADS`). Results are
+    /// bit-identical for every value.
+    pub validation_threads: usize,
+    /// Early-stop policy for validations *inside the search loops* (Naïve's
+    /// optimize/validate loop, CSA-Solve's α iterations). A package accepted
+    /// as the final answer is always confirmed against the full
+    /// [`Self::validation_scenarios`] budget, so this only affects how fast
+    /// intermediate candidates are rejected or accepted.
+    pub validation_early_stop: EarlyStop,
     /// Initial number of summaries (the paper's `Z`).
     pub initial_summaries: usize,
     /// Summary increment (the paper's `z`).
@@ -136,6 +150,11 @@ impl Default for SpqOptions {
             max_scenarios: 1000,
             validation_scenarios: 10_000,
             expectation_scenarios: 1000,
+            validation_block: crate::validation::DEFAULT_BLOCK_SCENARIOS,
+            validation_threads: 0,
+            validation_early_stop: EarlyStop::Hoeffding {
+                delta: crate::validation::DEFAULT_HOEFFDING_DELTA,
+            },
             initial_summaries: 1,
             summary_increment: 1,
             epsilon: f64::INFINITY,
@@ -190,6 +209,46 @@ impl SpqOptions {
         self
     }
 
+    /// Set the search-loop validation early-stop policy, returning `self`
+    /// for chaining.
+    pub fn with_validation_early_stop(mut self, early_stop: EarlyStop) -> Self {
+        self.validation_early_stop = early_stop;
+        self
+    }
+
+    /// The [`ValidationOptions`] the search loops use for *intermediate*
+    /// candidates: the full `M̂` budget with this configuration's adaptive
+    /// early-stop policy.
+    pub fn search_validation(&self) -> ValidationOptions {
+        ValidationOptions {
+            m_hat: self.validation_scenarios,
+            block_scenarios: self.validation_block,
+            threads: self.validation_threads,
+            early_stop: self.validation_early_stop,
+            initial_stage: DEFAULT_INITIAL_STAGE,
+            honor_deadline: true,
+        }
+    }
+
+    /// The [`ValidationOptions`] for a *final* (reported) package: full
+    /// budget, no early stop.
+    pub fn full_validation(&self) -> ValidationOptions {
+        ValidationOptions {
+            early_stop: EarlyStop::Full,
+            ..self.search_validation()
+        }
+    }
+
+    /// The [`ValidationOptions`] for the **final certificate** of a package
+    /// reported after the optimization budget ran out: full budget, no
+    /// early stop, and exempt from the (already expired) wall-clock
+    /// deadline — a fired cancellation token still interrupts it. The paper
+    /// validates the returned package regardless of the budget; one bounded
+    /// pass beats reporting a conservatively-infeasible unvalidated answer.
+    pub fn certificate_validation(&self) -> ValidationOptions {
+        self.full_validation().with_honor_deadline(false)
+    }
+
     /// Replace the SketchRefine knobs, returning `self` for chaining.
     pub fn with_sketch(mut self, sketch: SketchOptions) -> Self {
         self.sketch = sketch;
@@ -235,6 +294,20 @@ mod tests {
         assert_eq!(o.initial_scenarios, 5);
         assert_eq!(o.initial_summaries, 2);
         assert_eq!(o.validation_scenarios, 50);
+    }
+
+    #[test]
+    fn validation_knobs_flow_into_validation_options() {
+        let o = SpqOptions::for_tests().with_validation_scenarios(5000);
+        let search = o.search_validation();
+        assert_eq!(search.m_hat, 5000);
+        assert_eq!(search.block_scenarios, o.validation_block);
+        assert!(search.early_stop.enabled(), "search validation is adaptive");
+        let full = o.full_validation();
+        assert_eq!(full.early_stop, EarlyStop::Full);
+        assert_eq!(full.m_hat, 5000);
+        let certain = o.with_validation_early_stop(EarlyStop::Certain);
+        assert_eq!(certain.search_validation().early_stop, EarlyStop::Certain);
     }
 
     #[test]

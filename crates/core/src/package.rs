@@ -114,6 +114,10 @@ pub struct EvaluationStats {
     pub problems_solved: usize,
     /// Number of validation passes.
     pub validations: usize,
+    /// Total out-of-sample scenarios evaluated across those passes (adaptive
+    /// early stopping makes this visibly smaller than
+    /// `validations × M̂`).
+    pub validation_scenarios: usize,
     /// Total branch-and-bound nodes across all solves.
     pub solver_nodes: usize,
     /// Total simplex pivots across every LP relaxation of every solve —
@@ -167,10 +171,14 @@ mod tests {
                 satisfied_fraction: if feasible { 0.97 } else { 0.6 },
                 surplus: if feasible { 0.07 } else { -0.3 },
                 feasible,
+                scenarios_evaluated: 1000,
             }],
             objective_estimate: 12.5,
             epsilon_upper_bound: 0.2,
             scenarios_used: 1000,
+            m_hat: 1000,
+            early_stopped: false,
+            interrupted: false,
         }
     }
 

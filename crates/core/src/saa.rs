@@ -32,9 +32,11 @@ pub struct ProbBlock {
 }
 
 impl ProbBlock {
-    /// Build a block with `required = ⌈p · rows.len()⌉`.
+    /// Build a block with `required = ⌈p · rows.len()⌉`, computed through
+    /// [`crate::validation::required_successes`] so integral products are
+    /// not rounded up by floating-point noise.
     pub fn with_probability(constraint_index: usize, rows: Vec<Vec<f64>>, p: f64) -> Self {
-        let required = ((p * rows.len() as f64).ceil() as usize).min(rows.len().max(1));
+        let required = crate::validation::required_successes(p, rows.len());
         ProbBlock {
             constraint_index,
             rows,
@@ -404,5 +406,9 @@ mod tests {
         assert_eq!(b.required, 2);
         let b = ProbBlock::with_probability(0, vec![vec![0.0]; 1], 0.95);
         assert_eq!(b.required, 1);
+        // Integral products stay exact: 0.7 * 10 = 7.000000000000001 in
+        // f64, whose naive ceil would demand 8 rows.
+        let b = ProbBlock::with_probability(0, vec![vec![0.0]; 10], 0.7);
+        assert_eq!(b.required, 7);
     }
 }

@@ -100,6 +100,7 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
         stats.solver_nodes += outcome.solver_nodes;
         stats.lp_pivots += outcome.lp_pivots;
         stats.validations += outcome.iterations;
+        stats.validation_scenarios += outcome.validation_scenarios;
         stats.max_problem_coefficients =
             stats.max_problem_coefficients.max(outcome.max_coefficients);
         if outcome.final_basis.is_some() {
@@ -213,6 +214,11 @@ mod tests {
         assert!(package.size() > 0);
         assert!(package.size() <= 4); // budget 400 / price 100
         assert_eq!(result.stats.summaries_used, 1);
+        assert!(result.stats.validation_scenarios > 0);
+        // The winning package's report covers the full out-of-sample budget
+        // (adaptive validation confirms accepted candidates).
+        assert!(!package.validation.early_stopped);
+        assert_eq!(package.validation.scenarios_used, 800);
     }
 
     #[test]

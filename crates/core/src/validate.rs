@@ -1,354 +1,8 @@
-//! Out-of-sample validation (Section 3.2).
-//!
-//! A candidate package is *validation-feasible* when, for every probabilistic
-//! constraint, it satisfies the inner constraint in at least a fraction `p`
-//! of `M̂` out-of-sample scenarios. Validation streams scenarios in chunks,
-//! generating realizations only for the tuples that actually appear in the
-//! package, so memory stays proportional to the package size regardless of
-//! `M̂`.
+//! Back-compatibility shim: out-of-sample validation moved to the
+//! [`crate::validation`] module (blocked, parallel, one-pass engine with
+//! adaptive `M̂`). The old `crate::validate::*` paths keep working.
 
-use crate::bounds::{epsilon_upper_bound, omega_bounds, OmegaBounds};
-use crate::instance::Instance;
-use crate::silp::{ConstraintKind, SilpObjective};
-use crate::Result;
-use serde::{Deserialize, Serialize};
-use spq_solver::Sense;
-
-/// Validation outcome for one probabilistic constraint.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ConstraintValidation {
-    /// Index of the constraint in `silp.constraints`.
-    pub constraint_index: usize,
-    /// Target probability `p`.
-    pub probability: f64,
-    /// Fraction of validation scenarios whose inner constraint held.
-    pub satisfied_fraction: f64,
-    /// The paper's `p`-surplus `r = satisfied_fraction − p`.
-    pub surplus: f64,
-    /// Whether the constraint is validation-feasible (`Y ≥ ⌈p·M̂⌉`).
-    pub feasible: bool,
-}
-
-/// The result of validating a candidate package.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ValidationReport {
-    /// True when every probabilistic constraint is validation-feasible.
-    pub feasible: bool,
-    /// Per-probabilistic-constraint details.
-    pub constraints: Vec<ConstraintValidation>,
-    /// Estimated objective value of the package under validation data
-    /// (expectations for linear objectives, satisfied fraction for
-    /// probability objectives).
-    pub objective_estimate: f64,
-    /// The certificate `ε⁽q⁾` of Section 5.4 (`+∞` when no bound applies).
-    pub epsilon_upper_bound: f64,
-    /// Number of validation scenarios used.
-    pub scenarios_used: usize,
-}
-
-impl ValidationReport {
-    /// The worst (most negative) surplus across the probabilistic
-    /// constraints; `0` when there are none.
-    pub fn min_surplus(&self) -> f64 {
-        if self.constraints.is_empty() {
-            0.0
-        } else {
-            self.constraints
-                .iter()
-                .map(|c| c.surplus)
-                .fold(f64::INFINITY, f64::min)
-        }
-    }
-}
-
-/// Chunk size used when streaming validation scenarios.
-const CHUNK: usize = 2048;
-
-/// Count, over `m_hat` validation scenarios, how many satisfy the inner
-/// constraint `Σ_i coeff_i x_i ⊙ rhs` for the package `x` (positions with
-/// `x > 0` only are realized).
-fn count_satisfied(
-    instance: &Instance<'_>,
-    column: &str,
-    x: &[f64],
-    sense: Sense,
-    rhs: f64,
-    m_hat: usize,
-) -> Result<usize> {
-    let support: Vec<usize> = x
-        .iter()
-        .enumerate()
-        .filter(|(_, &v)| v > 0.0)
-        .map(|(i, _)| i)
-        .collect();
-    let weights: Vec<f64> = support.iter().map(|&i| x[i]).collect();
-    let mut satisfied = 0usize;
-    let mut start = 0usize;
-    while start < m_hat {
-        let end = (start + CHUNK).min(m_hat);
-        if support.is_empty() {
-            // The empty package has score 0 in every scenario.
-            if sense.check(0.0, rhs, 1e-9) {
-                satisfied += end - start;
-            }
-        } else {
-            let rows = instance.validation_rows(column, &support, start..end)?;
-            for row in &rows {
-                let score: f64 = row.iter().zip(&weights).map(|(s, w)| s * w).sum();
-                if sense.check(score, rhs, 1e-9) {
-                    satisfied += 1;
-                }
-            }
-        }
-        start = end;
-    }
-    Ok(satisfied)
-}
-
-/// Validate a candidate package `x` (multiplicities over the candidate
-/// tuples) against `m_hat` out-of-sample scenarios.
-pub fn validate(instance: &Instance<'_>, x: &[f64], m_hat: usize) -> Result<ValidationReport> {
-    let silp = &instance.silp;
-    let mut constraints = Vec::new();
-    let mut feasible = true;
-
-    for (ci, c) in silp.constraints.iter().enumerate() {
-        let ConstraintKind::Probabilistic { probability } = c.kind else {
-            continue;
-        };
-        let column = c.coeff.column().ok_or_else(|| {
-            crate::error::SpqError::Internal("probabilistic constraint without a column".into())
-        })?;
-        let satisfied = count_satisfied(instance, column, x, c.sense, c.rhs, m_hat)?;
-        let fraction = satisfied as f64 / m_hat.max(1) as f64;
-        let required = (probability * m_hat as f64).ceil() as usize;
-        let ok = satisfied >= required;
-        feasible &= ok;
-        constraints.push(ConstraintValidation {
-            constraint_index: ci,
-            probability,
-            satisfied_fraction: fraction,
-            surplus: fraction - probability,
-            feasible: ok,
-        });
-    }
-
-    // Objective estimate.
-    let objective_estimate = match &silp.objective {
-        SilpObjective::Linear { coeff, .. } => {
-            let coeffs = instance.coefficients(coeff)?;
-            coeffs.iter().zip(x).map(|(c, v)| c * v).sum()
-        }
-        SilpObjective::Probability {
-            attribute,
-            sense,
-            threshold,
-            ..
-        } => {
-            let satisfied = count_satisfied(instance, attribute, x, *sense, *threshold, m_hat)?;
-            satisfied as f64 / m_hat.max(1) as f64
-        }
-    };
-
-    let bounds: OmegaBounds = omega_bounds(instance);
-    let epsilon = epsilon_upper_bound(silp.objective.direction(), objective_estimate, &bounds);
-
-    Ok(ValidationReport {
-        feasible,
-        constraints,
-        objective_estimate,
-        epsilon_upper_bound: epsilon,
-        scenarios_used: m_hat,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::options::SpqOptions;
-    use crate::silp::{CoeffSource, Direction, Silp, SilpConstraint};
-    use spq_mcdb::vg::{Degenerate, NormalNoise};
-    use spq_mcdb::{Relation, RelationBuilder};
-
-    fn relation() -> Relation {
-        RelationBuilder::new("t")
-            .deterministic_f64("price", vec![10.0, 20.0, 30.0])
-            // Tuple gains: strongly positive, mildly positive, negative.
-            .stochastic("gain", NormalNoise::around(vec![10.0, 1.0, -5.0], 1.0))
-            .stochastic("fixed", Degenerate::new(vec![1.0, 2.0, 3.0]))
-            .build()
-            .unwrap()
-    }
-
-    fn silp_with_constraint(sense: Sense, rhs: f64, p: f64) -> Silp {
-        Silp {
-            relation: "t".into(),
-            tuples: vec![0, 1, 2],
-            repeat_bound: None,
-            constraints: vec![SilpConstraint {
-                name: "risk".into(),
-                coeff: CoeffSource::Stochastic("gain".into()),
-                sense,
-                rhs,
-                kind: ConstraintKind::Probabilistic { probability: p },
-            }],
-            objective: SilpObjective::Linear {
-                direction: Direction::Maximize,
-                coeff: CoeffSource::Stochastic("gain".into()),
-                expectation: true,
-            },
-        }
-    }
-
-    #[test]
-    fn clearly_feasible_package_validates() {
-        let rel = relation();
-        let inst = Instance::new(
-            &rel,
-            silp_with_constraint(Sense::Ge, 0.0, 0.9),
-            SpqOptions::for_tests(),
-        )
-        .unwrap();
-        // One copy of tuple 0 (mean gain 10, sd 1): Pr(gain >= 0) ~ 1.
-        let report = validate(&inst, &[1.0, 0.0, 0.0], 2000).unwrap();
-        assert!(report.feasible);
-        assert_eq!(report.constraints.len(), 1);
-        assert!(report.constraints[0].surplus > 0.05);
-        assert!((report.objective_estimate - 10.0).abs() < 0.5);
-        assert_eq!(report.scenarios_used, 2000);
-    }
-
-    #[test]
-    fn clearly_infeasible_package_fails_validation_with_negative_surplus() {
-        let rel = relation();
-        let inst = Instance::new(
-            &rel,
-            silp_with_constraint(Sense::Ge, 0.0, 0.9),
-            SpqOptions::for_tests(),
-        )
-        .unwrap();
-        // Tuple 2 has mean gain -5: Pr(gain >= 0) ~ 0.
-        let report = validate(&inst, &[0.0, 0.0, 1.0], 2000).unwrap();
-        assert!(!report.feasible);
-        assert!(report.constraints[0].surplus < -0.5);
-        assert!(!report.constraints[0].feasible);
-    }
-
-    #[test]
-    fn borderline_package_has_surplus_near_zero() {
-        let rel = relation();
-        let inst = Instance::new(
-            &rel,
-            // Tuple 1 has mean 1, sd 1: Pr(gain >= 1) ~ 0.5.
-            silp_with_constraint(Sense::Ge, 1.0, 0.5),
-            SpqOptions::for_tests(),
-        )
-        .unwrap();
-        let report = validate(&inst, &[0.0, 1.0, 0.0], 4000).unwrap();
-        assert!(report.constraints[0].surplus.abs() < 0.05);
-    }
-
-    #[test]
-    fn empty_package_scores_zero() {
-        let rel = relation();
-        let inst = Instance::new(
-            &rel,
-            silp_with_constraint(Sense::Ge, -1.0, 0.9),
-            SpqOptions::for_tests(),
-        )
-        .unwrap();
-        // Empty package: score 0 >= -1 always -> feasible.
-        let report = validate(&inst, &[0.0, 0.0, 0.0], 500).unwrap();
-        assert!(report.feasible);
-        assert_eq!(report.constraints[0].satisfied_fraction, 1.0);
-        assert_eq!(report.objective_estimate, 0.0);
-
-        // But with rhs 1 the empty package fails.
-        let inst = Instance::new(
-            &rel,
-            silp_with_constraint(Sense::Ge, 1.0, 0.9),
-            SpqOptions::for_tests(),
-        )
-        .unwrap();
-        let report = validate(&inst, &[0.0, 0.0, 0.0], 500).unwrap();
-        assert!(!report.feasible);
-    }
-
-    #[test]
-    fn degenerate_column_gives_exact_fractions() {
-        let rel = relation();
-        let silp = Silp {
-            relation: "t".into(),
-            tuples: vec![0, 1, 2],
-            repeat_bound: None,
-            constraints: vec![SilpConstraint {
-                name: "fixed".into(),
-                coeff: CoeffSource::Stochastic("fixed".into()),
-                sense: Sense::Le,
-                rhs: 4.0,
-                kind: ConstraintKind::Probabilistic { probability: 0.8 },
-            }],
-            objective: SilpObjective::Linear {
-                direction: Direction::Minimize,
-                coeff: CoeffSource::Stochastic("fixed".into()),
-                expectation: true,
-            },
-        };
-        let inst = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
-        // Package {tuple0: 2, tuple1: 1} has fixed score 2*1 + 2 = 4 <= 4 in
-        // every scenario (degenerate), so the fraction is exactly 1.
-        let report = validate(&inst, &[2.0, 1.0, 0.0], 300).unwrap();
-        assert!(report.feasible);
-        assert_eq!(report.constraints[0].satisfied_fraction, 1.0);
-        assert_eq!(report.objective_estimate, 4.0);
-        // Package {tuple2: 2} scores 6 > 4 in every scenario.
-        let report = validate(&inst, &[0.0, 0.0, 2.0], 300).unwrap();
-        assert_eq!(report.constraints[0].satisfied_fraction, 0.0);
-        assert!(!report.feasible);
-    }
-
-    #[test]
-    fn probability_objective_estimate_is_a_fraction() {
-        let rel = relation();
-        let silp = Silp {
-            relation: "t".into(),
-            tuples: vec![0, 1, 2],
-            repeat_bound: None,
-            constraints: vec![],
-            objective: SilpObjective::Probability {
-                direction: Direction::Maximize,
-                attribute: "gain".into(),
-                sense: Sense::Ge,
-                threshold: 5.0,
-            },
-        };
-        let inst = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
-        // Tuple 0 (mean 10, sd 1): Pr(gain >= 5) ~ 1.
-        let report = validate(&inst, &[1.0, 0.0, 0.0], 1000).unwrap();
-        assert!(report.objective_estimate > 0.99);
-        assert!(report.feasible); // no probabilistic constraints
-        assert!(report.constraints.is_empty());
-        // Tuple 2 (mean -5): Pr(gain >= 5) ~ 0.
-        let report = validate(&inst, &[0.0, 0.0, 1.0], 1000).unwrap();
-        assert!(report.objective_estimate < 0.01);
-    }
-
-    #[test]
-    fn multiple_probabilistic_constraints_all_validated() {
-        let rel = relation();
-        let mut silp = silp_with_constraint(Sense::Ge, 0.0, 0.9);
-        silp.constraints.push(SilpConstraint {
-            name: "cap".into(),
-            coeff: CoeffSource::Stochastic("gain".into()),
-            sense: Sense::Le,
-            rhs: 20.0,
-            kind: ConstraintKind::Probabilistic { probability: 0.9 },
-        });
-        let inst = Instance::new(&rel, silp, SpqOptions::for_tests()).unwrap();
-        let report = validate(&inst, &[1.0, 0.0, 0.0], 1000).unwrap();
-        assert_eq!(report.constraints.len(), 2);
-        assert!(report.feasible);
-        // Both constraints hold with large surplus for one copy of tuple 0.
-        assert!(report.constraints.iter().all(|c| c.surplus > 0.0));
-    }
-}
+pub use crate::validation::{
+    required_successes, validate, validate_with, ConstraintValidation, EarlyStop,
+    ValidationOptions, ValidationReport,
+};

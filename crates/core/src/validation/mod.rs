@@ -1,0 +1,331 @@
+//! Out-of-sample validation (Section 3.2): the blocked, parallel, one-pass
+//! validation engine.
+//!
+//! A candidate package is *validation-feasible* when, for every probabilistic
+//! constraint, it satisfies the inner constraint in at least `⌈p·M̂⌉` of `M̂`
+//! out-of-sample scenarios. Validation is the step every CSA-Solve iteration
+//! and every reported package goes through, and at the paper's scales
+//! (`M̂ = 10⁶–10⁷`) it dominates evaluation cost — so this module treats it
+//! as a first-class kernel:
+//!
+//! * **One pass.** Scenarios of each referenced stochastic column are
+//!   realized exactly once per block, and *all* probabilistic constraints on
+//!   that column (plus a probability objective, if the query has one) are
+//!   scored against the same realized row. The pre-existing path re-realized
+//!   the column once per constraint and allocated one `Vec` per scenario.
+//! * **Blocked and parallel.** The `M̂` scenarios stream through
+//!   fixed-size blocks ([`ValidationOptions::block_scenarios`]), and the
+//!   block loop fans out across `std::thread` workers with the same
+//!   contiguous-chunk policy as
+//!   [`spq_mcdb::ScenarioGenerator::realize_matrix_with_threads`]. Because
+//!   every `(column, tuple, scenario)` cell seeds its own RNG, the counts —
+//!   and therefore every reported fraction — are **bit-identical at any
+//!   thread count and any block size**.
+//! * **Cache-backed.** When the evaluation carries a shared
+//!   [`spq_mcdb::ScenarioCache`], realized validation blocks are memoized
+//!   per `(relation, column, tuple set, scenario window)`, so re-validating
+//!   the same package (e.g. the service's `validate` op, or CSA-Solve
+//!   confirming a summary solution) touches the VG functions once.
+//! * **Adaptive `M̂`.** With an [`EarlyStop`] policy, validation escalates
+//!   through geometric stages (`initial_stage`, `2×`, `4×`, … up to `M̂`)
+//!   and stops counting a constraint as soon as its verdict is settled —
+//!   either *certainly* (the remaining scenarios cannot change the
+//!   `⌈p·M̂⌉` comparison) or *statistically* (a Hoeffding bound puts the
+//!   empirical fraction far from `p`). Stage boundaries depend only on the
+//!   options, never on the thread count, so adaptive runs stay
+//!   deterministic.
+//! * **Interruptible.** The armed [`spq_solver::Deadline`] (wall-clock
+//!   budget and/or cancellation token) is polled inside the block loop;
+//!   an expiry mid-validation yields a report marked
+//!   [`ValidationReport::interrupted`] instead of burning the rest of the
+//!   budget.
+//!
+//! The final report a caller ships to a user is always anchored to the full
+//! budget: the search loops (Naïve, CSA-Solve) validate intermediate
+//! candidates adaptively and **confirm** an accepted package with a full-`M̂`
+//! pass whenever its adaptive report stopped early.
+
+mod engine;
+
+use crate::bounds::{epsilon_upper_bound, omega_bounds, OmegaBounds};
+use crate::error::SpqError;
+use crate::instance::Instance;
+use crate::silp::SilpObjective;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Default scenarios per realized block.
+pub const DEFAULT_BLOCK_SCENARIOS: usize = 2048;
+
+/// Default first adaptive stage (early-stop checks happen at
+/// `initial_stage · 2^k` scenario milestones).
+pub const DEFAULT_INITIAL_STAGE: usize = 1024;
+
+/// Default two-sided confidence parameter of [`EarlyStop::Hoeffding`].
+pub const DEFAULT_HOEFFDING_DELTA: f64 = 1e-9;
+
+/// When (and how) validation may settle a constraint's verdict before
+/// evaluating the full `M̂` budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum EarlyStop {
+    /// Evaluate every scenario; no early decisions.
+    #[default]
+    Full,
+    /// Stop a constraint only when its full-`M̂` verdict is already certain:
+    /// `satisfied ≥ ⌈p·M̂⌉` (feasible — later scenarios cannot lower the
+    /// count) or `satisfied + remaining < ⌈p·M̂⌉` (infeasible). Verdicts are
+    /// exactly the full-budget verdicts.
+    Certain,
+    /// [`EarlyStop::Certain`] plus a statistical rule: after `n` scenarios
+    /// with empirical fraction `f`, decide once `|f − p| ≥
+    /// √(ln(2/δ) / 2n)` (Hoeffding). Decides far-from-`p` constraints after
+    /// a few thousand scenarios regardless of `M̂`; each check is wrong with
+    /// probability at most `δ`.
+    Hoeffding {
+        /// Per-check failure probability bound.
+        delta: f64,
+    },
+}
+
+impl EarlyStop {
+    /// True when some early decision rule is active.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, EarlyStop::Full)
+    }
+
+    /// Parse the wire spelling used by the service's `validate` op:
+    /// `full`, `certain`, or `hoeffding` (with the default `δ`).
+    pub fn from_wire(s: &str) -> Option<EarlyStop> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Some(EarlyStop::Full),
+            "certain" => Some(EarlyStop::Certain),
+            "hoeffding" => Some(EarlyStop::Hoeffding {
+                delta: DEFAULT_HOEFFDING_DELTA,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn as_wire(&self) -> &'static str {
+        match self {
+            EarlyStop::Full => "full",
+            EarlyStop::Certain => "certain",
+            EarlyStop::Hoeffding { .. } => "hoeffding",
+        }
+    }
+}
+
+/// Tunables of one validation run.
+#[derive(Debug, Clone)]
+pub struct ValidationOptions {
+    /// The out-of-sample budget `M̂`. Must be at least 1; a zero budget
+    /// would make every constraint vacuously feasible and is rejected with
+    /// an error.
+    pub m_hat: usize,
+    /// Scenarios per realized block (the streaming granularity).
+    pub block_scenarios: usize,
+    /// Worker threads for the block loop. `0` picks automatically (serial
+    /// for small requests, the machine's parallelism otherwise), honoring a
+    /// `SPQ_VALIDATION_THREADS` override from the environment. Results are
+    /// bit-identical for every value.
+    pub threads: usize,
+    /// Early-stop policy for adaptive `M̂` escalation.
+    pub early_stop: EarlyStop,
+    /// First stage size of the adaptive escalation (subsequent stages
+    /// double). Irrelevant under [`EarlyStop::Full`].
+    pub initial_stage: usize,
+    /// Whether the block loop honors the wall-clock part of the armed
+    /// deadline (default `true`). The search loops set this to `false` for
+    /// the **final certificate** validation of a candidate after the
+    /// optimization budget ran out: the paper validates the returned
+    /// package regardless, and one bounded pass beats reporting an
+    /// unvalidated (conservatively infeasible) answer. A fired
+    /// cancellation token *always* interrupts, whatever this is set to.
+    pub honor_deadline: bool,
+}
+
+impl ValidationOptions {
+    /// Full-budget validation of `m_hat` scenarios with default block size
+    /// and automatic threading.
+    pub fn full(m_hat: usize) -> Self {
+        ValidationOptions {
+            m_hat,
+            block_scenarios: DEFAULT_BLOCK_SCENARIOS,
+            threads: 0,
+            early_stop: EarlyStop::Full,
+            initial_stage: DEFAULT_INITIAL_STAGE,
+            honor_deadline: true,
+        }
+    }
+
+    /// Set the early-stop policy, returning `self` for chaining.
+    pub fn with_early_stop(mut self, early_stop: EarlyStop) -> Self {
+        self.early_stop = early_stop;
+        self
+    }
+
+    /// Set the worker count, returning `self` for chaining.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the block size, returning `self` for chaining.
+    pub fn with_block_scenarios(mut self, block: usize) -> Self {
+        self.block_scenarios = block.max(1);
+        self
+    }
+
+    /// Set whether the wall-clock deadline interrupts the block loop
+    /// (cancellation tokens always do), returning `self` for chaining.
+    pub fn with_honor_deadline(mut self, honor: bool) -> Self {
+        self.honor_deadline = honor;
+        self
+    }
+}
+
+/// The smallest satisfied-scenario count that meets `Pr ≥ p` over `n`
+/// scenarios: the least integer `c` with `c/n ≥ p`.
+///
+/// Computed with a tolerance so that an exactly integral `p·n` is not pushed
+/// up by floating-point noise (e.g. `0.7 × 10` evaluates to
+/// `7.000000000000001`, whose plain `ceil` would demand 8 of 10 scenarios).
+pub fn required_successes(p: f64, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let target = p * n as f64;
+    let required = (target - 1e-9).ceil().max(0.0) as usize;
+    required.min(n)
+}
+
+/// Validation outcome for one probabilistic constraint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConstraintValidation {
+    /// Index of the constraint in `silp.constraints`.
+    pub constraint_index: usize,
+    /// Target probability `p`.
+    pub probability: f64,
+    /// Fraction of the evaluated validation scenarios whose inner constraint
+    /// held.
+    pub satisfied_fraction: f64,
+    /// The paper's `p`-surplus `r = satisfied_fraction − p`.
+    pub surplus: f64,
+    /// Whether the constraint is validation-feasible (`Y ≥ ⌈p·M̂⌉`, or the
+    /// early-stop verdict standing in for it).
+    pub feasible: bool,
+    /// How many validation scenarios this constraint was scored against
+    /// (less than `M̂` when an early-stop rule settled it, or when the run
+    /// was interrupted).
+    pub scenarios_evaluated: usize,
+}
+
+/// The result of validating a candidate package.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// True when every probabilistic constraint is validation-feasible.
+    pub feasible: bool,
+    /// Per-probabilistic-constraint details.
+    pub constraints: Vec<ConstraintValidation>,
+    /// Estimated objective value of the package under validation data
+    /// (expectations for linear objectives, satisfied fraction for
+    /// probability objectives).
+    pub objective_estimate: f64,
+    /// The certificate `ε⁽q⁾` of Section 5.4 (`+∞` when no bound applies).
+    pub epsilon_upper_bound: f64,
+    /// Number of validation scenarios actually evaluated (the furthest any
+    /// target was scored).
+    pub scenarios_used: usize,
+    /// The requested budget `M̂`.
+    pub m_hat: usize,
+    /// True when an early-stop rule settled at least one constraint before
+    /// the full budget (i.e. `scenarios_used < m_hat`, or some constraint
+    /// froze before the run's last stage).
+    pub early_stopped: bool,
+    /// True when the armed deadline expired (or the cancellation token
+    /// fired) mid-run: verdicts and fractions then cover only the scenarios
+    /// evaluated before the interruption.
+    pub interrupted: bool,
+}
+
+impl ValidationReport {
+    /// The worst (most negative) surplus across the probabilistic
+    /// constraints; `0` when there are none.
+    pub fn min_surplus(&self) -> f64 {
+        if self.constraints.is_empty() {
+            0.0
+        } else {
+            self.constraints
+                .iter()
+                .map(|c| c.surplus)
+                .fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
+/// Validate a candidate package `x` (multiplicities over the candidate
+/// tuples) against the **full** budget of `m_hat` out-of-sample scenarios.
+///
+/// Block size and worker count come from the instance's
+/// [`crate::SpqOptions`]; the verdict and every reported fraction are
+/// bit-identical for any thread count. `m_hat == 0` is an error.
+pub fn validate(instance: &Instance<'_>, x: &[f64], m_hat: usize) -> Result<ValidationReport> {
+    let opts = ValidationOptions {
+        m_hat,
+        block_scenarios: instance.options.validation_block,
+        threads: instance.options.validation_threads,
+        early_stop: EarlyStop::Full,
+        initial_stage: DEFAULT_INITIAL_STAGE,
+        honor_deadline: true,
+    };
+    validate_with(instance, x, &opts)
+}
+
+/// Validate a candidate package with explicit [`ValidationOptions`]
+/// (threading, blocking, adaptive early stop).
+pub fn validate_with(
+    instance: &Instance<'_>,
+    x: &[f64],
+    options: &ValidationOptions,
+) -> Result<ValidationReport> {
+    if options.m_hat == 0 {
+        return Err(SpqError::InvalidArgument(
+            "out-of-sample validation needs at least one scenario (m_hat == 0 would make \
+             every probabilistic constraint vacuously feasible)"
+                .into(),
+        ));
+    }
+    let scan = engine::scan(instance, x, options)?;
+
+    // Objective estimate.
+    let objective_estimate = match &instance.silp.objective {
+        SilpObjective::Linear { coeff, .. } => {
+            let coeffs = instance.coefficients(coeff)?;
+            coeffs.iter().zip(x).map(|(c, v)| c * v).sum()
+        }
+        SilpObjective::Probability { .. } => scan.objective_fraction.unwrap_or(0.0),
+    };
+
+    let bounds: OmegaBounds = omega_bounds(instance);
+    let epsilon = epsilon_upper_bound(
+        instance.silp.objective.direction(),
+        objective_estimate,
+        &bounds,
+    );
+
+    let feasible = scan.constraints.iter().all(|c| c.feasible);
+    Ok(ValidationReport {
+        feasible,
+        constraints: scan.constraints,
+        objective_estimate,
+        epsilon_upper_bound: epsilon,
+        scenarios_used: scan.scenarios_used,
+        m_hat: options.m_hat,
+        early_stopped: scan.early_stopped,
+        interrupted: scan.interrupted,
+    })
+}
+
+#[cfg(test)]
+mod tests;

@@ -40,7 +40,11 @@ struct BlockKey {
     /// FNV-1a over the candidate tuple indices (plus their count), so the
     /// key stays small even for 100k-tuple candidate sets.
     tuples_hash: u64,
-    /// Number of scenarios in the block (`0..m`).
+    /// First scenario index of the block (0 for whole-prefix blocks; the
+    /// blocked validator caches arbitrary `[start, start + scenarios)`
+    /// windows).
+    first_scenario: usize,
+    /// Number of scenarios in the block.
     scenarios: usize,
 }
 
@@ -58,6 +62,11 @@ fn hash_tuples(tuples: &[usize]) -> u64 {
 #[derive(Debug, Default)]
 struct Slot {
     block: Mutex<Option<Arc<ScenarioMatrix>>>,
+}
+
+/// Accounting size of one realized block.
+fn matrix_bytes(matrix: &ScenarioMatrix) -> u64 {
+    (matrix.num_tuples() * matrix.num_scenarios() * 8) as u64
 }
 
 /// A thread-safe, byte-bounded cache of realized scenario blocks, shared via
@@ -109,6 +118,20 @@ impl ScenarioCache {
         tuples: &[usize],
         m: usize,
     ) -> Result<Arc<ScenarioMatrix>> {
+        self.sparse_matrix_range(generator, relation, column, tuples, 0..m)
+    }
+
+    /// An arbitrary scenario window of `column` restricted to `tuples`,
+    /// cached like [`Self::sparse_matrix`]. The blocked validator uses this
+    /// to memoize `[start, end)` windows of the validation stream.
+    pub fn sparse_matrix_range(
+        &self,
+        generator: &ScenarioGenerator,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+        scenarios: std::ops::Range<usize>,
+    ) -> Result<Arc<ScenarioMatrix>> {
         // Canonicalize the column name so `gain` and `Gain` share a block;
         // this also surfaces unknown-column errors before touching the map.
         let canon = relation.stochastic_column(column)?.name.clone();
@@ -118,7 +141,8 @@ impl ScenarioCache {
             stream: generator.stream(),
             seed: generator.base_seed(),
             tuples_hash: hash_tuples(tuples),
-            scenarios: m,
+            first_scenario: scenarios.start,
+            scenarios: scenarios.len(),
         };
         let slot = {
             let mut slots = self.slots.lock().expect("scenario cache poisoned");
@@ -132,8 +156,10 @@ impl ScenarioCache {
             return Ok(matrix.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let matrix = Arc::new(generator.realize_sparse_matrix(relation, &canon, tuples, m)?);
-        let bytes = (matrix.num_tuples() * matrix.num_scenarios() * 8) as u64;
+        let matrix = Arc::new(
+            generator.realize_sparse_matrix_range(relation, &canon, tuples, scenarios, 0)?,
+        );
+        let bytes = matrix_bytes(&matrix);
         // Flush-on-full eviction: when this block would overflow the budget,
         // drop everything and admit it fresh. Old blocks regenerate
         // deterministically if asked for again, so this trades occasional
@@ -141,17 +167,36 @@ impl ScenarioCache {
         // the working set is usually a handful of hot queries anyway. A
         // single block larger than the whole budget is returned unretained
         // (and its slot removed so the key map stays bounded too).
-        if self.resident_bytes.load(Ordering::Relaxed) + bytes > self.max_bytes {
+        //
+        // The whole check–flush–add sequence runs under the `slots` lock:
+        // admission decisions from concurrent inserts are serialized, so
+        // `resident_bytes` can never drift from the map contents (two threads
+        // observing overflow used to both zero the counter and then both add,
+        // leaving it permanently off). Lock order is always slot → slots;
+        // the lookup path above releases `slots` before taking the slot lock,
+        // so the two locks are never acquired in the opposite order.
+        {
             let mut slots = self.slots.lock().expect("scenario cache poisoned");
-            slots.retain(|k, _| *k == key);
-            self.resident_bytes.store(0, Ordering::Relaxed);
-            if bytes > self.max_bytes {
-                slots.remove(&key);
-                drop(slots);
+            // A concurrent flush may have evicted this key (and replaced or
+            // dropped its slot) while we were generating: the block is then
+            // returned unretained and never counted.
+            let still_mapped = slots
+                .get(&key)
+                .map(|s| Arc::ptr_eq(s, &slot))
+                .unwrap_or(false);
+            if !still_mapped {
                 return Ok(matrix);
             }
+            if self.resident_bytes.load(Ordering::Relaxed) + bytes > self.max_bytes {
+                slots.retain(|k, _| *k == key);
+                self.resident_bytes.store(0, Ordering::Relaxed);
+                if bytes > self.max_bytes {
+                    slots.remove(&key);
+                    return Ok(matrix);
+                }
+            }
+            self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
         }
-        self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
         *block = Some(matrix.clone());
         Ok(matrix)
     }
@@ -169,6 +214,33 @@ impl ScenarioCache {
     /// Approximate bytes of resident matrix data.
     pub fn resident_bytes(&self) -> u64 {
         self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Recount the bytes of every block actually resident in the map. At
+    /// quiescence this must equal [`Self::resident_bytes`]; the accounting
+    /// stress test asserts exactly that after concurrent churn.
+    pub fn audited_bytes(&self) -> u64 {
+        // Collect the slots first, then inspect them without holding the map
+        // lock: admission takes slot → slots, so holding slots while waiting
+        // on a slot would invert the lock order.
+        let slots: Vec<Arc<Slot>> = self
+            .slots
+            .lock()
+            .expect("scenario cache poisoned")
+            .values()
+            .cloned()
+            .collect();
+        slots
+            .iter()
+            .map(|slot| {
+                slot.block
+                    .lock()
+                    .expect("scenario slot poisoned")
+                    .as_ref()
+                    .map(|m| matrix_bytes(m))
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
     /// Number of resident blocks.
@@ -317,6 +389,80 @@ mod tests {
         // All eight threads asked for the same key: exactly one generation.
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn range_windows_are_cached_independently_and_match_direct_generation() {
+        let r = rel(12);
+        let g = ScenarioGenerator::validation(21);
+        let cache = ScenarioCache::new();
+        let tuples: Vec<usize> = vec![1, 4, 7];
+        let a = cache
+            .sparse_matrix_range(&g, &r, "gain", &tuples, 10..30)
+            .unwrap();
+        let direct = g
+            .realize_sparse_matrix_range(&r, "gain", &tuples, 10..30, 1)
+            .unwrap();
+        assert_eq!(*a, direct);
+        // Same window hits; a different start is a distinct block even with
+        // the same length.
+        let b = cache
+            .sparse_matrix_range(&g, &r, "gain", &tuples, 10..30)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        cache
+            .sparse_matrix_range(&g, &r, "gain", &tuples, 30..50)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        // The prefix API is the `start == 0` special case of the window API.
+        let prefix = cache.sparse_matrix(&g, &r, "gain", &tuples, 20).unwrap();
+        let window0 = cache
+            .sparse_matrix_range(&g, &r, "gain", &tuples, 0..20)
+            .unwrap();
+        assert!(Arc::ptr_eq(&prefix, &window0));
+    }
+
+    #[test]
+    fn accounting_survives_concurrent_churn_with_flushes() {
+        // A budget small enough that concurrent inserts constantly overflow
+        // it: the check–flush–add sequence must stay atomic, so after the
+        // churn `resident_bytes` exactly matches a recount of the map.
+        let r = rel(24);
+        // 24 tuples x 10 scenarios = 1920 bytes per full block; the budget
+        // fits roughly two blocks.
+        let cache = Arc::new(ScenarioCache::with_max_bytes(4000));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = cache.clone();
+                let r = r.clone();
+                scope.spawn(move || {
+                    for round in 0..40usize {
+                        // Distinct (seed, tuple subset, window) keys so
+                        // different threads insert different blocks and keep
+                        // triggering flush-on-full.
+                        let g = ScenarioGenerator::new(t * 7 + (round % 5) as u64);
+                        let lo = round % 3;
+                        let tuples: Vec<usize> = (lo..24).step_by(1 + (round % 4)).collect();
+                        let start = (round * 3) % 17;
+                        cache
+                            .sparse_matrix_range(&g, &r, "gain", &tuples, start..start + 10)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            cache.resident_bytes(),
+            cache.audited_bytes(),
+            "resident accounting drifted from the map contents"
+        );
+        assert!(cache.resident_bytes() <= 4000);
+        // The counters saw every request.
+        assert_eq!(cache.hits() + cache.misses(), 8 * 40);
+        // And a final flush-free sanity point: clearing zeroes both views.
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.audited_bytes(), 0);
     }
 
     #[test]

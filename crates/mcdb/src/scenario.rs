@@ -340,8 +340,31 @@ impl ScenarioGenerator {
         m: usize,
     ) -> Result<ScenarioMatrix> {
         let n = tuples.len();
-        let threads = auto_threads(n * m, n);
-        let columns = self.realize_tuple_major(relation, column, tuples, 0..m, threads)?;
+        self.realize_sparse_matrix_range(relation, column, tuples, 0..m, auto_threads(n * m, n))
+    }
+
+    /// Realize an arbitrary scenario *range* of a stochastic column restricted
+    /// to `tuples`, as a dense [`ScenarioMatrix`] whose row `j` holds scenario
+    /// `scenarios.start + j`. The blocked out-of-sample validator uses this to
+    /// stream `M̂` scenarios in bounded chunks; `threads == 0` picks a worker
+    /// count automatically, and — because every cell seeds its own RNG — the
+    /// result is bit-identical for every `threads` value.
+    pub fn realize_sparse_matrix_range(
+        &self,
+        relation: &Relation,
+        column: &str,
+        tuples: &[usize],
+        scenarios: std::ops::Range<usize>,
+        threads: usize,
+    ) -> Result<ScenarioMatrix> {
+        let n = tuples.len();
+        let m = scenarios.len();
+        let threads = if threads == 0 {
+            auto_threads(n * m, n)
+        } else {
+            threads
+        };
+        let columns = self.realize_tuple_major(relation, column, tuples, scenarios, threads)?;
         let mut data = vec![0.0f64; n * m];
         for (i, values) in columns.iter().enumerate() {
             for (j, &v) in values.iter().enumerate() {
@@ -531,6 +554,32 @@ mod tests {
             sparse_serial,
             g.realize_sparse(&r, "x", &tuples, 5..40).unwrap()
         );
+    }
+
+    #[test]
+    fn range_matrices_are_windows_of_the_full_matrix() {
+        let r = rel();
+        let g = ScenarioGenerator::validation(13);
+        let full = g.realize_sparse_matrix(&r, "gain", &[0, 2, 3], 40).unwrap();
+        for threads in [0, 1, 2, 5] {
+            let window = g
+                .realize_sparse_matrix_range(&r, "gain", &[0, 2, 3], 7..29, threads)
+                .unwrap();
+            assert_eq!(window.num_scenarios(), 22);
+            assert_eq!(window.num_tuples(), 3);
+            for j in 0..22 {
+                assert_eq!(
+                    window.scenario(j),
+                    full.scenario(7 + j),
+                    "threads {threads}"
+                );
+            }
+        }
+        // An empty range is a zero-scenario matrix, not an error.
+        let empty = g
+            .realize_sparse_matrix_range(&r, "gain", &[0, 2], 5..5, 1)
+            .unwrap();
+        assert_eq!(empty.num_scenarios(), 0);
     }
 
     #[test]

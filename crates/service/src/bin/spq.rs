@@ -11,9 +11,18 @@
 //!     [--algorithm summary-search] [--timeout-ms 30000] [--seed 7]
 //!     [--validation 1000] [--initial-scenarios 100]
 //!     [--repeat 1] [--concurrency 1] [--expect-feasible] [--quiet]
+//!     [--validate-result] [--early-stop full|certain|hoeffding]
 //! ```
+//!
+//! `--validate-result` sends a follow-up `{"op":"validate"}` for every
+//! returned package (same relation/query/seed), exercising the server's
+//! out-of-sample validator end-to-end; with `--expect-feasible` the
+//! validation verdict must agree.
 
-use spq_service::{QueryRequest, QueryResponse, QueryStatus, Request};
+use spq_core::EarlyStop;
+use spq_service::{
+    QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest, ValidateResponse,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -21,7 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: spq --relation NAME --query SPAQL [--addr HOST:PORT] [--algorithm A]\n\
          \x20          [--timeout-ms N] [--seed N] [--validation N] [--initial-scenarios N]\n\
-         \x20          [--repeat N] [--concurrency N] [--expect-feasible] [--quiet]"
+         \x20          [--repeat N] [--concurrency N] [--expect-feasible] [--quiet]\n\
+         \x20          [--validate-result] [--early-stop full|certain|hoeffding]"
     );
     std::process::exit(2);
 }
@@ -34,6 +44,8 @@ struct Cli {
     concurrency: usize,
     expect_feasible: bool,
     quiet: bool,
+    validate_result: bool,
+    early_stop: Option<EarlyStop>,
 }
 
 fn parse_cli() -> Cli {
@@ -54,6 +66,8 @@ fn parse_cli() -> Cli {
         concurrency: 1,
         expect_feasible: false,
         quiet: false,
+        validate_result: false,
+        early_stop: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -98,6 +112,15 @@ fn parse_cli() -> Cli {
             }
             "--expect-feasible" => cli.expect_feasible = true,
             "--quiet" => cli.quiet = true,
+            "--validate-result" => cli.validate_result = true,
+            "--early-stop" => {
+                cli.early_stop = Some(EarlyStop::from_wire(value("--early-stop")).unwrap_or_else(
+                    || {
+                        eprintln!("--early-stop expects full, certain or hoeffding");
+                        usage()
+                    },
+                ))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -114,16 +137,19 @@ fn parse_cli() -> Cli {
     cli
 }
 
-/// Run `repeat` queries on one connection; returns the responses.
-fn run_connection(cli: &Cli, worker: usize) -> Result<Vec<QueryResponse>, String> {
+/// One query's outcome: the query response, plus the follow-up validation
+/// verdict when `--validate-result` is on.
+struct Outcome {
+    response: QueryResponse,
+    validation: Option<ValidateResponse>,
+}
+
+/// Run `repeat` queries on one connection; returns the outcomes.
+fn run_connection(cli: &Cli, worker: usize) -> Result<Vec<Outcome>, String> {
     let stream = TcpStream::connect(&cli.addr)
         .map_err(|e| format!("cannot connect to {}: {e}", cli.addr))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut responses = Vec::with_capacity(cli.repeat);
-    for i in 0..cli.repeat {
-        let mut request = cli.request.clone();
-        request.id = format!("spq-{worker}-{i}");
-        let line = Request::Query(request).to_line();
+    let mut exchange = |line: String| -> Result<String, String> {
         {
             let mut s = &stream;
             s.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
@@ -139,15 +165,45 @@ fn run_connection(cli: &Cli, worker: usize) -> Result<Vec<QueryResponse>, String
         if !cli.quiet {
             println!("{}", answer.trim_end());
         }
-        responses.push(QueryResponse::parse_line(answer.trim_end())?);
+        Ok(answer.trim_end().to_string())
+    };
+    let mut outcomes = Vec::with_capacity(cli.repeat);
+    for i in 0..cli.repeat {
+        let mut request = cli.request.clone();
+        request.id = format!("spq-{worker}-{i}");
+        let answer = exchange(Request::Query(request).to_line())?;
+        let response = QueryResponse::parse_line(&answer)?;
+        // Optionally re-validate the returned package out-of-sample through
+        // the server's validate op.
+        let validation = if cli.validate_result && !response.package.is_empty() {
+            let validate = ValidateRequest {
+                id: format!("spq-{worker}-{i}-validate"),
+                relation: cli.request.relation.clone(),
+                query: cli.request.query.clone(),
+                package: response.package.clone(),
+                validation_scenarios: cli.request.validation_scenarios,
+                seed: cli.request.seed,
+                timeout_ms: cli.request.timeout_ms,
+                early_stop: cli.early_stop,
+                threads: None,
+            };
+            let answer = exchange(Request::Validate(validate).to_line())?;
+            Some(ValidateResponse::parse_line(&answer)?)
+        } else {
+            None
+        };
+        outcomes.push(Outcome {
+            response,
+            validation,
+        });
     }
-    Ok(responses)
+    Ok(outcomes)
 }
 
 fn main() {
     let cli = parse_cli();
     let started = std::time::Instant::now();
-    let results: Vec<Result<Vec<QueryResponse>, String>> = std::thread::scope(|scope| {
+    let results: Vec<Result<Vec<Outcome>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cli.concurrency)
             .map(|w| {
                 let cli = cli.clone();
@@ -161,17 +217,29 @@ fn main() {
     let mut total = 0usize;
     let mut ok = 0usize;
     let mut feasible = 0usize;
+    let mut validated = 0usize;
+    let mut validation_ok = 0usize;
+    let mut validation_feasible = 0usize;
     let mut failures = Vec::new();
     for result in results {
         match result {
-            Ok(responses) => {
-                for r in responses {
+            Ok(outcomes) => {
+                for outcome in outcomes {
                     total += 1;
-                    if r.status == QueryStatus::Ok {
+                    if outcome.response.status == QueryStatus::Ok {
                         ok += 1;
                     }
-                    if r.feasible {
+                    if outcome.response.feasible {
                         feasible += 1;
+                    }
+                    if let Some(v) = outcome.validation {
+                        validated += 1;
+                        if v.status == QueryStatus::Ok {
+                            validation_ok += 1;
+                        }
+                        if v.feasible {
+                            validation_feasible += 1;
+                        }
                     }
                 }
             }
@@ -188,9 +256,15 @@ fn main() {
             total as f64 / elapsed.as_secs_f64().max(1e-9)
         );
     }
+    if validated > 0 {
+        eprintln!(
+            "spq: {validated} validate ops ({validation_ok} ok, {validation_feasible} feasible)"
+        );
+    }
     let success = failures.is_empty()
         && ok == total
         && total == cli.repeat * cli.concurrency
-        && (!cli.expect_feasible || feasible == total);
+        && validation_ok == validated
+        && (!cli.expect_feasible || (feasible == total && validation_feasible == validated));
     std::process::exit(if success { 0 } else { 1 });
 }

@@ -196,10 +196,26 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses per
+/// nesting level, so without a limit a network client could send
+/// `[[[[...` and overflow the stack of whichever server thread parses it;
+/// 128 levels is far beyond anything the wire protocol produces.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse one JSON document; trailing non-whitespace is an error.
+///
+/// Robustness guarantees for network-facing callers: container nesting
+/// beyond [`MAX_DEPTH`] is rejected (no stack overflow on adversarial
+/// input), and number literals that overflow `f64` (`1e999`) are rejected
+/// rather than parsed into `inf`/`-inf` values that would otherwise flow
+/// into deadlines and budgets.
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -212,6 +228,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -269,12 +286,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -290,6 +317,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 other => {
@@ -304,11 +332,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -319,6 +349,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 other => {
@@ -424,9 +455,13 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+        match text.parse::<f64>() {
+            // `1e999` parses "successfully" to infinity; non-finite values
+            // must not leak into deadlines/budgets, so reject them here.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(format!("number `{text}` overflows f64 at byte {start}")),
+            Err(_) => Err(format!("invalid number `{text}` at byte {start}")),
+        }
     }
 }
 
@@ -503,5 +538,57 @@ mod tests {
     fn duplicate_keys_last_wins() {
         let v = parse(r#"{"a":1,"a":2}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_instead_of_overflowing_the_stack() {
+        // Well within the limit: fine.
+        let shallow = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH - 1),
+            "]".repeat(MAX_DEPTH - 1)
+        );
+        assert!(parse(&shallow).is_ok());
+        // Exactly at the limit: the deepest container is still accepted.
+        let at_limit = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at_limit).is_ok());
+        // One past the limit errors...
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).unwrap_err().contains("nesting"));
+        // ...and so does an adversarial 100k-deep prefix (this is the
+        // stack-overflow DoS shape: no closing brackets needed).
+        let hostile = "[".repeat(100_000);
+        assert!(parse(&hostile).is_err());
+        let hostile_objects = r#"{"a":"#.repeat(50_000);
+        assert!(parse(&hostile_objects).is_err());
+        // Mixed nesting counts both container kinds.
+        let mixed = format!(
+            "{}{}1{}{}",
+            r#"{"k":"#.repeat(80),
+            "[".repeat(80),
+            "]".repeat(80),
+            "}".repeat(80)
+        );
+        assert!(parse(&mixed).unwrap_err().contains("nesting"));
+        // Depth is per-document nesting, not total container count: wide
+        // but shallow documents are fine.
+        let wide = format!("[{}1]", "[1],".repeat(10_000));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn overflowing_number_literals_are_rejected() {
+        for bad in ["1e999", "-1e999", "1e309", "-2.5e308999", r#"{"t":1e999}"#] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("overflow"), "`{bad}` -> {err}");
+        }
+        // Values near the top of the range still parse.
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+        // Sub-normal underflow flushes to zero, which is finite and fine.
+        assert_eq!(parse("1e-999").unwrap().as_f64(), Some(0.0));
     }
 }

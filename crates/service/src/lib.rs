@@ -80,13 +80,17 @@ pub mod service;
 
 pub use json::Json;
 pub use prepared::PreparedCache;
-pub use protocol::{QueryRequest, QueryResponse, QueryStatus, Request};
+pub use protocol::{
+    QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest, ValidateResponse,
+};
 pub use server::{ServerConfig, SpqServer};
 pub use service::{ServiceConfig, SpqService};
 
 /// Convenient single import for embedding the service.
 pub mod prelude {
-    pub use crate::protocol::{QueryRequest, QueryResponse, QueryStatus, Request};
+    pub use crate::protocol::{
+        QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest, ValidateResponse,
+    };
     pub use crate::server::{ServerConfig, SpqServer};
     pub use crate::service::{ServiceConfig, SpqService};
 }

@@ -12,6 +12,9 @@
 //! ```json
 //! {"id":"q1","relation":"portfolio","query":"SELECT PACKAGE(*) FROM ...",
 //!  "algorithm":"summary-search","timeout_ms":30000,"seed":7}
+//! {"op":"validate","id":"v1","relation":"portfolio","query":"SELECT ...",
+//!  "package":[[3,1],[17,2]],"validation_scenarios":100000,
+//!  "early_stop":"hoeffding","threads":8}
 //! {"op":"cancel","id":"q1"}
 //! {"op":"stats"}
 //! {"op":"ping"}
@@ -20,9 +23,13 @@
 //! Query fields: `id` and `relation` and `query` are required; `algorithm`
 //! (default `summary-search`), `timeout_ms`, `seed`, `initial_scenarios`,
 //! `max_scenarios` and `validation_scenarios` override the server defaults
-//! per request. `cancel` aborts the named in-flight query of the *same
-//! connection* cooperatively (the solver stops at its next pivot-loop
-//! checkpoint).
+//! per request. `validate` runs the blocked out-of-sample validator over a
+//! given package (no search): `package` lists `[tuple_index, multiplicity]`
+//! pairs, `early_stop` is `full` (default), `certain` or `hoeffding`, and
+//! the response (tagged `"op":"validate"`) carries the per-constraint
+//! fractions, surpluses and the `ε` certificate. `cancel` aborts the named
+//! in-flight query of the *same connection* cooperatively (the solver stops
+//! at its next pivot-loop checkpoint; the validator at its next block).
 //!
 //! ## Responses
 //!
@@ -41,7 +48,8 @@
 //! message). `package` lists `[tuple_index, multiplicity]` pairs.
 
 use crate::json::{parse, Json};
-use spq_core::{Algorithm, EvaluationStats};
+use spq_core::validation::ConstraintValidation;
+use spq_core::{Algorithm, EarlyStop, EvaluationStats};
 
 /// A query to evaluate.
 #[derive(Debug, Clone)]
@@ -67,11 +75,39 @@ pub struct QueryRequest {
     pub validation_scenarios: Option<usize>,
 }
 
+/// A package to validate out-of-sample, without re-running the search.
+#[derive(Debug, Clone)]
+pub struct ValidateRequest {
+    /// Client-chosen id echoed in the response; also the handle for
+    /// `cancel`.
+    pub id: String,
+    /// Name of a relation registered with the service.
+    pub relation: String,
+    /// sPaQL text naming the constraints the package is validated against.
+    pub query: String,
+    /// `(tuple_index, multiplicity)` pairs of the package.
+    pub package: Vec<(usize, u32)>,
+    /// Out-of-sample budget `M̂` (`None` = the server default). `0` is
+    /// rejected by the validator.
+    pub validation_scenarios: Option<usize>,
+    /// Base random seed override (selects the validation stream).
+    pub seed: Option<u64>,
+    /// Per-request budget in milliseconds, measured from admission.
+    pub timeout_ms: Option<u64>,
+    /// Early-stop policy: `full` (default), `certain`, or `hoeffding`.
+    pub early_stop: Option<EarlyStop>,
+    /// Validator worker threads (`None`/0 = automatic; results are
+    /// bit-identical either way).
+    pub threads: Option<usize>,
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Evaluate a query.
     Query(QueryRequest),
+    /// Validate a given package out-of-sample.
+    Validate(ValidateRequest),
     /// Cancel an in-flight query of this connection by id.
     Cancel {
         /// Id of the query to cancel.
@@ -81,6 +117,38 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+}
+
+/// Parse a `[[tuple, multiplicity], ...]` package field.
+fn parse_package(value: &Json, key: &str) -> Result<Vec<(usize, u32)>, String> {
+    match value.get(key).and_then(Json::as_array) {
+        Some(items) => items
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array().ok_or("package entries are pairs")?;
+                let t = pair
+                    .first()
+                    .and_then(Json::as_u64)
+                    .ok_or("package tuple index")? as usize;
+                let m = pair
+                    .get(1)
+                    .and_then(Json::as_u64)
+                    .ok_or("package multiplicity")? as u32;
+                Ok::<(usize, u32), String>((t, m))
+            })
+            .collect::<Result<Vec<_>, _>>(),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// Serialize a package as `[[tuple, multiplicity], ...]`.
+fn package_json(package: &[(usize, u32)]) -> Json {
+    Json::Arr(
+        package
+            .iter()
+            .map(|&(t, m)| Json::Arr(vec![Json::from(t), Json::from(m as usize)]))
+            .collect(),
+    )
 }
 
 impl Request {
@@ -117,6 +185,42 @@ impl Request {
                     validation_scenarios: value
                         .u64_field("validation_scenarios")
                         .map(|v| v as usize),
+                }))
+            }
+            "validate" => {
+                let early_stop = match value.str_field("early_stop") {
+                    Some(name) => Some(EarlyStop::from_wire(name).ok_or_else(|| {
+                        format!("unknown early_stop `{name}` (expected full, certain or hoeffding)")
+                    })?),
+                    None => None,
+                };
+                // `package` must be present (an explicit `[]` validates the
+                // empty package); a missing/misspelled key silently
+                // validating the empty package would mask client bugs.
+                if value.get("package").is_none() {
+                    return Err("validate request needs a `package` array".into());
+                }
+                Ok(Request::Validate(ValidateRequest {
+                    id: value
+                        .str_field("id")
+                        .ok_or("validate request needs a string `id`")?
+                        .to_string(),
+                    relation: value
+                        .str_field("relation")
+                        .ok_or("validate request needs a string `relation`")?
+                        .to_string(),
+                    query: value
+                        .str_field("query")
+                        .ok_or("validate request needs a string `query`")?
+                        .to_string(),
+                    package: parse_package(&value, "package")?,
+                    validation_scenarios: value
+                        .u64_field("validation_scenarios")
+                        .map(|v| v as usize),
+                    seed: value.u64_field("seed"),
+                    timeout_ms: value.u64_field("timeout_ms"),
+                    early_stop,
+                    threads: value.u64_field("threads").map(|v| v as usize),
                 }))
             }
             "cancel" => Ok(Request::Cancel {
@@ -157,6 +261,31 @@ impl Request {
                 }
                 if let Some(v) = q.validation_scenarios {
                     pairs.push(("validation_scenarios".to_string(), Json::from(v)));
+                }
+                Json::Obj(pairs).to_string()
+            }
+            Request::Validate(v) => {
+                let mut pairs = vec![
+                    ("op".to_string(), Json::from("validate")),
+                    ("id".to_string(), Json::from(v.id.as_str())),
+                    ("relation".to_string(), Json::from(v.relation.as_str())),
+                    ("query".to_string(), Json::from(v.query.as_str())),
+                    ("package".to_string(), package_json(&v.package)),
+                ];
+                if let Some(m) = v.validation_scenarios {
+                    pairs.push(("validation_scenarios".to_string(), Json::from(m)));
+                }
+                if let Some(s) = v.seed {
+                    pairs.push(("seed".to_string(), Json::from(s)));
+                }
+                if let Some(t) = v.timeout_ms {
+                    pairs.push(("timeout_ms".to_string(), Json::from(t)));
+                }
+                if let Some(stop) = v.early_stop {
+                    pairs.push(("early_stop".to_string(), Json::from(stop.as_wire())));
+                }
+                if let Some(t) = v.threads {
+                    pairs.push(("threads".to_string(), Json::from(t)));
                 }
                 Json::Obj(pairs).to_string()
             }
@@ -273,15 +402,7 @@ impl QueryResponse {
                 None => Json::Null,
             },
         ));
-        pairs.push((
-            "package".to_string(),
-            Json::Arr(
-                self.package
-                    .iter()
-                    .map(|&(t, m)| Json::Arr(vec![Json::from(t), Json::from(m as usize)]))
-                    .collect(),
-            ),
-        ));
+        pairs.push(("package".to_string(), package_json(&self.package)));
         if !self.algorithm.is_empty() {
             pairs.push(("algorithm".to_string(), Json::from(self.algorithm.as_str())));
         }
@@ -310,6 +431,10 @@ impl QueryResponse {
                         Json::from(stats.problems_solved),
                     ),
                     ("validations".to_string(), Json::from(stats.validations)),
+                    (
+                        "validation_scenarios".to_string(),
+                        Json::from(stats.validation_scenarios),
+                    ),
                     ("solver_nodes".to_string(), Json::from(stats.solver_nodes)),
                     ("lp_pivots".to_string(), Json::from(stats.lp_pivots)),
                     (
@@ -334,24 +459,7 @@ impl QueryResponse {
             .str_field("status")
             .and_then(QueryStatus::from_str_opt)
             .ok_or("response needs a valid `status`")?;
-        let package = match value.get("package").and_then(Json::as_array) {
-            Some(items) => items
-                .iter()
-                .map(|pair| {
-                    let pair = pair.as_array().ok_or("package entries are pairs")?;
-                    let t = pair
-                        .first()
-                        .and_then(Json::as_u64)
-                        .ok_or("package tuple index")? as usize;
-                    let m = pair
-                        .get(1)
-                        .and_then(Json::as_u64)
-                        .ok_or("package multiplicity")? as u32;
-                    Ok::<(usize, u32), String>((t, m))
-                })
-                .collect::<Result<Vec<_>, _>>()?,
-            None => Vec::new(),
-        };
+        let package = parse_package(&value, "package")?;
         Ok(QueryResponse {
             id: value.str_field("id").unwrap_or_default().to_string(),
             status,
@@ -367,6 +475,154 @@ impl QueryResponse {
             queue_ms: value.get("queue_ms").and_then(Json::as_f64).unwrap_or(0.0),
             wall_ms: value.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
             stats: None,
+        })
+    }
+}
+
+/// The response to one [`ValidateRequest`]. Tagged `"op":"validate"` on the
+/// wire so clients can tell it apart from query responses sharing the
+/// connection.
+#[derive(Debug, Clone)]
+pub struct ValidateResponse {
+    /// The request's id.
+    pub id: String,
+    /// Terminal status.
+    pub status: QueryStatus,
+    /// Error message when `status == Error`.
+    pub error: Option<String>,
+    /// Whether the package is validation-feasible.
+    pub feasible: bool,
+    /// Objective estimate under validation data.
+    pub objective_estimate: Option<f64>,
+    /// The `ε⁽q⁾` certificate (`None` when no bound applies).
+    pub epsilon_upper_bound: Option<f64>,
+    /// Scenarios actually evaluated.
+    pub scenarios_used: usize,
+    /// The requested budget `M̂`.
+    pub m_hat: usize,
+    /// Whether an early-stop rule settled a constraint before the budget.
+    pub early_stopped: bool,
+    /// Per-probabilistic-constraint details.
+    pub constraints: Vec<ConstraintValidation>,
+    /// Milliseconds spent queued before a worker picked the request up.
+    pub queue_ms: f64,
+    /// Milliseconds of validation wall time.
+    pub wall_ms: f64,
+}
+
+impl ValidateResponse {
+    /// A minimal non-evaluated response (rejected / error).
+    pub fn failure(id: &str, status: QueryStatus, error: impl Into<String>) -> ValidateResponse {
+        ValidateResponse {
+            id: id.to_string(),
+            status,
+            error: Some(error.into()),
+            feasible: false,
+            objective_estimate: None,
+            epsilon_upper_bound: None,
+            scenarios_used: 0,
+            m_hat: 0,
+            early_stopped: false,
+            constraints: Vec::new(),
+            queue_ms: 0.0,
+            wall_ms: 0.0,
+        }
+    }
+
+    /// Serialize to one NDJSON line.
+    pub fn to_line(&self) -> String {
+        let opt_num = |v: Option<f64>| match v {
+            Some(n) => Json::Num(n), // non-finite prints as null
+            None => Json::Null,
+        };
+        let mut pairs = vec![
+            ("op".to_string(), Json::from("validate")),
+            ("id".to_string(), Json::from(self.id.as_str())),
+            ("status".to_string(), Json::from(self.status.as_str())),
+        ];
+        if let Some(e) = &self.error {
+            pairs.push(("error".to_string(), Json::from(e.as_str())));
+        }
+        pairs.push(("feasible".to_string(), Json::from(self.feasible)));
+        pairs.push(("objective".to_string(), opt_num(self.objective_estimate)));
+        pairs.push(("epsilon".to_string(), opt_num(self.epsilon_upper_bound)));
+        pairs.push((
+            "scenarios_used".to_string(),
+            Json::from(self.scenarios_used),
+        ));
+        pairs.push(("m_hat".to_string(), Json::from(self.m_hat)));
+        pairs.push(("early_stopped".to_string(), Json::from(self.early_stopped)));
+        pairs.push((
+            "constraints".to_string(),
+            Json::Arr(
+                self.constraints
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("index".to_string(), Json::from(c.constraint_index)),
+                            ("probability".to_string(), Json::from(c.probability)),
+                            ("fraction".to_string(), Json::from(c.satisfied_fraction)),
+                            ("surplus".to_string(), Json::from(c.surplus)),
+                            ("feasible".to_string(), Json::from(c.feasible)),
+                            ("scenarios".to_string(), Json::from(c.scenarios_evaluated)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        pairs.push(("queue_ms".to_string(), Json::from(self.queue_ms)));
+        pairs.push(("wall_ms".to_string(), Json::from(self.wall_ms)));
+        Json::Obj(pairs).to_string()
+    }
+
+    /// Parse a response line (client side).
+    pub fn parse_line(line: &str) -> Result<ValidateResponse, String> {
+        let value = parse(line)?;
+        if value.str_field("op") != Some("validate") {
+            return Err("not a validate response".into());
+        }
+        let status = value
+            .str_field("status")
+            .and_then(QueryStatus::from_str_opt)
+            .ok_or("response needs a valid `status`")?;
+        let constraints = match value.get("constraints").and_then(Json::as_array) {
+            Some(items) => items
+                .iter()
+                .map(|c| {
+                    Ok::<ConstraintValidation, String>(ConstraintValidation {
+                        constraint_index: c.u64_field("index").ok_or("constraint index")? as usize,
+                        probability: c
+                            .get("probability")
+                            .and_then(Json::as_f64)
+                            .ok_or("constraint probability")?,
+                        satisfied_fraction: c.get("fraction").and_then(Json::as_f64).unwrap_or(0.0),
+                        surplus: c.get("surplus").and_then(Json::as_f64).unwrap_or(0.0),
+                        feasible: c.get("feasible").and_then(Json::as_bool).unwrap_or(false),
+                        scenarios_evaluated: c.u64_field("scenarios").unwrap_or(0) as usize,
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(ValidateResponse {
+            id: value.str_field("id").unwrap_or_default().to_string(),
+            status,
+            error: value.str_field("error").map(str::to_string),
+            feasible: value
+                .get("feasible")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            objective_estimate: value.get("objective").and_then(Json::as_f64),
+            epsilon_upper_bound: value.get("epsilon").and_then(Json::as_f64),
+            scenarios_used: value.u64_field("scenarios_used").unwrap_or(0) as usize,
+            m_hat: value.u64_field("m_hat").unwrap_or(0) as usize,
+            early_stopped: value
+                .get("early_stopped")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            constraints,
+            queue_ms: value.get("queue_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            wall_ms: value.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
         })
     }
 }
@@ -427,6 +683,102 @@ mod tests {
         ] {
             Request::parse_line(&op.to_line()).unwrap();
         }
+    }
+
+    #[test]
+    fn validate_requests_round_trip() {
+        let line = r#"{"op":"validate","id":"v1","relation":"portfolio","query":"SELECT PACKAGE(*) FROM portfolio","package":[[3,1],[17,2]],"validation_scenarios":100000,"early_stop":"hoeffding","threads":8,"seed":4}"#;
+        let parsed = Request::parse_line(line).unwrap();
+        let Request::Validate(v) = &parsed else {
+            panic!("expected validate");
+        };
+        assert_eq!(v.id, "v1");
+        assert_eq!(v.package, vec![(3, 1), (17, 2)]);
+        assert_eq!(v.validation_scenarios, Some(100_000));
+        assert_eq!(
+            v.early_stop,
+            Some(EarlyStop::Hoeffding {
+                delta: spq_core::validation::DEFAULT_HOEFFDING_DELTA
+            })
+        );
+        assert_eq!(v.threads, Some(8));
+        assert_eq!(v.seed, Some(4));
+        assert_eq!(v.timeout_ms, None);
+        let reparsed = Request::parse_line(&parsed.to_line()).unwrap();
+        let Request::Validate(v2) = reparsed else {
+            panic!("expected validate");
+        };
+        assert_eq!(v2.package, v.package);
+        assert_eq!(v2.early_stop, v.early_stop);
+        // A bad early-stop spelling is rejected.
+        assert!(Request::parse_line(
+            r#"{"op":"validate","id":"v","relation":"r","query":"q","early_stop":"maybe"}"#
+        )
+        .is_err());
+        // Missing required fields error.
+        assert!(Request::parse_line(r#"{"op":"validate","id":"v"}"#).is_err());
+        // A missing `package` key errors even with everything else present
+        // (silently validating the empty package would mask client typos);
+        // an explicit empty array is allowed.
+        assert!(
+            Request::parse_line(r#"{"op":"validate","id":"v","relation":"r","query":"q"}"#)
+                .unwrap_err()
+                .contains("package")
+        );
+        let empty = Request::parse_line(
+            r#"{"op":"validate","id":"v","relation":"r","query":"q","package":[]}"#,
+        )
+        .unwrap();
+        let Request::Validate(v) = empty else {
+            panic!("expected validate");
+        };
+        assert!(v.package.is_empty());
+    }
+
+    #[test]
+    fn validate_responses_round_trip() {
+        let response = ValidateResponse {
+            id: "v1".into(),
+            status: QueryStatus::Ok,
+            error: None,
+            feasible: true,
+            objective_estimate: Some(12.25),
+            epsilon_upper_bound: None,
+            scenarios_used: 2048,
+            m_hat: 100_000,
+            early_stopped: true,
+            constraints: vec![ConstraintValidation {
+                constraint_index: 1,
+                probability: 0.9,
+                satisfied_fraction: 0.975,
+                surplus: 0.075,
+                feasible: true,
+                scenarios_evaluated: 2048,
+            }],
+            queue_ms: 0.25,
+            wall_ms: 3.5,
+        };
+        let line = response.to_line();
+        assert!(line.contains("\"op\":\"validate\""));
+        assert!(line.contains("\"early_stopped\":true"));
+        let parsed = ValidateResponse::parse_line(&line).unwrap();
+        assert_eq!(parsed.id, "v1");
+        assert!(parsed.feasible);
+        assert_eq!(parsed.scenarios_used, 2048);
+        assert_eq!(parsed.m_hat, 100_000);
+        assert!(parsed.early_stopped);
+        assert_eq!(parsed.constraints.len(), 1);
+        assert_eq!(parsed.constraints[0].constraint_index, 1);
+        assert_eq!(parsed.constraints[0].satisfied_fraction, 0.975);
+        assert_eq!(parsed.epsilon_upper_bound, None);
+        // A query response does not parse as a validate response.
+        let q = QueryResponse::failure("x", QueryStatus::Error, "nope");
+        assert!(ValidateResponse::parse_line(&q.to_line()).is_err());
+        // Failure responses carry the message.
+        let f = ValidateResponse::failure("v9", QueryStatus::Rejected, "queue full");
+        let parsed = ValidateResponse::parse_line(&f.to_line()).unwrap();
+        assert_eq!(parsed.status, QueryStatus::Rejected);
+        assert_eq!(parsed.error.as_deref(), Some("queue full"));
     }
 
     #[test]

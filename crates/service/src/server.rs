@@ -22,7 +22,9 @@
 //! queries.
 
 use crate::json::Json;
-use crate::protocol::{QueryRequest, QueryResponse, QueryStatus, Request};
+use crate::protocol::{
+    QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest, ValidateResponse,
+};
 use crate::service::SpqService;
 use spq_solver::{CancellationToken, Deadline};
 use std::collections::{HashMap, VecDeque};
@@ -83,8 +85,33 @@ fn send_line(writer: &SharedWriter, line: &str) {
     let _ = guard.flush();
 }
 
+/// The work item a job carries: a full query evaluation or a package
+/// validation. Both go through the same admission control, queue,
+/// cancellation registry and worker pool.
+enum JobWork {
+    Query(QueryRequest),
+    Validate(ValidateRequest),
+}
+
+impl JobWork {
+    fn id(&self) -> &str {
+        match self {
+            JobWork::Query(q) => &q.id,
+            JobWork::Validate(v) => &v.id,
+        }
+    }
+
+    /// The rejection/failure line matching this work item's response shape.
+    fn failure_line(&self, status: QueryStatus, message: String) -> String {
+        match self {
+            JobWork::Query(q) => QueryResponse::failure(&q.id, status, message).to_line(),
+            JobWork::Validate(v) => ValidateResponse::failure(&v.id, status, message).to_line(),
+        }
+    }
+}
+
 struct Job {
-    request: QueryRequest,
+    work: JobWork,
     token: CancellationToken,
     deadline: Deadline,
     enqueued: Instant,
@@ -279,17 +306,84 @@ impl Drop for SpqServer {
 
 fn worker_loop(queue: &JobQueue, service: &SpqService) {
     while let Some(job) = queue.pop() {
-        let response = service.execute(
-            &job.request,
-            &job.token,
-            job.deadline.clone(),
-            job.enqueued.elapsed(),
-        );
+        let line = match &job.work {
+            JobWork::Query(request) => service
+                .execute(
+                    request,
+                    &job.token,
+                    job.deadline.clone(),
+                    job.enqueued.elapsed(),
+                )
+                .to_line(),
+            JobWork::Validate(request) => service
+                .execute_validate(
+                    request,
+                    &job.token,
+                    job.deadline.clone(),
+                    job.enqueued.elapsed(),
+                )
+                .to_line(),
+        };
         job.registry
             .lock()
             .expect("connection registry poisoned")
-            .remove(&job.request.id);
-        send_line(&job.writer, &response.to_line());
+            .remove(job.work.id());
+        send_line(&job.writer, &line);
+    }
+}
+
+/// Admit one queued work item: register its cancellation token (refusing a
+/// duplicate in-flight id), arm its deadline, and push it onto the job
+/// queue — or answer with a `rejected`/`error` line in this work item's
+/// response shape.
+fn admit(
+    work: JobWork,
+    timeout_ms: Option<u64>,
+    service: &Arc<SpqService>,
+    queue: &Arc<JobQueue>,
+    writer: &SharedWriter,
+    registry: &ConnRegistry,
+) {
+    let token = CancellationToken::new();
+    let deadline = service.deadline_with(timeout_ms, &token);
+    {
+        // A duplicate in-flight id would clobber the first query's
+        // cancellation token (and the worker completing either one would
+        // deregister both): refuse it.
+        let mut inflight = registry.lock().expect("connection registry poisoned");
+        if inflight.contains_key(work.id()) {
+            drop(inflight);
+            send_line(
+                writer,
+                &work.failure_line(
+                    QueryStatus::Error,
+                    "a query with this id is already in flight on this connection".into(),
+                ),
+            );
+            return;
+        }
+        inflight.insert(work.id().to_string(), token.clone());
+    }
+    let job = Box::new(Job {
+        work,
+        token,
+        deadline,
+        enqueued: Instant::now(),
+        writer: writer.clone(),
+        registry: registry.clone(),
+    });
+    if let Err(job) = queue.push(job) {
+        job.registry
+            .lock()
+            .expect("connection registry poisoned")
+            .remove(job.work.id());
+        send_line(
+            writer,
+            &job.work.failure_line(
+                QueryStatus::Rejected,
+                format!("queue full ({} queued)", queue.len()),
+            ),
+        );
     }
 }
 
@@ -367,51 +461,26 @@ fn connection_loop(
                 );
             }
             Ok(Request::Query(request)) => {
-                let token = CancellationToken::new();
-                let deadline = service.deadline_for(&request, &token);
-                {
-                    // A duplicate in-flight id would clobber the first
-                    // query's cancellation token (and the worker completing
-                    // either one would deregister both): refuse it.
-                    let mut inflight = registry.lock().expect("connection registry poisoned");
-                    if inflight.contains_key(&request.id) {
-                        drop(inflight);
-                        send_line(
-                            &writer,
-                            &QueryResponse::failure(
-                                &request.id,
-                                QueryStatus::Error,
-                                "a query with this id is already in flight on this connection",
-                            )
-                            .to_line(),
-                        );
-                        continue;
-                    }
-                    inflight.insert(request.id.clone(), token.clone());
-                }
-                let job = Box::new(Job {
-                    request,
-                    token,
-                    deadline,
-                    enqueued: Instant::now(),
-                    writer: writer.clone(),
-                    registry: registry.clone(),
-                });
-                if let Err(job) = queue.push(job) {
-                    job.registry
-                        .lock()
-                        .expect("connection registry poisoned")
-                        .remove(&job.request.id);
-                    send_line(
-                        &writer,
-                        &QueryResponse::failure(
-                            &job.request.id,
-                            QueryStatus::Rejected,
-                            format!("queue full ({} queued)", queue.len()),
-                        )
-                        .to_line(),
-                    );
-                }
+                let timeout_ms = request.timeout_ms;
+                admit(
+                    JobWork::Query(request),
+                    timeout_ms,
+                    service,
+                    queue,
+                    &writer,
+                    &registry,
+                );
+            }
+            Ok(Request::Validate(request)) => {
+                let timeout_ms = request.timeout_ms;
+                admit(
+                    JobWork::Validate(request),
+                    timeout_ms,
+                    service,
+                    queue,
+                    &writer,
+                    &registry,
+                );
             }
             Err(message) => {
                 send_line(
@@ -486,6 +555,33 @@ mod tests {
         assert!(read().contains("error"));
         write(r#"{"op":"cancel","id":"ghost"}"#);
         assert!(read().contains("\"found\":false"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_validate_op_round_trips_over_tcp() {
+        let server = SpqServer::start(tiny_service(), "127.0.0.1:0", ServerConfig::default())
+            .expect("server starts");
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut s = &stream;
+        s.write_all(
+            concat!(
+                r#"{"op":"validate","id":"v1","relation":"t","query":"SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) <= 200 AND SUM(gain) >= -1 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)","package":[[0,1]],"validation_scenarios":400}"#,
+                "\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = ValidateResponse::parse_line(line.trim_end()).unwrap();
+        assert_eq!(response.id, "v1");
+        assert_eq!(response.status, QueryStatus::Ok, "{:?}", response.error);
+        assert!(response.feasible, "one copy of the safe tuple validates");
+        assert_eq!(response.scenarios_used, 400);
+        assert_eq!(response.constraints.len(), 1);
+        assert!(response.wall_ms > 0.0);
         server.shutdown();
     }
 

@@ -14,8 +14,11 @@
 //! assert exactly that).
 
 use crate::prepared::PreparedCache;
-use crate::protocol::{QueryRequest, QueryResponse, QueryStatus};
-use spq_core::{Algorithm, SpqEngine, SpqOptions};
+use crate::protocol::{
+    QueryRequest, QueryResponse, QueryStatus, ValidateRequest, ValidateResponse,
+};
+use spq_core::validation::{validate_with, EarlyStop, ValidationOptions};
+use spq_core::{Algorithm, Instance, SpqEngine, SpqOptions};
 use spq_mcdb::{Relation, ScenarioCache};
 use spq_solver::{CancellationToken, Deadline};
 use spq_workloads::{build_workload, WorkloadKind};
@@ -58,6 +61,7 @@ pub struct SpqService {
     prepared: PreparedCache,
     scenarios: Arc<ScenarioCache>,
     queries_executed: AtomicU64,
+    validations_executed: AtomicU64,
 }
 
 impl SpqService {
@@ -72,6 +76,7 @@ impl SpqService {
             prepared: PreparedCache::new(),
             scenarios,
             queries_executed: AtomicU64::new(0),
+            validations_executed: AtomicU64::new(0),
         }
     }
 
@@ -148,10 +153,20 @@ impl SpqService {
         self.queries_executed.load(Ordering::Relaxed)
     }
 
-    /// The effective deadline of a request admitted now.
+    /// Total `validate` ops executed (any status except rejected).
+    pub fn validations_executed(&self) -> u64 {
+        self.validations_executed.load(Ordering::Relaxed)
+    }
+
+    /// The effective deadline of a query request admitted now.
     pub fn deadline_for(&self, request: &QueryRequest, token: &CancellationToken) -> Deadline {
-        let timeout = request
-            .timeout_ms
+        self.deadline_with(request.timeout_ms, token)
+    }
+
+    /// The effective deadline of any request with the given per-request
+    /// timeout, admitted now.
+    pub fn deadline_with(&self, timeout_ms: Option<u64>, token: &CancellationToken) -> Deadline {
+        let timeout = timeout_ms
             .map(Duration::from_millis)
             .or(self.config.default_timeout);
         Deadline::none()
@@ -279,6 +294,146 @@ impl SpqService {
         }
     }
 
+    /// Execute one `validate` op: compile (or fetch) the query's plan, map
+    /// the wire package onto the candidate tuples, and run the blocked
+    /// out-of-sample validator against this request's stream. Deterministic
+    /// like [`Self::execute`]: the same request yields a bit-identical
+    /// report at any thread count, serial or concurrent.
+    pub fn execute_validate(
+        &self,
+        request: &ValidateRequest,
+        token: &CancellationToken,
+        deadline: Deadline,
+        queued: Duration,
+    ) -> ValidateResponse {
+        let queue_ms = queued.as_secs_f64() * 1000.0;
+        let started = Instant::now();
+        self.validations_executed.fetch_add(1, Ordering::Relaxed);
+
+        let finish = |mut response: ValidateResponse| {
+            response.queue_ms = queue_ms;
+            response.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+            response
+        };
+        let failure =
+            |status, error: String| finish(ValidateResponse::failure(&request.id, status, error));
+
+        let Some(relation) = self.relation(&request.relation) else {
+            return failure(
+                QueryStatus::Error,
+                format!("unknown relation `{}`", request.relation),
+            );
+        };
+        if token.is_cancelled() {
+            return failure(QueryStatus::Cancelled, "cancelled while queued".into());
+        }
+        if deadline.expired() {
+            return failure(QueryStatus::Timeout, "deadline expired while queued".into());
+        }
+
+        let silp = match self.prepared.get_or_compile(&relation, &request.query) {
+            Ok((silp, _)) => silp,
+            Err(e) => return failure(QueryStatus::Error, e.to_string()),
+        };
+
+        let mut options = self.config.base_options.clone();
+        if let Some(seed) = request.seed {
+            options.seed = seed;
+        }
+        options.time_limit = None;
+        options.deadline = deadline.clone();
+        options.scenario_cache = Some(self.scenarios.clone());
+        match request.threads {
+            // Client-supplied: clamp to the machine's parallelism so one
+            // request cannot spawn an unbounded number of OS threads
+            // (reports are bit-identical at any count, so clamping never
+            // changes the answer). `0` keeps the automatic policy.
+            Some(threads) if threads > 0 => {
+                let cap = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1);
+                options.validation_threads = threads.min(cap);
+            }
+            _ => {}
+        }
+        let m_hat = request
+            .validation_scenarios
+            .unwrap_or(options.validation_scenarios);
+
+        let instance = match Instance::new(&relation, (*silp).clone(), options) {
+            Ok(instance) => instance,
+            Err(e) => return failure(QueryStatus::Error, e.to_string()),
+        };
+
+        // Map the wire package (relation tuple indices) onto candidate
+        // positions.
+        let mut x = vec![0.0f64; instance.num_vars()];
+        let pos_of: HashMap<usize, usize> = instance
+            .silp
+            .tuples
+            .iter()
+            .enumerate()
+            .map(|(pos, &tuple)| (tuple, pos))
+            .collect();
+        for &(tuple, mult) in &request.package {
+            match pos_of.get(&tuple) {
+                Some(&pos) => x[pos] += f64::from(mult),
+                None => {
+                    return failure(
+                        QueryStatus::Error,
+                        format!("tuple {tuple} is not a candidate of this query"),
+                    )
+                }
+            }
+        }
+
+        let vopts = ValidationOptions {
+            m_hat,
+            block_scenarios: instance.options.validation_block,
+            threads: instance.options.validation_threads,
+            // Final answers default to a full pass; clients opt in to
+            // adaptive verdicts explicitly.
+            early_stop: request.early_stop.unwrap_or(EarlyStop::Full),
+            initial_stage: spq_core::validation::DEFAULT_INITIAL_STAGE,
+            // Wire requests carry client timeouts: honor them strictly.
+            honor_deadline: true,
+        };
+        match validate_with(&instance, &x, &vopts) {
+            Ok(report) => {
+                let status = if token.is_cancelled() {
+                    QueryStatus::Cancelled
+                } else if report.interrupted && deadline.expired() {
+                    QueryStatus::Timeout
+                } else {
+                    QueryStatus::Ok
+                };
+                let epsilon = report.epsilon_upper_bound;
+                finish(ValidateResponse {
+                    id: request.id.clone(),
+                    status,
+                    error: None,
+                    feasible: report.feasible,
+                    objective_estimate: Some(report.objective_estimate),
+                    epsilon_upper_bound: epsilon.is_finite().then_some(epsilon),
+                    scenarios_used: report.scenarios_used,
+                    m_hat: report.m_hat,
+                    early_stopped: report.early_stopped,
+                    constraints: report.constraints,
+                    queue_ms: 0.0,
+                    wall_ms: 0.0,
+                })
+            }
+            Err(e) => {
+                let status = if token.is_cancelled() {
+                    QueryStatus::Cancelled
+                } else {
+                    QueryStatus::Error
+                };
+                failure(status, e.to_string())
+            }
+        }
+    }
+
     /// Service statistics as a JSON object (the `{"op":"stats"}` response);
     /// `extra` appends transport-level fields like queue depth.
     pub fn stats_json(&self, extra: Vec<(String, crate::json::Json)>) -> crate::json::Json {
@@ -288,6 +443,10 @@ impl SpqService {
             (
                 "queries_executed".to_string(),
                 Json::from(self.queries_executed()),
+            ),
+            (
+                "validations_executed".to_string(),
+                Json::from(self.validations_executed()),
             ),
             (
                 "prepared_cache".to_string(),
@@ -425,6 +584,91 @@ mod tests {
         let expired = Deadline::within(Duration::ZERO).with_token(token.clone());
         let r = service.execute(&req, &token, expired, Duration::ZERO);
         assert_eq!(r.status, QueryStatus::Timeout);
+    }
+
+    fn validate_request(id: &str, package: Vec<(usize, u32)>) -> ValidateRequest {
+        ValidateRequest {
+            id: id.into(),
+            relation: "stocks".into(),
+            query: request("q").query,
+            package,
+            validation_scenarios: Some(500),
+            seed: None,
+            timeout_ms: None,
+            early_stop: None,
+            threads: None,
+        }
+    }
+
+    fn run_validate(service: &SpqService, request: &ValidateRequest) -> ValidateResponse {
+        let token = CancellationToken::new();
+        let deadline = service.deadline_with(request.timeout_ms, &token);
+        service.execute_validate(request, &token, deadline, Duration::ZERO)
+    }
+
+    #[test]
+    fn validate_op_checks_a_returned_package_end_to_end() {
+        let service = service();
+        let solved = run(&service, &request("q"));
+        assert_eq!(solved.status, QueryStatus::Ok);
+        assert!(solved.feasible);
+
+        // Validating the solver's own package reproduces its feasibility.
+        let v = run_validate(&service, &validate_request("v1", solved.package.clone()));
+        assert_eq!(v.status, QueryStatus::Ok, "{:?}", v.error);
+        assert!(v.feasible);
+        assert_eq!(v.scenarios_used, 500);
+        assert_eq!(v.m_hat, 500);
+        assert!(!v.early_stopped);
+        assert_eq!(v.constraints.len(), 1);
+        assert!(v.constraints[0].surplus >= 0.0);
+        assert!(v.objective_estimate.is_some());
+        assert_eq!(service.validations_executed(), 1);
+
+        // A package violating the risk constraint fails validation: tuple 1
+        // has sd 6, so 3 copies put huge mass below the -1 threshold.
+        let v = run_validate(&service, &validate_request("v2", vec![(1, 3)]));
+        assert_eq!(v.status, QueryStatus::Ok);
+        assert!(!v.feasible);
+        assert!(v.constraints[0].surplus < 0.0);
+
+        // Adaptive early stop is opt-in and reports its savings.
+        let mut adaptive = validate_request("v3", solved.package.clone());
+        adaptive.validation_scenarios = Some(200_000);
+        adaptive.early_stop = Some(spq_core::EarlyStop::Hoeffding {
+            delta: spq_core::validation::DEFAULT_HOEFFDING_DELTA,
+        });
+        let v = run_validate(&service, &adaptive);
+        assert_eq!(v.status, QueryStatus::Ok);
+        assert!(v.feasible);
+        assert!(v.early_stopped);
+        assert!(v.scenarios_used < 200_000);
+    }
+
+    #[test]
+    fn validate_op_rejects_bad_inputs() {
+        let service = service();
+        // Unknown relation.
+        let mut bad = validate_request("x", vec![(0, 1)]);
+        bad.relation = "nope".into();
+        assert_eq!(run_validate(&service, &bad).status, QueryStatus::Error);
+        // A tuple outside the candidate set.
+        let v = run_validate(&service, &validate_request("y", vec![(999, 1)]));
+        assert_eq!(v.status, QueryStatus::Error);
+        assert!(v.error.unwrap().contains("999"));
+        // A zero validation budget surfaces the m̂ = 0 error over the wire.
+        let mut zero = validate_request("z", vec![(0, 1)]);
+        zero.validation_scenarios = Some(0);
+        let v = run_validate(&service, &zero);
+        assert_eq!(v.status, QueryStatus::Error);
+        assert!(v.error.unwrap().contains("m_hat"));
+        // Cancelled while queued.
+        let token = CancellationToken::new();
+        token.cancel();
+        let req = validate_request("c", vec![(0, 1)]);
+        let deadline = service.deadline_with(req.timeout_ms, &token);
+        let v = service.execute_validate(&req, &token, deadline, Duration::ZERO);
+        assert_eq!(v.status, QueryStatus::Cancelled);
     }
 
     #[test]

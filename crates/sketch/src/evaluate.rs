@@ -29,7 +29,7 @@ use crate::partition::{partition_candidates, Partitioning};
 use spq_core::package::{EvaluationResult, EvaluationStats, Package};
 use spq_core::silp::Direction;
 use spq_core::summary_search::evaluate_summary_search;
-use spq_core::validate::{validate, ValidationReport};
+use spq_core::validation::{validate_with, ValidationReport};
 use spq_core::{Instance, Result, SpqOptions};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -47,6 +47,7 @@ fn worse(direction: Direction, candidate: f64, incumbent: f64) -> bool {
 fn merge_stats(into: &mut EvaluationStats, from: &EvaluationStats) {
     into.problems_solved += from.problems_solved;
     into.validations += from.validations;
+    into.validation_scenarios += from.validation_scenarios;
     into.solver_nodes += from.solver_nodes;
     into.lp_pivots += from.lp_pivots;
     into.max_problem_coefficients = into
@@ -383,14 +384,17 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
         }
     };
 
-    // Re-validate once on the full instance so the final report (objective
-    // estimate and ε certificate) is anchored to the original problem.
+    // Re-validate once on the full instance — full budget, no early stop,
+    // deadline-exempt (it is the answer's certificate; cancellation still
+    // interrupts) — so the final report (objective estimate and ε
+    // certificate) is anchored to the original problem.
     let mut x = vec![0.0f64; n];
     for (&pos, &mult) in &selection {
         x[pos] = mult;
     }
-    let final_report = validate(instance, &x, opts.validation_scenarios)?;
+    let final_report = validate_with(instance, &x, &opts.certificate_validation())?;
     stats.validations += 1;
+    stats.validation_scenarios += final_report.scenarios_used;
     stats.wall_time = start.elapsed();
     // The sketch intentionally relaxes the query's REPEAT limit for its
     // representatives (a representative stands in for its whole partition).

@@ -148,6 +148,26 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+/// Tuples of strategies generate tuples of values (matching the real
+/// crate's tuple composition).
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
 /// Types with a default "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Generate an arbitrary value.

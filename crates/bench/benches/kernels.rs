@@ -12,7 +12,7 @@ use spq_core::saa::formulate_saa;
 use spq_core::summary::{build_summaries, partition_scenarios, SummarySpec};
 use spq_core::{Instance, SpqEngine, SpqOptions};
 use spq_mcdb::ScenarioGenerator;
-use spq_solver::{solve_full, Sense, SolverBackend, SolverOptions};
+use spq_solver::{solve_full, PricingRule, Sense, SolverBackend, SolverOptions};
 use spq_workloads::{build_workload, WorkloadKind};
 
 fn bench_scenario_generation(c: &mut Criterion) {
@@ -100,6 +100,21 @@ fn bench_backend_comparison(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("saa_portfolio_120_m10", backend),
             &backend,
+            |b, _| b.iter(|| solve_full(&formulation.model, &options).unwrap()),
+        );
+    }
+    // Pricing-rule sweep on the default (revised) backend: same workload,
+    // one row per entering-column rule.
+    for pricing in PricingRule::ALL {
+        let options = SolverOptions {
+            time_limit: Some(std::time::Duration::from_secs(30)),
+            backend: SolverBackend::Revised,
+            pricing,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("saa_portfolio_120_m10_pricing", pricing),
+            &pricing,
             |b, _| b.iter(|| solve_full(&formulation.model, &options).unwrap()),
         );
     }

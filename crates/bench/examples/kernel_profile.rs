@@ -1,0 +1,40 @@
+//! Quick profiling harness for the `lp_backend` kernel workload: prints
+//! node/iteration counts and wall-clock for the configured backend so solver
+//! changes can be attributed (fewer iterations vs cheaper iterations) without
+//! waiting for the full criterion run.
+
+use spq_core::saa::formulate_saa;
+use spq_core::{Instance, SpqEngine, SpqOptions};
+use spq_solver::{solve_full, SolverOptions};
+use spq_workloads::{build_workload, WorkloadKind};
+
+fn main() {
+    let workload = build_workload(WorkloadKind::Portfolio, 120, 9);
+    let engine = SpqEngine::new(SpqOptions::for_tests());
+    let silp = engine
+        .compile(&workload.relation, workload.query(1))
+        .unwrap();
+    let instance = Instance::new(&workload.relation, silp, SpqOptions::for_tests()).unwrap();
+    let formulation = formulate_saa(&instance, 10).unwrap();
+    let options = SolverOptions {
+        time_limit: Some(std::time::Duration::from_secs(60)),
+        ..Default::default()
+    };
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        let res = solve_full(&formulation.model, &options).unwrap();
+        println!(
+            "status={:?} obj={:?} nodes={} lp_iters={} elapsed={:?} wall={:?}",
+            res.status,
+            res.solution.as_ref().map(|s| s.objective),
+            res.nodes,
+            res.lp_iterations,
+            res.elapsed,
+            t.elapsed()
+        );
+    }
+}

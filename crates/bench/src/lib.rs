@@ -103,7 +103,24 @@ impl HarnessConfig {
     /// environment variable supplies the algorithm set when the flag is
     /// absent. SketchRefine is installed into the engine as a side effect so
     /// every harness can dispatch it.
+    ///
+    /// An unrecognized `--solver` value is fatal (exit code 2): silently
+    /// falling back to the default backend would benchmark a different
+    /// solver than the one asked for.
     pub fn from_args() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(config) => config,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Argument parsing behind [`HarnessConfig::from_args`], separated so the
+    /// error path is testable. Returns `Err` on an unrecognized `--solver`
+    /// value; the message lists the registered backends.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         spq_sketch::install();
         let mut config = HarnessConfig::default();
         if let Ok(env) = std::env::var("SPQ_ALGORITHMS") {
@@ -113,8 +130,8 @@ impl HarnessConfig {
                 config.explicit_flags.push("--algorithms".into());
             }
         }
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
         while i + 1 < args.len() {
             let value = &args[i + 1];
             let mut seen = Some(args[i].clone());
@@ -141,10 +158,11 @@ impl HarnessConfig {
                     }
                     seen = Some("--algorithms".into());
                 }
-                "--solver" => match value.parse::<SolverBackend>() {
-                    Ok(backend) => config.solver_backend = backend,
-                    Err(e) => eprintln!("# ignoring --solver: {e}"),
-                },
+                "--solver" => {
+                    config.solver_backend = value
+                        .parse::<SolverBackend>()
+                        .map_err(|e| format!("--solver: {e}"))?;
+                }
                 "--scale-list" => {
                     let list: Vec<usize> = value
                         .split(',')
@@ -164,7 +182,7 @@ impl HarnessConfig {
         if config.queries.is_empty() {
             config.queries = (1..=8).collect();
         }
-        config
+        Ok(config)
     }
 
     /// True when `flag` (canonical spelling, e.g. `"--runs"`) was explicitly
@@ -426,6 +444,22 @@ mod tests {
         assert_eq!(o.initial_scenarios, 20);
         assert_eq!(o.initial_summaries, 2);
         assert_eq!(o.validation_scenarios, 2000);
+    }
+
+    #[test]
+    fn unknown_solver_value_is_a_hard_error_listing_backends() {
+        fn args(v: &[&str]) -> Vec<String> {
+            v.iter().map(|s| s.to_string()).collect()
+        }
+        let err = HarnessConfig::parse(args(&["--solver", "cplex"])).unwrap_err();
+        assert!(err.contains("--solver"), "{err}");
+        for name in spq_solver::backend::registered_names() {
+            assert!(err.contains(name), "`{err}` should list `{name}`");
+        }
+        let ok = HarnessConfig::parse(args(&["--solver", "dense", "--runs", "2"])).unwrap();
+        assert_eq!(ok.solver_backend, SolverBackend::Dense);
+        assert_eq!(ok.runs, 2);
+        assert!(ok.was_set("--solver"));
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! CLI pins for the harness binaries' shared argument parsing.
+//!
+//! A typo'd `--solver` used to print a note on stderr and silently fall back
+//! to the default backend — the run would then benchmark a different solver
+//! than the one asked for. These tests pin the hard-error contract: exit
+//! code 2 with a message listing every registered backend.
+
+use std::process::Command;
+
+#[test]
+fn unknown_solver_flag_fails_fast_and_lists_backends() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig7_scaling"))
+        .args(["--solver", "cplex"])
+        .output()
+        .expect("harness binary runs");
+    assert_eq!(out.status.code(), Some(2), "exit code pins the contract");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--solver"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("cplex"),
+        "the offending value is echoed back: {stderr}"
+    );
+    for name in spq_solver::backend::registered_names() {
+        assert!(
+            stderr.contains(name),
+            "stderr should list registered backend `{name}`: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn recognized_solver_aliases_are_accepted() {
+    // `tableau` is an alias of `dense`; parsing must succeed and the run
+    // proceeds (we keep it tiny and don't wait for completion semantics —
+    // a bad flag would have exited with code 2 before any work).
+    let out = Command::new(env!("CARGO_BIN_EXE_fig7_scaling"))
+        .args([
+            "--solver",
+            "tableau",
+            "--scale-list",
+            "10",
+            "--runs",
+            "1",
+            "--queries",
+            "1",
+            "--validation",
+            "50",
+            "--time-limit",
+            "5",
+        ])
+        .output()
+        .expect("harness binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

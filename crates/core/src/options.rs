@@ -111,7 +111,13 @@ pub struct SpqOptions {
     /// User-specified approximation error bound `ε`. `f64::INFINITY` accepts
     /// any feasible solution (feasibility-only termination).
     pub epsilon: f64,
-    /// Options handed to the MILP solver for each (reduced) DILP.
+    /// Options handed to the MILP solver for each (reduced) DILP. The
+    /// default resolves the solver environment knobs —
+    /// `SPQ_SOLVER_BACKEND` (LP backend), `SPQ_SOLVER_PRICING` (simplex
+    /// pricing rule), and `SPQ_SOLVER_THREADS` (speculative
+    /// branch-and-bound workers; results are bit-identical at any count) —
+    /// so services and harnesses inherit them without extra plumbing; an
+    /// unrecognized value of any of the three is a hard error.
     pub solver: SolverOptions,
     /// Total wall-clock budget for one query evaluation, relative to
     /// instance preparation. [`crate::Instance::new`] folds it into

@@ -8,7 +8,13 @@
 //! spqd [--addr 127.0.0.1:7878] [--workloads portfolio,galaxy,tpch]
 //!      [--scale 10000] [--seed 42] [--workers N] [--queue 64]
 //!      [--default-timeout-ms 60000] [--validation 10000]
+//!      [--solver revised|dense]
 //! ```
+//!
+//! `--solver` selects the LP backend for every solve the server performs;
+//! an unrecognized name is fatal and lists the registered backends (the
+//! `SPQ_SOLVER_BACKEND` environment variable plays the same role when the
+//! flag is absent).
 
 use spq_core::SpqOptions;
 use spq_service::{ServerConfig, ServiceConfig, SpqServer, SpqService};
@@ -20,7 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: spqd [--addr HOST:PORT] [--workloads portfolio,galaxy,tpch] [--scale N]\n\
          \x20           [--seed N] [--workers N] [--queue N] [--default-timeout-ms N]\n\
-         \x20           [--validation N]"
+         \x20           [--validation N] [--solver revised|dense]"
     );
     std::process::exit(2);
 }
@@ -42,6 +48,7 @@ fn main() {
     let mut server_config = ServerConfig::default();
     let mut default_timeout_ms = 60_000u64;
     let mut validation = 10_000usize;
+    let mut solver_backend: Option<spq_solver::SolverBackend> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -82,6 +89,15 @@ fn main() {
             "--validation" => {
                 validation = value("--validation").parse().unwrap_or_else(|_| usage())
             }
+            "--solver" => {
+                // Hard error on typos: silently falling back to the default
+                // would serve every query with a different solver than the
+                // operator asked for.
+                solver_backend = Some(value("--solver").parse().unwrap_or_else(|e| {
+                    eprintln!("--solver: {e}");
+                    std::process::exit(2);
+                }))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -98,6 +114,9 @@ fn main() {
     // Budgets come from per-request deadlines; the base time limit would
     // only add a second, redundant clock.
     base_options.time_limit = None;
+    if let Some(backend) = solver_backend {
+        base_options.solver.backend = backend;
+    }
 
     let service = Arc::new(SpqService::new(ServiceConfig {
         base_options,

@@ -1,0 +1,306 @@
+//! Pluggable LP backends: a [`SolverModel`] trait behind a static registry.
+//!
+//! Branch-and-bound does not care *how* a relaxation is solved — it prepares
+//! a model once, then repeatedly asks for solves under per-node bounds. This
+//! module captures that contract:
+//!
+//! * [`LpBackend`] — a named factory ("revised", "dense", …) that prepares a
+//!   [`SolverModel`] from an [`LpProblem`]. Backends self-describe their
+//!   name and aliases; [`registry`] lists every registered backend, and
+//!   selector parsing (`--solver`, `SPQ_SOLVER_BACKEND`) hard-errors with
+//!   that list instead of silently falling back to a default.
+//! * [`SolverModel`] — a prepared model: immutable rows/objective, solved
+//!   repeatedly with per-node bounds, warm bases, and a
+//!   [`RelaxationContext`]. Implementations are `Send + Sync` so parallel
+//!   branch-and-bound workers can share one model.
+//! * [`Relaxation`] — the backend-independent result shape (status, values,
+//!   objective, reduced costs, warm-startable basis).
+//!
+//! The conformance suite in `tests/backend_crosscheck.rs` runs every
+//! registered backend through the same LP corpus (degenerate, free-variable,
+//! equality, Beale-cycling cases plus property tests) and cross-checks their
+//! answers; a new backend is covered by adding it to [`registry`].
+
+use crate::basis::Basis;
+use crate::branch_bound::SolverBackend;
+use crate::deadline::Deadline;
+use crate::revised::RevisedLp;
+use crate::simplex::{LpStatus, PricingRule};
+use crate::standard_form::{LpProblem, BOUND_INFINITY};
+use crate::Result;
+
+/// Per-solve knobs passed to [`SolverModel::solve_relaxation`]; each backend
+/// derives its own size-dependent iteration budget from these.
+#[derive(Debug, Clone, Default)]
+pub struct RelaxationContext {
+    /// Iteration index after which pricing switches to Bland's rule
+    /// (`None` = half the backend's iteration budget).
+    pub bland_after: Option<usize>,
+    /// Entering-column selection rule. Backends without a pricing choice
+    /// (the dense tableau) ignore this.
+    pub pricing: PricingRule,
+    /// Deadline/cancellation polled inside the pivot loop.
+    pub deadline: Deadline,
+}
+
+/// Backend-independent result of one LP relaxation solve.
+#[derive(Debug, Clone)]
+pub struct Relaxation {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Structural variable values (empty unless optimal).
+    pub values: Vec<f64>,
+    /// Objective value (minimization sense).
+    pub objective: f64,
+    /// Simplex iterations performed.
+    pub iterations: usize,
+    /// Structural reduced costs at the optimum (empty when the backend does
+    /// not expose them); feeds reduced-cost bound tightening.
+    pub reduced: Vec<f64>,
+    /// Optimal basis for warm starts (`None` when unsupported).
+    pub basis: Option<Basis>,
+}
+
+/// A prepared LP relaxation solver. The model is immutable; every node of a
+/// branch-and-bound search calls [`SolverModel::solve_relaxation`] with its
+/// own bounds (and its parent's basis when the backend supports warm
+/// starts).
+pub trait SolverModel: Send + Sync {
+    /// Solve under the given structural bounds.
+    fn solve_relaxation(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        warm: Option<&Basis>,
+        ctx: &RelaxationContext,
+    ) -> Result<Relaxation>;
+
+    /// `(rows, cols)` of the working problem, as the backend will actually
+    /// materialize it (the dense tableau counts its bound rows and slack
+    /// columns). Used by diagnostics and [`SolverError::ModelTooLarge`].
+    ///
+    /// [`SolverError::ModelTooLarge`]: crate::error::SolverError::ModelTooLarge
+    fn shape(&self) -> (usize, usize);
+
+    /// Estimated resident bytes of one solve, for the memory guard.
+    fn estimated_bytes(&self) -> u64;
+
+    /// Whether [`SolverModel::solve_relaxation`] honors the warm basis.
+    fn supports_warm_start(&self) -> bool;
+}
+
+/// A named LP backend: a factory of [`SolverModel`]s.
+pub trait LpBackend: Send + Sync {
+    /// Canonical selector name (`--solver <name>`).
+    fn name(&self) -> &'static str;
+    /// Accepted alternative selector spellings.
+    fn aliases(&self) -> &'static [&'static str];
+    /// The enum selector this backend is registered under.
+    fn id(&self) -> SolverBackend;
+    /// Prepare a model. Cheap (linear in the problem's own size): the
+    /// memory guard runs *after* preparation, against
+    /// [`SolverModel::estimated_bytes`].
+    fn prepare(&self, lp: &LpProblem) -> Result<Box<dyn SolverModel>>;
+}
+
+/// The sparse revised-simplex backend (default).
+struct RevisedBackend;
+
+/// The dense-tableau backend (cross-check / fallback).
+struct DenseBackend;
+
+static REVISED: RevisedBackend = RevisedBackend;
+static DENSE: DenseBackend = DenseBackend;
+static REGISTRY: [&dyn LpBackend; 2] = [&REVISED, &DENSE];
+
+/// Every registered backend, in selector-listing order.
+pub fn registry() -> &'static [&'static dyn LpBackend] {
+    &REGISTRY
+}
+
+/// Canonical names of all registered backends (for error messages and CLI
+/// help).
+pub fn registered_names() -> Vec<&'static str> {
+    registry().iter().map(|b| b.name()).collect()
+}
+
+/// Look up a backend by name or alias (case-insensitive).
+pub fn find(name: &str) -> Option<&'static dyn LpBackend> {
+    let t = name.trim().to_ascii_lowercase();
+    registry()
+        .iter()
+        .copied()
+        .find(|b| b.name() == t || b.aliases().contains(&t.as_str()))
+}
+
+/// The registry entry behind a [`SolverBackend`] selector.
+pub fn backend_for(id: SolverBackend) -> &'static dyn LpBackend {
+    registry()
+        .iter()
+        .copied()
+        .find(|b| b.id() == id)
+        .expect("every SolverBackend variant has a registry entry")
+}
+
+impl LpBackend for RevisedBackend {
+    fn name(&self) -> &'static str {
+        "revised"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["sparse"]
+    }
+
+    fn id(&self) -> SolverBackend {
+        SolverBackend::Revised
+    }
+
+    fn prepare(&self, lp: &LpProblem) -> Result<Box<dyn SolverModel>> {
+        Ok(Box::new(RevisedModel {
+            rlp: RevisedLp::from_problem(lp)?,
+        }))
+    }
+}
+
+struct RevisedModel {
+    rlp: RevisedLp,
+}
+
+impl SolverModel for RevisedModel {
+    fn solve_relaxation(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        warm: Option<&Basis>,
+        ctx: &RelaxationContext,
+    ) -> Result<Relaxation> {
+        let rules = crate::simplex::PivotRules::for_size(
+            self.rlp.m,
+            self.rlp.n_struct + self.rlp.m,
+            ctx.bland_after,
+        )
+        .with_pricing(ctx.pricing)
+        .with_deadline(ctx.deadline.clone());
+        let sol = self.rlp.solve(lower, upper, warm, &rules)?;
+        Ok(Relaxation {
+            status: sol.status,
+            values: sol.values,
+            objective: sol.objective,
+            iterations: sol.iterations,
+            reduced: sol.reduced,
+            basis: sol.basis,
+        })
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.rlp.m, self.rlp.n_struct + self.rlp.m)
+    }
+
+    fn estimated_bytes(&self) -> u64 {
+        self.rlp.estimated_bytes()
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+}
+
+impl LpBackend for DenseBackend {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["tableau"]
+    }
+
+    fn id(&self) -> SolverBackend {
+        SolverBackend::Dense
+    }
+
+    fn prepare(&self, lp: &LpProblem) -> Result<Box<dyn SolverModel>> {
+        Ok(Box::new(DenseModel { lp: lp.clone() }))
+    }
+}
+
+struct DenseModel {
+    lp: LpProblem,
+}
+
+impl SolverModel for DenseModel {
+    fn solve_relaxation(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        _warm: Option<&Basis>,
+        ctx: &RelaxationContext,
+    ) -> Result<Relaxation> {
+        let mut lp = self.lp.clone();
+        lp.lower = lower.to_vec();
+        lp.upper = upper.to_vec();
+        let sol = crate::simplex::solve_lp_with_rules_deadline(
+            &lp,
+            ctx.bland_after,
+            ctx.deadline.clone(),
+        )?;
+        Ok(Relaxation {
+            status: sol.status,
+            values: sol.values,
+            objective: sol.objective,
+            iterations: sol.iterations,
+            reduced: Vec::new(),
+            basis: None,
+        })
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        // Mirror `to_standard_form` exactly: every doubly-finite-bounded
+        // variable (including fixed ones with `lo == hi`) becomes a bound
+        // row, and each row gets a slack column.
+        let bound_rows = self
+            .lp
+            .lower
+            .iter()
+            .zip(&self.lp.upper)
+            .filter(|(&lo, &hi)| lo > -BOUND_INFINITY && hi < BOUND_INFINITY)
+            .count();
+        let rows = self.lp.rows.len() + bound_rows;
+        let cols = self.lp.lower.len() + rows;
+        (rows, cols)
+    }
+
+    fn estimated_bytes(&self) -> u64 {
+        let (rows, cols) = self.shape();
+        (rows as u64).saturating_mul(cols as u64).saturating_mul(8)
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = registered_names();
+        assert!(names.contains(&"revised"));
+        assert!(names.contains(&"dense"));
+        for b in registry() {
+            assert_eq!(find(b.name()).unwrap().name(), b.name());
+            for alias in b.aliases() {
+                assert_eq!(find(alias).unwrap().name(), b.name());
+            }
+            assert_eq!(backend_for(b.id()).name(), b.name());
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_trims() {
+        assert_eq!(find("  REVISED ").unwrap().name(), "revised");
+        assert_eq!(find("Tableau").unwrap().name(), "dense");
+        assert!(find("cplex").is_none());
+    }
+}

@@ -12,13 +12,20 @@
 //! back to the all-slack cold basis when it does not fit, so threading a
 //! basis through is always safe.
 //!
-//! [`Factorization`] maintains `B⁻¹` implicitly: a dense LU factorization of
-//! the (small, `m × m`) basis matrix with partial pivoting, plus a
-//! product-form eta file for the pivots performed since the last
-//! refactorization. `ftran` solves `B·x = b`, `btran` solves `Bᵀ·y = c`;
-//! both cost `O(m² + m·|etas|)`, and the eta file is folded back into a
-//! fresh LU every [`Factorization::REFACTOR_EVERY`] pivots to bound error
-//! growth and solve cost.
+//! [`Factorization`] maintains `B⁻¹` implicitly: a **sparse LU** of the
+//! `m × m` basis matrix with Markowitz pivoting, plus a product-form eta
+//! file for the pivots performed since the last refactorization. Pivot
+//! selection minimizes the Markowitz fill-in estimate
+//! `(r_i − 1)·(c_j − 1)` among entries that pass a threshold
+//! partial-pivoting test (`|a_ij| ≥ τ·max_i |a_ij|`), so the factors stay
+//! sparse *and* numerically stable — a small pivot is never accepted while
+//! a comfortably large one exists in the same column. `ftran` solves
+//! `B·x = b`, `btran` solves `Bᵀ·y = c`; both cost `O(nnz(L) + nnz(U) +
+//! nnz(etas))` instead of the dense `O(m²)`, and the eta file is folded
+//! back into a fresh LU every [`Factorization::REFACTOR_EVERY`] pivots to
+//! bound error growth and solve cost. Logical-heavy simplex bases are
+//! extremely sparse, so on wide models the factors hold a few nonzeros per
+//! column where the dense LU held `m`.
 
 use crate::sparse::CscMatrix;
 use serde::{Deserialize, Serialize};
@@ -66,26 +73,92 @@ impl Basis {
 }
 
 const SINGULAR_TOL: f64 = 1e-11;
+/// Threshold partial pivoting: an entry is an acceptable pivot only when its
+/// magnitude is at least this fraction of the largest magnitude in its
+/// (active) column. Markowitz then picks the acceptable entry with the
+/// smallest fill-in estimate.
+const MARKOWITZ_TAU: f64 = 0.1;
 
 /// One product-form update: column `a_q` (ftran'd through the previous
 /// factors as `w = B⁻¹·a_q`) replaced the basic variable of basis position
-/// `r`.
+/// `r`. Stored sparse: only the nonzero off-pivot entries plus the pivot.
 #[derive(Debug, Clone)]
 struct Eta {
     r: usize,
-    w: Vec<f64>,
+    /// Nonzero entries `(i, w_i)` with `i != r`.
+    w: Vec<(usize, f64)>,
+    /// Pivot entry `w_r`.
+    wr: f64,
 }
 
-/// LU factors of the basis matrix plus an eta file of recent pivots.
+/// Sparse LU factors of the basis matrix plus an eta file of recent pivots.
+///
+/// `P·B·Q = L·U` with row permutation `P` (`perm`) and column permutation
+/// `Q` (`cperm`, the Markowitz pivot order). `L` is unit lower triangular
+/// and `U` upper triangular, both stored column-wise so that `ftran`
+/// (column-oriented forward/backward substitution, skipping zero entries of
+/// the working vector) and `btran` (dot products against the same columns,
+/// which walk the *rows* of `Lᵀ`/`Uᵀ`) share one data structure.
 #[derive(Debug, Clone)]
 pub struct Factorization {
     m: usize,
-    /// Row-major packed LU of `P·B` (unit-lower below the diagonal, U on and
-    /// above it).
-    lu: Vec<f64>,
+    /// `l_cols[k]` holds `(i, L[i,k])` with `i > k`, in LU row coordinates.
+    /// The unit diagonal is implicit.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// `u_cols[k]` holds `(i, U[i,k])` with `i < k`.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U`.
+    u_diag: Vec<f64>,
     /// Row permutation: LU row `i` came from basis-matrix row `perm[i]`.
     perm: Vec<usize>,
+    /// Column permutation: LU column `k` came from basis position `cperm[k]`.
+    cperm: Vec<usize>,
     etas: Vec<Eta>,
+}
+
+/// `col ← col − f·l` over sorted `(row, value)` entry lists, maintaining the
+/// active-entry count per row (`l` only touches active rows; entries already
+/// eliminated into `U` are carried through untouched).
+fn merge_scaled_sub(
+    col: &mut Vec<(usize, f64)>,
+    f: f64,
+    l: &[(usize, f64)],
+    row_count: &mut [usize],
+) {
+    let mut out = Vec::with_capacity(col.len() + l.len());
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < col.len() || b < l.len() {
+        match (col.get(a), l.get(b)) {
+            (Some(&(ra, va)), Some(&(rb, vb))) if ra == rb => {
+                let nv = va - f * vb;
+                if nv != 0.0 {
+                    out.push((ra, nv));
+                } else {
+                    row_count[ra] -= 1;
+                }
+                a += 1;
+                b += 1;
+            }
+            (Some(&(ra, va)), Some(&(rb, _))) if ra < rb => {
+                out.push((ra, va));
+                a += 1;
+            }
+            (Some(_), Some(&(rb, vb))) | (None, Some(&(rb, vb))) => {
+                let nv = -f * vb;
+                if nv != 0.0 {
+                    out.push((rb, nv));
+                    row_count[rb] += 1;
+                }
+                b += 1;
+            }
+            (Some(&(ra, va)), None) => {
+                out.push((ra, va));
+                a += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    *col = out;
 }
 
 impl Factorization {
@@ -93,53 +166,146 @@ impl Factorization {
     pub const REFACTOR_EVERY: usize = 64;
 
     /// Factorize the basis matrix whose columns are `basic_cols` of
-    /// `matrix`. Returns `None` when the basis is (numerically) singular.
+    /// `matrix`, with Markowitz pivoting under a threshold partial-pivoting
+    /// stability test. Returns `None` when the basis is (numerically)
+    /// singular — i.e. when some elimination step finds no pivot candidate
+    /// above `SINGULAR_TOL`.
     pub fn factorize(matrix: &CscMatrix, basic_cols: &[usize]) -> Option<Factorization> {
         let m = matrix.num_rows();
         debug_assert_eq!(basic_cols.len(), m, "basis must have one column per row");
-        let mut lu = vec![0.0f64; m * m];
-        for (k, &j) in basic_cols.iter().enumerate() {
-            let (rows, vals) = matrix.col(j);
-            for (&r, &v) in rows.iter().zip(vals) {
-                lu[r * m + k] = v;
+
+        // Working copy of the basis columns as sorted (row, value) lists.
+        let mut cols: Vec<Vec<(usize, f64)>> = basic_cols
+            .iter()
+            .map(|&j| {
+                let (rows, vals) = matrix.col(j);
+                rows.iter().zip(vals).map(|(&r, &v)| (r, v)).collect()
+            })
+            .collect();
+
+        let mut row_active = vec![true; m];
+        let mut col_active = vec![true; m];
+        // Active entries per (active) row, for the Markowitz fill estimate.
+        let mut row_count = vec![0usize; m];
+        for col in &cols {
+            for &(r, _) in col {
+                row_count[r] += 1;
             }
         }
-        let mut perm: Vec<usize> = (0..m).collect();
+
+        let mut perm = Vec::with_capacity(m);
+        let mut cperm = Vec::with_capacity(m);
+        let mut perm_inv = vec![usize::MAX; m];
+        let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut u_diag = Vec::with_capacity(m);
+
         for k in 0..m {
-            // Partial pivoting: bring the largest |entry| of column k up.
-            let mut p = k;
-            let mut best = lu[k * m + k].abs();
-            for i in (k + 1)..m {
-                let cand = lu[i * m + k].abs();
-                if cand > best {
-                    best = cand;
-                    p = i;
+            // Pivot selection: among entries passing the threshold test,
+            // minimize the Markowitz cost (r_i − 1)(c_j − 1); ties go to the
+            // larger magnitude, then to the scan order (deterministic).
+            let mut best: Option<(usize, usize, f64, usize)> = None; // (pos, row, val, cost)
+            'scan: for (j, col) in cols.iter().enumerate() {
+                if !col_active[j] {
+                    continue;
                 }
-            }
-            if best <= SINGULAR_TOL {
-                return None;
-            }
-            if p != k {
-                for c in 0..m {
-                    lu.swap(k * m + c, p * m + c);
+                let mut colmax = 0.0f64;
+                let mut active_cnt = 0usize;
+                for &(r, v) in col {
+                    if row_active[r] {
+                        colmax = colmax.max(v.abs());
+                        active_cnt += 1;
+                    }
                 }
-                perm.swap(k, p);
-            }
-            let pivot = lu[k * m + k];
-            for i in (k + 1)..m {
-                let factor = lu[i * m + k] / pivot;
-                lu[i * m + k] = factor;
-                if factor != 0.0 {
-                    for c in (k + 1)..m {
-                        lu[i * m + c] -= factor * lu[k * m + c];
+                if colmax <= SINGULAR_TOL {
+                    continue;
+                }
+                let threshold = MARKOWITZ_TAU * colmax;
+                for &(r, v) in col {
+                    if !row_active[r] || v.abs() < threshold {
+                        continue;
+                    }
+                    let cost = (row_count[r] - 1) * (active_cnt - 1);
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bv, bc)) => cost < bc || (cost == bc && v.abs() > bv.abs()),
+                    };
+                    if better {
+                        best = Some((j, r, v, cost));
+                        if cost == 0 {
+                            break 'scan;
+                        }
                     }
                 }
             }
+            let (pj, pr, pv, _) = best?;
+
+            perm.push(pr);
+            perm_inv[pr] = k;
+            cperm.push(pj);
+            u_diag.push(pv);
+
+            // Split the pivot column: already-eliminated rows become U
+            // entries (their values froze when those rows left the active
+            // set), the remaining active rows become L multipliers.
+            let mut ucol = Vec::new();
+            let mut lcol = Vec::new();
+            for &(r, v) in &cols[pj] {
+                if r == pr {
+                    continue;
+                }
+                if row_active[r] {
+                    lcol.push((r, v / pv));
+                } else {
+                    ucol.push((perm_inv[r], v));
+                }
+            }
+            u_cols.push(ucol);
+            for &(r, _) in &cols[pj] {
+                if row_active[r] {
+                    row_count[r] -= 1;
+                }
+            }
+            col_active[pj] = false;
+            row_active[pr] = false;
+
+            // Right-looking update of every active column with an entry in
+            // the pivot row. The pivot-row entry itself is kept: it is that
+            // column's future U entry, frozen from here on because the
+            // multipliers only touch still-active rows.
+            if !lcol.is_empty() {
+                for j in 0..m {
+                    if !col_active[j] {
+                        continue;
+                    }
+                    let Ok(pos) = cols[j].binary_search_by_key(&pr, |e| e.0) else {
+                        continue;
+                    };
+                    let f = cols[j][pos].1;
+                    if f != 0.0 {
+                        merge_scaled_sub(&mut cols[j], f, &lcol, &mut row_count);
+                    }
+                }
+            }
+            l_cols.push(lcol);
         }
+
+        // Remap L's row coordinates from original basis rows to LU rows now
+        // that the full row permutation is known (every multiplier row is
+        // eliminated at a later step, so L stays strictly lower triangular).
+        for lcol in &mut l_cols {
+            for entry in lcol.iter_mut() {
+                entry.0 = perm_inv[entry.0];
+            }
+        }
+
         Some(Factorization {
             m,
-            lu,
+            l_cols,
+            u_cols,
+            u_diag,
             perm,
+            cperm,
             etas: Vec::new(),
         })
     }
@@ -147,6 +313,14 @@ impl Factorization {
     /// Number of eta updates accumulated since the last refactorization.
     pub fn num_etas(&self) -> usize {
         self.etas.len()
+    }
+
+    /// Stored nonzeros of the LU factors (diagnostics; excludes the eta
+    /// file).
+    pub fn factor_nnz(&self) -> usize {
+        self.m
+            + self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
     }
 
     /// True when the eta file is long enough that a refactorization pays
@@ -158,12 +332,19 @@ impl Factorization {
     /// Record a pivot: the ftran'd entering column `w = B⁻¹·a_q` replaced
     /// the basic variable of basis position `r`. Returns `false` (leaving
     /// the factorization untouched) when the pivot element is numerically
-    /// unusable.
-    pub fn push_eta(&mut self, r: usize, w: Vec<f64>) -> bool {
-        if w[r].abs() <= SINGULAR_TOL {
+    /// unusable. Only the nonzeros of `w` are stored.
+    pub fn push_eta(&mut self, r: usize, w: &[f64]) -> bool {
+        let wr = w[r];
+        if wr.abs() <= SINGULAR_TOL {
             return false;
         }
-        self.etas.push(Eta { r, w });
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &wi)| i != r && wi != 0.0)
+            .map(|(i, &wi)| (i, wi))
+            .collect();
+        self.etas.push(Eta { r, w: entries, wr });
         true
     }
 
@@ -171,36 +352,45 @@ impl Factorization {
     pub fn ftran(&self, b: &mut [f64]) {
         let m = self.m;
         debug_assert_eq!(b.len(), m);
-        // Apply the row permutation.
+        // z = P·b.
         let mut x = vec![0.0f64; m];
-        for i in 0..m {
-            x[i] = b[self.perm[i]];
+        for k in 0..m {
+            x[k] = b[self.perm[k]];
         }
-        // Forward: L·z = P·b (unit lower triangular).
-        for i in 1..m {
-            let row = &self.lu[i * m..i * m + i];
-            let dot: f64 = row.iter().zip(&x[..i]).map(|(l, xv)| l * xv).sum();
-            x[i] -= dot;
+        // L·w = z: column-oriented forward substitution, skipping the zeros
+        // of the working vector (sparse right-hand sides stay sparse).
+        for k in 0..m {
+            let xk = x[k];
+            if xk != 0.0 {
+                for &(i, l) in &self.l_cols[k] {
+                    x[i] -= l * xk;
+                }
+            }
         }
-        // Backward: U·x = z.
-        for i in (0..m).rev() {
-            let row = &self.lu[i * m + i + 1..i * m + m];
-            let dot: f64 = row.iter().zip(&x[i + 1..m]).map(|(l, xv)| l * xv).sum();
-            x[i] = (x[i] - dot) / self.lu[i * m + i];
+        // U·v = w: column-oriented backward substitution.
+        for k in (0..m).rev() {
+            let xk = x[k] / self.u_diag[k];
+            x[k] = xk;
+            if xk != 0.0 {
+                for &(i, u) in &self.u_cols[k] {
+                    x[i] -= u * xk;
+                }
+            }
+        }
+        // Undo the column permutation: x[cperm[k]] = v[k].
+        for k in 0..m {
+            b[self.cperm[k]] = x[k];
         }
         // Apply the eta file in order: x ← Eᵢ⁻¹·x.
         for eta in &self.etas {
-            let xr = x[eta.r] / eta.w[eta.r];
+            let xr = b[eta.r] / eta.wr;
             if xr != 0.0 {
-                for (i, &wi) in eta.w.iter().enumerate() {
-                    if wi != 0.0 {
-                        x[i] -= wi * xr;
-                    }
+                for &(i, wi) in &eta.w {
+                    b[i] -= wi * xr;
                 }
             }
-            x[eta.r] = xr;
+            b[eta.r] = xr;
         }
-        b.copy_from_slice(&x);
     }
 
     /// Solve `Bᵀ·y = c` in place (`c` becomes `y`).
@@ -211,33 +401,35 @@ impl Factorization {
         // non-identity row is r: Σ wᵢ·zᵢ = c_r.
         for eta in self.etas.iter().rev() {
             let mut dot = 0.0;
-            for (i, &wi) in eta.w.iter().enumerate() {
-                if i != eta.r && wi != 0.0 {
-                    dot += wi * c[i];
-                }
+            for &(i, wi) in &eta.w {
+                dot += wi * c[i];
             }
-            c[eta.r] = (c[eta.r] - dot) / eta.w[eta.r];
+            c[eta.r] = (c[eta.r] - dot) / eta.wr;
         }
-        let mut y = c.to_vec();
-        // Bᵀ = Uᵀ·Lᵀ·P, so: Uᵀ·v = c (forward, Uᵀ is lower triangular) ...
-        for i in 0..m {
-            let mut acc = y[i];
-            for (k, &yk) in y.iter().enumerate().take(i) {
-                acc -= self.lu[k * m + i] * yk;
+        // Bᵀ = Q·Uᵀ·Lᵀ·P, so first z = Qᵀ·c ...
+        let mut y = vec![0.0f64; m];
+        for k in 0..m {
+            y[k] = c[self.cperm[k]];
+        }
+        // ... then Uᵀ·w = z (forward; u_cols[k] walks row k of Uᵀ) ...
+        for k in 0..m {
+            let mut acc = y[k];
+            for &(i, u) in &self.u_cols[k] {
+                acc -= u * y[i];
             }
-            y[i] = acc / self.lu[i * m + i];
+            y[k] = acc / self.u_diag[k];
         }
-        // ... then Lᵀ·w = v (backward, unit diagonal) ...
-        for i in (0..m).rev() {
-            let mut acc = y[i];
-            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
-                acc -= self.lu[k * m + i] * yk;
+        // ... then Lᵀ·v = w (backward, unit diagonal) ...
+        for k in (0..m).rev() {
+            let mut acc = y[k];
+            for &(i, l) in &self.l_cols[k] {
+                acc -= l * y[i];
             }
-            y[i] = acc;
+            y[k] = acc;
         }
-        // ... and y = Pᵀ·w.
-        for (i, &yi) in y.iter().enumerate() {
-            c[self.perm[i]] = yi;
+        // ... and y = Pᵀ·v.
+        for k in 0..m {
+            c[self.perm[k]] = y[k];
         }
     }
 }
@@ -292,7 +484,7 @@ mod tests {
         let mut w = vec![0.0; 3];
         m.scatter_col(3, 1.0, &mut w);
         f.ftran(&mut w);
-        assert!(f.push_eta(0, w));
+        assert!(f.push_eta(0, &w));
         assert_eq!(f.num_etas(), 1);
         // The updated factorization must agree with a fresh one.
         let fresh = Factorization::factorize(&m, &[3, 1, 2]).unwrap();
@@ -314,6 +506,100 @@ mod tests {
         let m = CscMatrix::from_columns(2, &[vec![(0, 1.0)], vec![(0, 2.0)], vec![(1, 1.0)]]);
         assert!(Factorization::factorize(&m, &[0, 1]).is_none());
         assert!(Factorization::factorize(&m, &[0, 2]).is_some());
+    }
+
+    /// Regression pin for the numerical-robustness fix: a basis whose
+    /// natural-order elimination meets a catastrophically small pivot.
+    /// Without row interchanges, eliminating `[[ε, 1], [1, 1]]` produces a
+    /// multiplier of `1/ε` and the computed solution loses every significant
+    /// digit; threshold pivoting must refuse the tiny pivot and solve to
+    /// full precision.
+    #[test]
+    fn ill_conditioned_basis_is_solved_accurately() {
+        let eps = 1e-12;
+        let m = CscMatrix::from_columns(2, &[vec![(0, eps), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]]);
+        let f = Factorization::factorize(&m, &[0, 1]).unwrap();
+        // True solution of B x = b for x = [1, 2]: b = [ε + 2, 3].
+        let mut b = vec![eps + 2.0, 3.0];
+        f.ftran(&mut b);
+        assert!(close(&b, &[1.0, 2.0]), "ftran lost precision: {b:?}");
+        // And the transposed system: Bᵀ y = c for y = [3, -1]: c = [3ε - 1, 2].
+        let mut c = vec![3.0 * eps - 1.0, 2.0];
+        f.btran(&mut c);
+        assert!(close(&c, &[3.0, -1.0]), "btran lost precision: {c:?}");
+    }
+
+    /// A wider magnitude spread: diagonal dominance hidden behind a badly
+    /// scaled leading column. Verified against the exact residual instead of
+    /// a precomputed solution.
+    #[test]
+    fn badly_scaled_basis_keeps_small_residuals() {
+        let cols: Vec<Vec<(usize, f64)>> = vec![
+            vec![(0, 1e-9), (1, 1.0), (2, 2.0)],
+            vec![(0, 1.0), (1, 1e-9), (2, -1.0)],
+            vec![(0, 2.0), (1, -1.0), (2, 1e9)],
+        ];
+        let m = CscMatrix::from_columns(3, &cols);
+        let f = Factorization::factorize(&m, &[0, 1, 2]).unwrap();
+        let x_true = [3.0, -2.0, 1.0];
+        // b = B·x_true.
+        let mut b = vec![0.0; 3];
+        for (j, xv) in x_true.iter().enumerate() {
+            m.scatter_col(j, *xv, &mut b);
+        }
+        let scale = b.iter().fold(1.0f64, |a, v| a.max(v.abs()));
+        f.ftran(&mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!(
+                (got - want).abs() <= 1e-7 * scale,
+                "solution drifted: {b:?}"
+            );
+        }
+    }
+
+    /// Near-parallel columns are numerically singular and must be rejected
+    /// rather than silently producing garbage.
+    #[test]
+    fn near_singular_basis_is_rejected() {
+        let m = CscMatrix::from_columns(
+            2,
+            &[vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0 + 1e-13)]],
+        );
+        assert!(Factorization::factorize(&m, &[0, 1]).is_none());
+    }
+
+    /// The sparse factors should not fill in on a structurally sparse basis:
+    /// a bidiagonal system keeps O(m) stored nonzeros, not O(m²).
+    #[test]
+    fn sparse_basis_stays_sparse() {
+        let n = 64;
+        let cols: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|j| {
+                let mut c = vec![(j, 2.0)];
+                if j + 1 < n {
+                    c.push((j + 1, -1.0));
+                }
+                c
+            })
+            .collect();
+        let m = CscMatrix::from_columns(n, &cols);
+        let basic: Vec<usize> = (0..n).collect();
+        let f = Factorization::factorize(&m, &basic).unwrap();
+        assert!(
+            f.factor_nnz() <= 3 * n,
+            "bidiagonal basis filled in: {} nonzeros",
+            f.factor_nnz()
+        );
+        // And it still solves correctly.
+        let mut b = vec![0.0; n];
+        for (j, x) in (0..n).map(|j| (j, 1.0 + (j % 3) as f64)) {
+            m.scatter_col(j, x, &mut b);
+        }
+        f.ftran(&mut b);
+        for (j, got) in b.iter().enumerate() {
+            let want = 1.0 + (j % 3) as f64;
+            assert!((got - want).abs() < 1e-9, "x[{j}] = {got}, want {want}");
+        }
     }
 
     #[test]

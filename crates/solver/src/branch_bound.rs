@@ -7,14 +7,15 @@
 //! parent's basis, or the dense two-phase tableau ([`crate::simplex`]) kept
 //! as a cross-check and fallback.
 
-use crate::basis::Basis;
+use crate::backend::{Relaxation, RelaxationContext, SolverModel};
+use crate::basis::{Basis, VarStatus};
 use crate::deadline::Deadline;
 use crate::error::SolverError;
 use crate::model::{Direction, Model, Sense, Solution};
-use crate::revised::RevisedLp;
-use crate::simplex::{LpStatus, PivotRules};
+use crate::simplex::{LpStatus, PricingRule};
 use crate::standard_form::{LpProblem, LpRow, BOUND_INFINITY};
 use crate::Result;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which LP kernel solves the relaxations.
@@ -33,11 +34,12 @@ impl std::str::FromStr for SolverBackend {
     type Err = String;
 
     fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "revised" | "sparse" => Ok(SolverBackend::Revised),
-            "dense" | "tableau" => Ok(SolverBackend::Dense),
-            other => Err(format!(
-                "unknown solver backend `{other}` (expected `revised` or `dense`)"
+        match crate::backend::find(s) {
+            Some(backend) => Ok(backend.id()),
+            None => Err(format!(
+                "unknown solver backend `{}` (registered backends: {})",
+                s.trim(),
+                crate::backend::registered_names().join(", ")
             )),
         }
     }
@@ -45,20 +47,45 @@ impl std::str::FromStr for SolverBackend {
 
 impl std::fmt::Display for SolverBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SolverBackend::Revised => write!(f, "revised"),
-            SolverBackend::Dense => write!(f, "dense"),
-        }
+        write!(f, "{}", crate::backend::backend_for(*self).name())
     }
 }
 
-/// The default backend: `SPQ_SOLVER_BACKEND` (`revised`/`dense`) when set
-/// and valid, [`SolverBackend::Revised`] otherwise.
+/// The default backend: `SPQ_SOLVER_BACKEND` (`revised`/`dense`) when set,
+/// [`SolverBackend::Revised`] otherwise. An unrecognized value is a hard
+/// error — silently falling through to the default would run a different
+/// solver than the operator asked for.
 fn default_backend() -> SolverBackend {
-    std::env::var("SPQ_SOLVER_BACKEND")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_default()
+    match std::env::var("SPQ_SOLVER_BACKEND") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid SPQ_SOLVER_BACKEND: {e}")),
+        Err(_) => SolverBackend::default(),
+    }
+}
+
+/// The default pricing rule: `SPQ_SOLVER_PRICING` when set (`dantzig`,
+/// `partial`, `steepest-edge`), [`PricingRule::default`] otherwise. Like the
+/// backend variable, an unrecognized value is a hard error.
+fn default_pricing() -> PricingRule {
+    match std::env::var("SPQ_SOLVER_PRICING") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid SPQ_SOLVER_PRICING: {e}")),
+        Err(_) => PricingRule::default(),
+    }
+}
+
+/// The default worker-thread count: `SPQ_SOLVER_THREADS` when set (a
+/// positive integer; anything else is a hard error), otherwise 1.
+fn default_threads() -> usize {
+    match std::env::var("SPQ_SOLVER_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("invalid SPQ_SOLVER_THREADS `{v}` (expected a positive integer)"),
+        },
+        Err(_) => 1,
+    }
 }
 
 /// Solver options.
@@ -96,8 +123,22 @@ pub struct SolverOptions {
     pub warm_start: Option<Basis>,
     /// Simplex iteration index after which pricing switches from Dantzig to
     /// Bland's rule (anti-cycling). `None` uses the documented default of
-    /// half the iteration budget; see [`PivotRules`].
+    /// half the iteration budget; see `PivotRules` in `revised.rs`.
     pub bland_after: Option<usize>,
+    /// Pricing rule for the revised-simplex relaxation solves. Defaults to
+    /// the `SPQ_SOLVER_PRICING` environment variable when set (`dantzig`,
+    /// `partial`, or `steepest-edge`), otherwise [`PricingRule::default`].
+    /// The dense backend ignores this and always prices with Dantzig.
+    pub pricing: PricingRule,
+    /// Branch-and-bound worker threads. `1` (the default) searches serially;
+    /// `n > 1` keeps the exact serial node order on the main thread while
+    /// `n − 1` workers *speculatively* pre-solve the LP relaxations of
+    /// queued nodes. Each relaxation is a pure function of its node's
+    /// bounds and warm basis, so objectives, node counts, and iteration
+    /// counts are bit-identical at any thread count. Defaults to the
+    /// `SPQ_SOLVER_THREADS` environment variable when set (an unrecognized
+    /// value is a hard error), otherwise 1.
+    pub threads: usize,
     /// Refuse to solve when the LP kernel's working set would exceed this
     /// many bytes. The estimate is backend-aware: the dense tableau
     /// materializes `rows × columns` f64s (with every doubly-bounded
@@ -143,6 +184,8 @@ impl Default for SolverOptions {
             backend: default_backend(),
             warm_start: None,
             bland_after: None,
+            pricing: default_pricing(),
+            threads: default_threads(),
             max_solver_bytes: Some(default_max_solver_bytes()),
         }
     }
@@ -155,17 +198,6 @@ impl SolverOptions {
             time_limit: Some(Duration::from_secs(secs)),
             ..Default::default()
         }
-    }
-
-    /// Deprecated alias for the memory cap, kept for source compatibility
-    /// with the dense-only era.
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to the `max_solver_bytes` field; the cap is backend-aware now"
-    )]
-    pub fn max_tableau_bytes(mut self, cap: Option<u64>) -> Self {
-        self.max_solver_bytes = cap;
-        self
     }
 }
 
@@ -206,7 +238,11 @@ pub struct MilpResult {
     /// Total simplex iterations across all LP relaxations.
     pub lp_iterations: usize,
     /// Best dual bound (in the model's direction) proven by the search.
-    pub best_bound: f64,
+    /// `None` when no bound was proven — e.g. a deadline or cancellation
+    /// fired before the root relaxation finished, or the root was
+    /// infeasible. Callers computing an optimality gap must treat `None` as
+    /// "gap unknown" rather than a numeric ±∞.
+    pub best_bound: Option<f64>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// Basis of the root LP relaxation (revised backend only): feed it back
@@ -221,6 +257,10 @@ pub struct MilpResult {
 pub struct BranchBoundSolver {
     options: SolverOptions,
 }
+
+/// Reduced costs below this magnitude are treated as zero during
+/// reduced-cost bound tightening (dual degeneracy noise).
+const RC_EPS: f64 = 1e-9;
 
 struct NodeDelta {
     var: usize,
@@ -237,13 +277,174 @@ struct Node {
     warm: Option<Basis>,
 }
 
-/// Uniform view of one node's LP relaxation result across backends.
-struct NodeLp {
-    status: LpStatus,
-    values: Vec<f64>,
-    objective: f64,
-    iterations: usize,
-    basis: Option<Basis>,
+/// Lifecycle of one node's speculative LP solve.
+enum SpecState {
+    /// Nobody has started the relaxation yet.
+    Pending,
+    /// A worker (or the main thread) is solving it right now.
+    Claimed,
+    /// The relaxation finished; the result waits for the main thread.
+    Done(Result<Relaxation>),
+}
+
+/// A queued branch-and-bound node plus the state of its (possibly
+/// speculative) LP solve.
+struct SpecJob {
+    node: Node,
+    state: Mutex<SpecState>,
+    /// Signalled when `state` transitions to [`SpecState::Done`].
+    done: Condvar,
+}
+
+struct SpecInner {
+    stack: Vec<Arc<SpecJob>>,
+    shutdown: bool,
+}
+
+/// The shared node stack behind deterministic speculative parallelism.
+///
+/// The main thread pops nodes in exact serial DFS order and *resolves* each
+/// one: if no worker claimed the node it solves the relaxation inline
+/// (precisely the serial code path), otherwise it waits for the worker's
+/// result. Workers scan the stack top-down for pending nodes and pre-solve
+/// them. Because a relaxation is a pure function of the node's bounds, warm
+/// basis, and context, a worker's result is bit-for-bit the one the main
+/// thread would have computed — so incumbents, node counts, and iteration
+/// counts are identical at any thread count, and results of nodes the main
+/// thread prunes are simply dropped.
+///
+/// Lock order: `inner` before any `SpecJob::state`; `resolve` takes only the
+/// job's own state lock.
+struct SpecQueue {
+    inner: Mutex<SpecInner>,
+    /// Signalled when a node is pushed or the queue shuts down.
+    work: Condvar,
+}
+
+impl SpecQueue {
+    fn new() -> Self {
+        SpecQueue {
+            inner: Mutex::new(SpecInner {
+                stack: Vec::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    fn push(&self, node: Node) {
+        let job = Arc::new(SpecJob {
+            node,
+            state: Mutex::new(SpecState::Pending),
+            done: Condvar::new(),
+        });
+        self.inner.lock().unwrap().stack.push(job);
+        self.work.notify_one();
+    }
+
+    /// Pop the next node in serial DFS order (main thread only).
+    fn pop(&self) -> Option<Arc<SpecJob>> {
+        self.inner.lock().unwrap().stack.pop()
+    }
+
+    /// Wake every worker and tell them to exit once their current solve (if
+    /// any) finishes.
+    fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.work.notify_all();
+    }
+
+    /// Obtain a popped job's relaxation on the main thread: solve inline if
+    /// nobody claimed it, otherwise wait for the worker's result.
+    fn resolve(
+        &self,
+        job: &SpecJob,
+        solve: impl FnOnce() -> Result<Relaxation>,
+    ) -> Result<Relaxation> {
+        {
+            let mut st = job.state.lock().unwrap();
+            loop {
+                match &*st {
+                    SpecState::Pending => {
+                        *st = SpecState::Claimed;
+                        break; // solve inline below, outside the lock
+                    }
+                    SpecState::Claimed => st = job.done.wait(st).unwrap(),
+                    SpecState::Done(_) => {
+                        let taken = std::mem::replace(&mut *st, SpecState::Claimed);
+                        match taken {
+                            SpecState::Done(res) => return res,
+                            _ => unreachable!("matched Done above"),
+                        }
+                    }
+                }
+            }
+        }
+        solve()
+    }
+
+    /// Worker loop: repeatedly claim the pending node nearest the top of the
+    /// stack (the one the main thread needs soonest) and pre-solve it.
+    fn worker(&self, solve: impl Fn(&Node) -> Result<Relaxation>) {
+        loop {
+            let job = {
+                let mut inner = self.inner.lock().unwrap();
+                loop {
+                    if inner.shutdown {
+                        return;
+                    }
+                    let found = inner
+                        .stack
+                        .iter()
+                        .rev()
+                        .find(|j| matches!(*j.state.lock().unwrap(), SpecState::Pending))
+                        .cloned();
+                    match found {
+                        Some(j) => break j,
+                        None => inner = self.work.wait(inner).unwrap(),
+                    }
+                }
+            };
+            // Claim outside the queue lock; the main thread may have raced us
+            // in `resolve`, in which case it is already solving this node.
+            {
+                let mut st = job.state.lock().unwrap();
+                if !matches!(*st, SpecState::Pending) {
+                    continue;
+                }
+                *st = SpecState::Claimed;
+            }
+            let res = solve(&job.node);
+            let mut st = job.state.lock().unwrap();
+            *st = SpecState::Done(res);
+            job.done.notify_all();
+        }
+    }
+}
+
+/// Everything the search loop accumulates; [`BranchBoundSolver::solve`]
+/// assembles the public [`MilpResult`] from it.
+struct SearchOutcome {
+    best_solution: Option<Vec<f64>>,
+    nodes_processed: usize,
+    lp_iterations: usize,
+    best_bound: Option<f64>,
+    hit_limit: bool,
+    root_infeasible: bool,
+    root_unbounded: bool,
+    root_basis: Option<Basis>,
+}
+
+/// Borrowed context shared by the search loop and the speculative workers.
+struct SearchCtx<'a> {
+    model: &'a Model,
+    base: &'a LpProblem,
+    queue: &'a SpecQueue,
+    lp_model: &'a dyn SolverModel,
+    relax_ctx: &'a RelaxationContext,
+    int_vars: &'a [usize],
+    stop: &'a Deadline,
+    sign: f64,
 }
 
 impl BranchBoundSolver {
@@ -270,40 +471,44 @@ impl BranchBoundSolver {
         // sparse matrix once — building it is linear in the model's own
         // size, so it can safely precede the memory guard — and every node
         // then re-solves with its own bounds (and its parent's basis).
-        let base = self.build_lp(model, sign);
-        let rlp = match self.options.backend {
-            SolverBackend::Revised => Some(RevisedLp::from_problem(&base)?),
-            SolverBackend::Dense => None,
-        };
-        // Backend-aware memory guard.
+        let mut base = self.build_lp(model, sign);
+
+        // Presolve: activity-based bound tightening on the root box (and
+        // inward rounding of integer bounds). The tightened bounds are
+        // inherited by every node; a proven-empty domain short-circuits the
+        // whole search.
+        let integral: Vec<bool> = model.variables().iter().map(|v| v.is_integral()).collect();
+        let mut root_lower = std::mem::take(&mut base.lower);
+        let mut root_upper = std::mem::take(&mut base.upper);
+        let pre = crate::presolve::tighten_bounds(
+            &base.rows,
+            &mut root_lower,
+            &mut root_upper,
+            &integral,
+        );
+        base.lower = root_lower;
+        base.upper = root_upper;
+        if pre == crate::presolve::PresolveOutcome::Infeasible {
+            return Ok(MilpResult {
+                status: SolveStatus::Infeasible,
+                solution: None,
+                nodes: 0,
+                lp_iterations: 0,
+                best_bound: None,
+                elapsed: start.elapsed(),
+                basis: None,
+            });
+        }
+        // Prepare the selected backend's model once; every node re-solves it
+        // under its own bounds.
+        let lp_model = crate::backend::backend_for(self.options.backend).prepare(&base)?;
+        // Backend-aware memory guard: without it, oversized models abort the
+        // whole process inside the allocator.
         if let Some(cap) = self.options.max_solver_bytes {
-            let (rows, cols, bytes) = match &rlp {
-                None => {
-                    // Mirror `to_standard_form` exactly: every doubly-finite-
-                    // bounded variable (including fixed ones with `lo == hi`)
-                    // becomes a bound row, and each row gets a slack column.
-                    let bound_rows = base
-                        .lower
-                        .iter()
-                        .zip(&base.upper)
-                        .filter(|(&lo, &hi)| lo > -BOUND_INFINITY && hi < BOUND_INFINITY)
-                        .count();
-                    let rows = (base.rows.len() + bound_rows) as u64;
-                    let cols = base.lower.len() as u64 + rows;
-                    (rows, cols, rows.saturating_mul(cols).saturating_mul(8))
-                }
-                Some(rlp) => (
-                    rlp.m as u64,
-                    (rlp.n_struct + rlp.m) as u64,
-                    rlp.estimated_bytes(),
-                ),
-            };
+            let bytes = lp_model.estimated_bytes();
             if bytes > cap {
-                return Err(SolverError::ModelTooLarge {
-                    rows: rows as usize,
-                    cols: cols as usize,
-                    bytes,
-                });
+                let (rows, cols) = lp_model.shape();
+                return Err(SolverError::ModelTooLarge { rows, cols, bytes });
             }
         }
         let int_vars: Vec<usize> = model
@@ -314,28 +519,136 @@ impl BranchBoundSolver {
             .map(|(i, _)| i)
             .collect();
 
+        let relax_ctx = RelaxationContext {
+            bland_after: self.options.bland_after,
+            pricing: self.options.pricing,
+            deadline: stop.clone(),
+        };
+        let queue = SpecQueue::new();
+        queue.push(Node {
+            deltas: Vec::new(),
+            parent_bound: f64::NEG_INFINITY,
+            warm: self.options.warm_start.clone(),
+        });
+        let cx = SearchCtx {
+            model,
+            base: &base,
+            queue: &queue,
+            lp_model: lp_model.as_ref(),
+            relax_ctx: &relax_ctx,
+            int_vars: &int_vars,
+            stop: &stop,
+            sign,
+        };
+
+        let threads = self.options.threads.max(1);
+        let out = if threads > 1 {
+            // Speculative parallelism: the main thread walks the exact serial
+            // node order while workers pre-solve queued relaxations. Worker
+            // results are consumed only for nodes the main thread would have
+            // solved anyway, so the search is bit-identical to `threads = 1`.
+            std::thread::scope(|s| {
+                for _ in 1..threads {
+                    s.spawn(|| {
+                        cx.queue.worker(|node| Self::speculative_solve(&cx, node));
+                    });
+                }
+                let out = self.search(&cx);
+                cx.queue.shutdown();
+                out
+            })
+        } else {
+            self.search(&cx)
+        }?;
+
+        let elapsed = start.elapsed();
+        if out.root_unbounded {
+            return Ok(MilpResult {
+                status: SolveStatus::Unbounded,
+                solution: None,
+                nodes: out.nodes_processed,
+                lp_iterations: out.lp_iterations,
+                best_bound: None,
+                elapsed,
+                basis: None,
+            });
+        }
+
+        let status = match (&out.best_solution, out.hit_limit) {
+            (Some(_), false) => SolveStatus::Optimal,
+            (Some(_), true) => SolveStatus::FeasibleLimit,
+            (None, false) => {
+                // Exhausted the tree without an incumbent.
+                let _ = out.root_infeasible;
+                SolveStatus::Infeasible
+            }
+            (None, true) => SolveStatus::NoSolutionLimit,
+        };
+        let solution = out.best_solution.map(|values| Solution {
+            objective: model.objective_value(&values),
+            values,
+            lp_pivots: out.lp_iterations,
+        });
+        Ok(MilpResult {
+            status,
+            solution,
+            nodes: out.nodes_processed,
+            lp_iterations: out.lp_iterations,
+            best_bound: out.best_bound.map(|b| sign * b),
+            elapsed,
+            basis: out.root_basis,
+        })
+    }
+
+    /// A worker's view of one node: rebuild its bound box and solve the
+    /// relaxation exactly as the main thread would, so the result is
+    /// interchangeable with an inline solve.
+    fn speculative_solve(cx: &SearchCtx<'_>, node: &Node) -> Result<Relaxation> {
+        let mut lower = cx.base.lower.clone();
+        let mut upper = cx.base.upper.clone();
+        for d in &node.deltas {
+            lower[d.var] = lower[d.var].max(d.lower);
+            upper[d.var] = upper[d.var].min(d.upper);
+            if lower[d.var] > upper[d.var] + 1e-12 {
+                // The main thread prunes crossed domains before resolving, so
+                // this placeholder is never consumed.
+                return Ok(Relaxation {
+                    status: LpStatus::Infeasible,
+                    values: Vec::new(),
+                    objective: f64::INFINITY,
+                    iterations: 0,
+                    reduced: Vec::new(),
+                    basis: None,
+                });
+            }
+        }
+        cx.lp_model
+            .solve_relaxation(&lower, &upper, node.warm.as_ref(), cx.relax_ctx)
+    }
+
+    /// The branch-and-bound loop, shared by serial and speculative runs:
+    /// nodes are popped in serial DFS order and each relaxation is obtained
+    /// through [`SpecQueue::resolve`] (inline when no worker claimed it).
+    fn search(&self, cx: &SearchCtx<'_>) -> Result<SearchOutcome> {
         let mut best_solution: Option<Vec<f64>> = None;
         let mut best_obj = f64::INFINITY; // minimization-sense incumbent objective
         let mut nodes_processed = 0usize;
         let mut lp_iterations = 0usize;
-        let mut best_bound = f64::NEG_INFINITY;
+        // Dual bound proven so far; `None` until the root relaxation is
+        // bounded, so an early deadline reports "no bound" instead of -inf.
+        let mut best_bound: Option<f64> = None;
         let mut hit_limit = false;
-
-        let mut stack: Vec<Node> = vec![Node {
-            deltas: Vec::new(),
-            parent_bound: f64::NEG_INFINITY,
-            warm: self.options.warm_start.clone(),
-        }];
         let mut root_infeasible = false;
         let mut root_unbounded = false;
         let mut root_basis: Option<Basis> = None;
 
-        while let Some(node) = stack.pop() {
+        while let Some(job) = cx.queue.pop() {
+            let node = &job.node;
             if nodes_processed >= self.options.max_nodes {
                 hit_limit = true;
                 break;
             }
-            if stop.expired() {
+            if cx.stop.expired() {
                 hit_limit = true;
                 break;
             }
@@ -346,8 +659,8 @@ impl BranchBoundSolver {
             nodes_processed += 1;
 
             // Apply the node's bound changes.
-            let mut lower = base.lower.clone();
-            let mut upper = base.upper.clone();
+            let mut lower = cx.base.lower.clone();
+            let mut upper = cx.base.upper.clone();
             let mut domain_ok = true;
             for d in &node.deltas {
                 lower[d.var] = lower[d.var].max(d.lower);
@@ -365,8 +678,10 @@ impl BranchBoundSolver {
             // exhausted on a degenerate relaxation) abandons this node rather
             // than the whole search: the node is treated as unexplored, which
             // keeps the incumbent valid and only weakens the optimality claim.
-            let relax = match self.solve_relaxation(&base, rlp.as_ref(), lower, upper, &node, &stop)
-            {
+            let relax = match cx.queue.resolve(&job, || {
+                cx.lp_model
+                    .solve_relaxation(&lower, &upper, node.warm.as_ref(), cx.relax_ctx)
+            }) {
                 Ok(r) => r,
                 Err(SolverError::Numerical(_)) => {
                     hit_limit = true;
@@ -401,7 +716,7 @@ impl BranchBoundSolver {
             }
             let node_bound = relax.objective;
             if nodes_processed == 1 {
-                best_bound = node_bound;
+                best_bound = Some(node_bound);
                 root_basis = relax.basis.clone();
             }
             if node_bound >= best_obj - self.gap_slack(best_obj) {
@@ -411,7 +726,7 @@ impl BranchBoundSolver {
             // Find the most fractional integer variable.
             let mut branch_var: Option<usize> = None;
             let mut best_frac = self.options.int_tol;
-            for &vi in &int_vars {
+            for &vi in cx.int_vars {
                 let x = relax.values[vi];
                 let frac = (x - x.round()).abs();
                 if frac > best_frac {
@@ -425,9 +740,9 @@ impl BranchBoundSolver {
                     // Integral LP optimum: candidate incumbent. Round to clean
                     // integer values and re-check feasibility on the original
                     // model (including indicator semantics).
-                    let candidate = self.snap(&relax.values, model);
-                    if model.is_feasible(&candidate, 1e-6) {
-                        let obj = sign * model.objective_value(&candidate);
+                    let candidate = self.snap(&relax.values, cx.model);
+                    if cx.model.is_feasible(&candidate, 1e-6) {
+                        let obj = cx.sign * cx.model.objective_value(&candidate);
                         if obj < best_obj - 1e-12 {
                             best_obj = obj;
                             best_solution = Some(candidate);
@@ -444,12 +759,60 @@ impl BranchBoundSolver {
                 }
                 Some(vi) => {
                     // Rounding heuristic to seed the incumbent early.
-                    let rounded = self.snap(&relax.values, model);
-                    if model.is_feasible(&rounded, 1e-6) {
-                        let obj = sign * model.objective_value(&rounded);
+                    let rounded = self.snap(&relax.values, cx.model);
+                    if cx.model.is_feasible(&rounded, 1e-6) {
+                        let obj = cx.sign * cx.model.objective_value(&rounded);
                         if obj < best_obj - 1e-12 {
                             best_obj = obj;
                             best_solution = Some(rounded);
+                        }
+                    }
+                    // Reduced-cost bound tightening, valid for this node's
+                    // whole subtree: with LP bound `z` and incumbent cutoff
+                    // `c`, a column nonbasic at its lower bound with reduced
+                    // cost `d > 0` satisfies obj ≥ z + d·(x_j − l_j) over the
+                    // subtree, so x_j ≤ l_j + ⌊(c − z)/d⌋ in any improving
+                    // integer solution (symmetrically at upper bounds). Both
+                    // children inherit the tightened bounds; on knapsack-like
+                    // SAA models this collapses most of the tree.
+                    let cutoff = best_obj - self.gap_slack(best_obj);
+                    let mut tighten: Vec<NodeDelta> = Vec::new();
+                    if cutoff.is_finite() && !relax.reduced.is_empty() {
+                        if let Some(basis) = &relax.basis {
+                            let budget = cutoff - node_bound;
+                            for &vj in cx.int_vars {
+                                if vj == vi {
+                                    continue;
+                                }
+                                let d = relax.reduced[vj];
+                                match basis.statuses[vj] {
+                                    VarStatus::AtLower if d > RC_EPS => {
+                                        let room =
+                                            (budget / d + self.options.int_tol).floor().max(0.0);
+                                        let new_upper = lower[vj] + room;
+                                        if new_upper < upper[vj] - 0.5 {
+                                            tighten.push(NodeDelta {
+                                                var: vj,
+                                                lower: f64::NEG_INFINITY,
+                                                upper: new_upper,
+                                            });
+                                        }
+                                    }
+                                    VarStatus::AtUpper if d < -RC_EPS => {
+                                        let room =
+                                            (budget / -d + self.options.int_tol).floor().max(0.0);
+                                        let new_lower = upper[vj] - room;
+                                        if new_lower > lower[vj] + 0.5 {
+                                            tighten.push(NodeDelta {
+                                                var: vj,
+                                                lower: new_lower,
+                                                upper: f64::INFINITY,
+                                            });
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
                         }
                     }
                     let x = relax.values[vi];
@@ -458,8 +821,9 @@ impl BranchBoundSolver {
                     // DFS: push the "down" child last so it is explored first
                     // (for minimization of package cost, smaller multiplicities
                     // tend to be feasible more often).
-                    let mut up = Vec::with_capacity(node.deltas.len() + 1);
-                    up.extend(node.deltas.iter().map(|d| NodeDelta {
+                    let inherited = node.deltas.iter().chain(&tighten);
+                    let mut up = Vec::with_capacity(node.deltas.len() + tighten.len() + 1);
+                    up.extend(inherited.clone().map(|d| NodeDelta {
                         var: d.var,
                         lower: d.lower,
                         upper: d.upper,
@@ -469,8 +833,8 @@ impl BranchBoundSolver {
                         lower: ceil,
                         upper: f64::INFINITY,
                     });
-                    let mut down = Vec::with_capacity(node.deltas.len() + 1);
-                    down.extend(node.deltas.iter().map(|d| NodeDelta {
+                    let mut down = Vec::with_capacity(node.deltas.len() + tighten.len() + 1);
+                    down.extend(inherited.map(|d| NodeDelta {
                         var: d.var,
                         lower: d.lower,
                         upper: d.upper,
@@ -480,12 +844,12 @@ impl BranchBoundSolver {
                         lower: f64::NEG_INFINITY,
                         upper: floor,
                     });
-                    stack.push(Node {
+                    cx.queue.push(Node {
                         deltas: up,
                         parent_bound: node_bound,
                         warm: relax.basis.clone(),
                     });
-                    stack.push(Node {
+                    cx.queue.push(Node {
                         deltas: down,
                         parent_bound: node_bound,
                         warm: relax.basis,
@@ -494,87 +858,16 @@ impl BranchBoundSolver {
             }
         }
 
-        let elapsed = start.elapsed();
-        if root_unbounded {
-            return Ok(MilpResult {
-                status: SolveStatus::Unbounded,
-                solution: None,
-                nodes: nodes_processed,
-                lp_iterations,
-                best_bound: sign * f64::NEG_INFINITY,
-                elapsed,
-                basis: None,
-            });
-        }
-
-        let status = match (&best_solution, hit_limit) {
-            (Some(_), false) => SolveStatus::Optimal,
-            (Some(_), true) => SolveStatus::FeasibleLimit,
-            (None, false) => {
-                // Exhausted the tree without an incumbent.
-                let _ = root_infeasible;
-                SolveStatus::Infeasible
-            }
-            (None, true) => SolveStatus::NoSolutionLimit,
-        };
-        let solution = best_solution.map(|values| Solution {
-            objective: model.objective_value(&values),
-            values,
-            lp_pivots: lp_iterations,
-        });
-        Ok(MilpResult {
-            status,
-            solution,
-            nodes: nodes_processed,
+        Ok(SearchOutcome {
+            best_solution,
+            nodes_processed,
             lp_iterations,
-            best_bound: sign * best_bound,
-            elapsed,
-            basis: root_basis,
+            best_bound,
+            hit_limit,
+            root_infeasible,
+            root_unbounded,
+            root_basis,
         })
-    }
-
-    /// Solve one node's LP relaxation with the configured backend.
-    fn solve_relaxation(
-        &self,
-        base: &LpProblem,
-        rlp: Option<&RevisedLp>,
-        lower: Vec<f64>,
-        upper: Vec<f64>,
-        node: &Node,
-        stop: &Deadline,
-    ) -> Result<NodeLp> {
-        match rlp {
-            Some(rlp) => {
-                let rules =
-                    PivotRules::for_size(rlp.m, rlp.n_struct + rlp.m, self.options.bland_after)
-                        .with_deadline(stop.clone());
-                let sol = rlp.solve(&lower, &upper, node.warm.as_ref(), &rules)?;
-                Ok(NodeLp {
-                    status: sol.status,
-                    values: sol.values,
-                    objective: sol.objective,
-                    iterations: sol.iterations,
-                    basis: sol.basis,
-                })
-            }
-            None => {
-                let mut lp = base.clone();
-                lp.lower = lower;
-                lp.upper = upper;
-                let sol = crate::simplex::solve_lp_with_rules_deadline(
-                    &lp,
-                    self.options.bland_after,
-                    stop.clone(),
-                )?;
-                Ok(NodeLp {
-                    status: sol.status,
-                    values: sol.values,
-                    objective: sol.objective,
-                    iterations: sol.iterations,
-                    basis: None,
-                })
-            }
-        }
     }
 
     fn gap_slack(&self, best_obj: f64) -> f64 {
@@ -1025,13 +1318,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_tableau_cap_alias_still_works() {
-        let o = opts().max_tableau_bytes(Some(42));
-        assert_eq!(o.max_solver_bytes, Some(42));
-    }
-
-    #[test]
     fn backend_parsing_and_display() {
         assert_eq!(
             "revised".parse::<SolverBackend>(),
@@ -1114,7 +1400,7 @@ mod tests {
         m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Sense::Ge, 7.0);
         let res = solve_full(&m, &opts()).unwrap();
         let sol = res.solution.unwrap();
-        assert!(res.best_bound <= sol.objective + 1e-6);
+        assert!(res.best_bound.expect("root was bounded") <= sol.objective + 1e-6);
         assert!((sol.objective - 14.0).abs() < 1e-6);
     }
 
@@ -1176,6 +1462,49 @@ mod tests {
                 "backend {backend}"
             );
             assert!(res.solution.is_none());
+            // Regression: no node was bounded, so no dual bound exists. This
+            // used to report `f64::NEG_INFINITY` (a meaningless -inf "gap");
+            // now the absence of a proven bound is explicit.
+            assert_eq!(res.best_bound, None, "backend {backend}");
+        }
+    }
+
+    #[test]
+    fn speculative_threads_are_bit_identical_to_serial() {
+        // The deterministic-parallelism contract: any thread count produces
+        // the same objective, node count, and iteration count as serial,
+        // because workers only pre-solve the exact relaxations the main
+        // thread consumes in serial DFS order.
+        let model = chained_model(60);
+        let serial = solve_full(
+            &model,
+            &SolverOptions {
+                threads: 1,
+                ..opts()
+            },
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let par = solve_full(&model, &SolverOptions { threads, ..opts() }).unwrap();
+            assert_eq!(par.status, serial.status, "threads {threads}");
+            assert_eq!(par.nodes, serial.nodes, "threads {threads}");
+            assert_eq!(par.lp_iterations, serial.lp_iterations, "threads {threads}");
+            let (s, p) = (serial.solution.as_ref(), par.solution.as_ref());
+            assert_eq!(
+                s.map(|x| x.objective.to_bits()),
+                p.map(|x| x.objective.to_bits()),
+                "threads {threads}: objective must be bit-identical"
+            );
+            assert_eq!(
+                s.map(|x| &x.values),
+                p.map(|x| &x.values),
+                "threads {threads}"
+            );
+            assert_eq!(
+                serial.best_bound.map(f64::to_bits),
+                par.best_bound.map(f64::to_bits),
+                "threads {threads}"
+            );
         }
     }
 

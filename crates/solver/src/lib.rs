@@ -35,16 +35,19 @@
 //! assert_eq!(solution.value(b).round() as i64, 1);
 //! ```
 
+pub mod backend;
 pub mod basis;
 pub mod branch_bound;
 pub mod deadline;
 pub mod error;
 pub mod model;
+pub mod presolve;
 pub mod revised;
 pub mod simplex;
 pub mod sparse;
 pub mod standard_form;
 
+pub use backend::{LpBackend, Relaxation, RelaxationContext, SolverModel};
 pub use basis::{Basis, VarStatus};
 pub use branch_bound::{
     solve, solve_full, BranchBoundSolver, MilpResult, SolveStatus, SolverBackend, SolverOptions,
@@ -56,7 +59,7 @@ pub use model::{
     Variable,
 };
 pub use revised::{RevisedLp, RevisedSolution};
-pub use simplex::{LpSolution, LpStatus, PivotRules};
+pub use simplex::{LpSolution, LpStatus, PivotRules, PricingRule};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SolverError>;

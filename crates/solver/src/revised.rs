@@ -32,7 +32,7 @@
 
 use crate::basis::{Basis, Factorization, VarStatus};
 use crate::error::SolverError;
-use crate::simplex::{LpStatus, PivotRules};
+use crate::simplex::{LpStatus, PivotRules, PricingRule};
 use crate::sparse::CscMatrix;
 use crate::standard_form::{LpProblem, BOUND_INFINITY};
 use crate::Result;
@@ -45,6 +45,10 @@ const FEAS_EPS: f64 = 1e-7;
 const PIVOT_TOL: f64 = 1e-7;
 /// Tie window of the ratio test.
 const RATIO_EPS: f64 = 1e-9;
+/// Minimum window of [`PricingRule::Partial`].
+const PARTIAL_WINDOW_MIN: usize = 64;
+/// Devex weights above this trigger a reference-framework reset.
+const DEVEX_RESET: f64 = 1e12;
 
 /// Result of a revised-simplex solve.
 #[derive(Debug, Clone)]
@@ -57,6 +61,11 @@ pub struct RevisedSolution {
     pub objective: f64,
     /// Simplex iterations (pivots and bound flips) performed.
     pub iterations: usize,
+    /// Reduced costs of the structural columns at the optimum (0 for basic
+    /// columns; empty unless optimal). Minimization sense: a column nonbasic
+    /// at its lower bound has `reduced ≥ 0` and moving it up by `t` costs at
+    /// least `reduced·t`, which is what reduced-cost fixing exploits.
+    pub reduced: Vec<f64>,
     /// The optimal basis, reusable as a warm start for related solves.
     pub basis: Option<Basis>,
 }
@@ -362,6 +371,20 @@ impl<'a> Simplex<'a> {
         }
         let m = self.rlp.m;
         let total = self.x.len();
+        // Per-iteration workspaces, allocated once per solve.
+        let mut y = vec![0.0f64; m];
+        let mut w = vec![0.0f64; m];
+        let mut betar = vec![0.0f64; m];
+        // Devex reference weights (approximate steepest-edge norms), only
+        // materialized when that rule is active.
+        let mut weights: Vec<f64> = if rules.pricing == PricingRule::SteepestEdge {
+            vec![1.0; total]
+        } else {
+            Vec::new()
+        };
+        // Rotating start of the partial-pricing window.
+        let mut partial_cursor = 0usize;
+        let partial_window = PARTIAL_WINDOW_MIN.max(total / 8);
         loop {
             if self.iterations >= rules.max_iters {
                 return Err(SolverError::Numerical(format!(
@@ -377,7 +400,7 @@ impl<'a> Simplex<'a> {
             // Phase selection: any basic variable outside its bounds puts us
             // in phase 1 with infeasibility costs.
             let mut phase1 = false;
-            let mut y = vec![0.0f64; m];
+            y.fill(0.0);
             for (i, &bv) in self.basic_vars.iter().enumerate() {
                 let v = self.x[bv];
                 if v > self.upper[bv] + FEAS_EPS {
@@ -397,25 +420,58 @@ impl<'a> Simplex<'a> {
 
             // Pricing: pick the entering column.
             let mut enter: Option<(usize, f64, f64)> = None; // (col, |d|, dir)
-            for j in 0..total {
-                if self.status[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
-                    continue;
+            if use_bland {
+                // Bland's least-index rule overrides every pricing rule.
+                for j in 0..total {
+                    if let Some((d, dir)) = self.price_col(j, phase1, &y) {
+                        enter = Some((j, d.abs(), dir));
+                        break;
+                    }
                 }
-                let base_cost = if phase1 { 0.0 } else { self.rlp.cost[j] };
-                let d = base_cost - self.rlp.matrix.col_dot(j, &y);
-                let dir = match self.status[j] {
-                    VarStatus::AtLower if d < -EPS => 1.0,
-                    VarStatus::AtUpper if d > EPS => -1.0,
-                    VarStatus::Free if d < -EPS => 1.0,
-                    VarStatus::Free if d > EPS => -1.0,
-                    _ => continue,
-                };
-                if use_bland {
-                    enter = Some((j, d.abs(), dir));
-                    break;
-                }
-                if enter.map(|(_, best, _)| d.abs() > best).unwrap_or(true) {
-                    enter = Some((j, d.abs(), dir));
+            } else {
+                match rules.pricing {
+                    PricingRule::Dantzig => {
+                        for j in 0..total {
+                            if let Some((d, dir)) = self.price_col(j, phase1, &y) {
+                                if enter.map(|(_, best, _)| d.abs() > best).unwrap_or(true) {
+                                    enter = Some((j, d.abs(), dir));
+                                }
+                            }
+                        }
+                    }
+                    PricingRule::SteepestEdge => {
+                        let mut best_score = 0.0f64;
+                        for (j, &wj) in weights.iter().enumerate() {
+                            if let Some((d, dir)) = self.price_col(j, phase1, &y) {
+                                let score = d * d / wj;
+                                if enter.is_none() || score > best_score {
+                                    best_score = score;
+                                    enter = Some((j, d.abs(), dir));
+                                }
+                            }
+                        }
+                    }
+                    PricingRule::Partial => {
+                        // Scan a rotating window; settle for the best
+                        // candidate inside it, falling through to a full
+                        // sweep only when the window has none (so optimality
+                        // is still certified by a complete scan).
+                        let mut scanned = 0usize;
+                        for off in 0..total {
+                            let j = partial_cursor + off;
+                            let j = if j >= total { j - total } else { j };
+                            scanned += 1;
+                            if let Some((d, dir)) = self.price_col(j, phase1, &y) {
+                                if enter.map(|(_, best, _)| d.abs() > best).unwrap_or(true) {
+                                    enter = Some((j, d.abs(), dir));
+                                }
+                            }
+                            if enter.is_some() && scanned >= partial_window {
+                                partial_cursor = if j + 1 >= total { 0 } else { j + 1 };
+                                break;
+                            }
+                        }
+                    }
                 }
             }
 
@@ -443,13 +499,19 @@ impl<'a> Simplex<'a> {
                     continue;
                 }
                 // Optimal: recompute values from a fresh factorization for a
-                // clean answer.
-                self.refactorize()?;
+                // clean answer — unless the eta file is empty, in which case
+                // the factorization is already fresh and only bound flips
+                // (exact assignments) have moved the iterate. Warm-started
+                // branch-and-bound nodes that verify optimality in a handful
+                // of flips take this fast path.
+                if self.fact.num_etas() > 0 {
+                    self.refactorize()?;
+                }
                 return Ok(self.finish(LpStatus::Optimal));
             };
 
             // Direction of basic-variable change per unit step of x_q.
-            let mut w = vec![0.0f64; m];
+            w.fill(0.0);
             self.rlp.matrix.scatter_col(q, 1.0, &mut w);
             self.fact.ftran(&mut w);
 
@@ -548,6 +610,38 @@ impl<'a> Simplex<'a> {
                     };
                 }
                 Blocking::Row(r, hit_upper) => {
+                    if !weights.is_empty() {
+                        // Devex weight update on the *pre-pivot* basis
+                        // (Forrest & Goldfarb): βr = B⁻ᵀe_r, α_rj = aⱼ·βr,
+                        // wⱼ ← max(wⱼ, (α_rj/α_rq)²·w_q).
+                        let alpha_q = w[r];
+                        let gamma_q = weights[q].max(1.0);
+                        if gamma_q > DEVEX_RESET {
+                            // Weights blew up: restart the reference frame.
+                            weights.fill(1.0);
+                        } else {
+                            betar.fill(0.0);
+                            betar[r] = 1.0;
+                            self.fact.btran(&mut betar);
+                            let ratio = gamma_q / (alpha_q * alpha_q);
+                            for (j, wj) in weights.iter_mut().enumerate() {
+                                if j == q
+                                    || self.status[j] == VarStatus::Basic
+                                    || self.lower[j] == self.upper[j]
+                                {
+                                    continue;
+                                }
+                                let a_rj = self.rlp.matrix.col_dot(j, &betar);
+                                if a_rj != 0.0 {
+                                    let cand = a_rj * a_rj * ratio;
+                                    if cand > *wj {
+                                        *wj = cand;
+                                    }
+                                }
+                            }
+                            weights[self.basic_vars[r]] = ratio.max(1.0);
+                        }
+                    }
                     let leaving = self.basic_vars[r];
                     self.status[leaving] = if hit_upper {
                         VarStatus::AtUpper
@@ -561,13 +655,32 @@ impl<'a> Simplex<'a> {
                     };
                     self.status[q] = VarStatus::Basic;
                     self.basic_vars[r] = q;
-                    if !self.fact.push_eta(r, w) || self.fact.should_refactorize() {
+                    if !self.fact.push_eta(r, &w) || self.fact.should_refactorize() {
                         self.refactorize()?;
                     }
                 }
             }
             self.iterations += 1;
         }
+    }
+
+    /// Reduced cost and step direction of column `j`, if it is an eligible
+    /// entering candidate under the current (phase-dependent) objective.
+    #[inline]
+    fn price_col(&self, j: usize, phase1: bool, y: &[f64]) -> Option<(f64, f64)> {
+        if self.status[j] == VarStatus::Basic || self.lower[j] == self.upper[j] {
+            return None;
+        }
+        let base_cost = if phase1 { 0.0 } else { self.rlp.cost[j] };
+        let d = base_cost - self.rlp.matrix.col_dot(j, y);
+        let dir = match self.status[j] {
+            VarStatus::AtLower if d < -EPS => 1.0,
+            VarStatus::AtUpper if d > EPS => -1.0,
+            VarStatus::Free if d < -EPS => 1.0,
+            VarStatus::Free if d > EPS => -1.0,
+            _ => return None,
+        };
+        Some((d, dir))
     }
 
     fn finish(&self, status: LpStatus) -> RevisedSolution {
@@ -581,11 +694,31 @@ impl<'a> Simplex<'a> {
                     .zip(&self.x)
                     .map(|(c, v)| c * v)
                     .sum::<f64>();
+                // Reduced costs of the nonbasic structural columns (basic
+                // columns get 0): d = c − Aᵀ·B⁻ᵀc_B. One btran plus a pass
+                // over the structural nonzeros; callers use these for
+                // reduced-cost bound tightening in branch-and-bound.
+                let m = self.rlp.m;
+                let mut y = vec![0.0f64; m];
+                for (i, &bv) in self.basic_vars.iter().enumerate() {
+                    y[i] = self.rlp.cost[bv];
+                }
+                self.fact.btran(&mut y);
+                let reduced: Vec<f64> = (0..self.rlp.n_struct)
+                    .map(|j| {
+                        if self.status[j] == VarStatus::Basic {
+                            0.0
+                        } else {
+                            self.rlp.cost[j] - self.rlp.matrix.col_dot(j, &y)
+                        }
+                    })
+                    .collect();
                 RevisedSolution {
                     status,
                     values,
                     objective,
                     iterations: self.iterations,
+                    reduced,
                     basis: Some(Basis {
                         statuses: self.status.clone(),
                     }),
@@ -596,6 +729,7 @@ impl<'a> Simplex<'a> {
                 values: Vec::new(),
                 objective: 0.0,
                 iterations: self.iterations,
+                reduced: Vec::new(),
                 basis: None,
             },
         }

@@ -1,60 +1,158 @@
-//! Cross-checks between the two LP backends: on randomly generated bounded
-//! LPs and MILPs, the sparse revised simplex and the dense tableau must
-//! agree on status and (when optimal) on the objective to within 1e-6.
-//! Directed cases cover the classically tricky structures: degenerate
-//! vertices, free variables, equality-heavy systems, and warm starts.
+//! Backend conformance suite.
+//!
+//! Every backend in [`spq_solver::backend::registry`] is driven through the
+//! [`SolverModel`] trait — the exact interface branch-and-bound uses —
+//! under **every pricing rule**, over a corpus of directed LPs (degenerate
+//! vertices, free variables, equality-heavy systems, Beale's cycling
+//! instance, infeasible/unbounded cases) plus property-generated LPs and
+//! MILPs. For each case the suite checks, against the dense reference
+//! solve:
+//!
+//! * status agreement, and objectives within 1e-6 when optimal;
+//! * primal feasibility of the returned point (rows and bounds);
+//! * warm-start support: when a backend advertises it, re-solving from the
+//!   returned basis must reproduce the optimum.
+//!
+//! A new backend gets all of this by registering itself in
+//! [`spq_solver::backend::registry`]; nothing here names a backend
+//! explicitly except the dense reference.
 
 use proptest::prelude::*;
-use spq_solver::revised::solve_problem;
+use spq_solver::backend::{registry, RelaxationContext};
 use spq_solver::simplex::solve_lp;
 use spq_solver::standard_form::{LpProblem, LpRow};
 use spq_solver::{
-    solve_full, LpStatus, Model, PivotRules, Sense, SolveStatus, SolverBackend, SolverOptions,
+    solve_full, LpStatus, Model, PricingRule, Sense, SolveStatus, SolverBackend, SolverOptions,
     VarType,
 };
-
-fn rules() -> PivotRules {
-    PivotRules::for_size(100, 100, None)
-}
 
 fn row(terms: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> LpRow {
     LpRow { terms, sense, rhs }
 }
 
-/// Solve with both backends and require agreement.
-fn assert_backends_agree(lp: &LpProblem, context: &str) {
-    let dense = solve_lp(lp).expect("dense solve");
-    let revised = solve_problem(lp, None, &rules()).expect("revised solve");
-    assert_eq!(
-        dense.status, revised.status,
-        "{context}: dense {:?} vs revised {:?}",
-        dense.status, revised.status
-    );
-    if dense.status == LpStatus::Optimal {
+/// Activity of one row at `x`.
+fn activity(r: &LpRow, x: &[f64]) -> f64 {
+    r.terms.iter().map(|&(j, a)| a * x[j]).sum()
+}
+
+/// Check primal feasibility of `x` for `lp` within `tol`.
+fn assert_primal_feasible(lp: &LpProblem, x: &[f64], tol: f64, context: &str) {
+    assert_eq!(x.len(), lp.lower.len(), "{context}: value vector length");
+    for (j, &v) in x.iter().enumerate() {
         assert!(
-            (dense.objective - revised.objective).abs() < 1e-6,
-            "{context}: dense obj {} vs revised obj {}",
-            dense.objective,
-            revised.objective
+            v >= lp.lower[j] - tol && v <= lp.upper[j] + tol,
+            "{context}: x[{j}] = {v} outside [{}, {}]",
+            lp.lower[j],
+            lp.upper[j]
+        );
+    }
+    for (i, r) in lp.rows.iter().enumerate() {
+        let a = activity(r, x);
+        let ok = match r.sense {
+            Sense::Le => a <= r.rhs + tol,
+            Sense::Ge => a >= r.rhs - tol,
+            Sense::Eq => (a - r.rhs).abs() <= tol,
+        };
+        assert!(
+            ok,
+            "{context}: row {i} activity {a} violates {:?} {}",
+            r.sense, r.rhs
         );
     }
 }
 
-fn milp_options(backend: SolverBackend) -> SolverOptions {
+/// The conformance check: every registered backend × every pricing rule
+/// agrees with the dense reference, returns a feasible point, and (when it
+/// advertises warm starts) reproduces the optimum from its own basis.
+fn assert_conformance(lp: &LpProblem, context: &str) {
+    let reference = solve_lp(lp).expect("reference dense solve");
+    for backend in registry() {
+        let model = backend
+            .prepare(lp)
+            .unwrap_or_else(|e| panic!("{context}: {} prepare: {e}", backend.name()));
+        for pricing in PricingRule::ALL {
+            let tag = format!("{context}: backend {} pricing {pricing}", backend.name());
+            let ctx = RelaxationContext {
+                pricing,
+                ..Default::default()
+            };
+            let relax = model
+                .solve_relaxation(&lp.lower, &lp.upper, None, &ctx)
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            assert_eq!(relax.status, reference.status, "{tag}");
+            if reference.status != LpStatus::Optimal {
+                continue;
+            }
+            assert!(
+                (relax.objective - reference.objective).abs() < 1e-6,
+                "{tag}: objective {} vs reference {}",
+                relax.objective,
+                reference.objective
+            );
+            assert_primal_feasible(lp, &relax.values, 1e-6, &tag);
+            if model.supports_warm_start() {
+                let basis = relax
+                    .basis
+                    .clone()
+                    .unwrap_or_else(|| panic!("{tag}: warm-start backend returned no basis"));
+                let rewarm = model
+                    .solve_relaxation(&lp.lower, &lp.upper, Some(&basis), &ctx)
+                    .unwrap_or_else(|e| panic!("{tag}: warm re-solve: {e}"));
+                assert_eq!(rewarm.status, LpStatus::Optimal, "{tag}: warm re-solve");
+                assert!(
+                    (rewarm.objective - reference.objective).abs() < 1e-6,
+                    "{tag}: warm re-solve objective {} vs {}",
+                    rewarm.objective,
+                    reference.objective
+                );
+            }
+        }
+    }
+}
+
+fn milp_options(backend: SolverBackend, pricing: PricingRule) -> SolverOptions {
     SolverOptions {
         backend,
+        pricing,
         time_limit: Some(std::time::Duration::from_secs(30)),
         ..Default::default()
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(60))]
+/// MILP conformance: every registered backend × pricing rule reaches the
+/// same branch-and-bound answer.
+fn assert_milp_conformance(model: &Model, context: &str) {
+    let mut reference: Option<(SolveStatus, Option<f64>)> = None;
+    for backend in registry() {
+        for pricing in PricingRule::ALL {
+            let tag = format!("{context}: backend {} pricing {pricing}", backend.name());
+            let res = solve_full(model, &milp_options(backend.id(), pricing))
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            let obj = res.solution.as_ref().map(|s| s.objective);
+            match &reference {
+                None => reference = Some((res.status, obj)),
+                Some((status, ref_obj)) => {
+                    assert_eq!(res.status, *status, "{tag}");
+                    match (obj, ref_obj) {
+                        (Some(o), Some(r)) => {
+                            assert!((o - r).abs() < 1e-6, "{tag}: {o} vs {r}")
+                        }
+                        (None, None) => {}
+                        _ => panic!("{tag}: solution presence differs"),
+                    }
+                }
+            }
+        }
+    }
+}
 
-    /// Random bounded LPs with mixed senses: statuses match and optimal
-    /// objectives agree to 1e-6.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random bounded LPs with mixed senses: every backend × pricing rule
+    /// matches the dense reference and returns a feasible point.
     #[test]
-    fn random_bounded_lps_agree(
+    fn random_bounded_lps_conform(
         n in 2usize..7,
         num_rows in 1usize..6,
         coeff_seed in proptest::collection::vec(-4.0f64..4.0, 60),
@@ -85,23 +183,13 @@ proptest! {
             upper: (0..n).map(|j| bound_seed[j % bound_seed.len()]).collect(),
             rows,
         };
-        let dense = solve_lp(&lp).expect("dense solve");
-        let revised = solve_problem(&lp, None, &rules()).expect("revised solve");
-        prop_assert_eq!(dense.status, revised.status);
-        if dense.status == LpStatus::Optimal {
-            prop_assert!(
-                (dense.objective - revised.objective).abs() < 1e-6,
-                "dense {} vs revised {}",
-                dense.objective,
-                revised.objective
-            );
-        }
+        assert_conformance(&lp, "random bounded LP");
     }
 
-    /// Random integer knapsack-style MILPs: both backends drive
-    /// branch-and-bound to the same optimum.
+    /// Random integer knapsack-style MILPs: every backend × pricing rule
+    /// drives branch-and-bound to the same optimum.
     #[test]
-    fn random_milps_agree(
+    fn random_milps_conform(
         n in 2usize..6,
         values in proptest::collection::vec(0.5f64..8.0, 6),
         weights in proptest::collection::vec(0.5f64..4.0, 6),
@@ -129,21 +217,12 @@ proptest! {
             Sense::Le,
             cap,
         );
-        let dense = solve_full(&model, &milp_options(SolverBackend::Dense)).expect("dense");
-        let revised = solve_full(&model, &milp_options(SolverBackend::Revised)).expect("revised");
-        prop_assert_eq!(dense.status, revised.status);
-        if dense.status == SolveStatus::Optimal {
-            let (d, r) = (
-                dense.solution.expect("dense solution").objective,
-                revised.solution.expect("revised solution").objective,
-            );
-            prop_assert!((d - r).abs() < 1e-6, "dense {} vs revised {}", d, r);
-        }
+        assert_milp_conformance(&model, "random knapsack MILP");
     }
 }
 
 #[test]
-fn degenerate_vertex_agrees() {
+fn degenerate_vertex_conforms() {
     // Many redundant constraints through one vertex: classic cycling bait.
     let lp = LpProblem {
         objective: vec![-1.0, -1.0],
@@ -158,13 +237,13 @@ fn degenerate_vertex_agrees() {
             row(vec![(0, 3.0), (1, 3.0)], Sense::Le, 6.0),
         ],
     };
-    assert_backends_agree(&lp, "degenerate vertex");
+    assert_conformance(&lp, "degenerate vertex");
 }
 
 #[test]
-fn beale_cycling_instance_terminates_on_both_backends() {
-    // Beale's classic cycling example for Dantzig pricing; both backends
-    // must terminate (via the Bland switchover) at objective -0.05.
+fn beale_cycling_instance_terminates_on_every_backend() {
+    // Beale's classic cycling example for Dantzig pricing; every backend ×
+    // pricing rule must terminate (via the Bland switchover) at -0.05.
     let lp = LpProblem {
         objective: vec![-0.75, 150.0, -0.02, 6.0],
         lower: vec![0.0; 4],
@@ -183,13 +262,13 @@ fn beale_cycling_instance_terminates_on_both_backends() {
             row(vec![(2, 1.0)], Sense::Le, 1.0),
         ],
     };
-    assert_backends_agree(&lp, "Beale cycling instance");
+    assert_conformance(&lp, "Beale cycling instance");
     let dense = solve_lp(&lp).unwrap();
     assert!((dense.objective + 0.05).abs() < 1e-6, "{}", dense.objective);
 }
 
 #[test]
-fn free_variables_agree() {
+fn free_variables_conform() {
     // Mix of free, lower-only, upper-only and doubly-bounded variables.
     let lp = LpProblem {
         objective: vec![1.0, -2.0, 0.5, 1.5],
@@ -201,11 +280,11 @@ fn free_variables_agree() {
             row(vec![(2, 1.0), (3, -1.0)], Sense::Le, 5.0),
         ],
     };
-    assert_backends_agree(&lp, "free variables");
+    assert_conformance(&lp, "free variables");
 }
 
 #[test]
-fn equality_heavy_system_agrees() {
+fn equality_heavy_system_conforms() {
     // More equalities than inequalities, including a redundant one.
     let lp = LpProblem {
         objective: vec![1.0, 2.0, 3.0],
@@ -218,32 +297,32 @@ fn equality_heavy_system_agrees() {
             row(vec![(2, 1.0)], Sense::Le, 6.0),
         ],
     };
-    assert_backends_agree(&lp, "equality-heavy system");
+    assert_conformance(&lp, "equality-heavy system");
 }
 
 #[test]
-fn infeasible_and_unbounded_statuses_agree() {
+fn infeasible_and_unbounded_statuses_conform() {
     let infeasible = LpProblem {
         objective: vec![1.0, 1.0],
         lower: vec![0.0, 0.0],
         upper: vec![2.0, 2.0],
         rows: vec![row(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 10.0)],
     };
-    assert_backends_agree(&infeasible, "infeasible box");
+    assert_conformance(&infeasible, "infeasible box");
     let unbounded = LpProblem {
         objective: vec![-1.0, 0.0],
         lower: vec![0.0, 0.0],
         upper: vec![f64::INFINITY, 1.0],
         rows: vec![row(vec![(0, -1.0), (1, 1.0)], Sense::Le, 3.0)],
     };
-    assert_backends_agree(&unbounded, "unbounded ray");
+    assert_conformance(&unbounded, "unbounded ray");
 }
 
 #[test]
 fn known_degenerate_lp_terminates_under_explicit_bland_switch() {
-    // The satellite regression for the hoisted Bland switchover: a
-    // known-degenerate LP must terminate under both backends even when the
-    // switchover is forced to the very first iteration.
+    // The regression pin for the hoisted Bland switchover: a known-degenerate
+    // LP must terminate under every backend even when the switchover is
+    // forced to the very first iteration.
     let mut model = Model::maximize();
     let x = model.add_var("x", VarType::Continuous, 0.0, 10.0, 1.0);
     let y = model.add_var("y", VarType::Continuous, 0.0, 10.0, 1.0);
@@ -252,13 +331,25 @@ fn known_degenerate_lp_terminates_under_explicit_bland_switch() {
     model.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Sense::Le, 2.0);
     model.add_constraint("d", vec![(x, 1.0), (y, 2.0)], Sense::Le, 3.0);
     model.add_constraint("e", vec![(x, 2.0), (y, 1.0)], Sense::Le, 3.0);
-    for backend in [SolverBackend::Revised, SolverBackend::Dense] {
-        let mut options = milp_options(backend);
-        options.bland_after = Some(0);
-        let res = solve_full(&model, &options).unwrap_or_else(|e| panic!("{backend}: {e}"));
-        assert_eq!(res.status, SolveStatus::Optimal, "{backend}");
-        let obj = res.solution.unwrap().objective;
-        assert!((obj - 2.0).abs() < 1e-6, "{backend}: {obj}");
+    for backend in registry() {
+        for pricing in PricingRule::ALL {
+            let mut options = milp_options(backend.id(), pricing);
+            options.bland_after = Some(0);
+            let res = solve_full(&model, &options)
+                .unwrap_or_else(|e| panic!("{} {pricing}: {e}", backend.name()));
+            assert_eq!(
+                res.status,
+                SolveStatus::Optimal,
+                "{} {pricing}",
+                backend.name()
+            );
+            let obj = res.solution.unwrap().objective;
+            assert!(
+                (obj - 2.0).abs() < 1e-6,
+                "{} {pricing}: {obj}",
+                backend.name()
+            );
+        }
     }
 }
 
@@ -266,7 +357,7 @@ fn known_degenerate_lp_terminates_under_explicit_bland_switch() {
 fn warm_start_cross_check_on_escalating_model() {
     // Re-solve the same MILP shape with perturbed coefficients, feeding the
     // previous basis forward — the pattern CSA-Solve uses across α updates.
-    // Results must match the dense backend at every step.
+    // Results must match the dense reference at every step.
     let mut warm = None;
     for step in 0..4 {
         let scale = 1.0 + 0.1 * step as f64;
@@ -291,10 +382,14 @@ fn warm_start_cross_check_on_escalating_model() {
             Sense::Le,
             7.0,
         );
-        let mut options = milp_options(SolverBackend::Revised);
+        let mut options = milp_options(SolverBackend::Revised, PricingRule::default());
         options.warm_start = warm.take();
         let revised = solve_full(&model, &options).expect("revised");
-        let dense = solve_full(&model, &milp_options(SolverBackend::Dense)).expect("dense");
+        let dense = solve_full(
+            &model,
+            &milp_options(SolverBackend::Dense, PricingRule::default()),
+        )
+        .expect("dense");
         assert_eq!(revised.status, SolveStatus::Optimal);
         let (r, d) = (
             revised.solution.as_ref().unwrap().objective,

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Assert a chrome-tracing JSON from the SPQ pipeline is well-formed.
+
+Usage: check_trace.py <trace.json>
+
+Checks:
+  1. The file parses as chrome-tracing JSON with complete ("ph": "X") events.
+  2. The expected phase spans are present: a `query` span per evaluated
+     query, plus `parse`, `bind`, `translate` and `solve` inside it.
+  3. The compile + solve phases cover at least 90% of the total `query` span
+     time (the pipeline's phases account for the query wall, nothing is
+     unattributed).
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+REQUIRED = ["query", "parse", "bind", "translate", "solve"]
+# Phases that partition a query span's time (validate/milp/... nest inside
+# solve and must not be double-counted).
+TOP_PHASES = ["parse", "bind", "translate", "solve"]
+
+
+def main() -> int:
+    path = sys.argv[1]
+    with open(path) as handle:
+        trace = json.load(handle)
+
+    events = trace["traceEvents"]
+    assert events, "trace has no events"
+    for event in events:
+        assert event["ph"] == "X", f"unexpected event type: {event}"
+        assert event["dur"] >= 0, f"negative duration: {event}"
+
+    durations = defaultdict(float)
+    counts = defaultdict(int)
+    for event in events:
+        durations[event["name"]] += event["dur"]
+        counts[event["name"]] += 1
+
+    for name in REQUIRED:
+        assert counts[name] > 0, f"missing `{name}` span (have: {sorted(counts)})"
+
+    query_us = durations["query"]
+    phase_us = sum(durations[name] for name in TOP_PHASES)
+    coverage = phase_us / query_us if query_us else 0.0
+    print(
+        f"{counts['query']} query span(s), {len(events)} events; "
+        f"phases cover {100 * coverage:.1f}% of the query wall "
+        f"({phase_us / 1e6:.3f}s of {query_us / 1e6:.3f}s)"
+    )
+    assert coverage >= 0.90, f"phase spans cover only {100 * coverage:.1f}% (< 90%)"
+    assert coverage <= 1.10, f"phase spans overlap: {100 * coverage:.1f}% (> 110%)"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

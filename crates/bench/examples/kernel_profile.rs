@@ -2,6 +2,13 @@
 //! node/iteration counts and wall-clock for the configured backend so solver
 //! changes can be attributed (fewer iterations vs cheaper iterations) without
 //! waiting for the full criterion run.
+//!
+//! The first four stdout fields (`status= obj= nodes= lp_iters=`) are
+//! byte-stable across runs of the same build — CI diffs them between solver
+//! backends and between traced/untraced runs. Everything that varies
+//! (wall-clock, the `total_wall_secs=` summary, solver counters) goes to
+//! stderr. Set `SPQ_TRACE=<path>` to also record phase spans (compile,
+//! formulate, one `solve_rep` per repetition) as chrome-tracing JSON.
 
 use spq_core::saa::formulate_saa;
 use spq_core::{Instance, SpqEngine, SpqOptions};
@@ -15,7 +22,10 @@ fn main() {
         .compile(&workload.relation, workload.query(1))
         .unwrap();
     let instance = Instance::new(&workload.relation, silp, SpqOptions::for_tests()).unwrap();
-    let formulation = formulate_saa(&instance, 10).unwrap();
+    let formulation = {
+        let _span = spq_obs::span("formulate");
+        formulate_saa(&instance, 10).unwrap()
+    };
     let options = SolverOptions {
         time_limit: Some(std::time::Duration::from_secs(60)),
         ..Default::default()
@@ -24,9 +34,13 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
+    let total = std::time::Instant::now();
     for _ in 0..reps {
         let t = std::time::Instant::now();
-        let res = solve_full(&formulation.model, &options).unwrap();
+        let res = {
+            let _span = spq_obs::span("solve_rep");
+            solve_full(&formulation.model, &options).unwrap()
+        };
         println!(
             "status={:?} obj={:?} nodes={} lp_iters={} elapsed={:?} wall={:?}",
             res.status,
@@ -37,4 +51,9 @@ fn main() {
             t.elapsed()
         );
     }
+    // Machine-readable total for overhead gates (stderr keeps stdout diffable).
+    eprintln!("total_wall_secs={:.6}", total.elapsed().as_secs_f64());
+    // Solver kernel counters accumulated by the spq-obs registry.
+    eprint!("{}", spq_obs::metrics::prometheus_text());
+    spq_bench::finish_trace();
 }

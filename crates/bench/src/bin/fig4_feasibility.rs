@@ -64,4 +64,5 @@ fn main() {
         ],
         &rows,
     );
+    spq_bench::finish_trace();
 }

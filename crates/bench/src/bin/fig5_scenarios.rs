@@ -89,4 +89,5 @@ fn main() {
         ],
         &rows,
     );
+    spq_bench::finish_trace();
 }

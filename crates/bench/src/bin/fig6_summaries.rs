@@ -101,4 +101,5 @@ fn main() {
         ],
         &rows,
     );
+    spq_bench::finish_trace();
 }

@@ -1,14 +1,18 @@
 //! Figure 7: scalability with the dataset size `N` on the Galaxy workload.
 //!
-//! The Galaxy relation is scaled ×1 … ×5 from the base `--scale`; both
-//! algorithms run with a fixed number of optimization scenarios (the paper
-//! uses `M = 56`, here `--scenarios`-configurable) and `Z = 1`. We report
-//! time, feasibility rate and approximation ratio per dataset size.
+//! The Galaxy relation is scaled ×1 … ×5 from the base `--scale` (or run at
+//! the exact sizes given by `--scale-list n1,n2,...`); both algorithms run
+//! with a fixed number of optimization scenarios (the paper uses `M = 56`,
+//! here `--scenarios`-configurable) and `Z = 1`. We report time, feasibility
+//! rate and approximation ratio per dataset size.
 //!
 //! Usage: `cargo run --release -p spq-bench --bin fig7_scaling -- \
-//!             [--scale 100] [--runs 3] [--queries 1,3] [--validation 2000]`
+//!             [--scale 100] [--runs 3] [--queries 1,3] [--validation 2000] \
+//!             [--scale-list 10000] [--trace trace.json]`
 
-use spq_bench::{aggregate, approximation_ratio, print_table, run_query, HarnessConfig};
+use spq_bench::{
+    aggregate, approximation_ratio, finish_trace, print_table, run_query, HarnessConfig,
+};
 use spq_workloads::{spec, WorkloadKind};
 
 const SCALE_FACTORS: &[usize] = &[1, 2, 3, 4, 5];
@@ -18,11 +22,16 @@ fn main() {
     let config = HarnessConfig::from_args();
     eprintln!("# Figure 7 harness (Galaxy, M = {M}, Z = 1): {config:?}");
     let kind = WorkloadKind::Galaxy;
+    // `--scale-list` gives absolute dataset sizes; the default grid scales
+    // the base `--scale` by ×1…×5.
+    let sizes: Vec<usize> = match &config.scale_list {
+        Some(list) => list.clone(),
+        None => SCALE_FACTORS.iter().map(|f| config.scale * f).collect(),
+    };
     let mut rows = Vec::new();
     for &q in &config.queries {
         let spec_row = spec::query_spec(kind, q);
-        for &factor in SCALE_FACTORS {
-            let n = config.scale * factor;
+        for &n in &sizes {
             let mut per_algorithm = Vec::new();
             for &algorithm in &config.algorithms {
                 let records = run_query(&config, kind, n, q, algorithm, M, 1);
@@ -74,4 +83,5 @@ fn main() {
         ],
         &rows,
     );
+    finish_trace();
 }

@@ -154,4 +154,5 @@ fn main() {
         ],
         &rows,
     );
+    spq_bench::finish_trace();
 }

@@ -226,9 +226,20 @@ fn main() {
     let total = cli.clients * cli.repeat;
     let qps = total as f64 / concurrent_secs;
     let mean_wall = wall_times.iter().sum::<f64>() / wall_times.len() as f64;
+    // Tail latency under this client count, straight from the service's own
+    // spq-obs histogram (the same data a `stats` op reports).
+    let latency = service.query_latency();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let (p50_ms, p90_ms, p99_ms, max_ms) = (
+        ms(latency.p50()),
+        ms(latency.p90()),
+        ms(latency.p99()),
+        ms(latency.max()),
+    );
     eprintln!(
         "  {} requests over {} clients in {concurrent_secs:.2}s = {qps:.2} q/s \
-         (mean in-service wall {mean_wall:.1} ms); all packages bit-identical to serial",
+         (mean in-service wall {mean_wall:.1} ms, p50 {p50_ms:.1} / p99 {p99_ms:.1} ms); \
+         all packages bit-identical to serial",
         total, cli.clients
     );
     server.shutdown();
@@ -272,6 +283,19 @@ fn main() {
         (
             "mean_request_wall_ms".to_string(),
             Json::from(round3(mean_wall)),
+        ),
+        (
+            // Tail latency of the `query` op under `clients` concurrent
+            // clients (service-side histogram; queue time excluded).
+            "latency_ms".to_string(),
+            Json::Obj(vec![
+                ("clients".to_string(), Json::from(cli.clients)),
+                ("count".to_string(), Json::from(latency.count())),
+                ("p50".to_string(), Json::from(round3(p50_ms))),
+                ("p90".to_string(), Json::from(round3(p90_ms))),
+                ("p99".to_string(), Json::from(round3(p99_ms))),
+                ("max".to_string(), Json::from(round3(max_ms))),
+            ]),
         ),
         ("bit_identical_to_serial".to_string(), Json::from(true)),
         (
@@ -319,6 +343,7 @@ fn main() {
     std::fs::write(&cli.out, format!("{}\n", pretty(&report)))
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", cli.out));
     eprintln!("  wrote {}", cli.out);
+    spq_bench::finish_trace();
 }
 
 fn round3(v: f64) -> f64 {

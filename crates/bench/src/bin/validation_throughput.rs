@@ -303,4 +303,5 @@ fn main() {
     let mut file = std::fs::File::create(&cli.out).expect("create report");
     writeln!(file, "{report}").expect("write report");
     eprintln!("validation_throughput: wrote {}", cli.out);
+    spq_bench::finish_trace();
 }

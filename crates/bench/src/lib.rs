@@ -26,6 +26,10 @@
 //! algorithms without recompiling; the `SPQ_ALGORITHMS` environment variable
 //! overrides the default algorithm set as well (the flag wins over the
 //! variable), and `SPQ_SOLVER_BACKEND` plays the same role for `--solver`.
+//!
+//! Every binary also accepts `--trace <path>` (or the `SPQ_TRACE`
+//! environment variable) to record phase spans into a chrome-tracing JSON
+//! file; see the README's Observability section.
 
 use serde::Serialize;
 use spq_core::{Algorithm, EvaluationResult, SpqEngine, SpqOptions};
@@ -172,6 +176,7 @@ impl HarnessConfig {
                         config.scale_list = Some(list);
                     }
                 }
+                "--trace" => spq_obs::trace::enable(value.clone()),
                 _ => seen = None,
             }
             if let Some(flag) = seen {
@@ -277,11 +282,13 @@ pub fn run_query(
         );
         let engine = SpqEngine::new(options);
         let started = std::time::Instant::now();
-        let (result, error): (Option<EvaluationResult>, Option<String>) =
+        let (result, error): (Option<EvaluationResult>, Option<String>) = {
+            let _span = spq_obs::span("query");
             match engine.evaluate(&workload.relation, workload.query(query), algorithm) {
                 Ok(r) => (Some(r), None),
                 Err(e) => (None, Some(e.to_string())),
-            };
+            }
+        };
         let seconds = started.elapsed().as_secs_f64();
         let (feasible, objective, summaries) = match &result {
             Some(r) => (
@@ -369,6 +376,16 @@ pub fn approximation_ratio(objective: f64, best: f64, maximize: bool) -> f64 {
         (best / objective).max(1.0)
     } else {
         (objective / best).max(1.0)
+    }
+}
+
+/// Flush the trace ring buffers to the file configured via `--trace` /
+/// `SPQ_TRACE` (no-op when tracing is off). Harness binaries call this once
+/// just before exiting; the path is echoed on stderr so batch runs can find
+/// their traces.
+pub fn finish_trace() {
+    if let Some(path) = spq_obs::trace::finish() {
+        eprintln!("# trace written to {}", path.display());
     }
 }
 

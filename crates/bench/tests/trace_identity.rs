@@ -1,0 +1,59 @@
+//! Tracing must be an observer, never a participant: the same query returns
+//! a bit-identical package with span recording off and on, and the exported
+//! chrome-tracing JSON parses and contains the pipeline's phase spans.
+
+use spq_core::{Algorithm, SpqEngine, SpqOptions};
+use spq_workloads::{build_workload, WorkloadKind};
+
+fn evaluate(workload: &spq_workloads::Workload) -> (Vec<(usize, u32)>, u64) {
+    let mut options = SpqOptions::for_tests();
+    options.seed = 42;
+    options.initial_scenarios = 15;
+    options.validation_scenarios = 400;
+    let engine = SpqEngine::new(options);
+    let result = engine
+        .evaluate(
+            &workload.relation,
+            workload.query(1),
+            Algorithm::SummarySearch,
+        )
+        .expect("query evaluates");
+    assert!(result.feasible);
+    let package = result.package.expect("feasible result has a package");
+    let objective_bits = package.objective_estimate.to_bits();
+    (package.multiplicities.clone(), objective_bits)
+}
+
+#[test]
+fn results_are_bit_identical_with_tracing_off_and_on() {
+    let workload = build_workload(WorkloadKind::Portfolio, 80, 3);
+
+    // Pass 1: tracing disabled (no SPQ_TRACE in the test environment).
+    let (package_off, objective_off) = evaluate(&workload);
+
+    // Pass 2: tracing enabled, same seed and options.
+    let trace_path =
+        std::env::temp_dir().join(format!("spq_trace_identity_{}.json", std::process::id()));
+    spq_obs::trace::enable(trace_path.clone());
+    let (package_on, objective_on) = evaluate(&workload);
+
+    assert_eq!(package_on, package_off, "tracing changed the package");
+    assert_eq!(
+        objective_on, objective_off,
+        "tracing changed the objective bits"
+    );
+
+    // The exported trace parses as chrome-tracing JSON and contains the
+    // pipeline's phase spans.
+    let exported = spq_obs::trace::finish().expect("trace flushes to disk");
+    assert_eq!(exported, trace_path);
+    let text = std::fs::read_to_string(&trace_path).expect("trace file exists");
+    let _ = std::fs::remove_file(&trace_path);
+    assert!(text.starts_with("{\"traceEvents\":["));
+    for phase in ["parse", "bind", "translate", "solve", "validate"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{phase}\"")),
+            "missing `{phase}` span in trace: {text}"
+        );
+    }
+}

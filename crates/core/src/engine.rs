@@ -131,8 +131,15 @@ impl SpqEngine {
 
     /// Parse, bind and translate a query without evaluating it.
     pub fn compile(&self, relation: &Relation, query: &str) -> Result<Silp> {
-        let parsed = parse(query)?;
-        let bound = bind(&parsed, relation)?;
+        let parsed = {
+            let _span = spq_obs::span("parse");
+            parse(query)?
+        };
+        let bound = {
+            let _span = spq_obs::span("bind");
+            bind(&parsed, relation)?
+        };
+        let _span = spq_obs::span("translate");
         translate(&bound, relation)
     }
 
@@ -143,6 +150,7 @@ impl SpqEngine {
         silp: Silp,
         algorithm: Algorithm,
     ) -> Result<EvaluationResult> {
+        let _span = spq_obs::span("solve");
         let instance = Instance::new(relation, silp, self.options.clone())?;
         match algorithm {
             Algorithm::Naive => evaluate_naive(&instance),

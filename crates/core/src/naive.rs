@@ -49,7 +49,10 @@ pub fn evaluate_naive(instance: &Instance<'_>) -> Result<EvaluationResult> {
         stats.scenarios_used = m;
 
         // Optimization phase: formulate and solve SAA_{Q,M}.
-        let formulation = formulate_saa(instance, m)?;
+        let formulation = {
+            let _span = spq_obs::span("formulate");
+            formulate_saa(instance, m)?
+        };
         stats.max_problem_coefficients = stats
             .max_problem_coefficients
             .max(formulation.num_coefficients());
@@ -57,7 +60,10 @@ pub fn evaluate_naive(instance: &Instance<'_>) -> Result<EvaluationResult> {
         // Clone rather than move so the incumbent basis survives solves
         // that return none (e.g. a time-limited root relaxation).
         solver_opts.warm_start = basis.clone();
-        let res = solve_full(&formulation.model, &solver_opts)?;
+        let res = {
+            let _span = spq_obs::span("milp");
+            solve_full(&formulation.model, &solver_opts)?
+        };
         stats.problems_solved += 1;
         stats.solver_nodes += res.nodes;
         stats.lp_pivots += res.lp_iterations;

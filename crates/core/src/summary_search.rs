@@ -56,7 +56,10 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
         // Clone rather than move so the incumbent basis survives solves
         // that return none (e.g. a time-limited root relaxation).
         solver_opts.warm_start = basis.clone();
-        let res = solve_full(&formulation.model, &solver_opts)?;
+        let res = {
+            let _span = spq_obs::span("milp");
+            solve_full(&formulation.model, &solver_opts)?
+        };
         stats.problems_solved += 1;
         stats.solver_nodes += res.nodes;
         stats.lp_pivots += res.lp_iterations;
@@ -94,8 +97,14 @@ pub fn evaluate_summary_search(instance: &Instance<'_>) -> Result<EvaluationResu
         stats.scenarios_used = m;
         stats.summaries_used = z;
 
-        let matrices = realize_matrices(instance, m)?;
-        let outcome = csa_solve(instance, x0.as_deref(), &matrices, m, z, basis.as_ref())?;
+        let matrices = {
+            let _span = spq_obs::span("scenarios");
+            realize_matrices(instance, m)?
+        };
+        let outcome = {
+            let _span = spq_obs::span("csa_solve");
+            csa_solve(instance, x0.as_deref(), &matrices, m, z, basis.as_ref())?
+        };
         stats.problems_solved += outcome.problems_solved;
         stats.solver_nodes += outcome.solver_nodes;
         stats.lp_pivots += outcome.lp_pivots;

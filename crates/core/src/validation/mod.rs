@@ -289,6 +289,7 @@ pub fn validate_with(
     x: &[f64],
     options: &ValidationOptions,
 ) -> Result<ValidationReport> {
+    let _span = spq_obs::span("validate");
     if options.m_hat == 0 {
         return Err(SpqError::InvalidArgument(
             "out-of-sample validation needs at least one scenario (m_hat == 0 would make \

@@ -22,9 +22,16 @@ use crate::relation::Relation;
 use crate::scenario::{ScenarioGenerator, ScenarioMatrix};
 use crate::seed::Stream;
 use crate::Result;
+use spq_obs::metrics::{Counter, Named};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+// Process-wide mirrors of the per-cache counters (all `ScenarioCache`
+// instances accumulate into them) for the Prometheus snapshot.
+static CACHE_HITS: Named<Counter> = Named::new("spq_scenario_cache_hits", Counter::new());
+static CACHE_MISSES: Named<Counter> = Named::new("spq_scenario_cache_misses", Counter::new());
+static CACHE_EVICTIONS: Named<Counter> = Named::new("spq_scenario_cache_evictions", Counter::new());
 
 /// Identity of one realized block.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -78,6 +85,7 @@ pub struct ScenarioCache {
     resident_bytes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl Default for ScenarioCache {
@@ -104,6 +112,7 @@ impl ScenarioCache {
             resident_bytes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -153,9 +162,11 @@ impl ScenarioCache {
         let mut block = slot.block.lock().expect("scenario slot poisoned");
         if let Some(matrix) = &*block {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_HITS.inc();
             return Ok(matrix.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        CACHE_MISSES.inc();
         let matrix = Arc::new(
             generator.realize_sparse_matrix_range(relation, &canon, tuples, scenarios, 0)?,
         );
@@ -188,7 +199,13 @@ impl ScenarioCache {
                 return Ok(matrix);
             }
             if self.resident_bytes.load(Ordering::Relaxed) + bytes > self.max_bytes {
+                let before = slots.len();
                 slots.retain(|k, _| *k == key);
+                let flushed = (before - slots.len()) as u64;
+                if flushed > 0 {
+                    self.evicted.fetch_add(flushed, Ordering::Relaxed);
+                    CACHE_EVICTIONS.add(flushed);
+                }
                 self.resident_bytes.store(0, Ordering::Relaxed);
                 if bytes > self.max_bytes {
                     slots.remove(&key);
@@ -209,6 +226,12 @@ impl ScenarioCache {
     /// Number of block lookups that had to generate.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached blocks dropped by flush-on-full eviction (explicit
+    /// [`Self::clear`] calls are not counted).
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 
     /// Approximate bytes of resident matrix data.
@@ -351,18 +374,21 @@ mod tests {
         let tuples: Vec<usize> = (0..16).collect();
         cache.sparse_matrix(&g, &r, "gain", &tuples, 10).unwrap();
         assert_eq!((cache.len(), cache.resident_bytes()), (1, 1280));
+        assert_eq!(cache.evicted(), 0);
         // A second block overflows: the first is flushed, the new one is
         // resident, and the map stays bounded.
         cache
             .sparse_matrix(&g, &r, "gain", &tuples[..8], 10)
             .unwrap();
         assert_eq!((cache.len(), cache.resident_bytes()), (1, 640));
+        assert_eq!(cache.evicted(), 1);
         // The flushed block regenerates on demand (miss, not a hit), again
         // flushing the smaller one.
         cache.sparse_matrix(&g, &r, "gain", &tuples, 10).unwrap();
         assert_eq!((cache.len(), cache.resident_bytes()), (1, 1280));
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.evicted(), 2);
     }
 
     #[test]

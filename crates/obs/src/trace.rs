@@ -1,0 +1,328 @@
+//! Lightweight tracing spans with per-thread ring buffers and a
+//! chrome-tracing JSON exporter.
+//!
+//! Tracing is off by default. It turns on either through the `SPQ_TRACE`
+//! environment variable (checked lazily on the first [`span`] call) or an
+//! explicit [`enable`] call — the bench harnesses wire `--trace <path>` to
+//! the latter. While off, [`span`] costs one relaxed atomic load and
+//! records nothing; while on, each completed span appends a fixed-size
+//! event to a per-thread ring buffer (capacity [`RING_CAPACITY`]; the
+//! oldest events are overwritten on overflow, never blocking the traced
+//! thread).
+//!
+//! [`finish`] (or [`export_to`]) serializes every buffered event as
+//! chrome-tracing "complete" (`"ph":"X"`) events — open the file in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! ```
+//! spq_obs::trace::enable(std::env::temp_dir().join("spq-doc-trace.json"));
+//! {
+//!     let _span = spq_obs::span("doc_phase");
+//! }
+//! let path = spq_obs::trace::finish().expect("tracing was enabled");
+//! let json = std::fs::read_to_string(path).unwrap();
+//! assert!(json.contains("\"doc_phase\""));
+//! ```
+
+use std::cell::OnceCell;
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events retained per thread; the ring overwrites its oldest events past
+/// this (bounding memory at roughly 2 MiB per traced thread).
+pub const RING_CAPACITY: usize = 1 << 16;
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+fn path_slot() -> &'static Mutex<Option<PathBuf>> {
+    static PATH: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    PATH.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether span recording is currently on. The first call consults
+/// `SPQ_TRACE`: a non-empty value enables tracing with that output path.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let _ = epoch();
+    match std::env::var("SPQ_TRACE") {
+        Ok(path) if !path.is_empty() => {
+            *path_slot().lock().unwrap() = Some(PathBuf::from(path));
+            STATE.store(ON, Ordering::SeqCst);
+            true
+        }
+        _ => {
+            STATE.store(OFF, Ordering::SeqCst);
+            false
+        }
+    }
+}
+
+/// Turn tracing on, writing to `path` when [`finish`] is called. Overrides
+/// any earlier `SPQ_TRACE` decision; call it before the work to be traced.
+pub fn enable<P: Into<PathBuf>>(path: P) {
+    let _ = epoch();
+    *path_slot().lock().unwrap() = Some(path.into());
+    STATE.store(ON, Ordering::SeqCst);
+}
+
+#[derive(Clone, Copy)]
+struct Event {
+    name: &'static str,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: Vec<Event>,
+    /// Next overwrite position once the ring is full.
+    next: usize,
+    dropped: u64,
+}
+
+impl ThreadBuf {
+    fn push(&mut self, e: Event) {
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(e);
+        } else {
+            self.events[self.next] = e;
+            self.next = (self.next + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+}
+
+fn buffers() -> &'static Mutex<Vec<Arc<Mutex<ThreadBuf>>>> {
+    static BUFFERS: OnceLock<Mutex<Vec<Arc<Mutex<ThreadBuf>>>>> = OnceLock::new();
+    BUFFERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<Mutex<ThreadBuf>>> = const { OnceCell::new() };
+}
+
+fn record(e: Event) {
+    LOCAL.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let buf = Arc::new(Mutex::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                events: Vec::new(),
+                next: 0,
+                dropped: 0,
+            }));
+            buffers().lock().unwrap().push(Arc::clone(&buf));
+            buf
+        });
+        buf.lock().unwrap().push(e);
+    });
+}
+
+/// An in-flight span; records a trace event covering its lifetime when
+/// dropped. Obtain one with [`span`] and keep it alive for the duration of
+/// the phase (`let _span = spq_obs::span("solve");`).
+#[must_use = "a span records its phase only while held"]
+pub struct Span {
+    name: &'static str,
+    start_ns: u64,
+    armed: bool,
+}
+
+/// Start a span named `name`. When tracing is disabled this costs one
+/// relaxed atomic load and the returned guard does nothing on drop.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if enabled() {
+        Span {
+            name,
+            start_ns: now_ns(),
+            armed: true,
+        }
+    } else {
+        Span {
+            name,
+            start_ns: 0,
+            armed: false,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            record(Event {
+                name: self.name,
+                start_ns: self.start_ns,
+                dur_ns: now_ns().saturating_sub(self.start_ns),
+            });
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialize all buffered spans to `path` as chrome-tracing JSON
+/// (`{"traceEvents": [...]}`, timestamps in microseconds). Returns the
+/// number of events written. Buffers are left intact; call [`clear`] to
+/// drop them.
+pub fn export_to<P: AsRef<Path>>(path: P) -> io::Result<usize> {
+    let mut events: Vec<(u64, Event)> = Vec::new();
+    let mut dropped = 0u64;
+    for buf in buffers().lock().unwrap().iter() {
+        let buf = buf.lock().unwrap();
+        dropped += buf.dropped;
+        for e in &buf.events {
+            events.push((buf.tid, *e));
+        }
+    }
+    // Deterministic output order: by thread, then start time.
+    events.sort_by_key(|&(tid, e)| (tid, e.start_ns, e.dur_ns));
+
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(b"{\"traceEvents\":[\n")?;
+    let mut name_buf = String::new();
+    for (i, (tid, e)) in events.iter().enumerate() {
+        name_buf.clear();
+        escape_into(&mut name_buf, e.name);
+        let sep = if i + 1 == events.len() { "" } else { "," };
+        writeln!(
+            w,
+            "{{\"name\":\"{}\",\"cat\":\"spq\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{}}}{}",
+            name_buf,
+            e.start_ns / 1_000,
+            e.start_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+            tid,
+            sep,
+        )?;
+    }
+    w.write_all(b"],\"displayTimeUnit\":\"ms\"}\n")?;
+    w.flush()?;
+    if dropped > 0 {
+        eprintln!("spq-obs: trace ring overflow, {dropped} oldest events overwritten");
+    }
+    Ok(events.len())
+}
+
+/// If tracing is enabled with an output path, export all buffered spans
+/// there and return the path. Returns `None` when tracing is off (or was
+/// enabled without a path). Export errors are reported on stderr rather
+/// than panicking, since this typically runs at process exit.
+pub fn finish() -> Option<PathBuf> {
+    if STATE.load(Ordering::SeqCst) != ON {
+        return None;
+    }
+    let path = path_slot().lock().unwrap().clone()?;
+    match export_to(&path) {
+        Ok(_) => Some(path),
+        Err(err) => {
+            eprintln!(
+                "spq-obs: failed to write trace to {}: {err}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+/// Discard all buffered spans (the enable/disable state is unchanged).
+/// Useful between repeated exports in one process, e.g. tests.
+pub fn clear() {
+    for buf in buffers().lock().unwrap().iter() {
+        let mut buf = buf.lock().unwrap();
+        buf.events.clear();
+        buf.next = 0;
+        buf.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing_and_export_round_trips() {
+        // Force a decision without consulting the environment so this test
+        // is hermetic regardless of SPQ_TRACE in the caller's shell.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("spq-obs-trace-test-{}.json", std::process::id()));
+
+        enable(&path);
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let written = finish().expect("tracing enabled with a path");
+        let json = std::fs::read_to_string(&written).unwrap();
+        assert!(json.contains("\"outer\""), "missing outer span: {json}");
+        assert!(json.contains("\"inner\""), "missing inner span: {json}");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.trim_end().ends_with('}'));
+        let _ = std::fs::remove_file(&written);
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_rather_than_growing() {
+        let mut buf = ThreadBuf {
+            tid: 99,
+            events: Vec::new(),
+            next: 0,
+            dropped: 0,
+        };
+        for i in 0..(RING_CAPACITY + 10) {
+            buf.push(Event {
+                name: "x",
+                start_ns: i as u64,
+                dur_ns: 1,
+            });
+        }
+        assert_eq!(buf.events.len(), RING_CAPACITY);
+        assert_eq!(buf.dropped, 10);
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -1,0 +1,107 @@
+//! Metrics registry under concurrency: 8 threads hammering counters and
+//! histograms must lose no updates, and per-thread histograms must merge
+//! bit-identically regardless of how the samples were split across
+//! threads or the order the merges happen in.
+
+use std::sync::Arc;
+use std::thread;
+
+use spq_obs::metrics::{counter_value, Counter, Histogram, Named};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 100_000;
+
+#[test]
+fn eight_threads_of_counter_increments_are_all_observed() {
+    static HAMMERED: Named<Counter> = Named::new("test_conc_counter", Counter::new());
+    let before = HAMMERED.get();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..OPS_PER_THREAD {
+                    HAMMERED.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(HAMMERED.get() - before, THREADS as u64 * OPS_PER_THREAD);
+    assert_eq!(
+        counter_value("test_conc_counter"),
+        Some(before + THREADS as u64 * OPS_PER_THREAD)
+    );
+}
+
+#[test]
+fn a_shared_histogram_loses_no_samples_under_contention() {
+    let hist = Arc::new(Histogram::new());
+    thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let hist = Arc::clone(&hist);
+            s.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    // A deterministic spread of values per thread.
+                    hist.record(t * OPS_PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let n = THREADS as u64 * OPS_PER_THREAD;
+    assert_eq!(hist.count(), n);
+    assert_eq!(hist.sum(), n * (n - 1) / 2);
+    assert_eq!(hist.max(), n - 1);
+}
+
+/// The same sample stream recorded serially, split over 8 per-thread
+/// histograms, or split over 3, must merge to bit-identical bucket
+/// contents — and merging in reverse order must change nothing.
+#[test]
+fn histogram_merges_are_bit_identical_regardless_of_thread_count() {
+    let samples: Vec<u64> = (0..50_000u64)
+        .map(|i| i.wrapping_mul(2654435761) >> 16)
+        .collect();
+
+    let serial = Histogram::new();
+    for &v in &samples {
+        serial.record(v);
+    }
+
+    let merged_for = |threads: usize, reverse: bool| {
+        let parts: Vec<Histogram> = (0..threads).map(|_| Histogram::new()).collect();
+        thread::scope(|s| {
+            for (t, part) in parts.iter().enumerate() {
+                let samples = &samples;
+                s.spawn(move || {
+                    for &v in samples.iter().skip(t).step_by(threads) {
+                        part.record(v);
+                    }
+                });
+            }
+        });
+        let merged = Histogram::new();
+        if reverse {
+            for part in parts.iter().rev() {
+                merged.merge_from(part);
+            }
+        } else {
+            for part in &parts {
+                merged.merge_from(part);
+            }
+        }
+        merged
+    };
+
+    for (threads, reverse) in [(8, false), (8, true), (3, false)] {
+        let merged = merged_for(threads, reverse);
+        assert_eq!(
+            merged.bucket_counts(),
+            serial.bucket_counts(),
+            "bucket mismatch for {threads} threads (reverse={reverse})"
+        );
+        assert_eq!(merged.count(), serial.count());
+        assert_eq!(merged.sum(), serial.sum());
+        assert_eq!(merged.max(), serial.max());
+        assert_eq!(merged.p50(), serial.p50());
+        assert_eq!(merged.p90(), serial.p90());
+        assert_eq!(merged.p99(), serial.p99());
+    }
+}

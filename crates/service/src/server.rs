@@ -610,4 +610,58 @@ mod tests {
         assert!(response.wall_ms > 0.0);
         server.shutdown();
     }
+
+    #[test]
+    fn stats_report_latency_and_cache_counters_over_tcp() {
+        let server = SpqServer::start(tiny_service(), "127.0.0.1:0", ServerConfig::default())
+            .expect("server starts");
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut s = &stream;
+        s.write_all(
+            concat!(
+                r#"{"id":"q1","relation":"t","query":"SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) <= 200 AND SUM(gain) >= -1 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)","validation_scenarios":400}"#,
+                "\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response = QueryResponse::parse_line(&line).unwrap();
+        assert_eq!(response.status, QueryStatus::Ok, "{:?}", response.error);
+
+        s.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut stats_line = String::new();
+        reader.read_line(&mut stats_line).unwrap();
+        let stats = crate::json::parse(stats_line.trim_end()).expect("stats is valid JSON");
+
+        // Per-op latency: the one executed query is in the histogram with
+        // non-zero quantiles; the validate histogram is still empty.
+        let latency = stats.get("latency").expect("latency object");
+        let query = latency.get("query").unwrap();
+        assert_eq!(query.get("count").unwrap().as_u64(), Some(1));
+        assert!(query.get("p50_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(query.get("p99_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(
+            latency
+                .get("validate")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+
+        // Cache counters: the first compile is a miss, nothing evicted yet,
+        // and the scenario cache reports a hit rate in [0, 1].
+        let prepared = stats.get("prepared_cache").unwrap();
+        assert_eq!(prepared.get("misses").unwrap().as_u64(), Some(1));
+        assert!(prepared.get("hit_rate").unwrap().as_f64().is_some());
+        let scenario = stats.get("scenario_cache").unwrap();
+        assert_eq!(scenario.get("evicted").unwrap().as_u64(), Some(0));
+        let rate = scenario.get("hit_rate").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&rate));
+        server.shutdown();
+    }
 }

@@ -62,6 +62,11 @@ pub struct SpqService {
     scenarios: Arc<ScenarioCache>,
     queries_executed: AtomicU64,
     validations_executed: AtomicU64,
+    /// Wall-clock latency of `query` ops (nanoseconds, queue time excluded).
+    query_latency: spq_obs::Histogram,
+    /// Wall-clock latency of `validate` ops (nanoseconds, queue time
+    /// excluded).
+    validate_latency: spq_obs::Histogram,
 }
 
 impl SpqService {
@@ -77,6 +82,8 @@ impl SpqService {
             scenarios,
             queries_executed: AtomicU64::new(0),
             validations_executed: AtomicU64::new(0),
+            query_latency: spq_obs::Histogram::new(),
+            validate_latency: spq_obs::Histogram::new(),
         }
     }
 
@@ -215,7 +222,9 @@ impl SpqService {
 
         let finish = |mut response: QueryResponse| {
             response.queue_ms = queue_ms;
-            response.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+            let elapsed = started.elapsed();
+            self.query_latency.record_duration(elapsed);
+            response.wall_ms = elapsed.as_secs_f64() * 1000.0;
             response
         };
 
@@ -312,7 +321,9 @@ impl SpqService {
 
         let finish = |mut response: ValidateResponse| {
             response.queue_ms = queue_ms;
-            response.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+            let elapsed = started.elapsed();
+            self.validate_latency.record_duration(elapsed);
+            response.wall_ms = elapsed.as_secs_f64() * 1000.0;
             response
         };
         let failure =
@@ -434,10 +445,44 @@ impl SpqService {
         }
     }
 
+    /// The `query` op latency histogram (nanoseconds; exposed for stats and
+    /// tests).
+    pub fn query_latency(&self) -> &spq_obs::Histogram {
+        &self.query_latency
+    }
+
+    /// The `validate` op latency histogram (nanoseconds; exposed for stats
+    /// and tests).
+    pub fn validate_latency(&self) -> &spq_obs::Histogram {
+        &self.validate_latency
+    }
+
     /// Service statistics as a JSON object (the `{"op":"stats"}` response);
     /// `extra` appends transport-level fields like queue depth.
     pub fn stats_json(&self, extra: Vec<(String, crate::json::Json)>) -> crate::json::Json {
         use crate::json::Json;
+        // Hit fraction in [0, 1]; 0 when the cache was never consulted.
+        fn hit_rate(hits: u64, misses: u64) -> f64 {
+            let total = hits + misses;
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        }
+        // {count, p50_ms, p90_ms, p99_ms, max_ms} for one op's latency
+        // histogram (bucket upper bounds, so quantiles overestimate by at
+        // most 12.5%).
+        fn latency_json(h: &spq_obs::Histogram) -> Json {
+            let ms = |ns: u64| Json::from(ns as f64 / 1e6);
+            Json::Obj(vec![
+                ("count".to_string(), Json::from(h.count())),
+                ("p50_ms".to_string(), ms(h.p50())),
+                ("p90_ms".to_string(), ms(h.p90())),
+                ("p99_ms".to_string(), ms(h.p99())),
+                ("max_ms".to_string(), ms(h.max())),
+            ])
+        }
         let mut pairs = vec![
             ("op".to_string(), Json::from("stats")),
             (
@@ -449,10 +494,21 @@ impl SpqService {
                 Json::from(self.validations_executed()),
             ),
             (
+                "latency".to_string(),
+                Json::Obj(vec![
+                    ("query".to_string(), latency_json(&self.query_latency)),
+                    ("validate".to_string(), latency_json(&self.validate_latency)),
+                ]),
+            ),
+            (
                 "prepared_cache".to_string(),
                 Json::Obj(vec![
                     ("hits".to_string(), Json::from(self.prepared.hits())),
                     ("misses".to_string(), Json::from(self.prepared.misses())),
+                    (
+                        "hit_rate".to_string(),
+                        Json::from(hit_rate(self.prepared.hits(), self.prepared.misses())),
+                    ),
                     ("entries".to_string(), Json::from(self.prepared.len())),
                 ]),
             ),
@@ -461,6 +517,11 @@ impl SpqService {
                 Json::Obj(vec![
                     ("hits".to_string(), Json::from(self.scenarios.hits())),
                     ("misses".to_string(), Json::from(self.scenarios.misses())),
+                    (
+                        "hit_rate".to_string(),
+                        Json::from(hit_rate(self.scenarios.hits(), self.scenarios.misses())),
+                    ),
+                    ("evicted".to_string(), Json::from(self.scenarios.evicted())),
                     ("entries".to_string(), Json::from(self.scenarios.len())),
                     (
                         "resident_bytes".to_string(),
@@ -689,5 +750,34 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("\"relations\":[\"portfolio\",\"stocks\"]"));
         assert!(text.contains("\"queue_depth\":3"));
+        // No ops have run yet: latency histograms exist but are empty.
+        assert!(text.contains("\"latency\":{\"query\":{\"count\":0"));
+        assert!(text.contains("\"hit_rate\":0"));
+        assert!(text.contains("\"evicted\":0"));
+    }
+
+    #[test]
+    fn stats_report_latency_quantiles_and_cache_hit_rates() {
+        let service = service();
+        let first = run(&service, &request("s1"));
+        assert_eq!(first.status, QueryStatus::Ok);
+        let second = run(&service, &request("s2"));
+        assert_eq!(second.status, QueryStatus::Ok);
+        let v = run_validate(&service, &validate_request("s3", first.package.clone()));
+        assert_eq!(v.status, QueryStatus::Ok);
+
+        assert_eq!(service.query_latency().count(), 2);
+        assert_eq!(service.validate_latency().count(), 1);
+        assert!(service.query_latency().p50() > 0);
+
+        let stats = service.stats_json(vec![]);
+        let text = stats.to_string();
+        assert!(text.contains("\"latency\":{\"query\":{\"count\":2"));
+        assert!(text.contains("\"validate\":{\"count\":1"));
+        assert!(text.contains("\"p99_ms\":"));
+        // The second query and the validate op both hit the prepared cache
+        // (same query string): 2 hits / 1 miss.
+        assert!(text.contains("\"prepared_cache\":{\"hits\":2,\"misses\":1,\"hit_rate\":0.66"));
+        assert!(text.contains("\"evicted\":0"));
     }
 }

@@ -166,9 +166,12 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
     }
 
     // ---------------------------------------------------------------- phase 1
-    let features = candidate_features(instance)?;
     let max_size = opts.sketch.effective_partition_size(n);
-    let parts = partition_candidates(&features, max_size, opts.sketch.diameter_fraction);
+    let parts = {
+        let _span = spq_obs::span("partition");
+        let features = candidate_features(instance)?;
+        partition_candidates(&features, max_size, opts.sketch.diameter_fraction)
+    };
 
     debug_trace!(
         "[sketch] partitioned {n} tuples into {} groups (max size {max_size}) in {:?}",
@@ -208,7 +211,10 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
         .collect();
     sketch_instance.cap_multiplicity_bounds(&caps);
 
-    let sketch = evaluate_summary_search(&sketch_instance)?;
+    let sketch = {
+        let _span = spq_obs::span("sketch");
+        evaluate_summary_search(&sketch_instance)?
+    };
     // Basis of the sketch solution: each refine sub-solve is seeded with the
     // most recent basis (sketch first, then the latest accepted refine), so
     // structurally compatible re-solves restart from a known-good vertex.
@@ -311,7 +317,10 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
             sub_instance.fix_multiplicity(members.len() + offset, mult);
         }
 
-        let refined = evaluate_summary_search(&sub_instance)?;
+        let refined = {
+            let _span = spq_obs::span("refine");
+            evaluate_summary_search(&sub_instance)?
+        };
         debug_trace!(
             "[sketch] refine partition {pid} ({} members, {} frozen): feasible={} in {:?} (cumulative)",
             members.len(),

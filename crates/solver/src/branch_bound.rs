@@ -15,8 +15,25 @@ use crate::model::{Direction, Model, Sense, Solution};
 use crate::simplex::{LpStatus, PricingRule};
 use crate::standard_form::{LpProblem, LpRow, BOUND_INFINITY};
 use crate::Result;
+use spq_obs::metrics::{Counter, Named};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+// Branch-and-bound outcome counters (see the README metric catalog).
+static NODES_PRUNED_BOUND: Named<Counter> =
+    Named::new("spq_solver_nodes_pruned_bound", Counter::new());
+static NODES_PRUNED_DOMAIN: Named<Counter> =
+    Named::new("spq_solver_nodes_pruned_domain", Counter::new());
+static NODES_LP_INFEASIBLE: Named<Counter> =
+    Named::new("spq_solver_nodes_lp_infeasible", Counter::new());
+static NODES_INTEGRAL: Named<Counter> = Named::new("spq_solver_nodes_integral", Counter::new());
+static NODES_BRANCHED: Named<Counter> = Named::new("spq_solver_nodes_branched", Counter::new());
+static RC_TIGHTENINGS: Named<Counter> = Named::new("spq_solver_rc_tightenings", Counter::new());
+// Speculation accounting: a "hit" consumed a worker's pre-solved
+// relaxation; a "miss" solved inline on the main thread (serial runs are
+// therefore all misses).
+static SPEC_HITS: Named<Counter> = Named::new("spq_solver_spec_hits", Counter::new());
+static SPEC_MISSES: Named<Counter> = Named::new("spq_solver_spec_misses", Counter::new());
 
 /// Which LP kernel solves the relaxations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -373,13 +390,17 @@ impl SpecQueue {
                     SpecState::Done(_) => {
                         let taken = std::mem::replace(&mut *st, SpecState::Claimed);
                         match taken {
-                            SpecState::Done(res) => return res,
+                            SpecState::Done(res) => {
+                                SPEC_HITS.inc();
+                                return res;
+                            }
                             _ => unreachable!("matched Done above"),
                         }
                     }
                 }
             }
         }
+        SPEC_MISSES.inc();
         solve()
     }
 
@@ -654,6 +675,7 @@ impl BranchBoundSolver {
             }
             // Prune by the parent's bound before paying for an LP solve.
             if node.parent_bound >= best_obj - self.gap_slack(best_obj) {
+                NODES_PRUNED_BOUND.inc();
                 continue;
             }
             nodes_processed += 1;
@@ -671,6 +693,7 @@ impl BranchBoundSolver {
                 }
             }
             if !domain_ok {
+                NODES_PRUNED_DOMAIN.inc();
                 continue;
             }
 
@@ -698,6 +721,7 @@ impl BranchBoundSolver {
             lp_iterations += relax.iterations;
             match relax.status {
                 LpStatus::Infeasible => {
+                    NODES_LP_INFEASIBLE.inc();
                     if nodes_processed == 1 {
                         root_infeasible = true;
                     }
@@ -720,6 +744,7 @@ impl BranchBoundSolver {
                 root_basis = relax.basis.clone();
             }
             if node_bound >= best_obj - self.gap_slack(best_obj) {
+                NODES_PRUNED_BOUND.inc();
                 continue; // dominated
             }
 
@@ -737,6 +762,7 @@ impl BranchBoundSolver {
 
             match branch_var {
                 None => {
+                    NODES_INTEGRAL.inc();
                     // Integral LP optimum: candidate incumbent. Round to clean
                     // integer values and re-check feasibility on the original
                     // model (including indicator semantics).
@@ -758,6 +784,7 @@ impl BranchBoundSolver {
                     }
                 }
                 Some(vi) => {
+                    NODES_BRANCHED.inc();
                     // Rounding heuristic to seed the incumbent early.
                     let rounded = self.snap(&relax.values, cx.model);
                     if cx.model.is_feasible(&rounded, 1e-6) {
@@ -814,6 +841,9 @@ impl BranchBoundSolver {
                                 }
                             }
                         }
+                    }
+                    if !tighten.is_empty() {
+                        RC_TIGHTENINGS.add(tighten.len() as u64);
                     }
                     let x = relax.values[vi];
                     let floor = x.floor();

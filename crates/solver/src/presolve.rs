@@ -14,8 +14,13 @@
 //! backends because it acts on the [`LpRow`] level, before any
 //! backend-specific preparation.
 
+use spq_obs::metrics::{Counter, Named};
+
 use crate::model::Sense;
 use crate::standard_form::LpRow;
+
+static PRESOLVE_TIGHTENINGS: Named<Counter> =
+    Named::new("spq_solver_presolve_tightenings", Counter::new());
 
 /// Tolerance for infeasibility detection and integer rounding: bounds are
 /// only moved when the change exceeds this, so the pass cannot oscillate.
@@ -72,6 +77,9 @@ pub fn tighten_bounds(
         if tightened == 0 {
             break;
         }
+    }
+    if total_tightened > 0 {
+        PRESOLVE_TIGHTENINGS.add(total_tightened as u64);
     }
     PresolveOutcome::Tightened(total_tightened)
 }

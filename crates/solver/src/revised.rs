@@ -30,12 +30,26 @@
 //!   cheap: they typically need a handful of pivots instead of a full
 //!   two-phase solve.
 
+use spq_obs::metrics::{Counter, Histogram, Named};
+
 use crate::basis::{Basis, Factorization, VarStatus};
 use crate::error::SolverError;
 use crate::simplex::{LpStatus, PivotRules, PricingRule};
 use crate::sparse::CscMatrix;
 use crate::standard_form::{LpProblem, BOUND_INFINITY};
 use crate::Result;
+
+// Kernel counters (see the README metric catalog). Relaxed atomics only:
+// they observe the pivot loop without feeding back into it.
+static PIVOTS_DANTZIG: Named<Counter> = Named::new("spq_solver_pivots_dantzig", Counter::new());
+static PIVOTS_PARTIAL: Named<Counter> = Named::new("spq_solver_pivots_partial", Counter::new());
+static PIVOTS_STEEPEST: Named<Counter> =
+    Named::new("spq_solver_pivots_steepest_edge", Counter::new());
+static PIVOTS_BLAND: Named<Counter> = Named::new("spq_solver_pivots_bland", Counter::new());
+static BOUND_FLIPS: Named<Counter> = Named::new("spq_solver_bound_flips", Counter::new());
+static REFACTORIZATIONS: Named<Counter> = Named::new("spq_solver_refactorizations", Counter::new());
+static ETA_PUSHES: Named<Counter> = Named::new("spq_solver_eta_pushes", Counter::new());
+static ETA_CHAIN_LEN: Named<Histogram> = Named::new("spq_solver_eta_chain_len", Histogram::new());
 
 /// Reduced-cost tolerance.
 const EPS: f64 = 1e-9;
@@ -348,6 +362,8 @@ impl<'a> Simplex<'a> {
     }
 
     fn refactorize(&mut self) -> Result<()> {
+        REFACTORIZATIONS.inc();
+        ETA_CHAIN_LEN.record(self.fact.num_etas() as u64);
         self.fact = Factorization::factorize(&self.rlp.matrix, &self.basic_vars)
             .ok_or_else(|| SolverError::Numerical("basis became singular".into()))?;
         self.compute_values();
@@ -598,6 +614,7 @@ impl<'a> Simplex<'a> {
             }
             match blocking {
                 Blocking::SelfFlip => {
+                    BOUND_FLIPS.inc();
                     self.status[q] = if dir > 0.0 {
                         VarStatus::AtUpper
                     } else {
@@ -610,6 +627,12 @@ impl<'a> Simplex<'a> {
                     };
                 }
                 Blocking::Row(r, hit_upper) => {
+                    match (use_bland, rules.pricing) {
+                        (true, _) => PIVOTS_BLAND.inc(),
+                        (_, PricingRule::Dantzig) => PIVOTS_DANTZIG.inc(),
+                        (_, PricingRule::SteepestEdge) => PIVOTS_STEEPEST.inc(),
+                        (_, PricingRule::Partial) => PIVOTS_PARTIAL.inc(),
+                    }
                     if !weights.is_empty() {
                         // Devex weight update on the *pre-pivot* basis
                         // (Forrest & Goldfarb): βr = B⁻ᵀe_r, α_rj = aⱼ·βr,
@@ -655,7 +678,11 @@ impl<'a> Simplex<'a> {
                     };
                     self.status[q] = VarStatus::Basic;
                     self.basic_vars[r] = q;
-                    if !self.fact.push_eta(r, &w) || self.fact.should_refactorize() {
+                    let pushed = self.fact.push_eta(r, &w);
+                    if pushed {
+                        ETA_PUSHES.inc();
+                    }
+                    if !pushed || self.fact.should_refactorize() {
                         self.refactorize()?;
                     }
                 }

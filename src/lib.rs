@@ -52,6 +52,7 @@
 
 pub use spq_core as core;
 pub use spq_mcdb as mcdb;
+pub use spq_obs as obs;
 pub use spq_service as service;
 pub use spq_sketch as sketch;
 pub use spq_solver as solver;

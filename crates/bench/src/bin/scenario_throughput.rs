@@ -1,0 +1,348 @@
+//! Scenario-engine throughput microbenchmark.
+//!
+//! Measures the columnar block kernels against the per-cell oracle for
+//! every VG family, plus the three cache tiers of a deployed service:
+//!
+//! * **per-family kernels** — cells/second of the per-cell path (one
+//!   `cell_rng` + virtual `realize` per cell, the conformance oracle)
+//!   versus the columnar `realize_block` path (hoisted seeding, hoisted
+//!   distribution construction, one dynamic dispatch per ~4096-cell tile),
+//!   asserting the two are bit-identical on the way;
+//! * **cold** — generation through a fresh [`spq_mcdb::ScenarioCache`]
+//!   (miss → columnar generation → admit);
+//! * **warm** — the same block re-requested (memory hit, no generation);
+//! * **warm restart** — a *new* cache and a *new* store handle over the
+//!   same directory with a *rebuilt* relation (new uid, same restart-stable
+//!   fingerprint): the block is served by one disk read instead of being
+//!   regenerated, which is the paper's repeated-traffic case across spqd
+//!   restarts. Its realization cost is ~0: no VG function runs at all.
+//!
+//! Results go to a JSON report (default `BENCH_scenario.json`).
+//!
+//! ```text
+//! scenario_throughput [--tuples 4096] [--scenarios 64] [--scale 10000]
+//!                     [--cache-scenarios 1024] [--seed 11]
+//!                     [--out BENCH_scenario.json]
+//! ```
+
+use spq_mcdb::vg::{
+    Degenerate, DiscreteSources, ExponentialNoise, GeometricBrownianMotion, NormalNoise,
+    ParetoNoise, PoissonNoise, SourceDispersion, StudentTNoise, UniformNoise,
+};
+use spq_mcdb::{
+    Relation, RelationBuilder, ScenarioCache, ScenarioGenerator, ScenarioStore, VgFunction,
+};
+use spq_service::json::Json;
+use spq_workloads::{build_workload, WorkloadKind};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Cli {
+    tuples: usize,
+    scenarios: usize,
+    scale: usize,
+    cache_scenarios: usize,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            tuples: 4096,
+            scenarios: 64,
+            scale: 10_000,
+            cache_scenarios: 1024,
+            seed: 11,
+            out: "BENCH_scenario.json".to_string(),
+        }
+    }
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--tuples" => cli.tuples = value().parse().expect("--tuples"),
+            "--scenarios" => cli.scenarios = value().parse().expect("--scenarios"),
+            "--scale" => cli.scale = value().parse().expect("--scale"),
+            "--cache-scenarios" => {
+                cli.cache_scenarios = value().parse().expect("--cache-scenarios")
+            }
+            "--seed" => cli.seed = value().parse().expect("--seed"),
+            "--out" => cli.out = value().to_string(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+/// One relation per VG family, sized to `n` tuples.
+fn family_relations(n: usize) -> Vec<(&'static str, Relation)> {
+    let base: Vec<f64> = (0..n).map(|i| (i % 97) as f64 * 0.5).collect();
+    let price: Vec<f64> = (0..n).map(|i| 50.0 + (i % 13) as f64).collect();
+    let mu: Vec<f64> = vec![0.0004; n];
+    let sigma: Vec<f64> = vec![0.012; n];
+    let horizon: Vec<u32> = (0..n).map(|i| 1 + (i % 5) as u32).collect();
+    let group: Vec<u64> = (0..n).map(|i| (i % 64) as u64).collect();
+    let candidates: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..3).map(|d| (i % 31) as f64 + 0.25 * d as f64).collect())
+        .collect();
+    vec![
+        ("degenerate", rel("deg", Degenerate::new(base.clone()))),
+        ("normal", rel("nrm", NormalNoise::around(base.clone(), 1.0))),
+        (
+            "pareto",
+            rel("par", ParetoNoise::around(base.clone(), 1.5, 2.5)),
+        ),
+        (
+            "uniform",
+            rel("uni", UniformNoise::around(base.clone(), -1.0, 1.0)),
+        ),
+        (
+            "exponential",
+            rel("exp", ExponentialNoise::around(base.clone(), 1.5)),
+        ),
+        (
+            "poisson",
+            rel("poi", PoissonNoise::around(base.clone(), 4.0)),
+        ),
+        (
+            "student_t",
+            rel("stu", StudentTNoise::around(base.clone(), 4.0, 1.0)),
+        ),
+        (
+            "gbm",
+            rel(
+                "gbm",
+                GeometricBrownianMotion::new(price, mu, sigma, horizon, group),
+            ),
+        ),
+        (
+            "discrete_sources",
+            rel(
+                "dsc",
+                DiscreteSources::from_candidates(candidates).expect("candidates"),
+            ),
+        ),
+        (
+            "discrete_sampled",
+            rel(
+                "dss",
+                DiscreteSources::sample_around(
+                    base,
+                    3,
+                    SourceDispersion::Uniform { lo: -1.0, hi: 1.0 },
+                    7,
+                )
+                .expect("dispersion"),
+            ),
+        ),
+    ]
+}
+
+fn rel(name: &str, vg: impl VgFunction + 'static) -> Relation {
+    RelationBuilder::new(name)
+        .stochastic("x", vg)
+        .build()
+        .expect("relation builds")
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+fn main() {
+    let cli = parse_cli();
+    let tuples: Vec<usize> = (0..cli.tuples).collect();
+    let m = cli.scenarios;
+    let gen = ScenarioGenerator::new(cli.seed);
+
+    // ---- Per-family kernel rows: per-cell oracle vs columnar block path.
+    let mut family_rows = Vec::new();
+    for (name, relation) in family_relations(cli.tuples) {
+        let cells = (cli.tuples * m) as f64;
+        let (oracle, per_cell_ms) = timed(|| {
+            let mut out = Vec::with_capacity(cli.tuples * m);
+            for &t in &tuples {
+                for j in 0..m {
+                    out.push(gen.realize_cell(&relation, "x", t, j).expect("cell"));
+                }
+            }
+            out
+        });
+        let (matrix, columnar_ms) = timed(|| {
+            gen.realize_sparse_matrix_range(&relation, "x", &tuples, 0..m, 1)
+                .expect("columnar")
+        });
+        // Bench doubles as a conformance check: same bits, both paths.
+        for (i, &t) in tuples.iter().enumerate() {
+            for j in 0..m {
+                assert_eq!(
+                    oracle[i * m + j].to_bits(),
+                    matrix.value(j, i).to_bits(),
+                    "{name}: tuple {t} scenario {j} diverged"
+                );
+            }
+        }
+        let per_sec = |ms: f64| cells / (ms / 1000.0).max(1e-9);
+        eprintln!(
+            "scenario_throughput: {name:17} per-cell {:>10.0} cells/s | columnar {:>10.0} cells/s | x{:.2}",
+            per_sec(per_cell_ms),
+            per_sec(columnar_ms),
+            per_cell_ms / columnar_ms.max(1e-9),
+        );
+        family_rows.push(Json::Obj(vec![
+            ("family".into(), Json::from(name)),
+            ("cells".into(), Json::from(cli.tuples * m)),
+            ("per_cell_ms".into(), Json::from(per_cell_ms)),
+            ("columnar_ms".into(), Json::from(columnar_ms)),
+            (
+                "per_cell_cells_per_sec".into(),
+                Json::from(per_sec(per_cell_ms)),
+            ),
+            (
+                "columnar_cells_per_sec".into(),
+                Json::from(per_sec(columnar_ms)),
+            ),
+            (
+                "columnar_speedup".into(),
+                Json::from(per_cell_ms / columnar_ms.max(1e-9)),
+            ),
+            ("bit_identical".into(), Json::from(true)),
+        ]));
+    }
+
+    // ---- Cache-tier rows on the Portfolio workload: cold generation, warm
+    // memory hit, and a warm restart served from the persistent store.
+    eprintln!(
+        "scenario_throughput: building Portfolio at scale {} ...",
+        cli.scale
+    );
+    let workload = build_workload(WorkloadKind::Portfolio, cli.scale, cli.seed);
+    let n = workload.relation.len();
+    let all: Vec<usize> = (0..n).collect();
+    let mc = cli.cache_scenarios;
+    let cache_cells = (n * mc) as f64;
+    let store_dir = std::env::temp_dir().join(format!("spq-scenario-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Arc::new(ScenarioStore::open(&store_dir).expect("store opens"));
+    let cache = ScenarioCache::new().with_store(store.clone());
+    let val = ScenarioGenerator::validation(cli.seed);
+
+    let (cold, cold_ms) = timed(|| {
+        cache
+            .sparse_matrix(&val, &workload.relation, "Gain", &all, mc)
+            .expect("cold block")
+    });
+    let (warm, warm_ms) = timed(|| {
+        cache
+            .sparse_matrix(&val, &workload.relation, "Gain", &all, mc)
+            .expect("warm block")
+    });
+    assert!(
+        Arc::ptr_eq(&cold, &warm),
+        "warm request must be a memory hit"
+    );
+    assert_eq!(store.stats().spill_writes, 1, "cold miss spills to disk");
+
+    // Simulated restart: rebuild the relation (new process-unique uid, same
+    // restart-stable fingerprint), fresh cache, fresh store handle on the
+    // same directory. The only work left is one checksummed disk read.
+    let workload2 = build_workload(WorkloadKind::Portfolio, cli.scale, cli.seed);
+    let store2 = Arc::new(ScenarioStore::open(&store_dir).expect("store reopens"));
+    let cache2 = ScenarioCache::new().with_store(store2.clone());
+    let (restart, restart_ms) = timed(|| {
+        cache2
+            .sparse_matrix(&val, &workload2.relation, "Gain", &all, mc)
+            .expect("warm-restart block")
+    });
+    assert_eq!(*restart, *cold, "restart must reload identical bits");
+    assert_eq!(store2.stats().reads, 1, "restart must be a store read");
+    assert_eq!(
+        store2.stats().spill_writes,
+        0,
+        "restart must not regenerate"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let per_sec = |ms: f64| cache_cells / (ms / 1000.0).max(1e-9);
+    eprintln!(
+        "scenario_throughput: cold {cold_ms:.1} ms | warm {warm_ms:.3} ms | warm-restart {restart_ms:.1} ms \
+         ({} tuples x {} scenarios)",
+        n, mc
+    );
+    let cache_rows = vec![
+        Json::Obj(vec![
+            ("tier".into(), Json::from("cold")),
+            ("ms".into(), Json::from(cold_ms)),
+            ("cells_per_sec".into(), Json::from(per_sec(cold_ms))),
+            (
+                "realization".into(),
+                Json::from("columnar generation + spill"),
+            ),
+        ]),
+        Json::Obj(vec![
+            ("tier".into(), Json::from("warm")),
+            ("ms".into(), Json::from(warm_ms)),
+            ("cells_per_sec".into(), Json::from(per_sec(warm_ms))),
+            (
+                "realization".into(),
+                Json::from("memory hit, no generation"),
+            ),
+        ]),
+        Json::Obj(vec![
+            ("tier".into(), Json::from("warm_restart")),
+            ("ms".into(), Json::from(restart_ms)),
+            ("cells_per_sec".into(), Json::from(per_sec(restart_ms))),
+            (
+                "realization_ms".into(),
+                // The store read replaces generation entirely: the only
+                // realization cost left on a warm restart is zero VG calls.
+                Json::from(0.0),
+            ),
+            (
+                "realization".into(),
+                Json::from("store read, zero VG calls"),
+            ),
+            (
+                "speedup_vs_cold".into(),
+                Json::from(cold_ms / restart_ms.max(1e-9)),
+            ),
+        ]),
+    ];
+
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let report = Json::Obj(vec![
+        ("benchmark".into(), Json::from("scenario_throughput")),
+        ("kernel_tuples".into(), Json::from(cli.tuples)),
+        ("kernel_scenarios".into(), Json::from(cli.scenarios)),
+        ("cache_workload".into(), Json::from("portfolio")),
+        ("cache_tuples".into(), Json::from(n)),
+        ("cache_scenarios".into(), Json::from(mc)),
+        ("machine_threads".into(), Json::from(threads)),
+        ("seed".into(), Json::from(cli.seed)),
+        ("families".into(), Json::Arr(family_rows)),
+        ("cache_tiers".into(), Json::Arr(cache_rows)),
+    ]);
+    let mut file = std::fs::File::create(&cli.out).expect("create report");
+    writeln!(file, "{report}").expect("write report");
+    eprintln!("scenario_throughput: wrote {}", cli.out);
+    spq_bench::finish_trace();
+}

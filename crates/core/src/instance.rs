@@ -42,6 +42,12 @@ pub struct Instance<'a> {
     /// validation scenarios, restricted to candidate tuples; used for the
     /// constraint-agnostic bounds of Table 1.
     objective_value_bounds: Option<(f64, f64)>,
+    /// Moment prefilter: for every referenced stochastic column whose
+    /// candidate tuples are all provably scenario-invariant (zero-variance —
+    /// see [`spq_mcdb::VgFunction::is_scenario_invariant`]), the single
+    /// probed realization per candidate. Scenario requests for these columns
+    /// broadcast this vector instead of drawing, bit-identically.
+    invariant_values: HashMap<String, Vec<f64>>,
 }
 
 impl<'a> Instance<'a> {
@@ -106,6 +112,23 @@ impl<'a> Instance<'a> {
             expectations.insert(col.clone(), restricted);
         }
 
+        // Moment prefilter: a referenced stochastic column whose candidate
+        // tuples are all provably scenario-invariant never needs per-scenario
+        // draws — one probed realization per tuple stands in for every
+        // scenario, bit-identically. Probe it once here (a single-scenario
+        // realization) and let every matrix/moment accessor broadcast it.
+        let mut invariant_values = HashMap::new();
+        for col in &stoch_cols {
+            let sc = relation.stochastic_column(col)?;
+            if !silp.tuples.is_empty()
+                && silp.tuples.iter().all(|&t| sc.vg.is_scenario_invariant(t))
+            {
+                let probe =
+                    val_gen.realize_sparse_matrix_range(relation, col, &silp.tuples, 0..1, 1)?;
+                invariant_values.insert(col.clone(), probe.scenario(0).to_vec());
+            }
+        }
+
         let multiplicity_bounds = derive_multiplicity_bounds(&silp, &det_values, &options);
         let multiplicity_floors = vec![0.0; multiplicity_bounds.len()];
 
@@ -120,6 +143,7 @@ impl<'a> Instance<'a> {
             multiplicity_bounds,
             multiplicity_floors,
             objective_value_bounds: None,
+            invariant_values,
         };
         instance.objective_value_bounds = instance.sample_objective_value_bounds()?;
         Ok(instance)
@@ -224,14 +248,41 @@ impl<'a> Instance<'a> {
         )?)
     }
 
+    /// True when the moment prefilter proved `column` scenario-invariant
+    /// over the candidate tuples: every scenario request for it is served by
+    /// broadcasting one probed realization instead of drawing.
+    pub fn is_scenario_free(&self, column: &str) -> bool {
+        self.invariant_values.contains_key(column)
+    }
+
+    /// Per-candidate `(mean, standard deviation)` moments of a stochastic
+    /// column over the first `m` validation scenarios. For columns the
+    /// moment prefilter proved scenario-invariant this costs no draws at
+    /// all — the moments are `(probed value, 0)` exactly; otherwise the
+    /// block engine realizes the window tuple-major and folds it.
+    pub fn tuple_moments(&self, column: &str, m: usize) -> Result<Vec<(f64, f64)>> {
+        if let Some(values) = self.invariant_values.get(column) {
+            return Ok(values.iter().map(|&v| (v, 0.0)).collect());
+        }
+        Ok(self
+            .val_gen
+            .tuple_moments(self.relation, column, &self.silp.tuples, m)?)
+    }
+
     /// Realize the first `m` optimization scenarios of a stochastic column as
     /// a dense matrix restricted to candidate tuples.
     ///
-    /// When [`SpqOptions::scenario_cache`] is set the block is memoized
-    /// there (and possibly shared with concurrent evaluations of the same
-    /// relation); otherwise it is generated for this call alone. Either way
-    /// the values are bit-identical to serial generation.
+    /// When the moment prefilter proved the column scenario-invariant the
+    /// matrix is a broadcast of the probed values (no draws, no cache
+    /// traffic). Otherwise, when [`SpqOptions::scenario_cache`] is set the
+    /// block is memoized there (and possibly shared with concurrent
+    /// evaluations of the same relation); else it is generated for this call
+    /// alone. In every case the values are bit-identical to serial
+    /// generation.
     pub fn optimization_matrix(&self, column: &str, m: usize) -> Result<Arc<ScenarioMatrix>> {
+        if let Some(values) = self.invariant_values.get(column) {
+            return Ok(Arc::new(ScenarioMatrix::broadcast(values, m)));
+        }
         match &self.options.scenario_cache {
             Some(cache) => Ok(cache.sparse_matrix(
                 &self.opt_gen,
@@ -277,6 +328,13 @@ impl<'a> Instance<'a> {
         positions: &[usize],
         scenarios: std::ops::Range<usize>,
     ) -> Result<Arc<ScenarioMatrix>> {
+        if let Some(values) = self.invariant_values.get(column) {
+            let picked: Vec<f64> = positions.iter().map(|&p| values[p]).collect();
+            return Ok(Arc::new(ScenarioMatrix::broadcast(
+                &picked,
+                scenarios.len(),
+            )));
+        }
         let tuples: Vec<usize> = positions.iter().map(|&p| self.silp.tuples[p]).collect();
         match &self.options.scenario_cache {
             Some(cache) => Ok(cache.sparse_matrix_range(
@@ -336,6 +394,14 @@ impl<'a> Instance<'a> {
         };
         if self.num_vars() == 0 {
             return Ok(None);
+        }
+        // Moment prefilter: a scenario-invariant objective column realizes
+        // to the probed values in every scenario, so its bounds need no
+        // sampling at all.
+        if let Some(values) = self.invariant_values.get(&column) {
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            return Ok((lo.is_finite() && hi.is_finite()).then_some((lo, hi)));
         }
         // Sample a modest number of validation scenarios across all candidate
         // tuples to bound realized values (assumption A1 of Appendix B; the
@@ -669,6 +735,71 @@ mod tests {
             *plain.validation_matrix("gain", &[1, 3], 5..12).unwrap(),
             *matrix
         );
+    }
+
+    #[test]
+    fn moment_prefilter_skips_draws_for_invariant_columns_bit_identically() {
+        use spq_mcdb::vg::Degenerate;
+        let rel = RelationBuilder::new("t")
+            .deterministic_f64("price", vec![100.0, 250.0, 50.0, 400.0])
+            .stochastic("gain", Degenerate::new(vec![1.5, 2.5, 3.5, 4.5]))
+            .build()
+            .unwrap();
+        let cache = Arc::new(spq_mcdb::ScenarioCache::new());
+        let opts = SpqOptions::for_tests().with_scenario_cache(cache.clone());
+        let inst = Instance::new(&rel, silp(vec![count_le(3.0)]), opts).unwrap();
+
+        assert!(inst.is_scenario_free("gain"));
+        // The prefilter answers matrices without touching the cache...
+        let matrix = inst.optimization_matrix("gain", 9).unwrap();
+        let vmatrix = inst.validation_matrix("gain", &[1, 3], 4..10).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        // ...and the broadcast is bit-identical to full generation.
+        let full = inst
+            .opt_gen
+            .realize_sparse_matrix(&rel, "gain", &inst.silp.tuples, 9)
+            .unwrap();
+        assert_eq!(*matrix, full);
+        let vfull = inst
+            .val_gen
+            .realize_sparse_matrix_range(&rel, "gain", &[1, 3], 4..10, 1)
+            .unwrap();
+        assert_eq!(*vmatrix, vfull);
+        // Moments are exact without draws, and objective bounds match the
+        // degenerate values.
+        assert_eq!(
+            inst.tuple_moments("gain", 100).unwrap(),
+            vec![(1.5, 0.0), (2.5, 0.0), (3.5, 0.0), (4.5, 0.0)]
+        );
+        assert_eq!(inst.objective_value_bounds(), Some((1.5, 4.5)));
+    }
+
+    #[test]
+    fn moment_prefilter_covers_zero_sigma_and_leaves_noisy_columns_alone() {
+        let zero_sigma = RelationBuilder::new("t")
+            .deterministic_f64("price", vec![100.0, 250.0, 50.0, 400.0])
+            .stochastic(
+                "gain",
+                NormalNoise::around(vec![1.0, 2.0, 3.0, 4.0], vec![0.0; 4]),
+            )
+            .build()
+            .unwrap();
+        let inst = Instance::new(
+            &zero_sigma,
+            silp(vec![count_le(3.0)]),
+            SpqOptions::for_tests(),
+        )
+        .unwrap();
+        assert!(inst.is_scenario_free("gain"));
+        assert_eq!(inst.objective_value_bounds(), Some((1.0, 4.0)));
+
+        // A noisy column keeps drawing: not scenario-free, nonzero stds.
+        let noisy = relation();
+        let inst =
+            Instance::new(&noisy, silp(vec![count_le(3.0)]), SpqOptions::for_tests()).unwrap();
+        assert!(!inst.is_scenario_free("gain"));
+        let moments = inst.tuple_moments("gain", 256).unwrap();
+        assert!(moments.iter().all(|&(_, sd)| sd > 0.1));
     }
 
     #[test]

@@ -17,10 +17,23 @@
 //! The cache is bounded by an approximate byte budget. Blocks that would
 //! push the cache past the budget are still generated and returned, just not
 //! retained — correctness never depends on residency.
+//!
+//! ## Disk tier
+//!
+//! A cache can additionally be backed by a persistent
+//! [`ScenarioStore`] (see
+//! [`ScenarioCache::with_store`]). Memory misses then consult the store
+//! before generating, and freshly generated blocks are spilled to it, so a
+//! restarted process (or a cleared cache) pays block generation once per
+//! store lifetime instead of once per process. The store is keyed by the
+//! restart-stable [`Relation::fingerprint`] rather than the process-unique
+//! [`Relation::uid`], and every file is checksummed: a corrupt or truncated
+//! block is deleted and regenerated, never returned.
 
 use crate::relation::Relation;
 use crate::scenario::{ScenarioGenerator, ScenarioMatrix};
 use crate::seed::Stream;
+use crate::store::{ScenarioStore, StoreKey, StoreStats};
 use crate::Result;
 use spq_obs::metrics::{Counter, Named};
 use std::collections::HashMap;
@@ -86,6 +99,7 @@ pub struct ScenarioCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evicted: AtomicU64,
+    store: Option<Arc<ScenarioStore>>,
 }
 
 impl Default for ScenarioCache {
@@ -113,7 +127,27 @@ impl ScenarioCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            store: None,
         }
+    }
+
+    /// Attach a persistent disk tier: memory misses consult `store` before
+    /// generating, generated blocks are spilled to it, and a later process
+    /// (or a cleared cache) reloads them instead of regenerating.
+    pub fn with_store(mut self, store: Arc<ScenarioStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached disk tier, if any.
+    pub fn store(&self) -> Option<&Arc<ScenarioStore>> {
+        self.store.as_ref()
+    }
+
+    /// Counters of the attached disk tier (all zero when no store is
+    /// attached), as surfaced in the spqd `stats` op.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
     }
 
     /// The first `m` scenarios of `column` restricted to `tuples`, drawn
@@ -143,7 +177,9 @@ impl ScenarioCache {
     ) -> Result<Arc<ScenarioMatrix>> {
         // Canonicalize the column name so `gain` and `Gain` share a block;
         // this also surfaces unknown-column errors before touching the map.
-        let canon = relation.stochastic_column(column)?.name.clone();
+        let sc = relation.stochastic_column(column)?;
+        let canon = sc.name.clone();
+        let column_tag = sc.tag;
         let key = BlockKey {
             relation: relation.uid(),
             column: canon.clone(),
@@ -167,9 +203,35 @@ impl ScenarioCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         CACHE_MISSES.inc();
-        let matrix = Arc::new(
-            generator.realize_sparse_matrix_range(relation, &canon, tuples, scenarios, 0)?,
-        );
+        // Disk tier: a memory miss may still be a store hit — a block
+        // spilled by this process, an earlier one, or a pre-`clear` epoch.
+        let store_key = self.store.as_ref().map(|_| StoreKey {
+            relation_fingerprint: relation.fingerprint(),
+            column_tag,
+            stream_tag: generator.stream().tag(),
+            seed: generator.base_seed(),
+            tuples_hash: key.tuples_hash,
+            first_scenario: key.first_scenario as u64,
+            scenarios: key.scenarios as u64,
+        });
+        let stored = self
+            .store
+            .as_ref()
+            .zip(store_key.as_ref())
+            .and_then(|(store, sk)| store.load(sk, tuples.len()));
+        let matrix = match stored {
+            Some(m) => Arc::new(m),
+            None => {
+                let m = Arc::new(
+                    generator
+                        .realize_sparse_matrix_range(relation, &canon, tuples, scenarios, 0)?,
+                );
+                if let Some((store, sk)) = self.store.as_ref().zip(store_key.as_ref()) {
+                    store.spill(sk, &m);
+                }
+                m
+            }
+        };
         let bytes = matrix_bytes(&matrix);
         // Flush-on-full eviction: when this block would overflow the budget,
         // drop everything and admit it fresh. Old blocks regenerate
@@ -489,6 +551,117 @@ mod tests {
         cache.clear();
         assert_eq!(cache.resident_bytes(), 0);
         assert_eq!(cache.audited_bytes(), 0);
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spq-cache-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_serves_evicted_and_cleared_blocks_without_regeneration() {
+        let r = rel(16);
+        let g = ScenarioGenerator::new(5);
+        let dir = store_dir("reload");
+        let store = Arc::new(ScenarioStore::open(&dir).unwrap());
+        let cache = ScenarioCache::new().with_store(store.clone());
+        let tuples: Vec<usize> = (0..16).collect();
+
+        let a = cache.sparse_matrix(&g, &r, "gain", &tuples, 12).unwrap();
+        assert_eq!(store.stats().spill_writes, 1, "miss spills to disk");
+        assert_eq!(store.stats().reads, 0);
+
+        // clear() drops the memory tier but leaves the disk tier intact:
+        // the next lookup is a memory miss served by a store read.
+        cache.clear();
+        let b = cache.sparse_matrix(&g, &r, "gain", &tuples, 12).unwrap();
+        assert_eq!(*a, *b, "store reload is bit-identical");
+        assert_eq!(store.stats().reads, 1, "reload came from disk");
+        assert_eq!(
+            store.stats().spill_writes,
+            1,
+            "a store hit is not respilled"
+        );
+        assert_eq!(cache.store_stats(), store.stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_restart_reuses_blocks_across_cache_instances_and_rebuilt_relations() {
+        // Simulates a service restart: a new cache, a new store handle over
+        // the same directory, and a *rebuilt* relation (new uid, same
+        // fingerprint) must reload instead of regenerating.
+        let dir = store_dir("restart");
+        let g = ScenarioGenerator::validation(9);
+        let tuples: Vec<usize> = (0..12).step_by(2).collect();
+
+        let first = {
+            let r = rel(12);
+            let store = Arc::new(ScenarioStore::open(&dir).unwrap());
+            let cache = ScenarioCache::new().with_store(store);
+            cache
+                .sparse_matrix_range(&g, &r, "gain", &tuples, 3..9)
+                .unwrap()
+        };
+
+        let r2 = rel(12); // new uid, same fingerprint
+        let store2 = Arc::new(ScenarioStore::open(&dir).unwrap());
+        let cache2 = ScenarioCache::new().with_store(store2.clone());
+        let again = cache2
+            .sparse_matrix_range(&g, &r2, "gain", &tuples, 3..9)
+            .unwrap();
+        assert_eq!(*first, *again, "restart must see identical realizations");
+        assert_eq!(
+            store2.stats().reads,
+            1,
+            "the restarted process read from disk"
+        );
+        assert_eq!(store2.stats().spill_writes, 0, "nothing was regenerated");
+
+        // A different seed is not served by the stored block.
+        let other = ScenarioGenerator::validation(10);
+        cache2
+            .sparse_matrix_range(&other, &r2, "gain", &tuples, 3..9)
+            .unwrap();
+        assert_eq!(store2.stats().reads, 1);
+        assert_eq!(store2.stats().spill_writes, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_files_regenerate_with_correct_values() {
+        let r = rel(8);
+        let g = ScenarioGenerator::new(13);
+        let dir = store_dir("corrupt");
+        let store = Arc::new(ScenarioStore::open(&dir).unwrap());
+        let cache = ScenarioCache::new().with_store(store.clone());
+        let tuples: Vec<usize> = (0..8).collect();
+
+        let a = cache.sparse_matrix(&g, &r, "gain", &tuples, 6).unwrap();
+        // Corrupt the (single) block file on disk.
+        let block_file = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "spqblk"))
+            .expect("one spilled block");
+        let mut bytes = std::fs::read(&block_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&block_file, &bytes).unwrap();
+
+        cache.clear();
+        let b = cache.sparse_matrix(&g, &r, "gain", &tuples, 6).unwrap();
+        assert_eq!(
+            *a, *b,
+            "corruption must cost regeneration, never wrong data"
+        );
+        assert_eq!(store.stats().corrupt, 1);
+        assert_eq!(store.stats().reads, 0);
+        assert_eq!(store.stats().spill_writes, 2, "the block was respilled");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod relation;
 pub mod scenario;
 pub mod schema;
 pub mod seed;
+pub mod store;
 pub mod value;
 pub mod vg;
 
@@ -50,6 +51,7 @@ pub use expectation::ExpectationEstimator;
 pub use relation::{Relation, RelationBuilder, StochasticColumn};
 pub use scenario::{Scenario, ScenarioGenerator, ScenarioMatrix};
 pub use schema::{ColumnDef, ColumnKind, Schema};
+pub use store::{ScenarioStore, StoreStats};
 pub use value::Value;
 pub use vg::VgFunction;
 

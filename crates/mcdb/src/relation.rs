@@ -41,6 +41,7 @@ struct RelationInner {
     schema: Schema,
     n_rows: usize,
     uid: u64,
+    fingerprint: u64,
     det_columns: HashMap<String, Vec<Value>>,
     stoch_columns: HashMap<String, StochasticColumn>,
 }
@@ -88,6 +89,17 @@ impl Relation {
     /// prepared-query cache.
     pub fn uid(&self) -> u64 {
         self.inner.uid
+    }
+
+    /// Content fingerprint of the relation's *stochastic* identity: a stable
+    /// digest of the relation name, cardinality, and every stochastic
+    /// column's `(name tag, VG parameter signature)`. Unlike [`Self::uid`],
+    /// the fingerprint survives process restarts — two relations built from
+    /// the same workload parameters in different processes share it — which
+    /// is what lets the persistent scenario store re-serve realized blocks
+    /// across restarts without ever serving them to a different model.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint
     }
 
     /// True when `other` is a clone of the same built relation.
@@ -314,12 +326,21 @@ impl RelationBuilder {
         // A process-unique identity shared by every clone of this relation;
         // caches key on it instead of hashing column data.
         static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        // The restart-stable fingerprint folds every stochastic column in
+        // schema order (deterministic across runs, unlike map iteration).
+        let mut fp_words: Vec<u64> = vec![column_tag(&self.name), n_rows.unwrap_or(0) as u64];
+        for def in self.schema.columns().iter().filter(|d| d.is_stochastic()) {
+            let sc = &self.stoch_columns[&def.name];
+            fp_words.push(sc.tag);
+            fp_words.push(sc.vg.param_signature());
+        }
         Ok(Relation {
             inner: Arc::new(RelationInner {
                 name: self.name,
                 schema: self.schema,
                 n_rows: n_rows.unwrap_or(0),
                 uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                fingerprint: crate::seed::mix(&fp_words),
                 det_columns: self.det_columns,
                 stoch_columns: self.stoch_columns,
             }),
@@ -400,6 +421,44 @@ mod tests {
         assert!(!mixed.stochastic_column("x").unwrap().analytic);
         assert_eq!(mixed.analytic_means("x").unwrap(), None);
         assert!(portfolio().stochastic_column("Gain").unwrap().analytic);
+    }
+
+    #[test]
+    fn fingerprint_is_restart_stable_and_parameter_sensitive() {
+        // Two builds of the same workload share the fingerprint (that is
+        // what keys the persistent scenario store across restarts) even
+        // though their uids differ.
+        let a = portfolio();
+        let b = portfolio();
+        assert_ne!(a.uid(), b.uid());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any parameter change to a stochastic column must move it.
+        let build_with_sigma = |sigma: f64| {
+            RelationBuilder::new("stock_investments")
+                .deterministic_f64("price", vec![234.0, 140.0, 258.0])
+                .stochastic("Gain", NormalNoise::around(vec![0.0, 0.0, 0.0], sigma))
+                .build()
+                .unwrap()
+        };
+        assert_ne!(
+            build_with_sigma(1.0).fingerprint(),
+            build_with_sigma(2.0).fingerprint()
+        );
+        // So must the relation name, the cardinality, and the column name.
+        let renamed = RelationBuilder::new("other")
+            .stochastic("Gain", NormalNoise::around(vec![0.0, 0.0, 0.0], 1.0))
+            .build()
+            .unwrap();
+        let recolumned = RelationBuilder::new("other")
+            .stochastic("Loss", NormalNoise::around(vec![0.0, 0.0, 0.0], 1.0))
+            .build()
+            .unwrap();
+        assert_ne!(renamed.fingerprint(), recolumned.fingerprint());
+        let shorter = RelationBuilder::new("other")
+            .stochastic("Gain", NormalNoise::around(vec![0.0, 0.0], 1.0))
+            .build()
+            .unwrap();
+        assert_ne!(renamed.fingerprint(), shorter.fingerprint());
     }
 
     #[test]

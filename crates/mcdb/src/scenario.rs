@@ -17,13 +17,41 @@
 //! workers and produce **bit-identical** results to the serial path.
 
 use crate::relation::{Relation, StochasticColumn};
-use crate::seed::{cell_rng, Stream};
+use crate::seed::{cell_rng, column_prefix, Stream};
 use crate::Result;
 use std::num::NonZeroUsize;
 
 /// Number of `(tuple, scenario)` cells above which dense/sparse generation
 /// fans out across threads. Below this, thread spawn overhead dominates.
 const PARALLEL_CELL_THRESHOLD: usize = 1 << 14;
+
+/// Target cells per [`crate::vg::VgFunction::realize_block`] kernel call:
+/// tuples are tiled so one dispatch covers roughly this many cells, keeping
+/// per-call overhead negligible while bounding each tile's working set.
+const KERNEL_TILE_CELLS: usize = 4096;
+
+/// Tile edge for the blocked tuple-major → scenario-major transpose.
+const TRANSPOSE_TILE: usize = 64;
+
+/// Transpose a flat tuple-major buffer (`flat[i * m + j]`) into the
+/// scenario-major layout of [`ScenarioMatrix`] (`data[j * n + i]`), tiled so
+/// both sides stay cache-resident.
+fn transpose_tuple_major(flat: &[f64], n: usize, m: usize) -> Vec<f64> {
+    let mut data = vec![0.0f64; n * m];
+    for i0 in (0..n).step_by(TRANSPOSE_TILE) {
+        let i1 = (i0 + TRANSPOSE_TILE).min(n);
+        for j0 in (0..m).step_by(TRANSPOSE_TILE) {
+            let j1 = (j0 + TRANSPOSE_TILE).min(m);
+            for i in i0..i1 {
+                let row = &flat[i * m..(i + 1) * m];
+                for j in j0..j1 {
+                    data[j * n + i] = row[j];
+                }
+            }
+        }
+    }
+    data
+}
 
 /// Worker count for a request of `cells` total realizations over `tuples`
 /// tuples: 1 for small requests, otherwise up to the machine's parallelism.
@@ -64,6 +92,36 @@ impl ScenarioMatrix {
             data.extend_from_slice(&s.values);
         }
         ScenarioMatrix { n_tuples, data }
+    }
+
+    /// The raw scenario-major storage (`data[j * n_tuples + i]`). The
+    /// persistent scenario store serializes exactly these words (as
+    /// little-endian `f64` bits), so a reloaded block is bit-identical.
+    pub fn raw_data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Rebuild a matrix from scenario-major raw storage, the inverse of
+    /// [`Self::raw_data`]. `data.len()` must be `n_tuples` × the scenario
+    /// count of the original block.
+    pub(crate) fn from_raw(n_tuples: usize, data: Vec<f64>) -> Self {
+        ScenarioMatrix { n_tuples, data }
+    }
+
+    /// A matrix whose every scenario row equals `values`. This is the shape
+    /// the moment prefilter produces for provably scenario-invariant columns
+    /// (see [`crate::vg::VgFunction::is_scenario_invariant`]): one probed
+    /// realization broadcast over `m` scenarios, bit-identical to generating
+    /// all `m` because the realized value does not depend on the RNG.
+    pub fn broadcast(values: &[f64], m: usize) -> Self {
+        let mut data = Vec::with_capacity(values.len() * m);
+        for _ in 0..m {
+            data.extend_from_slice(values);
+        }
+        ScenarioMatrix {
+            n_tuples: values.len(),
+            data,
+        }
     }
 
     /// Number of scenarios.
@@ -171,12 +229,9 @@ impl ScenarioGenerator {
     ) -> Result<Scenario> {
         let sc = relation.stochastic_column(column)?;
         let n = relation.len();
-        let mut values = Vec::with_capacity(n);
-        for tuple in 0..n {
-            let group = sc.vg.driver_group(tuple);
-            let mut rng = cell_rng(self.base_seed, self.stream, sc.tag, group, scenario as u64);
-            values.push(sc.vg.realize(tuple, &mut rng));
-        }
+        let tuples: Vec<usize> = (0..n).collect();
+        // A one-scenario block: the flat tuple-major buffer *is* the column.
+        let values = self.realize_flat(sc, &tuples, scenario..scenario + 1, 1);
         Ok(Scenario {
             index: scenario,
             values,
@@ -192,70 +247,60 @@ impl ScenarioGenerator {
         scenarios: std::ops::Range<usize>,
     ) -> Result<Vec<f64>> {
         let sc = relation.stochastic_column(column)?;
-        let group = sc.vg.driver_group(tuple);
-        let mut out = Vec::with_capacity(scenarios.len());
-        for j in scenarios {
-            let mut rng = cell_rng(self.base_seed, self.stream, sc.tag, group, j as u64);
-            out.push(sc.vg.realize(tuple, &mut rng));
-        }
-        Ok(out)
+        Ok(self.realize_flat(sc, &[tuple], scenarios, 1))
     }
 
-    /// Realize one tuple block in tuple-major order: one inner vector per
-    /// tuple, holding that tuple's values across `scenarios`.
-    fn realize_tuple_block(
+    /// Drive the column's block kernel over one worker's tuple share,
+    /// tiling tuples so each [`crate::vg::VgFunction::realize_block`]
+    /// dispatch covers roughly [`KERNEL_TILE_CELLS`] cells.
+    fn realize_tiles(
         &self,
         sc: &StochasticColumn,
         tuples: &[usize],
         scenarios: std::ops::Range<usize>,
-    ) -> Vec<Vec<f64>> {
-        tuples
-            .iter()
-            .map(|&tuple| {
-                let group = sc.vg.driver_group(tuple);
-                scenarios
-                    .clone()
-                    .map(|j| {
-                        let mut rng =
-                            cell_rng(self.base_seed, self.stream, sc.tag, group, j as u64);
-                        sc.vg.realize(tuple, &mut rng)
-                    })
-                    .collect()
-            })
-            .collect()
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        if m == 0 || tuples.is_empty() {
+            return;
+        }
+        let prefix = column_prefix(self.base_seed, self.stream, sc.tag);
+        let tile = (KERNEL_TILE_CELLS / m).max(1);
+        for (tchunk, ochunk) in tuples.chunks(tile).zip(out.chunks_mut(tile * m)) {
+            sc.vg
+                .realize_block(prefix, tchunk, scenarios.clone(), ochunk);
+        }
     }
 
-    /// Realize `tuples × scenarios` in tuple-major order, chunking tuples
-    /// across `threads` workers. Because every cell seeds its own RNG, the
-    /// result is bit-identical for any thread count.
-    fn realize_tuple_major(
+    /// Realize `tuples × scenarios` into a flat tuple-major buffer
+    /// (`out[ti * m + jj]`), chunking tuples across `threads` workers.
+    /// Because every cell derives its RNG from the counter-based key, the
+    /// result is bit-identical for any thread count and any tile split.
+    fn realize_flat(
         &self,
-        relation: &Relation,
-        column: &str,
+        sc: &StochasticColumn,
         tuples: &[usize],
         scenarios: std::ops::Range<usize>,
         threads: usize,
-    ) -> Result<Vec<Vec<f64>>> {
-        let sc = relation.stochastic_column(column)?;
-        let threads = threads.clamp(1, tuples.len().max(1));
+    ) -> Vec<f64> {
+        let m = scenarios.len();
+        let mut out = vec![0.0f64; tuples.len() * m];
+        if m == 0 || tuples.is_empty() {
+            return out;
+        }
+        let threads = threads.clamp(1, tuples.len());
         if threads == 1 {
-            return Ok(self.realize_tuple_block(sc, tuples, scenarios));
+            self.realize_tiles(sc, tuples, scenarios, &mut out);
+            return out;
         }
         let chunk = tuples.len().div_ceil(threads);
-        let mut out = Vec::with_capacity(tuples.len());
         std::thread::scope(|scope| {
-            let handles: Vec<_> = tuples
-                .chunks(chunk)
-                .map(|block| {
-                    let scenarios = scenarios.clone();
-                    scope.spawn(move || self.realize_tuple_block(sc, block, scenarios))
-                })
-                .collect();
-            for handle in handles {
-                out.extend(handle.join().expect("scenario generation worker panicked"));
+            for (tchunk, ochunk) in tuples.chunks(chunk).zip(out.chunks_mut(chunk * m)) {
+                let scenarios = scenarios.clone();
+                scope.spawn(move || self.realize_tiles(sc, tchunk, scenarios, ochunk));
             }
         });
-        Ok(out)
+        out
     }
 
     /// Realize a dense `M x N` matrix of the first `m` scenarios,
@@ -280,15 +325,13 @@ impl ScenarioGenerator {
         threads: usize,
     ) -> Result<ScenarioMatrix> {
         let n = relation.len();
+        let sc = relation.stochastic_column(column)?;
         let tuples: Vec<usize> = (0..n).collect();
-        let columns = self.realize_tuple_major(relation, column, &tuples, 0..m, threads)?;
-        let mut data = vec![0.0f64; n * m];
-        for (i, values) in columns.iter().enumerate() {
-            for (j, &v) in values.iter().enumerate() {
-                data[j * n + i] = v;
-            }
-        }
-        Ok(ScenarioMatrix { n_tuples: n, data })
+        let flat = self.realize_flat(sc, &tuples, 0..m, threads);
+        Ok(ScenarioMatrix {
+            n_tuples: n,
+            data: transpose_tuple_major(&flat, n, m),
+        })
     }
 
     /// Realize values only for the given tuples across `scenarios`
@@ -317,14 +360,13 @@ impl ScenarioGenerator {
         threads: usize,
     ) -> Result<Vec<Vec<f64>>> {
         let m = scenarios.len();
-        let columns = self.realize_tuple_major(relation, column, tuples, scenarios, threads)?;
-        let mut out = vec![Vec::with_capacity(tuples.len()); m];
-        for values in &columns {
-            for (j, &v) in values.iter().enumerate() {
-                out[j].push(v);
-            }
+        let sc = relation.stochastic_column(column)?;
+        if tuples.is_empty() {
+            return Ok(vec![Vec::new(); m]);
         }
-        Ok(out)
+        let flat = self.realize_flat(sc, tuples, scenarios, threads);
+        let data = transpose_tuple_major(&flat, tuples.len(), m);
+        Ok(data.chunks(tuples.len()).map(|row| row.to_vec()).collect())
     }
 
     /// Realize the first `m` scenarios of a stochastic column restricted to
@@ -364,14 +406,12 @@ impl ScenarioGenerator {
         } else {
             threads
         };
-        let columns = self.realize_tuple_major(relation, column, tuples, scenarios, threads)?;
-        let mut data = vec![0.0f64; n * m];
-        for (i, values) in columns.iter().enumerate() {
-            for (j, &v) in values.iter().enumerate() {
-                data[j * n + i] = v;
-            }
-        }
-        Ok(ScenarioMatrix { n_tuples: n, data })
+        let sc = relation.stochastic_column(column)?;
+        let flat = self.realize_flat(sc, tuples, scenarios, threads);
+        Ok(ScenarioMatrix {
+            n_tuples: n,
+            data: transpose_tuple_major(&flat, n, m),
+        })
     }
 
     /// Per-tuple empirical mean and standard deviation over the first `m`
@@ -388,10 +428,11 @@ impl ScenarioGenerator {
         if m == 0 {
             return Ok(vec![(0.0, 0.0); tuples.len()]);
         }
+        let sc = relation.stochastic_column(column)?;
         let threads = auto_threads(tuples.len() * m, tuples.len());
-        let columns = self.realize_tuple_major(relation, column, tuples, 0..m, threads)?;
-        Ok(columns
-            .into_iter()
+        let flat = self.realize_flat(sc, tuples, 0..m, threads);
+        Ok(flat
+            .chunks_exact(m)
             .map(|values| {
                 let n = values.len() as f64;
                 let mean = values.iter().sum::<f64>() / n;

@@ -23,7 +23,10 @@ pub enum Stream {
 }
 
 impl Stream {
-    fn tag(self) -> u64 {
+    /// Stable 64-bit domain-separation tag of the stream. Folded into every
+    /// cell seed and into persistent scenario-store keys, so the two streams
+    /// never share realizations on disk either.
+    pub fn tag(self) -> u64 {
         match self {
             Stream::Optimization => 0x9E37_79B9_7F4A_7C15,
             Stream::Validation => 0xD1B5_4A32_D192_ED03,
@@ -63,6 +66,49 @@ pub fn cell_rng(
 ) -> SmallRng {
     let seed = mix(&[base_seed, stream.tag(), column_tag, group, scenario]);
     SmallRng::seed_from_u64(seed)
+}
+
+/// The hoisted seeding prefix shared by every cell of one `(base seed,
+/// stream, column)` triple: the state of the [`mix`] fold after its first
+/// three words.
+///
+/// The columnar block kernels hoist this out of their inner loops so each
+/// cell pays two SplitMix rounds ([`group_seed`] is hoisted per tuple,
+/// [`cell_seed`] runs per scenario) instead of the ten a full five-word
+/// [`mix`] costs. Folding the remaining words through [`group_seed`] and
+/// [`cell_seed`] reproduces `mix(&[base_seed, stream, column, group,
+/// scenario])` bit-exactly, which is what keeps the block kernels
+/// bit-identical to [`cell_rng`].
+#[inline]
+pub fn column_prefix(base_seed: u64, stream: Stream, column_tag: u64) -> u64 {
+    mix(&[base_seed, stream.tag(), column_tag])
+}
+
+/// Fold a driver-group index into a [`column_prefix`]. Hoisted per tuple by
+/// the block kernels.
+#[inline]
+pub fn group_seed(column_prefix: u64, group: u64) -> u64 {
+    splitmix64(column_prefix ^ splitmix64(group))
+}
+
+/// Fold a scenario index into a [`group_seed`], completing the counter-based
+/// cell key. `SmallRng::seed_from_u64(cell_seed(..))` is the same generator
+/// [`cell_rng`] returns.
+#[inline]
+pub fn cell_seed(group_seed: u64, scenario: u64) -> u64 {
+    splitmix64(group_seed ^ splitmix64(scenario))
+}
+
+/// The RNG used to derive per-tuple *construction-time* randomness (e.g.
+/// [`crate::vg::DiscreteSources::sample_around`] fixing its candidate source
+/// values): the shared counter-based scheme applied to `(base_seed, tuple)`.
+///
+/// Every seeding decision in the crate routes through [`mix`]; this helper
+/// names the two-word tuple-stream case so callers do not hand-roll their
+/// own folds.
+#[inline]
+pub fn tuple_rng(base_seed: u64, tuple: u64) -> SmallRng {
+    SmallRng::seed_from_u64(mix(&[base_seed, tuple]))
 }
 
 /// Stable 64-bit tag for a column name.
@@ -111,6 +157,37 @@ mod tests {
         let mut a = cell_rng(11, Stream::Optimization, 5, 0, 9);
         let mut b = cell_rng(11, Stream::Optimization, 5, 0, 9);
         for _ in 0..8 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn hoisted_prefixes_reproduce_the_full_mix() {
+        // The block kernels rely on column_prefix → group_seed → cell_seed
+        // replaying mix(&[s, stream, c, g, j]) exactly.
+        for (s, c, g, j) in [
+            (0u64, 0u64, 0u64, 0u64),
+            (7, 3, 12, 99),
+            (u64::MAX, 1, 2, 3),
+        ] {
+            for stream in [Stream::Optimization, Stream::Validation] {
+                let full = mix(&[s, stream.tag(), c, g, j]);
+                let hoisted = cell_seed(group_seed(column_prefix(s, stream, c), g), j);
+                assert_eq!(full, hoisted);
+                let mut a = cell_rng(s, stream, c, g, j);
+                let mut b = SmallRng::seed_from_u64(hoisted);
+                for _ in 0..4 {
+                    assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_rng_matches_the_two_word_mix() {
+        let mut a = tuple_rng(42, 7);
+        let mut b = SmallRng::seed_from_u64(mix(&[42, 7]));
+        for _ in 0..4 {
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
     }

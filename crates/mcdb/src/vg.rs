@@ -14,11 +14,13 @@
 //!   Student's t noise models used in tests and extensions.
 
 use crate::error::McdbError;
+use crate::seed::{cell_seed, group_seed, splitmix64};
 use crate::Result;
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Exp, Normal, Pareto, Poisson, StudentT, Uniform};
 use std::fmt;
+use std::ops::Range;
 
 /// Specification of a per-tuple parameter: either one shared constant or one
 /// value per tuple.
@@ -96,11 +98,91 @@ pub trait VgFunction: Send + Sync + fmt::Debug {
     /// Produce a realization for `tuple` using `rng`.
     fn realize(&self, tuple: usize, rng: &mut SmallRng) -> f64;
 
+    /// Realize a whole `tuples × scenarios` block in one call, writing
+    /// tuple-major output: `out[ti * scenarios.len() + jj]` is the value of
+    /// `tuples[ti]` in scenario `scenarios.start + jj`.
+    ///
+    /// `column_prefix` is the hoisted [`crate::seed::column_prefix`] of the
+    /// `(base seed, stream, column)` triple; implementations derive each
+    /// cell's RNG as `SmallRng::seed_from_u64(cell_seed(group_seed(prefix,
+    /// driver_group(tuple)), scenario))`, which is exactly the counter-based
+    /// key [`crate::seed::cell_rng`] uses. Every override in this module is
+    /// therefore **bit-identical** to the per-cell [`Self::realize`] path —
+    /// the per-cell path stays the conformance oracle, enforced by the
+    /// block-kernel proptests — while hoisting seeding, parameter lookups,
+    /// and distribution construction out of the scenario loop.
+    ///
+    /// The default implementation is that oracle loop itself, so external
+    /// models are correct without overriding anything.
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        debug_assert_eq!(out.len(), tuples.len() * m);
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let gs = group_seed(column_prefix, self.driver_group(tuple));
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                *slot = self.realize(tuple, &mut rng);
+            }
+        }
+    }
+
+    /// A stable 64-bit digest of the model's parameters, used (folded into
+    /// [`crate::Relation::fingerprint`]) to key the persistent scenario
+    /// store across process restarts. Two models may share a signature only
+    /// if they realize identically.
+    ///
+    /// The default probes the model: it realizes a handful of cells from
+    /// fixed-seed RNGs spread over the tuple range and hashes the result
+    /// bits together with the name, length, and driver groups. Because
+    /// realizations are deterministic functions of the RNG, any parameter
+    /// that can influence a realized value perturbs the digest.
+    fn param_signature(&self) -> u64 {
+        let n = self.len();
+        let mut acc = crate::seed::column_tag(self.name()) ^ splitmix64(n as u64);
+        let probes = n.min(64);
+        for k in 0..probes {
+            // Even spread including the last tuple, so per-tuple parameter
+            // vectors are sampled across their whole range.
+            let tuple = if probes <= 1 {
+                0
+            } else {
+                k * (n - 1) / (probes - 1)
+            };
+            acc = splitmix64(acc ^ splitmix64(self.driver_group(tuple)));
+            for probe_seed in [0xA5A5_5A5A_0F0F_F0F0u64, 0x0123_4567_89AB_CDEF] {
+                let mut rng = SmallRng::seed_from_u64(splitmix64(acc ^ probe_seed));
+                let v = self.realize(tuple, &mut rng);
+                acc = splitmix64(acc ^ v.to_bits());
+            }
+        }
+        acc
+    }
+
     /// Analytic mean of the attribute for `tuple`, when known in closed form.
     /// When `None`, expectations are estimated empirically by averaging
     /// validation scenarios (exactly as the paper's implementation does).
     fn mean(&self, _tuple: usize) -> Option<f64> {
         None
+    }
+
+    /// True when every realization of `tuple` is **provably** identical
+    /// across scenarios — the realized value does not depend on the RNG at
+    /// all (e.g. [`Degenerate`], a [`NormalNoise`] tuple with zero sigma, a
+    /// [`DiscreteSources`] tuple with a single candidate).
+    ///
+    /// The moment prefilter uses this: when every candidate tuple of a
+    /// referenced column is scenario-invariant, per-scenario draws are
+    /// skipped entirely and one probed realization is broadcast instead,
+    /// bit-identically. The default is `false` (always draw), which is
+    /// always safe.
+    fn is_scenario_invariant(&self, _tuple: usize) -> bool {
+        false
     }
 
     /// Check that the parameters are internally consistent.
@@ -154,8 +236,26 @@ impl VgFunction for Degenerate {
         self.values[tuple]
     }
 
+    fn realize_block(
+        &self,
+        _column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        // No randomness at all: each row is the constant base value.
+        let m = scenarios.len();
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            row.fill(self.values[tuple]);
+        }
+    }
+
     fn mean(&self, tuple: usize) -> Option<f64> {
         Some(self.values[tuple])
+    }
+
+    fn is_scenario_invariant(&self, _tuple: usize) -> bool {
+        true
     }
 }
 
@@ -201,8 +301,39 @@ impl VgFunction for NormalNoise {
         self.base[tuple] + normal.sample(rng)
     }
 
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let base = self.base[tuple];
+            let sigma = self.sigma.get(tuple).abs();
+            // σ == 0 short-circuits before touching the RNG in the per-cell
+            // path, so the block kernel must not consume draws either.
+            if sigma == 0.0 {
+                row.fill(base);
+                continue;
+            }
+            let normal = Normal::new(0.0, sigma).expect("validated sigma");
+            let gs = group_seed(column_prefix, tuple as u64);
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                *slot = base + normal.sample(&mut rng);
+            }
+        }
+    }
+
     fn mean(&self, tuple: usize) -> Option<f64> {
         Some(self.base[tuple])
+    }
+
+    fn is_scenario_invariant(&self, tuple: usize) -> bool {
+        // σ == 0 realizes to the base value in every scenario.
+        self.sigma.get(tuple).abs() == 0.0
     }
 
     fn validate(&self) -> Result<()> {
@@ -262,6 +393,27 @@ impl VgFunction for ParetoNoise {
         let shape = self.shape.get(tuple).abs().max(f64::MIN_POSITIVE);
         let pareto = Pareto::new(scale, shape).expect("validated pareto");
         self.base[tuple] + pareto.sample(rng)
+    }
+
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let base = self.base[tuple];
+            let scale = self.scale.get(tuple).abs().max(f64::MIN_POSITIVE);
+            let shape = self.shape.get(tuple).abs().max(f64::MIN_POSITIVE);
+            let pareto = Pareto::new(scale, shape).expect("validated pareto");
+            let gs = group_seed(column_prefix, tuple as u64);
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                *slot = base + pareto.sample(&mut rng);
+            }
+        }
     }
 
     fn mean(&self, tuple: usize) -> Option<f64> {
@@ -325,8 +477,38 @@ impl VgFunction for UniformNoise {
         self.base[tuple] + u.sample(rng)
     }
 
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        // The degenerate range never consumes a draw in the per-cell path.
+        let degenerate = self.hi <= self.lo;
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let base = self.base[tuple];
+            if degenerate {
+                row.fill(base + self.lo);
+                continue;
+            }
+            let u = Uniform::new(self.lo, self.hi);
+            let gs = group_seed(column_prefix, tuple as u64);
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                *slot = base + u.sample(&mut rng);
+            }
+        }
+    }
+
     fn mean(&self, tuple: usize) -> Option<f64> {
         Some(self.base[tuple] + (self.lo + self.hi) / 2.0)
+    }
+
+    fn is_scenario_invariant(&self, _tuple: usize) -> bool {
+        // An empty interval realizes to `base + lo` in every scenario.
+        self.hi <= self.lo
     }
 
     fn validate(&self) -> Result<()> {
@@ -371,6 +553,26 @@ impl VgFunction for ExponentialNoise {
     fn realize(&self, tuple: usize, rng: &mut SmallRng) -> f64 {
         let exp = Exp::new(self.lambda).expect("validated lambda");
         self.base[tuple] + exp.sample(rng) - 1.0 / self.lambda
+    }
+
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        let exp = Exp::new(self.lambda).expect("validated lambda");
+        let centering = 1.0 / self.lambda;
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let base = self.base[tuple];
+            let gs = group_seed(column_prefix, tuple as u64);
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                *slot = base + exp.sample(&mut rng) - centering;
+            }
+        }
     }
 
     fn mean(&self, tuple: usize) -> Option<f64> {
@@ -420,6 +622,27 @@ impl VgFunction for PoissonNoise {
         self.base[tuple] + pois.sample(rng) - self.lambda
     }
 
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        // The Knuth/normal-approximation sampler is inherently branchy; the
+        // block win here is hoisting seeding and distribution construction.
+        let pois = Poisson::new(self.lambda).expect("validated lambda");
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let base = self.base[tuple];
+            let gs = group_seed(column_prefix, tuple as u64);
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                *slot = base + pois.sample(&mut rng) - self.lambda;
+            }
+        }
+    }
+
     fn mean(&self, tuple: usize) -> Option<f64> {
         Some(self.base[tuple])
     }
@@ -467,6 +690,25 @@ impl VgFunction for StudentTNoise {
     fn realize(&self, tuple: usize, rng: &mut SmallRng) -> f64 {
         let t = StudentT::new(self.nu).expect("validated nu");
         self.base[tuple] + self.scale * t.sample(rng)
+    }
+
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        let t = StudentT::new(self.nu).expect("validated nu");
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let base = self.base[tuple];
+            let gs = group_seed(column_prefix, tuple as u64);
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                *slot = base + self.scale * t.sample(&mut rng);
+            }
+        }
     }
 
     fn mean(&self, tuple: usize) -> Option<f64> {
@@ -577,6 +819,37 @@ impl VgFunction for GeometricBrownianMotion {
 
     fn realize(&self, tuple: usize, rng: &mut SmallRng) -> f64 {
         self.terminal_price(tuple, rng) - self.price[tuple]
+    }
+
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let price = self.price[tuple];
+            let sigma = self.sigma[tuple];
+            let drift = self.mu[tuple] - 0.5 * sigma * sigma;
+            let horizon = self.horizon[tuple];
+            let log_s0 = price.ln();
+            let gs = group_seed(column_prefix, self.group[tuple]);
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                // Same day-by-day walk as `terminal_price`: the shared
+                // group stream means a short-horizon tuple still stops
+                // mid-path at its own horizon.
+                let mut log_s = log_s0;
+                for _ in 1..=horizon {
+                    let z: f64 = normal.sample(&mut rng);
+                    log_s += drift + sigma * z;
+                }
+                *slot = log_s.exp() - price;
+            }
+        }
     }
 
     fn mean(&self, tuple: usize) -> Option<f64> {
@@ -713,10 +986,11 @@ impl DiscreteSources {
             });
         }
         dispersion.validate()?;
-        use rand::SeedableRng;
         let mut source_values = Vec::with_capacity(base.len());
         for (i, &b) in base.iter().enumerate() {
-            let mut rng = SmallRng::seed_from_u64(crate::seed::mix(&[seed, i as u64]));
+            // Per-tuple construction randomness routes through the shared
+            // counter-based seeding helper (same scheme as scenario cells).
+            let mut rng = crate::seed::tuple_rng(seed, i as u64);
             // Sample D deviations and re-center them so their mean anchors on
             // the original value, as described in Section 6.1.
             let mut devs: Vec<f64> = (0..d).map(|_| dispersion.sample(&mut rng)).collect();
@@ -761,9 +1035,46 @@ impl VgFunction for DiscreteSources {
         cands[idx]
     }
 
+    fn realize_block(
+        &self,
+        column_prefix: u64,
+        tuples: &[usize],
+        scenarios: Range<usize>,
+        out: &mut [f64],
+    ) {
+        let m = scenarios.len();
+        for (row, &tuple) in out.chunks_exact_mut(m.max(1)).zip(tuples) {
+            let cands = &self.source_values[tuple];
+            if let [only] = cands.as_slice() {
+                // One source: gen_range(0..1) below still consumes a draw in
+                // the per-cell path, so keep consuming it — but the table
+                // lookup is constant.
+                let only = *only;
+                let gs = group_seed(column_prefix, tuple as u64);
+                for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                    let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                    let _ = rng.gen_range(0..1usize);
+                    *slot = only;
+                }
+                continue;
+            }
+            let gs = group_seed(column_prefix, tuple as u64);
+            for (slot, j) in row.iter_mut().zip(scenarios.clone()) {
+                let mut rng = SmallRng::seed_from_u64(cell_seed(gs, j as u64));
+                *slot = cands[rng.gen_range(0..cands.len())];
+            }
+        }
+    }
+
     fn mean(&self, tuple: usize) -> Option<f64> {
         let cands = &self.source_values[tuple];
         Some(cands.iter().sum::<f64>() / cands.len() as f64)
+    }
+
+    fn is_scenario_invariant(&self, tuple: usize) -> bool {
+        // One candidate: the (still-consumed) source draw cannot change the
+        // realized value.
+        self.source_values[tuple].len() == 1
     }
 }
 
@@ -973,6 +1284,50 @@ mod tests {
         )
         .is_err());
         assert!(DiscreteSources::from_candidates(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)]
+    fn sample_around_streams_are_pinned() {
+        // `sample_around` now routes its per-tuple construction RNG through
+        // the shared counter-based `seed::tuple_rng` helper. That helper is
+        // bit-equal to the historical inline `mix(&[seed, i])` fold, so
+        // existing workloads must keep their exact candidate values. These
+        // literals were captured from the pre-refactor implementation: any
+        // seeding change that disturbs deployed workload streams fails here.
+        let ds = DiscreteSources::sample_around(
+            vec![10.0, 20.0, 30.0],
+            3,
+            SourceDispersion::Uniform { lo: -2.0, hi: 2.0 },
+            2024,
+        )
+        .unwrap();
+        let expected: [[f64; 3]; 3] = [
+            [
+                8.58124540431513871,
+                10.4745953735918800,
+                10.9441592220929813,
+            ],
+            [
+                19.9472703872286701,
+                18.5823632172514621,
+                21.4703663955198678,
+            ],
+            [
+                29.5121391782163194,
+                29.3359932712940292,
+                31.1518675504896478,
+            ],
+        ];
+        for (t, row) in expected.iter().enumerate() {
+            for (d, v) in row.iter().enumerate() {
+                assert_eq!(
+                    ds.candidates(t)[d].to_bits(),
+                    v.to_bits(),
+                    "tuple {t} candidate {d} drifted"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,13 +8,22 @@
 //! spqd [--addr 127.0.0.1:7878] [--workloads portfolio,galaxy,tpch]
 //!      [--scale 10000] [--seed 42] [--workers N] [--queue 64]
 //!      [--default-timeout-ms 60000] [--validation 10000]
-//!      [--solver revised|dense]
+//!      [--solver revised|dense] [--scenario-store DIR]
+//!      [--scenario-store-bytes N]
 //! ```
 //!
 //! `--solver` selects the LP backend for every solve the server performs;
 //! an unrecognized name is fatal and lists the registered backends (the
 //! `SPQ_SOLVER_BACKEND` environment variable plays the same role when the
 //! flag is absent).
+//!
+//! `--scenario-store` (or the `SPQ_SCENARIO_STORE` environment variable)
+//! enables the persistent scenario store: realized scenario blocks are
+//! spilled to checksummed files under the given directory and reloaded on
+//! restart, so repeated traffic on the same workload pays scenario
+//! generation once across restarts. `--scenario-store-bytes` bounds the
+//! directory (default 1 GiB); the `stats` op reports
+//! `scenario_store.{spill_writes,reads,bytes,corrupt,evictions}`.
 
 use spq_core::SpqOptions;
 use spq_service::{ServerConfig, ServiceConfig, SpqServer, SpqService};
@@ -26,7 +35,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: spqd [--addr HOST:PORT] [--workloads portfolio,galaxy,tpch] [--scale N]\n\
          \x20           [--seed N] [--workers N] [--queue N] [--default-timeout-ms N]\n\
-         \x20           [--validation N] [--solver revised|dense]"
+         \x20           [--validation N] [--solver revised|dense]\n\
+         \x20           [--scenario-store DIR] [--scenario-store-bytes N]"
     );
     std::process::exit(2);
 }
@@ -49,6 +59,11 @@ fn main() {
     let mut default_timeout_ms = 60_000u64;
     let mut validation = 10_000usize;
     let mut solver_backend: Option<spq_solver::SolverBackend> = None;
+    // Flag overrides environment so scripted runs can pin the store.
+    let mut scenario_store_dir: Option<std::path::PathBuf> = std::env::var_os("SPQ_SCENARIO_STORE")
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from);
+    let mut scenario_store_bytes = spq_mcdb::ScenarioStore::DEFAULT_MAX_BYTES;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -98,6 +113,14 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--scenario-store" => {
+                scenario_store_dir = Some(std::path::PathBuf::from(value("--scenario-store")))
+            }
+            "--scenario-store-bytes" => {
+                scenario_store_bytes = value("--scenario-store-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -118,9 +141,14 @@ fn main() {
         base_options.solver.backend = backend;
     }
 
+    if let Some(dir) = &scenario_store_dir {
+        eprintln!("spqd: persistent scenario store at {}", dir.display());
+    }
     let service = Arc::new(SpqService::new(ServiceConfig {
         base_options,
         default_timeout: Some(Duration::from_millis(default_timeout_ms)),
+        scenario_store_dir,
+        scenario_store_bytes,
         ..Default::default()
     }));
     for kind in workloads {

@@ -662,6 +662,78 @@ mod tests {
         assert_eq!(scenario.get("evicted").unwrap().as_u64(), Some(0));
         let rate = scenario.get("hit_rate").unwrap().as_f64().unwrap();
         assert!((0.0..=1.0).contains(&rate));
+        // Without --scenario-store the disk tier reports disabled/zeroed.
+        let store = stats.get("scenario_store").unwrap();
+        assert_eq!(store.get("enabled").unwrap().as_bool(), Some(false));
+        assert_eq!(store.get("spill_writes").unwrap().as_u64(), Some(0));
         server.shutdown();
+    }
+
+    #[test]
+    fn scenario_store_counters_round_trip_over_tcp() {
+        // A service with the disk tier enabled: after one query the store
+        // holds spilled blocks; after a "restart" (second service over the
+        // same directory, same workload parameters) the same query is
+        // served by store reads — all visible through the `stats` op.
+        let dir = std::env::temp_dir().join(format!("spqd-store-e2e-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let query_line = concat!(
+            r#"{"id":"q1","relation":"t","query":"SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) <= 200 AND SUM(gain) >= -1 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)","validation_scenarios":400}"#,
+            "\n"
+        );
+        let run_once = || {
+            let service = SpqService::new(ServiceConfig {
+                base_options: SpqOptions::for_tests(),
+                scenario_store_dir: Some(dir.clone()),
+                ..Default::default()
+            });
+            let relation = RelationBuilder::new("t")
+                .deterministic_f64("price", vec![100.0, 100.0, 100.0])
+                .stochastic(
+                    "gain",
+                    NormalNoise::around(vec![5.0, 1.0, 0.3], vec![1.0, 0.3, 0.1]),
+                )
+                .build()
+                .unwrap();
+            service.register_relation("t", relation);
+            let server =
+                SpqServer::start(Arc::new(service), "127.0.0.1:0", ServerConfig::default())
+                    .expect("server starts");
+            let stream = TcpStream::connect(server.local_addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut s = &stream;
+            s.write_all(query_line.as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let response = QueryResponse::parse_line(&line).unwrap();
+            assert_eq!(response.status, QueryStatus::Ok, "{:?}", response.error);
+            s.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+            let mut stats_line = String::new();
+            reader.read_line(&mut stats_line).unwrap();
+            let stats = crate::json::parse(stats_line.trim_end()).expect("stats is valid JSON");
+            server.shutdown();
+            stats.get("scenario_store").unwrap().clone()
+        };
+
+        let first = run_once();
+        assert_eq!(first.get("enabled").unwrap().as_bool(), Some(true));
+        let spilled = first.get("spill_writes").unwrap().as_u64().unwrap();
+        assert!(spilled > 0, "first run must spill realized blocks");
+        assert_eq!(first.get("reads").unwrap().as_u64(), Some(0));
+        assert!(first.get("bytes").unwrap().as_u64().unwrap() > 0);
+
+        let second = run_once();
+        assert!(
+            second.get("reads").unwrap().as_u64().unwrap() > 0,
+            "warm restart must serve blocks from the store: {second:?}"
+        );
+        assert_eq!(
+            second.get("spill_writes").unwrap().as_u64(),
+            Some(0),
+            "nothing should regenerate on a warm restart"
+        );
+        assert_eq!(second.get("corrupt").unwrap().as_u64(), Some(0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -40,6 +40,14 @@ pub struct ServiceConfig {
     pub default_algorithm: Algorithm,
     /// Byte budget of the shared scenario cache.
     pub scenario_cache_bytes: u64,
+    /// Directory of the persistent scenario store (disk tier of the
+    /// scenario cache). `None` disables persistence; when set, realized
+    /// blocks are spilled there and reloaded across restarts — repeated
+    /// traffic on the same workload pays generation once per store
+    /// lifetime, not once per process.
+    pub scenario_store_dir: Option<std::path::PathBuf>,
+    /// Byte budget of the persistent scenario store.
+    pub scenario_store_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +57,8 @@ impl Default for ServiceConfig {
             default_timeout: Some(Duration::from_secs(60)),
             default_algorithm: Algorithm::SummarySearch,
             scenario_cache_bytes: ScenarioCache::DEFAULT_MAX_BYTES,
+            scenario_store_dir: None,
+            scenario_store_bytes: spq_mcdb::ScenarioStore::DEFAULT_MAX_BYTES,
         }
     }
 }
@@ -74,7 +84,19 @@ impl SpqService {
     /// SketchRefine evaluator so requests may select any algorithm.
     pub fn new(config: ServiceConfig) -> Self {
         spq_sketch::install();
-        let scenarios = Arc::new(ScenarioCache::with_max_bytes(config.scenario_cache_bytes));
+        let mut cache = ScenarioCache::with_max_bytes(config.scenario_cache_bytes);
+        if let Some(dir) = &config.scenario_store_dir {
+            match spq_mcdb::ScenarioStore::open_bounded(dir, config.scenario_store_bytes) {
+                Ok(store) => cache = cache.with_store(Arc::new(store)),
+                Err(e) => {
+                    // The store is an optimization: losing it degrades to
+                    // per-process generation, so a bad directory must not
+                    // keep the service from starting.
+                    eprintln!("spqd: scenario store at {} disabled: {e}", dir.display());
+                }
+            }
+        }
+        let scenarios = Arc::new(cache);
         SpqService {
             config,
             relations: RwLock::new(HashMap::new()),
@@ -529,6 +551,20 @@ impl SpqService {
                     ),
                 ]),
             ),
+            ("scenario_store".to_string(), {
+                let s = self.scenarios.store_stats();
+                Json::Obj(vec![
+                    (
+                        "enabled".to_string(),
+                        Json::from(self.scenarios.store().is_some()),
+                    ),
+                    ("spill_writes".to_string(), Json::from(s.spill_writes)),
+                    ("reads".to_string(), Json::from(s.reads)),
+                    ("bytes".to_string(), Json::from(s.bytes)),
+                    ("corrupt".to_string(), Json::from(s.corrupt)),
+                    ("evictions".to_string(), Json::from(s.evictions)),
+                ])
+            }),
             (
                 "relations".to_string(),
                 Json::Arr(self.relation_names().into_iter().map(Json::from).collect()),

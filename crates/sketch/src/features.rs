@@ -16,7 +16,6 @@
 
 use spq_core::silp::{CoeffSource, SilpObjective};
 use spq_core::{Instance, Result};
-use spq_mcdb::ScenarioGenerator;
 
 /// Normalized per-candidate feature vectors, row-major.
 #[derive(Debug, Clone)]
@@ -109,11 +108,14 @@ pub fn candidate_features(instance: &Instance<'_>) -> Result<FeatureMatrix> {
         dims.push(instance.deterministic(col)?.to_vec());
     }
 
-    let generator = ScenarioGenerator::new(instance.options.seed);
     let m = instance.options.sketch.feature_scenarios.max(1);
     for col in &stoch {
         dims.push(instance.expectations(col)?.to_vec());
-        let moments = generator.tuple_moments(instance.relation, col, &instance.silp.tuples, m)?;
+        // Routed through the instance so the moment prefilter applies: a
+        // provably scenario-invariant column contributes its exact (value,
+        // 0) moments without any scenario draws, and noisy columns go
+        // through the columnar block engine.
+        let moments = instance.tuple_moments(col, m)?;
         dims.push(moments.into_iter().map(|(_, sd)| sd).collect());
     }
 

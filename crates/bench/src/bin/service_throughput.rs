@@ -1,22 +1,31 @@
 //! Throughput and cache-effect benchmark for the spq-service subsystem.
 //!
-//! Starts an in-process `SpqServer` over the Portfolio workload, then:
+//! Starts an in-process `SpqServer` (spq-net reactor + sharded worker pool)
+//! over the Portfolio workload, then:
 //!
-//! 1. runs a **serial reference** of every distinct request (fresh service,
-//!    no warm caches) to obtain the expected packages and the *cold* latency;
-//! 2. re-runs one request on the warmed service to measure the *warm*
+//! 1. runs a **serial reference** of the request (fresh service, no warm
+//!    caches) to obtain the expected package and the *cold* latency;
+//! 2. re-runs the request on the warmed service to measure the *warm*
 //!    latency — the prepared-query and scenario-cache amortization;
-//! 3. drives `--clients` concurrent TCP clients, each issuing `--repeat`
-//!    queries, asserts every response is **bit-identical** to the serial
-//!    reference, and reports queries/second.
+//! 3. sweeps `--clients` concurrent TCP client counts (default 8,64,256)
+//!    against one shared server, each client issuing `--repeat` queries;
+//!    every response is asserted **bit-identical** to the serial reference
+//!    and each step reports queries/second plus client-observed
+//!    p50/p90/p99/max latency.
 //!
-//! Results append to a JSON report (default `BENCH_service.json`).
+//! Identical concurrent requests coalesce in the server's single-flight
+//! result cache (execution is deterministic, so one solve serves them all);
+//! the sweep therefore measures the served-from-cache steady state the
+//! server reaches under a homogeneous load, with the cold solve paid inside
+//! the first step.
+//!
+//! Results are written to a JSON report (default `BENCH_service.json`).
 //!
 //! ```text
-//! service_throughput [--scale 10000] [--clients 8] [--repeat 2]
+//! service_throughput [--scale 10000] [--clients 8,64,256] [--repeat 2]
 //!                    [--algorithm sketch-refine] [--initial-scenarios 50]
 //!                    [--validation 1000] [--seed 11] [--timeout-ms 120000]
-//!                    [--out BENCH_service.json]
+//!                    [--workers N] [--out BENCH_service.json]
 //! ```
 
 use spq_core::{Algorithm, SpqOptions};
@@ -33,13 +42,14 @@ use std::time::{Duration, Instant};
 #[derive(Clone)]
 struct Cli {
     scale: usize,
-    clients: usize,
+    clients: Vec<usize>,
     repeat: usize,
     algorithm: Algorithm,
     initial_scenarios: usize,
     validation: usize,
     seed: u64,
     timeout_ms: u64,
+    workers: usize,
     out: String,
 }
 
@@ -47,13 +57,14 @@ impl Default for Cli {
     fn default() -> Self {
         Cli {
             scale: 10_000,
-            clients: 8,
+            clients: vec![8, 64, 256],
             repeat: 2,
             algorithm: Algorithm::SketchRefine,
             initial_scenarios: 50,
             validation: 1000,
             seed: 11,
             timeout_ms: 120_000,
+            workers: 0,
             out: "BENCH_service.json".to_string(),
         }
     }
@@ -72,7 +83,17 @@ fn parse_cli() -> Cli {
         };
         match flag.as_str() {
             "--scale" => cli.scale = value().parse().expect("--scale"),
-            "--clients" => cli.clients = value().parse().expect("--clients"),
+            "--clients" => {
+                cli.clients = value()
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse().expect("--clients"))
+                    .collect();
+                assert!(
+                    !cli.clients.is_empty(),
+                    "--clients needs at least one count"
+                );
+            }
             "--repeat" => cli.repeat = value().parse().expect("--repeat"),
             "--algorithm" => cli.algorithm = value().parse().expect("--algorithm"),
             "--initial-scenarios" => {
@@ -81,6 +102,7 @@ fn parse_cli() -> Cli {
             "--validation" => cli.validation = value().parse().expect("--validation"),
             "--seed" => cli.seed = value().parse().expect("--seed"),
             "--timeout-ms" => cli.timeout_ms = value().parse().expect("--timeout-ms"),
+            "--workers" => cli.workers = value().parse().expect("--workers"),
             "--out" => cli.out = value().to_string(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -104,6 +126,7 @@ fn request_for(cli: &Cli, id: &str, query: &str) -> QueryRequest {
         id: id.to_string(),
         relation: "portfolio".to_string(),
         query: query.to_string(),
+        tenant: None,
         algorithm: Some(cli.algorithm),
         timeout_ms: Some(cli.timeout_ms),
         seed: Some(cli.seed),
@@ -119,13 +142,100 @@ fn execute_inline(service: &SpqService, request: &QueryRequest) -> QueryResponse
     service.execute(request, &token, deadline, Duration::ZERO)
 }
 
+/// One sweep step's client-side measurements.
+struct Step {
+    clients: usize,
+    requests: usize,
+    secs: f64,
+    latencies_ms: Vec<f64>,
+}
+
+impl Step {
+    fn qps(&self) -> f64 {
+        self.requests as f64 / self.secs.max(1e-9)
+    }
+
+    fn percentile(&self, q: f64) -> f64 {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn max(&self) -> f64 {
+        self.latencies_ms.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
+}
+
+/// Drive `clients` concurrent connections for `repeat` requests each,
+/// asserting every response is bit-identical to `expected`.
+fn run_step(
+    cli: &Cli,
+    addr: std::net::SocketAddr,
+    query: &str,
+    expected: &[(usize, u32)],
+    clients: usize,
+) -> Step {
+    let started = Instant::now();
+    let latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let cli = cli.clone();
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut laps = Vec::with_capacity(cli.repeat);
+                    for i in 0..cli.repeat {
+                        let request = request_for(&cli, &format!("s{clients}-c{c}-{i}"), query);
+                        let lap = Instant::now();
+                        let mut s = &stream;
+                        s.write_all(Request::Query(request).to_line().as_bytes())
+                            .expect("send");
+                        s.write_all(b"\n").expect("send");
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("recv");
+                        let response =
+                            QueryResponse::parse_line(line.trim_end()).expect("response");
+                        laps.push(lap.elapsed().as_secs_f64() * 1000.0);
+                        assert_eq!(
+                            response.status,
+                            QueryStatus::Ok,
+                            "step {clients}: client {c} run {i}: {:?}",
+                            response.error
+                        );
+                        assert_eq!(
+                            response.package, expected,
+                            "step {clients}: client {c} run {i}: package differs from serial \
+                             reference"
+                        );
+                    }
+                    laps
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    Step {
+        clients,
+        requests: clients * cli.repeat,
+        secs: started.elapsed().as_secs_f64(),
+        latencies_ms,
+    }
+}
+
 fn main() {
     let cli = parse_cli();
     let workload = build_workload(WorkloadKind::Portfolio, cli.scale, 7);
     let n_tuples = workload.relation.len();
     let query = workload.query(1).to_string();
     eprintln!(
-        "service_throughput: Portfolio Q1, {n_tuples} tuples, {} × {} requests, {}",
+        "service_throughput: Portfolio Q1, {n_tuples} tuples, sweep {:?} × {} requests, {}",
         cli.clients, cli.repeat, cli.algorithm
     );
 
@@ -165,93 +275,99 @@ fn main() {
         serial.scenario_cache().misses(),
     );
 
-    // ---- concurrent clients over TCP --------------------------------------
+    // ---- concurrent client sweep over TCP ---------------------------------
+    let max_clients = cli.clients.iter().copied().max().unwrap_or(8);
     let service = Arc::new(SpqService::new(service_config()));
     service.register_relation("portfolio", workload.relation.clone());
     let server = SpqServer::start(
         service.clone(),
         "127.0.0.1:0",
         ServerConfig {
-            workers: cli.clients,
-            queue_capacity: cli.clients * cli.repeat + 8,
+            workers: cli.workers,
+            // Every connection has at most one request outstanding, so the
+            // queue never needs to hold more than one job per client.
+            queue_capacity: max_clients + 8,
+            max_connections: max_clients + 16,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
     let addr = server.local_addr();
 
     let expected = reference.package.clone();
-    let concurrent_started = Instant::now();
-    let wall_times: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cli.clients)
-            .map(|c| {
-                let cli = cli.clone();
-                let query = query.clone();
-                let expected = expected.clone();
-                scope.spawn(move || {
-                    let stream = TcpStream::connect(addr).expect("connect");
-                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-                    let mut walls = Vec::with_capacity(cli.repeat);
-                    for i in 0..cli.repeat {
-                        let request = request_for(&cli, &format!("c{c}-{i}"), &query);
-                        let mut s = &stream;
-                        s.write_all(Request::Query(request).to_line().as_bytes())
-                            .expect("send");
-                        s.write_all(b"\n").expect("send");
-                        let mut line = String::new();
-                        reader.read_line(&mut line).expect("recv");
-                        let response =
-                            QueryResponse::parse_line(line.trim_end()).expect("response");
-                        assert_eq!(
-                            response.status,
-                            QueryStatus::Ok,
-                            "client {c} run {i}: {:?}",
-                            response.error
-                        );
-                        assert_eq!(
-                            response.package, expected,
-                            "client {c} run {i}: package differs from serial reference"
-                        );
-                        walls.push(response.wall_ms);
-                    }
-                    walls
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
-    });
-    let concurrent_secs = concurrent_started.elapsed().as_secs_f64();
-    let total = cli.clients * cli.repeat;
-    let qps = total as f64 / concurrent_secs;
-    let mean_wall = wall_times.iter().sum::<f64>() / wall_times.len() as f64;
-    // Tail latency under this client count, straight from the service's own
-    // spq-obs histogram (the same data a `stats` op reports).
-    let latency = service.query_latency();
-    let ms = |ns: u64| ns as f64 / 1e6;
-    let (p50_ms, p90_ms, p99_ms, max_ms) = (
-        ms(latency.p50()),
-        ms(latency.p90()),
-        ms(latency.p99()),
-        ms(latency.max()),
-    );
+    let mut steps = Vec::with_capacity(cli.clients.len());
+    for &clients in &cli.clients {
+        let step = run_step(&cli, addr, &query, &expected, clients);
+        eprintln!(
+            "  {:>4} clients: {} requests in {:.2}s = {:.2} q/s \
+             (client-observed p50 {:.1} / p99 {:.1} / max {:.1} ms); bit-identical",
+            step.clients,
+            step.requests,
+            step.secs,
+            step.qps(),
+            step.percentile(0.50),
+            step.percentile(0.99),
+            step.max(),
+        );
+        steps.push(step);
+    }
+    let results = service.result_cache();
     eprintln!(
-        "  {} requests over {} clients in {concurrent_secs:.2}s = {qps:.2} q/s \
-         (mean in-service wall {mean_wall:.1} ms, p50 {p50_ms:.1} / p99 {p99_ms:.1} ms); \
-         all packages bit-identical to serial",
-        total, cli.clients
+        "  result cache: {} hits, {} misses, {} coalesced",
+        results.hits(),
+        results.misses(),
+        results.coalesced()
     );
     server.shutdown();
 
+    // The acceptance metric: throughput at 64 concurrent clients (or the
+    // largest step actually run when 64 is not in the sweep).
+    let headline = steps
+        .iter()
+        .find(|s| s.clients == 64)
+        .or_else(|| steps.last())
+        .expect("at least one sweep step");
+    let total: usize = steps.iter().map(|s| s.requests).sum();
+
     // ---- report ------------------------------------------------------------
+    let sweep = Json::Arr(
+        steps
+            .iter()
+            .map(|step| {
+                Json::Obj(vec![
+                    ("clients".to_string(), Json::from(step.clients)),
+                    ("requests".to_string(), Json::from(step.requests)),
+                    ("wall_seconds".to_string(), Json::from(round3(step.secs))),
+                    (
+                        "queries_per_second".to_string(),
+                        Json::from(round3(step.qps())),
+                    ),
+                    (
+                        // Client-observed round-trip latency for this step
+                        // (includes queue time and the wire).
+                        "latency_ms".to_string(),
+                        Json::Obj(vec![
+                            ("count".to_string(), Json::from(step.requests)),
+                            ("p50".to_string(), Json::from(round3(step.percentile(0.50)))),
+                            ("p90".to_string(), Json::from(round3(step.percentile(0.90)))),
+                            ("p99".to_string(), Json::from(round3(step.percentile(0.99)))),
+                            ("max".to_string(), Json::from(round3(step.max()))),
+                        ]),
+                    ),
+                    ("bit_identical_to_serial".to_string(), Json::from(true)),
+                ])
+            })
+            .collect(),
+    );
     let report = Json::Obj(vec![
         (
             "description".to_string(),
             Json::from(
-                "spq-service throughput: concurrent TCP clients vs serial reference on \
-                 Portfolio Q1; cold vs warm latency shows the prepared-query + \
-                 scenario-cache amortization. Regenerate with `command`.",
+                "spq-service throughput: sweep of concurrent TCP client counts vs a serial \
+                 reference on Portfolio Q1 (every response asserted bit-identical at every \
+                 step); cold vs warm latency shows the prepared-query + scenario-cache \
+                 amortization, the sweep shows the single-flight result cache under \
+                 homogeneous load. Regenerate with `command`.",
             ),
         ),
         (
@@ -260,7 +376,11 @@ fn main() {
                 "service_throughput --scale {} --clients {} --repeat {} --algorithm {} \
                  --initial-scenarios {} --validation {} --seed {}",
                 cli.scale,
-                cli.clients,
+                cli.clients
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
                 cli.repeat,
                 cli.algorithm,
                 cli.initial_scenarios,
@@ -273,29 +393,16 @@ fn main() {
             "algorithm".to_string(),
             Json::from(cli.algorithm.to_string()),
         ),
-        ("clients".to_string(), Json::from(cli.clients)),
         ("requests".to_string(), Json::from(total)),
-        ("queries_per_second".to_string(), Json::from(round3(qps))),
+        ("sweep".to_string(), sweep),
         (
-            "concurrent_wall_seconds".to_string(),
-            Json::from(round3(concurrent_secs)),
+            // Headline throughput at 64 clients — the acceptance metric.
+            "clients".to_string(),
+            Json::from(headline.clients),
         ),
         (
-            "mean_request_wall_ms".to_string(),
-            Json::from(round3(mean_wall)),
-        ),
-        (
-            // Tail latency of the `query` op under `clients` concurrent
-            // clients (service-side histogram; queue time excluded).
-            "latency_ms".to_string(),
-            Json::Obj(vec![
-                ("clients".to_string(), Json::from(cli.clients)),
-                ("count".to_string(), Json::from(latency.count())),
-                ("p50".to_string(), Json::from(round3(p50_ms))),
-                ("p90".to_string(), Json::from(round3(p90_ms))),
-                ("p99".to_string(), Json::from(round3(p99_ms))),
-                ("max".to_string(), Json::from(round3(max_ms))),
-            ]),
+            "queries_per_second".to_string(),
+            Json::from(round3(headline.qps())),
         ),
         ("bit_identical_to_serial".to_string(), Json::from(true)),
         (
@@ -307,6 +414,14 @@ fn main() {
                     "speedup".to_string(),
                     Json::from(round3(cold_ms / warm_ms.max(1e-9))),
                 ),
+            ]),
+        ),
+        (
+            "result_cache".to_string(),
+            Json::Obj(vec![
+                ("hits".to_string(), Json::from(results.hits())),
+                ("misses".to_string(), Json::from(results.misses())),
+                ("coalesced".to_string(), Json::from(results.coalesced())),
             ]),
         ),
         (

@@ -1,0 +1,210 @@
+//! Per-connection byte buffers with hard caps.
+//!
+//! Both directions of a connection are buffered in memory, and both buffers
+//! carry a **hard byte cap** set at accept time: a client that streams an
+//! endless line without a newline, or that stops reading while the server
+//! has responses to deliver, hits its cap and is disconnected. Memory per
+//! connection is therefore bounded by configuration, never by client
+//! behavior.
+
+/// Error returned when an append would push a buffer past its cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapExceeded {
+    /// The configured cap in bytes.
+    pub cap: usize,
+    /// Bytes the buffer would have needed to hold.
+    pub needed: usize,
+}
+
+impl std::fmt::Display for CapExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "buffer cap exceeded: {} bytes needed, cap {}",
+            self.needed, self.cap
+        )
+    }
+}
+
+impl std::error::Error for CapExceeded {}
+
+/// Inbound buffer: accumulates socket reads and yields complete
+/// newline-terminated lines.
+#[derive(Debug)]
+pub struct ReadBuffer {
+    data: Vec<u8>,
+    /// Bytes before `pos` are already-consumed line content awaiting
+    /// compaction.
+    pos: usize,
+    cap: usize,
+}
+
+impl ReadBuffer {
+    /// An empty buffer that refuses to hold more than `cap` un-consumed
+    /// bytes (i.e. the longest admissible request line).
+    pub fn new(cap: usize) -> Self {
+        ReadBuffer {
+            data: Vec::new(),
+            pos: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Append freshly-read socket bytes. Fails when the unconsumed tail
+    /// (a still-incomplete line) would exceed the cap.
+    pub fn extend(&mut self, bytes: &[u8]) -> Result<(), CapExceeded> {
+        self.compact();
+        let needed = self.data.len() + bytes.len();
+        if needed > self.cap {
+            return Err(CapExceeded {
+                cap: self.cap,
+                needed,
+            });
+        }
+        self.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// The next complete line (without its terminator), or `None` when no
+    /// full line is buffered. Lone `\r` before the newline is stripped.
+    pub fn next_line(&mut self) -> Option<String> {
+        let start = self.pos;
+        let nl = self.data[start..].iter().position(|&b| b == b'\n')?;
+        let mut end = start + nl;
+        self.pos = end + 1;
+        if end > start && self.data[end - 1] == b'\r' {
+            end -= 1;
+        }
+        let line = String::from_utf8_lossy(&self.data[start..end]).into_owned();
+        Some(line)
+    }
+
+    /// Unconsumed bytes currently resident.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unconsumed bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.data.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// Outbound buffer: responses queued for an edge-triggered flush.
+#[derive(Debug)]
+pub struct WriteBuffer {
+    data: Vec<u8>,
+    pos: usize,
+    cap: usize,
+}
+
+impl WriteBuffer {
+    /// An empty buffer refusing to hold more than `cap` unflushed bytes.
+    pub fn new(cap: usize) -> Self {
+        WriteBuffer {
+            data: Vec::new(),
+            pos: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Queue `bytes` for delivery. Fails (leaving the buffer untouched)
+    /// when the unflushed total would exceed the cap — the caller must
+    /// disconnect rather than buffer without bound for a reader that has
+    /// stalled.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<(), CapExceeded> {
+        if self.pos > 0 {
+            self.data.drain(..self.pos);
+            self.pos = 0;
+        }
+        let needed = self.data.len() + bytes.len();
+        if needed > self.cap {
+            return Err(CapExceeded {
+                cap: self.cap,
+                needed,
+            });
+        }
+        self.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// The unflushed bytes (flush target).
+    pub fn pending(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Record that the socket accepted `n` bytes of [`Self::pending`].
+    pub fn advance(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.data.len());
+        if self.pos == self.data.len() {
+            self.data.clear();
+            self.pos = 0;
+        }
+    }
+
+    /// Unflushed byte count.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether everything queued has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_buffer_splits_lines_and_strips_cr() {
+        let mut buf = ReadBuffer::new(64);
+        buf.extend(b"alpha\nbe").unwrap();
+        assert_eq!(buf.next_line().as_deref(), Some("alpha"));
+        assert_eq!(buf.next_line(), None);
+        buf.extend(b"ta\r\ngamma\n").unwrap();
+        assert_eq!(buf.next_line().as_deref(), Some("beta"));
+        assert_eq!(buf.next_line().as_deref(), Some("gamma"));
+        assert_eq!(buf.next_line(), None);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn read_buffer_caps_an_endless_line() {
+        let mut buf = ReadBuffer::new(8);
+        buf.extend(b"12345678").unwrap();
+        let err = buf.extend(b"9").unwrap_err();
+        assert_eq!(err.cap, 8);
+        assert_eq!(err.needed, 9);
+        // Consuming a line frees the space again.
+        let mut buf = ReadBuffer::new(8);
+        buf.extend(b"1234567\n").unwrap();
+        assert_eq!(buf.next_line().as_deref(), Some("1234567"));
+        buf.extend(b"12345678").unwrap();
+    }
+
+    #[test]
+    fn write_buffer_caps_and_flushes_incrementally() {
+        let mut buf = WriteBuffer::new(10);
+        buf.push(b"hello").unwrap();
+        buf.push(b"world").unwrap();
+        assert!(buf.push(b"!").is_err(), "cap reached");
+        assert_eq!(buf.pending(), b"helloworld");
+        buf.advance(4);
+        assert_eq!(buf.pending(), b"oworld");
+        // Partially-flushed bytes no longer count against the cap.
+        buf.push(b"!!!!").unwrap();
+        assert_eq!(buf.len(), 10);
+        buf.advance(10);
+        assert!(buf.is_empty());
+        assert_eq!(buf.pending(), b"");
+    }
+}

@@ -1,0 +1,47 @@
+//! # spq-net — zero-dependency event-driven networking
+//!
+//! The networking layer under `spqd`: a single-threaded [`poll(2)`][poll]
+//! readiness reactor over nonblocking sockets, with per-connection
+//! [capped read/write buffers](buffer) and a cross-thread
+//! [wake pipe](poller). No external crates — the few POSIX entry points
+//! needed (`poll`, `pipe`, `fcntl`) are declared directly against the C
+//! library `std` already links.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                 ┌──────────────────────────────┐
+//!   TCP clients ──► Reactor (1 thread, poll(2))  │
+//!                 │  · accept / read / flush     │
+//!                 │  · line framing (ReadBuffer) │
+//!                 │  · capped WriteBuffer/conn   │──► Handler::on_line
+//!                 │  · idle + drain timers       │      (worker pool)
+//!                 └──────────▲───────────────────┘
+//!                            │ Waker (self-pipe)
+//!                   ReactorHandle::send(conn, line)
+//! ```
+//!
+//! * [`reactor::Reactor`] owns the listener and every connection; protocol
+//!   logic plugs in through [`reactor::Handler`], whose callbacks run on the
+//!   reactor thread and must not block.
+//! * Worker threads answer through [`reactor::ReactorHandle::send`], which
+//!   appends to the connection's capped [`buffer::WriteBuffer`] and wakes
+//!   the poller via the self-pipe.
+//! * Misbehaving peers are disconnected, never buffered without bound: an
+//!   endless request line trips the read cap, a peer that stops reading
+//!   trips the write cap, and a silent peer trips the idle timeout.
+//! * Client disappearance (EOF/HUP) is observed promptly by the poll loop
+//!   and surfaced as [`reactor::Handler::on_close`], which is what lets the
+//!   query service cancel in-flight solves for dropped connections.
+//!
+//! [poll]: https://pubs.opengroup.org/onlinepubs/9699919799/functions/poll.html
+
+pub mod sys;
+
+pub mod buffer;
+pub mod poller;
+pub mod reactor;
+
+pub use buffer::{CapExceeded, ReadBuffer, WriteBuffer};
+pub use poller::{Poller, Waker};
+pub use reactor::{CloseReason, ConnId, Handler, Reactor, ReactorConfig, ReactorHandle};

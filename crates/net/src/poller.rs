@@ -1,0 +1,95 @@
+//! The readiness poller: `poll(2)` plus a cross-thread waker.
+//!
+//! [`Poller::wait`] blocks on an arbitrary fd set; [`Waker::wake`] (callable
+//! from any thread) makes the current or next `wait` return immediately by
+//! writing one byte down an internal nonblocking pipe. The poller is
+//! deliberately low-level — interest lists are plain [`PollFd`] records —
+//! and the [`crate::reactor`] module layers connection bookkeeping on top.
+
+use crate::sys::{nonblocking_pipe, poll_fds, OwnedFd, PollFd, POLLIN};
+use std::io;
+use std::sync::Arc;
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from another thread.
+/// Cheap to clone; wakes coalesce (N wakes may be observed as one).
+#[derive(Clone, Debug)]
+pub struct Waker {
+    write_end: Arc<OwnedFd>,
+}
+
+impl Waker {
+    /// Interrupt the poller's current (or next) wait.
+    pub fn wake(&self) {
+        self.write_end.write_byte();
+    }
+}
+
+/// A `poll(2)` wrapper owning the wake pipe.
+#[derive(Debug)]
+pub struct Poller {
+    read_end: OwnedFd,
+    waker: Waker,
+}
+
+impl Poller {
+    /// Create a poller and its wake pipe.
+    pub fn new() -> io::Result<Poller> {
+        let (read_end, write_end) = nonblocking_pipe()?;
+        Ok(Poller {
+            read_end,
+            waker: Waker {
+                write_end: Arc::new(write_end),
+            },
+        })
+    }
+
+    /// A handle other threads use to interrupt [`Poller::wait`].
+    pub fn waker(&self) -> Waker {
+        self.waker.clone()
+    }
+
+    /// Block until some fd in `fds` is ready, a waker fires, or
+    /// `timeout_ms` elapses (negative = forever). On return, `fds[i].revents`
+    /// holds each fd's readiness; the result is `true` when a waker fired
+    /// (already drained).
+    pub fn wait(&self, fds: &mut Vec<PollFd>, timeout_ms: i32) -> io::Result<bool> {
+        fds.push(PollFd {
+            fd: self.read_end.0,
+            events: POLLIN,
+            revents: 0,
+        });
+        let result = poll_fds(fds, timeout_ms);
+        let wake_entry = fds.pop().expect("wake fd entry");
+        result?;
+        let woken = wake_entry.revents & POLLIN != 0;
+        if woken {
+            self.read_end.drain();
+        }
+        Ok(woken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn waker_interrupts_a_blocking_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let started = Instant::now();
+        let mut fds = Vec::new();
+        let woken = poller.wait(&mut fds, 10_000).unwrap();
+        assert!(woken);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        handle.join().unwrap();
+        // Drained: the next wait times out instead of spinning.
+        let woken = poller.wait(&mut fds, 10).unwrap();
+        assert!(!woken);
+    }
+}

@@ -1,0 +1,141 @@
+//! Thin POSIX shims: `poll(2)` and a nonblocking self-wake pipe.
+//!
+//! The workspace builds without external crates, so the handful of libc
+//! entry points the reactor needs are declared here directly; the symbols
+//! come from the C library that `std` already links. Everything is plain
+//! POSIX (`poll`, `pipe`, `fcntl`, `read`, `write`, `close`) — no
+//! Linux-only syscalls — so the reactor runs on any Unix.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// `poll(2)` readiness flags (POSIX values, identical on Linux and the
+/// BSDs).
+pub const POLLIN: i16 = 0x001;
+/// Writable (or connect completed).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// `struct pollfd` — layout fixed by POSIX.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch (negative entries are ignored by the
+    /// kernel, which is how unused slots are parked).
+    pub fd: i32,
+    /// Requested events.
+    pub events: i16,
+    /// Returned events.
+    pub revents: i16,
+}
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0x800; // Linux; harmless superset bit elsewhere.
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    fn pipe(fds: *mut i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// Block until one of `fds` is ready or `timeout_ms` elapses (negative =
+/// forever). Returns the number of ready descriptors; `Interrupted` is
+/// translated to `Ok(0)` so callers simply re-loop.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+/// A nonblocking pipe: `(read_end, write_end)`.
+pub fn nonblocking_pipe() -> io::Result<(OwnedFd, OwnedFd)> {
+    let mut fds = [0i32; 2];
+    if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let (r, w) = (OwnedFd(fds[0]), OwnedFd(fds[1]));
+    set_nonblocking(r.0)?;
+    set_nonblocking(w.0)?;
+    Ok((r, w))
+}
+
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// A raw fd closed on drop (the pipe ends; sockets stay in `std` types).
+#[derive(Debug)]
+pub struct OwnedFd(pub RawFd);
+
+impl OwnedFd {
+    /// Write one byte, ignoring `WouldBlock` (a full pipe already wakes the
+    /// poller) and `Interrupted`.
+    pub fn write_byte(&self) {
+        let byte = 1u8;
+        unsafe { write(self.0, &byte, 1) };
+    }
+
+    /// Drain everything currently buffered (nonblocking).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.0, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        unsafe { close(self.0) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_wakes_poll() {
+        let (r, w) = nonblocking_pipe().unwrap();
+        let mut fds = [PollFd {
+            fd: r.0,
+            events: POLLIN,
+            revents: 0,
+        }];
+        // Nothing written yet: poll times out with no ready fds.
+        assert_eq!(poll_fds(&mut fds, 10).unwrap(), 0);
+        w.write_byte();
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].revents & POLLIN != 0);
+        r.drain();
+        fds[0].revents = 0;
+        assert_eq!(poll_fds(&mut fds, 10).unwrap(), 0, "drained pipe is idle");
+    }
+}

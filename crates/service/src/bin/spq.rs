@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! spq --addr 127.0.0.1:7878 --relation portfolio --query "SELECT PACKAGE(*) ..."
-//!     [--algorithm summary-search] [--timeout-ms 30000] [--seed 7]
+//!     [--tenant NAME] [--algorithm summary-search] [--timeout-ms 30000] [--seed 7]
 //!     [--validation 1000] [--initial-scenarios 100]
 //!     [--repeat 1] [--concurrency 1] [--expect-feasible] [--quiet]
 //!     [--validate-result] [--early-stop full|certain|hoeffding]
@@ -28,7 +28,8 @@ use std::net::TcpStream;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spq --relation NAME --query SPAQL [--addr HOST:PORT] [--algorithm A]\n\
+        "usage: spq --relation NAME --query SPAQL [--addr HOST:PORT] [--tenant NAME]\n\
+         \x20          [--algorithm A]\n\
          \x20          [--timeout-ms N] [--seed N] [--validation N] [--initial-scenarios N]\n\
          \x20          [--repeat N] [--concurrency N] [--expect-feasible] [--quiet]\n\
          \x20          [--validate-result] [--early-stop full|certain|hoeffding]"
@@ -55,6 +56,7 @@ fn parse_cli() -> Cli {
             id: String::new(),
             relation: String::new(),
             query: String::new(),
+            tenant: None,
             algorithm: None,
             timeout_ms: None,
             seed: None,
@@ -82,6 +84,7 @@ fn parse_cli() -> Cli {
             "--addr" => cli.addr = value("--addr").to_string(),
             "--relation" => cli.request.relation = value("--relation").to_string(),
             "--query" => cli.request.query = value("--query").to_string(),
+            "--tenant" => cli.request.tenant = Some(value("--tenant").to_string()),
             "--algorithm" => {
                 cli.request.algorithm = Some(value("--algorithm").parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -180,6 +183,7 @@ fn run_connection(cli: &Cli, worker: usize) -> Result<Vec<Outcome>, String> {
                 id: format!("spq-{worker}-{i}-validate"),
                 relation: cli.request.relation.clone(),
                 query: cli.request.query.clone(),
+                tenant: cli.request.tenant.clone(),
                 package: response.package.clone(),
                 validation_scenarios: cli.request.validation_scenarios,
                 seed: cli.request.seed,

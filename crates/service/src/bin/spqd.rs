@@ -6,7 +6,11 @@
 //!
 //! ```text
 //! spqd [--addr 127.0.0.1:7878] [--workloads portfolio,galaxy,tpch]
-//!      [--scale 10000] [--seed 42] [--workers N] [--queue 64]
+//!      [--scale 10000] [--seed 42] [--workers N] [--queue 64] [--shards N]
+//!      [--max-connections 1024] [--idle-timeout-ms N]
+//!      [--read-buffer-bytes N] [--write-buffer-bytes N]
+//!      [--max-tenant-relations 8] [--max-tenant-tuples 2000000]
+//!      [--result-cache N]
 //!      [--default-timeout-ms 60000] [--validation 10000]
 //!      [--solver revised|dense] [--scenario-store DIR]
 //!      [--scenario-store-bytes N]
@@ -34,7 +38,11 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: spqd [--addr HOST:PORT] [--workloads portfolio,galaxy,tpch] [--scale N]\n\
-         \x20           [--seed N] [--workers N] [--queue N] [--default-timeout-ms N]\n\
+         \x20           [--seed N] [--workers N] [--queue N] [--shards N]\n\
+         \x20           [--max-connections N] [--idle-timeout-ms N]\n\
+         \x20           [--read-buffer-bytes N] [--write-buffer-bytes N]\n\
+         \x20           [--max-tenant-relations N] [--max-tenant-tuples N]\n\
+         \x20           [--result-cache N] [--default-timeout-ms N]\n\
          \x20           [--validation N] [--solver revised|dense]\n\
          \x20           [--scenario-store DIR] [--scenario-store-bytes N]"
     );
@@ -42,12 +50,7 @@ fn usage() -> ! {
 }
 
 fn parse_workload(name: &str) -> Option<WorkloadKind> {
-    match name.trim().to_ascii_lowercase().as_str() {
-        "portfolio" => Some(WorkloadKind::Portfolio),
-        "galaxy" => Some(WorkloadKind::Galaxy),
-        "tpch" | "tpc-h" => Some(WorkloadKind::Tpch),
-        _ => None,
-    }
+    spq_service::RelationSource::parse_workload_kind(name)
 }
 
 fn main() {
@@ -56,6 +59,8 @@ fn main() {
     let mut scale = 10_000usize;
     let mut seed = 42u64;
     let mut server_config = ServerConfig::default();
+    let mut tenant_quotas = spq_service::TenantQuotas::default();
+    let mut result_cache_entries = spq_service::ResultCache::DEFAULT_CAPACITY;
     let mut default_timeout_ms = 60_000u64;
     let mut validation = 10_000usize;
     let mut solver_backend: Option<spq_solver::SolverBackend> = None;
@@ -95,6 +100,43 @@ fn main() {
             }
             "--queue" => {
                 server_config.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--shards" => {
+                server_config.shards = value("--shards").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-connections" => {
+                server_config.max_connections = value("--max-connections")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value("--idle-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                server_config.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--read-buffer-bytes" => {
+                server_config.read_buffer_bytes = value("--read-buffer-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--write-buffer-bytes" => {
+                server_config.write_buffer_bytes = value("--write-buffer-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-tenant-relations" => {
+                tenant_quotas.max_relations = value("--max-tenant-relations")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-tenant-tuples" => {
+                tenant_quotas.max_resident_tuples = value("--max-tenant-tuples")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--result-cache" => {
+                result_cache_entries = value("--result-cache").parse().unwrap_or_else(|_| usage())
             }
             "--default-timeout-ms" => {
                 default_timeout_ms = value("--default-timeout-ms")
@@ -149,6 +191,8 @@ fn main() {
         default_timeout: Some(Duration::from_millis(default_timeout_ms)),
         scenario_store_dir,
         scenario_store_bytes,
+        tenant_quotas,
+        result_cache_entries,
         ..Default::default()
     }));
     for kind in workloads {

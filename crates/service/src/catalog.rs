@@ -1,0 +1,655 @@
+//! The multi-tenant relation catalog.
+//!
+//! spqd serves more than one user: the catalog gives each **tenant** its own
+//! relation namespace layered over a **shared** namespace (the workloads
+//! loaded at startup). Tenants load relations at runtime through the
+//! `load_relation` wire op — either by synthesizing one of the paper's
+//! workload generators or by reading a column-spec JSON file — and unload
+//! them when done. A query names a relation; resolution checks the tenant's
+//! own namespace first and falls back to the shared one, so two tenants
+//! loading the *same name* get fully isolated relations (distinct
+//! [`Relation::uid`]s, hence disjoint prepared-plan, scenario and result
+//! cache entries).
+//!
+//! Admission quotas bound what one tenant can make the server hold resident:
+//! at most [`TenantQuotas::max_relations`] relations and
+//! [`TenantQuotas::max_resident_tuples`] total tuples per tenant. A load
+//! past either quota fails with a clean admission error — never a hang, and
+//! never unbounded memory. Per-tenant admit/reject counters feed the `stats`
+//! op; aggregates land in the [`spq_obs`] registry.
+
+use crate::json::Json;
+use spq_mcdb::vg::NormalNoise;
+use spq_mcdb::{Relation, RelationBuilder};
+use spq_obs::{Counter, Named};
+use spq_workloads::{build_workload, WorkloadKind};
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+static TENANT_ADMITS: Named<Counter> =
+    Named::new("spq_service_tenant_admits_total", Counter::new());
+static TENANT_REJECTS: Named<Counter> =
+    Named::new("spq_service_tenant_rejects_total", Counter::new());
+static RELATIONS_LOADED: Named<Counter> =
+    Named::new("spq_service_relations_loaded_total", Counter::new());
+static RELATIONS_UNLOADED: Named<Counter> =
+    Named::new("spq_service_relations_unloaded_total", Counter::new());
+
+/// The tenant requests without a `tenant` field belong to.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Per-tenant admission quotas.
+#[derive(Debug, Clone)]
+pub struct TenantQuotas {
+    /// Relations one tenant may hold loaded at once.
+    pub max_relations: usize,
+    /// Total tuples across one tenant's loaded relations.
+    pub max_resident_tuples: usize,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas {
+            max_relations: 8,
+            max_resident_tuples: 2_000_000,
+        }
+    }
+}
+
+/// Where a loaded relation's data comes from.
+#[derive(Debug, Clone)]
+pub enum RelationSource {
+    /// Synthesize one of the paper's workload generators.
+    Workload {
+        /// Which generator.
+        kind: WorkloadKind,
+        /// Tuple count.
+        scale: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Read a column-spec JSON file (see [`relation_from_file`]).
+    File {
+        /// Path on the server's filesystem.
+        path: String,
+    },
+}
+
+impl RelationSource {
+    /// Parse the workload name used on the wire and in `spqd --workloads`.
+    pub fn parse_workload_kind(name: &str) -> Option<WorkloadKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "portfolio" => Some(WorkloadKind::Portfolio),
+            "galaxy" => Some(WorkloadKind::Galaxy),
+            "tpch" | "tpc-h" => Some(WorkloadKind::Tpch),
+            _ => None,
+        }
+    }
+
+    /// Human-readable provenance shown by `list_relations`.
+    pub fn describe(&self) -> String {
+        match self {
+            RelationSource::Workload { kind, scale, seed } => {
+                format!("workload:{kind}(scale={scale},seed={seed})")
+            }
+            RelationSource::File { path } => format!("file:{path}"),
+        }
+    }
+
+    /// Materialize the relation. Heavy (generator or file I/O): call from a
+    /// worker thread, never the reactor thread.
+    fn build(&self) -> Result<Relation, CatalogError> {
+        match self {
+            RelationSource::Workload { kind, scale, seed } => {
+                Ok(build_workload(*kind, *scale, *seed).relation)
+            }
+            RelationSource::File { path } => relation_from_file(path),
+        }
+    }
+}
+
+/// Why a catalog operation failed. Every variant maps to a clean wire error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// `unload_relation`/resolution named a relation the tenant does not
+    /// have.
+    UnknownRelation(String),
+    /// The tenant is at [`TenantQuotas::max_relations`].
+    RelationQuota {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The load would push the tenant past
+    /// [`TenantQuotas::max_resident_tuples`].
+    TupleQuota {
+        /// The configured cap.
+        limit: usize,
+        /// Tuples the tenant would have held resident.
+        needed: usize,
+    },
+    /// The source could not be read or parsed.
+    BadSource(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            CatalogError::RelationQuota { limit } => {
+                write!(f, "tenant quota exceeded: at most {limit} loaded relations")
+            }
+            CatalogError::TupleQuota { limit, needed } => write!(
+                f,
+                "tenant quota exceeded: {needed} resident tuples needed, at most {limit} allowed"
+            ),
+            CatalogError::BadSource(message) => write!(f, "bad relation source: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// One loaded relation plus its provenance.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The relation (O(1) to clone).
+    pub relation: Relation,
+    /// Provenance string ([`RelationSource::describe`], or `"startup"` for
+    /// shared relations registered by the operator).
+    pub source: String,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    relations: HashMap<String, CatalogEntry>,
+    admits: u64,
+    rejects: u64,
+}
+
+impl TenantState {
+    fn resident_tuples(&self) -> usize {
+        self.relations.values().map(|e| e.relation.len()).sum()
+    }
+}
+
+/// One relation as reported by `list_relations`.
+#[derive(Debug, Clone)]
+pub struct RelationInfo {
+    /// Registered name (lowercased).
+    pub name: String,
+    /// Tuple count.
+    pub tuples: usize,
+    /// Provenance string.
+    pub source: String,
+    /// Whether the relation lives in the shared namespace (visible to every
+    /// tenant) rather than the tenant's own.
+    pub shared: bool,
+}
+
+/// Per-tenant usage as reported by the `stats` op.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub tenant: String,
+    /// Names of the tenant's own loaded relations, sorted.
+    pub relations: Vec<String>,
+    /// Total tuples the tenant holds resident.
+    pub resident_tuples: usize,
+    /// Requests admitted for this tenant.
+    pub admits: u64,
+    /// Requests rejected for this tenant (queue full, duplicate id, quota).
+    pub rejects: u64,
+}
+
+/// The relation registry: a shared namespace plus one namespace per tenant.
+#[derive(Debug)]
+pub struct Catalog {
+    shared: RwLock<HashMap<String, CatalogEntry>>,
+    tenants: RwLock<HashMap<String, TenantState>>,
+    quotas: TenantQuotas,
+}
+
+impl Catalog {
+    /// An empty catalog enforcing `quotas` on every tenant.
+    pub fn new(quotas: TenantQuotas) -> Self {
+        Catalog {
+            shared: RwLock::new(HashMap::new()),
+            tenants: RwLock::new(HashMap::new()),
+            quotas,
+        }
+    }
+
+    /// The quotas every tenant is held to.
+    pub fn quotas(&self) -> &TenantQuotas {
+        &self.quotas
+    }
+
+    /// Register a relation in the shared namespace (startup workloads;
+    /// exempt from tenant quotas, visible to every tenant). Replaces any
+    /// previous shared relation of that name.
+    pub fn register_shared(
+        &self,
+        name: impl Into<String>,
+        relation: Relation,
+        source: impl Into<String>,
+    ) {
+        let name = name.into().to_ascii_lowercase();
+        self.shared.write().expect("catalog poisoned").insert(
+            name,
+            CatalogEntry {
+                relation,
+                source: source.into(),
+            },
+        );
+    }
+
+    /// Resolve `name` for `tenant`: the tenant's own namespace shadows the
+    /// shared one.
+    pub fn resolve(&self, tenant: &str, name: &str) -> Option<Relation> {
+        let name = name.to_ascii_lowercase();
+        {
+            let tenants = self.tenants.read().expect("catalog poisoned");
+            if let Some(entry) = tenants.get(tenant).and_then(|t| t.relations.get(&name)) {
+                return Some(entry.relation.clone());
+            }
+        }
+        self.shared
+            .read()
+            .expect("catalog poisoned")
+            .get(&name)
+            .map(|e| e.relation.clone())
+    }
+
+    /// Load `source` as `tenant`'s relation `name` (replacing the tenant's
+    /// previous relation of that name). Builds the relation *outside* the
+    /// catalog locks — concurrent queries keep resolving while a generator
+    /// runs — then admits it under the tenant's quotas. Returns the tuple
+    /// count.
+    pub fn load(
+        &self,
+        tenant: &str,
+        name: &str,
+        source: &RelationSource,
+    ) -> Result<usize, CatalogError> {
+        let name = name.to_ascii_lowercase();
+        // Cheap pre-check before paying for generation: a tenant already at
+        // its relation cap (and not replacing) can be refused immediately.
+        {
+            let tenants = self.tenants.read().expect("catalog poisoned");
+            if let Some(state) = tenants.get(tenant) {
+                if state.relations.len() >= self.quotas.max_relations
+                    && !state.relations.contains_key(&name)
+                {
+                    return Err(CatalogError::RelationQuota {
+                        limit: self.quotas.max_relations,
+                    });
+                }
+            }
+        }
+        let relation = source.build()?;
+        let tuples = relation.len();
+
+        let mut tenants = self.tenants.write().expect("catalog poisoned");
+        let state = tenants.entry(tenant.to_string()).or_default();
+        let replaced: usize = state
+            .relations
+            .get(&name)
+            .map(|e| e.relation.len())
+            .unwrap_or(0);
+        if state.relations.len() >= self.quotas.max_relations
+            && !state.relations.contains_key(&name)
+        {
+            return Err(CatalogError::RelationQuota {
+                limit: self.quotas.max_relations,
+            });
+        }
+        let needed = state.resident_tuples() - replaced + tuples;
+        if needed > self.quotas.max_resident_tuples {
+            return Err(CatalogError::TupleQuota {
+                limit: self.quotas.max_resident_tuples,
+                needed,
+            });
+        }
+        state.relations.insert(
+            name,
+            CatalogEntry {
+                relation,
+                source: source.describe(),
+            },
+        );
+        RELATIONS_LOADED.inc();
+        Ok(tuples)
+    }
+
+    /// Drop `tenant`'s relation `name`. Shared relations cannot be unloaded
+    /// through a tenant (resolution falls back to them, but they are not the
+    /// tenant's to drop).
+    pub fn unload(&self, tenant: &str, name: &str) -> Result<(), CatalogError> {
+        let name = name.to_ascii_lowercase();
+        let mut tenants = self.tenants.write().expect("catalog poisoned");
+        let removed = tenants
+            .get_mut(tenant)
+            .and_then(|t| t.relations.remove(&name));
+        match removed {
+            Some(_) => {
+                RELATIONS_UNLOADED.inc();
+                Ok(())
+            }
+            None => Err(CatalogError::UnknownRelation(name)),
+        }
+    }
+
+    /// The relations `tenant` can see: its own (shadowing) plus the shared
+    /// ones, sorted by name.
+    pub fn list(&self, tenant: &str) -> Vec<RelationInfo> {
+        let mut infos: HashMap<String, RelationInfo> = self
+            .shared
+            .read()
+            .expect("catalog poisoned")
+            .iter()
+            .map(|(name, entry)| {
+                (
+                    name.clone(),
+                    RelationInfo {
+                        name: name.clone(),
+                        tuples: entry.relation.len(),
+                        source: entry.source.clone(),
+                        shared: true,
+                    },
+                )
+            })
+            .collect();
+        if let Some(state) = self.tenants.read().expect("catalog poisoned").get(tenant) {
+            for (name, entry) in &state.relations {
+                infos.insert(
+                    name.clone(),
+                    RelationInfo {
+                        name: name.clone(),
+                        tuples: entry.relation.len(),
+                        source: entry.source.clone(),
+                        shared: false,
+                    },
+                );
+            }
+        }
+        let mut infos: Vec<RelationInfo> = infos.into_values().collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Names in the shared namespace, sorted (the pre-catalog
+    /// `relation_names` surface).
+    pub fn shared_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shared
+            .read()
+            .expect("catalog poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Count one admitted request against `tenant`.
+    pub fn record_admit(&self, tenant: &str) {
+        TENANT_ADMITS.inc();
+        let mut tenants = self.tenants.write().expect("catalog poisoned");
+        tenants.entry(tenant.to_string()).or_default().admits += 1;
+    }
+
+    /// Count one rejected request against `tenant`.
+    pub fn record_reject(&self, tenant: &str) {
+        TENANT_REJECTS.inc();
+        let mut tenants = self.tenants.write().expect("catalog poisoned");
+        tenants.entry(tenant.to_string()).or_default().rejects += 1;
+    }
+
+    /// Per-tenant usage, sorted by tenant name (the `stats` op's
+    /// `tenants` section).
+    pub fn tenant_snapshots(&self) -> Vec<TenantSnapshot> {
+        let tenants = self.tenants.read().expect("catalog poisoned");
+        let mut snapshots: Vec<TenantSnapshot> = tenants
+            .iter()
+            .map(|(tenant, state)| {
+                let mut relations: Vec<String> = state.relations.keys().cloned().collect();
+                relations.sort();
+                TenantSnapshot {
+                    tenant: tenant.clone(),
+                    relations,
+                    resident_tuples: state.resident_tuples(),
+                    admits: state.admits,
+                    rejects: state.rejects,
+                }
+            })
+            .collect();
+        snapshots.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        snapshots
+    }
+}
+
+/// Build a relation from a column-spec JSON file:
+///
+/// ```json
+/// {"name": "stocks",
+///  "columns": [
+///    {"name": "price", "kind": "deterministic", "values": [100.0, 101.5]},
+///    {"name": "gain",  "kind": "normal", "means": [5.0, 4.0], "sds": [1.0, 6.0]}
+///  ]}
+/// ```
+///
+/// `deterministic` columns carry exact `values`; `normal` columns are
+/// stochastic with per-tuple `means` and standard deviations `sds` (the
+/// Monte Carlo VG function used by the paper's Portfolio workload). All
+/// columns must have the same length.
+pub fn relation_from_file(path: &str) -> Result<Relation, CatalogError> {
+    let bad = |message: String| CatalogError::BadSource(message);
+    let text =
+        std::fs::read_to_string(path).map_err(|e| bad(format!("cannot read `{path}`: {e}")))?;
+    let value = crate::json::parse(&text).map_err(|e| bad(format!("`{path}`: {e}")))?;
+    let name = value
+        .str_field("name")
+        .ok_or_else(|| bad(format!("`{path}`: missing relation `name`")))?;
+    let columns = value
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad(format!("`{path}`: missing `columns` array")))?;
+    if columns.is_empty() {
+        return Err(bad(format!("`{path}`: `columns` is empty")));
+    }
+
+    let floats = |column: &Json, key: &str| -> Result<Vec<f64>, CatalogError> {
+        column
+            .get(key)
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad(format!("`{path}`: column needs a `{key}` array")))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| bad(format!("`{path}`: `{key}` entries must be numbers")))
+            })
+            .collect()
+    };
+
+    let mut builder = RelationBuilder::new(name);
+    for column in columns {
+        let column_name = column
+            .str_field("name")
+            .ok_or_else(|| bad(format!("`{path}`: every column needs a `name`")))?;
+        match column.str_field("kind").unwrap_or("deterministic") {
+            "deterministic" => {
+                builder = builder.deterministic_f64(column_name, floats(column, "values")?);
+            }
+            "normal" => {
+                let means = floats(column, "means")?;
+                let sds = floats(column, "sds")?;
+                if means.len() != sds.len() {
+                    return Err(bad(format!(
+                        "`{path}`: column `{column_name}` has {} means but {} sds",
+                        means.len(),
+                        sds.len()
+                    )));
+                }
+                builder = builder.stochastic(column_name, NormalNoise::around(means, sds));
+            }
+            other => {
+                return Err(bad(format!(
+                    "`{path}`: column `{column_name}` has unknown kind `{other}` \
+                     (expected deterministic or normal)"
+                )));
+            }
+        }
+    }
+    builder.build().map_err(|e| bad(format!("`{path}`: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_source(scale: usize) -> RelationSource {
+        RelationSource::Workload {
+            kind: WorkloadKind::Portfolio,
+            scale,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_shadow_the_shared_namespace() {
+        let catalog = Catalog::new(TenantQuotas::default());
+        let shared = build_workload(WorkloadKind::Portfolio, 150, 1).relation;
+        catalog.register_shared("portfolio", shared.clone(), "startup");
+
+        // Both tenants see the shared relation.
+        assert!(catalog.resolve("alice", "PORTFOLIO").is_some());
+        assert!(catalog.resolve("bob", "portfolio").is_some());
+
+        // Alice loads her own `portfolio`; Bob keeps seeing the shared one.
+        catalog
+            .load("alice", "portfolio", &small_source(120))
+            .unwrap();
+        let alice = catalog.resolve("alice", "portfolio").unwrap();
+        let bob = catalog.resolve("bob", "portfolio").unwrap();
+        assert_ne!(alice.uid(), bob.uid(), "tenant relations must be isolated");
+        assert_eq!(bob.uid(), shared.uid());
+
+        // Listing marks provenance.
+        let listed = catalog.list("alice");
+        assert_eq!(listed.len(), 1, "alice's relation shadows the shared one");
+        assert!(!listed[0].shared);
+        assert!(listed[0].source.starts_with("workload:Portfolio"));
+        assert!(catalog.list("bob")[0].shared);
+
+        // Unload restores the shared view; unloading again is a clean error.
+        catalog.unload("alice", "portfolio").unwrap();
+        assert_eq!(
+            catalog.resolve("alice", "portfolio").unwrap().uid(),
+            shared.uid()
+        );
+        assert_eq!(
+            catalog.unload("alice", "portfolio"),
+            Err(CatalogError::UnknownRelation("portfolio".into()))
+        );
+    }
+
+    #[test]
+    fn quotas_reject_with_clean_errors() {
+        let catalog = Catalog::new(TenantQuotas {
+            max_relations: 2,
+            max_resident_tuples: 400,
+        });
+        catalog.load("t", "a", &small_source(120)).unwrap();
+        catalog.load("t", "b", &small_source(120)).unwrap();
+        // Third relation: over the relation cap.
+        let err = catalog.load("t", "c", &small_source(120)).unwrap_err();
+        assert!(matches!(err, CatalogError::RelationQuota { limit: 2 }));
+        // Replacing an existing name is allowed at the cap, but not past the
+        // tuple budget.
+        let err = catalog.load("t", "a", &small_source(350)).unwrap_err();
+        assert!(matches!(err, CatalogError::TupleQuota { .. }));
+        assert!(err.to_string().contains("tenant quota exceeded"));
+        // Another tenant is unaffected.
+        catalog.load("u", "a", &small_source(120)).unwrap();
+    }
+
+    #[test]
+    fn snapshots_track_usage_and_admissions() {
+        let catalog = Catalog::new(TenantQuotas::default());
+        catalog.load("t", "a", &small_source(120)).unwrap();
+        catalog.record_admit("t");
+        catalog.record_admit("t");
+        catalog.record_reject("t");
+        let snapshots = catalog.tenant_snapshots();
+        assert_eq!(snapshots.len(), 1);
+        let snap = &snapshots[0];
+        assert_eq!(snap.tenant, "t");
+        assert_eq!(snap.relations, vec!["a".to_string()]);
+        assert!(snap.resident_tuples >= 100);
+        assert_eq!(snap.admits, 2);
+        assert_eq!(snap.rejects, 1);
+    }
+
+    #[test]
+    fn file_sources_round_trip_and_reject_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("spq-catalog-rel-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            r#"{"name":"stocks","columns":[
+                {"name":"price","kind":"deterministic","values":[100.0,101.5,99.0]},
+                {"name":"gain","kind":"normal","means":[5.0,4.0,1.0],"sds":[1.0,6.0,0.2]}
+            ]}"#,
+        )
+        .unwrap();
+        let relation = relation_from_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(relation.len(), 3);
+        assert!(relation.is_stochastic("gain"));
+        assert!(!relation.is_stochastic("price"));
+
+        let catalog = Catalog::new(TenantQuotas::default());
+        let loaded = catalog
+            .load(
+                "t",
+                "stocks",
+                &RelationSource::File {
+                    path: path.to_str().unwrap().to_string(),
+                },
+            )
+            .unwrap();
+        assert_eq!(loaded, 3);
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file and malformed specs are BadSource, not panics.
+        assert!(matches!(
+            relation_from_file("/nonexistent/rel.json"),
+            Err(CatalogError::BadSource(_))
+        ));
+        let bad = dir.join(format!("spq-catalog-bad-{}.json", std::process::id()));
+        std::fs::write(
+            &bad,
+            r#"{"name":"x","columns":[{"name":"c","kind":"weird"}]}"#,
+        )
+        .unwrap();
+        let err = relation_from_file(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unknown kind"));
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn workload_kind_spellings_parse() {
+        assert_eq!(
+            RelationSource::parse_workload_kind("Portfolio"),
+            Some(WorkloadKind::Portfolio)
+        );
+        assert_eq!(
+            RelationSource::parse_workload_kind("tpc-h"),
+            Some(WorkloadKind::Tpch)
+        );
+        assert_eq!(
+            RelationSource::parse_workload_kind("galaxy"),
+            Some(WorkloadKind::Galaxy)
+        );
+        assert_eq!(RelationSource::parse_workload_kind("nope"), None);
+    }
+}

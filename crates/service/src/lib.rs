@@ -11,19 +11,27 @@
 //! * [`json`] — a minimal JSON parser/writer (the workspace's `serde` is an
 //!   API stub, so the wire format is hand-rolled).
 //! * [`protocol`] — the NDJSON request/response types: queries, `cancel`,
-//!   `stats`, `ping`; statuses `ok` / `rejected` / `cancelled` / `timeout` /
-//!   `error`.
+//!   `stats`, `ping`, catalog ops (`load_relation` / `unload_relation` /
+//!   `list_relations`); statuses `ok` / `rejected` / `cancelled` /
+//!   `timeout` / `error`.
+//! * [`catalog`] — the **multi-tenant relation catalog**: per-tenant
+//!   namespaces that shadow a shared (startup) namespace, admission quotas
+//!   on relation count and resident tuples, and per-tenant admit/reject
+//!   accounting.
 //! * [`prepared`] — the **prepared-query cache**: parse → bind → translate
 //!   once per `(relation, query text)`, re-evaluated under any algorithm,
 //!   seed or budget.
-//! * [`service`] — [`SpqService`]: the relation registry, both caches, and
+//! * [`results`] — the **deterministic result cache** with single-flight
+//!   coalescing: identical concurrent requests run one solve and share its
+//!   `ok` response.
+//! * [`service`] — [`SpqService`]: the catalog, all three caches, and
 //!   deterministic request execution (same request ⇒ bit-identical package,
 //!   serial or concurrent).
-//! * [`server`] — [`SpqServer`]: accept loop, per-connection readers, a
-//!   bounded job queue with admission control, and a worker pool; per-query
-//!   deadlines and cooperative cancellation ride on
+//! * [`server`] — [`SpqServer`]: a [`spq_net`] poll(2) reactor feeding a
+//!   sharded, tenant-fair worker pool with bounded-queue admission control;
+//!   per-query deadlines and cooperative cancellation ride on
 //!   [`spq_solver::Deadline`], which the solver polls inside its pivot
-//!   loops.
+//!   loops, and a dropped connection cancels its in-flight solves.
 //!
 //! Scenario generation is pooled across queries through
 //! [`spq_mcdb::ScenarioCache`], which [`SpqService`] injects into every
@@ -54,6 +62,7 @@
 //!     query: "SELECT PACKAGE(*) FROM t SUCH THAT SUM(price) <= 200 AND \
 //!             SUM(gain) >= -1 WITH PROBABILITY >= 0.9 \
 //!             MAXIMIZE EXPECTED SUM(gain)".into(),
+//!     tenant: None,
 //!     algorithm: None,
 //!     timeout_ms: Some(30_000),
 //!     seed: None,
@@ -72,25 +81,33 @@
 //! for the wire format and the repository README for the `spqd`/`spq`
 //! command-line interface.
 
+pub mod catalog;
 pub mod json;
 pub mod prepared;
 pub mod protocol;
+pub mod results;
 pub mod server;
 pub mod service;
 
+pub use catalog::{Catalog, CatalogError, RelationSource, TenantQuotas, DEFAULT_TENANT};
 pub use json::Json;
 pub use prepared::PreparedCache;
 pub use protocol::{
-    QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest, ValidateResponse,
+    LoadRequest, QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest,
+    ValidateResponse,
 };
+pub use results::ResultCache;
 pub use server::{ServerConfig, SpqServer};
 pub use service::{ServiceConfig, SpqService};
 
 /// Convenient single import for embedding the service.
 pub mod prelude {
+    pub use crate::catalog::{Catalog, RelationSource, TenantQuotas, DEFAULT_TENANT};
     pub use crate::protocol::{
-        QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest, ValidateResponse,
+        LoadRequest, QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest,
+        ValidateResponse,
     };
+    pub use crate::results::ResultCache;
     pub use crate::server::{ServerConfig, SpqServer};
     pub use crate::service::{ServiceConfig, SpqService};
 }

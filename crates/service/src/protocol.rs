@@ -18,12 +18,25 @@
 //! {"op":"cancel","id":"q1"}
 //! {"op":"stats"}
 //! {"op":"ping"}
+//! {"op":"load_relation","id":"l1","name":"p2","tenant":"alice",
+//!  "source":"workload","workload":"portfolio","scale":5000,"seed":7}
+//! {"op":"load_relation","id":"l2","name":"mine","source":"file",
+//!  "path":"/data/mine.json"}
+//! {"op":"unload_relation","name":"p2","tenant":"alice"}
+//! {"op":"list_relations","tenant":"alice"}
 //! ```
 //!
 //! Query fields: `id` and `relation` and `query` are required; `algorithm`
 //! (default `summary-search`), `timeout_ms`, `seed`, `initial_scenarios`,
 //! `max_scenarios` and `validation_scenarios` override the server defaults
-//! per request. `validate` runs the blocked out-of-sample validator over a
+//! per request. `tenant` (any op that touches a relation) selects the
+//! tenant namespace the relation name resolves in; requests without it act
+//! as the `default` tenant. `load_relation` registers a relation in the
+//! requesting tenant's namespace — `source:"workload"` synthesizes one of
+//! the paper's generators (`workload`, `scale`, `seed`), `source:"file"`
+//! reads a column-spec JSON file from the server's filesystem — subject to
+//! the tenant's admission quotas. `unload_relation` drops it;
+//! `list_relations` reports what the tenant can see. `validate` runs the blocked out-of-sample validator over a
 //! given package (no search): `package` lists `[tuple_index, multiplicity]`
 //! pairs, `early_stop` is `full` (default), `certain` or `hoeffding`, and
 //! the response (tagged `"op":"validate"`) carries the per-constraint
@@ -36,7 +49,7 @@
 //! ```json
 //! {"id":"q1","status":"ok","feasible":true,"objective":12.5,
 //!  "package":[[3,1],[17,2]],"algorithm":"SummarySearch",
-//!  "prepared_cache":"hit","queue_ms":0.4,"wall_ms":18.2,
+//!  "prepared_cache":"hit","result_cache":"miss","queue_ms":0.4,"wall_ms":18.2,
 //!  "stats":{"scenarios":100,"summaries":1,"outer_iterations":1,
 //!            "problems_solved":4,"validations":3,"solver_nodes":11,
 //!            "lp_pivots":903,"max_problem_coefficients":4000}}
@@ -47,6 +60,7 @@
 //! the queue was full), `cancelled`, `timeout`, or `error` (with an `error`
 //! message). `package` lists `[tuple_index, multiplicity]` pairs.
 
+use crate::catalog::RelationSource;
 use crate::json::{parse, Json};
 use spq_core::validation::ConstraintValidation;
 use spq_core::{Algorithm, EarlyStop, EvaluationStats};
@@ -73,6 +87,9 @@ pub struct QueryRequest {
     pub max_scenarios: Option<usize>,
     /// `SpqOptions::validation_scenarios` override.
     pub validation_scenarios: Option<usize>,
+    /// Tenant namespace the relation name resolves in (`None` = the
+    /// `default` tenant).
+    pub tenant: Option<String>,
 }
 
 /// A package to validate out-of-sample, without re-running the search.
@@ -99,6 +116,24 @@ pub struct ValidateRequest {
     /// Validator worker threads (`None`/0 = automatic; results are
     /// bit-identical either way).
     pub threads: Option<usize>,
+    /// Tenant namespace the relation name resolves in (`None` = the
+    /// `default` tenant).
+    pub tenant: Option<String>,
+}
+
+/// A `load_relation` op: register a relation in the requesting tenant's
+/// namespace, subject to the tenant's admission quotas.
+#[derive(Debug, Clone)]
+pub struct LoadRequest {
+    /// Client-chosen id echoed in the response.
+    pub id: String,
+    /// Name the relation is registered under (case-insensitive).
+    pub name: String,
+    /// Tenant namespace the relation is loaded into (`None` = the
+    /// `default` tenant).
+    pub tenant: Option<String>,
+    /// Where the data comes from.
+    pub source: RelationSource,
 }
 
 /// One parsed request line.
@@ -117,6 +152,20 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Load a relation into the requesting tenant's namespace.
+    Load(LoadRequest),
+    /// Drop a relation from the requesting tenant's namespace.
+    Unload {
+        /// Relation name.
+        name: String,
+        /// Tenant namespace (`None` = the `default` tenant).
+        tenant: Option<String>,
+    },
+    /// List the relations the requesting tenant can see.
+    ListRelations {
+        /// Tenant namespace (`None` = the `default` tenant).
+        tenant: Option<String>,
+    },
 }
 
 /// Parse a `[[tuple, multiplicity], ...]` package field.
@@ -185,6 +234,7 @@ impl Request {
                     validation_scenarios: value
                         .u64_field("validation_scenarios")
                         .map(|v| v as usize),
+                    tenant: value.str_field("tenant").map(str::to_string),
                 }))
             }
             "validate" => {
@@ -221,6 +271,7 @@ impl Request {
                     timeout_ms: value.u64_field("timeout_ms"),
                     early_stop,
                     threads: value.u64_field("threads").map(|v| v as usize),
+                    tenant: value.str_field("tenant").map(str::to_string),
                 }))
             }
             "cancel" => Ok(Request::Cancel {
@@ -231,6 +282,72 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
+            "load_relation" => {
+                let id = value
+                    .str_field("id")
+                    .ok_or("load_relation request needs a string `id`")?
+                    .to_string();
+                let name = value
+                    .str_field("name")
+                    .ok_or("load_relation request needs a string `name`")?
+                    .to_string();
+                // `source` may be omitted: a `path` implies a file source,
+                // a `workload` implies a generator source.
+                let source_kind =
+                    value
+                        .str_field("source")
+                        .unwrap_or(if value.get("path").is_some() {
+                            "file"
+                        } else {
+                            "workload"
+                        });
+                let source = match source_kind {
+                    "workload" => {
+                        let workload = value
+                            .str_field("workload")
+                            .ok_or("workload source needs a `workload` name")?;
+                        let kind =
+                            RelationSource::parse_workload_kind(workload).ok_or_else(|| {
+                                format!(
+                                    "unknown workload `{workload}` \
+                                     (expected portfolio, galaxy or tpch)"
+                                )
+                            })?;
+                        RelationSource::Workload {
+                            kind,
+                            scale: value.u64_field("scale").unwrap_or(1000) as usize,
+                            seed: value.u64_field("seed").unwrap_or(42),
+                        }
+                    }
+                    "file" => RelationSource::File {
+                        path: value
+                            .str_field("path")
+                            .ok_or("file source needs a `path`")?
+                            .to_string(),
+                    },
+                    other => {
+                        return Err(format!(
+                            "unknown source `{other}` (expected workload or file)"
+                        ))
+                    }
+                };
+                Ok(Request::Load(LoadRequest {
+                    id,
+                    name,
+                    tenant: value.str_field("tenant").map(str::to_string),
+                    source,
+                }))
+            }
+            "unload_relation" => Ok(Request::Unload {
+                name: value
+                    .str_field("name")
+                    .ok_or("unload_relation request needs a string `name`")?
+                    .to_string(),
+                tenant: value.str_field("tenant").map(str::to_string),
+            }),
+            "list_relations" => Ok(Request::ListRelations {
+                tenant: value.str_field("tenant").map(str::to_string),
+            }),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -262,6 +379,9 @@ impl Request {
                 if let Some(v) = q.validation_scenarios {
                     pairs.push(("validation_scenarios".to_string(), Json::from(v)));
                 }
+                if let Some(t) = &q.tenant {
+                    pairs.push(("tenant".to_string(), Json::from(t.as_str())));
+                }
                 Json::Obj(pairs).to_string()
             }
             Request::Validate(v) => {
@@ -287,6 +407,9 @@ impl Request {
                 if let Some(t) = v.threads {
                     pairs.push(("threads".to_string(), Json::from(t)));
                 }
+                if let Some(t) = &v.tenant {
+                    pairs.push(("tenant".to_string(), Json::from(t.as_str())));
+                }
                 Json::Obj(pairs).to_string()
             }
             Request::Cancel { id } => Json::Obj(vec![
@@ -296,6 +419,49 @@ impl Request {
             .to_string(),
             Request::Stats => Json::Obj(vec![("op".to_string(), Json::from("stats"))]).to_string(),
             Request::Ping => Json::Obj(vec![("op".to_string(), Json::from("ping"))]).to_string(),
+            Request::Load(l) => {
+                let mut pairs = vec![
+                    ("op".to_string(), Json::from("load_relation")),
+                    ("id".to_string(), Json::from(l.id.as_str())),
+                    ("name".to_string(), Json::from(l.name.as_str())),
+                ];
+                if let Some(t) = &l.tenant {
+                    pairs.push(("tenant".to_string(), Json::from(t.as_str())));
+                }
+                match &l.source {
+                    RelationSource::Workload { kind, scale, seed } => {
+                        pairs.push(("source".to_string(), Json::from("workload")));
+                        pairs.push((
+                            "workload".to_string(),
+                            Json::from(kind.to_string().to_ascii_lowercase()),
+                        ));
+                        pairs.push(("scale".to_string(), Json::from(*scale)));
+                        pairs.push(("seed".to_string(), Json::from(*seed)));
+                    }
+                    RelationSource::File { path } => {
+                        pairs.push(("source".to_string(), Json::from("file")));
+                        pairs.push(("path".to_string(), Json::from(path.as_str())));
+                    }
+                }
+                Json::Obj(pairs).to_string()
+            }
+            Request::Unload { name, tenant } => {
+                let mut pairs = vec![
+                    ("op".to_string(), Json::from("unload_relation")),
+                    ("name".to_string(), Json::from(name.as_str())),
+                ];
+                if let Some(t) = tenant {
+                    pairs.push(("tenant".to_string(), Json::from(t.as_str())));
+                }
+                Json::Obj(pairs).to_string()
+            }
+            Request::ListRelations { tenant } => {
+                let mut pairs = vec![("op".to_string(), Json::from("list_relations"))];
+                if let Some(t) = tenant {
+                    pairs.push(("tenant".to_string(), Json::from(t.as_str())));
+                }
+                Json::Obj(pairs).to_string()
+            }
         }
     }
 }
@@ -359,6 +525,10 @@ pub struct QueryResponse {
     pub algorithm: String,
     /// Whether the prepared-query cache served the compiled plan.
     pub prepared_cache_hit: bool,
+    /// Whether the deterministic result cache served the whole response
+    /// (the request either matched a completed identical request or
+    /// coalesced with an in-flight one).
+    pub result_cache_hit: bool,
     /// Milliseconds spent queued before a worker picked the request up.
     pub queue_ms: f64,
     /// Milliseconds of evaluation wall time.
@@ -379,6 +549,7 @@ impl QueryResponse {
             package: Vec::new(),
             algorithm: String::new(),
             prepared_cache_hit: false,
+            result_cache_hit: false,
             queue_ms: 0.0,
             wall_ms: 0.0,
             stats: None,
@@ -413,6 +584,10 @@ impl QueryResponse {
             } else {
                 "miss"
             }),
+        ));
+        pairs.push((
+            "result_cache".to_string(),
+            Json::from(if self.result_cache_hit { "hit" } else { "miss" }),
         ));
         pairs.push(("queue_ms".to_string(), Json::from(self.queue_ms)));
         pairs.push(("wall_ms".to_string(), Json::from(self.wall_ms)));
@@ -472,6 +647,7 @@ impl QueryResponse {
             package,
             algorithm: value.str_field("algorithm").unwrap_or_default().to_string(),
             prepared_cache_hit: value.str_field("prepared_cache") == Some("hit"),
+            result_cache_hit: value.str_field("result_cache") == Some("hit"),
             queue_ms: value.get("queue_ms").and_then(Json::as_f64).unwrap_or(0.0),
             wall_ms: value.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
             stats: None,
@@ -686,6 +862,90 @@ mod tests {
     }
 
     #[test]
+    fn catalog_ops_round_trip() {
+        use spq_workloads::WorkloadKind;
+        // Workload source, explicit tenant.
+        let line = r#"{"op":"load_relation","id":"l1","name":"P2","tenant":"alice","source":"workload","workload":"portfolio","scale":5000,"seed":7}"#;
+        let parsed = Request::parse_line(line).unwrap();
+        let Request::Load(l) = &parsed else {
+            panic!("expected load");
+        };
+        assert_eq!(l.id, "l1");
+        assert_eq!(l.name, "P2");
+        assert_eq!(l.tenant.as_deref(), Some("alice"));
+        let RelationSource::Workload { kind, scale, seed } = &l.source else {
+            panic!("expected workload source");
+        };
+        assert_eq!(*kind, WorkloadKind::Portfolio);
+        assert_eq!((*scale, *seed), (5000, 7));
+        let Request::Load(l2) = Request::parse_line(&parsed.to_line()).unwrap() else {
+            panic!("expected load");
+        };
+        assert!(matches!(
+            l2.source,
+            RelationSource::Workload {
+                scale: 5000,
+                seed: 7,
+                ..
+            }
+        ));
+
+        // A `path` implies a file source without an explicit `source`.
+        let parsed = Request::parse_line(
+            r#"{"op":"load_relation","id":"l2","name":"mine","path":"/data/mine.json"}"#,
+        )
+        .unwrap();
+        let Request::Load(l) = &parsed else {
+            panic!("expected load");
+        };
+        assert!(matches!(&l.source, RelationSource::File { path } if path == "/data/mine.json"));
+        assert_eq!(l.tenant, None);
+        Request::parse_line(&parsed.to_line()).unwrap();
+
+        // Unload and list round-trip with and without tenant.
+        let parsed =
+            Request::parse_line(r#"{"op":"unload_relation","name":"p2","tenant":"alice"}"#)
+                .unwrap();
+        assert!(matches!(
+            &parsed,
+            Request::Unload { name, tenant }
+                if name == "p2" && tenant.as_deref() == Some("alice")
+        ));
+        Request::parse_line(&parsed.to_line()).unwrap();
+        let parsed = Request::parse_line(r#"{"op":"list_relations"}"#).unwrap();
+        assert!(matches!(&parsed, Request::ListRelations { tenant: None }));
+        Request::parse_line(&parsed.to_line()).unwrap();
+
+        // Bad inputs give targeted errors.
+        assert!(Request::parse_line(r#"{"op":"load_relation","id":"l"}"#).is_err());
+        assert!(Request::parse_line(
+            r#"{"op":"load_relation","id":"l","name":"x","workload":"nope"}"#
+        )
+        .unwrap_err()
+        .contains("unknown workload"));
+        assert!(Request::parse_line(
+            r#"{"op":"load_relation","id":"l","name":"x","source":"carrier-pigeon"}"#
+        )
+        .unwrap_err()
+        .contains("unknown source"));
+        assert!(Request::parse_line(r#"{"op":"unload_relation"}"#).is_err());
+
+        // Tenant-tagged queries round-trip the tenant.
+        let parsed = Request::parse_line(
+            r#"{"id":"q","relation":"r","query":"SELECT PACKAGE(*) FROM r","tenant":"bob"}"#,
+        )
+        .unwrap();
+        let Request::Query(q) = &parsed else {
+            panic!("expected query");
+        };
+        assert_eq!(q.tenant.as_deref(), Some("bob"));
+        let Request::Query(q2) = Request::parse_line(&parsed.to_line()).unwrap() else {
+            panic!("expected query");
+        };
+        assert_eq!(q2.tenant.as_deref(), Some("bob"));
+    }
+
+    #[test]
     fn validate_requests_round_trip() {
         let line = r#"{"op":"validate","id":"v1","relation":"portfolio","query":"SELECT PACKAGE(*) FROM portfolio","package":[[3,1],[17,2]],"validation_scenarios":100000,"early_stop":"hoeffding","threads":8,"seed":4}"#;
         let parsed = Request::parse_line(line).unwrap();
@@ -792,6 +1052,7 @@ mod tests {
             package: vec![(3, 1), (17, 2)],
             algorithm: "SummarySearch".into(),
             prepared_cache_hit: true,
+            result_cache_hit: true,
             queue_ms: 0.5,
             wall_ms: 18.0,
             stats: Some(EvaluationStats {
@@ -802,6 +1063,7 @@ mod tests {
         };
         let line = response.to_line();
         assert!(line.contains("\"prepared_cache\":\"hit\""));
+        assert!(line.contains("\"result_cache\":\"hit\""));
         assert!(line.contains("\"lp_pivots\":5"));
         let parsed = QueryResponse::parse_line(&line).unwrap();
         assert_eq!(parsed.id, "q1");
@@ -810,6 +1072,7 @@ mod tests {
         assert_eq!(parsed.objective, Some(12.25));
         assert_eq!(parsed.package, vec![(3, 1), (17, 2)]);
         assert!(parsed.prepared_cache_hit);
+        assert!(parsed.result_cache_hit);
         assert_eq!(parsed.wall_ms, 18.0);
     }
 

@@ -1,0 +1,337 @@
+//! The deterministic result cache with single-flight request coalescing.
+//!
+//! Service execution is **deterministic**: a query's answer is a pure
+//! function of the relation (by [`spq_mcdb::Relation::uid`]), the query
+//! text, the algorithm, and the effective scenario parameters — never of
+//! load, timing or thread interleaving (the e2e suite asserts bit-identical
+//! packages serial vs. concurrent). That makes completed `ok` responses
+//! safely cacheable, and it makes *in-flight duplicates* coalescible: when
+//! 64 clients ask the same question at once, one worker computes and the
+//! rest wait for its answer instead of burning 64× the CPU. On a small
+//! machine this is the difference between tail latency growing linearly
+//! with client count and staying flat.
+//!
+//! Only `status:"ok"` responses are cached. Cancelled, timed-out and error
+//! outcomes depend on *this request's* deadline and token, not just the key,
+//! so the computing slot is simply released and the next requester computes
+//! fresh. Waiters poll their own token and deadline while parked, so a
+//! cancelled client never hangs on somebody else's solve.
+
+use crate::protocol::{QueryResponse, QueryStatus};
+use spq_solver::{CancellationToken, Deadline};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Everything a query's answer may depend on (besides the request id, which
+/// is re-stamped on each response). Fields are the *effective* values after
+/// merging the request with the server's base options, so two requests
+/// spelling the same work differently still share.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// The resolved relation's uid (tenant isolation and reload
+    /// invalidation come for free: a different relation is a different
+    /// uid).
+    pub relation_uid: u64,
+    /// sPaQL text, verbatim.
+    pub query: String,
+    /// Algorithm name that will run.
+    pub algorithm: String,
+    /// Effective base seed.
+    pub seed: u64,
+    /// Effective initial scenario count.
+    pub initial_scenarios: usize,
+    /// Effective scenario cap.
+    pub max_scenarios: usize,
+    /// Effective out-of-sample budget.
+    pub validation_scenarios: usize,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// Some worker is computing this key; waiters park on the condvar.
+    InFlight,
+    /// A completed `ok` response (id/queue/wall re-stamped per requester).
+    /// Boxed: the in-flight variant is carried by every key, the payload
+    /// only by completed ones.
+    Ready(Box<QueryResponse>),
+}
+
+#[derive(Debug, Default)]
+struct State {
+    slots: HashMap<ResultKey, Slot>,
+    /// Ready keys in insertion order (FIFO eviction; in-flight slots are
+    /// never evicted).
+    order: VecDeque<ResultKey>,
+}
+
+/// What [`ResultCache::claim`] resolved to.
+#[derive(Debug)]
+pub enum Claim {
+    /// A cached response (already re-stamped with nothing — caller fixes
+    /// id/queue/wall).
+    Hit(Box<QueryResponse>),
+    /// The caller holds the compute slot and MUST call
+    /// [`ResultCache::complete`] with its response.
+    Compute,
+    /// The caller's own token fired while waiting on another computation.
+    Cancelled,
+    /// The caller's own deadline expired while waiting on another
+    /// computation.
+    TimedOut,
+}
+
+/// Single-flight deterministic result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    state: Mutex<State>,
+    done: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl ResultCache {
+    /// Ready entries kept by default.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A cache holding at most `capacity` completed responses.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            state: Mutex::new(State::default()),
+            done: Condvar::new(),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolve `key`: return the cached response, wait for an identical
+    /// in-flight computation, or claim the compute slot. A caller that
+    /// receives [`Claim::Compute`] must follow up with [`Self::complete`] —
+    /// even on panic-free error paths — or waiters would stall until their
+    /// own deadlines (they poll `token`/`deadline` every 20ms, so a lost
+    /// completion degrades to per-request timeouts, not a hang).
+    pub fn claim(&self, key: &ResultKey, token: &CancellationToken, deadline: &Deadline) -> Claim {
+        let mut counted_coalesce = false;
+        let mut state = self.state.lock().expect("result cache poisoned");
+        loop {
+            match state.slots.get(key) {
+                Some(Slot::Ready(response)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Hit(response.clone());
+                }
+                Some(Slot::InFlight) => {
+                    if !counted_coalesce {
+                        counted_coalesce = true;
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if token.is_cancelled() {
+                        return Claim::Cancelled;
+                    }
+                    if deadline.expired() {
+                        return Claim::TimedOut;
+                    }
+                    state = self
+                        .done
+                        .wait_timeout(state, Duration::from_millis(20))
+                        .expect("result cache poisoned")
+                        .0;
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    state.slots.insert(key.clone(), Slot::InFlight);
+                    return Claim::Compute;
+                }
+            }
+        }
+    }
+
+    /// Finish a computation claimed via [`Claim::Compute`]: cache `ok`
+    /// responses, release the slot otherwise, and wake every waiter.
+    pub fn complete(&self, key: &ResultKey, response: &QueryResponse) {
+        let mut state = self.state.lock().expect("result cache poisoned");
+        if response.status == QueryStatus::Ok {
+            state
+                .slots
+                .insert(key.clone(), Slot::Ready(Box::new(response.clone())));
+            state.order.push_back(key.clone());
+            while state.order.len() > self.capacity {
+                let evict = state.order.pop_front().expect("order non-empty");
+                // Only evict if the slot is still this Ready entry (a
+                // re-inserted key appears twice in `order`; the stale front
+                // reference must not evict the fresh entry).
+                if state.order.iter().all(|k| *k != evict) {
+                    state.slots.remove(&evict);
+                }
+            }
+        } else {
+            state.slots.remove(key);
+        }
+        drop(state);
+        self.done.notify_all();
+    }
+
+    /// Completed responses currently cached.
+    pub fn len(&self) -> usize {
+        let state = self.state.lock().expect("result cache poisoned");
+        state
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Whether no completed responses are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests answered from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that claimed the compute slot.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Requests that waited on an identical in-flight computation at least
+    /// once (they resolve as hits when it completes `ok`).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn key(tag: u64) -> ResultKey {
+        ResultKey {
+            relation_uid: tag,
+            query: "SELECT PACKAGE(*) FROM t".into(),
+            algorithm: "SummarySearch".into(),
+            seed: 42,
+            initial_scenarios: 100,
+            max_scenarios: 1000,
+            validation_scenarios: 500,
+        }
+    }
+
+    fn ok_response(id: &str) -> QueryResponse {
+        QueryResponse {
+            id: id.into(),
+            status: QueryStatus::Ok,
+            error: None,
+            feasible: true,
+            objective: Some(1.5),
+            package: vec![(3, 1)],
+            algorithm: "SummarySearch".into(),
+            prepared_cache_hit: false,
+            result_cache_hit: false,
+            queue_ms: 0.0,
+            wall_ms: 9.0,
+            stats: None,
+        }
+    }
+
+    fn free_claim(cache: &ResultCache, key: &ResultKey) -> Claim {
+        let token = CancellationToken::new();
+        let deadline = Deadline::none().with_token(token.clone());
+        cache.claim(key, &token, &deadline)
+    }
+
+    #[test]
+    fn computes_once_then_hits() {
+        let cache = ResultCache::new(8);
+        assert!(matches!(free_claim(&cache, &key(1)), Claim::Compute));
+        cache.complete(&key(1), &ok_response("a"));
+        let Claim::Hit(hit) = free_claim(&cache, &key(1)) else {
+            panic!("expected hit");
+        };
+        assert_eq!(hit.package, vec![(3, 1)]);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        // A different key misses.
+        assert!(matches!(free_claim(&cache, &key(2)), Claim::Compute));
+    }
+
+    #[test]
+    fn failures_release_the_slot_instead_of_caching() {
+        let cache = ResultCache::new(8);
+        assert!(matches!(free_claim(&cache, &key(1)), Claim::Compute));
+        let mut cancelled = ok_response("a");
+        cancelled.status = QueryStatus::Cancelled;
+        cache.complete(&key(1), &cancelled);
+        assert!(cache.is_empty());
+        // The next requester computes fresh rather than seeing the failure.
+        assert!(matches!(free_claim(&cache, &key(1)), Claim::Compute));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let cache = Arc::new(ResultCache::new(8));
+        assert!(matches!(free_claim(&cache, &key(1)), Claim::Compute));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = cache.clone();
+                std::thread::spawn(move || match free_claim(&cache, &key(1)) {
+                    Claim::Hit(r) => r.package,
+                    other => panic!("expected hit, got {other:?}"),
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        cache.complete(&key(1), &ok_response("computer"));
+        for waiter in waiters {
+            assert_eq!(waiter.join().unwrap(), vec![(3, 1)]);
+        }
+        assert_eq!(cache.misses(), 1, "only one computation");
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.coalesced(), 4);
+    }
+
+    #[test]
+    fn waiters_honor_their_own_cancellation_and_deadline() {
+        let cache = ResultCache::new(8);
+        assert!(matches!(free_claim(&cache, &key(1)), Claim::Compute));
+        // A waiter whose token fires gives up promptly.
+        let token = CancellationToken::new();
+        token.cancel();
+        let deadline = Deadline::none().with_token(token.clone());
+        assert!(matches!(
+            cache.claim(&key(1), &token, &deadline),
+            Claim::Cancelled
+        ));
+        // A waiter whose deadline expires gives up promptly.
+        let token = CancellationToken::new();
+        let deadline = Deadline::within(Duration::ZERO).with_token(token.clone());
+        let started = std::time::Instant::now();
+        assert!(matches!(
+            cache.claim(&key(1), &token, &deadline),
+            Claim::TimedOut
+        ));
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_ready_entries() {
+        let cache = ResultCache::new(2);
+        for tag in 0..3 {
+            assert!(matches!(free_claim(&cache, &key(tag)), Claim::Compute));
+            cache.complete(&key(tag), &ok_response("x"));
+        }
+        assert_eq!(cache.len(), 2);
+        // The oldest entry (tag 0) was evicted; newest two remain.
+        assert!(matches!(free_claim(&cache, &key(0)), Claim::Compute));
+        assert!(matches!(free_claim(&cache, &key(2)), Claim::Hit(_)));
+    }
+}

@@ -1,38 +1,56 @@
-//! The spqd TCP server: connection handling, admission control, scheduling.
+//! The spqd TCP server: one poll(2) reactor feeding a sharded worker pool.
 //!
 //! Architecture (std only, no async runtime):
 //!
-//! * An **accept thread** takes connections off the listener and spawns one
-//!   reader thread per connection.
-//! * Each **reader thread** parses NDJSON requests. Admin ops (`ping`,
-//!   `stats`, `cancel`) are answered inline; query ops are stamped with
-//!   their admission time and deadline, given a fresh
-//!   [`CancellationToken`], and pushed onto the shared bounded **job
-//!   queue**. A full queue rejects the request immediately
+//! * A single [`spq_net::Reactor`] thread owns every socket: it accepts
+//!   connections, frames NDJSON lines out of capped read buffers, flushes
+//!   capped write buffers, reaps idle peers, and notices a hung-up client at
+//!   the next poll — no thread per connection.
+//! * The reactor's [`Handler`] answers cheap admin ops (`ping`, `stats`,
+//!   `cancel`, `unload_relation`, `list_relations`) inline. Heavy ops
+//!   (`query`, `validate`, `load_relation`) are stamped with their admission
+//!   time and deadline, given a fresh [`CancellationToken`], and admitted to
+//!   the sharded **job pool**. A full pool rejects the request immediately
 //!   (`status:"rejected"`) — admission control over buffering, so latency
 //!   stays bounded under overload.
-//! * A fixed pool of **worker threads** pops jobs and runs
-//!   [`SpqService::execute`]; the response is written back on the job's
-//!   connection (responses are tagged with the request id and may interleave
-//!   across in-flight queries of the same connection).
+//! * The pool is split into **shards**, each a mutex + condvar guarding
+//!   per-tenant subqueues drained in round-robin rotation: one tenant
+//!   flooding the server cannot starve another's queued work. Workers pop
+//!   from their own shard first and **steal** from the others when empty.
+//! * **Worker threads** run [`SpqService::execute_cached`] (queries) or
+//!   [`SpqService::execute_validate`] / catalog loads, then write the
+//!   response line back through the [`ReactorHandle`] (responses are tagged
+//!   with the request id and may interleave across in-flight queries of the
+//!   same connection).
 //!
 //! Cancellation is per connection: `{"op":"cancel","id":"..."}` fires the
 //! token of that connection's in-flight query, which the solver observes at
 //! its next pivot-loop checkpoint. One client cannot cancel another's
-//! queries.
+//! queries — and a client that *disconnects* has every in-flight query
+//! cancelled the moment the reactor notices the hangup, so abandoned work
+//! stops burning CPU.
 
 use crate::json::Json;
 use crate::protocol::{
-    QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest, ValidateResponse,
+    LoadRequest, QueryRequest, QueryResponse, QueryStatus, Request, ValidateRequest,
+    ValidateResponse,
 };
 use crate::service::SpqService;
+use spq_net::{CloseReason, ConnId, Handler, Reactor, ReactorConfig, ReactorHandle};
+use spq_obs::{Counter, Gauge, Named};
 use spq_solver::{CancellationToken, Deadline};
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Admitted-but-not-running jobs across all shards.
+static QUEUE_DEPTH: Named<Gauge> = Named::new("spq_service_queue_depth", Gauge::new());
+/// Jobs admitted to the pool.
+static ADMITS: Named<Counter> = Named::new("spq_service_admits_total", Counter::new());
+/// Requests refused at admission (pool full or duplicate id).
+static REJECTS: Named<Counter> = Named::new("spq_service_rejects_total", Counter::new());
 
 /// Transport configuration.
 #[derive(Debug, Clone)]
@@ -40,16 +58,38 @@ pub struct ServerConfig {
     /// Worker threads evaluating queries. `0` = the machine's available
     /// parallelism.
     pub workers: usize,
-    /// Maximum queued (admitted but not yet running) queries before
-    /// admission control rejects new ones.
+    /// Maximum queued (admitted but not yet running) jobs across all shards
+    /// before admission control rejects new ones.
     pub queue_capacity: usize,
+    /// Pool shards (each with its own lock and per-tenant subqueues).
+    /// `0` = one per worker, capped at 4.
+    pub shards: usize,
+    /// Connections held open simultaneously; further accepts are closed
+    /// immediately.
+    pub max_connections: usize,
+    /// Hard cap on one connection's buffered inbound bytes (longest
+    /// admissible request line).
+    pub read_buffer_bytes: usize,
+    /// Hard cap on one connection's unflushed outbound bytes; a peer that
+    /// stops reading is disconnected at this cap instead of growing the
+    /// buffer without bound.
+    pub write_buffer_bytes: usize,
+    /// Close connections with no inbound traffic for this long
+    /// (`None` = never).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let reactor = ReactorConfig::default();
         ServerConfig {
             workers: 0,
             queue_capacity: 64,
+            shards: 0,
+            max_connections: reactor.max_connections,
+            read_buffer_bytes: reactor.read_buffer_bytes,
+            write_buffer_bytes: reactor.write_buffer_bytes,
+            idle_timeout: None,
         }
     }
 }
@@ -64,33 +104,24 @@ impl ServerConfig {
                 .unwrap_or(4)
         }
     }
+
+    fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.effective_workers().clamp(1, 4)
+        }
+    }
 }
 
-/// A connection's shared write half; responses from reader and workers are
-/// serialized by the mutex (one line per lock hold).
-type SharedWriter = Arc<Mutex<TcpStream>>;
-
-/// In-flight queries of one connection: request id → cancellation token.
-type ConnRegistry = Arc<Mutex<HashMap<String, CancellationToken>>>;
-
-fn send_line(writer: &SharedWriter, line: &str) {
-    let mut guard = match writer.lock() {
-        Ok(g) => g,
-        Err(_) => return,
-    };
-    // A vanished client is not an error worth propagating; its jobs drain
-    // and their writes become no-ops.
-    let _ = guard.write_all(line.as_bytes());
-    let _ = guard.write_all(b"\n");
-    let _ = guard.flush();
-}
-
-/// The work item a job carries: a full query evaluation or a package
-/// validation. Both go through the same admission control, queue,
-/// cancellation registry and worker pool.
+/// The work item a job carries: a query evaluation, a package validation,
+/// or a catalog load (relation builders and file reads are far too heavy
+/// for the reactor thread). All go through the same admission control,
+/// sharded pool, cancellation registry and worker threads.
 enum JobWork {
     Query(QueryRequest),
     Validate(ValidateRequest),
+    Load(LoadRequest),
 }
 
 impl JobWork {
@@ -98,6 +129,25 @@ impl JobWork {
         match self {
             JobWork::Query(q) => &q.id,
             JobWork::Validate(v) => &v.id,
+            JobWork::Load(l) => &l.id,
+        }
+    }
+
+    fn tenant(&self) -> &str {
+        let tenant = match self {
+            JobWork::Query(q) => &q.tenant,
+            JobWork::Validate(v) => &v.tenant,
+            JobWork::Load(l) => &l.tenant,
+        };
+        SpqService::tenant_of(tenant)
+    }
+
+    fn timeout_ms(&self) -> Option<u64> {
+        match self {
+            JobWork::Query(q) => q.timeout_ms,
+            JobWork::Validate(v) => v.timeout_ms,
+            // Loads run to completion; quota checks bound their size.
+            JobWork::Load(_) => None,
         }
     }
 
@@ -106,209 +156,434 @@ impl JobWork {
         match self {
             JobWork::Query(q) => QueryResponse::failure(&q.id, status, message).to_line(),
             JobWork::Validate(v) => ValidateResponse::failure(&v.id, status, message).to_line(),
+            JobWork::Load(l) => load_ack_error(&l.id, &message),
         }
     }
+}
+
+fn load_ack_error(id: &str, message: &str) -> String {
+    Json::Obj(vec![
+        ("op".into(), Json::from("load_ack")),
+        ("id".into(), Json::from(id)),
+        ("status".into(), Json::from("error")),
+        ("error".into(), Json::from(message)),
+    ])
+    .to_string()
+}
+
+/// One connection's server-side state: the in-flight cancellation tokens.
+#[derive(Default)]
+struct ConnState {
+    /// Request id → cancellation token of this connection's admitted jobs.
+    inflight: Mutex<HashMap<String, CancellationToken>>,
 }
 
 struct Job {
     work: JobWork,
+    conn: ConnId,
+    state: Arc<ConnState>,
     token: CancellationToken,
     deadline: Deadline,
     enqueued: Instant,
-    writer: SharedWriter,
-    registry: ConnRegistry,
 }
 
+/// One pool shard: per-tenant subqueues drained in rotation, so tenants
+/// share a shard's capacity fairly instead of first-come-first-served.
 #[derive(Default)]
-struct QueueState {
-    jobs: VecDeque<Box<Job>>,
+struct ShardState {
+    /// Tenant → its queued jobs. Entries exist only while non-empty.
+    queues: HashMap<String, VecDeque<Box<Job>>>,
+    /// Rotation order over `queues` keys.
+    tenants: Vec<String>,
+    /// Next rotation index to serve.
+    cursor: usize,
     shutdown: bool,
 }
 
-/// Bounded MPMC job queue (mutex + condvar).
-struct JobQueue {
-    state: Mutex<QueueState>,
-    available: Condvar,
-    capacity: usize,
-}
-
-impl JobQueue {
-    fn new(capacity: usize) -> Self {
-        JobQueue {
-            state: Mutex::new(QueueState::default()),
-            available: Condvar::new(),
-            capacity: capacity.max(1),
+impl ShardState {
+    fn push(&mut self, job: Box<Job>) {
+        let tenant = job.work.tenant().to_string();
+        match self.queues.get_mut(&tenant) {
+            Some(queue) => queue.push_back(job),
+            None => {
+                self.queues.insert(tenant.clone(), VecDeque::from([job]));
+                self.tenants.push(tenant);
+            }
         }
     }
 
-    /// Admit a job, or give it back when the queue is full.
+    /// Pop the next job in tenant rotation. The invariant that every listed
+    /// tenant has a non-empty queue makes the first probe succeed.
+    fn fair_pop(&mut self) -> Option<Box<Job>> {
+        if self.tenants.is_empty() {
+            return None;
+        }
+        let idx = self.cursor % self.tenants.len();
+        let tenant = self.tenants[idx].clone();
+        let queue = self.queues.get_mut(&tenant)?;
+        let job = queue.pop_front()?;
+        if queue.is_empty() {
+            self.queues.remove(&tenant);
+            self.tenants.remove(idx);
+            self.cursor = if self.tenants.is_empty() {
+                0
+            } else {
+                idx % self.tenants.len()
+            };
+        } else {
+            self.cursor = (idx + 1) % self.tenants.len();
+        }
+        Some(job)
+    }
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    available: Condvar,
+}
+
+/// Bounded, sharded, tenant-fair MPMC job pool.
+struct Pool {
+    shards: Vec<Shard>,
+    /// Total queued jobs (all shards); the admission-control bound.
+    queued: AtomicUsize,
+    capacity: usize,
+    /// Round-robin push cursor.
+    next: AtomicUsize,
+    /// Jobs currently executing on a worker.
+    in_flight: AtomicUsize,
+    /// Requests refused at admission since startup.
+    rejected: AtomicU64,
+}
+
+impl Pool {
+    fn new(shards: usize, capacity: usize) -> Self {
+        Pool {
+            shards: (0..shards.max(1))
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState::default()),
+                    available: Condvar::new(),
+                })
+                .collect(),
+            queued: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            next: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit a job, or give it back when the pool is at capacity.
     fn push(&self, job: Box<Job>) -> Result<(), Box<Job>> {
-        let mut state = self.state.lock().expect("job queue poisoned");
-        if state.jobs.len() >= self.capacity {
+        // `queued` is the admission bound: reserve a slot optimistically and
+        // release it if over.
+        if self.queued.fetch_add(1, Ordering::SeqCst) >= self.capacity {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
             return Err(job);
         }
-        state.jobs.push_back(job);
-        drop(state);
-        self.available.notify_one();
+        QUEUE_DEPTH.add(1);
+        let shard = &self.shards[self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len()];
+        {
+            let mut state = shard.state.lock().expect("pool shard poisoned");
+            state.push(job);
+        }
+        shard.available.notify_one();
         Ok(())
     }
 
-    /// Block until a job is available or the queue shuts down.
-    fn pop(&self) -> Option<Box<Job>> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+    /// Block until a job is available (own shard first, then stealing) or
+    /// the pool shuts down.
+    fn pop(&self, home: usize) -> Option<Box<Job>> {
+        let shards = self.shards.len();
         loop {
-            if let Some(job) = state.jobs.pop_front() {
-                return Some(job);
+            // Own shard, then the others in order: cheap affinity without
+            // letting any shard's work strand while a worker idles.
+            for offset in 0..shards {
+                let shard = &self.shards[(home + offset) % shards];
+                let mut state = shard.state.lock().expect("pool shard poisoned");
+                if let Some(job) = state.fair_pop() {
+                    self.queued.fetch_sub(1, Ordering::SeqCst);
+                    QUEUE_DEPTH.add(-1);
+                    return Some(job);
+                }
+                if state.shutdown {
+                    return None;
+                }
             }
+            // Nothing anywhere: park on the home shard. The timeout bounds
+            // how stale a steal opportunity can get.
+            let shard = &self.shards[home % shards];
+            let state = shard.state.lock().expect("pool shard poisoned");
             if state.shutdown {
                 return None;
             }
-            state = self.available.wait(state).expect("job queue poisoned");
+            let _ = shard
+                .available
+                .wait_timeout(state, Duration::from_millis(20))
+                .expect("pool shard poisoned");
         }
     }
 
     fn len(&self) -> usize {
-        self.state.lock().expect("job queue poisoned").jobs.len()
+        self.queued.load(Ordering::SeqCst)
     }
 
     fn shutdown(&self) {
-        self.state.lock().expect("job queue poisoned").shutdown = true;
-        self.available.notify_all();
+        for shard in &self.shards {
+            shard.state.lock().expect("pool shard poisoned").shutdown = true;
+            shard.available.notify_all();
+        }
     }
 }
 
-/// A running spqd server; dropping it (or calling [`SpqServer::shutdown`])
-/// stops the accept loop, drains the workers and joins every thread.
-pub struct SpqServer {
-    addr: SocketAddr,
-    queue: Arc<JobQueue>,
-    stopping: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    worker_threads: Vec<std::thread::JoinHandle<()>>,
-    reader_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+/// Everything the reactor handler and the workers share.
+struct ServerShared {
+    service: Arc<SpqService>,
+    pool: Arc<Pool>,
+    /// Live connections' server-side state (in-flight tokens).
+    conns: Mutex<HashMap<ConnId, Arc<ConnState>>>,
 }
 
-impl SpqServer {
-    /// Bind `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and start
-    /// serving `service`.
-    pub fn start(
-        service: Arc<SpqService>,
-        addr: impl ToSocketAddrs,
-        config: ServerConfig,
-    ) -> std::io::Result<SpqServer> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let queue = Arc::new(JobQueue::new(config.queue_capacity));
-        let stopping = Arc::new(AtomicBool::new(false));
-        let reader_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+impl ServerShared {
+    fn conn_state(&self, conn: ConnId) -> Option<Arc<ConnState>> {
+        self.conns
+            .lock()
+            .expect("conn table poisoned")
+            .get(&conn)
+            .cloned()
+    }
 
-        let worker_threads = (0..config.effective_workers())
-            .map(|i| {
-                let queue = queue.clone();
-                let service = service.clone();
-                std::thread::Builder::new()
-                    .name(format!("spqd-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &service))
-                    .expect("spawn worker")
-            })
-            .collect();
-
-        let accept_thread = {
-            let queue = queue.clone();
-            let stopping = stopping.clone();
-            let readers = reader_threads.clone();
-            std::thread::Builder::new()
-                .name("spqd-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stopping.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let queue = queue.clone();
-                        let service = service.clone();
-                        let stopping = stopping.clone();
-                        let handle = std::thread::Builder::new()
-                            .name("spqd-conn".into())
-                            .spawn(move || connection_loop(stream, &service, &queue, &stopping))
-                            .expect("spawn connection reader");
-                        let mut guard = readers.lock().expect("reader list poisoned");
-                        // Reap readers whose connections already closed, so a
-                        // long-running server does not accumulate one handle
-                        // per connection it ever served.
-                        let (done, live): (Vec<_>, Vec<_>) =
-                            guard.drain(..).partition(|h| h.is_finished());
-                        *guard = live;
-                        guard.push(handle);
-                        drop(guard);
-                        for finished in done {
-                            let _ = finished.join();
-                        }
-                    }
-                })
-                .expect("spawn accept loop")
+    /// Admit one heavy work item: register its cancellation token (refusing
+    /// a duplicate in-flight id), arm its deadline, and push it onto the
+    /// pool — or answer with a `rejected`/`error` line in this work item's
+    /// response shape.
+    fn admit(&self, conn: ConnId, work: JobWork, reactor: &ReactorHandle) {
+        let Some(state) = self.conn_state(conn) else {
+            return; // Connection already gone; nobody to answer.
         };
-
-        Ok(SpqServer {
-            addr,
-            queue,
-            stopping,
-            accept_thread: Some(accept_thread),
-            worker_threads,
-            reader_threads,
-        })
-    }
-
-    /// The bound address (useful with port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Number of admitted-but-not-running queries.
-    pub fn queue_depth(&self) -> usize {
-        self.queue.len()
-    }
-
-    /// Stop accepting, drain the queue, and join every thread.
-    pub fn shutdown(mut self) {
-        self.stop();
-    }
-
-    fn stop(&mut self) {
-        if self.stopping.swap(true, Ordering::SeqCst) {
-            return;
+        let tenant = work.tenant().to_string();
+        let token = CancellationToken::new();
+        let deadline = self.service.deadline_with(work.timeout_ms(), &token);
+        {
+            // A duplicate in-flight id would clobber the first query's
+            // cancellation token (and the worker completing either one would
+            // deregister both): refuse it.
+            let mut inflight = state.inflight.lock().expect("inflight registry poisoned");
+            if inflight.contains_key(work.id()) {
+                drop(inflight);
+                REJECTS.inc();
+                self.pool.rejected.fetch_add(1, Ordering::Relaxed);
+                self.service.catalog().record_reject(&tenant);
+                reactor.send(
+                    conn,
+                    &work.failure_line(
+                        QueryStatus::Error,
+                        "a query with this id is already in flight on this connection".into(),
+                    ),
+                );
+                return;
+            }
+            inflight.insert(work.id().to_string(), token.clone());
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        let job = Box::new(Job {
+            work,
+            conn,
+            state: state.clone(),
+            token,
+            deadline,
+            enqueued: Instant::now(),
+        });
+        match self.pool.push(job) {
+            Ok(()) => {
+                ADMITS.inc();
+                self.service.catalog().record_admit(&tenant);
+            }
+            Err(job) => {
+                job.state
+                    .inflight
+                    .lock()
+                    .expect("inflight registry poisoned")
+                    .remove(job.work.id());
+                REJECTS.inc();
+                self.pool.rejected.fetch_add(1, Ordering::Relaxed);
+                self.service.catalog().record_reject(&tenant);
+                reactor.send(
+                    conn,
+                    &job.work.failure_line(
+                        QueryStatus::Rejected,
+                        format!("queue full ({} queued)", self.pool.len()),
+                    ),
+                );
+            }
         }
-        self.queue.shutdown();
-        for handle in self.worker_threads.drain(..) {
-            let _ = handle.join();
+    }
+
+    /// The `stats` response: service-level sections plus transport state.
+    fn stats_line(&self, reactor: &ReactorHandle) -> String {
+        self.service
+            .stats_json(vec![
+                ("queue_depth".to_string(), Json::from(self.pool.len())),
+                (
+                    "in_flight".to_string(),
+                    Json::from(self.pool.in_flight.load(Ordering::Relaxed)),
+                ),
+                (
+                    "open_connections".to_string(),
+                    Json::from(reactor.open_connections()),
+                ),
+                (
+                    "rejected_admissions".to_string(),
+                    Json::from(self.pool.rejected.load(Ordering::Relaxed)),
+                ),
+                ("shards".to_string(), Json::from(self.pool.shards.len())),
+            ])
+            .to_string()
+    }
+}
+
+/// The reactor-side protocol handler. Runs on the reactor thread: cheap ops
+/// answer inline, heavy ops go through [`ServerShared::admit`].
+struct ConnHandler {
+    shared: Arc<ServerShared>,
+}
+
+impl Handler for ConnHandler {
+    fn on_open(&self, conn: ConnId, _peer: SocketAddr) {
+        self.shared
+            .conns
+            .lock()
+            .expect("conn table poisoned")
+            .insert(conn, Arc::new(ConnState::default()));
+    }
+
+    fn on_line(&self, conn: ConnId, line: &str, reactor: &ReactorHandle) {
+        let shared = &self.shared;
+        match Request::parse_line(line) {
+            Ok(Request::Ping) => {
+                reactor.send(
+                    conn,
+                    &Json::Obj(vec![("op".into(), Json::from("pong"))]).to_string(),
+                );
+            }
+            Ok(Request::Stats) => {
+                reactor.send(conn, &shared.stats_line(reactor));
+            }
+            Ok(Request::Cancel { id }) => {
+                let found = shared
+                    .conn_state(conn)
+                    .and_then(|state| {
+                        state
+                            .inflight
+                            .lock()
+                            .expect("inflight registry poisoned")
+                            .get(&id)
+                            .map(|token| token.cancel())
+                    })
+                    .is_some();
+                reactor.send(
+                    conn,
+                    &Json::Obj(vec![
+                        ("op".into(), Json::from("cancel_ack")),
+                        ("id".into(), Json::from(id.as_str())),
+                        ("found".into(), Json::from(found)),
+                    ])
+                    .to_string(),
+                );
+            }
+            Ok(Request::Unload { name, tenant }) => {
+                let tenant = SpqService::tenant_of(&tenant);
+                let line = match shared.service.catalog().unload(tenant, &name) {
+                    Ok(()) => Json::Obj(vec![
+                        ("op".into(), Json::from("unload_ack")),
+                        ("name".into(), Json::from(name.to_ascii_lowercase())),
+                        ("status".into(), Json::from("ok")),
+                    ]),
+                    Err(e) => Json::Obj(vec![
+                        ("op".into(), Json::from("unload_ack")),
+                        ("name".into(), Json::from(name.to_ascii_lowercase())),
+                        ("status".into(), Json::from("error")),
+                        ("error".into(), Json::from(e.to_string())),
+                    ]),
+                };
+                reactor.send(conn, &line.to_string());
+            }
+            Ok(Request::ListRelations { tenant }) => {
+                let tenant = SpqService::tenant_of(&tenant);
+                let relations = shared
+                    .service
+                    .catalog()
+                    .list(tenant)
+                    .into_iter()
+                    .map(|info| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::from(info.name)),
+                            ("tuples".into(), Json::from(info.tuples)),
+                            ("source".into(), Json::from(info.source)),
+                            ("shared".into(), Json::from(info.shared)),
+                        ])
+                    })
+                    .collect();
+                reactor.send(
+                    conn,
+                    &Json::Obj(vec![
+                        ("op".into(), Json::from("relations")),
+                        ("tenant".into(), Json::from(tenant)),
+                        ("relations".into(), Json::Arr(relations)),
+                    ])
+                    .to_string(),
+                );
+            }
+            Ok(Request::Query(request)) => {
+                shared.admit(conn, JobWork::Query(request), reactor);
+            }
+            Ok(Request::Validate(request)) => {
+                shared.admit(conn, JobWork::Validate(request), reactor);
+            }
+            Ok(Request::Load(request)) => {
+                shared.admit(conn, JobWork::Load(request), reactor);
+            }
+            Err(message) => {
+                reactor.send(
+                    conn,
+                    &Json::Obj(vec![
+                        ("status".into(), Json::from("error")),
+                        ("error".into(), Json::from(message)),
+                    ])
+                    .to_string(),
+                );
+            }
         }
-        let readers: Vec<_> = {
-            let mut guard = self.reader_threads.lock().expect("reader list poisoned");
-            guard.drain(..).collect()
-        };
-        for handle in readers {
-            let _ = handle.join();
+    }
+
+    fn on_close(&self, conn: ConnId, _reason: CloseReason) {
+        // The client is gone: nobody is left to read the answers, so every
+        // in-flight job of this connection is cancelled (the solver observes
+        // the token at its next checkpoint and stops burning CPU).
+        let state = self
+            .shared
+            .conns
+            .lock()
+            .expect("conn table poisoned")
+            .remove(&conn);
+        if let Some(state) = state {
+            for token in state
+                .inflight
+                .lock()
+                .expect("inflight registry poisoned")
+                .values()
+            {
+                token.cancel();
+            }
         }
     }
 }
 
-impl Drop for SpqServer {
-    fn drop(&mut self) {
-        self.stop();
-    }
-}
-
-fn worker_loop(queue: &JobQueue, service: &SpqService) {
-    while let Some(job) = queue.pop() {
+fn worker_loop(pool: &Pool, home: usize, service: &SpqService, reactor: &ReactorHandle) {
+    while let Some(job) = pool.pop(home) {
+        pool.in_flight.fetch_add(1, Ordering::Relaxed);
         let line = match &job.work {
             JobWork::Query(request) => service
-                .execute(
+                .execute_cached(
                     request,
                     &job.token,
                     job.deadline.clone(),
@@ -323,185 +598,148 @@ fn worker_loop(queue: &JobQueue, service: &SpqService) {
                     job.enqueued.elapsed(),
                 )
                 .to_line(),
-        };
-        job.registry
-            .lock()
-            .expect("connection registry poisoned")
-            .remove(job.work.id());
-        send_line(&job.writer, &line);
-    }
-}
-
-/// Admit one queued work item: register its cancellation token (refusing a
-/// duplicate in-flight id), arm its deadline, and push it onto the job
-/// queue — or answer with a `rejected`/`error` line in this work item's
-/// response shape.
-fn admit(
-    work: JobWork,
-    timeout_ms: Option<u64>,
-    service: &Arc<SpqService>,
-    queue: &Arc<JobQueue>,
-    writer: &SharedWriter,
-    registry: &ConnRegistry,
-) {
-    let token = CancellationToken::new();
-    let deadline = service.deadline_with(timeout_ms, &token);
-    {
-        // A duplicate in-flight id would clobber the first query's
-        // cancellation token (and the worker completing either one would
-        // deregister both): refuse it.
-        let mut inflight = registry.lock().expect("connection registry poisoned");
-        if inflight.contains_key(work.id()) {
-            drop(inflight);
-            send_line(
-                writer,
-                &work.failure_line(
-                    QueryStatus::Error,
-                    "a query with this id is already in flight on this connection".into(),
-                ),
-            );
-            return;
-        }
-        inflight.insert(work.id().to_string(), token.clone());
-    }
-    let job = Box::new(Job {
-        work,
-        token,
-        deadline,
-        enqueued: Instant::now(),
-        writer: writer.clone(),
-        registry: registry.clone(),
-    });
-    if let Err(job) = queue.push(job) {
-        job.registry
-            .lock()
-            .expect("connection registry poisoned")
-            .remove(job.work.id());
-        send_line(
-            writer,
-            &job.work.failure_line(
-                QueryStatus::Rejected,
-                format!("queue full ({} queued)", queue.len()),
-            ),
-        );
-    }
-}
-
-fn connection_loop(
-    stream: TcpStream,
-    service: &Arc<SpqService>,
-    queue: &Arc<JobQueue>,
-    stopping: &AtomicBool,
-) {
-    // A read timeout lets the reader observe shutdown even on idle
-    // connections (read_line returns WouldBlock/TimedOut periodically).
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    // A write timeout keeps a client that stops reading (full TCP window)
-    // from parking a worker forever inside send_line; the response is
-    // dropped and the worker moves on.
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let writer: SharedWriter = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let registry: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // EOF: client closed the connection.
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stopping.load(Ordering::SeqCst) {
-                    break;
+            JobWork::Load(request) => {
+                let tenant = job.work.tenant();
+                if job.token.is_cancelled() {
+                    load_ack_error(&request.id, "cancelled while queued")
+                } else {
+                    match service
+                        .catalog()
+                        .load(tenant, &request.name, &request.source)
+                    {
+                        Ok(tuples) => Json::Obj(vec![
+                            ("op".into(), Json::from("load_ack")),
+                            ("id".into(), Json::from(request.id.as_str())),
+                            ("name".into(), Json::from(request.name.to_ascii_lowercase())),
+                            ("tenant".into(), Json::from(tenant)),
+                            ("tuples".into(), Json::from(tuples)),
+                            ("status".into(), Json::from("ok")),
+                        ])
+                        .to_string(),
+                        Err(e) => {
+                            // Quota refusals are per-tenant admission
+                            // rejections; surface them in the stats op.
+                            service.catalog().record_reject(tenant);
+                            load_ack_error(&request.id, &e.to_string())
+                        }
+                    }
                 }
-                continue;
             }
-            Err(_) => break,
+        };
+        pool.in_flight.fetch_sub(1, Ordering::Relaxed);
+        job.state
+            .inflight
+            .lock()
+            .expect("inflight registry poisoned")
+            .remove(job.work.id());
+        // A vanished client is not an error: the send is a no-op.
+        reactor.send(job.conn, &line);
+    }
+}
+
+/// A running spqd server; dropping it (or calling [`SpqServer::shutdown`])
+/// stops the pool, joins the workers, drains pending responses and joins
+/// the reactor.
+pub struct SpqServer {
+    addr: SocketAddr,
+    pool: Arc<Pool>,
+    reactor: Option<Reactor>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SpqServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and start
+    /// serving `service`.
+    pub fn start(
+        service: Arc<SpqService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<SpqServer> {
+        let listener = TcpListener::bind(addr)?;
+        let pool = Arc::new(Pool::new(config.effective_shards(), config.queue_capacity));
+        let shared = Arc::new(ServerShared {
+            service: service.clone(),
+            pool: pool.clone(),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let reactor = Reactor::start(
+            listener,
+            Arc::new(ConnHandler {
+                shared: shared.clone(),
+            }),
+            ReactorConfig {
+                max_connections: config.max_connections,
+                read_buffer_bytes: config.read_buffer_bytes,
+                write_buffer_bytes: config.write_buffer_bytes,
+                idle_timeout: config.idle_timeout,
+                ..ReactorConfig::default()
+            },
+        )?;
+        let addr = reactor.local_addr();
+        let handle = reactor.handle();
+        let shards = pool.shards.len();
+        let worker_threads = (0..config.effective_workers())
+            .map(|i| {
+                let pool = pool.clone();
+                let service = service.clone();
+                let handle = handle.clone();
+                std::thread::Builder::new()
+                    .name(format!("spqd-worker-{i}"))
+                    .spawn(move || worker_loop(&pool, i % shards, &service, &handle))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(SpqServer {
+            addr,
+            pool,
+            reactor: Some(reactor),
+            worker_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of admitted-but-not-running jobs.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn in_flight(&self) -> usize {
+        self.pool.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Currently open client connections.
+    pub fn open_connections(&self) -> usize {
+        self.reactor
+            .as_ref()
+            .map(|r| r.handle().open_connections())
+            .unwrap_or(0)
+    }
+
+    /// Stop the pool, join the workers (their final responses flush through
+    /// the reactor's drain), and join the reactor.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.pool.shutdown();
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        match Request::parse_line(trimmed) {
-            Ok(Request::Ping) => {
-                send_line(
-                    &writer,
-                    &Json::Obj(vec![("op".into(), Json::from("pong"))]).to_string(),
-                );
-            }
-            Ok(Request::Stats) => {
-                let stats =
-                    service.stats_json(vec![("queue_depth".to_string(), Json::from(queue.len()))]);
-                send_line(&writer, &stats.to_string());
-            }
-            Ok(Request::Cancel { id }) => {
-                let found = registry
-                    .lock()
-                    .expect("connection registry poisoned")
-                    .get(&id)
-                    .map(|token| {
-                        token.cancel();
-                        true
-                    })
-                    .unwrap_or(false);
-                send_line(
-                    &writer,
-                    &Json::Obj(vec![
-                        ("op".into(), Json::from("cancel_ack")),
-                        ("id".into(), Json::from(id.as_str())),
-                        ("found".into(), Json::from(found)),
-                    ])
-                    .to_string(),
-                );
-            }
-            Ok(Request::Query(request)) => {
-                let timeout_ms = request.timeout_ms;
-                admit(
-                    JobWork::Query(request),
-                    timeout_ms,
-                    service,
-                    queue,
-                    &writer,
-                    &registry,
-                );
-            }
-            Ok(Request::Validate(request)) => {
-                let timeout_ms = request.timeout_ms;
-                admit(
-                    JobWork::Validate(request),
-                    timeout_ms,
-                    service,
-                    queue,
-                    &writer,
-                    &registry,
-                );
-            }
-            Err(message) => {
-                send_line(
-                    &writer,
-                    &Json::Obj(vec![
-                        ("status".into(), Json::from("error")),
-                        ("error".into(), Json::from(message)),
-                    ])
-                    .to_string(),
-                );
-            }
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
     }
-    // Cancel whatever this connection still has in flight: nobody is left
-    // to read the answers.
-    for token in registry
-        .lock()
-        .expect("connection registry poisoned")
-        .values()
-    {
-        token.cancel();
+}
+
+impl Drop for SpqServer {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -512,6 +750,8 @@ mod tests {
     use spq_core::SpqOptions;
     use spq_mcdb::vg::NormalNoise;
     use spq_mcdb::RelationBuilder;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn tiny_service() -> Arc<SpqService> {
         let service = SpqService::new(ServiceConfig {
@@ -551,6 +791,7 @@ mod tests {
         write(r#"{"op":"stats"}"#);
         let stats = read();
         assert!(stats.contains("queue_depth") && stats.contains("scenario_cache"));
+        assert!(stats.contains("open_connections") && stats.contains("rejected_admissions"));
         write("this is not json");
         assert!(read().contains("error"));
         write(r#"{"op":"cancel","id":"ghost"}"#);
@@ -658,6 +899,9 @@ mod tests {
         let prepared = stats.get("prepared_cache").unwrap();
         assert_eq!(prepared.get("misses").unwrap().as_u64(), Some(1));
         assert!(prepared.get("hit_rate").unwrap().as_f64().is_some());
+        let results = stats.get("result_cache").unwrap();
+        assert_eq!(results.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(results.get("entries").unwrap().as_u64(), Some(1));
         let scenario = stats.get("scenario_cache").unwrap();
         assert_eq!(scenario.get("evicted").unwrap().as_u64(), Some(0));
         let rate = scenario.get("hit_rate").unwrap().as_f64().unwrap();
@@ -666,6 +910,9 @@ mod tests {
         let store = stats.get("scenario_store").unwrap();
         assert_eq!(store.get("enabled").unwrap().as_bool(), Some(false));
         assert_eq!(store.get("spill_writes").unwrap().as_u64(), Some(0));
+        // Transport state rides along.
+        assert_eq!(stats.get("open_connections").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("in_flight").unwrap().as_u64(), Some(0));
         server.shutdown();
     }
 
@@ -735,5 +982,43 @@ mod tests {
         );
         assert_eq!(second.get("corrupt").unwrap().as_u64(), Some(0));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tenant_fair_rotation_interleaves_queued_tenants() {
+        // Directly exercise the shard's rotation: tenant `a` floods the
+        // queue first, then `b` adds one job — `b`'s job must run second,
+        // not last.
+        let mut state = ShardState::default();
+        let job = |tenant: &str, id: &str| {
+            Box::new(Job {
+                work: JobWork::Query(QueryRequest {
+                    id: id.into(),
+                    relation: "t".into(),
+                    query: "q".into(),
+                    tenant: Some(tenant.into()),
+                    algorithm: None,
+                    timeout_ms: None,
+                    seed: None,
+                    initial_scenarios: None,
+                    max_scenarios: None,
+                    validation_scenarios: None,
+                }),
+                conn: 1,
+                state: Arc::new(ConnState::default()),
+                token: CancellationToken::new(),
+                deadline: Deadline::none(),
+                enqueued: Instant::now(),
+            })
+        };
+        for i in 0..3 {
+            state.push(job("a", &format!("a{i}")));
+        }
+        state.push(job("b", "b0"));
+        let order: Vec<String> = std::iter::from_fn(|| state.fair_pop())
+            .map(|j| j.work.id().to_string())
+            .collect();
+        assert_eq!(order, vec!["a0", "b0", "a1", "a2"]);
+        assert!(state.queues.is_empty() && state.tenants.is_empty());
     }
 }

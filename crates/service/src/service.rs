@@ -1,22 +1,26 @@
-//! The query service core: relation registry, caches, and request execution.
+//! The query service core: relation catalog, caches, and request execution.
 //!
 //! [`SpqService`] is the transport-agnostic heart of spqd: it owns the
-//! registered relations (cheap `Arc` handles), the prepared-query cache, and
-//! the shared scenario cache, and turns one [`QueryRequest`] into one
-//! [`QueryResponse`]. The TCP server ([`crate::server`]) layers scheduling,
-//! admission control and cancellation bookkeeping on top; tests can call
+//! multi-tenant relation [`Catalog`] (cheap `Arc` handles), the
+//! prepared-query cache, the shared scenario cache and the single-flight
+//! result cache, and turns one [`QueryRequest`] into one [`QueryResponse`].
+//! The TCP server ([`crate::server`]) layers scheduling, admission control
+//! and cancellation bookkeeping on top; tests can call
 //! [`SpqService::execute`] directly for a serial reference run.
 //!
 //! Execution is deterministic: a request's options are derived only from the
 //! server's base options and the request's own fields, never from load or
 //! timing — so the same request returns a bit-identical package whether it
 //! runs alone or next to seven concurrent clients (the integration tests
-//! assert exactly that).
+//! assert exactly that). Determinism is also what makes
+//! [`SpqService::execute_cached`] sound: identical requests share one solve.
 
+use crate::catalog::{Catalog, TenantQuotas, DEFAULT_TENANT};
 use crate::prepared::PreparedCache;
 use crate::protocol::{
     QueryRequest, QueryResponse, QueryStatus, ValidateRequest, ValidateResponse,
 };
+use crate::results::{Claim, ResultCache, ResultKey};
 use spq_core::validation::{validate_with, EarlyStop, ValidationOptions};
 use spq_core::{Algorithm, Instance, SpqEngine, SpqOptions};
 use spq_mcdb::{Relation, ScenarioCache};
@@ -24,7 +28,7 @@ use spq_solver::{CancellationToken, Deadline};
 use spq_workloads::{build_workload, WorkloadKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Service-level configuration.
@@ -48,6 +52,10 @@ pub struct ServiceConfig {
     pub scenario_store_dir: Option<std::path::PathBuf>,
     /// Byte budget of the persistent scenario store.
     pub scenario_store_bytes: u64,
+    /// Admission quotas applied to every tenant's `load_relation` calls.
+    pub tenant_quotas: TenantQuotas,
+    /// Completed `ok` responses kept by the single-flight result cache.
+    pub result_cache_entries: usize,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +67,8 @@ impl Default for ServiceConfig {
             scenario_cache_bytes: ScenarioCache::DEFAULT_MAX_BYTES,
             scenario_store_dir: None,
             scenario_store_bytes: spq_mcdb::ScenarioStore::DEFAULT_MAX_BYTES,
+            tenant_quotas: TenantQuotas::default(),
+            result_cache_entries: ResultCache::DEFAULT_CAPACITY,
         }
     }
 }
@@ -67,8 +77,9 @@ impl Default for ServiceConfig {
 #[derive(Debug)]
 pub struct SpqService {
     config: ServiceConfig,
-    relations: RwLock<HashMap<String, Relation>>,
+    catalog: Catalog,
     prepared: PreparedCache,
+    results: ResultCache,
     scenarios: Arc<ScenarioCache>,
     queries_executed: AtomicU64,
     validations_executed: AtomicU64,
@@ -97,10 +108,13 @@ impl SpqService {
             }
         }
         let scenarios = Arc::new(cache);
+        let catalog = Catalog::new(config.tenant_quotas.clone());
+        let results = ResultCache::new(config.result_cache_entries);
         SpqService {
             config,
-            relations: RwLock::new(HashMap::new()),
+            catalog,
             prepared: PreparedCache::new(),
+            results,
             scenarios,
             queries_executed: AtomicU64::new(0),
             validations_executed: AtomicU64::new(0),
@@ -109,15 +123,13 @@ impl SpqService {
         }
     }
 
-    /// Register a relation under `name` (case-insensitive lookup). Replaces
-    /// any previous relation of that name; cached plans and scenario blocks
-    /// of the old relation are keyed by its uid and simply stop being hit.
+    /// Register a relation in the catalog's shared namespace
+    /// (case-insensitive lookup, visible to every tenant). Replaces any
+    /// previous relation of that name; cached plans, scenario blocks and
+    /// results of the old relation are keyed by its uid and simply stop
+    /// being hit.
     pub fn register_relation(&self, name: impl Into<String>, relation: Relation) {
-        let name = name.into().to_ascii_lowercase();
-        self.relations
-            .write()
-            .expect("relation registry poisoned")
-            .insert(name, relation);
+        self.catalog.register_shared(name, relation, "startup");
     }
 
     /// Build one of the paper's workloads and register its relation under
@@ -140,26 +152,36 @@ impl SpqService {
         (name.to_string(), n)
     }
 
-    /// Look up a registered relation (clone is O(1)).
+    /// Look up a relation as the default tenant (clone is O(1)).
     pub fn relation(&self, name: &str) -> Option<Relation> {
-        self.relations
-            .read()
-            .expect("relation registry poisoned")
-            .get(&name.to_ascii_lowercase())
-            .cloned()
+        self.relation_for(DEFAULT_TENANT, name)
     }
 
-    /// Names of the registered relations, sorted.
+    /// Look up a relation as `tenant`: the tenant's own namespace shadows
+    /// the shared one (clone is O(1)).
+    pub fn relation_for(&self, tenant: &str, name: &str) -> Option<Relation> {
+        self.catalog.resolve(tenant, name)
+    }
+
+    /// Names of the shared (startup) relations, sorted. Tenant-loaded
+    /// relations are listed per tenant by [`Catalog::list`].
     pub fn relation_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .relations
-            .read()
-            .expect("relation registry poisoned")
-            .keys()
-            .cloned()
-            .collect();
-        names.sort();
-        names
+        self.catalog.shared_names()
+    }
+
+    /// The effective tenant of a request-level `tenant` field.
+    pub fn tenant_of(tenant: &Option<String>) -> &str {
+        tenant.as_deref().unwrap_or(DEFAULT_TENANT)
+    }
+
+    /// The multi-tenant relation catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The single-flight result cache (exposed for stats and tests).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.results
     }
 
     /// The service configuration.
@@ -250,7 +272,8 @@ impl SpqService {
             response
         };
 
-        let Some(relation) = self.relation(&request.relation) else {
+        let tenant = Self::tenant_of(&request.tenant);
+        let Some(relation) = self.relation_for(tenant, &request.relation) else {
             return finish(QueryResponse::failure(
                 &request.id,
                 QueryStatus::Error,
@@ -309,6 +332,7 @@ impl SpqService {
                         .unwrap_or_default(),
                     algorithm: algorithm.to_string(),
                     prepared_cache_hit: cache_hit,
+                    result_cache_hit: false,
                     queue_ms: 0.0,
                     wall_ms: 0.0,
                     stats: Some(result.stats),
@@ -321,6 +345,92 @@ impl SpqService {
                     QueryStatus::Error
                 };
                 finish(QueryResponse::failure(&request.id, status, e.to_string()))
+            }
+        }
+    }
+
+    /// Everything `request`'s answer depends on, as the result-cache key —
+    /// the *effective* values after merging with the server's base options,
+    /// so requests spelling the same work differently still share. `None`
+    /// when the relation does not resolve (the plain path reports the
+    /// error).
+    fn result_key(&self, request: &QueryRequest) -> Option<ResultKey> {
+        let tenant = Self::tenant_of(&request.tenant);
+        let relation = self.relation_for(tenant, &request.relation)?;
+        let base = &self.config.base_options;
+        let algorithm = request.algorithm.unwrap_or(self.config.default_algorithm);
+        Some(ResultKey {
+            relation_uid: relation.uid(),
+            query: request.query.clone(),
+            algorithm: algorithm.to_string(),
+            seed: request.seed.unwrap_or(base.seed),
+            initial_scenarios: request
+                .initial_scenarios
+                .map(|m| m.max(1))
+                .unwrap_or(base.initial_scenarios),
+            max_scenarios: request.max_scenarios.unwrap_or(base.max_scenarios),
+            validation_scenarios: request
+                .validation_scenarios
+                .map(|v| v.max(1))
+                .unwrap_or(base.validation_scenarios),
+        })
+    }
+
+    /// [`Self::execute`] behind the single-flight result cache: identical
+    /// requests run one solve and share its `ok` response (sound because
+    /// execution is deterministic — a hit is bit-identical to a fresh run).
+    /// `id`, `queue_ms` and `wall_ms` are re-stamped per requester; hits set
+    /// [`QueryResponse::result_cache_hit`]. Waiters coalescing onto an
+    /// in-flight solve honor their *own* token and deadline.
+    pub fn execute_cached(
+        &self,
+        request: &QueryRequest,
+        token: &CancellationToken,
+        deadline: Deadline,
+        queued: Duration,
+    ) -> QueryResponse {
+        let Some(key) = self.result_key(request) else {
+            // Unknown relation: the plain path produces the error response.
+            return self.execute(request, token, deadline, queued);
+        };
+        let started = Instant::now();
+        match self.results.claim(&key, token, &deadline) {
+            Claim::Hit(mut response) => {
+                self.queries_executed.fetch_add(1, Ordering::Relaxed);
+                response.id = request.id.clone();
+                response.result_cache_hit = true;
+                response.queue_ms = queued.as_secs_f64() * 1000.0;
+                let elapsed = started.elapsed();
+                self.query_latency.record_duration(elapsed);
+                response.wall_ms = elapsed.as_secs_f64() * 1000.0;
+                *response
+            }
+            Claim::Compute => {
+                let response = self.execute(request, token, deadline, queued);
+                self.results.complete(&key, &response);
+                response
+            }
+            Claim::Cancelled => {
+                self.queries_executed.fetch_add(1, Ordering::Relaxed);
+                let mut response = QueryResponse::failure(
+                    &request.id,
+                    QueryStatus::Cancelled,
+                    "cancelled while awaiting an identical in-flight query",
+                );
+                response.queue_ms = queued.as_secs_f64() * 1000.0;
+                response.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+                response
+            }
+            Claim::TimedOut => {
+                self.queries_executed.fetch_add(1, Ordering::Relaxed);
+                let mut response = QueryResponse::failure(
+                    &request.id,
+                    QueryStatus::Timeout,
+                    "deadline expired while awaiting an identical in-flight query",
+                );
+                response.queue_ms = queued.as_secs_f64() * 1000.0;
+                response.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+                response
             }
         }
     }
@@ -351,7 +461,8 @@ impl SpqService {
         let failure =
             |status, error: String| finish(ValidateResponse::failure(&request.id, status, error));
 
-        let Some(relation) = self.relation(&request.relation) else {
+        let tenant = Self::tenant_of(&request.tenant);
+        let Some(relation) = self.relation_for(tenant, &request.relation) else {
             return failure(
                 QueryStatus::Error,
                 format!("unknown relation `{}`", request.relation),
@@ -535,6 +646,22 @@ impl SpqService {
                 ]),
             ),
             (
+                "result_cache".to_string(),
+                Json::Obj(vec![
+                    ("hits".to_string(), Json::from(self.results.hits())),
+                    ("misses".to_string(), Json::from(self.results.misses())),
+                    (
+                        "hit_rate".to_string(),
+                        Json::from(hit_rate(self.results.hits(), self.results.misses())),
+                    ),
+                    (
+                        "coalesced".to_string(),
+                        Json::from(self.results.coalesced()),
+                    ),
+                    ("entries".to_string(), Json::from(self.results.len())),
+                ]),
+            ),
+            (
                 "scenario_cache".to_string(),
                 Json::Obj(vec![
                     ("hits".to_string(), Json::from(self.scenarios.hits())),
@@ -568,6 +695,30 @@ impl SpqService {
             (
                 "relations".to_string(),
                 Json::Arr(self.relation_names().into_iter().map(Json::from).collect()),
+            ),
+            (
+                "tenants".to_string(),
+                Json::Arr(
+                    self.catalog
+                        .tenant_snapshots()
+                        .into_iter()
+                        .map(|snap| {
+                            Json::Obj(vec![
+                                ("tenant".to_string(), Json::from(snap.tenant)),
+                                (
+                                    "relations".to_string(),
+                                    Json::Arr(snap.relations.into_iter().map(Json::from).collect()),
+                                ),
+                                (
+                                    "resident_tuples".to_string(),
+                                    Json::from(snap.resident_tuples),
+                                ),
+                                ("admits".to_string(), Json::from(snap.admits)),
+                                ("rejects".to_string(), Json::from(snap.rejects)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ];
         pairs.extend(extra);
@@ -606,6 +757,7 @@ mod tests {
             query: "SELECT PACKAGE(*) FROM stocks SUCH THAT SUM(price) <= 300 AND \
                     SUM(gain) >= -1 WITH PROBABILITY >= 0.9 MAXIMIZE EXPECTED SUM(gain)"
                 .into(),
+            tenant: None,
             algorithm: None,
             timeout_ms: None,
             seed: None,
@@ -688,6 +840,7 @@ mod tests {
             id: id.into(),
             relation: "stocks".into(),
             query: request("q").query,
+            tenant: None,
             package,
             validation_scenarios: Some(500),
             seed: None,
@@ -766,6 +919,77 @@ mod tests {
         let deadline = service.deadline_with(req.timeout_ms, &token);
         let v = service.execute_validate(&req, &token, deadline, Duration::ZERO);
         assert_eq!(v.status, QueryStatus::Cancelled);
+    }
+
+    #[test]
+    fn result_cache_shares_one_solve_across_identical_requests() {
+        let service = service();
+        let run_cached = |req: &QueryRequest| {
+            let token = CancellationToken::new();
+            let deadline = service.deadline_for(req, &token);
+            service.execute_cached(req, &token, deadline, Duration::ZERO)
+        };
+        let first = run_cached(&request("a"));
+        assert_eq!(first.status, QueryStatus::Ok, "{:?}", first.error);
+        assert!(!first.result_cache_hit);
+
+        // The identical request (different id) is answered from cache,
+        // bit-identically, with the id re-stamped.
+        let second = run_cached(&request("b"));
+        assert_eq!(second.id, "b");
+        assert!(second.result_cache_hit);
+        assert_eq!(second.package, first.package);
+        assert_eq!(second.objective, first.objective);
+        assert_eq!(service.result_cache().hits(), 1);
+        assert_eq!(service.result_cache().misses(), 1);
+        // Both count as executed queries.
+        assert_eq!(service.queries_executed(), 2);
+
+        // Changing anything the answer depends on misses.
+        let mut other_seed = request("c");
+        other_seed.seed = Some(987);
+        assert!(!run_cached(&other_seed).result_cache_hit);
+        let mut other_algo = request("d");
+        other_algo.algorithm = Some(Algorithm::Naive);
+        assert!(!run_cached(&other_algo).result_cache_hit);
+        assert_eq!(service.result_cache().misses(), 3);
+    }
+
+    #[test]
+    fn tenants_resolve_their_own_relations_in_queries() {
+        let service = service();
+        // "alice" loads her own tiny `stocks`, shadowing the shared one.
+        service
+            .catalog()
+            .load(
+                "alice",
+                "stocks",
+                &crate::catalog::RelationSource::Workload {
+                    kind: WorkloadKind::Galaxy,
+                    scale: 120,
+                    seed: 5,
+                },
+            )
+            .unwrap();
+        let shared = service.relation("stocks").unwrap();
+        let alices = service.relation_for("alice", "stocks").unwrap();
+        assert_ne!(shared.uid(), alices.uid());
+
+        // A query tagged with the tenant runs against the tenant's relation:
+        // the galaxy workload has no `price`/`gain` columns, so alice's
+        // request errors while the untagged one succeeds.
+        let untagged = run(&service, &request("u"));
+        assert_eq!(untagged.status, QueryStatus::Ok);
+        let mut tagged = request("t");
+        tagged.tenant = Some("alice".into());
+        let r = run(&service, &tagged);
+        assert_eq!(r.status, QueryStatus::Error);
+
+        // Stats reports the tenant's holdings.
+        let text = service.stats_json(vec![]).to_string();
+        assert!(text.contains("\"tenants\":[{\"tenant\":\"alice\""));
+        assert!(text.contains("\"relations\":[\"stocks\"]"));
+        assert!(text.contains("\"result_cache\":{\"hits\":0"));
     }
 
     #[test]

@@ -4,8 +4,13 @@
 //! * N concurrent clients over one shared relation produce **bit-identical**
 //!   packages to a serial evaluation of the same requests;
 //! * a `cancel` op interrupts a solve mid-flight (the pivot-loop checkpoint)
-//!   and answers promptly;
-//! * admission control rejects requests once the bounded queue is full.
+//!   and answers promptly — and a *disconnect* does the same without any op;
+//! * admission control rejects requests once the bounded queue is full;
+//! * a stalled reader is disconnected at the write-buffer cap instead of
+//!   growing server memory;
+//! * the relation catalog round-trips over the wire: `load_relation` →
+//!   query → `unload_relation`, tenant isolation, quota admission errors;
+//! * the `stats` op exposes catalog and reactor state.
 
 use spq_core::{Algorithm, SpqOptions};
 use spq_mcdb::vg::NormalNoise;
@@ -70,6 +75,7 @@ fn portfolio_request(id: &str, query: &str) -> QueryRequest {
         id: id.to_string(),
         relation: "portfolio".to_string(),
         query: query.to_string(),
+        tenant: None,
         algorithm: Some(Algorithm::SummarySearch),
         timeout_ms: Some(60_000),
         seed: Some(11),
@@ -114,6 +120,7 @@ fn concurrent_clients_get_bit_identical_packages() {
         ServerConfig {
             workers: 8,
             queue_capacity: 64,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
@@ -157,9 +164,12 @@ fn concurrent_clients_get_bit_identical_packages() {
         }
     });
 
-    // The caches did real sharing: 8 clients × 2 queries compiled only twice.
+    // The caches did real sharing: 8 clients × 2 queries ran exactly two
+    // solves — the single-flight result cache answered the other fourteen
+    // requests bit-identically.
+    assert_eq!(service.result_cache().misses(), 2);
+    assert_eq!(service.result_cache().hits(), 14);
     assert_eq!(service.prepared_cache().misses(), 2);
-    assert_eq!(service.prepared_cache().hits(), 14);
     assert!(
         service.scenario_cache().hits() > 0,
         "concurrent solves must share scenario blocks"
@@ -189,6 +199,7 @@ fn heavy_request(id: &str) -> QueryRequest {
         id: id.to_string(),
         relation: "heavy".to_string(),
         query: HEAVY_QUERY.to_string(),
+        tenant: None,
         algorithm: Some(Algorithm::Naive),
         timeout_ms: Some(600_000),
         seed: None,
@@ -208,6 +219,7 @@ fn cancel_interrupts_a_solve_mid_flight() {
         ServerConfig {
             workers: 2,
             queue_capacity: 8,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
@@ -257,6 +269,7 @@ fn admission_control_rejects_when_the_queue_is_full() {
         ServerConfig {
             workers: 1,
             queue_capacity: 1,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
@@ -303,5 +316,296 @@ fn admission_control_rejects_when_the_queue_is_full() {
         .count();
     assert!(rejected >= 2, "statuses: {statuses:?}");
     assert_eq!(rejected + cancelled, 4, "statuses: {statuses:?}");
+    server.shutdown();
+}
+
+#[test]
+fn a_stalled_reader_is_disconnected_at_the_write_cap() {
+    // A client that requests responses but never reads them must be cut
+    // off once its unflushed output hits the configured cap — not grow
+    // server memory without bound, and not stall a worker.
+    let service = Arc::new(SpqService::new(test_service_config()));
+    let server = SpqServer::start(
+        service,
+        "127.0.0.1:0",
+        ServerConfig {
+            write_buffer_bytes: 8 * 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let mut client = Client::connect(server.local_addr());
+    client
+        .stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Each stats response is ~1.5 KiB. Never reading, the kernel socket
+    // buffers fill first, then the server-side write buffer hits its 8 KiB
+    // cap and the server disconnects us (visible as a write error once the
+    // reset arrives, or EOF when draining).
+    let mut disconnected = false;
+    for _ in 0..50_000 {
+        if client.stream.write_all(b"{\"op\":\"stats\"}\n").is_err() {
+            disconnected = true;
+            break;
+        }
+    }
+    if !disconnected {
+        // Writes may have been absorbed locally; the buffered responses
+        // must end in EOF, not an unbounded stream.
+        client
+            .stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match std::io::Read::read(&mut client.reader, &mut buf) {
+                Ok(0) => {
+                    disconnected = true;
+                    break;
+                }
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+    assert!(
+        disconnected,
+        "the server never disconnected a reader stalled past the write cap"
+    );
+
+    // The server is still healthy: a well-behaved client round-trips.
+    let mut fresh = Client::connect(server.local_addr());
+    fresh.send(r#"{"op":"ping"}"#);
+    assert!(fresh.recv_line().contains("pong"));
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_cancels_an_in_flight_solve() {
+    // No cancel op, no timeout: the client just vanishes. The reactor
+    // notices the hangup at the next poll and fires the connection's
+    // in-flight tokens, so the worker unwinds long before the 600s request
+    // deadline (an uninterrupted solve runs 20s+).
+    let service = Arc::new(SpqService::new(test_service_config()));
+    service.register_relation("heavy", heavy_relation(2000));
+    let server = SpqServer::start(
+        service,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let mut victim = Client::connect(addr);
+    victim.send(&Request::Query(heavy_request("doomed")).to_line());
+    // Let the worker get deep into the MILP.
+    std::thread::sleep(Duration::from_millis(400));
+
+    let mut observer = Client::connect(addr);
+    let in_flight = |observer: &mut Client| -> u64 {
+        observer.send(r#"{"op":"stats"}"#);
+        let stats = spq_service::json::parse(&observer.recv_line()).expect("stats json");
+        stats.get("in_flight").unwrap().as_u64().unwrap()
+    };
+    assert_eq!(in_flight(&mut observer), 1, "the solve must be running");
+
+    drop(victim);
+    let started = Instant::now();
+    while in_flight(&mut observer) > 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "disconnect did not cancel the in-flight solve"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // Cancelled well before the request deadline could expire.
+    assert!(started.elapsed() < Duration::from_secs(10));
+    server.shutdown();
+}
+
+/// `load_relation` ack lines are plain JSON (not query responses); pull the
+/// fields the tests assert on.
+fn recv_ack(client: &mut Client, op: &str) -> spq_service::Json {
+    let line = client.recv_line();
+    let json = spq_service::json::parse(&line).unwrap_or_else(|e| panic!("bad ack `{line}`: {e}"));
+    assert_eq!(json.str_field("op"), Some(op), "unexpected ack: {line}");
+    json
+}
+
+#[test]
+fn catalog_lifecycle_round_trips_over_tcp() {
+    // Start with an empty catalog: everything the client queries it must
+    // load itself.
+    let service = Arc::new(SpqService::new(test_service_config()));
+    let server =
+        SpqServer::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+    let workload = build_workload(WorkloadKind::Portfolio, 300, 9);
+    let query = workload.query(1).to_string();
+
+    let mut alice = Client::connect(addr);
+    let mut bob = Client::connect(addr);
+
+    // Load → query → unload as tenant alice.
+    alice.send(
+        r#"{"op":"load_relation","id":"l1","name":"portfolio","tenant":"alice","workload":"portfolio","scale":300,"seed":9}"#,
+    );
+    let ack = recv_ack(&mut alice, "load_ack");
+    assert_eq!(ack.str_field("status"), Some("ok"), "{ack:?}");
+    let alice_tuples = ack.get("tuples").unwrap().as_u64().unwrap();
+    assert!(alice_tuples >= 300);
+
+    let mut request = portfolio_request("a1", &query);
+    request.tenant = Some("alice".into());
+    alice.send(&Request::Query(request.clone()).to_line());
+    let response = QueryResponse::parse_line(&alice.recv_line()).expect("query response");
+    assert_eq!(response.status, QueryStatus::Ok, "{:?}", response.error);
+    assert!(response.feasible);
+
+    // Bob sees no such relation: alice's load is invisible to him.
+    let mut bobs = portfolio_request("b1", &query);
+    bobs.tenant = Some("bob".into());
+    bob.send(&Request::Query(bobs).to_line());
+    let response = QueryResponse::parse_line(&bob.recv_line()).expect("query response");
+    assert_eq!(response.status, QueryStatus::Error);
+    assert!(
+        response
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unknown relation"),
+        "{:?}",
+        response.error
+    );
+
+    // Bob loads his own relation under the *same name* — different scale,
+    // fully isolated from alice's.
+    bob.send(
+        r#"{"op":"load_relation","id":"l2","name":"portfolio","tenant":"bob","workload":"portfolio","scale":150,"seed":3}"#,
+    );
+    let ack = recv_ack(&mut bob, "load_ack");
+    assert_eq!(ack.str_field("status"), Some("ok"), "{ack:?}");
+    let bob_tuples = ack.get("tuples").unwrap().as_u64().unwrap();
+    assert_ne!(alice_tuples, bob_tuples, "tenants must be isolated");
+
+    bob.send(r#"{"op":"list_relations","tenant":"bob"}"#);
+    let listed = recv_ack(&mut bob, "relations");
+    let relations = listed.get("relations").unwrap().as_array().unwrap();
+    assert_eq!(relations.len(), 1);
+    assert_eq!(relations[0].str_field("name"), Some("portfolio"));
+    assert_eq!(
+        relations[0].get("tuples").unwrap().as_u64(),
+        Some(bob_tuples)
+    );
+    assert_eq!(relations[0].get("shared").unwrap().as_bool(), Some(false));
+
+    // Unload: alice's relation disappears for her queries; a second unload
+    // is a clean error, as is unloading a name bob never loaded.
+    alice.send(r#"{"op":"unload_relation","name":"portfolio","tenant":"alice"}"#);
+    let ack = recv_ack(&mut alice, "unload_ack");
+    assert_eq!(ack.str_field("status"), Some("ok"));
+    request.id = "a2".into();
+    alice.send(&Request::Query(request).to_line());
+    let response = QueryResponse::parse_line(&alice.recv_line()).expect("query response");
+    assert_eq!(response.status, QueryStatus::Error);
+    assert!(
+        response
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unknown relation"),
+        "{:?}",
+        response.error
+    );
+    alice.send(r#"{"op":"unload_relation","name":"portfolio","tenant":"alice"}"#);
+    let ack = recv_ack(&mut alice, "unload_ack");
+    assert_eq!(ack.str_field("status"), Some("error"));
+    assert!(ack
+        .str_field("error")
+        .unwrap_or("")
+        .contains("unknown relation"));
+    server.shutdown();
+}
+
+#[test]
+fn tenant_quota_exhaustion_is_a_clean_admission_error() {
+    let service = Arc::new(SpqService::new(ServiceConfig {
+        tenant_quotas: spq_service::TenantQuotas {
+            max_relations: 1,
+            max_resident_tuples: 100_000,
+        },
+        ..test_service_config()
+    }));
+    let server =
+        SpqServer::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server starts");
+    let mut client = Client::connect(server.local_addr());
+
+    client.send(
+        r#"{"op":"load_relation","id":"q1","name":"first","tenant":"t","workload":"portfolio","scale":150,"seed":1}"#,
+    );
+    assert_eq!(
+        recv_ack(&mut client, "load_ack").str_field("status"),
+        Some("ok")
+    );
+
+    // The second load is over the relation quota: a prompt, descriptive
+    // admission error — never a hang.
+    let started = Instant::now();
+    client.send(
+        r#"{"op":"load_relation","id":"q2","name":"second","tenant":"t","workload":"portfolio","scale":150,"seed":2}"#,
+    );
+    let ack = recv_ack(&mut client, "load_ack");
+    assert!(started.elapsed() < Duration::from_secs(10));
+    assert_eq!(ack.str_field("status"), Some("error"));
+    assert!(
+        ack.str_field("error").unwrap_or("").contains("quota"),
+        "{ack:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stats_expose_catalog_and_reactor_state_over_tcp() {
+    let service = Arc::new(SpqService::new(test_service_config()));
+    let server =
+        SpqServer::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+
+    let mut acme = Client::connect(addr);
+    acme.send(
+        r#"{"op":"load_relation","id":"l1","name":"mine","tenant":"acme","workload":"galaxy","scale":150,"seed":4}"#,
+    );
+    assert_eq!(
+        recv_ack(&mut acme, "load_ack").str_field("status"),
+        Some("ok")
+    );
+
+    let mut observer = Client::connect(addr);
+    observer.send(r#"{"op":"stats"}"#);
+    let stats = spq_service::json::parse(&observer.recv_line()).expect("stats json");
+
+    // Reactor and pool state.
+    assert_eq!(stats.get("open_connections").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("queue_depth").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("in_flight").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("rejected_admissions").unwrap().as_u64(), Some(0));
+    assert!(stats.get("shards").unwrap().as_u64().unwrap() >= 1);
+
+    // Catalog state: the tenant, its relation list, and its admit counter.
+    let tenants = stats.get("tenants").unwrap().as_array().unwrap();
+    let acme_snap = tenants
+        .iter()
+        .find(|t| t.str_field("tenant") == Some("acme"))
+        .expect("acme tenant listed");
+    let relations = acme_snap.get("relations").unwrap().as_array().unwrap();
+    assert_eq!(relations.len(), 1);
+    assert!(acme_snap.get("resident_tuples").unwrap().as_u64().unwrap() >= 150);
+    assert!(acme_snap.get("admits").unwrap().as_u64().unwrap() >= 1);
     server.shutdown();
 }

@@ -20,9 +20,14 @@
 //!   [`core::Algorithm::SketchRefine`]).
 //! * [`workloads`] — synthetic Galaxy / Portfolio / TPC-H workloads and the
 //!   paper's 24-query suite.
+//! * [`net`] — zero-dependency event-driven networking: a poll(2) reactor
+//!   over nonblocking sockets with capped per-connection buffers, idle
+//!   timeouts, and graceful drain.
 //! * [`service`] — the concurrent query service: the `spqd` server and `spq`
-//!   client binaries, the NDJSON wire protocol, a prepared-query cache, and
-//!   per-query deadlines/cancellation on top of [`solver::Deadline`].
+//!   client binaries on top of the [`net`] reactor, the NDJSON wire
+//!   protocol, a multi-tenant relation catalog, prepared-query and
+//!   single-flight result caches, and per-query deadlines/cancellation on
+//!   top of [`solver::Deadline`].
 //!
 //! ## Quickstart
 //!
@@ -52,6 +57,7 @@
 
 pub use spq_core as core;
 pub use spq_mcdb as mcdb;
+pub use spq_net as net;
 pub use spq_obs as obs;
 pub use spq_service as service;
 pub use spq_sketch as sketch;

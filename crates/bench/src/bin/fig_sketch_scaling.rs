@@ -11,19 +11,37 @@
 //! that is the point of the experiment; their rows then show the time spent
 //! before giving up and whether a feasible package was still found.
 //!
+//! With `--storage disk` the relation is streamed to chunked columnar files
+//! and paged through the byte-budgeted chunk cache; `--max-relation-bytes`
+//! caps the resident deterministic-column footprint (the cap is enforced by
+//! the engine, which refuses in-memory relations above it) — together they
+//! are the configuration of the 1M-tuple out-of-core scaling row. Results
+//! also go to a JSON report (`--out`, default `BENCH_sketch_scaling.json`).
+//!
 //! Usage: `cargo run --release -p spq-bench --bin fig_sketch_scaling -- \
 //!             [--scale-list 2000,20000,100000] [--queries 1] \
 //!             [--algorithms naive,summarysearch,sketchrefine] \
-//!             [--time-limit 120] [--validation 2000]`
+//!             [--time-limit 120] [--validation 2000] \
+//!             [--storage memory|disk] [--max-relation-bytes N] \
+//!             [--out BENCH_sketch_scaling.json]`
 
 use spq_bench::{approximation_ratio, print_table, run_query, HarnessConfig};
 use spq_core::Algorithm;
+use spq_service::json::Json;
 use spq_workloads::{spec, WorkloadKind};
+use std::io::Write;
 
 const M: usize = 20;
 
 fn main() {
     let mut config = HarnessConfig::from_args();
+    // The report path is this binary's only private flag.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_sketch_scaling.json".to_string());
     // Single-run cells by default (large-scale rows are expensive); an
     // explicit `--runs` flag is honored and the reported numbers become
     // per-run means.
@@ -52,9 +70,13 @@ fn main() {
         vec![1]
     };
     let kind = WorkloadKind::Portfolio;
-    eprintln!("# SketchRefine scaling harness (Portfolio, M = {M}, sizes {sizes:?}): {config:?}");
+    eprintln!(
+        "# SketchRefine scaling harness (Portfolio, M = {M}, sizes {sizes:?}, storage {}): {config:?}",
+        config.storage.as_str()
+    );
 
     let mut rows = Vec::new();
+    let mut report_rows = Vec::new();
     for &q in &queries {
         let spec_row = spec::query_spec(kind, q);
         for &n in &sizes {
@@ -124,6 +146,20 @@ fn main() {
                     Some(e) => format!("DNF: {}", e.chars().take(60).collect::<String>()),
                     None => "-".into(),
                 };
+                report_rows.push(Json::Obj(vec![
+                    ("query".into(), Json::from(format!("Q{q}"))),
+                    ("n_tuples".into(), Json::from(cell.n_tuples)),
+                    ("algorithm".into(), Json::from(cell.algorithm.to_string())),
+                    ("seconds".into(), Json::from(cell.seconds)),
+                    ("feasible".into(), Json::from(cell.feasible)),
+                    (
+                        "objective".into(),
+                        cell.objective.map(Json::from).unwrap_or(Json::Null),
+                    ),
+                    ("lp_pivots".into(), Json::from(cell.lp_pivots)),
+                    ("objective_ratio".into(), Json::from(ratio.clone())),
+                    ("note".into(), Json::from(note.clone())),
+                ]));
                 rows.push(vec![
                     format!("Q{q}"),
                     cell.n_tuples.to_string(),
@@ -154,5 +190,30 @@ fn main() {
         ],
         &rows,
     );
+    let report = Json::Obj(vec![
+        ("benchmark".into(), Json::from("sketch_scaling")),
+        ("workload".into(), Json::from(kind.to_string())),
+        ("storage".into(), Json::from(config.storage.as_str())),
+        (
+            "max_relation_bytes".into(),
+            config
+                .max_relation_bytes
+                .map(Json::from)
+                .unwrap_or(Json::Null),
+        ),
+        ("initial_scenarios".into(), Json::from(M)),
+        ("validation_scenarios".into(), Json::from(config.validation)),
+        ("runs".into(), Json::from(config.runs)),
+        ("seed".into(), Json::from(config.seed)),
+        (
+            "sizes".into(),
+            Json::Arr(sizes.iter().map(|&n| Json::from(n)).collect()),
+        ),
+        ("rows".into(), Json::Arr(report_rows)),
+    ]);
+    match std::fs::File::create(&out).and_then(|mut f| writeln!(f, "{report}")) {
+        Ok(()) => eprintln!("# report written to {out}"),
+        Err(e) => eprintln!("# could not write {out}: {e}"),
+    }
     spq_bench::finish_trace();
 }

@@ -33,9 +33,32 @@
 
 use serde::Serialize;
 use spq_core::{Algorithm, EvaluationResult, SpqEngine, SpqOptions};
+use spq_mcdb::StorageOptions;
 use spq_solver::SolverBackend;
-use spq_workloads::{build_workload, WorkloadKind};
+use spq_workloads::{build_workload, build_workload_with, WorkloadKind};
 use std::time::Duration;
+
+/// Which tier benchmark relations are materialized in (`--storage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageTier {
+    /// Fully resident deterministic columns (the default).
+    #[default]
+    Memory,
+    /// Chunked columnar files under a temp directory, paged through the
+    /// byte-budgeted chunk cache — the out-of-core configuration the
+    /// 1M-tuple scaling rows run in.
+    Disk,
+}
+
+impl StorageTier {
+    /// Canonical spelling for banners and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorageTier::Memory => "memory",
+            StorageTier::Disk => "disk",
+        }
+    }
+}
 
 /// Command-line configuration shared by the harness binaries.
 #[derive(Debug, Clone)]
@@ -59,6 +82,12 @@ pub struct HarnessConfig {
     pub time_limit: Duration,
     /// Base seed.
     pub seed: u64,
+    /// Storage tier for benchmark relations (`--storage memory|disk`).
+    pub storage: StorageTier,
+    /// Resident-byte ceiling (`--max-relation-bytes`): clamps the disk
+    /// tier's chunk-cache budget and makes every evaluation enforce
+    /// [`SpqOptions::max_relation_bytes`].
+    pub max_relation_bytes: Option<u64>,
     /// Which flags were explicitly supplied (canonical spellings, e.g.
     /// `"--runs"`; `"--algorithms"` is also recorded when `SPQ_ALGORITHMS`
     /// supplied the set). Lets binaries apply their own defaults without
@@ -80,6 +109,8 @@ impl Default for HarnessConfig {
             scale_list: None,
             time_limit: Duration::from_secs(60),
             seed: 2020,
+            storage: StorageTier::Memory,
+            max_relation_bytes: None,
             explicit_flags: Vec::new(),
         }
     }
@@ -167,6 +198,24 @@ impl HarnessConfig {
                         .parse::<SolverBackend>()
                         .map_err(|e| format!("--solver: {e}"))?;
                 }
+                "--storage" => {
+                    config.storage = match value.as_str() {
+                        "memory" | "mem" => StorageTier::Memory,
+                        "disk" => StorageTier::Disk,
+                        other => {
+                            return Err(format!(
+                                "--storage: unknown tier `{other}` (expected memory or disk)"
+                            ))
+                        }
+                    };
+                }
+                "--max-relation-bytes" => {
+                    config.max_relation_bytes = Some(
+                        value
+                            .parse()
+                            .map_err(|e| format!("--max-relation-bytes: {e}"))?,
+                    );
+                }
                 "--scale-list" => {
                     let list: Vec<usize> = value
                         .split(',')
@@ -214,7 +263,29 @@ impl HarnessConfig {
             initial_summaries,
             time_limit: Some(self.time_limit),
             solver: solver_options(self.time_limit, self.solver_backend),
+            max_relation_bytes: self.max_relation_bytes,
             ..Default::default()
+        }
+    }
+
+    /// Build a workload honoring `--storage` and `--max-relation-bytes`:
+    /// the disk tier streams the relation into chunk files under a
+    /// per-process temp directory and caps the chunk cache at the
+    /// relation-byte ceiling (when one is set) so the benchmark really runs
+    /// out-of-core.
+    pub fn build_workload(&self, kind: WorkloadKind, scale: usize) -> spq_workloads::Workload {
+        match self.storage {
+            StorageTier::Memory => build_workload(kind, scale, self.seed),
+            StorageTier::Disk => {
+                let dir = std::env::temp_dir()
+                    .join(format!("spq-bench-{}-{kind}-{scale}", std::process::id()));
+                let mut storage = StorageOptions::disk(dir);
+                if let Some(cap) = self.max_relation_bytes {
+                    storage = storage.cache_bytes(cap);
+                }
+                build_workload_with(kind, scale, self.seed, storage)
+                    .expect("disk-backed workload build")
+            }
         }
     }
 }
@@ -272,7 +343,7 @@ pub fn run_query(
     initial_summaries: usize,
 ) -> Vec<RunRecord> {
     spq_sketch::install();
-    let workload = build_workload(kind, relation_scale, config.seed);
+    let workload = config.build_workload(kind, relation_scale);
     let mut records = Vec::with_capacity(config.runs);
     for run in 0..config.runs {
         let options = config.options(

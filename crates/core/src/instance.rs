@@ -67,6 +67,22 @@ impl<'a> Instance<'a> {
         let opt_gen = ScenarioGenerator::new(options.seed);
         let val_gen = ScenarioGenerator::validation(options.seed);
 
+        // Enforce the relation-residency ceiling before touching any column:
+        // a disk-backed relation gets its chunk-cache budget clamped down to
+        // the cap; an in-memory relation that already exceeds it cannot be
+        // made to fit and is rejected outright.
+        if let Some(cap) = options.max_relation_bytes {
+            relation.clamp_cache_budget(cap);
+            let resident = relation.resident_bytes();
+            if resident > cap {
+                return Err(SpqError::InvalidArgument(format!(
+                    "relation `{}` holds {resident} bytes of deterministic columns resident, \
+                     above max_relation_bytes = {cap}; rebuild it with disk-backed storage",
+                    relation.name()
+                )));
+            }
+        }
+
         // Collect referenced columns.
         let mut det_cols: Vec<String> = Vec::new();
         let mut stoch_cols: Vec<String> = Vec::new();
@@ -93,11 +109,13 @@ impl<'a> Instance<'a> {
             }
         }
 
-        // Deterministic coefficient vectors restricted to the candidates.
+        // Deterministic coefficient vectors restricted to the candidates,
+        // gathered through the storage tier so a sub-instance over a few
+        // tuples of a disk-backed relation pages in only their chunks —
+        // never a full column.
         let mut det_values = HashMap::new();
         for col in &det_cols {
-            let full = relation.deterministic_f64(col)?;
-            let restricted: Vec<f64> = silp.tuples.iter().map(|&t| full[t]).collect();
+            let restricted = relation.gather_f64(col, &silp.tuples)?;
             det_values.insert(col.clone(), restricted);
         }
 

@@ -143,6 +143,15 @@ pub struct SpqOptions {
     /// Upper bound on any tuple's multiplicity when neither `REPEAT` nor the
     /// constraints imply one (keeps big-M constants finite).
     pub fallback_multiplicity_bound: u32,
+    /// Ceiling on the bytes of deterministic column data the relation may
+    /// keep resident during this evaluation, analogous to
+    /// `SolverOptions::max_solver_bytes`. For disk-backed relations the
+    /// chunk-cache budget is clamped down to the cap at instance
+    /// preparation; a fully in-memory relation whose columns already exceed
+    /// the cap is rejected with a descriptive error (it cannot be made to
+    /// fit — rebuild it with `StorageOptions::disk`). `None` (the default)
+    /// leaves residency unbounded.
+    pub max_relation_bytes: Option<u64>,
     /// SketchRefine-specific knobs (ignored by Naïve and SummarySearch).
     pub sketch: SketchOptions,
 }
@@ -170,6 +179,7 @@ impl Default for SpqOptions {
             scenario_cache: None,
             max_csa_iterations: 15,
             fallback_multiplicity_bound: 100,
+            max_relation_bytes: None,
             sketch: SketchOptions::default(),
         }
     }
@@ -271,6 +281,13 @@ impl SpqOptions {
     /// Attach a shared scenario cache, returning `self` for chaining.
     pub fn with_scenario_cache(mut self, cache: Arc<ScenarioCache>) -> Self {
         self.scenario_cache = Some(cache);
+        self
+    }
+
+    /// Cap the relation's resident deterministic-column bytes, returning
+    /// `self` for chaining.
+    pub fn with_max_relation_bytes(mut self, bytes: u64) -> Self {
+        self.max_relation_bytes = Some(bytes);
         self
     }
 }

@@ -1,0 +1,1012 @@
+//! Columnar storage tiers behind [`crate::Relation`].
+//!
+//! Deterministic columns live behind the [`ColumnStorage`] abstraction with
+//! two implementations:
+//!
+//! * **Memory** — the original fully-materialized `Vec<Value>`, zero-cost to
+//!   read and the default for every relation that fits comfortably in RAM.
+//! * **Disk** — a chunked, typed, out-of-core tier: the column is split into
+//!   fixed-size row chunks, each encoded into its own checksummed file under
+//!   a relation directory (written via temp-file+rename, exactly like the
+//!   scenario store, so readers never observe a half-written chunk). Reads go
+//!   through a small byte-budgeted [`ChunkCache`] shared by all columns of
+//!   the relation, evicting in oldest-first (insertion) order. Only the
+//!   per-column [`ColumnSummary`] (min/max/mean/spread) stays resident.
+//!
+//! The two tiers are **bit-identical** to consumers: every accessor on
+//! [`crate::Relation`] returns the same values in the same order regardless
+//! of tier or chunk size, which is what the storage conformance suite pins.
+//!
+//! ## Chunk file format
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic      8 bytes  b"SPQCOL01"
+//! column tag 1 × u64  stable tag of the canonical column name
+//! chunk      1 × u64  chunk index within the column
+//! count      1 × u64  number of values in this chunk
+//! length     1 × u64  payload length in bytes
+//! checksum   1 × u64  FNV-1a over the payload bytes
+//! payload    count × tagged values (0=null, 1=i64, 2=f64, 3=len+utf8)
+//! ```
+//!
+//! A reload verifies magic, tag, index, count, length, and checksum; any
+//! mismatch **deletes the file** and surfaces a descriptive
+//! [`McdbError::ChunkCorrupt`] — never a panic, never wrong data. The caller
+//! (catalog or test harness) rebuilds the relation from its source.
+
+use crate::error::McdbError;
+use crate::seed::column_tag;
+use crate::value::Value;
+use crate::Result;
+use spq_obs::metrics::{Counter, Named};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// Process-wide chunk-cache counters, surfaced by the Prometheus snapshot and
+// the spqd `stats` op.
+static CHUNK_HITS: Named<Counter> = Named::new("spq_relation_chunk_hits", Counter::new());
+static CHUNK_MISSES: Named<Counter> = Named::new("spq_relation_chunk_misses", Counter::new());
+static CHUNK_EVICTIONS: Named<Counter> = Named::new("spq_relation_chunk_evictions", Counter::new());
+static CHUNK_CORRUPT: Named<Counter> = Named::new("spq_relation_chunk_corrupt", Counter::new());
+
+const MAGIC: &[u8; 8] = b"SPQCOL01";
+/// magic + column tag + chunk index + count + payload length + checksum.
+const HEADER_BYTES: usize = 8 + 5 * 8;
+const FILE_SUFFIX: &str = ".spqcol";
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Approximate heap footprint of one value when resident (enum + text heap).
+fn value_bytes(v: &Value) -> u64 {
+    let text = match v {
+        Value::Text(s) => s.len() as u64,
+        _ => 0,
+    };
+    std::mem::size_of::<Value>() as u64 + text
+}
+
+fn values_bytes(values: &[Value]) -> u64 {
+    values.iter().map(value_bytes).sum()
+}
+
+/// Where a relation keeps its deterministic columns.
+#[derive(Debug, Clone, Default)]
+pub enum StorageOptions {
+    /// Fully materialized in-memory vectors (the default).
+    #[default]
+    Memory,
+    /// Chunked column files on disk behind a byte-budgeted chunk cache.
+    Disk(DiskOptions),
+}
+
+impl StorageOptions {
+    /// The in-memory tier.
+    pub fn memory() -> Self {
+        StorageOptions::Memory
+    }
+
+    /// The out-of-core tier rooted at `dir` with default chunking.
+    pub fn disk(dir: impl Into<PathBuf>) -> Self {
+        StorageOptions::Disk(DiskOptions::new(dir))
+    }
+
+    /// Rows per chunk file (disk tier only; no-op for memory).
+    pub fn chunk_rows(self, rows: usize) -> Self {
+        match self {
+            StorageOptions::Disk(d) => StorageOptions::Disk(d.chunk_rows(rows)),
+            m => m,
+        }
+    }
+
+    /// Chunk-cache byte budget (disk tier only; no-op for memory).
+    pub fn cache_bytes(self, bytes: u64) -> Self {
+        match self {
+            StorageOptions::Disk(d) => StorageOptions::Disk(d.cache_bytes(bytes)),
+            m => m,
+        }
+    }
+
+    /// Keep chunk files on disk after the relation is dropped (disk tier
+    /// only). By default they are deleted with the relation.
+    pub fn keep_files(self) -> Self {
+        match self {
+            StorageOptions::Disk(mut d) => {
+                d.cleanup_on_drop = false;
+                StorageOptions::Disk(d)
+            }
+            m => m,
+        }
+    }
+}
+
+/// Configuration of the out-of-core tier.
+#[derive(Debug, Clone)]
+pub struct DiskOptions {
+    /// Directory holding this relation's chunk files (created if absent).
+    pub dir: PathBuf,
+    /// Rows per chunk file. Chunk boundaries are row-aligned across all
+    /// columns of the relation.
+    pub chunk_rows: usize,
+    /// Byte budget of the shared chunk cache.
+    pub cache_bytes: u64,
+    /// Delete this relation's chunk files when the last handle drops.
+    pub cleanup_on_drop: bool,
+}
+
+impl DiskOptions {
+    /// Default rows per chunk file.
+    pub const DEFAULT_CHUNK_ROWS: usize = 65_536;
+    /// Default chunk-cache budget: 32 MiB.
+    pub const DEFAULT_CACHE_BYTES: u64 = 32 << 20;
+
+    /// Disk options rooted at `dir` with the defaults above.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskOptions {
+            dir: dir.into(),
+            chunk_rows: Self::DEFAULT_CHUNK_ROWS,
+            cache_bytes: Self::DEFAULT_CACHE_BYTES,
+            cleanup_on_drop: true,
+        }
+    }
+
+    /// Set the rows per chunk file (clamped to at least 1).
+    pub fn chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = rows.max(1);
+        self
+    }
+
+    /// Set the chunk-cache byte budget.
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+}
+
+/// Resident summary of one deterministic column, computed in one streaming
+/// pass while the column is built and kept in memory for both tiers. The
+/// hierarchical partitioner and the candidate prefilter consult these instead
+/// of paging raw chunks in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnSummary {
+    /// Total rows in the column.
+    pub rows: usize,
+    /// How many of them are numeric (int or float).
+    pub numeric: usize,
+    /// Minimum numeric value (0.0 when `numeric == 0`).
+    pub min: f64,
+    /// Maximum numeric value (0.0 when `numeric == 0`).
+    pub max: f64,
+    /// Mean of the numeric values (0.0 when `numeric == 0`).
+    pub mean: f64,
+    /// Population standard deviation of the numeric values.
+    pub spread: f64,
+}
+
+/// Streaming (Welford) accumulator for [`ColumnSummary`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SummaryAcc {
+    rows: usize,
+    numeric: usize,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl SummaryAcc {
+    pub(crate) fn push(&mut self, v: &Value) {
+        self.rows += 1;
+        if let Some(x) = v.as_f64() {
+            if self.numeric == 0 {
+                self.min = x;
+                self.max = x;
+            } else {
+                self.min = self.min.min(x);
+                self.max = self.max.max(x);
+            }
+            self.numeric += 1;
+            let delta = x - self.mean;
+            self.mean += delta / self.numeric as f64;
+            self.m2 += delta * (x - self.mean);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> ColumnSummary {
+        let spread = if self.numeric > 0 {
+            (self.m2 / self.numeric as f64).max(0.0).sqrt()
+        } else {
+            0.0
+        };
+        ColumnSummary {
+            rows: self.rows,
+            numeric: self.numeric,
+            min: if self.numeric > 0 { self.min } else { 0.0 },
+            max: if self.numeric > 0 { self.max } else { 0.0 },
+            mean: if self.numeric > 0 { self.mean } else { 0.0 },
+            spread,
+        }
+    }
+}
+
+/// Counters of one relation's chunk cache, surfaced through the catalog's
+/// `stats`/`list_relations` wire ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkCacheStats {
+    /// Chunk reads served from the cache.
+    pub hits: u64,
+    /// Chunk reads that had to page a file in.
+    pub misses: u64,
+    /// Chunks evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Chunk files rejected (and deleted) for corruption/truncation.
+    pub corrupt: u64,
+    /// Bytes of chunk data currently resident.
+    pub resident_bytes: u64,
+    /// Current byte budget.
+    pub budget_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<(u64, u32), Arc<Vec<Value>>>,
+    /// Insertion order; the front is the oldest resident chunk.
+    order: VecDeque<((u64, u32), u64)>,
+    bytes: u64,
+}
+
+/// Byte-budgeted cache of decoded chunks, shared by every disk-backed column
+/// of one relation. Eviction is oldest-first in insertion order; the budget
+/// can be tightened after build (e.g. by `max_relation_bytes`).
+#[derive(Debug)]
+pub struct ChunkCache {
+    budget: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+    inner: Mutex<CacheInner>,
+}
+
+impl ChunkCache {
+    /// A cache with the given byte budget.
+    pub fn new(budget: u64) -> Self {
+        ChunkCache {
+            budget: AtomicU64::new(budget),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ChunkCacheStats {
+        let resident = self.inner.lock().expect("chunk cache poisoned").bytes;
+        ChunkCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            resident_bytes: resident,
+            budget_bytes: self.budget.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tighten (never widen) the byte budget and evict down to it. Used to
+    /// enforce `max_relation_bytes`-style ceilings after the relation is
+    /// built.
+    pub fn clamp_budget(&self, bytes: u64) {
+        let current = self.budget.load(Ordering::Relaxed);
+        if bytes >= current {
+            return;
+        }
+        self.budget.store(bytes, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("chunk cache poisoned");
+        self.evict_to_budget(&mut inner);
+    }
+
+    fn evict_to_budget(&self, inner: &mut CacheInner) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        while inner.bytes > budget {
+            let Some((key, bytes)) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&key);
+            inner.bytes = inner.bytes.saturating_sub(bytes);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            CHUNK_EVICTIONS.inc();
+        }
+    }
+
+    /// Fetch a decoded chunk, paging its file in on a miss. The lock is held
+    /// across the file read so the byte accounting stays exact; chunk reads
+    /// are small and sequential, so contention stays modest.
+    fn get(&self, column: &DiskColumn, chunk: u32) -> Result<Arc<Vec<Value>>> {
+        let mut inner = self.inner.lock().expect("chunk cache poisoned");
+        if let Some(values) = inner.map.get(&(column.tag, chunk)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            CHUNK_HITS.inc();
+            return Ok(values.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        CHUNK_MISSES.inc();
+        let values = match column.read_chunk(chunk) {
+            Ok(v) => Arc::new(v),
+            Err(e) => {
+                if matches!(e, McdbError::ChunkCorrupt { .. }) {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    CHUNK_CORRUPT.inc();
+                }
+                return Err(e);
+            }
+        };
+        let bytes = values_bytes(&values);
+        if bytes <= self.budget.load(Ordering::Relaxed) {
+            inner.map.insert((column.tag, chunk), values.clone());
+            inner.order.push_back(((column.tag, chunk), bytes));
+            inner.bytes += bytes;
+            self.evict_to_budget(&mut inner);
+        }
+        Ok(values)
+    }
+
+    /// Drop every cached chunk whose column tag matches (used when a relation
+    /// is rebuilt in place after chunk corruption).
+    fn invalidate_column(&self, tag: u64) {
+        let mut inner = self.inner.lock().expect("chunk cache poisoned");
+        let stale: Vec<((u64, u32), u64)> = inner
+            .order
+            .iter()
+            .filter(|((t, _), _)| *t == tag)
+            .cloned()
+            .collect();
+        for (key, bytes) in stale {
+            inner.map.remove(&key);
+            inner.bytes = inner.bytes.saturating_sub(bytes);
+        }
+        inner.order.retain(|((t, _), _)| *t != tag);
+    }
+}
+
+/// One disk-backed deterministic column: chunk files under the relation
+/// directory plus the shared cache that pages them in.
+#[derive(Debug)]
+pub struct DiskColumn {
+    name: String,
+    tag: u64,
+    dir: PathBuf,
+    chunk_rows: usize,
+    n_rows: usize,
+    disk_bytes: u64,
+    cache: Arc<ChunkCache>,
+}
+
+impl DiskColumn {
+    fn chunk_path(&self, chunk: u32) -> PathBuf {
+        chunk_file_path(&self.dir, self.tag, chunk)
+    }
+
+    fn n_chunks(&self) -> u32 {
+        if self.n_rows == 0 {
+            0
+        } else {
+            self.n_rows.div_ceil(self.chunk_rows) as u32
+        }
+    }
+
+    fn chunk_len(&self, chunk: u32) -> usize {
+        let start = chunk as usize * self.chunk_rows;
+        self.chunk_rows.min(self.n_rows - start)
+    }
+
+    /// Read and verify one chunk file. Any verification failure deletes the
+    /// file and returns [`McdbError::ChunkCorrupt`].
+    fn read_chunk(&self, chunk: u32) -> Result<Vec<Value>> {
+        let path = self.chunk_path(chunk);
+        let corrupt = |detail: &str| {
+            let _ = std::fs::remove_file(&path);
+            McdbError::ChunkCorrupt {
+                path: path.display().to_string(),
+                detail: format!("column `{}`: {detail}", self.name),
+            }
+        };
+        let bytes = std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                McdbError::ChunkCorrupt {
+                    path: path.display().to_string(),
+                    detail: "chunk file is missing".to_string(),
+                }
+            } else {
+                McdbError::ChunkIo {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                }
+            }
+        })?;
+        if bytes.len() < HEADER_BYTES || &bytes[..8] != MAGIC {
+            return Err(corrupt("bad magic or truncated header"));
+        }
+        let word = |i: usize| {
+            let at = 8 + i * 8;
+            u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte word"))
+        };
+        let expected = self.chunk_len(chunk);
+        if word(0) != self.tag || word(1) != u64::from(chunk) || word(2) != expected as u64 {
+            return Err(corrupt("header does not match the addressed chunk"));
+        }
+        let payload = &bytes[HEADER_BYTES..];
+        if word(3) != payload.len() as u64 {
+            return Err(corrupt("declared payload length disagrees with the file"));
+        }
+        if fnv1a(payload) != word(4) {
+            return Err(corrupt("payload checksum mismatch"));
+        }
+        decode_values(payload, expected).ok_or_else(|| corrupt("undecodable payload"))
+    }
+
+    /// Delete this column's chunk files (relation drop cleanup).
+    fn remove_files(&self) {
+        for chunk in 0..self.n_chunks() {
+            let _ = std::fs::remove_file(self.chunk_path(chunk));
+        }
+    }
+}
+
+fn chunk_file_path(dir: &Path, tag: u64, chunk: u32) -> PathBuf {
+    dir.join(format!("{tag:016x}-{chunk:08}{FILE_SUFFIX}"))
+}
+
+/// Storage tier of one deterministic column.
+///
+/// This is the abstraction the rest of the workspace programs against:
+/// accessors are tier-agnostic and **bit-identical** across tiers, chunk
+/// sizes, and thread counts. The memory tier additionally exposes a borrowed
+/// slice ([`ColumnStorage::as_slice`]); everything else streams through
+/// [`ColumnStorage::for_each_chunk`] or gathers specific rows, paging in only
+/// the chunks those rows live in.
+#[derive(Debug)]
+pub enum ColumnStorage {
+    /// Fully materialized values.
+    Memory {
+        /// The column values.
+        values: Vec<Value>,
+        /// Cached resident footprint of `values`.
+        bytes: u64,
+    },
+    /// Chunked column files behind the relation's shared [`ChunkCache`].
+    Disk(DiskColumn),
+}
+
+impl ColumnStorage {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnStorage::Memory { values, .. } => values.len(),
+            ColumnStorage::Disk(d) => d.n_rows,
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the values when fully resident; `None` for the disk tier.
+    pub fn as_slice(&self) -> Option<&[Value]> {
+        match self {
+            ColumnStorage::Memory { values, .. } => Some(values),
+            ColumnStorage::Disk(_) => None,
+        }
+    }
+
+    /// Fetch one value (pages in the owning chunk on the disk tier).
+    pub fn get(&self, row: usize) -> Result<Value> {
+        match self {
+            ColumnStorage::Memory { values, .. } => Ok(values[row].clone()),
+            ColumnStorage::Disk(d) => {
+                let chunk = (row / d.chunk_rows) as u32;
+                let values = d.cache.get(d, chunk)?;
+                Ok(values[row % d.chunk_rows].clone())
+            }
+        }
+    }
+
+    /// Stream the column in row order as `(first_row, values)` chunks. The
+    /// memory tier yields one chunk covering the whole column.
+    pub fn for_each_chunk<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(usize, &[Value]) -> Result<()>,
+    {
+        match self {
+            ColumnStorage::Memory { values, .. } => f(0, values),
+            ColumnStorage::Disk(d) => {
+                for chunk in 0..d.n_chunks() {
+                    let values = d.cache.get(d, chunk)?;
+                    f(chunk as usize * d.chunk_rows, &values)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Gather the given rows, in the given order, paging in only the chunks
+    /// they live in (each needed chunk is fetched once per call).
+    pub fn gather(&self, rows: &[usize]) -> Result<Vec<Value>> {
+        match self {
+            ColumnStorage::Memory { values, .. } => {
+                rows.iter().map(|&r| Ok(values[r].clone())).collect()
+            }
+            ColumnStorage::Disk(d) => {
+                let mut out = vec![Value::Null; rows.len()];
+                let mut by_chunk: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new();
+                for (pos, &row) in rows.iter().enumerate() {
+                    let chunk = (row / d.chunk_rows) as u32;
+                    by_chunk
+                        .entry(chunk)
+                        .or_default()
+                        .push((pos, row % d.chunk_rows));
+                }
+                for (chunk, wants) in by_chunk {
+                    let values = d.cache.get(d, chunk)?;
+                    for (pos, offset) in wants {
+                        out[pos] = values[offset].clone();
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Resident footprint: the full column for the memory tier, nothing for
+    /// the disk tier (its residency is the shared chunk cache, accounted at
+    /// relation level).
+    pub fn resident_bytes(&self) -> u64 {
+        match self {
+            ColumnStorage::Memory { bytes, .. } => *bytes,
+            ColumnStorage::Disk(_) => 0,
+        }
+    }
+
+    /// Bytes of chunk files on disk (0 for the memory tier).
+    pub fn disk_bytes(&self) -> u64 {
+        match self {
+            ColumnStorage::Memory { .. } => 0,
+            ColumnStorage::Disk(d) => d.disk_bytes,
+        }
+    }
+
+    pub(crate) fn remove_files(&self) {
+        if let ColumnStorage::Disk(d) = self {
+            d.remove_files();
+        }
+    }
+
+    pub(crate) fn invalidate_cached(&self) {
+        if let ColumnStorage::Disk(d) = self {
+            d.cache.invalidate_column(d.tag);
+        }
+    }
+}
+
+fn encode_values(values: &[Value], buf: &mut Vec<u8>) {
+    for v in values {
+        match v {
+            Value::Null => buf.push(0),
+            Value::Int(i) => {
+                buf.push(1);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                buf.push(2);
+                buf.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Text(s) => {
+                buf.push(3);
+                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+fn decode_values(payload: &[u8], count: usize) -> Option<Vec<Value>> {
+    let mut out = Vec::with_capacity(count);
+    let mut at = 0usize;
+    for _ in 0..count {
+        let tag = *payload.get(at)?;
+        at += 1;
+        match tag {
+            0 => out.push(Value::Null),
+            1 => {
+                let bytes = payload.get(at..at + 8)?;
+                out.push(Value::Int(i64::from_le_bytes(bytes.try_into().ok()?)));
+                at += 8;
+            }
+            2 => {
+                let bytes = payload.get(at..at + 8)?;
+                out.push(Value::Float(f64::from_le_bytes(bytes.try_into().ok()?)));
+                at += 8;
+            }
+            3 => {
+                let len_bytes = payload.get(at..at + 4)?;
+                let len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+                at += 4;
+                let bytes = payload.get(at..at + len)?;
+                out.push(Value::Text(String::from_utf8(bytes.to_vec()).ok()?));
+                at += len;
+            }
+            _ => return None,
+        }
+    }
+    if at == payload.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Incremental writer used by `RelationBuilder` for both tiers: values are
+/// pushed in row order; the disk tier spills a chunk file each time
+/// `chunk_rows` values accumulate, so building a 10M-row column never holds
+/// more than one chunk of it in memory.
+#[derive(Debug)]
+pub(crate) enum ColumnWriter {
+    Memory {
+        values: Vec<Value>,
+        summary: SummaryAcc,
+    },
+    Disk {
+        name: String,
+        tag: u64,
+        dir: PathBuf,
+        chunk_rows: usize,
+        buf: Vec<Value>,
+        next_chunk: u32,
+        rows: usize,
+        disk_bytes: u64,
+        summary: SummaryAcc,
+        error: Option<McdbError>,
+    },
+}
+
+impl ColumnWriter {
+    pub(crate) fn memory() -> Self {
+        ColumnWriter::Memory {
+            values: Vec::new(),
+            summary: SummaryAcc::default(),
+        }
+    }
+
+    pub(crate) fn disk(name: &str, options: &DiskOptions) -> Self {
+        ColumnWriter::Disk {
+            name: name.to_string(),
+            tag: column_tag(name),
+            dir: options.dir.clone(),
+            chunk_rows: options.chunk_rows.max(1),
+            buf: Vec::new(),
+            next_chunk: 0,
+            rows: 0,
+            disk_bytes: 0,
+            summary: SummaryAcc::default(),
+            error: None,
+        }
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        match self {
+            ColumnWriter::Memory { values, .. } => values.len(),
+            ColumnWriter::Disk { rows, .. } => *rows,
+        }
+    }
+
+    pub(crate) fn push(&mut self, value: Value) {
+        match self {
+            ColumnWriter::Memory { values, summary } => {
+                summary.push(&value);
+                values.push(value);
+            }
+            ColumnWriter::Disk {
+                buf,
+                rows,
+                summary,
+                chunk_rows,
+                ..
+            } => {
+                summary.push(&value);
+                buf.push(value);
+                *rows += 1;
+                if buf.len() >= *chunk_rows {
+                    self.spill_full_chunks();
+                }
+            }
+        }
+    }
+
+    pub(crate) fn extend(&mut self, values: Vec<Value>) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    fn spill_full_chunks(&mut self) {
+        let ColumnWriter::Disk {
+            tag,
+            dir,
+            chunk_rows,
+            buf,
+            next_chunk,
+            disk_bytes,
+            error,
+            ..
+        } = self
+        else {
+            return;
+        };
+        while buf.len() >= *chunk_rows {
+            let rest = buf.split_off(*chunk_rows);
+            let chunk = std::mem::replace(buf, rest);
+            if let Err(e) = write_chunk(dir, *tag, *next_chunk, &chunk, disk_bytes) {
+                if error.is_none() {
+                    *error = Some(e);
+                }
+                return;
+            }
+            *next_chunk += 1;
+        }
+    }
+
+    /// Finalize into storage + resident summary. For the disk tier the last
+    /// partial chunk is flushed here.
+    pub(crate) fn finish(
+        self,
+        cache: Option<&Arc<ChunkCache>>,
+    ) -> Result<(ColumnStorage, ColumnSummary)> {
+        match self {
+            ColumnWriter::Memory { values, summary } => {
+                let bytes = values_bytes(&values);
+                Ok((ColumnStorage::Memory { values, bytes }, summary.finish()))
+            }
+            ColumnWriter::Disk {
+                name,
+                tag,
+                dir,
+                chunk_rows,
+                buf,
+                mut next_chunk,
+                rows,
+                mut disk_bytes,
+                summary,
+                error,
+            } => {
+                if let Some(e) = error {
+                    return Err(e);
+                }
+                if !buf.is_empty() {
+                    write_chunk(&dir, tag, next_chunk, &buf, &mut disk_bytes)?;
+                    next_chunk += 1;
+                }
+                let _ = next_chunk;
+                let cache = cache
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(ChunkCache::new(DiskOptions::DEFAULT_CACHE_BYTES)));
+                Ok((
+                    ColumnStorage::Disk(DiskColumn {
+                        name,
+                        tag,
+                        dir,
+                        chunk_rows,
+                        n_rows: rows,
+                        disk_bytes,
+                        cache,
+                    }),
+                    summary.finish(),
+                ))
+            }
+        }
+    }
+}
+
+fn write_chunk(
+    dir: &Path,
+    tag: u64,
+    chunk: u32,
+    values: &[Value],
+    disk_bytes: &mut u64,
+) -> Result<()> {
+    std::fs::create_dir_all(dir).map_err(|e| McdbError::ChunkIo {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut payload = Vec::new();
+    encode_values(values, &mut payload);
+    let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&u64::from(chunk).to_le_bytes());
+    buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    let path = chunk_file_path(dir, tag, chunk);
+    // Temp-file + rename so readers never observe a half-written chunk.
+    let tmp = dir.join(format!("{tag:016x}-{chunk:08}.tmp"));
+    let write = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        std::fs::rename(&tmp, &path)
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(McdbError::ChunkIo {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        });
+    }
+    *disk_bytes += buf.len() as u64;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spq-col-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build_disk(dir: &Path, chunk_rows: usize, values: Vec<Value>) -> ColumnStorage {
+        let opts = DiskOptions::new(dir).chunk_rows(chunk_rows);
+        let mut w = ColumnWriter::disk("x", &opts);
+        w.extend(values);
+        let cache = Arc::new(ChunkCache::new(1 << 20));
+        let (storage, _) = w.finish(Some(&cache)).unwrap();
+        storage
+    }
+
+    fn mixed_values(n: usize) -> Vec<Value> {
+        (0..n)
+            .map(|i| match i % 4 {
+                0 => Value::Int(i as i64),
+                1 => Value::Float(i as f64 * 0.5),
+                2 => Value::Text(format!("t{i}")),
+                _ => Value::Null,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disk_round_trips_all_value_types_across_chunk_sizes() {
+        for chunk_rows in [1usize, 3, 7, 64] {
+            let dir = tmp_dir(&format!("roundtrip-{chunk_rows}"));
+            let values = mixed_values(23);
+            let storage = build_disk(&dir, chunk_rows, values.clone());
+            assert_eq!(storage.len(), 23);
+            for (i, v) in values.iter().enumerate() {
+                assert_eq!(&storage.get(i).unwrap(), v, "row {i} chunk {chunk_rows}");
+            }
+            let gathered = storage.gather(&[22, 0, 5, 5]).unwrap();
+            assert_eq!(
+                gathered,
+                vec![
+                    values[22].clone(),
+                    values[0].clone(),
+                    values[5].clone(),
+                    values[5].clone()
+                ]
+            );
+            let mut streamed = Vec::new();
+            storage
+                .for_each_chunk(|base, chunk| {
+                    assert_eq!(base, streamed.len());
+                    streamed.extend_from_slice(chunk);
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(streamed, values);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn summaries_match_between_tiers() {
+        let values = mixed_values(40);
+        let mut mem = ColumnWriter::memory();
+        mem.extend(values.clone());
+        let (_, mem_summary) = mem.finish(None).unwrap();
+        let dir = tmp_dir("summary");
+        let opts = DiskOptions::new(&dir).chunk_rows(8);
+        let mut w = ColumnWriter::disk("x", &opts);
+        w.extend(values);
+        let (_, disk_summary) = w.finish(None).unwrap();
+        assert_eq!(mem_summary, disk_summary);
+        assert_eq!(mem_summary.rows, 40);
+        assert_eq!(mem_summary.numeric, 20);
+        assert!(mem_summary.max > mem_summary.min);
+        assert!(mem_summary.spread > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_evicts_oldest_first() {
+        let dir = tmp_dir("cache");
+        let opts = DiskOptions::new(&dir).chunk_rows(4);
+        let mut w = ColumnWriter::disk("x", &opts);
+        w.extend((0..16).map(Value::Int).collect());
+        // Budget fits roughly two decoded 4-row chunks.
+        let cache = Arc::new(ChunkCache::new(2 * 4 * 32 + 16));
+        let (storage, _) = w.finish(Some(&cache)).unwrap();
+        storage.get(0).unwrap(); // chunk 0: miss
+        storage.get(1).unwrap(); // chunk 0: hit
+        storage.get(5).unwrap(); // chunk 1: miss
+        storage.get(9).unwrap(); // chunk 2: miss, evicts chunk 0
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert!(stats.evictions >= 1);
+        storage.get(0).unwrap(); // chunk 0 again: miss after eviction
+        assert_eq!(cache.stats().misses, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_chunks_are_deleted_and_reported_not_panicked() {
+        let dir = tmp_dir("corrupt");
+        let storage = build_disk(&dir, 4, (0..8).map(Value::Int).collect());
+        let ColumnStorage::Disk(d) = &storage else {
+            unreachable!()
+        };
+        let path = d.chunk_path(1);
+        // Bit rot in the payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = storage.get(5).unwrap_err();
+        assert!(matches!(err, McdbError::ChunkCorrupt { .. }), "{err}");
+        assert!(!path.exists(), "corrupt chunk file is deleted");
+        // Truncation mid-header on the other chunk.
+        let path0 = d.chunk_path(0);
+        let bytes = std::fs::read(&path0).unwrap();
+        std::fs::write(&path0, &bytes[..HEADER_BYTES - 2]).unwrap();
+        assert!(matches!(
+            storage.get(0).unwrap_err(),
+            McdbError::ChunkCorrupt { .. }
+        ));
+        assert!(!path0.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clamp_budget_evicts_down() {
+        let dir = tmp_dir("clamp");
+        let opts = DiskOptions::new(&dir).chunk_rows(4);
+        let mut w = ColumnWriter::disk("x", &opts);
+        w.extend((0..16).map(Value::Int).collect());
+        let cache = Arc::new(ChunkCache::new(1 << 20));
+        let (storage, _) = w.finish(Some(&cache)).unwrap();
+        for i in 0..16 {
+            storage.get(i).unwrap();
+        }
+        assert!(cache.stats().resident_bytes > 0);
+        cache.clamp_budget(0);
+        assert_eq!(cache.stats().resident_bytes, 0);
+        // Reads still work, they just always page in.
+        assert_eq!(storage.get(3).unwrap(), Value::Int(3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

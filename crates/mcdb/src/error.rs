@@ -1,5 +1,6 @@
 //! Error types for the Monte Carlo database substrate.
 
+use crate::schema::ColumnKind;
 use std::fmt;
 
 /// Errors raised while building relations or generating scenarios.
@@ -7,8 +8,16 @@ use std::fmt;
 pub enum McdbError {
     /// A referenced column does not exist in the relation.
     UnknownColumn(String),
-    /// A column with the same name was defined twice.
-    DuplicateColumn(String),
+    /// A column with the same name was defined twice (column names are
+    /// case-insensitive, across the deterministic *and* stochastic sets).
+    DuplicateColumn {
+        /// The offending name, as given on the second definition.
+        column: String,
+        /// Kind of the column already holding the name.
+        existing: ColumnKind,
+        /// Kind the duplicate definition tried to add.
+        added: ColumnKind,
+    },
     /// Column lengths within a relation disagree.
     LengthMismatch {
         /// Column whose length disagrees with the relation cardinality.
@@ -38,13 +47,58 @@ pub enum McdbError {
     },
     /// A value could not be interpreted as a number.
     NotNumeric(String),
+    /// A column chunk file failed verification (bad magic, wrong header,
+    /// truncation, checksum mismatch). The file has been deleted; the caller
+    /// should rebuild the relation from its source.
+    ChunkCorrupt {
+        /// Path of the rejected (and deleted) chunk file.
+        path: String,
+        /// What failed verification.
+        detail: String,
+    },
+    /// An I/O failure while reading or writing a column chunk file.
+    ChunkIo {
+        /// Path involved in the failure.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+    /// The operation needs a fully resident column but the column lives in
+    /// the out-of-core tier (use the chunked or gathering accessors instead).
+    NotResident(String),
+    /// A streamed row's arity disagrees with the declared columns.
+    RowArity {
+        /// Declared streaming columns.
+        expected: usize,
+        /// Values in the offending row.
+        actual: usize,
+    },
+    /// Storage options were configured inconsistently (e.g. changed after
+    /// columns were already written).
+    InvalidStorage(String),
 }
 
 impl fmt::Display for McdbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             McdbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
-            McdbError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            McdbError::DuplicateColumn {
+                column,
+                existing,
+                added,
+            } => {
+                let kind = |k: &ColumnKind| match k {
+                    ColumnKind::Deterministic => "deterministic",
+                    ColumnKind::Stochastic => "stochastic",
+                };
+                write!(
+                    f,
+                    "duplicate column `{column}`: already defined as a {} column, \
+                     cannot redefine it as a {} column (names are case-insensitive)",
+                    kind(existing),
+                    kind(added)
+                )
+            }
             McdbError::LengthMismatch {
                 column,
                 expected,
@@ -65,6 +119,23 @@ impl fmt::Display for McdbError {
                 )
             }
             McdbError::NotNumeric(c) => write!(f, "column `{c}` contains non-numeric values"),
+            McdbError::ChunkCorrupt { path, detail } => write!(
+                f,
+                "column chunk `{path}` failed verification ({detail}); the file was deleted — \
+                 rebuild the relation from its source"
+            ),
+            McdbError::ChunkIo { path, message } => {
+                write!(f, "column chunk I/O failure at `{path}`: {message}")
+            }
+            McdbError::NotResident(c) => write!(
+                f,
+                "column `{c}` is disk-backed and not fully resident; use the chunked accessors"
+            ),
+            McdbError::RowArity { expected, actual } => write!(
+                f,
+                "streamed row has {actual} values but {expected} deterministic columns are declared"
+            ),
+            McdbError::InvalidStorage(msg) => write!(f, "invalid storage configuration: {msg}"),
         }
     }
 }

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod cache;
+pub mod column;
 pub mod error;
 pub mod expectation;
 pub mod relation;
@@ -46,6 +47,7 @@ pub mod value;
 pub mod vg;
 
 pub use cache::ScenarioCache;
+pub use column::{ChunkCacheStats, ColumnStorage, ColumnSummary, DiskOptions, StorageOptions};
 pub use error::McdbError;
 pub use expectation::ExpectationEstimator;
 pub use relation::{Relation, RelationBuilder, StochasticColumn};

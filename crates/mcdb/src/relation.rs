@@ -1,7 +1,10 @@
-//! In-memory Monte Carlo relations.
+//! Monte Carlo relations over tiered column storage.
 
+use crate::column::{
+    ChunkCache, ChunkCacheStats, ColumnStorage, ColumnSummary, ColumnWriter, StorageOptions,
+};
 use crate::error::McdbError;
-use crate::schema::{ColumnDef, Schema};
+use crate::schema::{ColumnDef, ColumnKind, Schema};
 use crate::seed::column_tag;
 use crate::value::Value;
 use crate::vg::VgFunction;
@@ -32,6 +35,14 @@ impl std::fmt::Debug for StochasticColumn {
     }
 }
 
+/// One deterministic column: its storage tier plus the always-resident
+/// streaming summary.
+#[derive(Debug)]
+struct DetColumn {
+    storage: ColumnStorage,
+    summary: ColumnSummary,
+}
+
 /// The immutable body of a [`Relation`], shared behind an `Arc` so cloning
 /// a relation — e.g. handing it to every worker thread of a query service —
 /// costs one reference-count bump rather than a deep copy of the columns.
@@ -42,20 +53,35 @@ struct RelationInner {
     n_rows: usize,
     uid: u64,
     fingerprint: u64,
-    det_columns: HashMap<String, Vec<Value>>,
+    det_columns: HashMap<String, DetColumn>,
     stoch_columns: HashMap<String, StochasticColumn>,
+    /// Shared chunk cache of the disk tier (None for all-memory relations).
+    chunk_cache: Option<Arc<ChunkCache>>,
+    /// Delete this relation's chunk files when the last handle drops.
+    disk_cleanup: bool,
 }
 
-/// An in-memory relation in the Monte Carlo data model: deterministic columns
-/// are fully materialized, stochastic columns are described by VG functions
+impl Drop for RelationInner {
+    fn drop(&mut self) {
+        if self.disk_cleanup {
+            for col in self.det_columns.values() {
+                col.storage.remove_files();
+            }
+        }
+    }
+}
+
+/// A relation in the Monte Carlo data model: deterministic columns live
+/// behind [`ColumnStorage`] (fully in memory, or chunked on disk behind a
+/// byte-budgeted cache), stochastic columns are described by VG functions
 /// and realized on demand per scenario.
 ///
 /// A `Relation` is an `Arc` handle over immutable shared state: `clone()` is
 /// O(1) and the clone can be sent to other threads (`Relation: Send + Sync`),
-/// which is what lets concurrent query evaluations share one 100k-tuple
+/// which is what lets concurrent query evaluations share one million-tuple
 /// relation without deep copies. Each built relation carries a process-unique
 /// [`Relation::uid`] (shared by all clones) that caches use as an identity
-/// key.
+/// key. All accessors return the same values regardless of storage tier.
 #[derive(Debug, Clone)]
 pub struct Relation {
     inner: Arc<RelationInner>,
@@ -97,7 +123,9 @@ impl Relation {
     /// the fingerprint survives process restarts — two relations built from
     /// the same workload parameters in different processes share it — which
     /// is what lets the persistent scenario store re-serve realized blocks
-    /// across restarts without ever serving them to a different model.
+    /// across restarts without ever serving them to a different model. The
+    /// fingerprint is storage-tier independent: disk-backed and in-memory
+    /// builds of the same workload share it.
     pub fn fingerprint(&self) -> u64 {
         self.inner.fingerprint
     }
@@ -115,20 +143,59 @@ impl Relation {
             .ok_or_else(|| McdbError::UnknownColumn(name.to_string()))
     }
 
-    /// Access a deterministic column's values.
-    pub fn deterministic_column(&self, name: &str) -> Result<&[Value]> {
+    fn det_column(&self, name: &str) -> Result<&DetColumn> {
         let canon = self.canonical_name(name)?;
         self.inner
             .det_columns
             .get(&canon)
-            .map(Vec::as_slice)
             .ok_or(McdbError::NotDeterministic(canon))
     }
 
+    /// Storage tier of a deterministic column.
+    pub fn deterministic_storage(&self, name: &str) -> Result<&ColumnStorage> {
+        Ok(&self.det_column(name)?.storage)
+    }
+
+    /// Access a fully resident deterministic column's values. For
+    /// disk-backed columns this returns [`McdbError::NotResident`]; use
+    /// [`Self::gather_values`], [`Self::value`], or
+    /// [`ColumnStorage::for_each_chunk`] there instead.
+    pub fn deterministic_column(&self, name: &str) -> Result<&[Value]> {
+        let canon = self.canonical_name(name)?;
+        let col = self
+            .inner
+            .det_columns
+            .get(&canon)
+            .ok_or(McdbError::NotDeterministic(canon.clone()))?;
+        col.storage.as_slice().ok_or(McdbError::NotResident(canon))
+    }
+
     /// Access a deterministic column as floats; errors if any value is
-    /// non-numeric.
+    /// non-numeric. Streams chunk by chunk on the disk tier, so peak extra
+    /// memory is one chunk plus the output vector.
     pub fn deterministic_f64(&self, name: &str) -> Result<Vec<f64>> {
-        let values = self.deterministic_column(name)?;
+        let col = self.det_column(name)?;
+        let mut out = Vec::with_capacity(col.storage.len());
+        col.storage.for_each_chunk(|_, chunk| {
+            for v in chunk {
+                out.push(
+                    v.as_f64()
+                        .ok_or_else(|| McdbError::NotNumeric(name.to_string()))?,
+                );
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Gather a deterministic column as floats at the given tuple indices,
+    /// in the given order, paging in only the chunks those tuples live in.
+    /// This is the access path sub-instances use so candidate pruning never
+    /// materializes a full column of a huge relation.
+    pub fn gather_f64(&self, name: &str, tuples: &[usize]) -> Result<Vec<f64>> {
+        self.check_tuples(tuples)?;
+        let col = self.det_column(name)?;
+        let values = col.storage.gather(tuples)?;
         values
             .iter()
             .map(|v| {
@@ -138,15 +205,38 @@ impl Relation {
             .collect()
     }
 
-    /// Access a single deterministic cell.
-    pub fn value(&self, column: &str, tuple: usize) -> Result<&Value> {
+    /// Gather deterministic values at the given tuple indices, in order.
+    pub fn gather_values(&self, name: &str, tuples: &[usize]) -> Result<Vec<Value>> {
+        self.check_tuples(tuples)?;
+        self.det_column(name)?.storage.gather(tuples)
+    }
+
+    fn check_tuples(&self, tuples: &[usize]) -> Result<()> {
+        if let Some(&bad) = tuples.iter().find(|&&t| t >= self.inner.n_rows) {
+            return Err(McdbError::TupleOutOfBounds {
+                index: bad,
+                len: self.inner.n_rows,
+            });
+        }
+        Ok(())
+    }
+
+    /// Access a single deterministic cell (paging in its chunk on the disk
+    /// tier).
+    pub fn value(&self, column: &str, tuple: usize) -> Result<Value> {
         if tuple >= self.inner.n_rows {
             return Err(McdbError::TupleOutOfBounds {
                 index: tuple,
                 len: self.inner.n_rows,
             });
         }
-        Ok(&self.deterministic_column(column)?[tuple])
+        self.det_column(column)?.storage.get(tuple)
+    }
+
+    /// Resident per-column summary (min/max/mean/spread) of a deterministic
+    /// column, computed at build time for both storage tiers.
+    pub fn column_summary(&self, name: &str) -> Result<ColumnSummary> {
+        Ok(self.det_column(name)?.summary)
     }
 
     /// Access a stochastic column descriptor.
@@ -185,9 +275,75 @@ impl Relation {
                 .collect(),
         ))
     }
+
+    /// `"disk"` when any deterministic column lives in the out-of-core tier,
+    /// else `"memory"`.
+    pub fn storage_kind(&self) -> &'static str {
+        if self.inner.chunk_cache.is_some() {
+            "disk"
+        } else {
+            "memory"
+        }
+    }
+
+    /// Bytes of deterministic column data resident in memory: materialized
+    /// columns plus whatever the chunk cache currently holds.
+    pub fn resident_bytes(&self) -> u64 {
+        let columns: u64 = self
+            .inner
+            .det_columns
+            .values()
+            .map(|c| c.storage.resident_bytes())
+            .sum();
+        let cached = self
+            .inner
+            .chunk_cache
+            .as_ref()
+            .map(|c| c.stats().resident_bytes)
+            .unwrap_or(0);
+        columns + cached
+    }
+
+    /// Bytes of chunk files on disk (0 for all-memory relations).
+    pub fn disk_bytes(&self) -> u64 {
+        self.inner
+            .det_columns
+            .values()
+            .map(|c| c.storage.disk_bytes())
+            .sum()
+    }
+
+    /// Chunk-cache counters, when the relation has a disk tier.
+    pub fn chunk_cache_stats(&self) -> Option<ChunkCacheStats> {
+        self.inner.chunk_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Tighten the chunk-cache byte budget (never widens; no-op for
+    /// all-memory relations). This is how `max_relation_bytes`-style
+    /// ceilings are enforced after the relation is built.
+    pub fn clamp_cache_budget(&self, bytes: u64) {
+        if let Some(cache) = &self.inner.chunk_cache {
+            cache.clamp_budget(bytes);
+        }
+    }
+
+    /// Drop cached chunks so subsequent reads re-verify the files on disk.
+    /// Used after an external rebuild of the relation directory.
+    pub fn invalidate_chunk_cache(&self) {
+        for col in self.inner.det_columns.values() {
+            col.storage.invalidate_cached();
+        }
+    }
 }
 
 /// Builder for [`Relation`]s.
+///
+/// Columns can be added whole (the classic path below) or streamed row by
+/// row via [`RelationBuilder::declare_deterministic`] and
+/// [`RelationBuilder::append_rows`], which — combined with
+/// [`StorageOptions::disk`] — builds million-tuple relations in bounded
+/// memory: at most `spill_threshold` rows per column are buffered before
+/// they are spilled to chunk files.
 ///
 /// ```
 /// use spq_mcdb::{RelationBuilder, vg::Degenerate, Value};
@@ -203,18 +359,48 @@ impl Relation {
 pub struct RelationBuilder {
     name: String,
     schema: Schema,
-    det_columns: HashMap<String, Vec<Value>>,
+    storage: StorageOptions,
+    det_columns: HashMap<String, ColumnWriter>,
+    /// Deterministic columns declared for the streaming path, in row order.
+    stream_columns: Vec<String>,
     stoch_columns: HashMap<String, StochasticColumn>,
     error: Option<McdbError>,
 }
 
 impl RelationBuilder {
-    /// Start a relation with the given name.
+    /// Start a relation with the given name (in-memory storage by default).
     pub fn new(name: impl Into<String>) -> Self {
         RelationBuilder {
             name: name.into(),
             ..Default::default()
         }
+    }
+
+    /// Choose the storage tier. Must be called before any deterministic
+    /// column is added — chunking applies uniformly to all of them.
+    pub fn storage(mut self, storage: StorageOptions) -> Self {
+        if !self.det_columns.is_empty() {
+            self.record_error(McdbError::InvalidStorage(
+                "storage must be configured before deterministic columns are added".to_string(),
+            ));
+            return self;
+        }
+        self.storage = storage;
+        self
+    }
+
+    /// Rows buffered per column before the streaming path spills a chunk to
+    /// disk (equivalently: rows per chunk file). No-op for memory storage.
+    pub fn spill_threshold(mut self, rows: usize) -> Self {
+        if !self.det_columns.is_empty() {
+            self.record_error(McdbError::InvalidStorage(
+                "spill_threshold must be configured before deterministic columns are added"
+                    .to_string(),
+            ));
+            return self;
+        }
+        self.storage = self.storage.chunk_rows(rows);
+        self
     }
 
     fn record_error(&mut self, e: McdbError) {
@@ -223,23 +409,86 @@ impl RelationBuilder {
         }
     }
 
-    fn check_duplicate(&mut self, name: &str) -> bool {
-        if self.schema.contains(name) {
-            self.record_error(McdbError::DuplicateColumn(name.to_string()));
+    fn check_duplicate(&mut self, name: &str, added: ColumnKind) -> bool {
+        if let Some(def) = self.schema.column(name) {
+            let existing = def.kind;
+            self.record_error(McdbError::DuplicateColumn {
+                column: name.to_string(),
+                existing,
+                added,
+            });
             true
         } else {
             false
         }
     }
 
-    /// Add a deterministic column of arbitrary values.
-    pub fn deterministic(mut self, name: impl Into<String>, values: Vec<Value>) -> Self {
+    fn new_writer(&self, name: &str) -> ColumnWriter {
+        match &self.storage {
+            StorageOptions::Memory => ColumnWriter::memory(),
+            StorageOptions::Disk(opts) => ColumnWriter::disk(name, opts),
+        }
+    }
+
+    /// Declare a deterministic column for the streaming path; its values
+    /// arrive through [`Self::append_rows`] in declaration order.
+    pub fn declare_deterministic(mut self, name: impl Into<String>) -> Self {
         let name = name.into();
-        if self.check_duplicate(&name) {
+        if self.check_duplicate(&name, ColumnKind::Deterministic) {
             return self;
         }
         self.schema.push(ColumnDef::deterministic(name.clone()));
-        self.det_columns.insert(name, values);
+        let writer = self.new_writer(&name);
+        self.det_columns.insert(name.clone(), writer);
+        self.stream_columns.push(name);
+        self
+    }
+
+    /// Append one row of values for the declared streaming columns.
+    pub fn append_row(self, row: Vec<Value>) -> Self {
+        self.append_rows(std::iter::once(row))
+    }
+
+    /// Append rows for the declared streaming columns. Each row must have
+    /// exactly one value per [`Self::declare_deterministic`] call, in
+    /// declaration order. On disk storage, full chunks are spilled as they
+    /// accumulate, so memory stays bounded by the spill threshold.
+    pub fn append_rows<I>(mut self, rows: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        if self.error.is_some() {
+            return self;
+        }
+        let expected = self.stream_columns.len();
+        for row in rows {
+            if row.len() != expected {
+                self.record_error(McdbError::RowArity {
+                    expected,
+                    actual: row.len(),
+                });
+                return self;
+            }
+            for (name, value) in self.stream_columns.iter().zip(row) {
+                self.det_columns
+                    .get_mut(name)
+                    .expect("declared column has a writer")
+                    .push(value);
+            }
+        }
+        self
+    }
+
+    /// Add a deterministic column of arbitrary values.
+    pub fn deterministic(mut self, name: impl Into<String>, values: Vec<Value>) -> Self {
+        let name = name.into();
+        if self.check_duplicate(&name, ColumnKind::Deterministic) {
+            return self;
+        }
+        self.schema.push(ColumnDef::deterministic(name.clone()));
+        let mut writer = self.new_writer(&name);
+        writer.extend(values);
+        self.det_columns.insert(name, writer);
         self
     }
 
@@ -273,7 +522,7 @@ impl RelationBuilder {
     /// Add a stochastic column backed by a shared VG function.
     pub fn stochastic_arc(mut self, name: impl Into<String>, vg: Arc<dyn VgFunction>) -> Self {
         let name = name.into();
-        if self.check_duplicate(&name) {
+        if self.check_duplicate(&name, ColumnKind::Stochastic) {
             return self;
         }
         if let Err(e) = vg.validate() {
@@ -319,9 +568,21 @@ impl RelationBuilder {
                 let len = self.stoch_columns[&def.name].vg.len();
                 check(&def.name, len)?;
             } else {
-                let len = self.det_columns[&def.name].len();
+                let len = self.det_columns[&def.name].rows();
                 check(&def.name, len)?;
             }
+        }
+        let (chunk_cache, disk_cleanup) = match &self.storage {
+            StorageOptions::Memory => (None, false),
+            StorageOptions::Disk(opts) => (
+                Some(Arc::new(ChunkCache::new(opts.cache_bytes))),
+                opts.cleanup_on_drop,
+            ),
+        };
+        let mut det_columns = HashMap::new();
+        for (name, writer) in self.det_columns {
+            let (storage, summary) = writer.finish(chunk_cache.as_ref())?;
+            det_columns.insert(name, DetColumn { storage, summary });
         }
         // A process-unique identity shared by every clone of this relation;
         // caches key on it instead of hashing column data.
@@ -341,8 +602,10 @@ impl RelationBuilder {
                 n_rows: n_rows.unwrap_or(0),
                 uid: NEXT_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
                 fingerprint: crate::seed::mix(&fp_words),
-                det_columns: self.det_columns,
+                det_columns,
                 stoch_columns: self.stoch_columns,
+                chunk_cache,
+                disk_cleanup,
             }),
         })
     }
@@ -352,6 +615,7 @@ impl RelationBuilder {
 mod tests {
     use super::*;
     use crate::vg::{Degenerate, NormalNoise};
+    use std::path::PathBuf;
 
     fn portfolio() -> Relation {
         RelationBuilder::new("stock_investments")
@@ -361,6 +625,12 @@ mod tests {
             .stochastic("Gain", NormalNoise::around(vec![0.0, 0.0, 0.0], 1.0))
             .build()
             .unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spq-rel-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -374,6 +644,10 @@ mod tests {
         assert!(!r.is_stochastic("price"));
         assert!(!r.is_stochastic("nope"));
         assert_eq!(r.stochastic_column_names(), vec!["Gain"]);
+        assert_eq!(r.storage_kind(), "memory");
+        assert!(r.resident_bytes() > 0);
+        assert_eq!(r.disk_bytes(), 0);
+        assert!(r.chunk_cache_stats().is_none());
     }
 
     #[test]
@@ -388,6 +662,12 @@ mod tests {
         assert!(r.value("price", 9).is_err());
         assert!(r.deterministic_column("Gain").is_err());
         assert!(r.deterministic_column("missing").is_err());
+        assert_eq!(r.gather_f64("price", &[2, 0]).unwrap(), vec![258.0, 234.0]);
+        assert!(r.gather_f64("price", &[3]).is_err());
+        let summary = r.column_summary("price").unwrap();
+        assert_eq!(summary.min, 140.0);
+        assert_eq!(summary.max, 258.0);
+        assert_eq!(summary.rows, 3);
     }
 
     #[test]
@@ -472,13 +752,65 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_column_is_rejected() {
+    fn duplicate_column_is_rejected_with_kinds() {
         let err = RelationBuilder::new("t")
             .deterministic_f64("a", vec![1.0])
             .deterministic_f64("a", vec![2.0])
             .build()
             .unwrap_err();
-        assert_eq!(err, McdbError::DuplicateColumn("a".into()));
+        assert_eq!(
+            err,
+            McdbError::DuplicateColumn {
+                column: "a".into(),
+                existing: ColumnKind::Deterministic,
+                added: ColumnKind::Deterministic,
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_across_det_and_stoch_sets_is_descriptive() {
+        // Pinning test: a stochastic column must not silently shadow a
+        // deterministic one of the same (case-insensitive) name, in either
+        // direction, and the error names both kinds.
+        let err = RelationBuilder::new("t")
+            .deterministic_f64("Gain", vec![1.0])
+            .stochastic("gain", Degenerate::new(vec![1.0]))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            McdbError::DuplicateColumn {
+                column: "gain".into(),
+                existing: ColumnKind::Deterministic,
+                added: ColumnKind::Stochastic,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("deterministic"), "{msg}");
+        assert!(msg.contains("stochastic"), "{msg}");
+        assert!(msg.contains("gain"), "{msg}");
+
+        let err = RelationBuilder::new("t")
+            .stochastic("x", Degenerate::new(vec![1.0]))
+            .deterministic_f64("X", vec![1.0])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            McdbError::DuplicateColumn {
+                column: "X".into(),
+                existing: ColumnKind::Stochastic,
+                added: ColumnKind::Deterministic,
+            }
+        );
+        // The streaming declaration path enforces the same rule.
+        let err = RelationBuilder::new("t")
+            .stochastic("x", Degenerate::new(vec![1.0]))
+            .declare_deterministic("x")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, McdbError::DuplicateColumn { .. }));
     }
 
     #[test]
@@ -511,5 +843,87 @@ mod tests {
         let other = portfolio();
         assert!(!r.same_relation(&other));
         assert_ne!(r.uid(), other.uid());
+    }
+
+    #[test]
+    fn streaming_rows_match_whole_column_build() {
+        let whole = RelationBuilder::new("s")
+            .deterministic_i64("id", vec![1, 2, 3])
+            .deterministic_f64("price", vec![10.0, 20.0, 30.0])
+            .build()
+            .unwrap();
+        let streamed = RelationBuilder::new("s")
+            .declare_deterministic("id")
+            .declare_deterministic("price")
+            .append_rows((1..=3).map(|i| vec![Value::Int(i), Value::Float(i as f64 * 10.0)]))
+            .build()
+            .unwrap();
+        assert_eq!(
+            whole.deterministic_f64("price").unwrap(),
+            streamed.deterministic_f64("price").unwrap()
+        );
+        assert_eq!(whole.fingerprint(), streamed.fingerprint());
+        // Arity mismatches are descriptive errors.
+        let err = RelationBuilder::new("s")
+            .declare_deterministic("id")
+            .append_row(vec![Value::Int(1), Value::Int(2)])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            McdbError::RowArity {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn disk_backed_relation_reads_like_memory_and_cleans_up() {
+        let dir = tmp_dir("diskrel");
+        let n = 100usize;
+        let build = |storage: StorageOptions| {
+            RelationBuilder::new("t")
+                .storage(storage)
+                .deterministic_i64("id", (0..n as i64).collect())
+                .deterministic_text("tag", (0..n).map(|i| format!("row{i}")).collect())
+                .stochastic("g", NormalNoise::around(vec![0.0; 100], 1.0))
+                .build()
+                .unwrap()
+        };
+        let mem = build(StorageOptions::memory());
+        let disk = build(StorageOptions::disk(&dir).chunk_rows(16));
+        assert_eq!(disk.storage_kind(), "disk");
+        assert_eq!(mem.fingerprint(), disk.fingerprint());
+        assert_eq!(
+            mem.deterministic_f64("id").unwrap(),
+            disk.deterministic_f64("id").unwrap()
+        );
+        assert_eq!(disk.value("tag", 17).unwrap().as_str(), Some("row17"));
+        assert!(disk.deterministic_column("id").is_err(), "not resident");
+        assert_eq!(
+            mem.column_summary("id").unwrap(),
+            disk.column_summary("id").unwrap()
+        );
+        assert!(disk.disk_bytes() > 0);
+        let stats = disk.chunk_cache_stats().unwrap();
+        assert!(stats.misses > 0);
+        // Chunk files exist while the relation lives, and are removed when
+        // the last handle drops.
+        let files = || std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert!(files() > 0);
+        drop(disk);
+        assert_eq!(files(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storage_must_be_set_before_columns() {
+        let err = RelationBuilder::new("t")
+            .deterministic_f64("a", vec![1.0])
+            .storage(StorageOptions::memory())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, McdbError::InvalidStorage(_)));
     }
 }

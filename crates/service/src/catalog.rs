@@ -20,10 +20,12 @@
 
 use crate::json::Json;
 use spq_mcdb::vg::NormalNoise;
-use spq_mcdb::{Relation, RelationBuilder};
+use spq_mcdb::{ChunkCacheStats, Relation, RelationBuilder, StorageOptions};
 use spq_obs::{Counter, Named};
-use spq_workloads::{build_workload, WorkloadKind};
+use spq_workloads::{build_workload_with, WorkloadKind};
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 static TENANT_ADMITS: Named<Counter> =
@@ -37,6 +39,39 @@ static RELATIONS_UNLOADED: Named<Counter> =
 
 /// The tenant requests without a `tenant` field belong to.
 pub const DEFAULT_TENANT: &str = "default";
+
+/// Storage tier a relation is loaded into, selected by the `storage` field
+/// of the `load_relation` wire op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelationStorage {
+    /// Fully materialized deterministic columns (the default).
+    #[default]
+    Memory,
+    /// Deterministic columns spill to checksummed chunk files under the
+    /// catalog's storage directory; reads go through the relation's
+    /// byte-budgeted chunk cache. Million-tuple relations load in bounded
+    /// memory.
+    Disk,
+}
+
+impl RelationStorage {
+    /// Parse the wire spelling (`"memory"` or `"disk"`).
+    pub fn parse(name: &str) -> Option<RelationStorage> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "memory" | "mem" => Some(RelationStorage::Memory),
+            "disk" => Some(RelationStorage::Disk),
+            _ => None,
+        }
+    }
+
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RelationStorage::Memory => "memory",
+            RelationStorage::Disk => "disk",
+        }
+    }
+}
 
 /// Per-tenant admission quotas.
 #[derive(Debug, Clone)]
@@ -96,14 +131,16 @@ impl RelationSource {
         }
     }
 
-    /// Materialize the relation. Heavy (generator or file I/O): call from a
-    /// worker thread, never the reactor thread.
-    fn build(&self) -> Result<Relation, CatalogError> {
+    /// Materialize the relation into `storage`. Heavy (generator or file
+    /// I/O): call from a worker thread, never the reactor thread.
+    fn build(&self, storage: StorageOptions) -> Result<Relation, CatalogError> {
         match self {
             RelationSource::Workload { kind, scale, seed } => {
-                Ok(build_workload(*kind, *scale, *seed).relation)
+                build_workload_with(*kind, *scale, *seed, storage)
+                    .map(|w| w.relation)
+                    .map_err(|e| CatalogError::BadSource(e.to_string()))
             }
-            RelationSource::File { path } => relation_from_file(path),
+            RelationSource::File { path } => relation_from_file_with(path, storage),
         }
     }
 }
@@ -170,6 +207,32 @@ impl TenantState {
     fn resident_tuples(&self) -> usize {
         self.relations.values().map(|e| e.relation.len()).sum()
     }
+
+    /// Bytes of deterministic column data the tenant holds in RAM (memory
+    /// columns plus cached disk chunks).
+    fn resident_bytes(&self) -> u64 {
+        self.relations
+            .values()
+            .map(|e| e.relation.resident_bytes())
+            .sum()
+    }
+
+    /// Bytes of chunk files the tenant's disk-backed relations occupy.
+    fn disk_bytes(&self) -> u64 {
+        self.relations
+            .values()
+            .map(|e| e.relation.disk_bytes())
+            .sum()
+    }
+
+    /// Aggregated chunk-cache (hits, misses) across the tenant's
+    /// disk-backed relations.
+    fn chunk_traffic(&self) -> (u64, u64) {
+        self.relations
+            .values()
+            .filter_map(|e| e.relation.chunk_cache_stats())
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses))
+    }
 }
 
 /// One relation as reported by `list_relations`.
@@ -184,6 +247,43 @@ pub struct RelationInfo {
     /// Whether the relation lives in the shared namespace (visible to every
     /// tenant) rather than the tenant's own.
     pub shared: bool,
+    /// Storage tier: `"memory"` or `"disk"`.
+    pub storage: &'static str,
+    /// Bytes of deterministic column data held in RAM (memory columns plus
+    /// cached disk chunks).
+    pub resident_bytes: u64,
+    /// Bytes of on-disk chunk files (0 for memory relations).
+    pub disk_bytes: u64,
+    /// Chunk-cache counters of a disk-backed relation (`None` for memory).
+    pub chunk_cache: Option<ChunkCacheStats>,
+}
+
+impl RelationInfo {
+    fn for_entry(name: &str, entry: &CatalogEntry, shared: bool) -> RelationInfo {
+        RelationInfo {
+            name: name.to_string(),
+            tuples: entry.relation.len(),
+            source: entry.source.clone(),
+            shared,
+            storage: entry.relation.storage_kind(),
+            resident_bytes: entry.relation.resident_bytes(),
+            disk_bytes: entry.relation.disk_bytes(),
+            chunk_cache: entry.relation.chunk_cache_stats(),
+        }
+    }
+
+    /// Fraction of chunk reads served from the cache (`None` for memory
+    /// relations, 0 when the cache was never consulted).
+    pub fn chunk_hit_rate(&self) -> Option<f64> {
+        self.chunk_cache.as_ref().map(|s| {
+            let total = s.hits + s.misses;
+            if total == 0 {
+                0.0
+            } else {
+                s.hits as f64 / total as f64
+            }
+        })
+    }
 }
 
 /// Per-tenant usage as reported by the `stats` op.
@@ -195,10 +295,32 @@ pub struct TenantSnapshot {
     pub relations: Vec<String>,
     /// Total tuples the tenant holds resident.
     pub resident_tuples: usize,
+    /// Bytes of deterministic column data held in RAM across the tenant's
+    /// relations (memory columns plus cached disk chunks).
+    pub resident_bytes: u64,
+    /// Bytes of chunk files the tenant's disk-backed relations occupy.
+    pub disk_bytes: u64,
+    /// Chunk-cache hits across the tenant's disk-backed relations.
+    pub chunk_hits: u64,
+    /// Chunk-cache misses across the tenant's disk-backed relations.
+    pub chunk_misses: u64,
     /// Requests admitted for this tenant.
     pub admits: u64,
     /// Requests rejected for this tenant (queue full, duplicate id, quota).
     pub rejects: u64,
+}
+
+impl TenantSnapshot {
+    /// Fraction of the tenant's chunk reads served from cache (0 when no
+    /// disk-backed relation was ever read).
+    pub fn chunk_hit_rate(&self) -> f64 {
+        let total = self.chunk_hits + self.chunk_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.chunk_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The relation registry: a shared namespace plus one namespace per tenant.
@@ -207,21 +329,49 @@ pub struct Catalog {
     shared: RwLock<HashMap<String, CatalogEntry>>,
     tenants: RwLock<HashMap<String, TenantState>>,
     quotas: TenantQuotas,
+    /// Base directory for disk-backed relations; each load gets its own
+    /// subdirectory so a replacement never clobbers chunk files a live
+    /// handle still reads (the old relation deletes its files on last drop).
+    storage_dir: PathBuf,
+    load_seq: AtomicU64,
 }
 
 impl Catalog {
-    /// An empty catalog enforcing `quotas` on every tenant.
+    /// An empty catalog enforcing `quotas` on every tenant. Disk-backed
+    /// relations go under the system temp directory; see
+    /// [`Catalog::with_storage_dir`].
     pub fn new(quotas: TenantQuotas) -> Self {
+        let dir = std::env::temp_dir().join(format!("spqd-relations-{}", std::process::id()));
+        Self::with_storage_dir(quotas, dir)
+    }
+
+    /// An empty catalog placing disk-backed relations under `storage_dir`.
+    pub fn with_storage_dir(quotas: TenantQuotas, storage_dir: impl Into<PathBuf>) -> Self {
         Catalog {
             shared: RwLock::new(HashMap::new()),
             tenants: RwLock::new(HashMap::new()),
             quotas,
+            storage_dir: storage_dir.into(),
+            load_seq: AtomicU64::new(0),
         }
     }
 
     /// The quotas every tenant is held to.
     pub fn quotas(&self) -> &TenantQuotas {
         &self.quotas
+    }
+
+    /// A fresh chunk directory for one disk-backed load of `tenant`'s
+    /// relation `name`.
+    fn relation_dir(&self, tenant: &str, name: &str) -> PathBuf {
+        let clean = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        };
+        let seq = self.load_seq.fetch_add(1, Ordering::Relaxed);
+        self.storage_dir
+            .join(format!("{}-{}-{seq:06}", clean(tenant), clean(name)))
     }
 
     /// Register a relation in the shared namespace (startup workloads;
@@ -271,6 +421,21 @@ impl Catalog {
         name: &str,
         source: &RelationSource,
     ) -> Result<usize, CatalogError> {
+        self.load_with(tenant, name, source, RelationStorage::Memory)
+    }
+
+    /// [`Catalog::load`] with an explicit storage tier.
+    /// [`RelationStorage::Disk`] streams the relation's deterministic
+    /// columns into chunk files under the catalog's storage directory; the
+    /// chunk files are deleted when the last handle to the relation drops
+    /// (unload, replacement, or shutdown).
+    pub fn load_with(
+        &self,
+        tenant: &str,
+        name: &str,
+        source: &RelationSource,
+        storage: RelationStorage,
+    ) -> Result<usize, CatalogError> {
         let name = name.to_ascii_lowercase();
         // Cheap pre-check before paying for generation: a tenant already at
         // its relation cap (and not replacing) can be refused immediately.
@@ -286,7 +451,11 @@ impl Catalog {
                 }
             }
         }
-        let relation = source.build()?;
+        let options = match storage {
+            RelationStorage::Memory => StorageOptions::memory(),
+            RelationStorage::Disk => StorageOptions::disk(self.relation_dir(tenant, &name)),
+        };
+        let relation = source.build(options)?;
         let tuples = relation.len();
 
         let mut tenants = self.tenants.write().expect("catalog poisoned");
@@ -347,29 +516,11 @@ impl Catalog {
             .read()
             .expect("catalog poisoned")
             .iter()
-            .map(|(name, entry)| {
-                (
-                    name.clone(),
-                    RelationInfo {
-                        name: name.clone(),
-                        tuples: entry.relation.len(),
-                        source: entry.source.clone(),
-                        shared: true,
-                    },
-                )
-            })
+            .map(|(name, entry)| (name.clone(), RelationInfo::for_entry(name, entry, true)))
             .collect();
         if let Some(state) = self.tenants.read().expect("catalog poisoned").get(tenant) {
             for (name, entry) in &state.relations {
-                infos.insert(
-                    name.clone(),
-                    RelationInfo {
-                        name: name.clone(),
-                        tuples: entry.relation.len(),
-                        source: entry.source.clone(),
-                        shared: false,
-                    },
-                );
+                infos.insert(name.clone(), RelationInfo::for_entry(name, entry, false));
             }
         }
         let mut infos: Vec<RelationInfo> = infos.into_values().collect();
@@ -414,10 +565,15 @@ impl Catalog {
             .map(|(tenant, state)| {
                 let mut relations: Vec<String> = state.relations.keys().cloned().collect();
                 relations.sort();
+                let (chunk_hits, chunk_misses) = state.chunk_traffic();
                 TenantSnapshot {
                     tenant: tenant.clone(),
                     relations,
                     resident_tuples: state.resident_tuples(),
+                    resident_bytes: state.resident_bytes(),
+                    disk_bytes: state.disk_bytes(),
+                    chunk_hits,
+                    chunk_misses,
                     admits: state.admits,
                     rejects: state.rejects,
                 }
@@ -443,6 +599,16 @@ impl Catalog {
 /// Monte Carlo VG function used by the paper's Portfolio workload). All
 /// columns must have the same length.
 pub fn relation_from_file(path: &str) -> Result<Relation, CatalogError> {
+    relation_from_file_with(path, StorageOptions::memory())
+}
+
+/// [`relation_from_file`] with an explicit storage tier: deterministic
+/// columns stream into the builder and spill to chunk files when `storage`
+/// is a disk tier, so large column-spec files load in bounded memory.
+pub fn relation_from_file_with(
+    path: &str,
+    storage: StorageOptions,
+) -> Result<Relation, CatalogError> {
     let bad = |message: String| CatalogError::BadSource(message);
     let text =
         std::fs::read_to_string(path).map_err(|e| bad(format!("cannot read `{path}`: {e}")))?;
@@ -471,7 +637,7 @@ pub fn relation_from_file(path: &str) -> Result<Relation, CatalogError> {
             .collect()
     };
 
-    let mut builder = RelationBuilder::new(name);
+    let mut builder = RelationBuilder::new(name).storage(storage);
     for column in columns {
         let column_name = column
             .str_field("name")
@@ -506,6 +672,7 @@ pub fn relation_from_file(path: &str) -> Result<Relation, CatalogError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spq_workloads::build_workload;
 
     fn small_source(scale: usize) -> RelationSource {
         RelationSource::Workload {
@@ -634,6 +801,73 @@ mod tests {
         let err = relation_from_file(bad.to_str().unwrap()).unwrap_err();
         assert!(err.to_string().contains("unknown kind"));
         let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn disk_loads_account_bytes_and_clean_up_their_chunks() {
+        let dir = std::env::temp_dir().join(format!("spq-catalog-disk-{}", std::process::id()));
+        let catalog = Catalog::with_storage_dir(TenantQuotas::default(), &dir);
+        catalog
+            .load_with("t", "p", &small_source(400), RelationStorage::Disk)
+            .unwrap();
+
+        // list_relations reports the tier and the byte split.
+        let info = &catalog.list("t")[0];
+        assert_eq!(info.storage, "disk");
+        assert!(info.disk_bytes > 0, "chunk files must exist");
+        assert!(info.chunk_cache.is_some());
+        assert_eq!(info.chunk_hit_rate(), Some(0.0), "nothing read yet");
+
+        // Reading pages chunks through the cache; the hit rate moves.
+        let relation = catalog.resolve("t", "p").unwrap();
+        let a = relation.deterministic_f64("price").unwrap();
+        let b = relation.deterministic_f64("price").unwrap();
+        assert_eq!(a, b);
+        let info = &catalog.list("t")[0];
+        assert!(info.chunk_hit_rate().unwrap() > 0.0, "second read hits");
+        assert!(info.resident_bytes > 0, "cached chunks count as resident");
+
+        // Snapshots aggregate the same accounting per tenant.
+        let snap = &catalog.tenant_snapshots()[0];
+        assert!(snap.disk_bytes > 0);
+        assert!(snap.chunk_hits > 0);
+        assert!(snap.chunk_hit_rate() > 0.0);
+
+        // Unloading drops the last handle; the chunk files disappear.
+        let files_before: usize = walk_files(&dir);
+        assert!(files_before > 0);
+        drop(relation);
+        catalog.unload("t", "p").unwrap();
+        assert_eq!(walk_files(&dir), 0, "chunk files must be deleted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn walk_files(dir: &std::path::Path) -> usize {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .map(|e| {
+                if e.path().is_dir() {
+                    walk_files(&e.path())
+                } else {
+                    1
+                }
+            })
+            .sum()
+    }
+
+    #[test]
+    fn storage_spellings_parse() {
+        assert_eq!(RelationStorage::parse("disk"), Some(RelationStorage::Disk));
+        assert_eq!(
+            RelationStorage::parse("Memory"),
+            Some(RelationStorage::Memory)
+        );
+        assert_eq!(RelationStorage::parse("tape"), None);
+        assert_eq!(RelationStorage::default(), RelationStorage::Memory);
+        assert_eq!(RelationStorage::Disk.as_str(), "disk");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! {"op":"load_relation","id":"l1","name":"p2","tenant":"alice",
 //!  "source":"workload","workload":"portfolio","scale":5000,"seed":7}
 //! {"op":"load_relation","id":"l2","name":"mine","source":"file",
-//!  "path":"/data/mine.json"}
+//!  "path":"/data/mine.json","storage":"disk"}
 //! {"op":"unload_relation","name":"p2","tenant":"alice"}
 //! {"op":"list_relations","tenant":"alice"}
 //! ```
@@ -35,7 +35,10 @@
 //! requesting tenant's namespace — `source:"workload"` synthesizes one of
 //! the paper's generators (`workload`, `scale`, `seed`), `source:"file"`
 //! reads a column-spec JSON file from the server's filesystem — subject to
-//! the tenant's admission quotas. `unload_relation` drops it;
+//! the tenant's admission quotas; `storage:"disk"` (default `"memory"`)
+//! streams the deterministic columns into checksummed chunk files on the
+//! server so million-tuple relations load in bounded memory.
+//! `unload_relation` drops it;
 //! `list_relations` reports what the tenant can see. `validate` runs the blocked out-of-sample validator over a
 //! given package (no search): `package` lists `[tuple_index, multiplicity]`
 //! pairs, `early_stop` is `full` (default), `certain` or `hoeffding`, and
@@ -60,7 +63,7 @@
 //! the queue was full), `cancelled`, `timeout`, or `error` (with an `error`
 //! message). `package` lists `[tuple_index, multiplicity]` pairs.
 
-use crate::catalog::RelationSource;
+use crate::catalog::{RelationSource, RelationStorage};
 use crate::json::{parse, Json};
 use spq_core::validation::ConstraintValidation;
 use spq_core::{Algorithm, EarlyStop, EvaluationStats};
@@ -134,6 +137,10 @@ pub struct LoadRequest {
     pub tenant: Option<String>,
     /// Where the data comes from.
     pub source: RelationSource,
+    /// Storage tier: `"memory"` (default) keeps deterministic columns
+    /// materialized; `"disk"` streams them into chunk files on the server,
+    /// bounding resident memory for million-tuple relations.
+    pub storage: RelationStorage,
 }
 
 /// One parsed request line.
@@ -331,11 +338,18 @@ impl Request {
                         ))
                     }
                 };
+                let storage = match value.str_field("storage") {
+                    Some(name) => RelationStorage::parse(name).ok_or_else(|| {
+                        format!("unknown storage `{name}` (expected memory or disk)")
+                    })?,
+                    None => RelationStorage::Memory,
+                };
                 Ok(Request::Load(LoadRequest {
                     id,
                     name,
                     tenant: value.str_field("tenant").map(str::to_string),
                     source,
+                    storage,
                 }))
             }
             "unload_relation" => Ok(Request::Unload {
@@ -442,6 +456,9 @@ impl Request {
                         pairs.push(("source".to_string(), Json::from("file")));
                         pairs.push(("path".to_string(), Json::from(path.as_str())));
                     }
+                }
+                if l.storage != RelationStorage::Memory {
+                    pairs.push(("storage".to_string(), Json::from(l.storage.as_str())));
                 }
                 Json::Obj(pairs).to_string()
             }
@@ -900,7 +917,23 @@ mod tests {
         };
         assert!(matches!(&l.source, RelationSource::File { path } if path == "/data/mine.json"));
         assert_eq!(l.tenant, None);
+        assert_eq!(l.storage, RelationStorage::Memory, "memory is the default");
         Request::parse_line(&parsed.to_line()).unwrap();
+
+        // `storage":"disk"` selects the out-of-core tier and round-trips.
+        let parsed = Request::parse_line(
+            r#"{"op":"load_relation","id":"l3","name":"big","workload":"portfolio","storage":"disk"}"#,
+        )
+        .unwrap();
+        let Request::Load(l) = &parsed else {
+            panic!("expected load");
+        };
+        assert_eq!(l.storage, RelationStorage::Disk);
+        assert!(parsed.to_line().contains(r#""storage":"disk""#));
+        let Request::Load(l) = Request::parse_line(&parsed.to_line()).unwrap() else {
+            panic!("expected load");
+        };
+        assert_eq!(l.storage, RelationStorage::Disk);
 
         // Unload and list round-trip with and without tenant.
         let parsed =
@@ -928,6 +961,11 @@ mod tests {
         )
         .unwrap_err()
         .contains("unknown source"));
+        assert!(Request::parse_line(
+            r#"{"op":"load_relation","id":"l","name":"x","workload":"portfolio","storage":"tape"}"#
+        )
+        .unwrap_err()
+        .contains("unknown storage"));
         assert!(Request::parse_line(r#"{"op":"unload_relation"}"#).is_err());
 
         // Tenant-tagged queries round-trip the tenant.

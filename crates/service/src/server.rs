@@ -515,12 +515,28 @@ impl Handler for ConnHandler {
                     .list(tenant)
                     .into_iter()
                     .map(|info| {
-                        Json::Obj(vec![
-                            ("name".into(), Json::from(info.name)),
+                        let mut pairs = vec![
+                            ("name".into(), Json::from(info.name.clone())),
                             ("tuples".into(), Json::from(info.tuples)),
-                            ("source".into(), Json::from(info.source)),
+                            ("source".into(), Json::from(info.source.clone())),
                             ("shared".into(), Json::from(info.shared)),
-                        ])
+                            ("storage".into(), Json::from(info.storage)),
+                            ("resident_bytes".into(), Json::from(info.resident_bytes)),
+                            ("disk_bytes".into(), Json::from(info.disk_bytes)),
+                        ];
+                        if let Some(rate) = info.chunk_hit_rate() {
+                            let cache = info.chunk_cache.as_ref().expect("disk tier");
+                            pairs.push((
+                                "chunk_cache".into(),
+                                Json::Obj(vec![
+                                    ("hits".into(), Json::from(cache.hits)),
+                                    ("misses".into(), Json::from(cache.misses)),
+                                    ("evictions".into(), Json::from(cache.evictions)),
+                                    ("hit_rate".into(), Json::from(rate)),
+                                ]),
+                            ));
+                        }
+                        Json::Obj(pairs)
                     })
                     .collect();
                 reactor.send(
@@ -603,16 +619,19 @@ fn worker_loop(pool: &Pool, home: usize, service: &SpqService, reactor: &Reactor
                 if job.token.is_cancelled() {
                     load_ack_error(&request.id, "cancelled while queued")
                 } else {
-                    match service
-                        .catalog()
-                        .load(tenant, &request.name, &request.source)
-                    {
+                    match service.catalog().load_with(
+                        tenant,
+                        &request.name,
+                        &request.source,
+                        request.storage,
+                    ) {
                         Ok(tuples) => Json::Obj(vec![
                             ("op".into(), Json::from("load_ack")),
                             ("id".into(), Json::from(request.id.as_str())),
                             ("name".into(), Json::from(request.name.to_ascii_lowercase())),
                             ("tenant".into(), Json::from(tenant)),
                             ("tuples".into(), Json::from(tuples)),
+                            ("storage".into(), Json::from(request.storage.as_str())),
                             ("status".into(), Json::from("ok")),
                         ])
                         .to_string(),

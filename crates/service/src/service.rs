@@ -696,6 +696,23 @@ impl SpqService {
                 "relations".to_string(),
                 Json::Arr(self.relation_names().into_iter().map(Json::from).collect()),
             ),
+            // Process-wide chunk traffic of disk-backed relations (the
+            // spq_relation_chunk_* counters; per-relation figures come from
+            // `list_relations`).
+            ("relation_chunk_cache".to_string(), {
+                let counter = |name: &str| spq_obs::metrics::counter_value(name).unwrap_or(0);
+                let hits = counter("spq_relation_chunk_hits");
+                let misses = counter("spq_relation_chunk_misses");
+                Json::Obj(vec![
+                    ("hits".to_string(), Json::from(hits)),
+                    ("misses".to_string(), Json::from(misses)),
+                    (
+                        "evictions".to_string(),
+                        Json::from(counter("spq_relation_chunk_evictions")),
+                    ),
+                    ("hit_rate".to_string(), Json::from(hit_rate(hits, misses))),
+                ])
+            }),
             (
                 "tenants".to_string(),
                 Json::Arr(
@@ -703,6 +720,7 @@ impl SpqService {
                         .tenant_snapshots()
                         .into_iter()
                         .map(|snap| {
+                            let chunk_hit_rate = snap.chunk_hit_rate();
                             Json::Obj(vec![
                                 ("tenant".to_string(), Json::from(snap.tenant)),
                                 (
@@ -713,6 +731,12 @@ impl SpqService {
                                     "resident_tuples".to_string(),
                                     Json::from(snap.resident_tuples),
                                 ),
+                                (
+                                    "resident_bytes".to_string(),
+                                    Json::from(snap.resident_bytes),
+                                ),
+                                ("disk_bytes".to_string(), Json::from(snap.disk_bytes)),
+                                ("chunk_hit_rate".to_string(), Json::from(chunk_hit_rate)),
                                 ("admits".to_string(), Json::from(snap.admits)),
                                 ("rejects".to_string(), Json::from(snap.rejects)),
                             ])

@@ -534,6 +534,76 @@ fn catalog_lifecycle_round_trips_over_tcp() {
 }
 
 #[test]
+fn disk_backed_relations_round_trip_with_storage_accounting() {
+    // The full storage-tier loop over real TCP: load with `"storage":"disk"`,
+    // query it (paging chunks through the cache), and read the accounting
+    // back through `list_relations` (per-relation bytes + chunk-cache stats)
+    // and `stats` (process-wide counters + per-tenant byte totals).
+    let service = Arc::new(SpqService::new(test_service_config()));
+    let server =
+        SpqServer::start(service, "127.0.0.1:0", ServerConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+    let workload = build_workload(WorkloadKind::Portfolio, 300, 9);
+    let query = workload.query(1).to_string();
+
+    let mut client = Client::connect(addr);
+    client.send(
+        r#"{"op":"load_relation","id":"l1","name":"portfolio","tenant":"carol","workload":"portfolio","scale":300,"seed":9,"storage":"disk"}"#,
+    );
+    let ack = recv_ack(&mut client, "load_ack");
+    assert_eq!(ack.str_field("status"), Some("ok"), "{ack:?}");
+    assert_eq!(ack.str_field("storage"), Some("disk"));
+
+    let mut request = portfolio_request("d1", &query);
+    request.tenant = Some("carol".into());
+    client.send(&Request::Query(request).to_line());
+    let response = QueryResponse::parse_line(&client.recv_line()).expect("query response");
+    assert_eq!(response.status, QueryStatus::Ok, "{:?}", response.error);
+    assert!(response.feasible);
+
+    // Per-relation accounting over the wire.
+    client.send(r#"{"op":"list_relations","tenant":"carol"}"#);
+    let listed = recv_ack(&mut client, "relations");
+    let relations = listed.get("relations").unwrap().as_array().unwrap();
+    assert_eq!(relations.len(), 1);
+    let info = &relations[0];
+    assert_eq!(info.str_field("storage"), Some("disk"));
+    assert!(info.get("disk_bytes").unwrap().as_u64().unwrap() > 0);
+    assert!(info.get("resident_bytes").unwrap().as_u64().unwrap() > 0);
+    let cache = info
+        .get("chunk_cache")
+        .expect("disk tier reports its cache");
+    // Binding + solving the query touched every deterministic column, so
+    // chunks were faulted in (misses) and re-read (hits).
+    assert!(cache.get("misses").unwrap().as_u64().unwrap() > 0);
+    let rate = cache.get("hit_rate").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&rate), "hit rate {rate}");
+
+    // Process-wide counters and tenant byte totals in `stats`.
+    client.send(r#"{"op":"stats"}"#);
+    let stats = spq_service::json::parse(&client.recv_line()).expect("stats json");
+    let chunk = stats.get("relation_chunk_cache").expect("chunk section");
+    assert!(chunk.get("misses").unwrap().as_u64().unwrap() > 0);
+    let tenants = stats.get("tenants").unwrap().as_array().unwrap();
+    let carol = tenants
+        .iter()
+        .find(|t| t.str_field("tenant") == Some("carol"))
+        .expect("carol tenant listed");
+    assert!(carol.get("disk_bytes").unwrap().as_u64().unwrap() > 0);
+    assert!(carol.get("resident_bytes").unwrap().as_u64().unwrap() > 0);
+    let tenant_rate = carol.get("chunk_hit_rate").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&tenant_rate));
+
+    // Unload releases the chunk files with the relation.
+    client.send(r#"{"op":"unload_relation","name":"portfolio","tenant":"carol"}"#);
+    assert_eq!(
+        recv_ack(&mut client, "unload_ack").str_field("status"),
+        Some("ok")
+    );
+    server.shutdown();
+}
+
+#[test]
 fn tenant_quota_exhaustion_is_a_clean_admission_error() {
     let service = Arc::new(SpqService::new(ServiceConfig {
         tenant_quotas: spq_service::TenantQuotas {

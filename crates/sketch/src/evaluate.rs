@@ -24,8 +24,8 @@
 //! feasibility guarantees as SummarySearch while each MILP it solves is
 //! `O(√N)` rather than `O(N)` variables wide.
 
-use crate::features::candidate_features;
-use crate::partition::{partition_candidates, Partitioning};
+use crate::hierarchy::{partition_hierarchical, BlockFeatures};
+use crate::partition::Partitioning;
 use spq_core::package::{EvaluationResult, EvaluationStats, Package};
 use spq_core::silp::Direction;
 use spq_core::summary_search::evaluate_summary_search;
@@ -169,8 +169,12 @@ pub fn evaluate_sketch_refine(instance: &Instance<'_>) -> Result<EvaluationResul
     let max_size = opts.sketch.effective_partition_size(n);
     let parts = {
         let _span = spq_obs::span("partition");
-        let features = candidate_features(instance)?;
-        partition_candidates(&features, max_size, opts.sketch.diameter_fraction)
+        // Hierarchical, summary-first partitioning: whole feature blocks are
+        // routed by their resident [min, max] envelopes and only straddled
+        // blocks page in rows, so partitioning a disk-backed million-tuple
+        // relation never assembles the full N × d feature matrix.
+        let features = BlockFeatures::from_instance(instance)?;
+        partition_hierarchical(&features, max_size, opts.sketch.diameter_fraction)
     };
 
     debug_trace!(

@@ -50,7 +50,7 @@ impl FeatureMatrix {
 }
 
 /// The columns a SILP reads, deduplicated in declaration order.
-fn referenced_columns(instance: &Instance<'_>) -> (Vec<String>, Vec<String>) {
+pub(crate) fn referenced_columns(instance: &Instance<'_>) -> (Vec<String>, Vec<String>) {
     let silp = &instance.silp;
     let mut det: Vec<String> = Vec::new();
     let mut stoch: Vec<String> = Vec::new();
@@ -81,7 +81,7 @@ fn referenced_columns(instance: &Instance<'_>) -> (Vec<String>, Vec<String>) {
 
 /// Min-max normalize one raw dimension in place; constant dimensions
 /// collapse to 0 (they cannot separate tuples anyway).
-fn normalize(dim: &mut [f64]) {
+pub(crate) fn normalize(dim: &mut [f64]) {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for &v in dim.iter() {
@@ -98,8 +98,12 @@ fn normalize(dim: &mut [f64]) {
     }
 }
 
-/// Extract the normalized feature matrix of an instance's candidate tuples.
-pub fn candidate_features(instance: &Instance<'_>) -> Result<FeatureMatrix> {
+/// The normalized feature dimensions of an instance's candidates,
+/// column-major: one `[0, 1]`-normalized vector per feature dimension. This
+/// is the shared substrate of both the dense [`FeatureMatrix`] and the
+/// blockwise [`crate::hierarchy`] partitioner (which never transposes it
+/// into a row-major matrix).
+pub(crate) fn candidate_dimensions(instance: &Instance<'_>) -> Result<Vec<Vec<f64>>> {
     let n = instance.num_vars();
     let (det, stoch) = referenced_columns(instance);
     let mut dims: Vec<Vec<f64>> = Vec::new();
@@ -129,7 +133,13 @@ pub fn candidate_features(instance: &Instance<'_>) -> Result<FeatureMatrix> {
     for dim in &mut dims {
         normalize(dim);
     }
+    Ok(dims)
+}
 
+/// Extract the normalized feature matrix of an instance's candidate tuples.
+pub fn candidate_features(instance: &Instance<'_>) -> Result<FeatureMatrix> {
+    let n = instance.num_vars();
+    let dims = candidate_dimensions(instance)?;
     let d = dims.len();
     let mut data = vec![0.0f64; n * d];
     for (k, dim) in dims.iter().enumerate() {

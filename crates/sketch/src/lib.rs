@@ -12,10 +12,14 @@
 //!    space built from the distributions of the attributes the query reads
 //!    (expectation and spread per stochastic column, value per deterministic
 //!    column).
-//! 2. [`partition`] groups distributionally similar tuples with a
-//!    deterministic, diameter-bounded greedy sweep and elects a *medoid*
-//!    representative per partition — a real tuple, so sketch answers are
-//!    themselves valid packages.
+//! 2. [`hierarchy`] groups distributionally similar tuples with a
+//!    deterministic, diameter-bounded *hierarchical* sweep in the style of
+//!    DistPartition: fixed-size feature blocks are routed by resident
+//!    `[min, max]` envelopes and only blocks a split straddles are paged
+//!    in; each leaf elects a *medoid* representative — a real tuple, so
+//!    sketch answers are themselves valid packages. (The dense flat
+//!    partitioner survives in [`partition`] for small candidate sets and as
+//!    the reference semantics.)
 //! 3. [`evaluate`] solves the *sketch* query over the representatives (each
 //!    granted the multiplicity capacity of its whole partition), then
 //!    *refines* the chosen partitions one at a time over their real tuples
@@ -59,10 +63,12 @@
 
 pub mod evaluate;
 pub mod features;
+pub mod hierarchy;
 pub mod partition;
 
 pub use evaluate::evaluate_sketch_refine;
 pub use features::{candidate_features, FeatureMatrix};
+pub use hierarchy::{partition_hierarchical, BlockFeatures, BLOCK_ROWS};
 pub use partition::{partition_candidates, Partitioning};
 
 /// Register [`evaluate_sketch_refine`] as the engine's

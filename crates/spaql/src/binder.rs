@@ -140,7 +140,7 @@ pub fn bind(query: &PackageQuery, relation: &Relation) -> Result<BoundQuery> {
                 let value = relation
                     .value(&pred.attribute, i)
                     .expect("attribute validated above");
-                predicate_holds(value, pred.op, &pred.value)
+                predicate_holds(&value, pred.op, &pred.value)
             })
         });
     }

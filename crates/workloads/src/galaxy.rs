@@ -11,7 +11,7 @@ use crate::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spq_mcdb::vg::{NormalNoise, ParetoNoise, PerTuple};
-use spq_mcdb::{Relation, RelationBuilder};
+use spq_mcdb::{Relation, RelationBuilder, StorageOptions};
 
 /// The noise model applied to the base flux readings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +91,17 @@ impl GalaxyConfig {
 
 /// Build the Galaxy relation for a configuration.
 pub fn build_relation(config: &GalaxyConfig) -> Relation {
+    build_relation_with(config, StorageOptions::memory()).expect("valid galaxy relation")
+}
+
+/// Build the Galaxy relation with an explicit storage tier: with
+/// [`StorageOptions::disk`] the deterministic columns spill to chunk files
+/// as they are appended and only the noise-model parameter vectors stay
+/// resident. Value-identical to [`build_relation`] whatever the tier.
+pub fn build_relation_with(
+    config: &GalaxyConfig,
+    storage: StorageOptions,
+) -> spq_mcdb::Result<Relation> {
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x47414C41);
     let n = config.n_tuples;
     // Base magnitudes roughly in the range of SDSS r-band Petrosian
@@ -101,6 +112,7 @@ pub fn build_relation(config: &GalaxyConfig) -> Relation {
     let declination: Vec<f64> = (0..n).map(|_| rng.gen_range(-90.0..90.0)).collect();
 
     let builder = RelationBuilder::new("Galaxy")
+        .storage(storage)
         .deterministic_i64("objid", region_id)
         .deterministic_f64("ra", right_ascension)
         .deterministic_f64("dec", declination)
@@ -109,8 +121,7 @@ pub fn build_relation(config: &GalaxyConfig) -> Relation {
     match config.noise {
         GalaxyNoise::Normal { sigma } => builder
             .stochastic("Petromag_r", NormalNoise::around(base, sigma))
-            .build()
-            .expect("valid galaxy relation"),
+            .build(),
         GalaxyNoise::NormalPerTuple { sigma_star } => {
             let sigmas: Vec<f64> = (0..n)
                 .map(|_| {
@@ -124,12 +135,10 @@ pub fn build_relation(config: &GalaxyConfig) -> Relation {
                     NormalNoise::around(base, PerTuple::Each(sigmas)),
                 )
                 .build()
-                .expect("valid galaxy relation")
         }
         GalaxyNoise::Pareto { scale, shape } => builder
             .stochastic("Petromag_r", ParetoNoise::around(base, scale, shape))
-            .build()
-            .expect("valid galaxy relation"),
+            .build(),
         GalaxyNoise::ParetoPerTuple { scale_star, shape } => {
             let scales: Vec<f64> = (0..n)
                 .map(|_| {
@@ -143,7 +152,6 @@ pub fn build_relation(config: &GalaxyConfig) -> Relation {
                     ParetoNoise::around(base, PerTuple::Each(scales), shape),
                 )
                 .build()
-                .expect("valid galaxy relation")
         }
     }
 }

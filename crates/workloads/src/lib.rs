@@ -66,6 +66,51 @@ pub fn build_workload(kind: WorkloadKind, scale: usize, seed: u64) -> Workload {
     }
 }
 
+/// Build a workload with an explicit storage tier for the relation's
+/// deterministic columns.
+///
+/// With [`spq_mcdb::StorageOptions::disk`] the generators stream rows into
+/// the builder (Portfolio appends stock by stock; the others spill as
+/// columns are added), so million-tuple relations materialize to chunk files
+/// instead of RAM. The relation is value-identical to [`build_workload`]'s
+/// whatever the tier or chunk size.
+pub fn build_workload_with(
+    kind: WorkloadKind,
+    scale: usize,
+    seed: u64,
+    storage: spq_mcdb::StorageOptions,
+) -> spq_mcdb::Result<Workload> {
+    let relation = match kind {
+        WorkloadKind::Galaxy => {
+            galaxy::build_relation_with(&GalaxyConfig::for_query(1, scale, seed), storage)?
+        }
+        WorkloadKind::Portfolio => {
+            let config = PortfolioConfig {
+                n_stocks: (scale / 2).max(4),
+                horizon: Horizon::ShortTerm,
+                most_volatile_only: false,
+                seed,
+            };
+            portfolio::build_relation_with(&config, storage)?
+        }
+        WorkloadKind::Tpch => {
+            tpch::build_relation_with(&TpchConfig::for_query(1, scale, seed), storage)?
+        }
+    };
+    let queries = (1..=8)
+        .map(|q| match kind {
+            WorkloadKind::Galaxy => galaxy::query(q),
+            WorkloadKind::Portfolio => portfolio::query(q),
+            WorkloadKind::Tpch => tpch::query(q),
+        })
+        .collect();
+    Ok(Workload {
+        kind,
+        relation,
+        queries,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +162,43 @@ mod tests {
             "100k-tuple generation took {:?}",
             started.elapsed()
         );
+    }
+
+    #[test]
+    fn disk_backed_workloads_match_their_memory_twins() {
+        use spq_mcdb::StorageOptions;
+        let dir = std::env::temp_dir().join(format!("spq-wl-{}", std::process::id()));
+        for kind in [
+            WorkloadKind::Galaxy,
+            WorkloadKind::Portfolio,
+            WorkloadKind::Tpch,
+        ] {
+            let mem = build_workload(kind, 100, 7);
+            let disk = build_workload_with(
+                kind,
+                100,
+                7,
+                StorageOptions::disk(dir.join(format!("{kind:?}"))).chunk_rows(16),
+            )
+            .expect("disk-backed build");
+            assert_eq!(disk.relation.len(), mem.relation.len());
+            assert_eq!(disk.relation.storage_kind(), "disk");
+            assert_eq!(disk.relation.fingerprint(), mem.relation.fingerprint());
+            for col in ["price", "base_petromag_r", "base_quantity"] {
+                let (Ok(a), Ok(b)) = (
+                    disk.relation.deterministic_f64(col),
+                    mem.relation.deterministic_f64(col),
+                ) else {
+                    continue;
+                };
+                assert_eq!(a, b, "{kind:?} column {col}");
+            }
+            assert_eq!(
+                disk.relation.value("id", 3).ok(),
+                mem.relation.value("id", 3).ok()
+            );
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

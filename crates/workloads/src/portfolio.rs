@@ -12,7 +12,7 @@ use crate::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spq_mcdb::vg::GeometricBrownianMotion;
-use spq_mcdb::{Relation, RelationBuilder, Value};
+use spq_mcdb::{Relation, RelationBuilder, StorageOptions, Value};
 
 /// The prediction horizon of the dataset variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,49 +96,68 @@ fn generate_stocks(config: &PortfolioConfig) -> Vec<StockParams> {
 /// Tuples of the same stock share one GBM driver group, so their gains are
 /// realized from the same simulated price path within each scenario.
 pub fn build_relation(config: &PortfolioConfig) -> Relation {
+    build_relation_with(config, StorageOptions::memory()).expect("valid portfolio relation")
+}
+
+/// Build the Portfolio relation with an explicit storage tier.
+///
+/// Deterministic columns are *streamed* into the builder stock by stock, so
+/// with [`StorageOptions::disk`] a million-tuple relation never holds more
+/// than one column chunk of `id`/`stock`/`price`/`sell_in` values in memory
+/// at a time — full rows spill to chunk files as they are appended. Only the
+/// GBM parameter vectors (`f64`s per tuple, the VG function's state) stay
+/// resident; they are what scenario realization reads on every draw.
+///
+/// The streamed relation is value-identical to [`build_relation`]'s — same
+/// rows, same fingerprint, same scenarios — whatever the tier or chunk size.
+pub fn build_relation_with(
+    config: &PortfolioConfig,
+    storage: StorageOptions,
+) -> spq_mcdb::Result<Relation> {
     let stocks = generate_stocks(config);
     let days = config.horizon.days();
-    let mut ids = Vec::new();
-    let mut symbols = Vec::new();
-    let mut prices = Vec::new();
-    let mut sell_in = Vec::new();
-    let mut gbm_price = Vec::new();
-    let mut gbm_mu = Vec::new();
-    let mut gbm_sigma = Vec::new();
-    let mut gbm_horizon = Vec::new();
-    let mut gbm_group = Vec::new();
+    let n = stocks.len() * days.len();
+    let mut gbm_price = Vec::with_capacity(n);
+    let mut gbm_mu = Vec::with_capacity(n);
+    let mut gbm_sigma = Vec::with_capacity(n);
+    let mut gbm_horizon = Vec::with_capacity(n);
+    let mut gbm_group = Vec::with_capacity(n);
+
+    let mut builder = RelationBuilder::new("Stock_Investments")
+        .storage(storage)
+        .declare_deterministic("id")
+        .declare_deterministic("stock")
+        .declare_deterministic("price")
+        .declare_deterministic("sell_in");
 
     let mut id = 0i64;
     for (s, stock) in stocks.iter().enumerate() {
-        for &d in days {
+        builder = builder.append_rows(days.iter().map(|&d| {
             id += 1;
-            ids.push(id);
-            symbols.push(Value::Text(format!("S{s:05}")));
-            prices.push(stock.price);
-            sell_in.push(Value::Text(if d == 1 {
-                "1 day".to_string()
-            } else {
-                format!("{d} days")
-            }));
             gbm_price.push(stock.price);
             gbm_mu.push(stock.mu);
             gbm_sigma.push(stock.sigma);
             gbm_horizon.push(d);
             gbm_group.push(s as u64);
-        }
+            vec![
+                Value::Int(id),
+                Value::Text(format!("S{s:05}")),
+                Value::Float(stock.price),
+                Value::Text(if d == 1 {
+                    "1 day".to_string()
+                } else {
+                    format!("{d} days")
+                }),
+            ]
+        }));
     }
 
-    RelationBuilder::new("Stock_Investments")
-        .deterministic_i64("id", ids)
-        .deterministic("stock", symbols)
-        .deterministic_f64("price", prices)
-        .deterministic("sell_in", sell_in)
+    builder
         .stochastic(
             "Gain",
             GeometricBrownianMotion::new(gbm_price, gbm_mu, gbm_sigma, gbm_horizon, gbm_group),
         )
         .build()
-        .expect("valid portfolio relation")
 }
 
 /// The sPaQL text of Portfolio query `q` (the Figure 1 / Figure 9 template

@@ -85,6 +85,18 @@ impl TpchConfig {
 
 /// Build the TPC-H relation for a configuration.
 pub fn build_relation(config: &TpchConfig) -> Relation {
+    build_relation_with(config, spq_mcdb::StorageOptions::memory()).expect("valid tpch relation")
+}
+
+/// Build the TPC-H relation with an explicit storage tier: with
+/// [`spq_mcdb::StorageOptions::disk`] the deterministic columns spill to
+/// chunk files as they are appended; the per-source candidate tables (the
+/// discrete mixtures' parameters) stay resident. Value-identical to
+/// [`build_relation`] whatever the tier.
+pub fn build_relation_with(
+    config: &TpchConfig,
+    storage: spq_mcdb::StorageOptions,
+) -> spq_mcdb::Result<Relation> {
     let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x54504348);
     let n = config.n_tuples;
     let d = config.d.max(1);
@@ -121,6 +133,7 @@ pub fn build_relation(config: &TpchConfig) -> Relation {
     }
 
     RelationBuilder::new(format!("Tpch_{d}"))
+        .storage(storage)
         .deterministic_i64("orderkey", orderkey)
         .deterministic_f64("base_quantity", base_quantity)
         .deterministic_f64("base_revenue", base_revenue)
@@ -133,7 +146,6 @@ pub fn build_relation(config: &TpchConfig) -> Relation {
             DiscreteSources::from_candidates(revenue_candidates).expect("non-empty candidates"),
         )
         .build()
-        .expect("valid tpch relation")
 }
 
 /// The sPaQL text of TPC-H query `q` (the Figure 9 template with Table 3
